@@ -1,0 +1,123 @@
+//! Rendering of the clingo (Answer Set Programming) encodings.
+//!
+//! ProvMark's original implementation ships the matching problems to the
+//! `clingo` solver as logic programs (paper Listings 3 and 4). Our native
+//! engine solves the same problems directly, but this module reproduces the
+//! exact program text so that:
+//!
+//! - the encodings remain inspectable documentation of the semantics, and
+//! - anyone with a clingo binary can differentially test the native solver
+//!   against the reference (`clingo <(echo "$program")`).
+//!
+//! Graph facts use the fixed graph ids `1` and `2`, matching the listings
+//! (`n1`, `e1`, `p1` vs `n2`, `e2`, `p2`).
+
+use provgraph::{datalog, PropertyGraph};
+
+/// Paper Listing 3: graph similarity (shape isomorphism) specification.
+pub const SIMILARITY_SPEC: &str = "\
+{h(X,Y) : n2(Y,_)} = 1 :- n1(X,_).
+{h(X,Y) : n1(X,_)} = 1 :- n2(Y,_).
+{h(X,Y) : e2(Y,_,_,_)} = 1 :- e1(X,_,_,_).
+{h(X,Y) : e1(X,_,_,_)} = 1 :- e2(Y,_,_,_).
+:- X <> Y, h(X,Z), h(Y,Z).
+:- X <> Y, h(Z,Y), h(Z,X).
+:- n1(X,L), h(X,Y), not n2(Y,L).
+:- n2(Y,L), h(X,Y), not n1(X,L).
+:- e1(E1,_,_,L), h(E1,E2), not e2(E2,_,_,L).
+:- e2(E2,_,_,L), h(E1,E2), not e1(E1,_,_,L).
+:- e1(E1,X,_,_), h(E1,E2), e2(E2,Y,_,_), not h(X,Y).
+:- e1(E1,_,X,_), h(E1,E2), e2(E2,_,Y,_), not h(X,Y).
+";
+
+/// Paper Listing 4: approximate subgraph isomorphism with property-mismatch
+/// cost minimization.
+pub const SUBGRAPH_SPEC: &str = "\
+{h(X,Y) : n2(Y,_)} = 1 :- n1(X,_).
+{h(X,Y) : e2(Y,_,_,_)} = 1 :- e1(X,_,_,_).
+:- X <> Y, h(X,Z), h(Y,Z).
+:- X <> Y, h(Z,Y), h(Z,X).
+:- n1(X,L), h(X,Y), not n2(Y,L).
+:- e1(E1,_,_,L), h(E1,E2), not e2(E2,_,_,L).
+:- e1(E1,X,_,_), h(E1,E2), e2(E2,Y,_,_), not h(X,Y).
+:- e1(E1,_,X,_), h(E1,E2), e2(E2,_,Y,_), not h(X,Y).
+cost(X,K,0) :- p1(X,K,V), h(X,Y), p2(Y,K,V).
+cost(X,K,1) :- p1(X,K,V), h(X,Y), p2(Y,K,W), V <> W.
+cost(X,K,1) :- p1(X,K,V), h(X,Y), not p2(Y,K,_).
+#minimize { PC,X,K : cost(X,K,PC) }.
+";
+
+/// Render the graph facts for a matching instance: `g1` under graph id `1`
+/// and `g2` under graph id `2`.
+pub fn render_facts(g1: &PropertyGraph, g2: &PropertyGraph) -> String {
+    let mut out = String::new();
+    out.push_str("% graph 1 facts\n");
+    out.push_str(&datalog::to_canonical_datalog(g1, "1"));
+    out.push_str("% graph 2 facts\n");
+    out.push_str(&datalog::to_canonical_datalog(g2, "2"));
+    out
+}
+
+/// Render the complete clingo program for the similarity problem
+/// (Listing 3 plus graph facts).
+pub fn render_similarity_program(g1: &PropertyGraph, g2: &PropertyGraph) -> String {
+    format!(
+        "% ProvMark graph similarity (paper Listing 3)\n{}\n{}#show h/2.\n",
+        render_facts(g1, g2),
+        SIMILARITY_SPEC
+    )
+}
+
+/// Render the complete clingo program for the approximate subgraph
+/// isomorphism problem (Listing 4 plus graph facts).
+pub fn render_subgraph_program(g1: &PropertyGraph, g2: &PropertyGraph) -> String {
+    format!(
+        "% ProvMark approximate subgraph isomorphism (paper Listing 4)\n{}\n{}#show h/2.\n",
+        render_facts(g1, g2),
+        SUBGRAPH_SPEC
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> (PropertyGraph, PropertyGraph) {
+        let mut g1 = PropertyGraph::new();
+        g1.add_node("n1", "File").unwrap();
+        let mut g2 = PropertyGraph::new();
+        g2.add_node("m1", "File").unwrap();
+        g2.set_node_property("m1", "k", "v").unwrap();
+        (g1, g2)
+    }
+
+    #[test]
+    fn similarity_program_contains_listing3_rules() {
+        let (g1, g2) = toy();
+        let p = render_similarity_program(&g1, &g2);
+        assert!(p.contains("{h(X,Y) : n2(Y,_)} = 1 :- n1(X,_)."));
+        assert!(p.contains(":- n2(Y,L), h(X,Y), not n1(X,L)."));
+        assert!(p.contains("n1(n1,\"File\")."));
+        assert!(p.contains("n2(m1,\"File\")."));
+        assert!(!p.contains("#minimize"), "similarity has no objective");
+    }
+
+    #[test]
+    fn subgraph_program_contains_listing4_rules() {
+        let (g1, g2) = toy();
+        let p = render_subgraph_program(&g1, &g2);
+        assert!(p.contains("cost(X,K,1) :- p1(X,K,V), h(X,Y), not p2(Y,K,_)."));
+        assert!(p.contains("#minimize { PC,X,K : cost(X,K,PC) }."));
+        assert!(p.contains("p2(m1,\"k\",\"v\")."));
+        // Subgraph spec drops the reverse totality rules of Listing 3.
+        assert!(!p.contains("{h(X,Y) : n1(X,_)} = 1 :- n2(Y,_)."));
+    }
+
+    #[test]
+    fn facts_use_graph_ids_1_and_2() {
+        let (g1, g2) = toy();
+        let facts = render_facts(&g1, &g2);
+        assert!(facts.contains("n1(n1,"));
+        assert!(facts.contains("n2(m1,"));
+    }
+}

@@ -1,0 +1,213 @@
+//! Minimum-cost assignment (Hungarian algorithm).
+//!
+//! After the backtracking engine fixes a node mapping, edges fall into
+//! groups keyed by `(mapped source, mapped target, label)`; within a group
+//! every g1 edge may map to every g2 edge, and the only remaining freedom is
+//! which pairing minimizes total property-mismatch cost. That is a
+//! rectangular assignment problem, solved here with the Jonker–Volgenant
+//! style potentials formulation in `O(n² · m)`.
+
+/// Cost value treated as infinity (forbidden pairing).
+pub const FORBIDDEN: u64 = u64::MAX / 4;
+
+/// Solve the rectangular min-cost assignment problem.
+///
+/// `cost` is an `n × m` matrix with `n ≤ m`; entry `cost[i][j]` is the cost
+/// of assigning row `i` to column `j` (use [`FORBIDDEN`] to rule a pairing
+/// out). Returns the column chosen for each row and the total cost, or
+/// `None` when no feasible (non-forbidden) complete assignment exists.
+///
+/// # Panics
+///
+/// Panics if `n > m` or the matrix is ragged.
+pub fn min_cost_assignment(cost: &[Vec<u64>]) -> Option<(Vec<usize>, u64)> {
+    let n = cost.len();
+    if n == 0 {
+        return Some((Vec::new(), 0));
+    }
+    let m = cost[0].len();
+    assert!(n <= m, "assignment requires rows <= columns ({n} > {m})");
+    assert!(cost.iter().all(|r| r.len() == m), "ragged cost matrix");
+
+    // 1-based arrays in the classic formulation.
+    let inf = i128::from(FORBIDDEN) * 2;
+    let mut u = vec![0i128; n + 1];
+    let mut v = vec![0i128; m + 1];
+    let mut p = vec![0usize; m + 1]; // p[j] = row assigned to column j (0 = none)
+    let mut way = vec![0usize; m + 1];
+
+    for i in 1..=n {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![inf; m + 1];
+        let mut used = vec![false; m + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = inf;
+            let mut j1 = 0usize;
+            for j in 1..=m {
+                if used[j] {
+                    continue;
+                }
+                let cur = i128::from(cost[i0 - 1][j - 1]) - u[i0] - v[j];
+                if cur < minv[j] {
+                    minv[j] = cur;
+                    way[j] = j0;
+                }
+                if minv[j] < delta {
+                    delta = minv[j];
+                    j1 = j;
+                }
+            }
+            if delta >= inf {
+                // Every remaining column is forbidden: infeasible.
+                return None;
+            }
+            for j in 0..=m {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        // Augment along the alternating path.
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+
+    let mut result = vec![usize::MAX; n];
+    for j in 1..=m {
+        if p[j] != 0 {
+            result[p[j] - 1] = j - 1;
+        }
+    }
+    let mut total: u64 = 0;
+    for (i, &j) in result.iter().enumerate() {
+        let c = cost[i][j];
+        if c >= FORBIDDEN {
+            return None;
+        }
+        total += c;
+    }
+    Some((result, total))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn square_simple() {
+        let cost = vec![vec![4, 1, 3], vec![2, 0, 5], vec![3, 2, 2]];
+        let (assign, total) = min_cost_assignment(&cost).unwrap();
+        assert_eq!(total, 5); // 1 + 2 + 2
+        assert_eq!(assign, vec![1, 0, 2]);
+    }
+
+    #[test]
+    fn rectangular_picks_cheapest_columns() {
+        let cost = vec![vec![10, 1, 10, 10], vec![1, 10, 10, 2]];
+        let (assign, total) = min_cost_assignment(&cost).unwrap();
+        assert_eq!(total, 2);
+        assert_eq!(assign, vec![1, 0]);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        assert_eq!(min_cost_assignment(&[]), Some((vec![], 0)));
+    }
+
+    #[test]
+    fn single_cell() {
+        assert_eq!(min_cost_assignment(&[vec![7]]), Some((vec![0], 7)));
+    }
+
+    #[test]
+    fn forbidden_forces_alternative() {
+        let cost = vec![vec![FORBIDDEN, 5], vec![1, FORBIDDEN]];
+        let (assign, total) = min_cost_assignment(&cost).unwrap();
+        assert_eq!(assign, vec![1, 0]);
+        assert_eq!(total, 6);
+    }
+
+    #[test]
+    fn infeasible_returns_none() {
+        let cost = vec![vec![FORBIDDEN, FORBIDDEN]];
+        assert_eq!(min_cost_assignment(&cost), None);
+        let cost = vec![vec![1, FORBIDDEN], vec![2, FORBIDDEN]];
+        assert_eq!(min_cost_assignment(&cost), None);
+    }
+
+    #[test]
+    fn zero_costs() {
+        let cost = vec![vec![0, 0], vec![0, 0]];
+        let (_, total) = min_cost_assignment(&cost).unwrap();
+        assert_eq!(total, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "rows <= columns")]
+    fn more_rows_than_columns_panics() {
+        let _ = min_cost_assignment(&[vec![1], vec![2]]);
+    }
+
+    #[test]
+    fn matches_brute_force_on_small_matrices() {
+        // Deterministic pseudo-random matrices, checked against permutation
+        // enumeration.
+        let mut seed = 0x9E3779B97F4A7C15u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for n in 1..=4usize {
+            for m in n..=5usize {
+                let cost: Vec<Vec<u64>> = (0..n)
+                    .map(|_| (0..m).map(|_| next() % 50).collect())
+                    .collect();
+                let (_, total) = min_cost_assignment(&cost).unwrap();
+                let best = brute_force(&cost);
+                assert_eq!(total, best, "n={n} m={m} cost={cost:?}");
+            }
+        }
+    }
+
+    fn brute_force(cost: &[Vec<u64>]) -> u64 {
+        let n = cost.len();
+        let m = cost[0].len();
+        let mut cols: Vec<usize> = (0..m).collect();
+        let mut best = u64::MAX;
+        permute(&mut cols, 0, n, &mut |perm| {
+            let total: u64 = (0..n).map(|i| cost[i][perm[i]]).sum();
+            best = best.min(total);
+        });
+        best
+    }
+
+    fn permute(cols: &mut Vec<usize>, k: usize, n: usize, f: &mut impl FnMut(&[usize])) {
+        if k == n {
+            f(&cols[..n]);
+            return;
+        }
+        for i in k..cols.len() {
+            cols.swap(k, i);
+            permute(cols, k + 1, n, f);
+            cols.swap(k, i);
+        }
+    }
+}

@@ -1,0 +1,1088 @@
+//! Branch-and-bound search engine for the graph matching problems.
+//!
+//! The engine searches over *node* mappings only: once every g1 node has an
+//! image, the edges decompose into independent groups keyed by
+//! `(mapped source, mapped target, label)` and each group is an assignment
+//! problem solved exactly by the Hungarian algorithm
+//! ([`crate::min_cost_assignment`]). This two-level decomposition is what
+//! makes the NP-complete subgraph isomorphism instances from provenance
+//! graphs tractable in practice (paper §5.1 establishes "minutes rather
+//! than days"; we do better on the simulated substrate).
+
+use std::collections::{BTreeMap, HashMap};
+
+use provgraph::{Props, PropertyGraph};
+
+use crate::assignment::{min_cost_assignment, FORBIDDEN};
+use crate::matching::{Matching, Outcome};
+
+/// Which matching problem to solve (see crate docs for the paper mapping).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Problem {
+    /// Bijection preserving structure + labels; properties ignored
+    /// (paper Listing 3).
+    Similarity,
+    /// Bijection preserving structure + labels + exact properties.
+    Isomorphism,
+    /// Bijection preserving structure + labels, minimizing the number of
+    /// properties in the symmetric difference of matched pairs (§3.4).
+    Generalization,
+    /// Injective embedding of g1 into g2 preserving structure + labels,
+    /// minimizing g1 properties unmatched on the image (paper Listing 4).
+    Subgraph,
+}
+
+impl Problem {
+    fn bijective(self) -> bool {
+        !matches!(self, Problem::Subgraph)
+    }
+
+    fn optimizing(self) -> bool {
+        matches!(self, Problem::Generalization | Problem::Subgraph)
+    }
+}
+
+/// Tuning knobs for the search; the defaults enable every pruning rule.
+///
+/// The individual switches exist for the solver ablation benchmark
+/// (`ablation_solver`), which quantifies what each rule buys.
+#[derive(Debug, Clone)]
+pub struct SolverConfig {
+    /// Budget on candidate assignments tried before giving up and
+    /// returning the best solution found so far (`optimal = false`).
+    pub max_steps: u64,
+    /// Prune candidates whose per-label degree signature is incompatible.
+    pub degree_filter: bool,
+    /// Check adjacency consistency against already-assigned neighbours at
+    /// every assignment (forward checking).
+    pub forward_check: bool,
+    /// Prune branches whose cost lower bound meets the incumbent.
+    pub cost_bound: bool,
+    /// Try cheap candidates first (best-first value ordering).
+    pub order_by_cost: bool,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        SolverConfig {
+            max_steps: 10_000_000,
+            degree_filter: true,
+            forward_check: true,
+            cost_bound: true,
+            order_by_cost: true,
+        }
+    }
+}
+
+impl SolverConfig {
+    /// A configuration with every optimization disabled — pure generate
+    /// and test over label-compatible candidates (the ablation baseline).
+    pub fn naive() -> Self {
+        SolverConfig {
+            max_steps: 10_000_000,
+            degree_filter: false,
+            forward_check: false,
+            cost_bound: false,
+            order_by_cost: false,
+        }
+    }
+}
+
+/// Search statistics, reported for every run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Candidate node assignments attempted.
+    pub steps: u64,
+    /// Dead ends that forced the search to undo an assignment.
+    pub backtracks: u64,
+    /// Complete (feasible) solutions encountered.
+    pub solutions: u64,
+}
+
+/// Solve `problem` matching `g1` against `g2`.
+///
+/// For bijective problems the graphs must have identical element counts and
+/// label multisets or the result is immediately infeasible. The returned
+/// [`Outcome`] carries the optimal matching (or `None`), an optimality
+/// flag, and search statistics.
+pub fn solve(
+    problem: Problem,
+    g1: &PropertyGraph,
+    g2: &PropertyGraph,
+    config: &SolverConfig,
+) -> Outcome {
+    let mut outcome = Outcome {
+        matching: None,
+        optimal: true,
+        stats: SolverStats::default(),
+    };
+
+    // Global pre-checks that make the problem trivially infeasible.
+    if problem.bijective() {
+        if g1.node_count() != g2.node_count()
+            || g1.edge_count() != g2.edge_count()
+            || g1.node_label_multiset() != g2.node_label_multiset()
+            || g1.edge_label_multiset() != g2.edge_label_multiset()
+        {
+            return outcome;
+        }
+    } else {
+        if g1.node_count() > g2.node_count() || g1.edge_count() > g2.edge_count() {
+            return outcome;
+        }
+        if !multiset_leq(&g1.node_label_multiset(), &g2.node_label_multiset())
+            || !multiset_leq(&g1.edge_label_multiset(), &g2.edge_label_multiset())
+        {
+            return outcome;
+        }
+    }
+    if g1.node_count() == 0 {
+        // Possible only when g2 is also empty (bijective) or any g2
+        // (subgraph): the empty matching, with no edges to place.
+        outcome.matching = Some(Matching::default());
+        outcome.stats.solutions = 1;
+        return outcome;
+    }
+
+    let mut search = Search::new(problem, g1, g2, config);
+    search.run();
+    outcome.stats = search.stats;
+    outcome.optimal = !search.budget_exhausted;
+    outcome.matching = search.best.take().map(|(node_assign, edge_map, cost)| {
+        let node_map: BTreeMap<String, String> = node_assign
+            .iter()
+            .enumerate()
+            .map(|(i, &j)| (search.ids1[i].clone(), search.ids2[j].clone()))
+            .collect();
+        Matching {
+            node_map,
+            edge_map,
+            cost,
+        }
+    });
+    outcome
+}
+
+fn multiset_leq<T: Ord>(small: &[T], big: &[T]) -> bool {
+    // Both inputs are sorted; check small ⊆ big as multisets.
+    let mut i = 0;
+    for x in small {
+        while i < big.len() && big[i] < *x {
+            i += 1;
+        }
+        if i >= big.len() || big[i] != *x {
+            return false;
+        }
+        i += 1;
+    }
+    true
+}
+
+/// Per-node signature: for each (direction, edge label) the number of
+/// incident edges. Direction 0 = outgoing, 1 = incoming.
+type DegreeSig = BTreeMap<(u8, String), usize>;
+
+struct Search<'a> {
+    problem: Problem,
+    config: &'a SolverConfig,
+    g1: &'a PropertyGraph,
+    g2: &'a PropertyGraph,
+    ids1: Vec<String>,
+    ids2: Vec<String>,
+    idx2: HashMap<String, usize>,
+    /// adjacency label counts between node index pairs
+    adj1: HashMap<(usize, usize), BTreeMap<String, usize>>,
+    adj2: HashMap<(usize, usize), BTreeMap<String, usize>>,
+    /// neighbours of each g1 node (for forward checking)
+    neigh1: Vec<Vec<usize>>,
+    /// statically feasible candidates for each g1 node
+    candidates: Vec<Vec<usize>>,
+    /// pair costs for statically feasible pairs
+    pair_cost: HashMap<(usize, usize), u64>,
+    /// admissible per-node lower bound (min static pair cost)
+    node_min_cost: Vec<u64>,
+    /// admissible total lower bound contribution of all g1 edges
+    edge_cost_floor: u64,
+    // search state
+    assign: Vec<Option<usize>>,
+    used: Vec<bool>,
+    stats: SolverStats,
+    budget_exhausted: bool,
+    best: Option<(Vec<usize>, BTreeMap<String, String>, u64)>,
+    best_cost: u64,
+    /// global lower bound; reaching it allows immediate termination
+    global_floor: u64,
+}
+
+impl<'a> Search<'a> {
+    fn new(
+        problem: Problem,
+        g1: &'a PropertyGraph,
+        g2: &'a PropertyGraph,
+        config: &'a SolverConfig,
+    ) -> Self {
+        let ids1: Vec<String> = g1.nodes().map(|n| n.id.clone()).collect();
+        let ids2: Vec<String> = g2.nodes().map(|n| n.id.clone()).collect();
+        let idx1: HashMap<String, usize> = ids1
+            .iter()
+            .enumerate()
+            .map(|(i, id)| (id.clone(), i))
+            .collect();
+        let idx2: HashMap<String, usize> = ids2
+            .iter()
+            .enumerate()
+            .map(|(i, id)| (id.clone(), i))
+            .collect();
+
+        let mut adj1: HashMap<(usize, usize), BTreeMap<String, usize>> = HashMap::new();
+        let mut neigh1: Vec<Vec<usize>> = vec![Vec::new(); ids1.len()];
+        for e in g1.edges() {
+            let s = idx1[&e.src];
+            let t = idx1[&e.tgt];
+            *adj1
+                .entry((s, t))
+                .or_default()
+                .entry(e.label.as_str().to_owned())
+                .or_default() += 1;
+            if !neigh1[s].contains(&t) {
+                neigh1[s].push(t);
+            }
+            if !neigh1[t].contains(&s) {
+                neigh1[t].push(s);
+            }
+        }
+        let mut adj2: HashMap<(usize, usize), BTreeMap<String, usize>> = HashMap::new();
+        for e in g2.edges() {
+            let s = idx2[&e.src];
+            let t = idx2[&e.tgt];
+            *adj2
+                .entry((s, t))
+                .or_default()
+                .entry(e.label.as_str().to_owned())
+                .or_default() += 1;
+        }
+
+        let sig = |g: &PropertyGraph, id: &str| -> DegreeSig {
+            let mut s = DegreeSig::new();
+            for e in g.out_edges(id) {
+                *s.entry((0, e.label.as_str().to_owned())).or_default() += 1;
+            }
+            for e in g.in_edges(id) {
+                *s.entry((1, e.label.as_str().to_owned())).or_default() += 1;
+            }
+            s
+        };
+        let sigs1: Vec<DegreeSig> = ids1.iter().map(|id| sig(g1, id)).collect();
+        let sigs2: Vec<DegreeSig> = ids2.iter().map(|id| sig(g2, id)).collect();
+
+        let bijective = problem.bijective();
+        let mut candidates: Vec<Vec<usize>> = Vec::with_capacity(ids1.len());
+        let mut pair_cost: HashMap<(usize, usize), u64> = HashMap::new();
+        let mut node_min_cost: Vec<u64> = Vec::with_capacity(ids1.len());
+        for (i, n1) in g1.nodes().enumerate() {
+            let mut cands = Vec::new();
+            let mut min_cost = u64::MAX;
+            for (j, n2) in g2.nodes().enumerate() {
+                if n1.label != n2.label {
+                    continue;
+                }
+                if problem == Problem::Isomorphism && n1.props != n2.props {
+                    continue;
+                }
+                if config.degree_filter {
+                    let ok = if bijective {
+                        sigs1[i] == sigs2[j]
+                    } else {
+                        sig_leq(&sigs1[i], &sigs2[j])
+                    };
+                    if !ok {
+                        continue;
+                    }
+                }
+                let cost = node_pair_cost(problem, &n1.props, &n2.props);
+                pair_cost.insert((i, j), cost);
+                min_cost = min_cost.min(cost);
+                cands.push(j);
+            }
+            if config.order_by_cost {
+                cands.sort_by_key(|&j| pair_cost[&(i, j)]);
+            }
+            node_min_cost.push(if min_cost == u64::MAX { 0 } else { min_cost });
+            candidates.push(cands);
+        }
+
+        // Admissible edge-cost floor: each g1 edge costs at least the
+        // minimum mismatch against any same-label g2 edge.
+        let mut edge_cost_floor = 0u64;
+        if problem.optimizing() {
+            for e1 in g1.edges() {
+                let mut min_c = u64::MAX;
+                for e2 in g2.edges() {
+                    if e1.label != e2.label {
+                        continue;
+                    }
+                    min_c = min_c.min(edge_pair_cost(problem, &e1.props, &e2.props));
+                }
+                if min_c != u64::MAX {
+                    edge_cost_floor += min_c;
+                }
+            }
+        }
+        let global_floor = node_min_cost.iter().sum::<u64>() + edge_cost_floor;
+
+        let n2 = ids2.len();
+        let n1 = ids1.len();
+        Search {
+            problem,
+            config,
+            g1,
+            g2,
+            ids1,
+            ids2,
+            idx2,
+            adj1,
+            adj2,
+            neigh1,
+            candidates,
+            pair_cost,
+            node_min_cost,
+            edge_cost_floor,
+            assign: vec![None; n1],
+            used: vec![false; n2],
+            stats: SolverStats::default(),
+            budget_exhausted: false,
+            best: None,
+            best_cost: u64::MAX,
+            global_floor,
+        }
+    }
+
+    fn run(&mut self) {
+        // A node with zero candidates makes the problem infeasible.
+        if self.candidates.iter().any(|c| c.is_empty()) {
+            return;
+        }
+        self.descend(0);
+    }
+
+    /// `depth` = number of assigned nodes so far.
+    fn descend(&mut self, depth: usize) -> bool {
+        if self.budget_exhausted {
+            return true;
+        }
+        if depth == self.assign.len() {
+            return self.complete();
+        }
+        let var = match self.select_variable() {
+            Some(v) => v,
+            None => return false, // some node has no remaining candidate
+        };
+        let cands = self.candidates[var].clone();
+        for j in cands {
+            if self.used[j] {
+                continue;
+            }
+            if self.config.forward_check && !self.consistent(var, j) {
+                continue;
+            }
+            self.stats.steps += 1;
+            if self.stats.steps > self.config.max_steps {
+                self.budget_exhausted = true;
+                return true;
+            }
+            if self.config.cost_bound && self.problem.optimizing() {
+                let bound = self.partial_cost_with(var, j) + self.remaining_floor(var);
+                if bound >= self.best_cost {
+                    continue;
+                }
+            }
+            self.assign[var] = Some(j);
+            self.used[j] = true;
+            let stop = self.descend(depth + 1);
+            self.assign[var] = None;
+            self.used[j] = false;
+            if stop {
+                return true;
+            }
+        }
+        self.stats.backtracks += 1;
+        false
+    }
+
+    /// Minimum-remaining-values with a preference for nodes adjacent to the
+    /// already-assigned frontier.
+    fn select_variable(&self) -> Option<usize> {
+        let mut best: Option<(usize, usize, usize)> = None; // (remaining, -adjacency, var)
+        for i in 0..self.assign.len() {
+            if self.assign[i].is_some() {
+                continue;
+            }
+            let mut remaining = 0usize;
+            for &j in &self.candidates[i] {
+                if !self.used[j] && (!self.config.forward_check || self.consistent(i, j)) {
+                    remaining += 1;
+                }
+            }
+            if remaining == 0 {
+                return None;
+            }
+            let adjacency = self.neigh1[i]
+                .iter()
+                .filter(|&&n| self.assign[n].is_some())
+                .count();
+            let key = (remaining, usize::MAX - adjacency, i);
+            if best.map_or(true, |b| key < b) {
+                best = Some(key);
+            }
+        }
+        best.map(|(_, _, v)| v)
+    }
+
+    /// Is mapping node `i` → `j` consistent with every assigned neighbour?
+    fn consistent(&self, i: usize, j: usize) -> bool {
+        for &n in &self.neigh1[i] {
+            let Some(jn) = self.assign[n] else { continue };
+            if !self.pair_edges_ok(i, n, j, jn) || !self.pair_edges_ok(n, i, jn, j) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Check edge-count compatibility for the ordered pair (a→b) vs (x→y).
+    fn pair_edges_ok(&self, a: usize, b: usize, x: usize, y: usize) -> bool {
+        let empty = BTreeMap::new();
+        let c1 = self.adj1.get(&(a, b)).unwrap_or(&empty);
+        let c2 = self.adj2.get(&(x, y)).unwrap_or(&empty);
+        if self.problem.bijective() {
+            c1 == c2
+        } else {
+            c1.iter().all(|(l, &n)| c2.get(l).copied().unwrap_or(0) >= n)
+        }
+    }
+
+    fn partial_cost_with(&self, var: usize, j: usize) -> u64 {
+        let mut cost = self.pair_cost[&(var, j)];
+        for (i, a) in self.assign.iter().enumerate() {
+            if let Some(jj) = a {
+                cost += self.pair_cost[&(i, *jj)];
+            }
+        }
+        cost
+    }
+
+    fn remaining_floor(&self, excluding: usize) -> u64 {
+        let mut floor = self.edge_cost_floor;
+        for (i, a) in self.assign.iter().enumerate() {
+            if a.is_none() && i != excluding {
+                floor += self.node_min_cost[i];
+            }
+        }
+        floor
+    }
+
+    /// All nodes assigned: place edges group-by-group and record solution.
+    /// Returns `true` when the search can stop globally.
+    fn complete(&mut self) -> bool {
+        let node_cost: u64 = self
+            .assign
+            .iter()
+            .enumerate()
+            .map(|(i, a)| self.pair_cost[&(i, a.expect("complete assignment"))])
+            .sum();
+        if self.problem.optimizing() && node_cost + self.edge_cost_floor >= self.best_cost {
+            return false;
+        }
+        let Some((edge_map, edge_cost)) = self.place_edges() else {
+            return false;
+        };
+        self.stats.solutions += 1;
+        let total = node_cost + edge_cost;
+        if total < self.best_cost {
+            self.best_cost = total;
+            let assign: Vec<usize> = self.assign.iter().map(|a| a.unwrap()).collect();
+            self.best = Some((assign, edge_map, total));
+        }
+        if !self.problem.optimizing() {
+            return true; // first feasible solution suffices
+        }
+        // Optimal as soon as we hit the admissible global floor.
+        self.best_cost <= self.global_floor
+    }
+
+    /// Assign g1 edges to g2 edges given the complete node map.
+    fn place_edges(&self) -> Option<(BTreeMap<String, String>, u64)> {
+        // Group g1 edges by mapped (src, tgt, label).
+        let mut groups1: BTreeMap<(usize, usize, String), Vec<&provgraph::EdgeData>> =
+            BTreeMap::new();
+        for e in self.g1.edges() {
+            let s = self.assign[self.node_index1(&e.src)].expect("assigned");
+            let t = self.assign[self.node_index1(&e.tgt)].expect("assigned");
+            groups1
+                .entry((s, t, e.label.as_str().to_owned()))
+                .or_default()
+                .push(e);
+        }
+        let mut groups2: BTreeMap<(usize, usize, String), Vec<&provgraph::EdgeData>> =
+            BTreeMap::new();
+        for e in self.g2.edges() {
+            let s = self.idx2[&e.src];
+            let t = self.idx2[&e.tgt];
+            groups2
+                .entry((s, t, e.label.as_str().to_owned()))
+                .or_default()
+                .push(e);
+        }
+        if self.problem.bijective() {
+            // Every g2 edge must be covered by an equal-size g1 group.
+            if groups1.len() != groups2.len() {
+                return None;
+            }
+            for (k, v2) in &groups2 {
+                if groups1.get(k).map(Vec::len) != Some(v2.len()) {
+                    return None;
+                }
+            }
+        }
+        let mut edge_map = BTreeMap::new();
+        let mut total_cost = 0u64;
+        for (key, es1) in &groups1 {
+            let es2 = groups2.get(key)?;
+            if es1.len() > es2.len() {
+                return None;
+            }
+            let cost_matrix: Vec<Vec<u64>> = es1
+                .iter()
+                .map(|e1| {
+                    es2.iter()
+                        .map(|e2| {
+                            if self.problem == Problem::Isomorphism && e1.props != e2.props {
+                                FORBIDDEN
+                            } else {
+                                edge_pair_cost(self.problem, &e1.props, &e2.props)
+                            }
+                        })
+                        .collect()
+                })
+                .collect();
+            let (cols, cost) = min_cost_assignment(&cost_matrix)?;
+            total_cost += cost;
+            for (row, col) in cols.into_iter().enumerate() {
+                edge_map.insert(es1[row].id.clone(), es2[col].id.clone());
+            }
+        }
+        Some((edge_map, total_cost))
+    }
+
+    fn node_index1(&self, id: &str) -> usize {
+        self.ids1
+            .iter()
+            .position(|x| x == id)
+            .expect("edge endpoint indexed")
+    }
+}
+
+fn symmetric_diff_count(p1: &Props, p2: &Props) -> u64 {
+    let mut n = 0u64;
+    for (k, v) in p1 {
+        if p2.get(k) != Some(v) {
+            n += 1;
+        }
+    }
+    for (k, v) in p2 {
+        if p1.get(k) != Some(v) {
+            n += 1;
+        }
+    }
+    n
+}
+
+fn one_sided_diff_count(p1: &Props, p2: &Props) -> u64 {
+    // Paper Listing 4: a g1 property costs 1 when the image either lacks
+    // the key or carries a different value.
+    p1.iter().filter(|(k, v)| p2.get(*k) != Some(*v)).count() as u64
+}
+
+fn node_pair_cost(problem: Problem, p1: &Props, p2: &Props) -> u64 {
+    match problem {
+        Problem::Similarity | Problem::Isomorphism => 0,
+        Problem::Generalization => symmetric_diff_count(p1, p2),
+        Problem::Subgraph => one_sided_diff_count(p1, p2),
+    }
+}
+
+fn edge_pair_cost(problem: Problem, p1: &Props, p2: &Props) -> u64 {
+    node_pair_cost(problem, p1, p2)
+}
+
+fn sig_leq(s1: &DegreeSig, s2: &DegreeSig) -> bool {
+    s1.iter()
+        .all(|(k, &n)| s2.get(k).copied().unwrap_or(0) >= n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g(build: impl FnOnce(&mut PropertyGraph)) -> PropertyGraph {
+        let mut graph = PropertyGraph::new();
+        build(&mut graph);
+        graph
+    }
+
+    fn triangle(prefix: &str) -> PropertyGraph {
+        g(|g| {
+            for i in 0..3 {
+                g.add_node(format!("{prefix}{i}"), "N").unwrap();
+            }
+            for i in 0..3 {
+                g.add_edge(
+                    format!("{prefix}e{i}"),
+                    format!("{prefix}{i}"),
+                    format!("{prefix}{}", (i + 1) % 3),
+                    "r",
+                )
+                .unwrap();
+            }
+        })
+    }
+
+    #[test]
+    fn triangle_similar_to_relabelled_triangle() {
+        let a = triangle("a");
+        let b = triangle("b");
+        let m = solve(Problem::Similarity, &a, &b, &SolverConfig::default())
+            .matching
+            .unwrap();
+        assert_eq!(m.node_map.len(), 3);
+        assert_eq!(m.edge_map.len(), 3);
+        assert_eq!(m.cost, 0);
+        // The witness must be structure-preserving.
+        for (e1, e2) in &m.edge_map {
+            let d1 = a.edge(e1).unwrap();
+            let d2 = b.edge(e2).unwrap();
+            assert_eq!(m.node_map[&d1.src], d2.src);
+            assert_eq!(m.node_map[&d1.tgt], d2.tgt);
+        }
+    }
+
+    #[test]
+    fn triangle_not_similar_to_path() {
+        let a = triangle("a");
+        let path = g(|g| {
+            for i in 0..3 {
+                g.add_node(format!("p{i}"), "N").unwrap();
+            }
+            g.add_edge("e0", "p0", "p1", "r").unwrap();
+            g.add_edge("e1", "p1", "p2", "r").unwrap();
+            g.add_edge("e2", "p0", "p2", "r").unwrap();
+        });
+        assert!(solve(Problem::Similarity, &a, &path, &SolverConfig::default())
+            .matching
+            .is_none());
+    }
+
+    #[test]
+    fn label_mismatch_fails_fast() {
+        let a = g(|g| {
+            g.add_node("x", "A").unwrap();
+        });
+        let b = g(|g| {
+            g.add_node("y", "B").unwrap();
+        });
+        let out = solve(Problem::Similarity, &a, &b, &SolverConfig::default());
+        assert!(out.matching.is_none());
+        assert!(out.optimal);
+        assert_eq!(out.stats.steps, 0, "must fail in the pre-check");
+    }
+
+    #[test]
+    fn isomorphism_requires_equal_properties() {
+        let a = g(|g| {
+            g.add_node("x", "A").unwrap();
+            g.set_node_property("x", "k", "1").unwrap();
+        });
+        let b = g(|g| {
+            g.add_node("y", "A").unwrap();
+            g.set_node_property("y", "k", "2").unwrap();
+        });
+        assert!(solve(Problem::Isomorphism, &a, &b, &SolverConfig::default())
+            .matching
+            .is_none());
+        assert!(solve(Problem::Similarity, &a, &b, &SolverConfig::default())
+            .matching
+            .is_some());
+    }
+
+    #[test]
+    fn generalization_minimizes_property_mismatch() {
+        // Two nodes with same label; pairing by matching "name" property
+        // costs 2 (the volatile timestamps), the wrong pairing costs 6.
+        let a = g(|g| {
+            g.add_node("a1", "F").unwrap();
+            g.set_node_property("a1", "name", "alpha").unwrap();
+            g.set_node_property("a1", "time", "100").unwrap();
+            g.add_node("a2", "F").unwrap();
+            g.set_node_property("a2", "name", "beta").unwrap();
+            g.set_node_property("a2", "time", "101").unwrap();
+        });
+        let b = g(|g| {
+            g.add_node("b1", "F").unwrap();
+            g.set_node_property("b1", "name", "beta").unwrap();
+            g.set_node_property("b1", "time", "200").unwrap();
+            g.add_node("b2", "F").unwrap();
+            g.set_node_property("b2", "name", "alpha").unwrap();
+            g.set_node_property("b2", "time", "201").unwrap();
+        });
+        let m = solve(Problem::Generalization, &a, &b, &SolverConfig::default())
+            .matching
+            .unwrap();
+        assert_eq!(m.node_map["a1"], "b2");
+        assert_eq!(m.node_map["a2"], "b1");
+        assert_eq!(m.cost, 4, "two volatile timestamps, counted on both sides");
+    }
+
+    #[test]
+    fn subgraph_finds_embedding_with_extra_structure() {
+        let bg = g(|g| {
+            g.add_node("p", "Process").unwrap();
+            g.add_node("f", "Artifact").unwrap();
+            g.add_edge("e", "p", "f", "Used").unwrap();
+        });
+        let fg = g(|g| {
+            g.add_node("q", "Process").unwrap();
+            g.add_node("x", "Artifact").unwrap();
+            g.add_node("y", "Artifact").unwrap();
+            g.add_edge("e1", "q", "x", "Used").unwrap();
+            g.add_edge("e2", "q", "y", "WasGeneratedBy").unwrap();
+        });
+        let m = solve(Problem::Subgraph, &bg, &fg, &SolverConfig::default())
+            .matching
+            .unwrap();
+        assert_eq!(m.node_map["p"], "q");
+        assert_eq!(m.node_map["f"], "x");
+        assert_eq!(m.edge_map["e"], "e1");
+    }
+
+    #[test]
+    fn subgraph_prefers_property_matching_image() {
+        let bg = g(|g| {
+            g.add_node("f", "Artifact").unwrap();
+            g.set_node_property("f", "path", "/tmp/t").unwrap();
+        });
+        let fg = g(|g| {
+            g.add_node("x", "Artifact").unwrap();
+            g.set_node_property("x", "path", "/lib/libc").unwrap();
+            g.add_node("y", "Artifact").unwrap();
+            g.set_node_property("y", "path", "/tmp/t").unwrap();
+        });
+        let m = solve(Problem::Subgraph, &bg, &fg, &SolverConfig::default())
+            .matching
+            .unwrap();
+        assert_eq!(m.node_map["f"], "y");
+        assert_eq!(m.cost, 0);
+    }
+
+    #[test]
+    fn subgraph_respects_structure_over_properties() {
+        // The property-perfect node is not structurally viable.
+        let bg = g(|g| {
+            g.add_node("p", "P").unwrap();
+            g.add_node("f", "F").unwrap();
+            g.add_edge("e", "p", "f", "r").unwrap();
+            g.set_node_property("f", "name", "t").unwrap();
+        });
+        let fg = g(|g| {
+            g.add_node("q", "P").unwrap();
+            g.add_node("isolated", "F").unwrap();
+            g.set_node_property("isolated", "name", "t").unwrap();
+            g.add_node("linked", "F").unwrap();
+            g.set_node_property("linked", "name", "other").unwrap();
+            g.add_edge("e1", "q", "linked", "r").unwrap();
+        });
+        let m = solve(Problem::Subgraph, &bg, &fg, &SolverConfig::default())
+            .matching
+            .unwrap();
+        assert_eq!(m.node_map["f"], "linked");
+        assert_eq!(m.cost, 1);
+    }
+
+    #[test]
+    fn subgraph_infeasible_when_larger() {
+        let bg = triangle("a");
+        let fg = g(|g| {
+            g.add_node("x", "N").unwrap();
+        });
+        let out = solve(Problem::Subgraph, &bg, &fg, &SolverConfig::default());
+        assert!(out.matching.is_none());
+        assert!(out.optimal);
+    }
+
+    #[test]
+    fn empty_bg_embeds_into_anything() {
+        let bg = PropertyGraph::new();
+        let fg = triangle("a");
+        let m = solve(Problem::Subgraph, &bg, &fg, &SolverConfig::default())
+            .matching
+            .unwrap();
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn empty_graphs_are_similar() {
+        let out = solve(
+            Problem::Similarity,
+            &PropertyGraph::new(),
+            &PropertyGraph::new(),
+            &SolverConfig::default(),
+        );
+        assert!(out.matching.unwrap().is_empty());
+    }
+
+    #[test]
+    fn multigraph_edge_counts_respected() {
+        // Two parallel edges in bg require two in fg.
+        let bg = g(|g| {
+            g.add_node("p", "P").unwrap();
+            g.add_node("f", "F").unwrap();
+            g.add_edge("e1", "p", "f", "r").unwrap();
+            g.add_edge("e2", "p", "f", "r").unwrap();
+        });
+        let fg_one = g(|g| {
+            g.add_node("q", "P").unwrap();
+            g.add_node("x", "F").unwrap();
+            g.add_edge("e", "q", "x", "r").unwrap();
+            g.add_edge("other", "x", "q", "r").unwrap();
+        });
+        assert!(solve(Problem::Subgraph, &bg, &fg_one, &SolverConfig::default())
+            .matching
+            .is_none());
+        let fg_two = g(|g| {
+            g.add_node("q", "P").unwrap();
+            g.add_node("x", "F").unwrap();
+            g.add_edge("f1", "q", "x", "r").unwrap();
+            g.add_edge("f2", "q", "x", "r").unwrap();
+        });
+        let m = solve(Problem::Subgraph, &bg, &fg_two, &SolverConfig::default())
+            .matching
+            .unwrap();
+        assert_eq!(m.edge_map.len(), 2);
+        // Injective on edges.
+        assert_ne!(m.edge_map["e1"], m.edge_map["e2"]);
+    }
+
+    #[test]
+    fn multigraph_parallel_edge_costs_optimally_assigned() {
+        let bg = g(|g| {
+            g.add_node("p", "P").unwrap();
+            g.add_node("f", "F").unwrap();
+            for (e, v) in [("e1", "1"), ("e2", "2")] {
+                g.add_edge(e, "p", "f", "r").unwrap();
+                g.set_edge_property(e, "seq", v).unwrap();
+            }
+        });
+        let fg = g(|g| {
+            g.add_node("q", "P").unwrap();
+            g.add_node("x", "F").unwrap();
+            for (e, v) in [("f2", "2"), ("f1", "1"), ("f3", "3")] {
+                g.add_edge(e, "q", "x", "r").unwrap();
+                g.set_edge_property(e, "seq", v).unwrap();
+            }
+        });
+        let m = solve(Problem::Subgraph, &bg, &fg, &SolverConfig::default())
+            .matching
+            .unwrap();
+        assert_eq!(m.cost, 0);
+        assert_eq!(m.edge_map["e1"], "f1");
+        assert_eq!(m.edge_map["e2"], "f2");
+    }
+
+    #[test]
+    fn bijective_requires_all_g2_edges_covered() {
+        // Same node multiset, same edge count, but edges placed such that
+        // no bijection exists.
+        let a = g(|g| {
+            g.add_node("a", "N").unwrap();
+            g.add_node("b", "N").unwrap();
+            g.add_edge("e1", "a", "b", "r").unwrap();
+            g.add_edge("e2", "a", "b", "r").unwrap();
+        });
+        let b = g(|g| {
+            g.add_node("x", "N").unwrap();
+            g.add_node("y", "N").unwrap();
+            g.add_edge("f1", "x", "y", "r").unwrap();
+            g.add_edge("f2", "y", "x", "r").unwrap();
+        });
+        assert!(solve(Problem::Similarity, &a, &b, &SolverConfig::default())
+            .matching
+            .is_none());
+    }
+
+    #[test]
+    fn naive_config_agrees_with_default() {
+        let a = triangle("a");
+        let mut b = triangle("b");
+        b.set_node_property("b1", "time", "42").unwrap();
+        let full = solve(Problem::Generalization, &a, &b, &SolverConfig::default());
+        let naive = solve(Problem::Generalization, &a, &b, &SolverConfig::naive());
+        assert_eq!(
+            full.matching.as_ref().map(|m| m.cost),
+            naive.matching.as_ref().map(|m| m.cost)
+        );
+        assert!(full.optimal && naive.optimal);
+    }
+
+    #[test]
+    fn budget_exhaustion_reported() {
+        // A graph with many interchangeable nodes explodes the naive search.
+        let make = |p: &str| {
+            g(|g| {
+                for i in 0..12 {
+                    g.add_node(format!("{p}{i}"), "N").unwrap();
+                }
+            })
+        };
+        let a = make("a");
+        let b = make("b");
+        let cfg = SolverConfig {
+            max_steps: 5,
+            ..SolverConfig::naive()
+        };
+        let out = solve(Problem::Similarity, &a, &b, &cfg);
+        // Either it happened to finish (it should: first dive is a valid
+        // bijection) or it reports non-optimality — but never both empty
+        // and "optimal".
+        if out.matching.is_none() {
+            assert!(!out.optimal);
+        }
+    }
+
+    #[test]
+    fn self_loops_matched() {
+        let a = g(|g| {
+            g.add_node("x", "N").unwrap();
+            g.add_edge("e", "x", "x", "loop").unwrap();
+        });
+        let b = g(|g| {
+            g.add_node("y", "N").unwrap();
+            g.add_edge("f", "y", "y", "loop").unwrap();
+        });
+        let m = solve(Problem::Similarity, &a, &b, &SolverConfig::default())
+            .matching
+            .unwrap();
+        assert_eq!(m.node_map["x"], "y");
+        assert_eq!(m.edge_map["e"], "f");
+        // A self-loop is not similar to a plain edge.
+        let c = g(|g| {
+            g.add_node("y", "N").unwrap();
+            g.add_node("z", "N").unwrap();
+            g.add_edge("f", "y", "z", "loop").unwrap();
+        });
+        assert!(solve(Problem::Subgraph, &a, &c, &SolverConfig::default())
+            .matching
+            .is_none());
+    }
+
+    #[test]
+    fn star_graph_automorphisms_handled() {
+        // A star with 6 identical leaves has 720 automorphisms; the solver
+        // must still terminate instantly on feasibility problems.
+        let star = |p: &str| {
+            g(|g| {
+                g.add_node(format!("{p}hub"), "Hub").unwrap();
+                for i in 0..6 {
+                    g.add_node(format!("{p}leaf{i}"), "Leaf").unwrap();
+                    g.add_edge(format!("{p}e{i}"), format!("{p}hub"), format!("{p}leaf{i}"), "spoke")
+                        .unwrap();
+                }
+            })
+        };
+        let out = solve(Problem::Similarity, &star("a"), &star("b"), &SolverConfig::default());
+        assert!(out.matching.is_some());
+        assert!(out.optimal);
+        assert!(out.stats.steps < 100, "steps: {}", out.stats.steps);
+    }
+
+    #[test]
+    fn pruning_reduces_search_effort() {
+        // A chain matched against a copy whose nodes are inserted in
+        // reverse order: the naive search's candidate order is maximally
+        // wrong, while degree filtering + forward checking cut through.
+        let chain = |p: &str, order: &mut dyn Iterator<Item = usize>| {
+            g(|g| {
+                for i in order {
+                    g.add_node(format!("{p}{i}"), "N").unwrap();
+                }
+                for i in 0..6 {
+                    g.add_edge(format!("{p}e{i}"), format!("{p}{i}"), format!("{p}{}", i + 1), "r")
+                        .unwrap();
+                }
+            })
+        };
+        let a = chain("a", &mut (0..7));
+        let b = chain("b", &mut (0..7).rev());
+        let smart = solve(Problem::Similarity, &a, &b, &SolverConfig::default());
+        let naive = solve(Problem::Similarity, &a, &b, &SolverConfig::naive());
+        assert!(smart.matching.is_some() && naive.matching.is_some());
+        assert!(
+            smart.stats.steps < naive.stats.steps,
+            "pruned {} vs naive {}",
+            smart.stats.steps,
+            naive.stats.steps
+        );
+    }
+
+    #[test]
+    fn generalization_on_disconnected_components() {
+        let make = |p: &str, t: &str| {
+            g(|g| {
+                g.add_node(format!("{p}1"), "A").unwrap();
+                g.add_node(format!("{p}2"), "A").unwrap();
+                g.set_node_property(&format!("{p}1"), "name", "one").unwrap();
+                g.set_node_property(&format!("{p}1"), "t", t).unwrap();
+                g.set_node_property(&format!("{p}2"), "name", "two").unwrap();
+                g.set_node_property(&format!("{p}2"), "t", t).unwrap();
+            })
+        };
+        let m = solve(
+            Problem::Generalization,
+            &make("x", "5"),
+            &make("y", "9"),
+            &SolverConfig::default(),
+        )
+        .matching
+        .unwrap();
+        // Optimal pairing aligns names; cost = 2 volatile props × 2 sides.
+        assert_eq!(m.node_map["x1"], "y1");
+        assert_eq!(m.cost, 4);
+    }
+
+    #[test]
+    fn subgraph_budget_reports_best_effort() {
+        let many = |p: &str, n: usize| {
+            g(|g| {
+                for i in 0..n {
+                    g.add_node(format!("{p}{i}"), "N").unwrap();
+                }
+            })
+        };
+        let cfg = SolverConfig {
+            max_steps: 3,
+            ..SolverConfig::naive()
+        };
+        let out = solve(Problem::Subgraph, &many("a", 8), &many("b", 9), &cfg);
+        // Either found quickly or flagged non-optimal — never a silent wrong answer.
+        if out.matching.is_none() {
+            assert!(!out.optimal);
+        }
+    }
+
+    #[test]
+    fn stats_populated() {
+        let a = triangle("a");
+        let b = triangle("b");
+        let out = solve(Problem::Similarity, &a, &b, &SolverConfig::default());
+        assert!(out.stats.steps >= 3);
+        assert_eq!(out.stats.solutions, 1);
+    }
+}

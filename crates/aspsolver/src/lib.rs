@@ -1,0 +1,109 @@
+//! Graph matching solver for ProvMark, replacing the clingo ASP solver.
+//!
+//! The paper (§3.4–3.5) reduces two pipeline stages to matching problems
+//! over property graphs and hands them to an Answer Set Programming solver:
+//!
+//! 1. **Similarity** (Listing 3) — is there a bijection `h` between the
+//!    elements of two graphs preserving edge structure and labels (but not
+//!    necessarily properties)? Used to partition recording trials into
+//!    similarity classes.
+//! 2. **Generalization** — among all similarity bijections, find one that
+//!    *minimizes the number of differing properties*; properties that still
+//!    differ under the optimal matching are volatile (timestamps, ids) and
+//!    are discarded.
+//! 3. **Approximate subgraph isomorphism** (Listing 4) — embed the
+//!    background graph injectively into the foreground graph, minimizing
+//!    the number of background properties with no matching foreground
+//!    property (`#minimize { PC,X,K : cost(X,K,PC) }`).
+//!
+//! This crate solves all three *exactly* with a branch-and-bound
+//! backtracking search: same models, same optima an ASP solver would
+//! produce, without the external dependency. The [`asp`] module renders the
+//! exact clingo programs from the paper for inspection and differential
+//! debugging.
+//!
+//! # Example
+//!
+//! ```
+//! use provgraph::PropertyGraph;
+//! use aspsolver::{find_similarity, find_subgraph};
+//!
+//! # fn main() -> Result<(), provgraph::GraphError> {
+//! let mut bg = PropertyGraph::new();
+//! bg.add_node("p", "Process")?;
+//! let mut fg = PropertyGraph::new();
+//! fg.add_node("q", "Process")?;
+//! fg.add_node("f", "Artifact")?;
+//! fg.add_edge("e", "q", "f", "Used")?;
+//!
+//! // bg embeds into fg …
+//! let m = find_subgraph(&bg, &fg).expect("embedding exists");
+//! assert_eq!(m.node_map["p"], "q");
+//! // … but they are not similar (different shapes).
+//! assert!(find_similarity(&bg, &fg).is_none());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod asp;
+mod assignment;
+mod engine;
+mod matching;
+
+pub use assignment::min_cost_assignment;
+pub use engine::{solve, Problem, SolverConfig, SolverStats};
+pub use matching::{Matching, Outcome};
+
+use provgraph::PropertyGraph;
+
+/// Decide *similarity* (paper Listing 3): a bijection preserving structure
+/// and labels, ignoring properties. Returns a witness matching if similar.
+pub fn find_similarity(g1: &PropertyGraph, g2: &PropertyGraph) -> Option<Matching> {
+    solve(Problem::Similarity, g1, g2, &SolverConfig::default()).matching
+}
+
+/// Decide full property-graph isomorphism: similarity plus equal
+/// properties on every matched pair.
+pub fn find_isomorphism(g1: &PropertyGraph, g2: &PropertyGraph) -> Option<Matching> {
+    solve(Problem::Isomorphism, g1, g2, &SolverConfig::default()).matching
+}
+
+/// Find the similarity bijection minimizing the number of differing
+/// properties (the generalization stage's matching, paper §3.4).
+///
+/// Returns `None` when the graphs are not similar at all. The returned
+/// matching's `cost` counts properties in the symmetric difference of each
+/// matched pair.
+pub fn find_generalization(g1: &PropertyGraph, g2: &PropertyGraph) -> Option<Matching> {
+    solve(Problem::Generalization, g1, g2, &SolverConfig::default()).matching
+}
+
+/// Approximate subgraph isomorphism (paper Listing 4): embed `g1` into
+/// `g2` injectively, preserving structure and labels, minimizing the count
+/// of `g1` properties with no matching property on the image.
+///
+/// Returns `None` when no structure/label-preserving embedding exists.
+pub fn find_subgraph(g1: &PropertyGraph, g2: &PropertyGraph) -> Option<Matching> {
+    solve(Problem::Subgraph, g1, g2, &SolverConfig::default()).matching
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn doc_example() {
+        let mut bg = PropertyGraph::new();
+        bg.add_node("p", "Process").unwrap();
+        let mut fg = PropertyGraph::new();
+        fg.add_node("q", "Process").unwrap();
+        fg.add_node("f", "Artifact").unwrap();
+        fg.add_edge("e", "q", "f", "Used").unwrap();
+        let m = find_subgraph(&bg, &fg).unwrap();
+        assert_eq!(m.node_map["p"], "q");
+        assert!(find_similarity(&bg, &fg).is_none());
+    }
+}

@@ -1,0 +1,73 @@
+use std::collections::BTreeMap;
+
+/// A matching between two property graphs: the relation `h` of the paper's
+/// ASP specifications, split into its node and edge components.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Matching {
+    /// `h` restricted to nodes: g1 node id → g2 node id.
+    pub node_map: BTreeMap<String, String>,
+    /// `h` restricted to edges: g1 edge id → g2 edge id.
+    pub edge_map: BTreeMap<String, String>,
+    /// Optimization objective value: number of mismatched properties under
+    /// this matching (0 for pure feasibility problems).
+    pub cost: u64,
+}
+
+impl Matching {
+    /// Total number of matched elements.
+    pub fn len(&self) -> usize {
+        self.node_map.len() + self.edge_map.len()
+    }
+
+    /// `true` if nothing is matched (e.g. two empty graphs).
+    pub fn is_empty(&self) -> bool {
+        self.node_map.is_empty() && self.edge_map.is_empty()
+    }
+
+    /// Invert the matching (g2 → g1). Only meaningful for bijections.
+    pub fn invert(&self) -> Matching {
+        Matching {
+            node_map: self.node_map.iter().map(|(a, b)| (b.clone(), a.clone())).collect(),
+            edge_map: self.edge_map.iter().map(|(a, b)| (b.clone(), a.clone())).collect(),
+            cost: self.cost,
+        }
+    }
+}
+
+/// Result of a solver run.
+#[derive(Debug, Clone, Default)]
+pub struct Outcome {
+    /// The best matching found, if any exists.
+    pub matching: Option<Matching>,
+    /// `true` when the search ran to completion, so `matching` is the true
+    /// optimum (or its absence is a proof of infeasibility). `false` means
+    /// the backtracking budget was exhausted and the result is best-effort.
+    pub optimal: bool,
+    /// Search statistics (for the solver ablation benchmarks).
+    pub stats: crate::SolverStats,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn invert_swaps_directions() {
+        let mut m = Matching::default();
+        m.node_map.insert("a".into(), "x".into());
+        m.edge_map.insert("e".into(), "f".into());
+        m.cost = 3;
+        let inv = m.invert();
+        assert_eq!(inv.node_map["x"], "a");
+        assert_eq!(inv.edge_map["f"], "e");
+        assert_eq!(inv.cost, 3);
+        assert_eq!(inv.invert(), m);
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let m = Matching::default();
+        assert!(m.is_empty());
+        assert_eq!(m.len(), 0);
+    }
+}

@@ -1,0 +1,165 @@
+//! Differential test: on tiny graphs, enumerate **every** injective
+//! mapping by brute force and check that the solver's verdicts and optima
+//! coincide with ground truth — i.e. our engine computes exactly the
+//! models the paper's ASP encodings (Listings 3 and 4) define.
+
+use proptest::prelude::*;
+use provgraph::{Props, PropertyGraph};
+
+fn arb_tiny_graph(max_nodes: usize) -> impl Strategy<Value = PropertyGraph> {
+    let node_label = prop::sample::select(vec!["A", "B"]);
+    let edge_label = prop::sample::select(vec!["r", "s"]);
+    (
+        prop::collection::vec(node_label, 1..=max_nodes),
+        prop::collection::vec((0usize..max_nodes, 0usize..max_nodes, edge_label), 0..=4),
+        prop::collection::vec((0usize..max_nodes, "k[12]", "[xy]"), 0..=3),
+    )
+        .prop_map(|(nodes, edges, props)| {
+            let mut g = PropertyGraph::new();
+            for (i, l) in nodes.iter().enumerate() {
+                g.add_node(format!("n{i}"), *l).unwrap();
+            }
+            let n = g.node_count();
+            for (j, (s, t, l)) in edges.iter().enumerate() {
+                g.add_edge(format!("e{j}"), format!("n{}", s % n), format!("n{}", t % n), *l)
+                    .unwrap();
+            }
+            for (i, k, v) in props {
+                g.set_node_property(&format!("n{}", i % n), k, v).unwrap();
+            }
+            g
+        })
+}
+
+fn one_sided_cost(p1: &Props, p2: &Props) -> u64 {
+    p1.iter().filter(|(k, v)| p2.get(*k) != Some(*v)).count() as u64
+}
+
+/// Brute force the approximate-subgraph-isomorphism optimum (Listing 4):
+/// minimum property-mismatch cost over every structure/label-preserving
+/// injective mapping, or `None` when no mapping exists.
+fn brute_force_subgraph(g1: &PropertyGraph, g2: &PropertyGraph) -> Option<u64> {
+    let n1: Vec<_> = g1.nodes().collect();
+    let n2: Vec<_> = g2.nodes().collect();
+    if n1.len() > n2.len() {
+        return None;
+    }
+    let e1: Vec<_> = g1.edges().collect();
+    let e2: Vec<_> = g2.edges().collect();
+    let mut best: Option<u64> = None;
+
+    // Enumerate injective node maps.
+    fn rec(
+        depth: usize,
+        n1: &[&provgraph::NodeData],
+        n2: &[&provgraph::NodeData],
+        used: &mut Vec<bool>,
+        assign: &mut Vec<usize>,
+        on_complete: &mut dyn FnMut(&[usize]),
+    ) {
+        if depth == n1.len() {
+            on_complete(assign);
+            return;
+        }
+        for j in 0..n2.len() {
+            if used[j] || n1[depth].label != n2[j].label {
+                continue;
+            }
+            used[j] = true;
+            assign.push(j);
+            rec(depth + 1, n1, n2, used, assign, on_complete);
+            assign.pop();
+            used[j] = false;
+        }
+    }
+
+    let mut used = vec![false; n2.len()];
+    let mut assign = Vec::new();
+    rec(0, &n1, &n2, &mut used, &mut assign, &mut |assign| {
+        // Node cost under this map.
+        let mut cost: u64 = 0;
+        for (i, &j) in assign.iter().enumerate() {
+            cost += one_sided_cost(&n1[i].props, &n2[j].props);
+        }
+        // Edge placement: brute force an injective edge map.
+        let node_img = |id: &str| -> String {
+            let idx = n1.iter().position(|n| n.id == id).unwrap();
+            n2[assign[idx]].id.clone()
+        };
+        fn edge_rec(
+            depth: usize,
+            e1: &[&provgraph::EdgeData],
+            e2: &[&provgraph::EdgeData],
+            node_img: &dyn Fn(&str) -> String,
+            used: &mut Vec<bool>,
+            acc: u64,
+            best: &mut Option<u64>,
+        ) {
+            if depth == e1.len() {
+                *best = Some(best.map_or(acc, |b: u64| b.min(acc)));
+                return;
+            }
+            let e = e1[depth];
+            for (j, f) in e2.iter().enumerate() {
+                if used[j]
+                    || e.label != f.label
+                    || node_img(&e.src) != f.src
+                    || node_img(&e.tgt) != f.tgt
+                {
+                    continue;
+                }
+                used[j] = true;
+                edge_rec(
+                    depth + 1,
+                    e1,
+                    e2,
+                    node_img,
+                    used,
+                    acc + one_sided_cost(&e.props, &f.props),
+                    best,
+                );
+                used[j] = false;
+            }
+        }
+        let mut edge_used = vec![false; e2.len()];
+        let mut local_best: Option<u64> = None;
+        edge_rec(0, &e1, &e2, &node_img, &mut edge_used, cost, &mut local_best);
+        if let Some(b) = local_best {
+            best = Some(best.map_or(b, |x| x.min(b)));
+        }
+    });
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn solver_matches_brute_force_subgraph_optimum(
+        g1 in arb_tiny_graph(3),
+        g2 in arb_tiny_graph(4),
+    ) {
+        let expected = brute_force_subgraph(&g1, &g2);
+        let out = aspsolver::solve(
+            aspsolver::Problem::Subgraph,
+            &g1,
+            &g2,
+            &aspsolver::SolverConfig::default(),
+        );
+        prop_assert!(out.optimal);
+        match (expected, &out.matching) {
+            (None, None) => {}
+            (Some(cost), Some(m)) => prop_assert_eq!(m.cost, cost, "wrong optimum"),
+            (e, m) => prop_assert!(false, "feasibility disagrees: brute={e:?} solver={:?}", m.as_ref().map(|m| m.cost)),
+        }
+    }
+
+    #[test]
+    fn solver_matches_brute_force_on_self_embedding(g in arb_tiny_graph(4)) {
+        // A graph always embeds into itself at cost 0, and brute force
+        // must agree.
+        prop_assert_eq!(brute_force_subgraph(&g, &g), Some(0));
+        let m = aspsolver::find_subgraph(&g, &g).expect("self-embedding exists");
+        prop_assert_eq!(m.cost, 0);
+    }
+}

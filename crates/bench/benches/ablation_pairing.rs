@@ -1,0 +1,28 @@
+//! Ablation: the generalization pair-selection strategy (paper §3.4
+//! discusses two-smallest vs two-largest; DESIGN.md §6).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use provmark_bench::prepare_trial_graphs;
+use provmark_core::generalize::{generalize_trials, PairStrategy};
+use provmark_core::suite;
+use provmark_core::tool::ToolKind;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_pairing");
+    group.sample_size(10);
+    // Six trials gives the strategies a real choice space.
+    let spec = suite::spec("rename").expect("rename in suite");
+    let (bg, _) = prepare_trial_graphs(ToolKind::Spade, &spec, 6);
+    for (label, strategy) in [
+        ("two_smallest", PairStrategy::TwoSmallest),
+        ("two_largest", PairStrategy::TwoLargest),
+    ] {
+        group.bench_with_input(BenchmarkId::new("rename_bg", label), &strategy, |b, &s| {
+            b.iter(|| generalize_trials(&bg, s, "background").expect("consistent trials"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(ablation, bench);
+criterion_main!(ablation);

@@ -1,0 +1,83 @@
+//! Ablation: what each solver pruning rule buys (DESIGN.md §6).
+//!
+//! Compares the default configuration (degree filter + forward checking +
+//! cost bound + value ordering) against partially and fully disabled
+//! variants on real pipeline workloads: the generalization matching of two
+//! SPADE execve trials (the paper's slowest SPADE generalization) and the
+//! background→foreground subgraph matching for scale4.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use aspsolver::{solve, Problem, SolverConfig};
+use provmark_bench::{prepare_generalized, prepare_trial_graphs};
+use provmark_core::scale::scale_spec;
+use provmark_core::suite;
+use provmark_core::tool::ToolKind;
+
+fn configs() -> Vec<(&'static str, SolverConfig)> {
+    vec![
+        ("full", SolverConfig::default()),
+        (
+            "no-degree-filter",
+            SolverConfig {
+                degree_filter: false,
+                ..SolverConfig::default()
+            },
+        ),
+        (
+            "no-forward-check",
+            SolverConfig {
+                forward_check: false,
+                ..SolverConfig::default()
+            },
+        ),
+        (
+            "no-cost-bound",
+            SolverConfig {
+                cost_bound: false,
+                order_by_cost: false,
+                ..SolverConfig::default()
+            },
+        ),
+        ("naive", SolverConfig::naive()),
+    ]
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_solver");
+    group.sample_size(10);
+
+    // Workload 1: generalization matching of two execve foreground trials.
+    let spec = suite::spec("execve").expect("execve in suite");
+    let (_, fg_trials) = prepare_trial_graphs(ToolKind::Spade, &spec, 2);
+    for (label, config) in configs() {
+        group.bench_with_input(
+            BenchmarkId::new("generalize_execve", label),
+            &config,
+            |b, config| {
+                b.iter(|| {
+                    let out = solve(Problem::Generalization, &fg_trials[0], &fg_trials[1], config);
+                    assert!(out.matching.is_some());
+                })
+            },
+        );
+    }
+
+    // Workload 2: subgraph matching for the scale4 benchmark.
+    let (bg, fg) = prepare_generalized(ToolKind::Spade, &scale_spec(4));
+    for (label, config) in configs() {
+        group.bench_with_input(
+            BenchmarkId::new("subgraph_scale4", label),
+            &config,
+            |b, config| {
+                b.iter(|| {
+                    let out = solve(Problem::Subgraph, &bg, &fg, config);
+                    assert!(out.matching.is_some());
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(ablation, bench);
+criterion_main!(ablation);

@@ -1,0 +1,49 @@
+//! Ablation: trial count vs pipeline cost (the paper's appendix notes
+//! "more trials will result in longer processing time, but provide a more
+//! accurate result"; DESIGN.md §6).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use provmark_bench::harness_tool;
+use provmark_core::tool::ToolKind;
+use provmark_core::{pipeline, suite, BenchmarkOptions};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_trials");
+    group.sample_size(10);
+    let spec = suite::spec("creat").expect("creat in suite");
+    for trials in [2usize, 4, 6] {
+        let opts = BenchmarkOptions::with_trials(trials);
+        group.bench_with_input(
+            BenchmarkId::new("creat_spade", trials),
+            &opts,
+            |b, opts| {
+                b.iter(|| {
+                    let mut tool = harness_tool(ToolKind::Spade);
+                    pipeline::run_benchmark(&mut tool, &spec, opts).expect("pipeline runs")
+                })
+            },
+        );
+        // With noise, extra trials are what makes results stable.
+        let noisy = BenchmarkOptions {
+            trials,
+            noise: true,
+            ..BenchmarkOptions::default()
+        };
+        if trials >= 4 {
+            group.bench_with_input(
+                BenchmarkId::new("creat_spade_noisy", trials),
+                &noisy,
+                |b, opts| {
+                    b.iter(|| {
+                        let mut tool = harness_tool(ToolKind::Spade);
+                        pipeline::run_benchmark(&mut tool, &spec, opts).expect("pipeline runs")
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(ablation, bench);
+criterion_main!(ablation);

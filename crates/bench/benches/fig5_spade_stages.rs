@@ -1,0 +1,55 @@
+//! Paper **Figure 5**: ProvMark stage times for SPADE+Graphviz on the
+//! five representative syscalls. Benchmarks the full pipeline and each
+//! processing stage in isolation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use provmark_bench::{harness_tool, native_texts, prepare_generalized, prepare_trial_graphs};
+use provmark_core::generalize::{generalize_trials, PairStrategy};
+use provmark_core::tool::ToolKind;
+use provmark_core::{compare, pipeline, suite, BenchmarkOptions};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_spade");
+    group.sample_size(10);
+    let opts = BenchmarkOptions::default();
+    for name in provmark_bench::FIGURE_SYSCALLS {
+        let spec = suite::spec(name).expect("figure syscalls are in the suite");
+
+        group.bench_with_input(BenchmarkId::new("pipeline", name), &spec, |b, spec| {
+            b.iter(|| {
+                let mut tool = harness_tool(ToolKind::Spade);
+                pipeline::run_benchmark(&mut tool, spec, &opts).expect("pipeline runs")
+            })
+        });
+
+        let texts = native_texts(ToolKind::Spade, &spec, 2);
+        group.bench_with_input(BenchmarkId::new("transformation", name), &texts, |b, texts| {
+            b.iter(|| {
+                for t in texts {
+                    provgraph::dot::parse_dot(t).expect("dot parses");
+                }
+            })
+        });
+
+        let (bg, fg) = prepare_trial_graphs(ToolKind::Spade, &spec, 2);
+        group.bench_with_input(
+            BenchmarkId::new("generalization", name),
+            &(bg, fg),
+            |b, (bg, fg)| {
+                b.iter(|| {
+                    generalize_trials(bg, PairStrategy::default(), "background").unwrap();
+                    generalize_trials(fg, PairStrategy::default(), "foreground").unwrap();
+                })
+            },
+        );
+
+        let pair = prepare_generalized(ToolKind::Spade, &spec);
+        group.bench_with_input(BenchmarkId::new("comparison", name), &pair, |b, (bg, fg)| {
+            b.iter(|| compare::compare(bg, fg).expect("background embeds"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(fig5, bench);
+criterion_main!(fig5);

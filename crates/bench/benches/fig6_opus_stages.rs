@@ -1,0 +1,56 @@
+//! Paper **Figure 6**: ProvMark stage times for OPUS+Neo4J. The
+//! transformation stage pays the simulated database startup/query cost and
+//! dominates, as in the paper.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use provmark_bench::{harness_tool, prepare_generalized, prepare_opus_store, prepare_trial_graphs};
+use provmark_core::generalize::{generalize_trials, PairStrategy};
+use provmark_core::tool::ToolKind;
+use provmark_core::{compare, pipeline, suite, BenchmarkOptions};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_opus");
+    group.sample_size(10);
+    let opts = BenchmarkOptions::default();
+    for name in provmark_bench::FIGURE_SYSCALLS {
+        let spec = suite::spec(name).expect("figure syscalls are in the suite");
+
+        group.bench_with_input(BenchmarkId::new("pipeline", name), &spec, |b, spec| {
+            b.iter(|| {
+                let mut tool = harness_tool(ToolKind::Opus);
+                pipeline::run_benchmark(&mut tool, spec, &opts).expect("pipeline runs")
+            })
+        });
+
+        // Transformation = Neo4j warmup + query + parse; the store is
+        // rebuilt outside the timed section.
+        group.bench_with_input(BenchmarkId::new("transformation", name), &spec, |b, spec| {
+            b.iter_batched(
+                || prepare_opus_store(spec, 33),
+                |mut store| store.export().expect("store exports"),
+                BatchSize::PerIteration,
+            )
+        });
+
+        let (bg, fg) = prepare_trial_graphs(ToolKind::Opus, &spec, 2);
+        group.bench_with_input(
+            BenchmarkId::new("generalization", name),
+            &(bg, fg),
+            |b, (bg, fg)| {
+                b.iter(|| {
+                    generalize_trials(bg, PairStrategy::default(), "background").unwrap();
+                    generalize_trials(fg, PairStrategy::default(), "foreground").unwrap();
+                })
+            },
+        );
+
+        let pair = prepare_generalized(ToolKind::Opus, &spec);
+        group.bench_with_input(BenchmarkId::new("comparison", name), &pair, |b, (bg, fg)| {
+            b.iter(|| compare::compare(bg, fg).expect("background embeds"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(fig6, bench);
+criterion_main!(fig6);

@@ -1,0 +1,53 @@
+//! Paper **Figure 7**: ProvMark stage times for CamFlow+ProvJson.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use provmark_bench::{harness_tool, native_texts, prepare_generalized, prepare_trial_graphs};
+use provmark_core::generalize::{generalize_trials, PairStrategy};
+use provmark_core::tool::ToolKind;
+use provmark_core::{compare, pipeline, suite, BenchmarkOptions};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_camflow");
+    group.sample_size(10);
+    let opts = BenchmarkOptions::default();
+    for name in provmark_bench::FIGURE_SYSCALLS {
+        let spec = suite::spec(name).expect("figure syscalls are in the suite");
+
+        group.bench_with_input(BenchmarkId::new("pipeline", name), &spec, |b, spec| {
+            b.iter(|| {
+                let mut tool = harness_tool(ToolKind::CamFlow);
+                pipeline::run_benchmark(&mut tool, spec, &opts).expect("pipeline runs")
+            })
+        });
+
+        let texts = native_texts(ToolKind::CamFlow, &spec, 2);
+        group.bench_with_input(BenchmarkId::new("transformation", name), &texts, |b, texts| {
+            b.iter(|| {
+                for t in texts {
+                    provgraph::provjson::parse_provjson(t).expect("prov-json parses");
+                }
+            })
+        });
+
+        let (bg, fg) = prepare_trial_graphs(ToolKind::CamFlow, &spec, 2);
+        group.bench_with_input(
+            BenchmarkId::new("generalization", name),
+            &(bg, fg),
+            |b, (bg, fg)| {
+                b.iter(|| {
+                    generalize_trials(bg, PairStrategy::default(), "background").unwrap();
+                    generalize_trials(fg, PairStrategy::default(), "foreground").unwrap();
+                })
+            },
+        );
+
+        let pair = prepare_generalized(ToolKind::CamFlow, &spec);
+        group.bench_with_input(BenchmarkId::new("comparison", name), &pair, |b, (bg, fg)| {
+            b.iter(|| compare::compare(bg, fg).expect("background embeds"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(fig7, bench);
+criterion_main!(fig7);

@@ -1,0 +1,29 @@
+//! Paper **Figure 9**: scalability of the processing stages for
+//! Opus as the target action sequence grows (scale1/2/4/8 repetitions
+//! of creat + unlink, paper §5.2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use provmark_bench::harness_tool;
+use provmark_core::scale::{scale_spec, SCALE_FACTORS};
+use provmark_core::tool::ToolKind;
+use provmark_core::{pipeline, BenchmarkOptions};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_opus_scale");
+    group.sample_size(10);
+    let opts = BenchmarkOptions::default();
+    for n in SCALE_FACTORS {
+        let spec = scale_spec(n);
+        group.throughput(Throughput::Elements(2 * n as u64));
+        group.bench_with_input(BenchmarkId::new("pipeline", n), &spec, |b, spec| {
+            b.iter(|| {
+                let mut tool = harness_tool(ToolKind::Opus);
+                pipeline::run_benchmark(&mut tool, spec, &opts).expect("pipeline runs")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(fig9, bench);
+criterion_main!(fig9);

@@ -1,0 +1,29 @@
+//! Regenerate paper **Figures 8–10**: scalability of the processing
+//! stages as the target action sequence grows (scale1/2/4/8 = N × (creat
+//! + unlink)), under each recorder.
+//!
+//! Run with: `cargo run -p provmark-bench --release --bin scaling`
+
+use provmark_core::tool::ToolKind;
+
+fn main() {
+    let repeats: u32 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(3);
+    println!("ProvMark — Figures 8–10 reproduction ({repeats} repeats per cell)\n");
+    for (figure, kind) in [
+        ("Figure 8: SPADE+Graphviz", ToolKind::Spade),
+        ("Figure 9: OPUS+Neo4J", ToolKind::Opus),
+        ("Figure 10: CamFlow+ProvJson", ToolKind::CamFlow),
+    ] {
+        let rows = provmark_bench::scaling_stage_rows(kind, repeats);
+        println!("{}", provmark_bench::render_stage_rows(figure, &rows));
+        let t1 = rows[0].total();
+        let t8 = rows[3].total();
+        println!(
+            "   scale8/scale1 total ratio: {:.2}x\n",
+            if t1 > 0.0 { t8 / t1 } else { f64::NAN }
+        );
+    }
+}

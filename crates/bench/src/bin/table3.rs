@@ -1,0 +1,35 @@
+//! Regenerate paper **Table 3**: example benchmark result graphs for
+//! `open`, `read`, `write`, `dup`, `setuid`, `setresuid` under all three
+//! recorders (the paper shows these as clickable images; we print the
+//! graph structure, and DOT for rendering).
+//!
+//! Run with: `cargo run -p provmark-bench --release --bin table3`
+
+use provgraph::dot;
+use provmark_core::report::describe_result;
+use provmark_core::tool::ToolKind;
+
+const TABLE3_SYSCALLS: [&str; 6] = ["open", "read", "write", "dup", "setuid", "setresuid"];
+
+fn main() {
+    let verbose = std::env::args().any(|a| a == "--dot");
+    println!("ProvMark — paper Table 3 reproduction (example benchmark results)\n");
+    for name in TABLE3_SYSCALLS {
+        println!("==================== {name} ====================");
+        for kind in ToolKind::all() {
+            match provmark_bench::table3_cell(kind, name) {
+                Ok(run) if run.status.is_ok() => {
+                    println!("--- {} : ok ---", kind.name());
+                    print!("{}", describe_result(&run.result));
+                    if verbose {
+                        print!("{}", dot::to_dot(&run.result, "benchmark"));
+                    }
+                }
+                Ok(_) => println!("--- {} : Empty ---", kind.name()),
+                Err(e) => println!("--- {} : error ({e}) ---", kind.name()),
+            }
+        }
+        println!();
+    }
+    println!("(pass --dot to also print Graphviz DOT for each nonempty cell)");
+}

@@ -1,0 +1,64 @@
+//! Regenerate paper **Table 4**: module sizes of the per-tool recording
+//! and transformation modules — the modularity/extensibility argument
+//! (§5.3: "none of the three recording or transformation modules required
+//! more than 200 lines of code").
+//!
+//! The analogue in this reproduction: the per-tool recorder crates play
+//! the *recording module* role, and the per-format parsers in `provgraph`
+//! plus the `tool::transform` dispatch play the *transformation module*
+//! role. Counts are non-blank, non-comment, non-test lines.
+//!
+//! Run with: `cargo run -p provmark-bench --bin table4`
+
+use std::fs;
+use std::path::Path;
+
+/// Count code lines: skips blanks, `//` comments, and everything from the
+/// first `#[cfg(test)]` onwards (unit tests are not module logic).
+fn count_code_lines(path: &Path) -> usize {
+    let Ok(text) = fs::read_to_string(path) else {
+        return 0;
+    };
+    let mut n = 0;
+    for line in text.lines() {
+        let t = line.trim();
+        if t.starts_with("#[cfg(test)]") {
+            break;
+        }
+        if t.is_empty() || t.starts_with("//") || t.starts_with("//!") || t.starts_with("///") {
+            continue;
+        }
+        n += 1;
+    }
+    n
+}
+
+fn count_files(paths: &[&str]) -> usize {
+    paths
+        .iter()
+        .map(|p| count_code_lines(Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").join(p).as_path()))
+        .sum()
+}
+
+fn main() {
+    println!("ProvMark — paper Table 4 analogue (module sizes, lines of Rust)\n");
+    let recording = [
+        ("SPADE (DOT)", count_files(&["crates/spade/src/recorder.rs", "crates/spade/src/filters.rs", "crates/spade/src/lib.rs"])),
+        ("OPUS (Neo4j)", count_files(&["crates/opus/src/recorder.rs", "crates/opus/src/lib.rs"])),
+        ("CamFlow (PROV-JSON)", count_files(&["crates/camflow/src/recorder.rs", "crates/camflow/src/lib.rs"])),
+    ];
+    let transformation = [
+        ("SPADE (DOT)", count_files(&["crates/provgraph/src/dot.rs"])),
+        ("OPUS (Neo4j)", count_files(&["crates/opus/src/neo4jsim.rs"])),
+        ("CamFlow (PROV-JSON)", count_files(&["crates/provgraph/src/provjson.rs"])),
+    ];
+    println!("{:<24} {:>12} {:>16}", "Module", "Recording", "Transformation");
+    for ((name, rec), (_, tr)) in recording.iter().zip(&transformation) {
+        println!("{name:<24} {rec:>12} {tr:>16}");
+    }
+    println!();
+    println!("Paper reference (Python LoC): SPADE 171/74, OPUS 118/122, CamFlow 192/128.");
+    println!("The Rust modules are larger because they *implement* the recorders");
+    println!("(the paper's modules only drive external tools), but the shape holds:");
+    println!("each tool's adapter remains a small, independent unit.");
+}

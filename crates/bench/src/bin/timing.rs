@@ -1,0 +1,35 @@
+//! Regenerate paper **Figures 5–7**: per-stage processing time for the
+//! five representative syscalls (open, execve, fork, setuid, rename) under
+//! each recorder, printed as text tables (the paper's stacked bars).
+//!
+//! Also appends the original's `/tmp/time.log`-style lines to stdout.
+//!
+//! Run with: `cargo run -p provmark-bench --release --bin timing`
+
+use provmark_core::tool::ToolKind;
+use provmark_core::BenchmarkOptions;
+
+fn main() {
+    let repeats: u32 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(3);
+    println!("ProvMark — Figures 5–7 reproduction ({repeats} repeats per cell)\n");
+    for (figure, kind) in [
+        ("Figure 5: SPADE+Graphviz", ToolKind::Spade),
+        ("Figure 6: OPUS+Neo4J", ToolKind::Opus),
+        ("Figure 7: CamFlow+ProvJson", ToolKind::CamFlow),
+    ] {
+        let rows = provmark_bench::figure_stage_rows(kind, repeats);
+        println!("{}", provmark_bench::render_stage_rows(figure, &rows));
+    }
+
+    println!("time.log lines (appendix A.6.4 format):");
+    let opts = BenchmarkOptions::default();
+    for kind in ToolKind::all() {
+        for name in provmark_bench::FIGURE_SYSCALLS {
+            let run = provmark_bench::run_named(kind, name, &opts);
+            println!("{}", run.timings.time_log_line(kind.code(), name));
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! The ProvMark command-line harness — the analogue of the original's
+//! `fullAutomation.py` (single execution) and `runTests.sh` (batch
+//! execution), appendix A.5.
+//!
+//! ```text
+//! provmark <tool> <benchmark> [trials] [result-type]
+//! provmark <tool> all [trials] [result-type]
+//!
+//!   tool         spg (SPADE+Graphviz) | opu (OPUS+Neo4j) | cam (CamFlow+ProvJSON)
+//!   benchmark    a Table 1 syscall name (e.g. creat), scaleN, or `all`
+//!   trials       recording trials per variant (default 2)
+//!   result-type  rb = benchmark only (default)
+//!                rg = benchmark + generalized fg/bg graphs
+//!                rh = HTML page on stdout
+//! ```
+
+use provmark_core::pipeline::BenchmarkRun;
+use provmark_core::report;
+use provmark_core::scale::scale_spec;
+use provmark_core::suite::{self, BenchSpec};
+use provmark_core::tool::{Tool, ToolKind};
+use provmark_core::{pipeline, BenchmarkOptions};
+use provgraph::datalog;
+
+fn usage() -> ! {
+    eprintln!("usage: provmark <spg|spn|opu|cam> <benchmark|all> [trials] [rb|rg|rh]");
+    eprintln!("       benchmarks: {} … or scaleN", suite::all_names()[..6].join(", "));
+    std::process::exit(2);
+}
+
+fn parse_tool(code: &str) -> Option<ToolKind> {
+    match code {
+        "spg" => Some(ToolKind::Spade),
+        "spn" => Some(ToolKind::SpadeNeo4j),
+        "opu" => Some(ToolKind::Opus),
+        "cam" => Some(ToolKind::CamFlow),
+        _ => None,
+    }
+}
+
+fn lookup_spec(name: &str) -> Option<BenchSpec> {
+    if let Some(rest) = name.strip_prefix("scale") {
+        return rest.parse::<usize>().ok().filter(|n| *n > 0).map(scale_spec);
+    }
+    suite::spec(name)
+}
+
+fn print_run(run: &BenchmarkRun, result_type: &str) {
+    println!("== {} : {} ==", run.name, run.status.render());
+    print!("{}", report::describe_result(&run.result));
+    println!("-- benchmark (Datalog) --");
+    print!("{}", datalog::to_canonical_datalog(&run.result, "res"));
+    if result_type == "rg" {
+        println!("-- generalized foreground --");
+        print!("{}", datalog::to_canonical_datalog(&run.generalized_fg, "fg"));
+        println!("-- generalized background --");
+        print!("{}", datalog::to_canonical_datalog(&run.generalized_bg, "bg"));
+    }
+    println!(
+        "-- timing -- {}",
+        run.timings.time_log_line("-", &run.name)
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() < 2 {
+        usage();
+    }
+    let Some(kind) = parse_tool(&args[0]) else { usage() };
+    let bench = args[1].as_str();
+    let trials: usize = args.get(2).and_then(|a| a.parse().ok()).unwrap_or(2);
+    let result_type = args.get(3).map(String::as_str).unwrap_or("rb");
+    if !matches!(result_type, "rb" | "rg" | "rh") {
+        usage();
+    }
+    let opts = BenchmarkOptions::with_trials(trials);
+
+    let specs: Vec<BenchSpec> = if bench == "all" {
+        suite::all_specs()
+    } else {
+        match lookup_spec(bench) {
+            Some(s) => vec![s],
+            None => {
+                eprintln!("unknown benchmark `{bench}`");
+                usage();
+            }
+        }
+    };
+
+    // One tool instance for the whole batch, as the original harness
+    // keeps one daemon running.
+    let mut tool = Tool::baseline(kind).instantiate();
+    let mut runs: Vec<BenchmarkRun> = Vec::new();
+    let mut failures = 0usize;
+    for spec in &specs {
+        match pipeline::run_benchmark(&mut tool, spec, &opts) {
+            Ok(run) => {
+                if result_type != "rh" {
+                    print_run(&run, result_type);
+                    println!();
+                }
+                runs.push(run);
+            }
+            Err(e) => {
+                eprintln!("{}: pipeline error: {e}", spec.name);
+                failures += 1;
+            }
+        }
+    }
+
+    if result_type == "rh" {
+        print!("{}", report::render_html(kind, &runs));
+    } else if specs.len() > 1 {
+        println!("== summary: {} ==", kind.name());
+        for run in &runs {
+            println!("  {:<12} {}", run.name, run.status.render());
+        }
+        if failures > 0 {
+            println!("  ({failures} benchmark(s) failed to complete)");
+        }
+    }
+    std::process::exit(if failures == 0 { 0 } else { 1 });
+}

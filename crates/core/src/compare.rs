@@ -1,0 +1,108 @@
+//! Graph comparison (paper §3.5).
+//!
+//! The generalized background graph should embed into the generalized
+//! foreground graph (recording is append-only); the embedding is found by
+//! approximate subgraph isomorphism with property-mismatch cost
+//! minimization (paper Listing 4), and the unmatched foreground remainder
+//! — with dummy boundary nodes — is the benchmark result.
+
+use std::collections::BTreeSet;
+
+use aspsolver::find_subgraph;
+use provgraph::{diff, PropertyGraph};
+
+use crate::PipelineError;
+
+/// Result of the comparison stage.
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    /// The benchmark result graph: unmatched foreground structure plus
+    /// dummy boundary nodes.
+    pub result: PropertyGraph,
+    /// Property-mismatch cost of the optimal embedding (0 when the
+    /// background matched perfectly).
+    pub matching_cost: u64,
+}
+
+impl Comparison {
+    /// `true` when the recorder captured nothing for the target activity
+    /// (the paper's "empty" cells in Table 2).
+    pub fn is_empty(&self) -> bool {
+        diff::effective_size(&self.result) == 0
+    }
+}
+
+/// Match `background` into `foreground` and subtract it.
+///
+/// # Errors
+///
+/// [`PipelineError::BackgroundNotSubgraph`] when no structure-preserving
+/// embedding exists (the recording-monotonicity assumption failed — e.g.
+/// when generalization picked a larger background than foreground,
+/// paper §3.4).
+pub fn compare(
+    background: &PropertyGraph,
+    foreground: &PropertyGraph,
+) -> Result<Comparison, PipelineError> {
+    let matching =
+        find_subgraph(background, foreground).ok_or(PipelineError::BackgroundNotSubgraph)?;
+    let matched_nodes: BTreeSet<String> = matching.node_map.values().cloned().collect();
+    let matched_edges: BTreeSet<String> = matching.edge_map.values().cloned().collect();
+    let result = diff::subtract(foreground, &matched_nodes, &matched_edges)?;
+    Ok(Comparison {
+        result,
+        matching_cost: matching.cost,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bg() -> PropertyGraph {
+        let mut g = PropertyGraph::new();
+        g.add_node("p", "Process").unwrap();
+        g.add_node("lib", "Artifact").unwrap();
+        g.add_edge("e1", "p", "lib", "Used").unwrap();
+        g
+    }
+
+    fn fg_with_target() -> PropertyGraph {
+        let mut g = bg();
+        g.add_node("t", "Artifact").unwrap();
+        g.add_edge("e2", "t", "p", "WasGeneratedBy").unwrap();
+        g
+    }
+
+    #[test]
+    fn target_structure_survives() {
+        let c = compare(&bg(), &fg_with_target()).unwrap();
+        assert!(!c.is_empty());
+        assert!(c.result.has_node("t"));
+        assert!(c.result.has_edge("e2"));
+        assert!(!c.result.has_edge("e1"));
+        // The process anchors the new edge: retained as dummy.
+        assert!(diff::is_dummy(&c.result, "p"));
+    }
+
+    #[test]
+    fn identical_graphs_give_empty_result() {
+        let c = compare(&bg(), &bg()).unwrap();
+        assert!(c.is_empty());
+        assert_eq!(c.matching_cost, 0);
+    }
+
+    #[test]
+    fn oversized_background_is_an_error() {
+        let err = compare(&fg_with_target(), &bg()).unwrap_err();
+        assert!(matches!(err, PipelineError::BackgroundNotSubgraph));
+    }
+
+    #[test]
+    fn label_incompatible_background_is_an_error() {
+        let mut other = bg();
+        other.remove_node("lib").unwrap();
+        other.add_node("x", "Socket").unwrap();
+        assert!(compare(&other, &fg_with_target()).is_err());
+    }
+}

@@ -1,0 +1,108 @@
+use std::fmt;
+
+use provgraph::GraphError;
+
+/// Errors surfaced by the ProvMark pipeline.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum PipelineError {
+    /// The benchmark program did not perform its target behaviour (the
+    /// per-benchmark success check failed, paper §4: "along with tests for
+    /// each one to ensure that the target behavior was performed
+    /// successfully").
+    BenchmarkFailed {
+        /// Benchmark name.
+        name: String,
+        /// Which variant failed (`"foreground"` / `"background"`).
+        variant: &'static str,
+    },
+    /// A recorder's native output could not be transformed into the
+    /// Datalog representation.
+    Transform {
+        /// Underlying format error.
+        source: GraphError,
+    },
+    /// Store input/output failed (OPUS's Neo4j-style backend).
+    Store(std::io::Error),
+    /// No similarity class with at least two consistent trials exists —
+    /// all runs were "failed runs" in the paper's sense (§3.4).
+    NoConsistentTrials {
+        /// Which variant lacked consistent trials.
+        variant: &'static str,
+        /// Number of trials examined.
+        trials: usize,
+    },
+    /// The generalized background graph does not embed into the
+    /// generalized foreground graph — monotonicity of recording was
+    /// violated (paper §3.5 assumes append-only recording).
+    BackgroundNotSubgraph,
+    /// Fewer than two trials were requested; generalization needs a pair.
+    NotEnoughTrials(usize),
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::BenchmarkFailed { name, variant } => {
+                write!(f, "benchmark `{name}` {variant} variant did not perform its target behaviour")
+            }
+            PipelineError::Transform { source } => {
+                write!(f, "transformation to datalog failed: {source}")
+            }
+            PipelineError::Store(e) => write!(f, "provenance store error: {e}"),
+            PipelineError::NoConsistentTrials { variant, trials } => {
+                write!(f, "no two consistent {variant} trials among {trials} runs")
+            }
+            PipelineError::BackgroundNotSubgraph => {
+                write!(f, "background graph does not embed into the foreground graph")
+            }
+            PipelineError::NotEnoughTrials(n) => {
+                write!(f, "generalization needs at least 2 trials, got {n}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PipelineError::Transform { source } => Some(source),
+            PipelineError::Store(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GraphError> for PipelineError {
+    fn from(source: GraphError) -> Self {
+        PipelineError::Transform { source }
+    }
+}
+
+impl From<std::io::Error> for PipelineError {
+    fn from(e: std::io::Error) -> Self {
+        PipelineError::Store(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = PipelineError::NoConsistentTrials { variant: "background", trials: 4 };
+        assert_eq!(
+            e.to_string(),
+            "no two consistent background trials among 4 runs"
+        );
+        let e = PipelineError::NotEnoughTrials(1);
+        assert!(e.to_string().contains("at least 2"));
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PipelineError>();
+    }
+}

@@ -1,0 +1,266 @@
+//! Graph generalization (paper §3.4).
+//!
+//! Several recording trials of the same program yield graphs that agree in
+//! structure but differ in transient data. This stage:
+//!
+//! 1. partitions the trials into **similarity classes** (same shape and
+//!    labels, properties ignored) — classes of size one are *failed runs*
+//!    and are discarded;
+//! 2. picks a representative **pair** from the class whose graphs are
+//!    smallest (the paper found two-smallest and two-largest both work;
+//!    both are implemented for the ablation bench);
+//! 3. finds the similarity bijection minimizing property differences and
+//!    **strips every property that differs** — the surviving properties
+//!    are the invariant ones.
+
+use aspsolver::{find_generalization, find_similarity};
+use provgraph::{fingerprint, PropertyGraph};
+
+use crate::PipelineError;
+
+/// Which pair of consistent trials generalization uses (paper §3.4
+/// discusses the choice; `TwoSmallest` is ProvMark's default).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PairStrategy {
+    /// The class with the smallest graphs (default).
+    #[default]
+    TwoSmallest,
+    /// The class with the largest graphs (also works per the paper).
+    TwoLargest,
+}
+
+/// Partition trial graphs into similarity classes.
+///
+/// Graphs are pre-bucketed by Weisfeiler–Lehman shape fingerprint (a
+/// necessary condition) and confirmed pairwise with the exact solver, so
+/// the classes are true similarity classes.
+pub fn similarity_classes(graphs: &[PropertyGraph]) -> Vec<Vec<usize>> {
+    let mut buckets: std::collections::BTreeMap<u64, Vec<usize>> = Default::default();
+    for (i, g) in graphs.iter().enumerate() {
+        buckets.entry(fingerprint::shape_fingerprint(g)).or_default().push(i);
+    }
+    let mut classes: Vec<Vec<usize>> = Vec::new();
+    for (_, bucket) in buckets {
+        // Within a bucket, confirm with the exact solver; fingerprint
+        // collisions may split a bucket into several classes.
+        let mut sub: Vec<Vec<usize>> = Vec::new();
+        'outer: for idx in bucket {
+            for class in &mut sub {
+                let rep = class[0];
+                if find_similarity(&graphs[rep], &graphs[idx]).is_some() {
+                    class.push(idx);
+                    continue 'outer;
+                }
+            }
+            sub.push(vec![idx]);
+        }
+        classes.extend(sub);
+    }
+    classes
+}
+
+/// Pick the representative pair per the strategy. Returns trial indices.
+///
+/// Classes of size one are failed runs and never chosen.
+pub fn pick_pair(
+    classes: &[Vec<usize>],
+    graphs: &[PropertyGraph],
+    strategy: PairStrategy,
+) -> Option<(usize, usize)> {
+    let viable = classes.iter().filter(|c| c.len() >= 2);
+    let chosen = match strategy {
+        PairStrategy::TwoSmallest => viable.min_by_key(|c| graphs[c[0]].size()),
+        PairStrategy::TwoLargest => viable.max_by_key(|c| graphs[c[0]].size()),
+    }?;
+    Some((chosen[0], chosen[1]))
+}
+
+/// Generalize a pair of similar graphs: keep only the properties that
+/// match under the optimal (mismatch-minimizing) bijection.
+///
+/// Returns `None` when the graphs are not similar at all.
+pub fn generalize_pair(g1: &PropertyGraph, g2: &PropertyGraph) -> Option<PropertyGraph> {
+    let matching = find_generalization(g1, g2)?;
+    let mut out = PropertyGraph::new();
+    for n in g1.nodes() {
+        let mut node = n.clone();
+        if let Some(image) = matching.node_map.get(&n.id).and_then(|id| g2.node(id)) {
+            node.props.retain(|k, v| image.props.get(k) == Some(v));
+        } else {
+            node.props.clear();
+        }
+        out.add_node_data(node).expect("copied node unique");
+    }
+    for e in g1.edges() {
+        let mut edge = e.clone();
+        if let Some(image) = matching.edge_map.get(&e.id).and_then(|id| g2.edge(id)) {
+            edge.props.retain(|k, v| image.props.get(k) == Some(v));
+        } else {
+            edge.props.clear();
+        }
+        out.add_edge_data(edge).expect("copied edge unique");
+    }
+    Some(out)
+}
+
+/// Outcome of generalizing one variant's trials.
+#[derive(Debug, Clone)]
+pub struct Generalized {
+    /// The generalized (volatile-free) representative graph.
+    pub graph: PropertyGraph,
+    /// Trials discarded as failed runs (singleton similarity classes or
+    /// unparseable output upstream).
+    pub discarded: usize,
+}
+
+/// Full generalization stage over all trials of one program variant.
+///
+/// # Errors
+///
+/// - [`PipelineError::NotEnoughTrials`] with fewer than two trials;
+/// - [`PipelineError::NoConsistentTrials`] when every similarity class is
+///   a singleton.
+pub fn generalize_trials(
+    graphs: &[PropertyGraph],
+    strategy: PairStrategy,
+    variant: &'static str,
+) -> Result<Generalized, PipelineError> {
+    if graphs.len() < 2 {
+        return Err(PipelineError::NotEnoughTrials(graphs.len()));
+    }
+    let classes = similarity_classes(graphs);
+    let Some((a, b)) = pick_pair(&classes, graphs, strategy) else {
+        return Err(PipelineError::NoConsistentTrials {
+            variant,
+            trials: graphs.len(),
+        });
+    };
+    let graph = generalize_pair(&graphs[a], &graphs[b])
+        .expect("pair drawn from a similarity class is similar");
+    let chosen_class_len = classes
+        .iter()
+        .find(|c| c.contains(&a))
+        .map(Vec::len)
+        .unwrap_or(2);
+    Ok(Generalized {
+        graph,
+        discarded: graphs.len() - chosen_class_len,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trial(time: &str, extra_node: bool) -> PropertyGraph {
+        let mut g = PropertyGraph::new();
+        g.add_node("p", "Process").unwrap();
+        g.add_node("f", "Artifact").unwrap();
+        g.add_edge("e", "p", "f", "Used").unwrap();
+        g.set_node_property("p", "pid", time).unwrap(); // volatile
+        g.set_node_property("f", "path", "/tmp/t").unwrap(); // stable
+        g.set_edge_property("e", "time", time).unwrap(); // volatile
+        g.set_edge_property("e", "op", "open").unwrap(); // stable
+        if extra_node {
+            g.add_node("noise", "Artifact").unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn classes_split_failed_runs() {
+        let graphs = vec![trial("1", false), trial("2", false), trial("3", true)];
+        let classes = similarity_classes(&graphs);
+        assert_eq!(classes.len(), 2);
+        let sizes: Vec<usize> = classes.iter().map(Vec::len).collect();
+        assert!(sizes.contains(&2) && sizes.contains(&1));
+    }
+
+    #[test]
+    fn pick_pair_ignores_singletons() {
+        let graphs = vec![trial("1", true), trial("2", false), trial("3", false)];
+        let classes = similarity_classes(&graphs);
+        let (a, b) = pick_pair(&classes, &graphs, PairStrategy::TwoSmallest).unwrap();
+        assert!(!graphs[a].has_node("noise"));
+        assert!(!graphs[b].has_node("noise"));
+    }
+
+    #[test]
+    fn pick_pair_strategies_differ() {
+        // Two classes of two: small pair and large pair.
+        let graphs = vec![trial("1", false), trial("2", false), trial("3", true), trial("4", true)];
+        let classes = similarity_classes(&graphs);
+        let small = pick_pair(&classes, &graphs, PairStrategy::TwoSmallest).unwrap();
+        let large = pick_pair(&classes, &graphs, PairStrategy::TwoLargest).unwrap();
+        assert!(graphs[small.0].size() < graphs[large.0].size());
+    }
+
+    #[test]
+    fn generalize_strips_volatile_keeps_stable() {
+        let g = generalize_pair(&trial("111", false), &trial("222", false)).unwrap();
+        assert_eq!(g.prop("p", "pid"), None, "volatile pid stripped");
+        assert_eq!(g.prop("e", "time"), None, "volatile time stripped");
+        assert_eq!(g.prop("f", "path"), Some("/tmp/t"), "stable path kept");
+        assert_eq!(g.prop("e", "op"), Some("open"), "stable op kept");
+    }
+
+    #[test]
+    fn generalize_dissimilar_is_none() {
+        assert!(generalize_pair(&trial("1", false), &trial("2", true)).is_none());
+    }
+
+    #[test]
+    fn generalize_trials_end_to_end() {
+        let graphs = vec![trial("5", false), trial("6", true), trial("7", false)];
+        let out = generalize_trials(&graphs, PairStrategy::default(), "background").unwrap();
+        assert_eq!(out.discarded, 1);
+        assert_eq!(out.graph.prop("f", "path"), Some("/tmp/t"));
+        assert_eq!(out.graph.prop("p", "pid"), None);
+    }
+
+    #[test]
+    fn all_inconsistent_is_error() {
+        // Three pairwise-dissimilar graphs.
+        let mut g1 = PropertyGraph::new();
+        g1.add_node("a", "A").unwrap();
+        let mut g2 = PropertyGraph::new();
+        g2.add_node("a", "B").unwrap();
+        let mut g3 = PropertyGraph::new();
+        g3.add_node("a", "C").unwrap();
+        let err = generalize_trials(&[g1, g2, g3], PairStrategy::default(), "foreground")
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            PipelineError::NoConsistentTrials { variant: "foreground", trials: 3 }
+        ));
+    }
+
+    #[test]
+    fn single_trial_is_error() {
+        let err =
+            generalize_trials(&[trial("1", false)], PairStrategy::default(), "background")
+                .unwrap_err();
+        assert!(matches!(err, PipelineError::NotEnoughTrials(1)));
+    }
+
+    #[test]
+    fn matching_pairs_volatile_optimally() {
+        // Two nodes per graph distinguished only by a stable name; the
+        // optimal matching must align names so only timestamps differ.
+        let make = |t1: &str, t2: &str| {
+            let mut g = PropertyGraph::new();
+            g.add_node("x", "F").unwrap();
+            g.set_node_property("x", "name", "alpha").unwrap();
+            g.set_node_property("x", "time", t1).unwrap();
+            g.add_node("y", "F").unwrap();
+            g.set_node_property("y", "name", "beta").unwrap();
+            g.set_node_property("y", "time", t2).unwrap();
+            g
+        };
+        let g = generalize_pair(&make("1", "2"), &make("8", "9")).unwrap();
+        assert_eq!(g.prop("x", "name"), Some("alpha"));
+        assert_eq!(g.prop("y", "name"), Some("beta"));
+        assert_eq!(g.prop("x", "time"), None);
+        assert_eq!(g.prop("y", "time"), None);
+    }
+}

@@ -1,0 +1,65 @@
+/// Pipeline configuration (the `config.ini` + CLI parameters of the
+/// original ProvMark, appendix A.4–A.5).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkOptions {
+    /// Number of recording trials per program variant (paper default: 2;
+    /// "more trials … provide a more accurate result as multiple trials
+    /// can help to filter out uncertainty").
+    pub trials: usize,
+    /// Base seed for the per-trial kernels. Trial `i` of the background
+    /// variant uses `base_seed + i`; foreground trials continue after.
+    pub base_seed: u64,
+    /// Enable per-trial startup noise in the kernel, producing occasional
+    /// inconsistent trials that the similarity-class filter must discard
+    /// (the `filtergraphs` mechanism, appendix A.4).
+    pub noise: bool,
+    /// Discard obviously incomplete or inconsistent graphs before
+    /// generalization (ProvMark's graph filtering; default on for CamFlow).
+    pub filter_graphs: bool,
+}
+
+impl Default for BenchmarkOptions {
+    fn default() -> Self {
+        BenchmarkOptions {
+            trials: 2,
+            base_seed: 1,
+            noise: false,
+            filter_graphs: true,
+        }
+    }
+}
+
+impl BenchmarkOptions {
+    /// Options with a given trial count.
+    pub fn with_trials(trials: usize) -> Self {
+        BenchmarkOptions {
+            trials,
+            ..Self::default()
+        }
+    }
+
+    /// Builder-style seed override.
+    pub fn seed(mut self, base_seed: u64) -> Self {
+        self.base_seed = base_seed;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let o = BenchmarkOptions::default();
+        assert_eq!(o.trials, 2, "paper appendix: Number of trials (Default: 2)");
+        assert!(!o.noise);
+    }
+
+    #[test]
+    fn builders() {
+        let o = BenchmarkOptions::with_trials(5).seed(42);
+        assert_eq!(o.trials, 5);
+        assert_eq!(o.base_seed, 42);
+    }
+}

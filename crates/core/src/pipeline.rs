@@ -1,0 +1,376 @@
+//! The end-to-end ProvMark pipeline (paper Figure 3), with per-stage
+//! timing instrumentation used to regenerate Figures 5–10.
+
+use std::time::{Duration, Instant};
+
+use provgraph::{diff, PropertyGraph};
+
+use crate::generalize::{self, PairStrategy};
+use crate::suite::BenchSpec;
+use crate::tool::{NativeOutput, ToolInstance};
+use crate::{compare, BenchmarkOptions, PipelineError};
+
+/// Wall-clock time spent in each pipeline stage (one benchmark run).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StageTimings {
+    /// Stage 1: running programs under the recorder.
+    pub recording: Duration,
+    /// Stage 2: native output → Datalog property graphs.
+    pub transformation: Duration,
+    /// Stage 3: similarity classes + property generalization.
+    pub generalization: Duration,
+    /// Stage 4: subgraph matching + subtraction.
+    pub comparison: Duration,
+}
+
+impl StageTimings {
+    /// Total processing time excluding recording (the quantity plotted in
+    /// Figures 5–10).
+    pub fn processing_total(&self) -> Duration {
+        self.transformation + self.generalization + self.comparison
+    }
+
+    /// Render as the original's `/tmp/time.log` line: four comma-separated
+    /// second counts (appendix A.6.4).
+    pub fn time_log_line(&self, tool: &str, syscall: &str) -> String {
+        format!(
+            "{tool},{syscall},{:.6},{:.6},{:.6},{:.6}",
+            self.recording.as_secs_f64(),
+            self.transformation.as_secs_f64(),
+            self.generalization.as_secs_f64(),
+            self.comparison.as_secs_f64()
+        )
+    }
+}
+
+/// Verdict of one benchmark run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BenchStatus {
+    /// The recorder captured the target activity (nonempty result graph).
+    Ok,
+    /// Foreground and background were indistinguishable.
+    Empty,
+}
+
+impl BenchStatus {
+    /// `true` for [`BenchStatus::Ok`].
+    pub fn is_ok(self) -> bool {
+        matches!(self, BenchStatus::Ok)
+    }
+
+    /// Lowercase rendering as in Table 2.
+    pub fn render(self) -> &'static str {
+        match self {
+            BenchStatus::Ok => "ok",
+            BenchStatus::Empty => "empty",
+        }
+    }
+}
+
+/// Complete output of one benchmark run.
+#[derive(Debug, Clone)]
+pub struct BenchmarkRun {
+    /// Benchmark name.
+    pub name: String,
+    /// ok / empty verdict.
+    pub status: BenchStatus,
+    /// The benchmark result graph (target structure + dummy nodes).
+    pub result: PropertyGraph,
+    /// Generalized background graph.
+    pub generalized_bg: PropertyGraph,
+    /// Generalized foreground graph.
+    pub generalized_fg: PropertyGraph,
+    /// Per-stage wall-clock times.
+    pub timings: StageTimings,
+    /// Trials discarded as failed runs across both variants.
+    pub discarded_trials: usize,
+    /// Property-mismatch cost of the comparison matching.
+    pub matching_cost: u64,
+}
+
+/// Record, transform and generalize one program variant.
+fn prepare_variant(
+    tool: &mut ToolInstance,
+    spec: &BenchSpec,
+    opts: &BenchmarkOptions,
+    variant: &'static str,
+    seed_base: u64,
+    timings: &mut StageTimings,
+) -> Result<generalize::Generalized, PipelineError> {
+    let program = if variant == "background" {
+        spec.background()
+    } else {
+        spec.foreground()
+    };
+    let mut natives: Vec<NativeOutput> = Vec::with_capacity(opts.trials);
+    let t0 = Instant::now();
+    for i in 0..opts.trials {
+        natives.push(tool.record(&program, seed_base + i as u64, opts.noise)?);
+    }
+    timings.recording += t0.elapsed();
+
+    let t0 = Instant::now();
+    let mut graphs: Vec<PropertyGraph> = Vec::with_capacity(natives.len());
+    let mut unparseable = 0usize;
+    for native in natives {
+        match tool.transform(native) {
+            Ok(g) => graphs.push(g),
+            // With graph filtering on, unusable trials are discarded like
+            // failed runs instead of aborting the whole benchmark.
+            Err(PipelineError::Transform { .. }) if opts.filter_graphs => unparseable += 1,
+            Err(e) => return Err(e),
+        }
+    }
+    timings.transformation += t0.elapsed();
+
+    let t0 = Instant::now();
+    let mut generalized =
+        generalize::generalize_trials(&graphs, PairStrategy::default(), variant)?;
+    generalized.discarded += unparseable;
+    timings.generalization += t0.elapsed();
+    Ok(generalized)
+}
+
+/// Run the full four-stage pipeline for one benchmark under one tool.
+///
+/// # Errors
+///
+/// Propagates stage errors: benchmark failure, transformation errors, no
+/// consistent trials, or a background graph that does not embed.
+pub fn run_benchmark(
+    tool: &mut ToolInstance,
+    spec: &BenchSpec,
+    opts: &BenchmarkOptions,
+) -> Result<BenchmarkRun, PipelineError> {
+    if opts.trials < 2 {
+        return Err(PipelineError::NotEnoughTrials(opts.trials));
+    }
+    let mut timings = StageTimings::default();
+    // Distinct kernel seeds per variant so volatile values never repeat.
+    let bg = prepare_variant(tool, spec, opts, "background", opts.base_seed, &mut timings)?;
+    let fg = prepare_variant(
+        tool,
+        spec,
+        opts,
+        "foreground",
+        opts.base_seed + 10_000,
+        &mut timings,
+    )?;
+
+    let t0 = Instant::now();
+    let cmp = compare::compare(&bg.graph, &fg.graph)?;
+    timings.comparison += t0.elapsed();
+
+    let status = if diff::effective_size(&cmp.result) == 0 {
+        BenchStatus::Empty
+    } else {
+        BenchStatus::Ok
+    };
+    Ok(BenchmarkRun {
+        name: spec.name.clone(),
+        status,
+        result: cmp.result,
+        generalized_bg: bg.graph,
+        generalized_fg: fg.graph,
+        timings,
+        discarded_trials: bg.discarded + fg.discarded,
+        matching_cost: cmp.matching_cost,
+    })
+}
+
+/// Measured outcome for one (syscall, tool) cell of the results matrix.
+#[derive(Debug, Clone)]
+pub struct MeasuredCell {
+    /// The run, when the pipeline completed.
+    pub run: Option<BenchmarkRun>,
+    /// Pipeline error text otherwise.
+    pub error: Option<String>,
+}
+
+impl MeasuredCell {
+    /// Render like a Table 2 cell (`ok`, `empty`, or `error: …`).
+    pub fn render(&self) -> String {
+        match (&self.run, &self.error) {
+            (Some(run), _) => run.status.render().to_owned(),
+            (None, Some(e)) => format!("error: {e}"),
+            _ => "?".to_owned(),
+        }
+    }
+
+    /// `true` when the pipeline completed with a nonempty result.
+    pub fn is_ok(&self) -> bool {
+        self.run.as_ref().is_some_and(|r| r.status.is_ok())
+    }
+}
+
+/// Run the full Table 2 matrix: every Table 1 benchmark under every tool
+/// (in its baseline configuration), reusing one tool instance per column
+/// as the real harness does.
+///
+/// `opus_db_iterations` overrides the simulated Neo4j startup cost so
+/// tests can run the matrix quickly; pass `None` for the default.
+pub fn run_matrix(
+    opts: &BenchmarkOptions,
+    opus_db_iterations: Option<u64>,
+) -> Vec<(crate::suite::Expectation, [MeasuredCell; 3])> {
+    use crate::tool::{Tool, ToolKind};
+    let mut instances: Vec<crate::tool::ToolInstance> = ToolKind::all()
+        .into_iter()
+        .map(|kind| {
+            let tool = match (kind, opus_db_iterations) {
+                (ToolKind::Opus, Some(iters)) => Tool::Opus(opus::OpusConfig {
+                    db_startup_iterations: iters,
+                    ..opus::OpusConfig::default()
+                }),
+                _ => Tool::baseline(kind),
+            };
+            tool.instantiate()
+        })
+        .collect();
+    let mut rows = Vec::new();
+    for exp in crate::suite::table2() {
+        let spec = crate::suite::spec(exp.syscall).expect("table2 rows have specs");
+        let mut cells: Vec<MeasuredCell> = Vec::with_capacity(3);
+        for inst in instances.iter_mut() {
+            let cell = match run_benchmark(inst, &spec, opts) {
+                Ok(run) => MeasuredCell {
+                    run: Some(run),
+                    error: None,
+                },
+                Err(e) => MeasuredCell {
+                    run: None,
+                    error: Some(e.to_string()),
+                },
+            };
+            cells.push(cell);
+        }
+        let cells: [MeasuredCell; 3] = cells.try_into().expect("three tools");
+        rows.push((exp, cells));
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite;
+    use crate::tool::Tool;
+    use opus::OpusConfig;
+
+    fn fast_opus() -> Tool {
+        Tool::Opus(OpusConfig {
+            db_startup_iterations: 100,
+            ..OpusConfig::default()
+        })
+    }
+
+    #[test]
+    fn creat_is_ok_for_all_three_tools() {
+        let spec = suite::spec("creat").unwrap();
+        for tool in [
+            Tool::spade_baseline(),
+            fast_opus(),
+            Tool::camflow_baseline(),
+        ] {
+            let kind = tool.kind();
+            let mut inst = tool.instantiate();
+            let run = run_benchmark(&mut inst, &spec, &BenchmarkOptions::default()).unwrap();
+            assert!(run.status.is_ok(), "{:?} must record creat", kind);
+            assert!(run.result.size() > 0);
+        }
+    }
+
+    #[test]
+    fn exit_is_empty_everywhere() {
+        let spec = suite::spec("exit").unwrap();
+        for tool in [
+            Tool::spade_baseline(),
+            fast_opus(),
+            Tool::camflow_baseline(),
+        ] {
+            let kind = tool.kind();
+            let mut inst = tool.instantiate();
+            let run = run_benchmark(&mut inst, &spec, &BenchmarkOptions::default()).unwrap();
+            assert_eq!(run.status, BenchStatus::Empty, "{kind:?} exit must be empty (LP)");
+        }
+    }
+
+    #[test]
+    fn volatile_properties_absent_from_result() {
+        let spec = suite::spec("creat").unwrap();
+        let mut inst = Tool::spade_baseline().instantiate();
+        let run = run_benchmark(&mut inst, &spec, &BenchmarkOptions::default()).unwrap();
+        for n in run.generalized_bg.nodes() {
+            assert!(
+                !n.props.contains_key("seen time"),
+                "volatile timestamp must be generalized away: {:?}",
+                n
+            );
+        }
+        for e in run.generalized_fg.edges() {
+            assert!(!e.props.contains_key("time"));
+        }
+    }
+
+    #[test]
+    fn result_contains_target_structure_with_dummies() {
+        let spec = suite::spec("creat").unwrap();
+        let mut inst = Tool::spade_baseline().instantiate();
+        let run = run_benchmark(&mut inst, &spec, &BenchmarkOptions::default()).unwrap();
+        // creat: new artifact node + WasGeneratedBy edge; the process node
+        // is background and must appear only as a dummy.
+        assert!(run
+            .result
+            .edges()
+            .any(|e| e.label.as_str() == "WasGeneratedBy"));
+        let dummies: Vec<_> = run
+            .result
+            .nodes()
+            .filter(|n| provgraph::diff::is_dummy(&run.result, &n.id))
+            .collect();
+        assert!(!dummies.is_empty(), "process anchor should be a dummy");
+    }
+
+    #[test]
+    fn noise_trials_are_filtered_with_enough_trials() {
+        let spec = suite::spec("creat").unwrap();
+        let mut inst = Tool::spade_baseline().instantiate();
+        let opts = BenchmarkOptions {
+            trials: 6,
+            noise: true,
+            ..BenchmarkOptions::default()
+        };
+        let run = run_benchmark(&mut inst, &spec, &opts).unwrap();
+        assert!(run.status.is_ok());
+        assert!(
+            run.discarded_trials > 0,
+            "noisy trials must be discarded as failed runs"
+        );
+    }
+
+    #[test]
+    fn one_trial_is_rejected() {
+        let spec = suite::spec("creat").unwrap();
+        let mut inst = Tool::spade_baseline().instantiate();
+        let opts = BenchmarkOptions {
+            trials: 1,
+            ..BenchmarkOptions::default()
+        };
+        assert!(matches!(
+            run_benchmark(&mut inst, &spec, &opts),
+            Err(PipelineError::NotEnoughTrials(1))
+        ));
+    }
+
+    #[test]
+    fn timings_are_populated() {
+        let spec = suite::spec("open").unwrap();
+        let mut inst = Tool::spade_baseline().instantiate();
+        let run = run_benchmark(&mut inst, &spec, &BenchmarkOptions::default()).unwrap();
+        assert!(run.timings.recording > Duration::ZERO);
+        assert!(run.timings.processing_total() > Duration::ZERO);
+        let line = run.timings.time_log_line("spg", "open");
+        assert!(line.starts_with("spg,open,"));
+        assert_eq!(line.split(',').count(), 6);
+    }
+}

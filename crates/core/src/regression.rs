@@ -1,0 +1,186 @@
+//! Regression testing support (paper §3.1, Charlie).
+//!
+//! "ProvMark can be used for regression testing, by recording the graphs
+//! produced in a given benchmarking run, and comparing them with the
+//! results of future runs, using the same code for graph isomorphism
+//! testing ProvMark already uses during benchmarking."
+//!
+//! Benchmark result graphs are stored as canonical Datalog files; a later
+//! run is compared against the stored graph with the exact isomorphism
+//! solver (node identifiers are volatile, so byte comparison would not
+//! work — isomorphism is the right equivalence).
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use aspsolver::find_isomorphism;
+use provgraph::{datalog, PropertyGraph};
+
+/// Outcome of checking a new benchmark graph against the stored baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegressionOutcome {
+    /// No baseline existed; the new graph was stored.
+    New,
+    /// The new graph is isomorphic to the baseline.
+    Unchanged,
+    /// The new graph differs — investigate, then `accept` if intended.
+    Changed,
+}
+
+/// A directory of stored benchmark graphs (`<name>.dl` files).
+#[derive(Debug, Clone)]
+pub struct RegressionStore {
+    dir: PathBuf,
+}
+
+impl RegressionStore {
+    /// Open (creating if needed) a store rooted at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation failures.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(RegressionStore { dir })
+    }
+
+    /// Directory holding the baselines.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn file(&self, name: &str) -> PathBuf {
+        self.dir.join(format!("{name}.dl"))
+    }
+
+    /// Load a stored baseline, if present.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unreadable or corrupt baseline files.
+    pub fn load(&self, name: &str) -> io::Result<Option<PropertyGraph>> {
+        let path = self.file(name);
+        if !path.exists() {
+            return Ok(None);
+        }
+        let text = fs::read_to_string(path)?;
+        let (graph, _) = datalog::parse_datalog(&text)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        Ok(Some(graph))
+    }
+
+    /// Overwrite the baseline for `name` (used after accepting a change).
+    ///
+    /// # Errors
+    ///
+    /// Propagates write failures.
+    pub fn accept(&self, name: &str, graph: &PropertyGraph) -> io::Result<()> {
+        fs::write(self.file(name), datalog::to_canonical_datalog(graph, "g"))
+    }
+
+    /// Compare `graph` against the stored baseline; stores it when no
+    /// baseline exists.
+    ///
+    /// # Errors
+    ///
+    /// Propagates load/store failures.
+    pub fn check(&self, name: &str, graph: &PropertyGraph) -> io::Result<RegressionOutcome> {
+        match self.load(name)? {
+            None => {
+                self.accept(name, graph)?;
+                Ok(RegressionOutcome::New)
+            }
+            Some(baseline) => {
+                if find_isomorphism(&baseline, graph).is_some() {
+                    Ok(RegressionOutcome::Unchanged)
+                } else {
+                    Ok(RegressionOutcome::Changed)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_store(tag: &str) -> RegressionStore {
+        let dir = std::env::temp_dir().join(format!(
+            "provmark-regression-{}-{tag}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        RegressionStore::open(dir).unwrap()
+    }
+
+    fn result_graph(ids: (&str, &str), stable: &str) -> PropertyGraph {
+        let mut g = PropertyGraph::new();
+        g.add_node(ids.0, "Process").unwrap();
+        g.add_node(ids.1, "Artifact").unwrap();
+        g.add_edge("e", ids.0, ids.1, "Used").unwrap();
+        g.set_node_property(ids.1, "path", stable).unwrap();
+        g
+    }
+
+    #[test]
+    fn first_check_stores_baseline() {
+        let store = tmp_store("first");
+        let g = result_graph(("p1", "a1"), "/tmp/t");
+        assert_eq!(store.check("creat", &g).unwrap(), RegressionOutcome::New);
+        assert!(store.load("creat").unwrap().is_some());
+    }
+
+    #[test]
+    fn isomorphic_rerun_is_unchanged_despite_new_ids() {
+        let store = tmp_store("iso");
+        store.check("creat", &result_graph(("p1", "a1"), "/t")).unwrap();
+        // A later run has different (volatile) node ids but same shape.
+        let rerun = result_graph(("p999", "a777"), "/t");
+        assert_eq!(
+            store.check("creat", &rerun).unwrap(),
+            RegressionOutcome::Unchanged
+        );
+    }
+
+    #[test]
+    fn structural_change_detected_and_acceptable() {
+        let store = tmp_store("change");
+        store.check("creat", &result_graph(("p1", "a1"), "/t")).unwrap();
+        let mut changed = result_graph(("p1", "a1"), "/t");
+        changed.add_node("extra", "Artifact").unwrap();
+        assert_eq!(
+            store.check("creat", &changed).unwrap(),
+            RegressionOutcome::Changed
+        );
+        // Accept the intended change; now it is the baseline.
+        store.accept("creat", &changed).unwrap();
+        assert_eq!(
+            store.check("creat", &changed).unwrap(),
+            RegressionOutcome::Unchanged
+        );
+    }
+
+    #[test]
+    fn property_change_detected() {
+        let store = tmp_store("prop");
+        store.check("creat", &result_graph(("p1", "a1"), "/t")).unwrap();
+        let renamed = result_graph(("p1", "a1"), "/other");
+        assert_eq!(
+            store.check("creat", &renamed).unwrap(),
+            RegressionOutcome::Changed
+        );
+    }
+
+    #[test]
+    fn baselines_are_canonical_datalog_on_disk() {
+        let store = tmp_store("canon");
+        let g = result_graph(("p1", "a1"), "/t");
+        store.accept("x", &g).unwrap();
+        let text = fs::read_to_string(store.dir().join("x.dl")).unwrap();
+        assert!(text.contains("ng(a1,\"Artifact\")."));
+        assert!(text.contains("eg(e,p1,a1,\"Used\")."));
+    }
+}

@@ -1,0 +1,77 @@
+//! Scalability workloads (paper §5.2, Figures 8–10).
+//!
+//! "In test case scale1, the target action sequence is simply a creation
+//! of a file and another deletion of the newly created file. In test case
+//! scale2, scale4 and scale8, the same target action is repeated twice,
+//! four times, and eight times respectively."
+
+use oskernel::program::Op;
+
+use crate::suite::BenchSpec;
+
+/// Build the `scaleN` benchmark: N repetitions of (creat + unlink) as the
+/// target action sequence.
+///
+/// # Panics
+///
+/// Panics when `n == 0`.
+pub fn scale_spec(n: usize) -> BenchSpec {
+    assert!(n > 0, "scale factor must be positive");
+    let mut target = Vec::with_capacity(2 * n);
+    for i in 0..n {
+        let path = format!("/staging/scale_{i}.txt");
+        target.push(Op::Creat {
+            path: path.clone(),
+            mode: 0o644,
+            fd_var: format!("fd{i}"),
+        });
+        target.push(Op::Unlink { path });
+    }
+    BenchSpec {
+        name: format!("scale{n}"),
+        group: 1,
+        setup: vec![],
+        context: vec![],
+        target,
+    }
+}
+
+/// The paper's scale factors.
+pub const SCALE_FACTORS: [usize; 4] = [1, 2, 4, 8];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tool::Tool;
+    use crate::{pipeline, BenchmarkOptions};
+
+    #[test]
+    fn scale_spec_sizes() {
+        for n in SCALE_FACTORS {
+            let s = scale_spec(n);
+            assert_eq!(s.target.len(), 2 * n);
+            assert_eq!(s.name, format!("scale{n}"));
+            assert!(s.context.is_empty());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn scale_zero_panics() {
+        let _ = scale_spec(0);
+    }
+
+    #[test]
+    fn scale1_runs_and_grows_with_factor() {
+        let mut spade = Tool::spade_baseline().instantiate();
+        let r1 = pipeline::run_benchmark(&mut spade, &scale_spec(1), &BenchmarkOptions::default())
+            .unwrap();
+        assert!(r1.status.is_ok());
+        let r2 = pipeline::run_benchmark(&mut spade, &scale_spec(2), &BenchmarkOptions::default())
+            .unwrap();
+        assert!(
+            r2.result.size() > r1.result.size(),
+            "scale2 target graph must be larger than scale1"
+        );
+    }
+}

@@ -1,0 +1,635 @@
+//! The benchmark suite: the 44 syscalls of paper Table 1, each as a
+//! [`BenchSpec`] with staging setup, prerequisite *context* ops and the
+//! `#ifdef TARGET` *target* ops — plus the paper's Table 2 as ground-truth
+//! [`Expectation`]s that the recorder simulations are validated against.
+
+use oskernel::program::{Op, Program, SetupAction};
+use oskernel::OpenFlags;
+
+/// One benchmark: the Rust analogue of a `benchmarkProgram/` C file plus
+/// its setup script.
+#[derive(Debug, Clone)]
+pub struct BenchSpec {
+    /// Benchmark name (the target syscall, or `scaleN`).
+    pub name: String,
+    /// Paper Table 1 group (1 files, 2 processes, 3 permissions, 4 pipes).
+    pub group: u8,
+    /// Staging-directory preparation (runs before recording).
+    pub setup: Vec<SetupAction>,
+    /// Prerequisite ops included in **both** program variants (e.g. the
+    /// `open` before a `close` target).
+    pub context: Vec<Op>,
+    /// The target ops (the `#ifdef TARGET` section).
+    pub target: Vec<Op>,
+}
+
+impl BenchSpec {
+    /// The foreground program: context plus target.
+    pub fn foreground(&self) -> Program {
+        let mut p = Program::new(self.name.clone()).exe("/usr/local/bin/bench_fg");
+        for s in &self.setup {
+            p = p.setup(s.clone());
+        }
+        p.ops(self.context.iter().cloned().chain(self.target.iter().cloned()))
+    }
+
+    /// The background program: context only.
+    pub fn background(&self) -> Program {
+        let mut p = Program::new(self.name.clone()).exe("/usr/local/bin/bench_bg");
+        for s in &self.setup {
+            p = p.setup(s.clone());
+        }
+        p.ops(self.context.iter().cloned())
+    }
+}
+
+fn staged(name: &str) -> String {
+    format!("/staging/{name}")
+}
+
+fn setup_file(name: &str) -> SetupAction {
+    SetupAction::CreateFile {
+        path: staged(name),
+        mode: 0o644,
+    }
+}
+
+fn open_ctx(path: &str, flags: OpenFlags) -> Op {
+    Op::Open {
+        path: staged(path),
+        flags,
+        mode: 0o644,
+        fd_var: "id".into(),
+    }
+}
+
+/// Build the benchmark spec for one Table 1 syscall by name.
+///
+/// Returns `None` for names outside the suite.
+pub fn spec(name: &str) -> Option<BenchSpec> {
+    let rw_creat = OpenFlags::RDWR.union(OpenFlags::CREAT);
+    let s = |group: u8, setup: Vec<SetupAction>, context: Vec<Op>, target: Vec<Op>| {
+        Some(BenchSpec {
+            name: name.to_owned(),
+            group,
+            setup,
+            context,
+            target,
+        })
+    };
+    match name {
+        // ---- group 1: files --------------------------------------------
+        "close" => s(
+            1,
+            vec![],
+            vec![open_ctx("test.txt", rw_creat)],
+            vec![Op::Close { fd_var: "id".into() }],
+        ),
+        "creat" => s(
+            1,
+            vec![],
+            vec![],
+            vec![Op::Creat { path: staged("test.txt"), mode: 0o644, fd_var: "id".into() }],
+        ),
+        "dup" => s(
+            1,
+            vec![],
+            vec![open_ctx("test.txt", rw_creat)],
+            vec![Op::Dup { fd_var: "id".into(), new_var: "d".into() }],
+        ),
+        "dup2" => s(
+            1,
+            vec![],
+            vec![open_ctx("test.txt", rw_creat)],
+            vec![Op::Dup2 { fd_var: "id".into(), newfd: 9, new_var: "d".into() }],
+        ),
+        "dup3" => s(
+            1,
+            vec![],
+            vec![open_ctx("test.txt", rw_creat)],
+            vec![Op::Dup3 { fd_var: "id".into(), newfd: 9, new_var: "d".into() }],
+        ),
+        "link" => s(
+            1,
+            vec![setup_file("test.txt")],
+            vec![],
+            vec![Op::Link { old: staged("test.txt"), new: staged("test.link") }],
+        ),
+        "linkat" => s(
+            1,
+            vec![setup_file("test.txt")],
+            vec![],
+            vec![Op::Linkat { old: staged("test.txt"), new: staged("test.link") }],
+        ),
+        "symlink" => s(
+            1,
+            vec![setup_file("test.txt")],
+            vec![],
+            vec![Op::Symlink { target: staged("test.txt"), linkpath: staged("test.sym") }],
+        ),
+        "symlinkat" => s(
+            1,
+            vec![setup_file("test.txt")],
+            vec![],
+            vec![Op::Symlinkat { target: staged("test.txt"), linkpath: staged("test.sym") }],
+        ),
+        "mknod" => s(
+            1,
+            vec![],
+            vec![],
+            vec![Op::Mknod { path: staged("test.fifo"), mode: 0o644 }],
+        ),
+        "mknodat" => s(
+            1,
+            vec![],
+            vec![],
+            vec![Op::Mknodat { path: staged("test.fifo"), mode: 0o644 }],
+        ),
+        "open" => s(
+            1,
+            vec![setup_file("test.txt")],
+            vec![],
+            vec![open_ctx("test.txt", OpenFlags::RDWR)],
+        ),
+        "openat" => s(
+            1,
+            vec![setup_file("test.txt")],
+            vec![],
+            vec![Op::Openat {
+                path: staged("test.txt"),
+                flags: OpenFlags::RDWR,
+                mode: 0o644,
+                fd_var: "id".into(),
+            }],
+        ),
+        "read" => s(
+            1,
+            vec![setup_file("test.txt")],
+            vec![open_ctx("test.txt", OpenFlags::RDONLY)],
+            vec![Op::Read { fd_var: "id".into(), len: 100 }],
+        ),
+        "pread" => s(
+            1,
+            vec![setup_file("test.txt")],
+            vec![open_ctx("test.txt", OpenFlags::RDONLY)],
+            vec![Op::Pread { fd_var: "id".into(), len: 100, offset: 0 }],
+        ),
+        "rename" => s(
+            1,
+            vec![setup_file("test.txt")],
+            vec![],
+            vec![Op::Rename { old: staged("test.txt"), new: staged("test.new") }],
+        ),
+        "renameat" => s(
+            1,
+            vec![setup_file("test.txt")],
+            vec![],
+            vec![Op::Renameat { old: staged("test.txt"), new: staged("test.new") }],
+        ),
+        "truncate" => s(
+            1,
+            vec![setup_file("test.txt")],
+            vec![],
+            vec![Op::Truncate { path: staged("test.txt"), len: 16 }],
+        ),
+        "ftruncate" => s(
+            1,
+            vec![setup_file("test.txt")],
+            vec![open_ctx("test.txt", OpenFlags::RDWR)],
+            vec![Op::Ftruncate { fd_var: "id".into(), len: 16 }],
+        ),
+        "unlink" => s(
+            1,
+            vec![setup_file("test.txt")],
+            vec![],
+            vec![Op::Unlink { path: staged("test.txt") }],
+        ),
+        "unlinkat" => s(
+            1,
+            vec![setup_file("test.txt")],
+            vec![],
+            vec![Op::Unlinkat { path: staged("test.txt") }],
+        ),
+        "write" => s(
+            1,
+            vec![],
+            vec![open_ctx("test.txt", rw_creat)],
+            vec![Op::Write { fd_var: "id".into(), len: 100 }],
+        ),
+        "pwrite" => s(
+            1,
+            vec![],
+            vec![open_ctx("test.txt", rw_creat)],
+            vec![Op::Pwrite { fd_var: "id".into(), len: 100, offset: 0 }],
+        ),
+        // ---- group 2: processes ----------------------------------------
+        "clone" => s(2, vec![], vec![], vec![Op::CloneProc { child: vec![] }]),
+        "execve" => s(
+            2,
+            vec![],
+            vec![],
+            vec![Op::Execve { path: "/usr/local/bin/bench_bg".into() }],
+        ),
+        "exit" => s(2, vec![], vec![], vec![Op::ExitOp { code: 0 }]),
+        "fork" => s(2, vec![], vec![], vec![Op::Fork { child: vec![] }]),
+        "kill" => s(
+            2,
+            vec![],
+            vec![Op::ForkAlive { child: vec![] }],
+            vec![Op::KillLastChild { sig: 9 }],
+        ),
+        "vfork" => s(2, vec![], vec![], vec![Op::Vfork { child: vec![] }]),
+        // ---- group 3: permissions --------------------------------------
+        "chmod" => s(
+            3,
+            vec![setup_file("test.txt")],
+            vec![],
+            vec![Op::Chmod { path: staged("test.txt"), mode: 0o600 }],
+        ),
+        "fchmod" => s(
+            3,
+            vec![setup_file("test.txt")],
+            vec![open_ctx("test.txt", OpenFlags::RDWR)],
+            vec![Op::Fchmod { fd_var: "id".into(), mode: 0o600 }],
+        ),
+        "fchmodat" => s(
+            3,
+            vec![setup_file("test.txt")],
+            vec![],
+            vec![Op::Fchmodat { path: staged("test.txt"), mode: 0o600 }],
+        ),
+        "chown" => s(
+            3,
+            vec![setup_file("test.txt")],
+            vec![],
+            vec![Op::Chown { path: staged("test.txt"), uid: 500, gid: 500 }],
+        ),
+        "fchown" => s(
+            3,
+            vec![setup_file("test.txt")],
+            vec![open_ctx("test.txt", OpenFlags::RDWR)],
+            vec![Op::Fchown { fd_var: "id".into(), uid: 500, gid: 500 }],
+        ),
+        "fchownat" => s(
+            3,
+            vec![setup_file("test.txt")],
+            vec![],
+            vec![Op::Fchownat { path: staged("test.txt"), uid: 500, gid: 500 }],
+        ),
+        "setgid" => s(3, vec![], vec![], vec![Op::Setgid { gid: 500 }]),
+        "setregid" => s(
+            3,
+            vec![],
+            vec![],
+            vec![Op::Setregid { rgid: Some(500), egid: Some(500) }],
+        ),
+        // "our benchmark for setresgid just sets the group id attribute to
+        // its current value" (paper §4.3) — root's gid is 0.
+        "setresgid" => s(
+            3,
+            vec![],
+            vec![],
+            vec![Op::Setresgid { rgid: Some(0), egid: Some(0), sgid: Some(0) }],
+        ),
+        "setuid" => s(3, vec![], vec![], vec![Op::Setuid { uid: 500 }]),
+        "setreuid" => s(
+            3,
+            vec![],
+            vec![],
+            vec![Op::Setreuid { ruid: Some(500), euid: Some(500) }],
+        ),
+        // "our benchmark result for setresuid is nonempty, reflecting an
+        // actual change of user id" (paper §4.3).
+        "setresuid" => s(
+            3,
+            vec![],
+            vec![],
+            vec![Op::Setresuid { ruid: Some(500), euid: Some(500), suid: Some(500) }],
+        ),
+        // ---- group 4: pipes --------------------------------------------
+        "pipe" => s(
+            4,
+            vec![],
+            vec![],
+            vec![Op::PipeOp { read_var: "r".into(), write_var: "w".into() }],
+        ),
+        "pipe2" => s(
+            4,
+            vec![],
+            vec![],
+            vec![Op::Pipe2Op { read_var: "r".into(), write_var: "w".into() }],
+        ),
+        "tee" => s(
+            4,
+            vec![],
+            vec![
+                Op::PipeOp { read_var: "r1".into(), write_var: "w1".into() },
+                Op::PipeOp { read_var: "r2".into(), write_var: "w2".into() },
+                Op::Write { fd_var: "w1".into(), len: 8 },
+            ],
+            vec![Op::Tee { in_var: "r1".into(), out_var: "w2".into(), len: 8 }],
+        ),
+        _ => None,
+    }
+}
+
+/// Build a *failure-scenario* benchmark: the target call is expected to
+/// fail with an access-control error after the benchmark drops privileges
+/// (paper §3.1, Alice: "most only take a few minutes to write, by
+/// modifying other, similar benchmarks for successful calls").
+///
+/// Supported scenarios: `open`, `rename`, `unlink`, `chmod`, `truncate`.
+pub fn failure_spec(name: &str) -> Option<BenchSpec> {
+    let drop_privs = vec![Op::Setuid { uid: 1000 }];
+    let secret = || SetupAction::CreateFileOwned {
+        path: staged("secret"),
+        mode: 0o600,
+        uid: 0,
+        gid: 0,
+    };
+    let (setup, target): (Vec<SetupAction>, Op) = match name {
+        "open" => (
+            vec![secret()],
+            Op::Open {
+                path: staged("secret"),
+                flags: OpenFlags::RDONLY,
+                mode: 0,
+                fd_var: "id".into(),
+            },
+        ),
+        "rename" => (
+            vec![setup_file("mine.txt")],
+            Op::Rename {
+                old: staged("mine.txt"),
+                new: "/etc/passwd".into(),
+            },
+        ),
+        "unlink" => (vec![], Op::Unlink { path: "/etc/passwd".into() }),
+        "chmod" => (vec![secret()], Op::Chmod { path: staged("secret"), mode: 0o777 }),
+        "truncate" => (vec![secret()], Op::Truncate { path: staged("secret"), len: 0 }),
+        _ => return None,
+    };
+    Some(BenchSpec {
+        name: format!("{name}-denied"),
+        group: 1,
+        setup,
+        context: drop_privs,
+        target: vec![Op::MustFail(Box::new(target))],
+    })
+}
+
+/// Names of the supported failure scenarios.
+pub fn failure_names() -> Vec<&'static str> {
+    vec!["open", "rename", "unlink", "chmod", "truncate"]
+}
+
+/// All failure-scenario benchmark specs.
+pub fn failure_specs() -> Vec<BenchSpec> {
+    failure_names()
+        .into_iter()
+        .map(|n| failure_spec(n).expect("every listed failure scenario builds"))
+        .collect()
+}
+
+/// Names of all 44 benchmarked syscalls, in Table 1/Table 2 order.
+pub fn all_names() -> Vec<&'static str> {
+    vec![
+        "close", "creat", "dup", "dup2", "dup3", "link", "linkat", "symlink", "symlinkat",
+        "mknod", "mknodat", "open", "openat", "read", "pread", "rename", "renameat", "truncate",
+        "ftruncate", "unlink", "unlinkat", "write", "pwrite", "clone", "execve", "exit", "fork",
+        "kill", "vfork", "chmod", "fchmod", "fchmodat", "chown", "fchown", "fchownat", "setgid",
+        "setregid", "setresgid", "setuid", "setreuid", "setresuid", "pipe", "pipe2", "tee",
+    ]
+}
+
+/// All 44 benchmark specs.
+pub fn all_specs() -> Vec<BenchSpec> {
+    all_names()
+        .into_iter()
+        .map(|n| spec(n).expect("every listed name has a spec"))
+        .collect()
+}
+
+/// Reason a benchmark cell is empty (paper Table 2 notes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EmptyNote {
+    /// Behavior not recorded (by default configuration).
+    NR,
+    /// Only state changes monitored.
+    SC,
+    /// Limitation in ProvMark.
+    LP,
+    /// Disconnected vforked process.
+    DV,
+}
+
+impl EmptyNote {
+    /// The two-letter code used in Table 2.
+    pub fn code(self) -> &'static str {
+        match self {
+            EmptyNote::NR => "NR",
+            EmptyNote::SC => "SC",
+            EmptyNote::LP => "LP",
+            EmptyNote::DV => "DV",
+        }
+    }
+}
+
+/// Expected outcome for one (syscall, tool) cell of Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExpectedCell {
+    /// The tool records the call ("ok").
+    Ok,
+    /// Recorded, with a footnote ("ok (DV)", "ok (SC)").
+    OkNote(EmptyNote),
+    /// Foreground and background were similar; target undetected.
+    Empty(EmptyNote),
+}
+
+impl ExpectedCell {
+    /// `true` when the cell expects a nonempty benchmark result.
+    pub fn is_ok(self) -> bool {
+        !matches!(self, ExpectedCell::Empty(_))
+    }
+
+    /// Render as in the paper's Table 2.
+    pub fn render(self) -> String {
+        match self {
+            ExpectedCell::Ok => "ok".to_owned(),
+            ExpectedCell::OkNote(n) => format!("ok ({})", n.code()),
+            ExpectedCell::Empty(n) => format!("empty ({})", n.code()),
+        }
+    }
+}
+
+/// One row of Table 2.
+#[derive(Debug, Clone, Copy)]
+pub struct Expectation {
+    /// Syscall name.
+    pub syscall: &'static str,
+    /// Table 1 group.
+    pub group: u8,
+    /// Expected SPADE cell.
+    pub spade: ExpectedCell,
+    /// Expected OPUS cell.
+    pub opus: ExpectedCell,
+    /// Expected CamFlow cell.
+    pub camflow: ExpectedCell,
+}
+
+/// The paper's Table 2, verbatim: the ground truth the recorder
+/// simulations are validated against (`tests/table2_matrix.rs`).
+pub fn table2() -> Vec<Expectation> {
+    use EmptyNote::*;
+    use ExpectedCell::{Empty, Ok as Okay, OkNote};
+    let row = |syscall, group, spade, opus, camflow| Expectation {
+        syscall,
+        group,
+        spade,
+        opus,
+        camflow,
+    };
+    vec![
+        row("close", 1, Okay, Okay, Empty(LP)),
+        row("creat", 1, Okay, Okay, Okay),
+        row("dup", 1, Empty(SC), Okay, Empty(NR)),
+        row("dup2", 1, Empty(SC), Okay, Empty(NR)),
+        row("dup3", 1, Empty(SC), Okay, Empty(NR)),
+        row("link", 1, Okay, Okay, Okay),
+        row("linkat", 1, Okay, Okay, Okay),
+        row("symlink", 1, Okay, Okay, Empty(NR)),
+        row("symlinkat", 1, Okay, Okay, Empty(NR)),
+        row("mknod", 1, Empty(NR), Okay, Empty(NR)),
+        row("mknodat", 1, Empty(NR), Empty(NR), Empty(NR)),
+        row("open", 1, Okay, Okay, Okay),
+        row("openat", 1, Okay, Okay, Okay),
+        row("read", 1, Okay, Empty(NR), Okay),
+        row("pread", 1, Okay, Empty(NR), Okay),
+        row("rename", 1, Okay, Okay, Okay),
+        row("renameat", 1, Okay, Okay, Okay),
+        row("truncate", 1, Okay, Okay, Okay),
+        row("ftruncate", 1, Okay, Okay, Okay),
+        row("unlink", 1, Okay, Okay, Okay),
+        row("unlinkat", 1, Okay, Okay, Okay),
+        row("write", 1, Okay, Empty(NR), Okay),
+        row("pwrite", 1, Okay, Empty(NR), Okay),
+        row("clone", 2, Okay, Empty(NR), Okay),
+        row("execve", 2, Okay, Okay, Okay),
+        row("exit", 2, Empty(LP), Empty(LP), Empty(LP)),
+        row("fork", 2, Okay, Okay, Okay),
+        row("kill", 2, Empty(LP), Empty(LP), Empty(LP)),
+        row("vfork", 2, OkNote(DV), Okay, Okay),
+        row("chmod", 3, Okay, Okay, Okay),
+        row("fchmod", 3, Okay, Empty(NR), Okay),
+        row("fchmodat", 3, Okay, Okay, Okay),
+        row("chown", 3, Empty(NR), Okay, Okay),
+        row("fchown", 3, Empty(NR), Empty(NR), Okay),
+        row("fchownat", 3, Empty(NR), Okay, Okay),
+        row("setgid", 3, Okay, Okay, Okay),
+        row("setregid", 3, Okay, Okay, Okay),
+        row("setresgid", 3, Empty(SC), Empty(NR), Okay),
+        row("setuid", 3, Okay, Okay, Okay),
+        row("setreuid", 3, Okay, Okay, Okay),
+        row("setresuid", 3, OkNote(SC), Empty(NR), Okay),
+        row("pipe", 4, Empty(NR), Okay, Empty(NR)),
+        row("pipe2", 4, Empty(NR), Okay, Empty(NR)),
+        row("tee", 4, Empty(NR), Empty(NR), Okay),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_44_specs_matching_table2() {
+        let specs = all_specs();
+        assert_eq!(specs.len(), 44);
+        let t2 = table2();
+        assert_eq!(t2.len(), 44);
+        for (spec, exp) in specs.iter().zip(&t2) {
+            assert_eq!(spec.name, exp.syscall);
+            assert_eq!(spec.group, exp.group);
+        }
+    }
+
+    #[test]
+    fn foreground_extends_background() {
+        for spec in all_specs() {
+            let fg = spec.foreground();
+            let bg = spec.background();
+            assert_eq!(
+                &fg.ops[..bg.ops.len()],
+                &bg.ops[..],
+                "{}: background must be a prefix of foreground",
+                spec.name
+            );
+            assert!(fg.ops.len() > bg.ops.len(), "{}: target empty", spec.name);
+            assert!(fg.exe_path.ends_with("bench_fg"));
+            assert!(bg.exe_path.ends_with("bench_bg"));
+        }
+    }
+
+    #[test]
+    fn every_benchmark_program_succeeds_on_the_kernel() {
+        for spec in all_specs() {
+            for (variant, prog) in [("fg", spec.foreground()), ("bg", spec.background())] {
+                let mut kernel = oskernel::Kernel::with_seed(3);
+                let out = kernel.run_program(&prog);
+                assert!(
+                    out.success,
+                    "{} {variant} failed: {:?}",
+                    spec.name, out.results
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_spec_is_none() {
+        assert!(spec("mmap").is_none());
+        assert!(failure_spec("mmap").is_none());
+    }
+
+    #[test]
+    fn failure_specs_run_and_fail_as_expected() {
+        for spec in failure_specs() {
+            for (variant, prog) in [("fg", spec.foreground()), ("bg", spec.background())] {
+                let mut kernel = oskernel::Kernel::with_seed(5);
+                let out = kernel.run_program(&prog);
+                assert!(
+                    out.success,
+                    "{} {variant}: {:?}",
+                    spec.name, out.results
+                );
+            }
+            // The foreground target op really failed (inverted criterion).
+            let mut kernel = oskernel::Kernel::with_seed(5);
+            let out = kernel.run_program(&spec.foreground());
+            assert!(
+                out.results.last().unwrap().is_err(),
+                "{}: target must fail with errno",
+                spec.name
+            );
+        }
+    }
+
+    #[test]
+    fn group_counts_match_table1() {
+        let specs = all_specs();
+        let count = |g: u8| specs.iter().filter(|s| s.group == g).count();
+        assert_eq!(count(1), 23);
+        assert_eq!(count(2), 6);
+        assert_eq!(count(3), 12);
+        assert_eq!(count(4), 3);
+    }
+
+    #[test]
+    fn cells_render_like_the_paper() {
+        assert_eq!(ExpectedCell::Ok.render(), "ok");
+        assert_eq!(ExpectedCell::OkNote(EmptyNote::DV).render(), "ok (DV)");
+        assert_eq!(ExpectedCell::Empty(EmptyNote::NR).render(), "empty (NR)");
+        assert!(ExpectedCell::OkNote(EmptyNote::SC).is_ok());
+        assert!(!ExpectedCell::Empty(EmptyNote::LP).is_ok());
+    }
+}

@@ -1,0 +1,111 @@
+use std::fmt;
+
+/// POSIX error numbers returned by failed syscalls.
+///
+/// Only the errors the simulated syscalls can actually produce are listed.
+/// The numeric values match Linux on x86-64, so audit records carry
+/// realistic `exit` fields (e.g. `-13` for `EACCES`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[allow(clippy::upper_case_acronyms)]
+#[non_exhaustive]
+pub enum Errno {
+    /// Operation not permitted.
+    EPERM,
+    /// No such file or directory.
+    ENOENT,
+    /// No such process.
+    ESRCH,
+    /// Bad file descriptor.
+    EBADF,
+    /// Permission denied.
+    EACCES,
+    /// File exists.
+    EEXIST,
+    /// Cross-device link (unused placeholder for realism).
+    EXDEV,
+    /// Not a directory.
+    ENOTDIR,
+    /// Is a directory.
+    EISDIR,
+    /// Invalid argument.
+    EINVAL,
+    /// Too many open files.
+    EMFILE,
+    /// Broken pipe.
+    EPIPE,
+    /// Directory not empty.
+    ENOTEMPTY,
+}
+
+impl Errno {
+    /// The Linux numeric value of the error.
+    pub fn code(self) -> i64 {
+        match self {
+            Errno::EPERM => 1,
+            Errno::ENOENT => 2,
+            Errno::ESRCH => 3,
+            Errno::EBADF => 9,
+            Errno::EACCES => 13,
+            Errno::EEXIST => 17,
+            Errno::EXDEV => 18,
+            Errno::ENOTDIR => 20,
+            Errno::EISDIR => 21,
+            Errno::EINVAL => 22,
+            Errno::EMFILE => 24,
+            Errno::EPIPE => 32,
+            Errno::ENOTEMPTY => 39,
+        }
+    }
+
+    /// The symbolic name (`"EACCES"`, ...).
+    pub fn name(self) -> &'static str {
+        match self {
+            Errno::EPERM => "EPERM",
+            Errno::ENOENT => "ENOENT",
+            Errno::ESRCH => "ESRCH",
+            Errno::EBADF => "EBADF",
+            Errno::EACCES => "EACCES",
+            Errno::EEXIST => "EEXIST",
+            Errno::EXDEV => "EXDEV",
+            Errno::ENOTDIR => "ENOTDIR",
+            Errno::EISDIR => "EISDIR",
+            Errno::EINVAL => "EINVAL",
+            Errno::EMFILE => "EMFILE",
+            Errno::EPIPE => "EPIPE",
+            Errno::ENOTEMPTY => "ENOTEMPTY",
+        }
+    }
+
+    /// The value a syscall returns on this failure (`-code`).
+    pub fn ret(self) -> i64 {
+        -self.code()
+    }
+}
+
+impl fmt::Display for Errno {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.name(), self.code())
+    }
+}
+
+impl std::error::Error for Errno {}
+
+/// Result of a syscall: the (non-negative) return value or an error.
+pub type SysResult = Result<i64, Errno>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linux_codes() {
+        assert_eq!(Errno::EACCES.code(), 13);
+        assert_eq!(Errno::ENOENT.code(), 2);
+        assert_eq!(Errno::EACCES.ret(), -13);
+    }
+
+    #[test]
+    fn display_has_name_and_code() {
+        assert_eq!(Errno::EBADF.to_string(), "EBADF (9)");
+    }
+}

@@ -1,0 +1,453 @@
+//! Observation events emitted by the kernel at the three layers the
+//! provenance recorders hook (paper Figure 2).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::errno::Errno;
+use crate::process::Credentials;
+use crate::types::{Ino, Mode, Pid};
+
+/// The 44 benchmarked system calls (paper Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[allow(missing_docs)]
+#[non_exhaustive]
+pub enum Syscall {
+    // Group 1: files
+    Close,
+    Creat,
+    Dup,
+    Dup2,
+    Dup3,
+    Link,
+    Linkat,
+    Symlink,
+    Symlinkat,
+    Mknod,
+    Mknodat,
+    Open,
+    Openat,
+    Read,
+    Pread,
+    Rename,
+    Renameat,
+    Truncate,
+    Ftruncate,
+    Unlink,
+    Unlinkat,
+    Write,
+    Pwrite,
+    // Group 2: processes
+    Clone,
+    Execve,
+    Exit,
+    Fork,
+    Kill,
+    Vfork,
+    // Group 3: permissions
+    Chmod,
+    Fchmod,
+    Fchmodat,
+    Chown,
+    Fchown,
+    Fchownat,
+    Setgid,
+    Setregid,
+    Setresgid,
+    Setuid,
+    Setreuid,
+    Setresuid,
+    // Group 4: pipes
+    Pipe,
+    Pipe2,
+    Tee,
+}
+
+impl Syscall {
+    /// The lowercase syscall name as it appears in audit logs.
+    pub fn name(self) -> &'static str {
+        match self {
+            Syscall::Close => "close",
+            Syscall::Creat => "creat",
+            Syscall::Dup => "dup",
+            Syscall::Dup2 => "dup2",
+            Syscall::Dup3 => "dup3",
+            Syscall::Link => "link",
+            Syscall::Linkat => "linkat",
+            Syscall::Symlink => "symlink",
+            Syscall::Symlinkat => "symlinkat",
+            Syscall::Mknod => "mknod",
+            Syscall::Mknodat => "mknodat",
+            Syscall::Open => "open",
+            Syscall::Openat => "openat",
+            Syscall::Read => "read",
+            Syscall::Pread => "pread",
+            Syscall::Rename => "rename",
+            Syscall::Renameat => "renameat",
+            Syscall::Truncate => "truncate",
+            Syscall::Ftruncate => "ftruncate",
+            Syscall::Unlink => "unlink",
+            Syscall::Unlinkat => "unlinkat",
+            Syscall::Write => "write",
+            Syscall::Pwrite => "pwrite",
+            Syscall::Clone => "clone",
+            Syscall::Execve => "execve",
+            Syscall::Exit => "exit",
+            Syscall::Fork => "fork",
+            Syscall::Kill => "kill",
+            Syscall::Vfork => "vfork",
+            Syscall::Chmod => "chmod",
+            Syscall::Fchmod => "fchmod",
+            Syscall::Fchmodat => "fchmodat",
+            Syscall::Chown => "chown",
+            Syscall::Fchown => "fchown",
+            Syscall::Fchownat => "fchownat",
+            Syscall::Setgid => "setgid",
+            Syscall::Setregid => "setregid",
+            Syscall::Setresgid => "setresgid",
+            Syscall::Setuid => "setuid",
+            Syscall::Setreuid => "setreuid",
+            Syscall::Setresuid => "setresuid",
+            Syscall::Pipe => "pipe",
+            Syscall::Pipe2 => "pipe2",
+            Syscall::Tee => "tee",
+        }
+    }
+
+    /// The paper's Table 1 group (1 files, 2 processes, 3 permissions,
+    /// 4 pipes).
+    pub fn group(self) -> u8 {
+        use Syscall::*;
+        match self {
+            Close | Creat | Dup | Dup2 | Dup3 | Link | Linkat | Symlink | Symlinkat | Mknod
+            | Mknodat | Open | Openat | Read | Pread | Rename | Renameat | Truncate
+            | Ftruncate | Unlink | Unlinkat | Write | Pwrite => 1,
+            Clone | Execve | Exit | Fork | Kill | Vfork => 2,
+            Chmod | Fchmod | Fchmodat | Chown | Fchown | Fchownat | Setgid | Setregid
+            | Setresgid | Setuid | Setreuid | Setresuid => 3,
+            Pipe | Pipe2 | Tee => 4,
+        }
+    }
+
+    /// All 44 benchmarked syscalls in Table 1 order.
+    pub fn all() -> &'static [Syscall] {
+        use Syscall::*;
+        &[
+            Close, Creat, Dup, Dup2, Dup3, Link, Linkat, Symlink, Symlinkat, Mknod, Mknodat,
+            Open, Openat, Read, Pread, Rename, Renameat, Truncate, Ftruncate, Unlink, Unlinkat,
+            Write, Pwrite, Clone, Execve, Exit, Fork, Kill, Vfork, Chmod, Fchmod, Fchmodat,
+            Chown, Fchown, Fchownat, Setgid, Setregid, Setresgid, Setuid, Setreuid, Setresuid,
+            Pipe, Pipe2, Tee,
+        ]
+    }
+}
+
+impl fmt::Display for Syscall {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A filesystem path referenced by a syscall, as recorded in an audit
+/// `PATH` record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathRecord {
+    /// The path string as the process supplied it (normalized).
+    pub name: String,
+    /// Inode number, when the object existed.
+    pub inode: Option<Ino>,
+    /// Mode bits of the object, when it existed.
+    pub mode: Option<Mode>,
+    /// Role of this path in the call (`"NORMAL"`, `"PARENT"`, `"CREATE"`,
+    /// `"DELETE"`), mirroring audit's `nametype`.
+    pub nametype: String,
+}
+
+/// A Linux Audit record, emitted at syscall **exit** (consumed by SPADE).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuditRecord {
+    /// Monotonic serial number (volatile across trials).
+    pub serial: u64,
+    /// Event timestamp (volatile).
+    pub time: u64,
+    /// Calling process.
+    pub pid: Pid,
+    /// Parent of the calling process.
+    pub ppid: Pid,
+    /// Credentials at syscall time.
+    pub creds: Credentials,
+    /// Which syscall.
+    pub syscall: Syscall,
+    /// Return value (negative errno on failure).
+    pub exit: i64,
+    /// `true` when the call succeeded.
+    pub success: bool,
+    /// Raw argument summary (`a0`..`a3` equivalents, stringified).
+    pub args: Vec<String>,
+    /// Paths touched by the call.
+    pub paths: Vec<PathRecord>,
+    /// Executable of the calling process.
+    pub exe: String,
+    /// Command name of the calling process.
+    pub comm: String,
+    /// Working directory.
+    pub cwd: String,
+    /// For process-creation calls, the pid of the new child.
+    pub child_pid: Option<Pid>,
+}
+
+/// A C library call observed by interposition (consumed by OPUS).
+///
+/// Unlike audit records, libc calls are visible *even when they fail*, and
+/// calls that bypass libc (raw `clone`) never appear.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LibcCall {
+    /// Sequence number within the trace (volatile).
+    pub seq: u64,
+    /// Timestamp (volatile).
+    pub time: u64,
+    /// Calling process.
+    pub pid: Pid,
+    /// Wrapped function name (`"open"`, `"fopen"`, ...).
+    pub func: String,
+    /// Stringified arguments.
+    pub args: Vec<String>,
+    /// Return value.
+    pub ret: i64,
+    /// Errno when the call failed.
+    pub errno: Option<Errno>,
+    /// Environment snapshot, attached to `execve` wrappers only (OPUS
+    /// records process environments, making its graphs large — paper §5.1).
+    pub env: Option<BTreeMap<String, String>>,
+}
+
+/// Kernel objects referenced by an LSM hook invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LsmObject {
+    /// An inode (with its kind name and mode).
+    Inode {
+        /// Inode number.
+        ino: Ino,
+        /// Object kind name (`"file"`, `"fifo"`, ...).
+        kind: String,
+        /// Permission bits.
+        mode: Mode,
+        /// Owner uid.
+        uid: u32,
+    },
+    /// A path string naming an object.
+    Path {
+        /// Normalized absolute path.
+        path: String,
+    },
+    /// Another task.
+    Task {
+        /// Its pid.
+        pid: Pid,
+    },
+}
+
+/// LSM hook identities fired by the simulated kernel (consumed by CamFlow).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+#[non_exhaustive]
+pub enum LsmHook {
+    FileOpen,
+    FilePermissionRead,
+    FilePermissionWrite,
+    InodeCreate,
+    InodeLink,
+    InodeSymlink,
+    InodeMknod,
+    InodeRename,
+    InodeUnlink,
+    InodeSetattr,
+    InodeSetown,
+    TaskAlloc,
+    TaskFixSetuid,
+    TaskFixSetgid,
+    TaskKill,
+    TaskFree,
+    BprmCheck,
+    FileSplice,
+    FileFree,
+}
+
+impl LsmHook {
+    /// Hook name as CamFlow logs it.
+    pub fn name(self) -> &'static str {
+        match self {
+            LsmHook::FileOpen => "file_open",
+            LsmHook::FilePermissionRead => "file_permission:read",
+            LsmHook::FilePermissionWrite => "file_permission:write",
+            LsmHook::InodeCreate => "inode_create",
+            LsmHook::InodeLink => "inode_link",
+            LsmHook::InodeSymlink => "inode_symlink",
+            LsmHook::InodeMknod => "inode_mknod",
+            LsmHook::InodeRename => "inode_rename",
+            LsmHook::InodeUnlink => "inode_unlink",
+            LsmHook::InodeSetattr => "inode_setattr",
+            LsmHook::InodeSetown => "inode_setown",
+            LsmHook::TaskAlloc => "task_alloc",
+            LsmHook::TaskFixSetuid => "task_fix_setuid",
+            LsmHook::TaskFixSetgid => "task_fix_setgid",
+            LsmHook::TaskKill => "task_kill",
+            LsmHook::TaskFree => "task_free",
+            LsmHook::BprmCheck => "bprm_check",
+            LsmHook::FileSplice => "file_splice",
+            LsmHook::FileFree => "file_free",
+        }
+    }
+}
+
+/// One LSM hook invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LsmEvent {
+    /// Boot identity of the kernel that fired the hook. Kernel objects
+    /// (inodes, tasks) are only meaningful within one boot; stateful
+    /// consumers (CamFlow) must scope identities by it.
+    pub boot: u64,
+    /// Sequence number (volatile).
+    pub seq: u64,
+    /// Timestamp in jiffies (volatile).
+    pub jiffies: u64,
+    /// Which hook fired.
+    pub hook: LsmHook,
+    /// The acting task.
+    pub pid: Pid,
+    /// Credentials of the acting task.
+    pub creds: Credentials,
+    /// Objects involved, in hook-specific order.
+    pub objects: Vec<LsmObject>,
+    /// `true` when the kernel permitted the operation. Hooks fire before
+    /// the operation, so denied operations still produce events.
+    pub allowed: bool,
+}
+
+/// Any event at any observation layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// Audit layer (SPADE's source).
+    Audit(AuditRecord),
+    /// C library layer (OPUS's source).
+    Libc(LibcCall),
+    /// LSM layer (CamFlow's source).
+    Lsm(LsmEvent),
+}
+
+/// Ordered log of all events a kernel run produced.
+#[derive(Debug, Clone, Default)]
+pub struct EventLog {
+    events: Vec<Event>,
+}
+
+impl EventLog {
+    /// Create an empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append an event.
+    pub fn push(&mut self, event: Event) {
+        self.events.push(event);
+    }
+
+    /// All events in emission order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Iterate only the audit records.
+    pub fn audit_records(&self) -> impl Iterator<Item = &AuditRecord> {
+        self.events.iter().filter_map(|e| match e {
+            Event::Audit(r) => Some(r),
+            _ => None,
+        })
+    }
+
+    /// Iterate only the libc calls.
+    pub fn libc_calls(&self) -> impl Iterator<Item = &LibcCall> {
+        self.events.iter().filter_map(|e| match e {
+            Event::Libc(c) => Some(c),
+            _ => None,
+        })
+    }
+
+    /// Iterate only the LSM events.
+    pub fn lsm_events(&self) -> impl Iterator<Item = &LsmEvent> {
+        self.events.iter().filter_map(|e| match e {
+            Event::Lsm(l) => Some(l),
+            _ => None,
+        })
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` when no events were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_has_44_syscalls_in_4_groups() {
+        let all = Syscall::all();
+        assert_eq!(all.len(), 44);
+        assert_eq!(all.iter().filter(|s| s.group() == 1).count(), 23);
+        assert_eq!(all.iter().filter(|s| s.group() == 2).count(), 6);
+        assert_eq!(all.iter().filter(|s| s.group() == 3).count(), 12);
+        assert_eq!(all.iter().filter(|s| s.group() == 4).count(), 3);
+    }
+
+    #[test]
+    fn syscall_names_lowercase_unique() {
+        let mut names: Vec<&str> = Syscall::all().iter().map(|s| s.name()).collect();
+        names.sort();
+        let len = names.len();
+        names.dedup();
+        assert_eq!(names.len(), len);
+        assert!(names.iter().all(|n| n.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit())));
+    }
+
+    #[test]
+    fn event_log_filters_by_layer() {
+        let mut log = EventLog::new();
+        log.push(Event::Libc(LibcCall {
+            seq: 1,
+            time: 0,
+            pid: 1,
+            func: "open".into(),
+            args: vec![],
+            ret: 3,
+            errno: None,
+            env: None,
+        }));
+        log.push(Event::Lsm(LsmEvent {
+            boot: 1,
+            seq: 2,
+            jiffies: 0,
+            hook: LsmHook::FileOpen,
+            pid: 1,
+            creds: Credentials::root(),
+            objects: vec![],
+            allowed: true,
+        }));
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.audit_records().count(), 0);
+        assert_eq!(log.libc_calls().count(), 1);
+        assert_eq!(log.lsm_events().count(), 1);
+    }
+
+    #[test]
+    fn hook_names_stable() {
+        assert_eq!(LsmHook::FileOpen.name(), "file_open");
+        assert_eq!(LsmHook::TaskFixSetuid.name(), "task_fix_setuid");
+    }
+}

@@ -1,0 +1,518 @@
+//! In-memory filesystem: inodes plus a path namespace.
+
+use std::collections::BTreeMap;
+
+use crate::errno::Errno;
+use crate::process::Credentials;
+use crate::types::{Gid, Ino, Mode, Uid};
+
+/// What kind of object an inode is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InodeKind {
+    /// Regular file with byte contents.
+    Regular,
+    /// Directory.
+    Directory,
+    /// Symbolic link holding its target path.
+    Symlink(String),
+    /// Named pipe (FIFO) — also used for anonymous pipes.
+    Fifo,
+    /// Character device.
+    CharDevice,
+    /// Block device.
+    BlockDevice,
+}
+
+impl InodeKind {
+    /// Short name used in audit records and provenance properties.
+    pub fn name(&self) -> &'static str {
+        match self {
+            InodeKind::Regular => "file",
+            InodeKind::Directory => "directory",
+            InodeKind::Symlink(_) => "link",
+            InodeKind::Fifo => "fifo",
+            InodeKind::CharDevice => "character",
+            InodeKind::BlockDevice => "block",
+        }
+    }
+}
+
+/// One inode: the kernel-side identity of a filesystem object.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Inode {
+    /// Inode number (volatile across trials).
+    pub ino: Ino,
+    /// Object kind.
+    pub kind: InodeKind,
+    /// Permission bits (e.g. `0o644`).
+    pub mode: Mode,
+    /// Owning user.
+    pub uid: Uid,
+    /// Owning group.
+    pub gid: Gid,
+    /// Hard link count.
+    pub nlink: u32,
+    /// Size in bytes.
+    pub size: u64,
+    /// Version counter bumped on every content or metadata change.
+    pub version: u64,
+}
+
+impl Inode {
+    fn new(ino: Ino, kind: InodeKind, mode: Mode, uid: Uid, gid: Gid) -> Self {
+        Inode {
+            ino,
+            kind,
+            mode,
+            uid,
+            gid,
+            nlink: 1,
+            size: 0,
+            version: 0,
+        }
+    }
+
+    /// `true` if `creds` may access with the requested bits
+    /// (read/write/execute), using standard owner/group/other semantics.
+    /// Root (euid 0) bypasses permission checks, as on Linux.
+    pub fn may_access(&self, creds: &Credentials, read: bool, write: bool, exec: bool) -> bool {
+        if creds.euid == 0 {
+            return true;
+        }
+        let shift = if creds.euid == self.uid {
+            6
+        } else if creds.egid == self.gid {
+            3
+        } else {
+            0
+        };
+        let bits = (self.mode >> shift) & 0o7;
+        (!read || bits & 0o4 != 0) && (!write || bits & 0o2 != 0) && (!exec || bits & 0o1 != 0)
+    }
+}
+
+/// Path namespace mapping absolute paths to inodes.
+///
+/// Paths are normalized absolute strings (`/staging/test.txt`). The
+/// namespace owns the inode table; hard links make several paths share an
+/// inode number.
+#[derive(Debug, Clone, Default)]
+pub struct Namespace {
+    inodes: BTreeMap<Ino, Inode>,
+    paths: BTreeMap<String, Ino>,
+    next_ino: Ino,
+}
+
+impl Namespace {
+    /// Create a namespace containing only the root directory.
+    ///
+    /// `ino_base` seeds inode numbering; trials use different bases so that
+    /// inode numbers are volatile, as on a real machine.
+    pub fn new(ino_base: Ino) -> Self {
+        let mut ns = Namespace {
+            inodes: BTreeMap::new(),
+            paths: BTreeMap::new(),
+            next_ino: ino_base.max(2),
+        };
+        let root = ns.alloc_inode(InodeKind::Directory, 0o755, 0, 0);
+        ns.paths.insert("/".to_owned(), root);
+        ns
+    }
+
+    fn alloc_inode(&mut self, kind: InodeKind, mode: Mode, uid: Uid, gid: Gid) -> Ino {
+        let ino = self.next_ino;
+        self.next_ino += 1;
+        self.inodes.insert(ino, Inode::new(ino, kind, mode, uid, gid));
+        ino
+    }
+
+    /// Normalize a path: ensure leading `/`, collapse duplicate slashes,
+    /// strip a trailing slash (except for root).
+    pub fn normalize(path: &str) -> String {
+        let mut out = String::from("/");
+        for comp in path.split('/') {
+            if comp.is_empty() || comp == "." {
+                continue;
+            }
+            if !out.ends_with('/') {
+                out.push('/');
+            }
+            out.push_str(comp);
+        }
+        out
+    }
+
+    /// Split a normalized path into (parent path, final component).
+    pub fn split(path: &str) -> (String, String) {
+        let norm = Self::normalize(path);
+        match norm.rfind('/') {
+            Some(0) => ("/".to_owned(), norm[1..].to_owned()),
+            Some(i) => (norm[..i].to_owned(), norm[i + 1..].to_owned()),
+            None => ("/".to_owned(), norm),
+        }
+    }
+
+    /// Look up a path without following a final symlink.
+    pub fn lookup(&self, path: &str) -> Option<Ino> {
+        self.paths.get(&Self::normalize(path)).copied()
+    }
+
+    /// Look up a path, following final symlinks (up to 8 hops).
+    pub fn resolve(&self, path: &str) -> Result<Ino, Errno> {
+        let mut current = Self::normalize(path);
+        for _ in 0..8 {
+            let ino = *self.paths.get(&current).ok_or(Errno::ENOENT)?;
+            match &self.inodes[&ino].kind {
+                InodeKind::Symlink(target) => {
+                    current = Self::normalize(target);
+                }
+                _ => return Ok(ino),
+            }
+        }
+        Err(Errno::EINVAL)
+    }
+
+    /// Immutable inode access.
+    pub fn inode(&self, ino: Ino) -> Option<&Inode> {
+        self.inodes.get(&ino)
+    }
+
+    /// Mutable inode access.
+    pub fn inode_mut(&mut self, ino: Ino) -> Option<&mut Inode> {
+        self.inodes.get_mut(&ino)
+    }
+
+    /// Iterate all `(path, ino)` bindings (deterministic order).
+    pub fn bindings(&self) -> impl Iterator<Item = (&str, Ino)> {
+        self.paths.iter().map(|(p, &i)| (p.as_str(), i))
+    }
+
+    /// The parent directory's inode, checking it exists and is a directory.
+    pub fn parent_dir(&self, path: &str) -> Result<(String, String, Ino), Errno> {
+        let (parent, name) = Self::split(path);
+        if name.is_empty() {
+            return Err(Errno::EINVAL);
+        }
+        let pino = self.paths.get(&parent).copied().ok_or(Errno::ENOENT)?;
+        match self.inodes[&pino].kind {
+            InodeKind::Directory => Ok((parent, name, pino)),
+            _ => Err(Errno::ENOTDIR),
+        }
+    }
+
+    /// Check that `creds` may create/remove entries in the parent directory
+    /// of `path` (write + search permission on the directory).
+    pub fn check_parent_writable(&self, path: &str, creds: &Credentials) -> Result<Ino, Errno> {
+        let (_, _, pino) = self.parent_dir(path)?;
+        let dir = &self.inodes[&pino];
+        if !dir.may_access(creds, false, true, true) {
+            return Err(Errno::EACCES);
+        }
+        Ok(pino)
+    }
+
+    /// Create a new filesystem object at `path`.
+    pub fn create(
+        &mut self,
+        path: &str,
+        kind: InodeKind,
+        mode: Mode,
+        creds: &Credentials,
+    ) -> Result<Ino, Errno> {
+        let norm = Self::normalize(path);
+        if self.paths.contains_key(&norm) {
+            return Err(Errno::EEXIST);
+        }
+        self.check_parent_writable(&norm, creds)?;
+        let ino = self.alloc_inode(kind, mode, creds.euid, creds.egid);
+        self.paths.insert(norm, ino);
+        Ok(ino)
+    }
+
+    /// Create a directory (used for staging setup; not a benchmarked call).
+    pub fn mkdir(&mut self, path: &str, mode: Mode, creds: &Credentials) -> Result<Ino, Errno> {
+        self.create(path, InodeKind::Directory, mode, creds)
+    }
+
+    /// Add a hard link `new_path` → the inode at `old_path`.
+    pub fn link(&mut self, old_path: &str, new_path: &str, creds: &Credentials) -> Result<Ino, Errno> {
+        let ino = self.lookup(old_path).ok_or(Errno::ENOENT)?;
+        if matches!(self.inodes[&ino].kind, InodeKind::Directory) {
+            return Err(Errno::EPERM);
+        }
+        let norm = Self::normalize(new_path);
+        if self.paths.contains_key(&norm) {
+            return Err(Errno::EEXIST);
+        }
+        self.check_parent_writable(&norm, creds)?;
+        self.paths.insert(norm, ino);
+        let inode = self.inodes.get_mut(&ino).expect("linked inode exists");
+        inode.nlink += 1;
+        inode.version += 1;
+        Ok(ino)
+    }
+
+    /// Create a symlink at `path` pointing to `target`.
+    pub fn symlink(&mut self, target: &str, path: &str, creds: &Credentials) -> Result<Ino, Errno> {
+        self.create(path, InodeKind::Symlink(target.to_owned()), 0o777, creds)
+    }
+
+    /// Remove the entry at `path`; drops the inode when `nlink` hits zero.
+    pub fn unlink(&mut self, path: &str, creds: &Credentials) -> Result<Ino, Errno> {
+        let norm = Self::normalize(path);
+        let ino = self.paths.get(&norm).copied().ok_or(Errno::ENOENT)?;
+        if matches!(self.inodes[&ino].kind, InodeKind::Directory) {
+            return Err(Errno::EISDIR);
+        }
+        self.check_parent_writable(&norm, creds)?;
+        self.paths.remove(&norm);
+        let inode = self.inodes.get_mut(&ino).expect("unlinked inode exists");
+        inode.nlink -= 1;
+        inode.version += 1;
+        if inode.nlink == 0 {
+            self.inodes.remove(&ino);
+        }
+        Ok(ino)
+    }
+
+    /// Rename `old_path` to `new_path`, replacing any existing target.
+    ///
+    /// Returns `(moved inode, replaced inode if any)`.
+    pub fn rename(
+        &mut self,
+        old_path: &str,
+        new_path: &str,
+        creds: &Credentials,
+    ) -> Result<(Ino, Option<Ino>), Errno> {
+        let old_norm = Self::normalize(old_path);
+        let new_norm = Self::normalize(new_path);
+        let ino = self.paths.get(&old_norm).copied().ok_or(Errno::ENOENT)?;
+        self.check_parent_writable(&old_norm, creds)?;
+        self.check_parent_writable(&new_norm, creds)?;
+        let replaced = self.paths.get(&new_norm).copied();
+        if replaced == Some(ino) {
+            // POSIX: renaming onto the same file (same path or another
+            // hard link of the same inode) succeeds and does nothing.
+            return Ok((ino, None));
+        }
+        if let Some(r) = replaced {
+            if matches!(self.inodes[&r].kind, InodeKind::Directory) {
+                return Err(Errno::EISDIR);
+            }
+            let inode = self.inodes.get_mut(&r).expect("replaced inode exists");
+            inode.nlink -= 1;
+            if inode.nlink == 0 {
+                self.inodes.remove(&r);
+            }
+        }
+        self.paths.remove(&old_norm);
+        self.paths.insert(new_norm, ino);
+        let inode = self.inodes.get_mut(&ino).expect("renamed inode exists");
+        inode.version += 1;
+        Ok((ino, replaced))
+    }
+
+    /// All paths currently bound to `ino`.
+    pub fn paths_of(&self, ino: Ino) -> Vec<&str> {
+        self.paths
+            .iter()
+            .filter(|(_, &i)| i == ino)
+            .map(|(p, _)| p.as_str())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn root_creds() -> Credentials {
+        Credentials::root()
+    }
+
+    fn user_creds() -> Credentials {
+        Credentials::user(1000, 1000)
+    }
+
+    fn ns_with_tmp() -> Namespace {
+        let mut ns = Namespace::new(100);
+        ns.mkdir("/tmp", 0o777, &root_creds()).unwrap();
+        ns.mkdir("/etc", 0o755, &root_creds()).unwrap();
+        ns
+    }
+
+    #[test]
+    fn normalize_paths() {
+        assert_eq!(Namespace::normalize("/a//b/"), "/a/b");
+        assert_eq!(Namespace::normalize("a/b"), "/a/b");
+        assert_eq!(Namespace::normalize("/"), "/");
+        assert_eq!(Namespace::normalize("/./a"), "/a");
+    }
+
+    #[test]
+    fn split_parent_and_name() {
+        assert_eq!(Namespace::split("/a/b"), ("/a".into(), "b".into()));
+        assert_eq!(Namespace::split("/a"), ("/".into(), "a".into()));
+    }
+
+    #[test]
+    fn create_and_lookup() {
+        let mut ns = ns_with_tmp();
+        let ino = ns
+            .create("/tmp/f", InodeKind::Regular, 0o644, &user_creds())
+            .unwrap();
+        assert_eq!(ns.lookup("/tmp/f"), Some(ino));
+        assert_eq!(ns.inode(ino).unwrap().uid, 1000);
+        assert_eq!(ns.inode(ino).unwrap().nlink, 1);
+    }
+
+    #[test]
+    fn create_rejects_existing_and_missing_parent() {
+        let mut ns = ns_with_tmp();
+        ns.create("/tmp/f", InodeKind::Regular, 0o644, &user_creds())
+            .unwrap();
+        assert_eq!(
+            ns.create("/tmp/f", InodeKind::Regular, 0o644, &user_creds()),
+            Err(Errno::EEXIST)
+        );
+        assert_eq!(
+            ns.create("/nodir/f", InodeKind::Regular, 0o644, &user_creds()),
+            Err(Errno::ENOENT)
+        );
+    }
+
+    #[test]
+    fn create_in_unwritable_dir_denied_for_user_not_root() {
+        let mut ns = ns_with_tmp();
+        assert_eq!(
+            ns.create("/etc/evil", InodeKind::Regular, 0o644, &user_creds()),
+            Err(Errno::EACCES)
+        );
+        assert!(ns
+            .create("/etc/ok", InodeKind::Regular, 0o644, &root_creds())
+            .is_ok());
+    }
+
+    #[test]
+    fn hard_link_shares_inode_and_counts() {
+        let mut ns = ns_with_tmp();
+        let ino = ns
+            .create("/tmp/a", InodeKind::Regular, 0o644, &user_creds())
+            .unwrap();
+        let linked = ns.link("/tmp/a", "/tmp/b", &user_creds()).unwrap();
+        assert_eq!(ino, linked);
+        assert_eq!(ns.inode(ino).unwrap().nlink, 2);
+        ns.unlink("/tmp/a", &user_creds()).unwrap();
+        assert_eq!(ns.inode(ino).unwrap().nlink, 1);
+        ns.unlink("/tmp/b", &user_creds()).unwrap();
+        assert!(ns.inode(ino).is_none(), "inode freed at nlink 0");
+    }
+
+    #[test]
+    fn link_to_directory_rejected() {
+        let mut ns = ns_with_tmp();
+        assert_eq!(ns.link("/tmp", "/tmp2", &root_creds()), Err(Errno::EPERM));
+    }
+
+    #[test]
+    fn symlink_resolution() {
+        let mut ns = ns_with_tmp();
+        let ino = ns
+            .create("/tmp/real", InodeKind::Regular, 0o644, &user_creds())
+            .unwrap();
+        ns.symlink("/tmp/real", "/tmp/sym", &user_creds()).unwrap();
+        assert_eq!(ns.resolve("/tmp/sym").unwrap(), ino);
+        // lookup does not follow
+        assert_ne!(ns.lookup("/tmp/sym"), Some(ino));
+    }
+
+    #[test]
+    fn symlink_loop_detected() {
+        let mut ns = ns_with_tmp();
+        ns.symlink("/tmp/b", "/tmp/a", &user_creds()).unwrap();
+        ns.symlink("/tmp/a", "/tmp/b", &user_creds()).unwrap();
+        assert_eq!(ns.resolve("/tmp/a"), Err(Errno::EINVAL));
+    }
+
+    #[test]
+    fn rename_moves_and_replaces() {
+        let mut ns = ns_with_tmp();
+        let a = ns
+            .create("/tmp/a", InodeKind::Regular, 0o644, &user_creds())
+            .unwrap();
+        let b = ns
+            .create("/tmp/b", InodeKind::Regular, 0o644, &user_creds())
+            .unwrap();
+        let (moved, replaced) = ns.rename("/tmp/a", "/tmp/b", &user_creds()).unwrap();
+        assert_eq!(moved, a);
+        assert_eq!(replaced, Some(b));
+        assert_eq!(ns.lookup("/tmp/b"), Some(a));
+        assert_eq!(ns.lookup("/tmp/a"), None);
+        assert!(ns.inode(b).is_none(), "replaced inode freed");
+    }
+
+    #[test]
+    fn rename_onto_itself_is_a_noop() {
+        let mut ns = ns_with_tmp();
+        let a = ns
+            .create("/tmp/a", InodeKind::Regular, 0o644, &user_creds())
+            .unwrap();
+        assert_eq!(ns.rename("/tmp/a", "/tmp/a", &user_creds()).unwrap(), (a, None));
+        assert_eq!(ns.lookup("/tmp/a"), Some(a));
+        // Hard-link variant: rename between two names of the same inode.
+        ns.link("/tmp/a", "/tmp/b", &user_creds()).unwrap();
+        assert_eq!(ns.rename("/tmp/a", "/tmp/b", &user_creds()).unwrap(), (a, None));
+        assert_eq!(ns.inode(a).unwrap().nlink, 2, "no link may be lost");
+    }
+
+    #[test]
+    fn rename_into_protected_dir_denied() {
+        let mut ns = ns_with_tmp();
+        ns.create("/tmp/mine", InodeKind::Regular, 0o644, &user_creds())
+            .unwrap();
+        assert_eq!(
+            ns.rename("/tmp/mine", "/etc/passwd", &user_creds()),
+            Err(Errno::EACCES)
+        );
+    }
+
+    #[test]
+    fn unlink_missing_and_directory() {
+        let mut ns = ns_with_tmp();
+        assert_eq!(ns.unlink("/tmp/none", &user_creds()), Err(Errno::ENOENT));
+        assert_eq!(ns.unlink("/tmp", &root_creds()), Err(Errno::EISDIR));
+    }
+
+    #[test]
+    fn permission_bits() {
+        let inode = Inode::new(5, InodeKind::Regular, 0o640, 1000, 1000);
+        let owner = Credentials::user(1000, 1000);
+        let group = Credentials::user(2000, 1000);
+        let other = Credentials::user(3000, 3000);
+        assert!(inode.may_access(&owner, true, true, false));
+        assert!(inode.may_access(&group, true, false, false));
+        assert!(!inode.may_access(&group, false, true, false));
+        assert!(!inode.may_access(&other, true, false, false));
+        assert!(inode.may_access(&Credentials::root(), true, true, true));
+    }
+
+    #[test]
+    fn paths_of_lists_all_links() {
+        let mut ns = ns_with_tmp();
+        let ino = ns
+            .create("/tmp/a", InodeKind::Regular, 0o644, &user_creds())
+            .unwrap();
+        ns.link("/tmp/a", "/tmp/b", &user_creds()).unwrap();
+        let paths = ns.paths_of(ino);
+        assert_eq!(paths, vec!["/tmp/a", "/tmp/b"]);
+    }
+
+    #[test]
+    fn ino_base_offsets_numbering() {
+        let ns1 = Namespace::new(1000);
+        let ns2 = Namespace::new(5000);
+        let i1 = ns1.lookup("/").unwrap();
+        let i2 = ns2.lookup("/").unwrap();
+        assert_ne!(i1, i2, "inode numbers are volatile across trials");
+    }
+}

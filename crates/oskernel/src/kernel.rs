@@ -1,0 +1,2100 @@
+//! The kernel proper: global state plus the 44 syscall implementations.
+//!
+//! Every syscall implementation follows the same shape:
+//!
+//! 1. fire the LSM hooks the real kernel would fire (even for operations
+//!    that end up denied — LSM hooks run *before* the operation);
+//! 2. mutate kernel state;
+//! 3. emit an audit record at syscall **exit** (deferred for `vfork`);
+//! 4. emit the libc wrapper event (skipped for raw `clone`).
+
+use std::collections::BTreeMap;
+
+use crate::errno::{Errno, SysResult};
+use crate::events::{
+    AuditRecord, Event, EventLog, LibcCall, LsmEvent, LsmHook, LsmObject, PathRecord, Syscall,
+};
+use crate::fs::{InodeKind, Namespace};
+use crate::pipe::Pipe;
+use crate::process::{Credentials, FdEntry, Process, ProcessState};
+use crate::program::{Op, Program};
+use crate::types::{Gid, Ino, Mode, OpenFlags, Pid, Uid};
+
+/// What an open file description refers to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum OfdTarget {
+    /// A filesystem inode.
+    Inode(Ino),
+    /// The read end of pipe `i`.
+    PipeRead(usize),
+    /// The write end of pipe `i`.
+    PipeWrite(usize),
+}
+
+/// A kernel open file description, shared by `dup`ed / inherited fds.
+#[derive(Debug, Clone)]
+struct OpenDescription {
+    target: OfdTarget,
+    flags: OpenFlags,
+    offset: u64,
+    /// Number of fd-table slots referencing this description.
+    refs: usize,
+    /// Path used at open time (for audit path reconstruction).
+    opened_path: Option<String>,
+}
+
+/// Outcome of running a whole benchmark program.
+#[derive(Debug, Clone)]
+pub struct ProgramOutcome {
+    /// `true` when every non-expected-failure op succeeded.
+    pub success: bool,
+    /// Per-op results in execution order (`Ok(ret)` or `Err(errno)`).
+    pub results: Vec<SysResult>,
+    /// Pid of the benchmark process (the one that execs the program).
+    pub bench_pid: Pid,
+}
+
+/// A deferred audit record for a suspended `vfork` parent.
+#[derive(Debug, Clone)]
+struct PendingVforkAudit {
+    parent: Pid,
+    child: Pid,
+}
+
+/// The simulated kernel.
+///
+/// Construct with [`Kernel::with_seed`]; the seed determines all volatile
+/// values (timestamps, pid/inode numbering, audit serials, boot id), so two
+/// kernels with the same seed produce byte-identical event logs while two
+/// different seeds model two recording trials.
+#[derive(Debug, Clone)]
+pub struct Kernel {
+    ns: Namespace,
+    procs: BTreeMap<Pid, Process>,
+    ofds: Vec<OpenDescription>,
+    pipes: Vec<Pipe>,
+    log: EventLog,
+    next_pid: Pid,
+    serial: u64,
+    seq: u64,
+    clock: u64,
+    boot_id: String,
+    boot: u64,
+    recording: bool,
+    pending_vfork: Vec<PendingVforkAudit>,
+    /// Shell process that launches benchmark programs.
+    shell_pid: Pid,
+    /// When set, an extra loader path is touched during startup (noise).
+    pub startup_noise: bool,
+}
+
+impl Kernel {
+    /// Create a kernel whose volatile values derive from `seed`.
+    pub fn with_seed(seed: u64) -> Self {
+        let mix = seed.wrapping_mul(0x9E3779B97F4A7C15).rotate_left(17);
+        let pid_base = 1000 + (mix % 2000) as Pid;
+        let ino_base = 100_000 + (mix % 50_000);
+        let mut kernel = Kernel {
+            ns: Namespace::new(ino_base),
+            procs: BTreeMap::new(),
+            ofds: Vec::new(),
+            pipes: Vec::new(),
+            log: EventLog::new(),
+            next_pid: pid_base,
+            serial: 1 + mix % 10_000,
+            seq: 1 + mix % 100_000,
+            clock: 1_700_000_000_000 + mix % 1_000_000_000,
+            boot_id: format!("{mix:032x}"),
+            boot: mix,
+            recording: false,
+            pending_vfork: Vec::new(),
+            shell_pid: 0,
+            startup_noise: false,
+        };
+        kernel.populate_base_filesystem();
+        // The benchmark harness runs as root, as ProvMark does in its VMs.
+        let shell = kernel.spawn_raw(1, Credentials::root(), "/bin/sh");
+        kernel.procs.get_mut(&shell).expect("shell lives").cwd = "/staging".to_owned();
+        kernel.shell_pid = shell;
+        kernel
+    }
+
+    /// Resolve a possibly-relative path against the process's cwd.
+    fn abs(&self, pid: Pid, path: &str) -> String {
+        if path.starts_with('/') {
+            Namespace::normalize(path)
+        } else {
+            let cwd = &self.procs[&pid].cwd;
+            Namespace::normalize(&format!("{cwd}/{path}"))
+        }
+    }
+
+    /// The boot id (volatile property recorders may attach).
+    pub fn boot_id(&self) -> &str {
+        &self.boot_id
+    }
+
+    /// Pid of the launcher shell.
+    pub fn shell_pid(&self) -> Pid {
+        self.shell_pid
+    }
+
+    /// All events recorded so far.
+    pub fn events(&self) -> &[Event] {
+        self.log.events()
+    }
+
+    /// The full event log.
+    pub fn event_log(&self) -> &EventLog {
+        &self.log
+    }
+
+    /// Immutable view of the filesystem namespace.
+    pub fn namespace(&self) -> &Namespace {
+        &self.ns
+    }
+
+    /// Look up a process.
+    pub fn process(&self, pid: Pid) -> Option<&Process> {
+        self.procs.get(&pid)
+    }
+
+    /// Enable or disable event emission.
+    ///
+    /// ProvMark's recording stage prepares the staging directory *before*
+    /// starting the capture tool; state changes made while recording is off
+    /// leave no events.
+    pub fn set_recording(&mut self, on: bool) {
+        self.recording = on;
+    }
+
+    /// Run setup actions (staging preparation) without emitting events.
+    pub fn setup(&mut self, f: impl FnOnce(&mut Namespace)) {
+        let was = self.recording;
+        self.recording = false;
+        f(&mut self.ns);
+        self.recording = was;
+    }
+
+    fn populate_base_filesystem(&mut self) {
+        let root = Credentials::root();
+        for dir in ["/bin", "/lib", "/etc", "/tmp", "/staging", "/usr", "/usr/local", "/usr/local/bin"] {
+            self.ns.mkdir(dir, if dir == "/tmp" || dir == "/staging" { 0o777 } else { 0o755 }, &root)
+                .expect("base directory creates");
+        }
+        for file in ["/bin/sh", "/lib/ld-linux.so", "/lib/libc.so", "/etc/ld.so.cache", "/usr/local/bin/bench_fg", "/usr/local/bin/bench_bg"] {
+            self.ns
+                .create(file, InodeKind::Regular, 0o755, &root)
+                .expect("base file creates");
+        }
+        self.ns
+            .create("/etc/passwd", InodeKind::Regular, 0o644, &root)
+            .expect("passwd creates");
+    }
+
+    fn spawn_raw(&mut self, ppid: Pid, creds: Credentials, exe: &str) -> Pid {
+        let pid = self.next_pid;
+        self.next_pid += 1;
+        self.procs.insert(pid, Process::new(pid, ppid, creds, exe));
+        pid
+    }
+
+    fn tick(&mut self) -> u64 {
+        self.clock += 1 + (self.serial % 3);
+        self.clock
+    }
+
+    fn next_seq(&mut self) -> u64 {
+        let s = self.seq;
+        self.seq += 1;
+        s
+    }
+
+    // ----- event emission -------------------------------------------------
+
+    fn emit_lsm(&mut self, pid: Pid, hook: LsmHook, objects: Vec<LsmObject>, allowed: bool) {
+        if !self.recording {
+            return;
+        }
+        let creds = self.procs[&pid].creds;
+        let seq = self.next_seq();
+        let jiffies = self.tick();
+        self.log.push(Event::Lsm(LsmEvent {
+            boot: self.boot,
+            seq,
+            jiffies,
+            hook,
+            pid,
+            creds,
+            objects,
+            allowed,
+        }));
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn emit_audit(
+        &mut self,
+        pid: Pid,
+        syscall: Syscall,
+        result: &SysResult,
+        args: Vec<String>,
+        paths: Vec<PathRecord>,
+        child_pid: Option<Pid>,
+    ) {
+        if !self.recording {
+            return;
+        }
+        let proc = &self.procs[&pid];
+        let record = AuditRecord {
+            serial: self.serial,
+            time: self.clock,
+            pid,
+            ppid: proc.ppid,
+            creds: proc.creds,
+            syscall,
+            exit: match result {
+                Ok(v) => *v,
+                Err(e) => e.ret(),
+            },
+            success: result.is_ok(),
+            args,
+            paths,
+            exe: proc.exe.clone(),
+            comm: proc.comm.clone(),
+            cwd: proc.cwd.clone(),
+            child_pid,
+        };
+        self.serial += 1;
+        self.tick();
+        self.log.push(Event::Audit(record));
+    }
+
+    fn emit_libc(
+        &mut self,
+        pid: Pid,
+        func: &str,
+        args: Vec<String>,
+        result: &SysResult,
+        env: Option<BTreeMap<String, String>>,
+    ) {
+        if !self.recording {
+            return;
+        }
+        let seq = self.next_seq();
+        let time = self.tick();
+        self.log.push(Event::Libc(LibcCall {
+            seq,
+            time,
+            pid,
+            func: func.to_owned(),
+            args,
+            ret: match result {
+                Ok(v) => *v,
+                Err(e) => e.ret(),
+            },
+            errno: result.err(),
+            env,
+        }));
+    }
+
+    fn path_record(&self, path: &str, nametype: &str) -> PathRecord {
+        let norm = Namespace::normalize(path);
+        let ino = self.ns.lookup(&norm);
+        let mode = ino.and_then(|i| self.ns.inode(i)).map(|i| i.mode);
+        PathRecord {
+            name: norm,
+            inode: ino,
+            mode,
+            nametype: nametype.to_owned(),
+        }
+    }
+
+    fn inode_object(&self, ino: Ino) -> LsmObject {
+        match self.ns.inode(ino) {
+            Some(inode) => LsmObject::Inode {
+                ino,
+                kind: inode.kind.name().to_owned(),
+                mode: inode.mode,
+                uid: inode.uid,
+            },
+            None => LsmObject::Inode {
+                ino,
+                kind: "file".to_owned(),
+                mode: 0,
+                uid: 0,
+            },
+        }
+    }
+
+    // ----- fd helpers ------------------------------------------------------
+
+    fn alloc_ofd(&mut self, target: OfdTarget, flags: OpenFlags, path: Option<String>) -> usize {
+        self.ofds.push(OpenDescription {
+            target,
+            flags,
+            offset: 0,
+            refs: 1,
+            opened_path: path,
+        });
+        self.ofds.len() - 1
+    }
+
+    fn install_fd(&mut self, pid: Pid, ofd: usize, cloexec: bool) -> i32 {
+        let proc = self.procs.get_mut(&pid).expect("live process");
+        let fd = proc.lowest_free_fd();
+        proc.fds.insert(fd, FdEntry { ofd, cloexec });
+        fd
+    }
+
+    fn fd_entry(&self, pid: Pid, fd: i32) -> Result<FdEntry, Errno> {
+        self.procs
+            .get(&pid)
+            .and_then(|p| p.fds.get(&fd))
+            .copied()
+            .ok_or(Errno::EBADF)
+    }
+
+    fn drop_ofd_ref(&mut self, ofd: usize) {
+        let d = &mut self.ofds[ofd];
+        d.refs = d.refs.saturating_sub(1);
+        if d.refs == 0 {
+            match d.target {
+                OfdTarget::PipeRead(i) => self.pipes[i].read_open = false,
+                OfdTarget::PipeWrite(i) => self.pipes[i].write_open = false,
+                OfdTarget::Inode(_) => {}
+            }
+        }
+    }
+
+    /// Resolve an fd to the path it was opened with (for audit records).
+    fn fd_path(&self, pid: Pid, fd: i32) -> Option<String> {
+        let entry = self.fd_entry(pid, fd).ok()?;
+        self.ofds[entry.ofd].opened_path.clone()
+    }
+
+    fn fd_ino(&self, pid: Pid, fd: i32) -> Result<Ino, Errno> {
+        let entry = self.fd_entry(pid, fd)?;
+        match self.ofds[entry.ofd].target {
+            OfdTarget::Inode(ino) => Ok(ino),
+            _ => Err(Errno::EINVAL),
+        }
+    }
+
+    // ----- group 1: file syscalls ------------------------------------------
+
+    fn do_open(&mut self, pid: Pid, path: &str, flags: OpenFlags, mode: Mode) -> SysResult {
+        let creds = self.procs[&pid].creds;
+        let norm = Namespace::normalize(path);
+        let existing = self.ns.resolve(&norm).ok();
+        let (ino, created) = match existing {
+            Some(ino) => {
+                if flags.contains(OpenFlags::CREAT) && flags.contains(OpenFlags::EXCL) {
+                    return Err(Errno::EEXIST);
+                }
+                (ino, false)
+            }
+            None => {
+                if !flags.contains(OpenFlags::CREAT) {
+                    return Err(Errno::ENOENT);
+                }
+                self.emit_lsm(
+                    pid,
+                    LsmHook::InodeCreate,
+                    vec![LsmObject::Path { path: norm.clone() }],
+                    true,
+                );
+                let ino = self.ns.create(&norm, InodeKind::Regular, mode, &creds)?;
+                (ino, true)
+            }
+        };
+        let inode = self.ns.inode(ino).ok_or(Errno::ENOENT)?;
+        if matches!(inode.kind, InodeKind::Directory) && flags.writable() {
+            return Err(Errno::EISDIR);
+        }
+        let allowed = created || inode.may_access(&creds, flags.readable(), flags.writable(), false);
+        self.emit_lsm(
+            pid,
+            LsmHook::FileOpen,
+            vec![self.inode_object(ino), LsmObject::Path { path: norm.clone() }],
+            allowed,
+        );
+        if !allowed {
+            return Err(Errno::EACCES);
+        }
+        if flags.contains(OpenFlags::TRUNC) && flags.writable() {
+            let inode = self.ns.inode_mut(ino).expect("opened inode");
+            inode.size = 0;
+            inode.version += 1;
+        }
+        let ofd = self.alloc_ofd(OfdTarget::Inode(ino), flags, Some(norm));
+        Ok(self.install_fd(pid, ofd, flags.contains(OpenFlags::CLOEXEC)) as i64)
+    }
+
+    /// `open(2)`.
+    pub fn sys_open(&mut self, pid: Pid, path: &str, flags: OpenFlags, mode: Mode) -> SysResult {
+        self.sys_open_variant(pid, path, flags, mode, Syscall::Open, "open")
+    }
+
+    /// `openat(2)` (dirfd fixed at `AT_FDCWD`; absolute paths only).
+    pub fn sys_openat(&mut self, pid: Pid, path: &str, flags: OpenFlags, mode: Mode) -> SysResult {
+        self.sys_open_variant(pid, path, flags, mode, Syscall::Openat, "openat")
+    }
+
+    /// `creat(2)` — `open` with `O_WRONLY|O_CREAT|O_TRUNC`.
+    pub fn sys_creat(&mut self, pid: Pid, path: &str, mode: Mode) -> SysResult {
+        let flags = OpenFlags::WRONLY | OpenFlags::CREAT | OpenFlags::TRUNC;
+        self.sys_open_variant(pid, path, flags, mode, Syscall::Creat, "creat")
+    }
+
+    fn sys_open_variant(
+        &mut self,
+        pid: Pid,
+        path: &str,
+        flags: OpenFlags,
+        mode: Mode,
+        syscall: Syscall,
+        func: &str,
+    ) -> SysResult {
+        let path = &self.abs(pid, path);
+        let existed = self.ns.lookup(path).is_some();
+        let r = self.do_open(pid, path, flags, mode);
+        let nametype = if !existed && r.is_ok() { "CREATE" } else { "NORMAL" };
+        let paths = vec![self.path_record(path, nametype)];
+        let args = vec![path.to_owned(), flags.to_string(), format!("{mode:o}")];
+        self.emit_audit(pid, syscall, &r, args.clone(), paths, None);
+        self.emit_libc(pid, func, args, &r, None);
+        r
+    }
+
+    /// `close(2)`.
+    pub fn sys_close(&mut self, pid: Pid, fd: i32) -> SysResult {
+        let path = self.fd_path(pid, fd);
+        let r = (|| -> SysResult {
+            let entry = self.fd_entry(pid, fd)?;
+            self.procs.get_mut(&pid).expect("live process").fds.remove(&fd);
+            self.drop_ofd_ref(entry.ofd);
+            Ok(0)
+        })();
+        // CamFlow's view of `close` is the kernel eventually freeing the
+        // file structure — not reliably within the recording window
+        // (paper §4.1). We therefore fire no LSM hook at close time.
+        let paths = path
+            .as_deref()
+            .map(|p| vec![self.path_record(p, "NORMAL")])
+            .unwrap_or_default();
+        let args = vec![fd.to_string()];
+        self.emit_audit(pid, Syscall::Close, &r, args.clone(), paths, None);
+        self.emit_libc(pid, "close", args, &r, None);
+        r
+    }
+
+    fn do_dup(&mut self, pid: Pid, oldfd: i32, newfd: Option<i32>, cloexec: bool) -> SysResult {
+        let entry = self.fd_entry(pid, oldfd)?;
+        self.ofds[entry.ofd].refs += 1;
+        let proc = self.procs.get_mut(&pid).expect("live process");
+        let fd = match newfd {
+            Some(nf) => {
+                if let Some(old) = proc.fds.insert(nf, FdEntry { ofd: entry.ofd, cloexec }) {
+                    // Implicit close of the previous occupant.
+                    self.drop_ofd_ref(old.ofd);
+                }
+                nf
+            }
+            None => {
+                let nf = proc.lowest_free_fd();
+                proc.fds.insert(nf, FdEntry { ofd: entry.ofd, cloexec });
+                nf
+            }
+        };
+        Ok(fd as i64)
+    }
+
+    /// `dup(2)`. No LSM hook fires: file-descriptor duplication is
+    /// process-local state invisible to CamFlow (Table 2: `dup` empty/NR).
+    pub fn sys_dup(&mut self, pid: Pid, fd: i32) -> SysResult {
+        let r = self.do_dup(pid, fd, None, false);
+        let args = vec![fd.to_string()];
+        self.emit_audit(pid, Syscall::Dup, &r, args.clone(), vec![], None);
+        self.emit_libc(pid, "dup", args, &r, None);
+        r
+    }
+
+    /// `dup2(2)`.
+    pub fn sys_dup2(&mut self, pid: Pid, oldfd: i32, newfd: i32) -> SysResult {
+        let r = self.do_dup(pid, oldfd, Some(newfd), false);
+        let args = vec![oldfd.to_string(), newfd.to_string()];
+        self.emit_audit(pid, Syscall::Dup2, &r, args.clone(), vec![], None);
+        self.emit_libc(pid, "dup2", args, &r, None);
+        r
+    }
+
+    /// `dup3(2)`.
+    pub fn sys_dup3(&mut self, pid: Pid, oldfd: i32, newfd: i32, cloexec: bool) -> SysResult {
+        let r = if oldfd == newfd {
+            Err(Errno::EINVAL)
+        } else {
+            self.do_dup(pid, oldfd, Some(newfd), cloexec)
+        };
+        let args = vec![oldfd.to_string(), newfd.to_string()];
+        self.emit_audit(pid, Syscall::Dup3, &r, args.clone(), vec![], None);
+        self.emit_libc(pid, "dup3", args, &r, None);
+        r
+    }
+
+    fn do_read(&mut self, pid: Pid, fd: i32, len: u64, offset: Option<u64>) -> SysResult {
+        let entry = self.fd_entry(pid, fd)?;
+        let ofd = &self.ofds[entry.ofd];
+        if !ofd.flags.readable() {
+            return Err(Errno::EBADF);
+        }
+        match ofd.target.clone() {
+            OfdTarget::Inode(ino) => {
+                self.emit_lsm(pid, LsmHook::FilePermissionRead, vec![self.inode_object(ino)], true);
+                let size = self.ns.inode(ino).map(|i| i.size).unwrap_or(0);
+                let pos = offset.unwrap_or(self.ofds[entry.ofd].offset);
+                let n = len.min(size.saturating_sub(pos));
+                if offset.is_none() {
+                    self.ofds[entry.ofd].offset = pos + n;
+                }
+                Ok(n as i64)
+            }
+            OfdTarget::PipeRead(i) => {
+                self.emit_lsm(pid, LsmHook::FilePermissionRead, vec![LsmObject::Path { path: format!("pipe:[{i}]") }], true);
+                let data = self.pipes[i].read(len as usize);
+                Ok(data.len() as i64)
+            }
+            OfdTarget::PipeWrite(_) => Err(Errno::EBADF),
+        }
+    }
+
+    fn do_write(&mut self, pid: Pid, fd: i32, len: u64, offset: Option<u64>) -> SysResult {
+        let entry = self.fd_entry(pid, fd)?;
+        let ofd = &self.ofds[entry.ofd];
+        if !ofd.flags.writable() {
+            return Err(Errno::EBADF);
+        }
+        match ofd.target.clone() {
+            OfdTarget::Inode(ino) => {
+                self.emit_lsm(pid, LsmHook::FilePermissionWrite, vec![self.inode_object(ino)], true);
+                let pos = offset.unwrap_or(self.ofds[entry.ofd].offset);
+                let inode = self.ns.inode_mut(ino).ok_or(Errno::ENOENT)?;
+                inode.size = inode.size.max(pos + len);
+                inode.version += 1;
+                if offset.is_none() {
+                    self.ofds[entry.ofd].offset = pos + len;
+                }
+                Ok(len as i64)
+            }
+            OfdTarget::PipeWrite(i) => {
+                if !self.pipes[i].read_open {
+                    return Err(Errno::EPIPE);
+                }
+                self.emit_lsm(pid, LsmHook::FilePermissionWrite, vec![LsmObject::Path { path: format!("pipe:[{i}]") }], true);
+                let data = vec![0u8; len as usize];
+                let n = self.pipes[i].write(&data);
+                Ok(n as i64)
+            }
+            OfdTarget::PipeRead(_) => Err(Errno::EBADF),
+        }
+    }
+
+    /// `read(2)`.
+    pub fn sys_read(&mut self, pid: Pid, fd: i32, len: u64) -> SysResult {
+        let path = self.fd_path(pid, fd);
+        let r = self.do_read(pid, fd, len, None);
+        self.finish_io(pid, Syscall::Read, "read", fd, len, path, &r);
+        r
+    }
+
+    /// `pread(2)`.
+    pub fn sys_pread(&mut self, pid: Pid, fd: i32, len: u64, offset: u64) -> SysResult {
+        let path = self.fd_path(pid, fd);
+        let r = self.do_read(pid, fd, len, Some(offset));
+        self.finish_io(pid, Syscall::Pread, "pread", fd, len, path, &r);
+        r
+    }
+
+    /// `write(2)`.
+    pub fn sys_write(&mut self, pid: Pid, fd: i32, len: u64) -> SysResult {
+        let path = self.fd_path(pid, fd);
+        let r = self.do_write(pid, fd, len, None);
+        self.finish_io(pid, Syscall::Write, "write", fd, len, path, &r);
+        r
+    }
+
+    /// `pwrite(2)`.
+    pub fn sys_pwrite(&mut self, pid: Pid, fd: i32, len: u64, offset: u64) -> SysResult {
+        let path = self.fd_path(pid, fd);
+        let r = self.do_write(pid, fd, len, Some(offset));
+        self.finish_io(pid, Syscall::Pwrite, "pwrite", fd, len, path, &r);
+        r
+    }
+
+    fn finish_io(
+        &mut self,
+        pid: Pid,
+        syscall: Syscall,
+        func: &str,
+        fd: i32,
+        len: u64,
+        path: Option<String>,
+        r: &SysResult,
+    ) {
+        let paths = path
+            .as_deref()
+            .map(|p| vec![self.path_record(p, "NORMAL")])
+            .unwrap_or_default();
+        let args = vec![fd.to_string(), len.to_string()];
+        self.emit_audit(pid, syscall, r, args.clone(), paths, None);
+        self.emit_libc(pid, func, args, r, None);
+    }
+
+    fn sys_link_variant(&mut self, pid: Pid, old: &str, new: &str, syscall: Syscall, func: &str) -> SysResult {
+        let old = &self.abs(pid, old);
+        let new = &self.abs(pid, new);
+        let creds = self.procs[&pid].creds;
+        let target_ino = self.ns.lookup(old);
+        if let Some(ino) = target_ino {
+            self.emit_lsm(
+                pid,
+                LsmHook::InodeLink,
+                vec![self.inode_object(ino), LsmObject::Path { path: Namespace::normalize(new) }],
+                true,
+            );
+        }
+        let r = self.ns.link(old, new, &creds).map(|_| 0i64);
+        let paths = vec![
+            self.path_record(old, "NORMAL"),
+            self.path_record(new, if r.is_ok() { "CREATE" } else { "NORMAL" }),
+        ];
+        let args = vec![old.to_owned(), new.to_owned()];
+        self.emit_audit(pid, syscall, &r, args.clone(), paths, None);
+        self.emit_libc(pid, func, args, &r, None);
+        r
+    }
+
+    /// `link(2)`.
+    pub fn sys_link(&mut self, pid: Pid, old: &str, new: &str) -> SysResult {
+        self.sys_link_variant(pid, old, new, Syscall::Link, "link")
+    }
+
+    /// `linkat(2)` (`AT_FDCWD` only).
+    pub fn sys_linkat(&mut self, pid: Pid, old: &str, new: &str) -> SysResult {
+        self.sys_link_variant(pid, old, new, Syscall::Linkat, "linkat")
+    }
+
+    fn sys_symlink_variant(&mut self, pid: Pid, target: &str, linkpath: &str, syscall: Syscall, func: &str) -> SysResult {
+        let target = &self.abs(pid, target);
+        let linkpath = &self.abs(pid, linkpath);
+        let creds = self.procs[&pid].creds;
+        self.emit_lsm(
+            pid,
+            LsmHook::InodeSymlink,
+            vec![LsmObject::Path { path: Namespace::normalize(linkpath) }],
+            true,
+        );
+        let r = self.ns.symlink(target, linkpath, &creds).map(|_| 0i64);
+        let paths = vec![self.path_record(linkpath, if r.is_ok() { "CREATE" } else { "NORMAL" })];
+        let args = vec![target.to_owned(), linkpath.to_owned()];
+        self.emit_audit(pid, syscall, &r, args.clone(), paths, None);
+        self.emit_libc(pid, func, args, &r, None);
+        r
+    }
+
+    /// `symlink(2)`.
+    pub fn sys_symlink(&mut self, pid: Pid, target: &str, linkpath: &str) -> SysResult {
+        self.sys_symlink_variant(pid, target, linkpath, Syscall::Symlink, "symlink")
+    }
+
+    /// `symlinkat(2)` (`AT_FDCWD` only).
+    pub fn sys_symlinkat(&mut self, pid: Pid, target: &str, linkpath: &str) -> SysResult {
+        self.sys_symlink_variant(pid, target, linkpath, Syscall::Symlinkat, "symlinkat")
+    }
+
+    fn sys_mknod_variant(&mut self, pid: Pid, path: &str, kind: InodeKind, mode: Mode, syscall: Syscall, func: &str) -> SysResult {
+        let path = &self.abs(pid, path);
+        let creds = self.procs[&pid].creds;
+        self.emit_lsm(
+            pid,
+            LsmHook::InodeMknod,
+            vec![LsmObject::Path { path: Namespace::normalize(path) }],
+            true,
+        );
+        let r = self.ns.create(path, kind, mode, &creds).map(|_| 0i64);
+        let paths = vec![self.path_record(path, if r.is_ok() { "CREATE" } else { "NORMAL" })];
+        let args = vec![path.to_owned(), format!("{mode:o}")];
+        self.emit_audit(pid, syscall, &r, args.clone(), paths, None);
+        self.emit_libc(pid, func, args, &r, None);
+        r
+    }
+
+    /// `mknod(2)` — creates a FIFO node in the benchmarks.
+    pub fn sys_mknod(&mut self, pid: Pid, path: &str, mode: Mode) -> SysResult {
+        self.sys_mknod_variant(pid, path, InodeKind::Fifo, mode, Syscall::Mknod, "mknod")
+    }
+
+    /// `mknodat(2)` (`AT_FDCWD` only).
+    pub fn sys_mknodat(&mut self, pid: Pid, path: &str, mode: Mode) -> SysResult {
+        self.sys_mknod_variant(pid, path, InodeKind::Fifo, mode, Syscall::Mknodat, "mknodat")
+    }
+
+    fn sys_rename_variant(&mut self, pid: Pid, old: &str, new: &str, syscall: Syscall, func: &str) -> SysResult {
+        let old = &self.abs(pid, old);
+        let new = &self.abs(pid, new);
+        let creds = self.procs[&pid].creds;
+        if let Some(ino) = self.ns.lookup(old) {
+            self.emit_lsm(
+                pid,
+                LsmHook::InodeRename,
+                vec![
+                    self.inode_object(ino),
+                    LsmObject::Path { path: Namespace::normalize(old) },
+                    LsmObject::Path { path: Namespace::normalize(new) },
+                ],
+                self.ns.check_parent_writable(new, &creds).is_ok(),
+            );
+        }
+        let r = self.ns.rename(old, new, &creds).map(|_| 0i64);
+        let paths = vec![
+            self.path_record(old, "DELETE"),
+            self.path_record(new, if r.is_ok() { "CREATE" } else { "NORMAL" }),
+        ];
+        let args = vec![old.to_owned(), new.to_owned()];
+        self.emit_audit(pid, syscall, &r, args.clone(), paths, None);
+        self.emit_libc(pid, func, args, &r, None);
+        r
+    }
+
+    /// `rename(2)`.
+    pub fn sys_rename(&mut self, pid: Pid, old: &str, new: &str) -> SysResult {
+        self.sys_rename_variant(pid, old, new, Syscall::Rename, "rename")
+    }
+
+    /// `renameat(2)` (`AT_FDCWD` only).
+    pub fn sys_renameat(&mut self, pid: Pid, old: &str, new: &str) -> SysResult {
+        self.sys_rename_variant(pid, old, new, Syscall::Renameat, "renameat")
+    }
+
+    fn do_truncate(&mut self, pid: Pid, ino: Ino, len: u64) -> SysResult {
+        let creds = self.procs[&pid].creds;
+        let inode = self.ns.inode(ino).ok_or(Errno::ENOENT)?;
+        let allowed = inode.may_access(&creds, false, true, false);
+        self.emit_lsm(pid, LsmHook::InodeSetattr, vec![self.inode_object(ino)], allowed);
+        if !allowed {
+            return Err(Errno::EACCES);
+        }
+        let inode = self.ns.inode_mut(ino).expect("checked inode");
+        inode.size = len;
+        inode.version += 1;
+        Ok(0)
+    }
+
+    /// `truncate(2)`.
+    pub fn sys_truncate(&mut self, pid: Pid, path: &str, len: u64) -> SysResult {
+        let path = &self.abs(pid, path);
+        let r = match self.ns.resolve(path) {
+            Ok(ino) => self.do_truncate(pid, ino, len),
+            Err(e) => Err(e),
+        };
+        let paths = vec![self.path_record(path, "NORMAL")];
+        let args = vec![path.to_owned(), len.to_string()];
+        self.emit_audit(pid, Syscall::Truncate, &r, args.clone(), paths, None);
+        self.emit_libc(pid, "truncate", args, &r, None);
+        r
+    }
+
+    /// `ftruncate(2)`.
+    pub fn sys_ftruncate(&mut self, pid: Pid, fd: i32, len: u64) -> SysResult {
+        let path = self.fd_path(pid, fd);
+        let r = match self.fd_ino(pid, fd) {
+            Ok(ino) => self.do_truncate(pid, ino, len),
+            Err(e) => Err(e),
+        };
+        let paths = path
+            .as_deref()
+            .map(|p| vec![self.path_record(p, "NORMAL")])
+            .unwrap_or_default();
+        let args = vec![fd.to_string(), len.to_string()];
+        self.emit_audit(pid, Syscall::Ftruncate, &r, args.clone(), paths, None);
+        self.emit_libc(pid, "ftruncate", args, &r, None);
+        r
+    }
+
+    fn sys_unlink_variant(&mut self, pid: Pid, path: &str, syscall: Syscall, func: &str) -> SysResult {
+        let path = &self.abs(pid, path);
+        let creds = self.procs[&pid].creds;
+        if let Some(ino) = self.ns.lookup(path) {
+            self.emit_lsm(
+                pid,
+                LsmHook::InodeUnlink,
+                vec![self.inode_object(ino), LsmObject::Path { path: Namespace::normalize(path) }],
+                self.ns.check_parent_writable(path, &creds).is_ok(),
+            );
+        }
+        // Capture the audit path record *before* the entry disappears.
+        let pre_path = self.path_record(path, "DELETE");
+        let r = self.ns.unlink(path, &creds).map(|_| 0i64);
+        let args = vec![path.to_owned()];
+        self.emit_audit(pid, syscall, &r, args.clone(), vec![pre_path], None);
+        self.emit_libc(pid, func, args, &r, None);
+        r
+    }
+
+    /// `unlink(2)`.
+    pub fn sys_unlink(&mut self, pid: Pid, path: &str) -> SysResult {
+        self.sys_unlink_variant(pid, path, Syscall::Unlink, "unlink")
+    }
+
+    /// `unlinkat(2)` (`AT_FDCWD` only).
+    pub fn sys_unlinkat(&mut self, pid: Pid, path: &str) -> SysResult {
+        self.sys_unlink_variant(pid, path, Syscall::Unlinkat, "unlinkat")
+    }
+
+    // ----- group 2: process syscalls ----------------------------------------
+
+    fn clone_process(&mut self, parent: Pid, vfork: bool) -> Pid {
+        let parent_proc = self.procs[&parent].clone();
+        let child_pid = self.next_pid;
+        self.next_pid += 1;
+        let mut child = Process::new(child_pid, parent, parent_proc.creds, &parent_proc.exe);
+        child.cwd = parent_proc.cwd.clone();
+        child.env = parent_proc.env.clone();
+        child.comm = parent_proc.comm.clone();
+        // Inherit the fd table; each inherited fd bumps its description.
+        child.fds = parent_proc.fds.clone();
+        for entry in child.fds.values() {
+            self.ofds[entry.ofd].refs += 1;
+        }
+        child.vfork_child = vfork;
+        self.procs.insert(child_pid, child);
+        self.emit_lsm(parent, LsmHook::TaskAlloc, vec![LsmObject::Task { pid: child_pid }], true);
+        child_pid
+    }
+
+    /// `fork(2)`. The audit record is emitted immediately (at fork's exit
+    /// in the parent); the child runs afterwards.
+    pub fn sys_fork(&mut self, pid: Pid) -> SysResult {
+        let child = self.clone_process(pid, false);
+        let r = Ok(child as i64);
+        self.emit_audit(pid, Syscall::Fork, &r, vec![], vec![], Some(child));
+        self.emit_libc(pid, "fork", vec![], &r, None);
+        r
+    }
+
+    /// `vfork(2)`. The parent is suspended; its audit record is **deferred**
+    /// until the child exits or execs (Linux audit reports at syscall exit),
+    /// which is exactly why SPADE shows vforked children disconnected
+    /// (paper §4.2, note DV).
+    pub fn sys_vfork(&mut self, pid: Pid) -> SysResult {
+        let child = self.clone_process(pid, true);
+        self.procs.get_mut(&pid).expect("parent lives").state = ProcessState::VforkWait;
+        self.pending_vfork.push(PendingVforkAudit { parent: pid, child });
+        Ok(child as i64)
+    }
+
+    /// `clone(2)` invoked **directly** (not through a libc wrapper), as the
+    /// benchmark programs do — so no libc event is emitted and OPUS is
+    /// blind to it (Table 2: `clone` empty/NR for OPUS).
+    pub fn sys_clone(&mut self, pid: Pid) -> SysResult {
+        let child = self.clone_process(pid, false);
+        let r = Ok(child as i64);
+        self.emit_audit(pid, Syscall::Clone, &r, vec!["CLONE_VM".into()], vec![], Some(child));
+        r
+    }
+
+    fn release_vfork_parent(&mut self, child: Pid) {
+        let pending: Vec<PendingVforkAudit> = self
+            .pending_vfork
+            .iter()
+            .filter(|p| p.child == child)
+            .cloned()
+            .collect();
+        self.pending_vfork.retain(|p| p.child != child);
+        for p in pending {
+            if let Some(parent) = self.procs.get_mut(&p.parent) {
+                if parent.state == ProcessState::VforkWait {
+                    parent.state = ProcessState::Running;
+                }
+            }
+            let r = Ok(p.child as i64);
+            self.emit_audit(p.parent, Syscall::Vfork, &r, vec![], vec![], Some(p.child));
+            self.emit_libc(p.parent, "vfork", vec![], &r, None);
+        }
+        if let Some(proc) = self.procs.get_mut(&child) {
+            proc.vfork_child = false;
+        }
+    }
+
+    /// `execve(2)`: replace the process image. Fires `bprm_check`; closes
+    /// cloexec descriptors; releases a vfork-suspended parent.
+    pub fn sys_execve(&mut self, pid: Pid, path: &str, env: &BTreeMap<String, String>) -> SysResult {
+        let path = &self.abs(pid, path);
+        let creds = self.procs[&pid].creds;
+        let r: SysResult = match self.ns.resolve(path) {
+            Ok(ino) => {
+                let inode = self.ns.inode(ino).expect("resolved inode");
+                let allowed = inode.may_access(&creds, true, false, true);
+                self.emit_lsm(
+                    pid,
+                    LsmHook::BprmCheck,
+                    vec![self.inode_object(ino), LsmObject::Path { path: Namespace::normalize(path) }],
+                    allowed,
+                );
+                if allowed {
+                    Ok(0)
+                } else {
+                    Err(Errno::EACCES)
+                }
+            }
+            Err(e) => Err(e),
+        };
+        if r.is_ok() {
+            let norm = Namespace::normalize(path);
+            let proc = self.procs.get_mut(&pid).expect("live process");
+            proc.exe = norm.clone();
+            proc.comm = norm.rsplit('/').next().unwrap_or(&norm).to_owned();
+            proc.env = env.clone();
+            let cloexec: Vec<i32> = proc
+                .fds
+                .iter()
+                .filter(|(_, e)| e.cloexec)
+                .map(|(fd, _)| *fd)
+                .collect();
+            for fd in cloexec {
+                if let Some(entry) = self.procs.get_mut(&pid).expect("live process").fds.remove(&fd) {
+                    self.drop_ofd_ref(entry.ofd);
+                }
+            }
+        }
+        let paths = vec![self.path_record(path, "NORMAL")];
+        let args = vec![path.to_owned()];
+        self.emit_audit(pid, Syscall::Execve, &r, args.clone(), paths, None);
+        self.emit_libc(pid, "execve", args, &r, Some(env.clone()));
+        if r.is_ok() && self.procs[&pid].vfork_child {
+            self.release_vfork_parent(pid);
+        }
+        r
+    }
+
+    /// `exit(2)`: terminate normally. Releases a vfork-suspended parent.
+    pub fn sys_exit(&mut self, pid: Pid, code: i32) -> SysResult {
+        self.emit_lsm(pid, LsmHook::TaskFree, vec![LsmObject::Task { pid }], true);
+        let was_vfork_child = self.procs[&pid].vfork_child;
+        // Close all fds.
+        let fds: Vec<FdEntry> = self.procs[&pid].fds.values().copied().collect();
+        for e in fds {
+            self.drop_ofd_ref(e.ofd);
+        }
+        let proc = self.procs.get_mut(&pid).expect("live process");
+        proc.fds.clear();
+        proc.state = ProcessState::Exited(code);
+        let r = Ok(0i64);
+        self.emit_audit(pid, Syscall::Exit, &r, vec![code.to_string()], vec![], None);
+        self.emit_libc(pid, "exit", vec![code.to_string()], &r, None);
+        if was_vfork_child {
+            self.release_vfork_parent(pid);
+        }
+        r
+    }
+
+    /// `kill(2)`: deliver a fatal signal. The target terminates **without**
+    /// a normal exit record — the deviation from ProvMark's assumptions
+    /// that makes the `kill`/`exit` benchmarks empty (note LP).
+    pub fn sys_kill(&mut self, pid: Pid, target: Pid, sig: i32) -> SysResult {
+        let r: SysResult = (|| {
+            let target_proc = self.procs.get(&target).ok_or(Errno::ESRCH)?;
+            let creds = self.procs[&pid].creds;
+            if !creds.privileged() && creds.euid != target_proc.creds.uid {
+                return Err(Errno::EPERM);
+            }
+            Ok(0)
+        })();
+        self.emit_lsm(pid, LsmHook::TaskKill, vec![LsmObject::Task { pid: target }], r.is_ok());
+        if r.is_ok() {
+            let fds: Vec<FdEntry> = self.procs[&target].fds.values().copied().collect();
+            for e in fds {
+                self.drop_ofd_ref(e.ofd);
+            }
+            let proc = self.procs.get_mut(&target).expect("target lives");
+            proc.fds.clear();
+            proc.state = ProcessState::Killed(sig);
+        }
+        let args = vec![target.to_string(), sig.to_string()];
+        self.emit_audit(pid, Syscall::Kill, &r, args.clone(), vec![], None);
+        self.emit_libc(pid, "kill", args, &r, None);
+        r
+    }
+
+    // ----- group 3: permission syscalls --------------------------------------
+
+    fn do_chmod(&mut self, pid: Pid, ino: Ino, mode: Mode) -> SysResult {
+        let creds = self.procs[&pid].creds;
+        let inode = self.ns.inode(ino).ok_or(Errno::ENOENT)?;
+        let allowed = creds.privileged() || creds.euid == inode.uid;
+        self.emit_lsm(pid, LsmHook::InodeSetattr, vec![self.inode_object(ino)], allowed);
+        if !allowed {
+            return Err(Errno::EPERM);
+        }
+        let inode = self.ns.inode_mut(ino).expect("checked inode");
+        inode.mode = mode & 0o7777;
+        inode.version += 1;
+        Ok(0)
+    }
+
+    /// `chmod(2)`.
+    pub fn sys_chmod(&mut self, pid: Pid, path: &str, mode: Mode) -> SysResult {
+        let path = &self.abs(pid, path);
+        let r = match self.ns.resolve(path) {
+            Ok(ino) => self.do_chmod(pid, ino, mode),
+            Err(e) => Err(e),
+        };
+        self.finish_perm_path(pid, Syscall::Chmod, "chmod", path, &format!("{mode:o}"), &r);
+        r
+    }
+
+    /// `fchmod(2)`.
+    pub fn sys_fchmod(&mut self, pid: Pid, fd: i32, mode: Mode) -> SysResult {
+        let path = self.fd_path(pid, fd);
+        let r = match self.fd_ino(pid, fd) {
+            Ok(ino) => self.do_chmod(pid, ino, mode),
+            Err(e) => Err(e),
+        };
+        self.finish_perm_fd(pid, Syscall::Fchmod, "fchmod", fd, path, &format!("{mode:o}"), &r);
+        r
+    }
+
+    /// `fchmodat(2)` (`AT_FDCWD` only).
+    pub fn sys_fchmodat(&mut self, pid: Pid, path: &str, mode: Mode) -> SysResult {
+        let path = &self.abs(pid, path);
+        let r = match self.ns.resolve(path) {
+            Ok(ino) => self.do_chmod(pid, ino, mode),
+            Err(e) => Err(e),
+        };
+        self.finish_perm_path(pid, Syscall::Fchmodat, "fchmodat", path, &format!("{mode:o}"), &r);
+        r
+    }
+
+    fn do_chown(&mut self, pid: Pid, ino: Ino, uid: Uid, gid: Gid) -> SysResult {
+        let creds = self.procs[&pid].creds;
+        let allowed = creds.privileged();
+        self.emit_lsm(pid, LsmHook::InodeSetown, vec![self.inode_object(ino)], allowed);
+        if !allowed {
+            return Err(Errno::EPERM);
+        }
+        let inode = self.ns.inode_mut(ino).ok_or(Errno::ENOENT)?;
+        inode.uid = uid;
+        inode.gid = gid;
+        inode.version += 1;
+        Ok(0)
+    }
+
+    /// `chown(2)`.
+    pub fn sys_chown(&mut self, pid: Pid, path: &str, uid: Uid, gid: Gid) -> SysResult {
+        let path = &self.abs(pid, path);
+        let r = match self.ns.resolve(path) {
+            Ok(ino) => self.do_chown(pid, ino, uid, gid),
+            Err(e) => Err(e),
+        };
+        self.finish_perm_path(pid, Syscall::Chown, "chown", path, &format!("{uid}:{gid}"), &r);
+        r
+    }
+
+    /// `fchown(2)`.
+    pub fn sys_fchown(&mut self, pid: Pid, fd: i32, uid: Uid, gid: Gid) -> SysResult {
+        let path = self.fd_path(pid, fd);
+        let r = match self.fd_ino(pid, fd) {
+            Ok(ino) => self.do_chown(pid, ino, uid, gid),
+            Err(e) => Err(e),
+        };
+        self.finish_perm_fd(pid, Syscall::Fchown, "fchown", fd, path, &format!("{uid}:{gid}"), &r);
+        r
+    }
+
+    /// `fchownat(2)` (`AT_FDCWD` only).
+    pub fn sys_fchownat(&mut self, pid: Pid, path: &str, uid: Uid, gid: Gid) -> SysResult {
+        let path = &self.abs(pid, path);
+        let r = match self.ns.resolve(path) {
+            Ok(ino) => self.do_chown(pid, ino, uid, gid),
+            Err(e) => Err(e),
+        };
+        self.finish_perm_path(pid, Syscall::Fchownat, "fchownat", path, &format!("{uid}:{gid}"), &r);
+        r
+    }
+
+    fn finish_perm_path(&mut self, pid: Pid, syscall: Syscall, func: &str, path: &str, arg: &str, r: &SysResult) {
+        let paths = vec![self.path_record(path, "NORMAL")];
+        let args = vec![path.to_owned(), arg.to_owned()];
+        self.emit_audit(pid, syscall, r, args.clone(), paths, None);
+        self.emit_libc(pid, func, args, r, None);
+    }
+
+    fn finish_perm_fd(&mut self, pid: Pid, syscall: Syscall, func: &str, fd: i32, path: Option<String>, arg: &str, r: &SysResult) {
+        let paths = path
+            .as_deref()
+            .map(|p| vec![self.path_record(p, "NORMAL")])
+            .unwrap_or_default();
+        let args = vec![fd.to_string(), arg.to_owned()];
+        self.emit_audit(pid, syscall, r, args.clone(), paths, None);
+        self.emit_libc(pid, func, args, r, None);
+    }
+
+    /// Shared implementation of the `set*uid`/`set*gid` family.
+    ///
+    /// `changed` in the audit args records whether any credential actually
+    /// changed — SPADE's simplify mode only reacts to observed changes,
+    /// which is why `setresgid` to the current value goes unnoticed
+    /// (paper §4.3).
+    fn set_creds(
+        &mut self,
+        pid: Pid,
+        syscall: Syscall,
+        func: &str,
+        update: impl FnOnce(&mut Credentials) -> Result<(), Errno>,
+        is_uid: bool,
+    ) -> SysResult {
+        let old = self.procs[&pid].creds;
+        let mut new = old;
+        let r: SysResult = match update(&mut new) {
+            Ok(()) => Ok(0),
+            Err(e) => Err(e),
+        };
+        let hook = if is_uid { LsmHook::TaskFixSetuid } else { LsmHook::TaskFixSetgid };
+        self.emit_lsm(pid, hook, vec![LsmObject::Task { pid }], r.is_ok());
+        let changed = new != old;
+        if r.is_ok() {
+            self.procs.get_mut(&pid).expect("live process").creds = new;
+        }
+        let args = vec![
+            format!("changed={}", changed && r.is_ok()),
+            format!("uid={}:{}:{}", new.uid, new.euid, new.suid),
+            format!("gid={}:{}:{}", new.gid, new.egid, new.sgid),
+        ];
+        self.emit_audit(pid, syscall, &r, args.clone(), vec![], None);
+        self.emit_libc(pid, func, args, &r, None);
+        r
+    }
+
+    /// `setuid(2)`.
+    pub fn sys_setuid(&mut self, pid: Pid, uid: Uid) -> SysResult {
+        let priv_ = self.procs[&pid].creds.privileged();
+        self.set_creds(pid, Syscall::Setuid, "setuid", |c| {
+            if priv_ {
+                c.uid = uid;
+                c.euid = uid;
+                c.suid = uid;
+                Ok(())
+            } else if uid == c.uid || uid == c.suid {
+                c.euid = uid;
+                Ok(())
+            } else {
+                Err(Errno::EPERM)
+            }
+        }, true)
+    }
+
+    /// `setreuid(2)`.
+    pub fn sys_setreuid(&mut self, pid: Pid, ruid: Option<Uid>, euid: Option<Uid>) -> SysResult {
+        let priv_ = self.procs[&pid].creds.privileged();
+        self.set_creds(pid, Syscall::Setreuid, "setreuid", |c| {
+            let target_r = ruid.unwrap_or(c.uid);
+            let target_e = euid.unwrap_or(c.euid);
+            if !priv_ && (![c.uid, c.euid, c.suid].contains(&target_r) || ![c.uid, c.euid, c.suid].contains(&target_e)) {
+                return Err(Errno::EPERM);
+            }
+            c.uid = target_r;
+            c.euid = target_e;
+            Ok(())
+        }, true)
+    }
+
+    /// `setresuid(2)`.
+    pub fn sys_setresuid(&mut self, pid: Pid, ruid: Option<Uid>, euid: Option<Uid>, suid: Option<Uid>) -> SysResult {
+        let priv_ = self.procs[&pid].creds.privileged();
+        self.set_creds(pid, Syscall::Setresuid, "setresuid", |c| {
+            let (r, e, s) = (ruid.unwrap_or(c.uid), euid.unwrap_or(c.euid), suid.unwrap_or(c.suid));
+            if !priv_ && [r, e, s].iter().any(|v| ![c.uid, c.euid, c.suid].contains(v)) {
+                return Err(Errno::EPERM);
+            }
+            c.uid = r;
+            c.euid = e;
+            c.suid = s;
+            Ok(())
+        }, true)
+    }
+
+    /// `setgid(2)`.
+    pub fn sys_setgid(&mut self, pid: Pid, gid: Gid) -> SysResult {
+        let priv_ = self.procs[&pid].creds.privileged();
+        self.set_creds(pid, Syscall::Setgid, "setgid", |c| {
+            if priv_ {
+                c.gid = gid;
+                c.egid = gid;
+                c.sgid = gid;
+                Ok(())
+            } else if gid == c.gid || gid == c.sgid {
+                c.egid = gid;
+                Ok(())
+            } else {
+                Err(Errno::EPERM)
+            }
+        }, false)
+    }
+
+    /// `setregid(2)`.
+    pub fn sys_setregid(&mut self, pid: Pid, rgid: Option<Gid>, egid: Option<Gid>) -> SysResult {
+        let priv_ = self.procs[&pid].creds.privileged();
+        self.set_creds(pid, Syscall::Setregid, "setregid", |c| {
+            let target_r = rgid.unwrap_or(c.gid);
+            let target_e = egid.unwrap_or(c.egid);
+            if !priv_ && (![c.gid, c.egid, c.sgid].contains(&target_r) || ![c.gid, c.egid, c.sgid].contains(&target_e)) {
+                return Err(Errno::EPERM);
+            }
+            c.gid = target_r;
+            c.egid = target_e;
+            Ok(())
+        }, false)
+    }
+
+    /// `setresgid(2)`.
+    pub fn sys_setresgid(&mut self, pid: Pid, rgid: Option<Gid>, egid: Option<Gid>, sgid: Option<Gid>) -> SysResult {
+        let priv_ = self.procs[&pid].creds.privileged();
+        self.set_creds(pid, Syscall::Setresgid, "setresgid", |c| {
+            let (r, e, s) = (rgid.unwrap_or(c.gid), egid.unwrap_or(c.egid), sgid.unwrap_or(c.sgid));
+            if !priv_ && [r, e, s].iter().any(|v| ![c.gid, c.egid, c.sgid].contains(v)) {
+                return Err(Errno::EPERM);
+            }
+            c.gid = r;
+            c.egid = e;
+            c.sgid = s;
+            Ok(())
+        }, false)
+    }
+
+    // ----- group 4: pipe syscalls --------------------------------------------
+
+    fn do_pipe(&mut self, pid: Pid, cloexec: bool) -> Result<(i32, i32), Errno> {
+        self.pipes.push(Pipe::new());
+        let idx = self.pipes.len() - 1;
+        let r_ofd = self.alloc_ofd(OfdTarget::PipeRead(idx), OpenFlags::RDONLY, Some(format!("pipe:[{idx}]")));
+        let rfd = self.install_fd(pid, r_ofd, cloexec);
+        let w_ofd = self.alloc_ofd(OfdTarget::PipeWrite(idx), OpenFlags::WRONLY, Some(format!("pipe:[{idx}]")));
+        let wfd = self.install_fd(pid, w_ofd, cloexec);
+        Ok((rfd, wfd))
+    }
+
+    fn sys_pipe_variant(&mut self, pid: Pid, cloexec: bool, syscall: Syscall, func: &str) -> Result<(i32, i32), Errno> {
+        // No LSM hook: CamFlow does not observe pipe creation
+        // (Table 2: `pipe` empty/NR for CamFlow).
+        let r = self.do_pipe(pid, cloexec);
+        let sys_r: SysResult = r.map(|_| 0i64);
+        let args = match &r {
+            Ok((rf, wf)) => vec![rf.to_string(), wf.to_string()],
+            Err(_) => vec![],
+        };
+        self.emit_audit(pid, syscall, &sys_r, args.clone(), vec![], None);
+        self.emit_libc(pid, func, args, &sys_r, None);
+        r
+    }
+
+    /// `pipe(2)`. Returns the `(read fd, write fd)` pair.
+    pub fn sys_pipe(&mut self, pid: Pid) -> Result<(i32, i32), Errno> {
+        self.sys_pipe_variant(pid, false, Syscall::Pipe, "pipe")
+    }
+
+    /// `pipe2(2)` with `O_CLOEXEC`.
+    pub fn sys_pipe2(&mut self, pid: Pid) -> Result<(i32, i32), Errno> {
+        self.sys_pipe_variant(pid, true, Syscall::Pipe2, "pipe2")
+    }
+
+    /// `tee(2)`: duplicate up to `len` bytes from one pipe to another
+    /// without consuming the source.
+    pub fn sys_tee(&mut self, pid: Pid, fd_in: i32, fd_out: i32, len: u64) -> SysResult {
+        let r: SysResult = (|| {
+            let in_entry = self.fd_entry(pid, fd_in)?;
+            let out_entry = self.fd_entry(pid, fd_out)?;
+            let in_pipe = match self.ofds[in_entry.ofd].target {
+                OfdTarget::PipeRead(i) => i,
+                _ => return Err(Errno::EINVAL),
+            };
+            let out_pipe = match self.ofds[out_entry.ofd].target {
+                OfdTarget::PipeWrite(i) => i,
+                _ => return Err(Errno::EINVAL),
+            };
+            if in_pipe == out_pipe {
+                return Err(Errno::EINVAL);
+            }
+            self.emit_lsm(
+                pid,
+                LsmHook::FileSplice,
+                vec![
+                    LsmObject::Path { path: format!("pipe:[{in_pipe}]") },
+                    LsmObject::Path { path: format!("pipe:[{out_pipe}]") },
+                ],
+                true,
+            );
+            let (src, dst) = if in_pipe < out_pipe {
+                let (a, b) = self.pipes.split_at_mut(out_pipe);
+                (&a[in_pipe], &mut b[0])
+            } else {
+                let (a, b) = self.pipes.split_at_mut(in_pipe);
+                (&b[0], &mut a[out_pipe])
+            };
+            Ok(src.tee_into(dst, len as usize) as i64)
+        })();
+        let args = vec![fd_in.to_string(), fd_out.to_string(), len.to_string()];
+        self.emit_audit(pid, Syscall::Tee, &r, args.clone(), vec![], None);
+        self.emit_libc(pid, "tee", args, &r, None);
+        r
+    }
+
+    // ----- program execution ---------------------------------------------------
+
+    /// Run a benchmark program, including realistic process startup:
+    /// the shell forks, the child execs the program binary, the dynamic
+    /// loader touches its libraries, the program body runs, and the process
+    /// exits. Returns per-op results.
+    pub fn run_program(&mut self, program: &Program) -> ProgramOutcome {
+        // Stage the filesystem without recording.
+        for action in &program.setup {
+            self.setup(|ns| action.apply(ns));
+        }
+        self.set_recording(true);
+
+        // Process startup boilerplate (background provenance, paper §3).
+        let shell = self.shell_pid;
+        let bench_pid = match self.sys_fork(shell) {
+            Ok(pid) => pid as Pid,
+            Err(_) => unreachable!("fork of shell cannot fail"),
+        };
+        let env: BTreeMap<String, String> = [
+            ("PATH".to_owned(), "/usr/local/bin:/bin".to_owned()),
+            ("HOME".to_owned(), "/staging".to_owned()),
+            ("LANG".to_owned(), "C.UTF-8".to_owned()),
+        ]
+        .into_iter()
+        .collect();
+        let _ = self.sys_execve(bench_pid, &program.exe_path, &env);
+        self.loader_boilerplate(bench_pid);
+
+        // The program body.
+        let mut results = Vec::new();
+        let mut success = true;
+        self.run_ops(bench_pid, &program.ops, &mut results, &mut success);
+
+        // Implicit exit (every process has one — why the `exit` benchmark
+        // is empty, paper §4.2).
+        if !self.procs[&bench_pid].terminated() {
+            let _ = self.sys_exit(bench_pid, 0);
+        }
+        self.set_recording(false);
+        ProgramOutcome {
+            success,
+            results,
+            bench_pid,
+        }
+    }
+
+    fn loader_boilerplate(&mut self, pid: Pid) {
+        let mut libs = vec!["/lib/ld-linux.so", "/lib/libc.so"];
+        if self.startup_noise {
+            libs.push("/etc/ld.so.cache");
+        }
+        for lib in libs {
+            if let Ok(fd) = self.sys_open(pid, lib, OpenFlags::RDONLY, 0) {
+                let fd = fd as i32;
+                let _ = self.sys_read(pid, fd, 832);
+                let _ = self.sys_close(pid, fd);
+            }
+        }
+    }
+
+    fn run_ops(&mut self, pid: Pid, ops: &[Op], results: &mut Vec<SysResult>, success: &mut bool) {
+        // Per-process register file mapping fd variable names to numbers.
+        let mut fd_vars: BTreeMap<String, i32> = BTreeMap::new();
+        let mut last_child: Option<Pid> = None;
+        self.run_ops_inner(pid, ops, results, success, &mut fd_vars, &mut last_child);
+    }
+
+    fn run_ops_inner(
+        &mut self,
+        pid: Pid,
+        ops: &[Op],
+        results: &mut Vec<SysResult>,
+        success: &mut bool,
+        fd_vars: &mut BTreeMap<String, i32>,
+        last_child: &mut Option<Pid>,
+    ) {
+        for op in ops {
+            if self.procs[&pid].terminated() {
+                break;
+            }
+            let expect_failure = op.expects_failure();
+            let r = self.run_op(pid, op, results, success, fd_vars, last_child);
+            results.push(r);
+            let ok = if expect_failure { r.is_err() } else { r.is_ok() };
+            if !ok {
+                *success = false;
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_op(
+        &mut self,
+        pid: Pid,
+        op: &Op,
+        results: &mut Vec<SysResult>,
+        success: &mut bool,
+        fd_vars: &mut BTreeMap<String, i32>,
+        last_child: &mut Option<Pid>,
+    ) -> SysResult {
+        let fd_of = |vars: &BTreeMap<String, i32>, name: &str| -> Result<i32, Errno> {
+            vars.get(name).copied().ok_or(Errno::EBADF)
+        };
+        match op {
+            Op::Open { path, flags, mode, fd_var } => {
+                let r = self.sys_open(pid, path, *flags, *mode);
+                if let Ok(fd) = r {
+                    fd_vars.insert(fd_var.clone(), fd as i32);
+                }
+                r
+            }
+            Op::Openat { path, flags, mode, fd_var } => {
+                let r = self.sys_openat(pid, path, *flags, *mode);
+                if let Ok(fd) = r {
+                    fd_vars.insert(fd_var.clone(), fd as i32);
+                }
+                r
+            }
+            Op::Creat { path, mode, fd_var } => {
+                let r = self.sys_creat(pid, path, *mode);
+                if let Ok(fd) = r {
+                    fd_vars.insert(fd_var.clone(), fd as i32);
+                }
+                r
+            }
+            Op::Close { fd_var } => {
+                let fd = fd_of(fd_vars, fd_var)?;
+                self.sys_close(pid, fd)
+            }
+            Op::Dup { fd_var, new_var } => {
+                let fd = fd_of(fd_vars, fd_var)?;
+                let r = self.sys_dup(pid, fd);
+                if let Ok(nfd) = r {
+                    fd_vars.insert(new_var.clone(), nfd as i32);
+                }
+                r
+            }
+            Op::Dup2 { fd_var, newfd, new_var } => {
+                let fd = fd_of(fd_vars, fd_var)?;
+                let r = self.sys_dup2(pid, fd, *newfd);
+                if let Ok(nfd) = r {
+                    fd_vars.insert(new_var.clone(), nfd as i32);
+                }
+                r
+            }
+            Op::Dup3 { fd_var, newfd, new_var } => {
+                let fd = fd_of(fd_vars, fd_var)?;
+                let r = self.sys_dup3(pid, fd, *newfd, false);
+                if let Ok(nfd) = r {
+                    fd_vars.insert(new_var.clone(), nfd as i32);
+                }
+                r
+            }
+            Op::Read { fd_var, len } => {
+                let fd = fd_of(fd_vars, fd_var)?;
+                self.sys_read(pid, fd, *len)
+            }
+            Op::Pread { fd_var, len, offset } => {
+                let fd = fd_of(fd_vars, fd_var)?;
+                self.sys_pread(pid, fd, *len, *offset)
+            }
+            Op::Write { fd_var, len } => {
+                let fd = fd_of(fd_vars, fd_var)?;
+                self.sys_write(pid, fd, *len)
+            }
+            Op::Pwrite { fd_var, len, offset } => {
+                let fd = fd_of(fd_vars, fd_var)?;
+                self.sys_pwrite(pid, fd, *len, *offset)
+            }
+            Op::Link { old, new } => self.sys_link(pid, old, new),
+            Op::Linkat { old, new } => self.sys_linkat(pid, old, new),
+            Op::Symlink { target, linkpath } => self.sys_symlink(pid, target, linkpath),
+            Op::Symlinkat { target, linkpath } => self.sys_symlinkat(pid, target, linkpath),
+            Op::Mknod { path, mode } => self.sys_mknod(pid, path, *mode),
+            Op::Mknodat { path, mode } => self.sys_mknodat(pid, path, *mode),
+            Op::Rename { old, new } => self.sys_rename(pid, old, new),
+            Op::Renameat { old, new } => self.sys_renameat(pid, old, new),
+            Op::RenameExpectFailure { old, new } => self.sys_rename(pid, old, new),
+            Op::MustFail(inner) => {
+                self.run_op(pid, inner, results, success, fd_vars, last_child)
+            }
+            Op::Truncate { path, len } => self.sys_truncate(pid, path, *len),
+            Op::Ftruncate { fd_var, len } => {
+                let fd = fd_of(fd_vars, fd_var)?;
+                self.sys_ftruncate(pid, fd, *len)
+            }
+            Op::Unlink { path } => self.sys_unlink(pid, path),
+            Op::Unlinkat { path } => self.sys_unlinkat(pid, path),
+            Op::Fork { child } => {
+                let r = self.sys_fork(pid);
+                if let Ok(cpid) = r {
+                    let cpid = cpid as Pid;
+                    *last_child = Some(cpid);
+                    let mut child_vars = fd_vars.clone();
+                    let mut child_last = None;
+                    self.run_ops_inner(cpid, child, results, success, &mut child_vars, &mut child_last);
+                    if !self.procs[&cpid].terminated() {
+                        let _ = self.sys_exit(cpid, 0);
+                    }
+                }
+                r
+            }
+            Op::ForkAlive { child } => {
+                let r = self.sys_fork(pid);
+                if let Ok(cpid) = r {
+                    let cpid = cpid as Pid;
+                    *last_child = Some(cpid);
+                    let mut child_vars = fd_vars.clone();
+                    let mut child_last = None;
+                    self.run_ops_inner(cpid, child, results, success, &mut child_vars, &mut child_last);
+                    // Deliberately no implicit exit: the child keeps
+                    // running (the kill benchmark's victim).
+                }
+                r
+            }
+            Op::Vfork { child } => {
+                let r = self.sys_vfork(pid);
+                if let Ok(cpid) = r {
+                    let cpid = cpid as Pid;
+                    *last_child = Some(cpid);
+                    let mut child_vars = fd_vars.clone();
+                    let mut child_last = None;
+                    self.run_ops_inner(cpid, child, results, success, &mut child_vars, &mut child_last);
+                    if !self.procs[&cpid].terminated() {
+                        let _ = self.sys_exit(cpid, 0);
+                    }
+                }
+                r
+            }
+            Op::CloneProc { child } => {
+                let r = self.sys_clone(pid);
+                if let Ok(cpid) = r {
+                    let cpid = cpid as Pid;
+                    *last_child = Some(cpid);
+                    let mut child_vars = fd_vars.clone();
+                    let mut child_last = None;
+                    self.run_ops_inner(cpid, child, results, success, &mut child_vars, &mut child_last);
+                    if !self.procs[&cpid].terminated() {
+                        let _ = self.sys_exit(cpid, 0);
+                    }
+                }
+                r
+            }
+            Op::Execve { path } => {
+                let env = self.procs[&pid].env.clone();
+                self.sys_execve(pid, path, &env)
+            }
+            Op::ExitOp { code } => self.sys_exit(pid, *code),
+            Op::KillLastChild { sig } => {
+                let target = last_child.ok_or(Errno::ESRCH)?;
+                self.sys_kill(pid, target, *sig)
+            }
+            Op::Chmod { path, mode } => self.sys_chmod(pid, path, *mode),
+            Op::Fchmod { fd_var, mode } => {
+                let fd = fd_of(fd_vars, fd_var)?;
+                self.sys_fchmod(pid, fd, *mode)
+            }
+            Op::Fchmodat { path, mode } => self.sys_fchmodat(pid, path, *mode),
+            Op::Chown { path, uid, gid } => self.sys_chown(pid, path, *uid, *gid),
+            Op::Fchown { fd_var, uid, gid } => {
+                let fd = fd_of(fd_vars, fd_var)?;
+                self.sys_fchown(pid, fd, *uid, *gid)
+            }
+            Op::Fchownat { path, uid, gid } => self.sys_fchownat(pid, path, *uid, *gid),
+            Op::Setuid { uid } => self.sys_setuid(pid, *uid),
+            Op::Setreuid { ruid, euid } => self.sys_setreuid(pid, *ruid, *euid),
+            Op::Setresuid { ruid, euid, suid } => self.sys_setresuid(pid, *ruid, *euid, *suid),
+            Op::Setgid { gid } => self.sys_setgid(pid, *gid),
+            Op::Setregid { rgid, egid } => self.sys_setregid(pid, *rgid, *egid),
+            Op::Setresgid { rgid, egid, sgid } => self.sys_setresgid(pid, *rgid, *egid, *sgid),
+            Op::PipeOp { read_var, write_var } => match self.sys_pipe(pid) {
+                Ok((rfd, wfd)) => {
+                    fd_vars.insert(read_var.clone(), rfd);
+                    fd_vars.insert(write_var.clone(), wfd);
+                    Ok(0)
+                }
+                Err(e) => Err(e),
+            },
+            Op::Pipe2Op { read_var, write_var } => match self.sys_pipe2(pid) {
+                Ok((rfd, wfd)) => {
+                    fd_vars.insert(read_var.clone(), rfd);
+                    fd_vars.insert(write_var.clone(), wfd);
+                    Ok(0)
+                }
+                Err(e) => Err(e),
+            },
+            Op::Tee { in_var, out_var, len } => {
+                let fd_in = fd_of(fd_vars, in_var)?;
+                let fd_out = fd_of(fd_vars, out_var)?;
+                self.sys_tee(pid, fd_in, fd_out, *len)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::SetupAction;
+
+    fn kernel() -> Kernel {
+        let mut k = Kernel::with_seed(7);
+        k.set_recording(true);
+        k
+    }
+
+    fn open_tmp(k: &mut Kernel, pid: Pid, path: &str) -> i32 {
+        k.sys_open(pid, path, OpenFlags::RDWR | OpenFlags::CREAT, 0o644)
+            .unwrap() as i32
+    }
+
+    #[test]
+    fn open_create_read_write_close() {
+        let mut k = kernel();
+        let pid = k.shell_pid();
+        let fd = open_tmp(&mut k, pid, "/staging/test.txt");
+        assert_eq!(k.sys_write(pid, fd, 100), Ok(100));
+        assert_eq!(k.sys_pread(pid, fd, 50, 0), Ok(50));
+        assert_eq!(k.sys_read(pid, fd, 100), Ok(0), "offset at EOF after write");
+        assert_eq!(k.sys_close(pid, fd), Ok(0));
+        assert_eq!(k.sys_close(pid, fd), Err(Errno::EBADF));
+    }
+
+    #[test]
+    fn open_missing_file_fails() {
+        let mut k = kernel();
+        let pid = k.shell_pid();
+        assert_eq!(
+            k.sys_open(pid, "/staging/none", OpenFlags::RDONLY, 0),
+            Err(Errno::ENOENT)
+        );
+    }
+
+    #[test]
+    fn open_unreadable_file_denied_and_audited_as_failure() {
+        let mut k = kernel();
+        let pid = k.shell_pid();
+        k.setup(|ns| {
+            ns.create("/etc/secret", InodeKind::Regular, 0o600, &Credentials::root())
+                .unwrap();
+        });
+        k.sys_setuid(pid, 1000).unwrap(); // drop privileges
+        assert_eq!(
+            k.sys_open(pid, "/etc/secret", OpenFlags::RDONLY, 0),
+            Err(Errno::EACCES)
+        );
+        let rec = k.event_log().audit_records().last().unwrap();
+        assert!(!rec.success);
+        assert_eq!(rec.exit, -13);
+    }
+
+    #[test]
+    fn dup_shares_offset() {
+        let mut k = kernel();
+        let pid = k.shell_pid();
+        let fd = open_tmp(&mut k, pid, "/staging/t");
+        k.sys_write(pid, fd, 10).unwrap();
+        let dup = k.sys_dup(pid, fd).unwrap() as i32;
+        assert_ne!(fd, dup);
+        // Shared offset: reading via dup starts at the shared position.
+        assert_eq!(k.sys_pread(pid, dup, 10, 0), Ok(10));
+        assert_eq!(k.sys_read(pid, dup, 10), Ok(0), "shared offset at EOF");
+    }
+
+    #[test]
+    fn dup2_closes_previous_target() {
+        let mut k = kernel();
+        let pid = k.shell_pid();
+        let a = open_tmp(&mut k, pid, "/staging/a");
+        let b = open_tmp(&mut k, pid, "/staging/b");
+        assert_eq!(k.sys_dup2(pid, a, b), Ok(b as i64));
+        // b now refers to a's description; a still open.
+        assert_eq!(k.sys_close(pid, a), Ok(0));
+        assert_eq!(k.sys_close(pid, b), Ok(0));
+    }
+
+    #[test]
+    fn dup3_same_fd_is_einval() {
+        let mut k = kernel();
+        let pid = k.shell_pid();
+        let a = open_tmp(&mut k, pid, "/staging/a");
+        assert_eq!(k.sys_dup3(pid, a, a, false), Err(Errno::EINVAL));
+    }
+
+    #[test]
+    fn rename_failure_for_unprivileged_into_etc() {
+        let mut k = kernel();
+        let pid = k.shell_pid();
+        k.setup(|ns| {
+            ns.create("/staging/mine", InodeKind::Regular, 0o644, &Credentials::user(1000, 1000))
+                .unwrap();
+        });
+        k.sys_setuid(pid, 1000).unwrap(); // drop privileges
+        assert_eq!(
+            k.sys_rename(pid, "/staging/mine", "/etc/passwd"),
+            Err(Errno::EACCES)
+        );
+        let rec = k.event_log().audit_records().last().unwrap();
+        assert_eq!(rec.syscall, Syscall::Rename);
+        assert!(!rec.success);
+    }
+
+    #[test]
+    fn fork_emits_audit_before_child_activity() {
+        let mut k = kernel();
+        let shell = k.shell_pid();
+        let child = k.sys_fork(shell).unwrap() as Pid;
+        k.sys_exit(child, 0).unwrap();
+        let calls: Vec<Syscall> = k.event_log().audit_records().map(|r| r.syscall).collect();
+        let fork_pos = calls.iter().position(|&s| s == Syscall::Fork).unwrap();
+        let exit_pos = calls.iter().position(|&s| s == Syscall::Exit).unwrap();
+        assert!(fork_pos < exit_pos);
+    }
+
+    #[test]
+    fn vfork_audit_deferred_until_child_exit() {
+        let mut k = kernel();
+        let shell = k.shell_pid();
+        let child = k.sys_vfork(shell).unwrap() as Pid;
+        assert_eq!(k.process(shell).unwrap().state, ProcessState::VforkWait);
+        // Child does something observable, then exits.
+        let fd = open_tmp(&mut k, child, "/staging/c");
+        k.sys_close(child, fd).unwrap();
+        k.sys_exit(child, 0).unwrap();
+        assert_eq!(k.process(shell).unwrap().state, ProcessState::Running);
+        let calls: Vec<(Pid, Syscall)> = k
+            .event_log()
+            .audit_records()
+            .map(|r| (r.pid, r.syscall))
+            .collect();
+        let vfork_pos = calls.iter().position(|&(_, s)| s == Syscall::Vfork).unwrap();
+        let child_open = calls
+            .iter()
+            .position(|&(p, s)| p == child && s == Syscall::Open)
+            .unwrap();
+        assert!(
+            child_open < vfork_pos,
+            "child records must precede the parent's vfork record: {calls:?}"
+        );
+    }
+
+    #[test]
+    fn vfork_released_by_exec() {
+        let mut k = kernel();
+        let shell = k.shell_pid();
+        let child = k.sys_vfork(shell).unwrap() as Pid;
+        let env = BTreeMap::new();
+        k.sys_execve(child, "/usr/local/bin/bench_fg", &env).unwrap();
+        assert_eq!(k.process(shell).unwrap().state, ProcessState::Running);
+        assert!(k
+            .event_log()
+            .audit_records()
+            .any(|r| r.syscall == Syscall::Vfork));
+    }
+
+    #[test]
+    fn kill_terminates_without_exit_record() {
+        let mut k = kernel();
+        let shell = k.shell_pid();
+        let child = k.sys_fork(shell).unwrap() as Pid;
+        k.sys_kill(shell, child, 9).unwrap();
+        assert_eq!(k.process(child).unwrap().state, ProcessState::Killed(9));
+        let exits: Vec<Pid> = k
+            .event_log()
+            .audit_records()
+            .filter(|r| r.syscall == Syscall::Exit)
+            .map(|r| r.pid)
+            .collect();
+        assert!(!exits.contains(&child), "killed child has no exit record");
+    }
+
+    #[test]
+    fn kill_unrelated_process_eperm() {
+        let mut k = kernel();
+        let shell = k.shell_pid();
+        // An unprivileged child may not signal the root-owned shell.
+        let child = k.sys_fork(shell).unwrap() as Pid;
+        k.sys_setuid(child, 1000).unwrap();
+        assert_eq!(k.sys_kill(child, shell, 9), Err(Errno::EPERM));
+        assert_eq!(k.sys_kill(shell, 99999, 9), Err(Errno::ESRCH));
+    }
+
+    #[test]
+    fn setuid_changes_tracked_in_audit_args() {
+        let mut k = kernel();
+        let shell = k.shell_pid();
+        // setuid to the current uid: succeeds but nothing changes.
+        k.sys_setuid(shell, 0).unwrap();
+        let rec = k.event_log().audit_records().last().unwrap().clone();
+        assert_eq!(rec.syscall, Syscall::Setuid);
+        assert!(rec.args.contains(&"changed=false".to_owned()));
+        // setresgid to current values: success, no change (paper §4.3).
+        k.sys_setresgid(shell, Some(0), Some(0), Some(0)).unwrap();
+        let rec = k.event_log().audit_records().last().unwrap().clone();
+        assert!(rec.args.contains(&"changed=false".to_owned()));
+    }
+
+    #[test]
+    fn setuid_real_change_flagged() {
+        let mut k = kernel();
+        let shell = k.shell_pid();
+        k.sys_setuid(shell, 500).unwrap();
+        let rec = k.event_log().audit_records().last().unwrap();
+        assert!(rec.args.contains(&"changed=true".to_owned()));
+        assert_eq!(k.process(shell).unwrap().creds.euid, 500);
+    }
+
+    #[test]
+    fn unprivileged_setuid_to_foreign_uid_eperm() {
+        let mut k = kernel();
+        let shell = k.shell_pid();
+        let child = k.sys_fork(shell).unwrap() as Pid;
+        k.sys_setuid(child, 1000).unwrap(); // drop privileges
+        assert_eq!(k.sys_setuid(child, 0), Err(Errno::EPERM));
+    }
+
+    #[test]
+    fn pipe_and_tee() {
+        let mut k = kernel();
+        let pid = k.shell_pid();
+        let (r1, w1) = k.sys_pipe(pid).unwrap();
+        let (_r2, w2) = k.sys_pipe(pid).unwrap();
+        assert_eq!(k.sys_write(pid, w1, 5), Ok(5));
+        assert_eq!(k.sys_tee(pid, r1, w2, 100), Ok(5));
+        // tee must not consume: reading r1 still yields 5 bytes.
+        assert_eq!(k.sys_read(pid, r1, 100), Ok(5));
+        assert_eq!(k.sys_tee(pid, r1, r1, 1), Err(Errno::EINVAL));
+    }
+
+    #[test]
+    fn write_to_pipe_with_closed_read_end_epipe() {
+        let mut k = kernel();
+        let pid = k.shell_pid();
+        let (r, w) = k.sys_pipe(pid).unwrap();
+        k.sys_close(pid, r).unwrap();
+        assert_eq!(k.sys_write(pid, w, 1), Err(Errno::EPIPE));
+    }
+
+    #[test]
+    fn execve_closes_cloexec_fds() {
+        let mut k = kernel();
+        let pid = k.shell_pid();
+        let keep = open_tmp(&mut k, pid, "/staging/keep");
+        let lose = k
+            .sys_open(
+                pid,
+                "/staging/lose",
+                OpenFlags::RDWR | OpenFlags::CREAT | OpenFlags::CLOEXEC,
+                0o644,
+            )
+            .unwrap() as i32;
+        let env = BTreeMap::new();
+        k.sys_execve(pid, "/usr/local/bin/bench_fg", &env).unwrap();
+        assert!(k.process(pid).unwrap().fds.contains_key(&keep));
+        assert!(!k.process(pid).unwrap().fds.contains_key(&lose));
+        assert_eq!(k.process(pid).unwrap().comm, "bench_fg");
+    }
+
+    #[test]
+    fn events_not_emitted_while_recording_off() {
+        let mut k = Kernel::with_seed(3);
+        let pid = k.shell_pid();
+        let _ = k.sys_open(pid, "/staging/x", OpenFlags::RDWR | OpenFlags::CREAT, 0o644);
+        assert!(k.events().is_empty());
+    }
+
+    #[test]
+    fn same_seed_same_events_different_seed_differs() {
+        let run = |seed: u64| {
+            let mut k = Kernel::with_seed(seed);
+            k.set_recording(true);
+            let pid = k.shell_pid();
+            let fd = k
+                .sys_open(pid, "/staging/x", OpenFlags::RDWR | OpenFlags::CREAT, 0o644)
+                .unwrap() as i32;
+            k.sys_close(pid, fd).unwrap();
+            format!("{:?}", k.events())
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6), "volatile values must differ across trials");
+    }
+
+    #[test]
+    fn run_program_produces_startup_boilerplate() {
+        let mut k = Kernel::with_seed(1);
+        let prog = Program::new("creat")
+            .setup(SetupAction::Nothing)
+            .op(Op::Creat {
+                path: "/staging/test.txt".into(),
+                mode: 0o644,
+                fd_var: "id".into(),
+            });
+        let out = k.run_program(&prog);
+        assert!(out.success);
+        let calls: Vec<Syscall> = k.event_log().audit_records().map(|r| r.syscall).collect();
+        assert!(calls.contains(&Syscall::Fork), "shell forks");
+        assert!(calls.contains(&Syscall::Execve), "program execs");
+        assert!(calls.contains(&Syscall::Creat), "target call present");
+        assert!(calls.contains(&Syscall::Exit), "implicit exit");
+        // Loader touched libraries (background opens).
+        assert!(
+            k.event_log()
+                .audit_records()
+                .filter(|r| r.syscall == Syscall::Open)
+                .any(|r| r.paths.iter().any(|p| p.name.starts_with("/lib/"))),
+            "loader boilerplate present"
+        );
+    }
+
+    #[test]
+    fn run_program_setup_creates_files_without_events() {
+        let mut k = Kernel::with_seed(1);
+        let prog = Program::new("unlink")
+            .setup(SetupAction::CreateFile {
+                path: "/staging/test.txt".into(),
+                mode: 0o644,
+            })
+            .op(Op::Unlink {
+                path: "/staging/test.txt".into(),
+            });
+        let out = k.run_program(&prog);
+        assert!(out.success, "{:?}", out.results);
+        assert!(
+            !k.event_log()
+                .audit_records()
+                .any(|r| r.syscall == Syscall::Creat),
+            "setup leaves no events"
+        );
+    }
+
+    #[test]
+    fn open_follows_symlinks() {
+        let mut k = kernel();
+        let pid = k.shell_pid();
+        let fd = open_tmp(&mut k, pid, "/staging/real");
+        k.sys_write(pid, fd, 24).unwrap();
+        k.sys_close(pid, fd).unwrap();
+        k.sys_symlink(pid, "/staging/real", "/staging/sym").unwrap();
+        let fd = k.sys_open(pid, "/staging/sym", OpenFlags::RDONLY, 0).unwrap() as i32;
+        assert_eq!(k.sys_read(pid, fd, 100), Ok(24), "read through the symlink");
+    }
+
+    #[test]
+    fn truncate_resets_size_for_readers() {
+        let mut k = kernel();
+        let pid = k.shell_pid();
+        let fd = open_tmp(&mut k, pid, "/staging/t");
+        k.sys_write(pid, fd, 50).unwrap();
+        k.sys_truncate(pid, "/staging/t", 8).unwrap();
+        assert_eq!(k.sys_pread(pid, fd, 100, 0), Ok(8));
+        k.sys_ftruncate(pid, fd, 0).unwrap();
+        assert_eq!(k.sys_pread(pid, fd, 100, 0), Ok(0));
+    }
+
+    #[test]
+    fn fork_shares_open_file_offsets() {
+        let mut k = kernel();
+        let shell = k.shell_pid();
+        let fd = open_tmp(&mut k, shell, "/staging/t");
+        k.sys_write(shell, fd, 10).unwrap();
+        let child = k.sys_fork(shell).unwrap() as Pid;
+        // The child's descriptor shares the description: reading from the
+        // inherited fd starts at the shared offset (EOF).
+        assert_eq!(k.sys_read(child, fd, 100), Ok(0));
+        assert_eq!(k.sys_pread(child, fd, 100, 0), Ok(10));
+        // Closing in the child does not close the parent's copy.
+        k.sys_close(child, fd).unwrap();
+        assert_eq!(k.sys_pread(shell, fd, 4, 0), Ok(4));
+    }
+
+    #[test]
+    fn chmod_restricts_subsequent_opens() {
+        let mut k = kernel();
+        let pid = k.shell_pid();
+        let fd = open_tmp(&mut k, pid, "/staging/t");
+        k.sys_close(pid, fd).unwrap();
+        k.sys_chmod(pid, "/staging/t", 0o000).unwrap();
+        let worker = k.sys_fork(pid).unwrap() as Pid;
+        k.sys_setuid(worker, 1000).unwrap();
+        assert_eq!(
+            k.sys_open(worker, "/staging/t", OpenFlags::RDONLY, 0),
+            Err(Errno::EACCES)
+        );
+    }
+
+    #[test]
+    fn chown_transfers_access() {
+        let mut k = kernel();
+        let pid = k.shell_pid();
+        k.setup(|ns| {
+            ns.create("/staging/t", InodeKind::Regular, 0o600, &Credentials::root())
+                .unwrap();
+        });
+        k.sys_chown(pid, "/staging/t", 1000, 1000).unwrap();
+        let worker = k.sys_fork(pid).unwrap() as Pid;
+        k.sys_setuid(worker, 1000).unwrap();
+        assert!(k.sys_open(worker, "/staging/t", OpenFlags::RDWR, 0).is_ok());
+    }
+
+    #[test]
+    fn openat_and_variants_emit_distinct_syscall_names() {
+        let mut k = kernel();
+        let pid = k.shell_pid();
+        k.sys_openat(pid, "/staging/x", OpenFlags::RDWR | OpenFlags::CREAT, 0o644)
+            .unwrap();
+        k.sys_linkat(pid, "/staging/x", "/staging/y").unwrap();
+        k.sys_renameat(pid, "/staging/y", "/staging/z").unwrap();
+        k.sys_unlinkat(pid, "/staging/z").unwrap();
+        let names: Vec<&str> = k
+            .event_log()
+            .audit_records()
+            .map(|r| r.syscall.name())
+            .collect();
+        for expected in ["openat", "linkat", "renameat", "unlinkat"] {
+            assert!(names.contains(&expected), "{names:?}");
+        }
+    }
+
+    #[test]
+    fn open_excl_on_existing_file_fails() {
+        let mut k = kernel();
+        let pid = k.shell_pid();
+        let fd = open_tmp(&mut k, pid, "/staging/t");
+        k.sys_close(pid, fd).unwrap();
+        assert_eq!(
+            k.sys_open(
+                pid,
+                "/staging/t",
+                OpenFlags::RDWR | OpenFlags::CREAT | OpenFlags::EXCL,
+                0o644
+            ),
+            Err(Errno::EEXIST)
+        );
+    }
+
+    #[test]
+    fn startup_noise_adds_extra_lib_access() {
+        let mut quiet = Kernel::with_seed(1);
+        let mut noisy = Kernel::with_seed(1);
+        noisy.startup_noise = true;
+        let prog = Program::new("creat").op(Op::Creat {
+            path: "/staging/x".into(),
+            mode: 0o644,
+            fd_var: "id".into(),
+        });
+        quiet.run_program(&prog);
+        noisy.run_program(&prog);
+        assert!(noisy.event_log().len() > quiet.event_log().len());
+    }
+}

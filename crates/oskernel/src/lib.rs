@@ -1,0 +1,92 @@
+//! A deterministic Linux-like kernel simulator: the substrate under the
+//! three provenance recorders.
+//!
+//! The ProvMark paper benchmarks provenance capture systems that observe a
+//! real Linux kernel at three different layers (paper Figure 2):
+//!
+//! - **Linux Audit** — syscall records emitted at syscall *exit*
+//!   (consumed by SPADE);
+//! - **C library interposition** — wrapped libc calls, visible even when
+//!   the underlying syscall fails (consumed by OPUS);
+//! - **Linux Security Module hooks** — security hook invocations fired
+//!   from inside kernel operations (consumed by CamFlow).
+//!
+//! This crate simulates a kernel with processes, credentials, file
+//! descriptor tables, inodes, a path namespace, and pipes; implements the
+//! 44 syscalls of the paper's Table 1; and emits faithful event streams at
+//! all three observation layers. Behavioural quirks that the paper's
+//! results depend on are reproduced:
+//!
+//! - audit records are emitted at syscall **exit**, and a `vfork` parent is
+//!   suspended until its child exits or calls `execve`, so the child's
+//!   records appear *before* the parent's `vfork` record (the cause of
+//!   SPADE's disconnected-vfork anomaly, paper §4.2);
+//! - `kill` terminates the target without a normal exit record;
+//! - process startup produces boilerplate provenance (fork, execve, loader
+//!   opening shared libraries) that ProvMark must subtract;
+//! - timestamps, pids, inode numbers and audit serials are *volatile*: they
+//!   differ between trials (seeded, reproducible) so that the
+//!   generalization stage has real transient data to strip.
+//!
+//! # Example
+//!
+//! ```
+//! use oskernel::{Kernel, OpenFlags};
+//! use oskernel::program::{Program, Op};
+//!
+//! let prog = Program::new("close")
+//!     .op(Op::Open {
+//!         path: "test.txt".into(),
+//!         flags: OpenFlags::RDWR.union(OpenFlags::CREAT),
+//!         mode: 0o644,
+//!         fd_var: "id".into(),
+//!     })
+//!     .op(Op::Close { fd_var: "id".into() });
+//! let mut kernel = Kernel::with_seed(1);
+//! let outcome = kernel.run_program(&prog);
+//! assert!(outcome.success);
+//! assert!(!kernel.events().is_empty());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod errno;
+mod events;
+mod fs;
+mod kernel;
+mod pipe;
+mod process;
+pub mod program;
+mod types;
+
+pub use errno::Errno;
+pub use events::{
+    AuditRecord, Event, EventLog, LibcCall, LsmEvent, LsmHook, LsmObject, PathRecord, Syscall,
+};
+pub use fs::{Inode, InodeKind, Namespace};
+pub use kernel::{Kernel, ProgramOutcome};
+pub use pipe::Pipe;
+pub use process::{Credentials, FdEntry, Process, ProcessState};
+pub use types::{Gid, Ino, Mode, OpenFlags, Pid, Uid};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{Op, Program};
+
+    #[test]
+    fn doc_example_runs() {
+        let prog = Program::new("close")
+            .op(Op::Open {
+                path: "test.txt".into(),
+                flags: OpenFlags::RDWR.union(OpenFlags::CREAT),
+                mode: 0o644,
+                fd_var: "id".into(),
+            })
+            .op(Op::Close { fd_var: "id".into() });
+        let mut kernel = Kernel::with_seed(1);
+        let outcome = kernel.run_program(&prog);
+        assert!(outcome.success, "{:?}", outcome);
+    }
+}

@@ -1,0 +1,103 @@
+use std::collections::VecDeque;
+
+/// An anonymous pipe: a bounded in-kernel byte buffer with a read end and a
+/// write end (paper Table 1 group 4: `pipe[2]`, `tee`).
+#[derive(Debug, Clone, Default)]
+pub struct Pipe {
+    buffer: VecDeque<u8>,
+    /// `true` while at least one write-end descriptor is open.
+    pub write_open: bool,
+    /// `true` while at least one read-end descriptor is open.
+    pub read_open: bool,
+}
+
+/// Default pipe capacity (64 KiB, as on Linux).
+pub const PIPE_CAPACITY: usize = 65536;
+
+impl Pipe {
+    /// Create an empty pipe with both ends open.
+    pub fn new() -> Self {
+        Pipe {
+            buffer: VecDeque::new(),
+            write_open: true,
+            read_open: true,
+        }
+    }
+
+    /// Bytes currently buffered.
+    pub fn len(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// `true` if no bytes are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.buffer.is_empty()
+    }
+
+    /// Write up to `data.len()` bytes; returns bytes accepted.
+    pub fn write(&mut self, data: &[u8]) -> usize {
+        let room = PIPE_CAPACITY.saturating_sub(self.buffer.len());
+        let n = room.min(data.len());
+        self.buffer.extend(&data[..n]);
+        n
+    }
+
+    /// Read and consume up to `len` bytes.
+    pub fn read(&mut self, len: usize) -> Vec<u8> {
+        let n = len.min(self.buffer.len());
+        self.buffer.drain(..n).collect()
+    }
+
+    /// Copy up to `len` bytes into `other` **without consuming** them —
+    /// the semantics of `tee(2)`.
+    pub fn tee_into(&self, other: &mut Pipe, len: usize) -> usize {
+        let n = len.min(self.buffer.len());
+        let bytes: Vec<u8> = self.buffer.iter().take(n).copied().collect();
+        other.write(&bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_then_read() {
+        let mut p = Pipe::new();
+        assert_eq!(p.write(b"hello"), 5);
+        assert_eq!(p.len(), 5);
+        assert_eq!(p.read(3), b"hel");
+        assert_eq!(p.read(10), b"lo");
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn capacity_bounded() {
+        let mut p = Pipe::new();
+        let big = vec![0u8; PIPE_CAPACITY + 100];
+        assert_eq!(p.write(&big), PIPE_CAPACITY);
+        assert_eq!(p.write(b"x"), 0);
+    }
+
+    #[test]
+    fn tee_does_not_consume() {
+        let mut a = Pipe::new();
+        a.write(b"data");
+        let mut b = Pipe::new();
+        let n = a.tee_into(&mut b, 4);
+        assert_eq!(n, 4);
+        assert_eq!(a.len(), 4, "tee must not consume the source");
+        assert_eq!(b.read(4), b"data");
+    }
+
+    #[test]
+    fn tee_respects_available() {
+        let a = {
+            let mut p = Pipe::new();
+            p.write(b"ab");
+            p
+        };
+        let mut b = Pipe::new();
+        assert_eq!(a.tee_into(&mut b, 100), 2);
+    }
+}

@@ -1,0 +1,178 @@
+use std::collections::BTreeMap;
+
+use crate::types::{Gid, Pid, Uid};
+
+/// POSIX credential set: real, effective, and saved user/group ids.
+///
+/// The `setres[ug]id` family manipulates all three; the distinction matters
+/// for the paper's observation that SPADE only notices `setresgid` when an
+/// attribute actually *changes* (§4.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Credentials {
+    /// Real user id.
+    pub uid: Uid,
+    /// Effective user id (used for permission checks).
+    pub euid: Uid,
+    /// Saved user id.
+    pub suid: Uid,
+    /// Real group id.
+    pub gid: Gid,
+    /// Effective group id.
+    pub egid: Gid,
+    /// Saved group id.
+    pub sgid: Gid,
+}
+
+impl Credentials {
+    /// Root credentials (all ids zero).
+    pub fn root() -> Self {
+        Credentials {
+            uid: 0,
+            euid: 0,
+            suid: 0,
+            gid: 0,
+            egid: 0,
+            sgid: 0,
+        }
+    }
+
+    /// An ordinary user with all user ids `uid` and group ids `gid`.
+    pub fn user(uid: Uid, gid: Gid) -> Self {
+        Credentials {
+            uid,
+            euid: uid,
+            suid: uid,
+            gid,
+            egid: gid,
+            sgid: gid,
+        }
+    }
+
+    /// `true` if the process may switch to arbitrary ids (root privilege).
+    pub fn privileged(&self) -> bool {
+        self.euid == 0
+    }
+}
+
+/// One slot in a process's file descriptor table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FdEntry {
+    /// Index into the kernel's open file description table. `dup`ed and
+    /// `fork`-inherited descriptors share the description (offset, flags).
+    pub ofd: usize,
+    /// Close-on-exec flag (per descriptor, not per description).
+    pub cloexec: bool,
+}
+
+/// Lifecycle state of a simulated process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProcessState {
+    /// Scheduled and runnable.
+    Running,
+    /// Suspended in `vfork` until the child exits or execs.
+    VforkWait,
+    /// Terminated normally with the given exit code.
+    Exited(i32),
+    /// Terminated by a signal (e.g. `kill`); no normal exit record.
+    Killed(i32),
+}
+
+/// A simulated process.
+#[derive(Debug, Clone)]
+pub struct Process {
+    /// Process id (volatile across trials).
+    pub pid: Pid,
+    /// Parent process id.
+    pub ppid: Pid,
+    /// Credentials.
+    pub creds: Credentials,
+    /// File descriptor table.
+    pub fds: BTreeMap<i32, FdEntry>,
+    /// Executable path (`/usr/bin/bench_fg` etc.).
+    pub exe: String,
+    /// Short command name (basename of `exe`), as audit's `comm` field.
+    pub comm: String,
+    /// Current working directory.
+    pub cwd: String,
+    /// Environment variables (recorded by OPUS at exec time).
+    pub env: BTreeMap<String, String>,
+    /// Lifecycle state.
+    pub state: ProcessState,
+    /// `true` while this process was created by `vfork` and has not yet
+    /// exited or execed (its parent is suspended).
+    pub vfork_child: bool,
+}
+
+impl Process {
+    /// Create a fresh process.
+    pub fn new(pid: Pid, ppid: Pid, creds: Credentials, exe: &str) -> Self {
+        let comm = exe.rsplit('/').next().unwrap_or(exe).to_owned();
+        Process {
+            pid,
+            ppid,
+            creds,
+            fds: BTreeMap::new(),
+            exe: exe.to_owned(),
+            comm,
+            cwd: "/".to_owned(),
+            env: BTreeMap::new(),
+            state: ProcessState::Running,
+            vfork_child: false,
+        }
+    }
+
+    /// Lowest unused descriptor number (POSIX allocation rule).
+    pub fn lowest_free_fd(&self) -> i32 {
+        let mut fd = 0;
+        while self.fds.contains_key(&fd) {
+            fd += 1;
+        }
+        fd
+    }
+
+    /// `true` if the process has terminated (exited or killed).
+    pub fn terminated(&self) -> bool {
+        matches!(self.state, ProcessState::Exited(_) | ProcessState::Killed(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn creds_constructors() {
+        let r = Credentials::root();
+        assert!(r.privileged());
+        let u = Credentials::user(1000, 100);
+        assert_eq!(u.euid, 1000);
+        assert_eq!(u.sgid, 100);
+        assert!(!u.privileged());
+    }
+
+    #[test]
+    fn lowest_free_fd_fills_gaps() {
+        let mut p = Process::new(10, 1, Credentials::root(), "/bin/x");
+        assert_eq!(p.lowest_free_fd(), 0);
+        p.fds.insert(0, FdEntry { ofd: 0, cloexec: false });
+        p.fds.insert(1, FdEntry { ofd: 1, cloexec: false });
+        p.fds.insert(3, FdEntry { ofd: 2, cloexec: false });
+        assert_eq!(p.lowest_free_fd(), 2);
+    }
+
+    #[test]
+    fn comm_is_basename() {
+        let p = Process::new(10, 1, Credentials::root(), "/usr/bin/bench_fg");
+        assert_eq!(p.comm, "bench_fg");
+    }
+
+    #[test]
+    fn terminated_states() {
+        let mut p = Process::new(10, 1, Credentials::root(), "/bin/x");
+        assert!(!p.terminated());
+        p.state = ProcessState::Exited(0);
+        assert!(p.terminated());
+        p.state = ProcessState::Killed(9);
+        assert!(p.terminated());
+    }
+}

@@ -1,0 +1,261 @@
+//! Benchmark program DSL.
+//!
+//! ProvMark's benchmark programs are small C files whose target section is
+//! guarded by `#ifdef TARGET` (paper §3). Here a program is a [`Program`]:
+//! a sequence of [`Op`]s to execute plus [`SetupAction`]s that prepare the
+//! staging directory before recording starts (mirroring the per-syscall
+//! setup scripts). The foreground/background split is made one level up, in
+//! `provmark-core`, by including or omitting the target ops.
+
+use crate::fs::{InodeKind, Namespace};
+use crate::process::Credentials;
+use crate::types::{Gid, Mode, OpenFlags, Uid};
+
+/// Staging-directory preparation performed before recording begins.
+///
+/// Matches the role of ProvMark's per-syscall setup scripts: "prepares a
+/// staging directory in which they will be executed with any needed setup,
+/// for example, first creating a file to run an unlink system call".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SetupAction {
+    /// No preparation.
+    Nothing,
+    /// Create a regular file owned by the benchmark user.
+    CreateFile {
+        /// Absolute path.
+        path: String,
+        /// Permission bits.
+        mode: Mode,
+    },
+    /// Create a regular file with explicit ownership (for permission
+    /// failure scenarios, e.g. a root-owned unreadable file).
+    CreateFileOwned {
+        /// Absolute path.
+        path: String,
+        /// Permission bits.
+        mode: Mode,
+        /// Owner uid.
+        uid: Uid,
+        /// Owner gid.
+        gid: Gid,
+    },
+    /// Create a directory.
+    Mkdir {
+        /// Absolute path.
+        path: String,
+        /// Permission bits.
+        mode: Mode,
+    },
+}
+
+impl SetupAction {
+    /// Apply the action directly to the namespace (no events emitted).
+    pub fn apply(&self, ns: &mut Namespace) {
+        // Benchmarks run as root (as ProvMark does in its VMs).
+        let bench_user = Credentials::root();
+        match self {
+            SetupAction::Nothing => {}
+            SetupAction::CreateFile { path, mode } => {
+                let _ = ns.create(path, InodeKind::Regular, *mode, &bench_user);
+            }
+            SetupAction::CreateFileOwned { path, mode, uid, gid } => {
+                let creds = Credentials {
+                    uid: *uid,
+                    euid: *uid,
+                    suid: *uid,
+                    gid: *gid,
+                    egid: *gid,
+                    sgid: *gid,
+                };
+                let _ = ns.create(path, InodeKind::Regular, *mode, &creds);
+            }
+            SetupAction::Mkdir { path, mode } => {
+                let _ = ns.mkdir(path, *mode, &bench_user);
+            }
+        }
+    }
+}
+
+/// One operation in a benchmark program. Most variants map 1:1 to a
+/// syscall; file descriptors are threaded through named variables (the C
+/// benchmarks' local variables, e.g. `int id = open(...)`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum Op {
+    Open { path: String, flags: OpenFlags, mode: Mode, fd_var: String },
+    Openat { path: String, flags: OpenFlags, mode: Mode, fd_var: String },
+    Creat { path: String, mode: Mode, fd_var: String },
+    Close { fd_var: String },
+    Dup { fd_var: String, new_var: String },
+    Dup2 { fd_var: String, newfd: i32, new_var: String },
+    Dup3 { fd_var: String, newfd: i32, new_var: String },
+    Read { fd_var: String, len: u64 },
+    Pread { fd_var: String, len: u64, offset: u64 },
+    Write { fd_var: String, len: u64 },
+    Pwrite { fd_var: String, len: u64, offset: u64 },
+    Link { old: String, new: String },
+    Linkat { old: String, new: String },
+    Symlink { target: String, linkpath: String },
+    Symlinkat { target: String, linkpath: String },
+    Mknod { path: String, mode: Mode },
+    Mknodat { path: String, mode: Mode },
+    Rename { old: String, new: String },
+    Renameat { old: String, new: String },
+    /// A `rename` that the benchmark *expects* to fail (Alice's failed-call
+    /// scenario, paper §3.1): success criterion inverted.
+    RenameExpectFailure { old: String, new: String },
+    /// Run the wrapped op expecting it to fail with an errno — the generic
+    /// form for failure-scenario benchmarks ("handling other scenarios
+    /// such as failure cases is straightforward", paper §4).
+    MustFail(Box<Op>),
+    Truncate { path: String, len: u64 },
+    Ftruncate { fd_var: String, len: u64 },
+    Unlink { path: String },
+    Unlinkat { path: String },
+    /// `fork` and run `child` ops in the child before the parent continues.
+    /// The child exits implicitly when its ops finish.
+    Fork { child: Vec<Op> },
+    /// `fork` a child that stays alive after its ops finish (no implicit
+    /// exit) — the `kill` benchmark's victim.
+    ForkAlive { child: Vec<Op> },
+    /// `vfork`: the parent suspends until the child exits or execs.
+    Vfork { child: Vec<Op> },
+    /// Raw `clone` (no libc wrapper — invisible to OPUS).
+    CloneProc { child: Vec<Op> },
+    Execve { path: String },
+    ExitOp { code: i32 },
+    /// `kill` the most recently forked child with signal `sig`.
+    KillLastChild { sig: i32 },
+    Chmod { path: String, mode: Mode },
+    Fchmod { fd_var: String, mode: Mode },
+    Fchmodat { path: String, mode: Mode },
+    Chown { path: String, uid: Uid, gid: Gid },
+    Fchown { fd_var: String, uid: Uid, gid: Gid },
+    Fchownat { path: String, uid: Uid, gid: Gid },
+    Setuid { uid: Uid },
+    Setreuid { ruid: Option<Uid>, euid: Option<Uid> },
+    Setresuid { ruid: Option<Uid>, euid: Option<Uid>, suid: Option<Uid> },
+    Setgid { gid: Gid },
+    Setregid { rgid: Option<Gid>, egid: Option<Gid> },
+    Setresgid { rgid: Option<Gid>, egid: Option<Gid>, sgid: Option<Gid> },
+    PipeOp { read_var: String, write_var: String },
+    Pipe2Op { read_var: String, write_var: String },
+    Tee { in_var: String, out_var: String, len: u64 },
+}
+
+impl Op {
+    /// `true` when the op is *supposed* to fail (failure-scenario
+    /// benchmarks invert the success criterion).
+    pub fn expects_failure(&self) -> bool {
+        matches!(self, Op::RenameExpectFailure { .. } | Op::MustFail(_))
+    }
+}
+
+/// A complete benchmark program: setup actions plus an op sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    /// Program name (e.g. `"close"`), used in reports.
+    pub name: String,
+    /// Path of the simulated binary (`execve` target).
+    pub exe_path: String,
+    /// Staging preparation, applied before recording starts.
+    pub setup: Vec<SetupAction>,
+    /// The op sequence the benchmark process runs after startup.
+    pub ops: Vec<Op>,
+}
+
+impl Program {
+    /// Create an empty program named `name`, to be populated with the
+    /// builder methods.
+    pub fn new(name: impl Into<String>) -> Self {
+        Program {
+            name: name.into(),
+            exe_path: "/usr/local/bin/bench_fg".to_owned(),
+            setup: Vec::new(),
+            ops: Vec::new(),
+        }
+    }
+
+    /// Set the simulated binary path (foreground vs background builds).
+    pub fn exe(mut self, path: impl Into<String>) -> Self {
+        self.exe_path = path.into();
+        self
+    }
+
+    /// Add a setup action.
+    pub fn setup(mut self, action: SetupAction) -> Self {
+        self.setup.push(action);
+        self
+    }
+
+    /// Append an op.
+    pub fn op(mut self, op: Op) -> Self {
+        self.ops.push(op);
+        self
+    }
+
+    /// Append several ops.
+    pub fn ops(mut self, ops: impl IntoIterator<Item = Op>) -> Self {
+        self.ops.extend(ops);
+        self
+    }
+
+    /// Number of ops (target size measure for the scalability figures).
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// `true` when the program has no ops (a pure-background program).
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates() {
+        let p = Program::new("open")
+            .exe("/usr/local/bin/bench_bg")
+            .setup(SetupAction::CreateFile { path: "/staging/t".into(), mode: 0o644 })
+            .op(Op::Unlink { path: "/staging/t".into() })
+            .ops([Op::ExitOp { code: 0 }]);
+        assert_eq!(p.name, "open");
+        assert_eq!(p.exe_path, "/usr/local/bin/bench_bg");
+        assert_eq!(p.setup.len(), 1);
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn setup_actions_apply() {
+        let mut ns = Namespace::new(10);
+        ns.mkdir("/staging", 0o777, &Credentials::root()).unwrap();
+        SetupAction::CreateFile { path: "/staging/f".into(), mode: 0o644 }.apply(&mut ns);
+        assert!(ns.lookup("/staging/f").is_some());
+        SetupAction::CreateFileOwned {
+            path: "/staging/rootfile".into(),
+            mode: 0o600,
+            uid: 0,
+            gid: 0,
+        }
+        .apply(&mut ns);
+        let ino = ns.lookup("/staging/rootfile").unwrap();
+        assert_eq!(ns.inode(ino).unwrap().uid, 0);
+        SetupAction::Mkdir { path: "/staging/dir".into(), mode: 0o755 }.apply(&mut ns);
+        assert!(ns.lookup("/staging/dir").is_some());
+        SetupAction::Nothing.apply(&mut ns); // no-op, no panic
+    }
+
+    #[test]
+    fn expected_failure_flag() {
+        let ok = Op::Rename { old: "/a".into(), new: "/b".into() };
+        let fail = Op::RenameExpectFailure { old: "/a".into(), new: "/b".into() };
+        assert!(!ok.expects_failure());
+        assert!(fail.expects_failure());
+        let wrapped = Op::MustFail(Box::new(ok));
+        assert!(wrapped.expects_failure());
+    }
+}

@@ -1,0 +1,125 @@
+use std::fmt;
+use std::ops::BitOr;
+
+/// Process identifier.
+pub type Pid = u32;
+/// User identifier.
+pub type Uid = u32;
+/// Group identifier.
+pub type Gid = u32;
+/// Inode number.
+pub type Ino = u64;
+/// File mode bits (permission bits only; the type is carried separately).
+pub type Mode = u32;
+
+/// `open(2)` flag set.
+///
+/// A small hand-rolled bitflag type (the `bitflags` crate is not among the
+/// approved dependencies). Flags combine with [`OpenFlags::union`] or `|`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct OpenFlags(u32);
+
+impl OpenFlags {
+    /// Open read-only.
+    pub const RDONLY: OpenFlags = OpenFlags(0);
+    /// Open write-only.
+    pub const WRONLY: OpenFlags = OpenFlags(0o1);
+    /// Open read-write.
+    pub const RDWR: OpenFlags = OpenFlags(0o2);
+    /// Create the file if it does not exist.
+    pub const CREAT: OpenFlags = OpenFlags(0o100);
+    /// Fail if [`OpenFlags::CREAT`] and the file exists.
+    pub const EXCL: OpenFlags = OpenFlags(0o200);
+    /// Truncate to zero length on open.
+    pub const TRUNC: OpenFlags = OpenFlags(0o1000);
+    /// Append on every write.
+    pub const APPEND: OpenFlags = OpenFlags(0o2000);
+    /// Close-on-exec.
+    pub const CLOEXEC: OpenFlags = OpenFlags(0o2000000);
+
+    /// The raw bit value (matches Linux x86-64 encodings).
+    pub fn bits(self) -> u32 {
+        self.0
+    }
+
+    /// Combine two flag sets.
+    pub const fn union(self, other: OpenFlags) -> OpenFlags {
+        OpenFlags(self.0 | other.0)
+    }
+
+    /// `true` if every bit of `other` is set in `self`.
+    pub fn contains(self, other: OpenFlags) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// `true` if the access mode allows reading.
+    pub fn readable(self) -> bool {
+        self.0 & 0o3 != Self::WRONLY.0
+    }
+
+    /// `true` if the access mode allows writing.
+    pub fn writable(self) -> bool {
+        self.0 & 0o3 != 0
+    }
+}
+
+impl BitOr for OpenFlags {
+    type Output = OpenFlags;
+    fn bitor(self, rhs: OpenFlags) -> OpenFlags {
+        self.union(rhs)
+    }
+}
+
+impl fmt::Display for OpenFlags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut parts: Vec<&str> = Vec::new();
+        match self.0 & 0o3 {
+            0 => parts.push("O_RDONLY"),
+            1 => parts.push("O_WRONLY"),
+            _ => parts.push("O_RDWR"),
+        }
+        for (flag, name) in [
+            (OpenFlags::CREAT, "O_CREAT"),
+            (OpenFlags::EXCL, "O_EXCL"),
+            (OpenFlags::TRUNC, "O_TRUNC"),
+            (OpenFlags::APPEND, "O_APPEND"),
+            (OpenFlags::CLOEXEC, "O_CLOEXEC"),
+        ] {
+            if self.contains(flag) && flag.0 != 0 {
+                parts.push(name);
+            }
+        }
+        f.write_str(&parts.join("|"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn access_modes() {
+        assert!(OpenFlags::RDONLY.readable());
+        assert!(!OpenFlags::RDONLY.writable());
+        assert!(!OpenFlags::WRONLY.readable());
+        assert!(OpenFlags::WRONLY.writable());
+        assert!(OpenFlags::RDWR.readable());
+        assert!(OpenFlags::RDWR.writable());
+    }
+
+    #[test]
+    fn union_and_contains() {
+        let f = OpenFlags::RDWR | OpenFlags::CREAT | OpenFlags::TRUNC;
+        assert!(f.contains(OpenFlags::CREAT));
+        assert!(f.contains(OpenFlags::TRUNC));
+        assert!(!f.contains(OpenFlags::EXCL));
+        assert!(f.writable() && f.readable());
+    }
+
+    #[test]
+    fn display_lists_flags() {
+        let f = OpenFlags::WRONLY | OpenFlags::CREAT;
+        assert_eq!(f.to_string(), "O_WRONLY|O_CREAT");
+        assert_eq!(OpenFlags::RDONLY.to_string(), "O_RDONLY");
+    }
+}

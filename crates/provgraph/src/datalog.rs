@@ -1,0 +1,450 @@
+//! The uniform Datalog graph format (paper Listing 1).
+//!
+//! Every provenance graph, whatever recorder produced it, is transformed
+//! into a set of Datalog facts:
+//!
+//! ```text
+//! n<gid>(<nodeID>,<label>).
+//! e<gid>(<edgeID>,<srcID>,<tgtID>,<label>).
+//! p<gid>(<nodeID/edgeID>,<key>,<value>).
+//! ```
+//!
+//! where `gid` is a short string identifying the graph (e.g. `g1`), element
+//! identifiers are atoms, and labels/keys/values are quoted strings. This
+//! module provides an emitter ([`to_datalog`]), a canonical sorted emitter
+//! ([`to_canonical_datalog`]) used for regression storage and diffing, and a
+//! parser ([`parse_datalog`]).
+//!
+//! # Example
+//!
+//! Paper Listing 2, reproduced:
+//!
+//! ```
+//! use provgraph::{PropertyGraph, datalog};
+//!
+//! # fn main() -> Result<(), provgraph::GraphError> {
+//! let mut g = PropertyGraph::new();
+//! g.add_node("n1", "File")?;
+//! g.set_node_property("n1", "Userid", "1")?;
+//! let text = datalog::to_datalog(&g, "g1");
+//! assert!(text.contains("ng1(n1,\"File\")."));
+//! assert!(text.contains("pg1(n1,\"Userid\",\"1\")."));
+//! let (g2, gid) = datalog::parse_datalog(&text)?;
+//! assert_eq!(gid, "g1");
+//! assert_eq!(g2.prop("n1", "Userid"), Some("1"));
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::{GraphError, PropertyGraph};
+
+/// `true` if `s` can be written as a bare Datalog atom (no quoting needed).
+///
+/// Atoms start with a lowercase letter and continue with alphanumerics or
+/// underscores, matching clingo's constant syntax.
+pub fn is_bare_atom(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_lowercase() => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Quote a string for use as a Datalog term, escaping `"` and `\`.
+pub fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn atom_or_quote(s: &str) -> String {
+    if is_bare_atom(s) {
+        s.to_owned()
+    } else {
+        quote(s)
+    }
+}
+
+/// Serialize a graph as Datalog facts with graph id `gid`, in insertion
+/// order (nodes, then edges, then properties).
+pub fn to_datalog(graph: &PropertyGraph, gid: &str) -> String {
+    let mut out = String::new();
+    emit(graph, gid, &mut out, false);
+    out
+}
+
+/// Serialize a graph as Datalog facts in a canonical order.
+///
+/// Nodes, edges and properties are emitted sorted by identifier (and key),
+/// so two equal graphs always serialize to byte-identical text. This is the
+/// storage format for regression testing (paper §3.1, "Regression testing").
+pub fn to_canonical_datalog(graph: &PropertyGraph, gid: &str) -> String {
+    let mut out = String::new();
+    emit(graph, gid, &mut out, true);
+    out
+}
+
+fn emit(graph: &PropertyGraph, gid: &str, out: &mut String, sorted: bool) {
+    let mut nodes: Vec<_> = graph.nodes().collect();
+    let mut edges: Vec<_> = graph.edges().collect();
+    if sorted {
+        nodes.sort_by(|a, b| a.id.cmp(&b.id));
+        edges.sort_by(|a, b| a.id.cmp(&b.id));
+    }
+    for n in &nodes {
+        out.push_str(&format!(
+            "n{gid}({},{}).\n",
+            atom_or_quote(&n.id),
+            quote(n.label.as_str())
+        ));
+    }
+    for e in &edges {
+        out.push_str(&format!(
+            "e{gid}({},{},{},{}).\n",
+            atom_or_quote(&e.id),
+            atom_or_quote(&e.src),
+            atom_or_quote(&e.tgt),
+            quote(e.label.as_str())
+        ));
+    }
+    let mut emit_props = |id: &str, props: &crate::Props| {
+        for (k, v) in props {
+            out.push_str(&format!(
+                "p{gid}({},{},{}).\n",
+                atom_or_quote(id),
+                quote(k),
+                quote(v)
+            ));
+        }
+    };
+    for n in &nodes {
+        emit_props(&n.id, &n.props);
+    }
+    for e in &edges {
+        emit_props(&e.id, &e.props);
+    }
+}
+
+/// One parsed fact: relation kind, and its argument terms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Fact {
+    Node { id: String, label: String },
+    Edge { id: String, src: String, tgt: String, label: String },
+    Prop { id: String, key: String, value: String },
+}
+
+/// Parse Datalog facts back into a [`PropertyGraph`].
+///
+/// The graph id is inferred from the first fact's relation name and returned
+/// alongside the graph; all facts must share it. Blank lines and `%` comment
+/// lines are ignored. Property facts may precede or follow the element they
+/// attach to, but elements must exist by end of input.
+///
+/// # Errors
+///
+/// Returns [`GraphError::Parse`] on malformed input, and graph-construction
+/// errors (duplicates, dangling edges, properties on unknown elements).
+pub fn parse_datalog(text: &str) -> Result<(PropertyGraph, String), GraphError> {
+    let mut gid: Option<String> = None;
+    let mut facts: Vec<Fact> = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('%') {
+            continue;
+        }
+        let lineno = lineno + 1;
+        let (kind, rest_gid, args) = parse_fact_line(line, lineno)?;
+        match &gid {
+            None => gid = Some(rest_gid),
+            Some(g) if *g == rest_gid => {}
+            Some(g) => {
+                return Err(GraphError::parse(
+                    "datalog",
+                    Some(lineno),
+                    format!("graph id mismatch: expected `{g}`, found `{rest_gid}`"),
+                ))
+            }
+        }
+        let fact = match (kind, args.len()) {
+            ('n', 2) => Fact::Node {
+                id: args[0].clone(),
+                label: args[1].clone(),
+            },
+            ('e', 4) => Fact::Edge {
+                id: args[0].clone(),
+                src: args[1].clone(),
+                tgt: args[2].clone(),
+                label: args[3].clone(),
+            },
+            ('p', 3) => Fact::Prop {
+                id: args[0].clone(),
+                key: args[1].clone(),
+                value: args[2].clone(),
+            },
+            (k, n) => {
+                return Err(GraphError::parse(
+                    "datalog",
+                    Some(lineno),
+                    format!("relation `{k}` does not take {n} arguments"),
+                ))
+            }
+        };
+        facts.push(fact);
+    }
+    let gid = gid.unwrap_or_else(|| "g".to_owned());
+    let mut graph = PropertyGraph::new();
+    for f in &facts {
+        if let Fact::Node { id, label } = f {
+            graph.add_node(id.clone(), label.clone())?;
+        }
+    }
+    for f in &facts {
+        if let Fact::Edge { id, src, tgt, label } = f {
+            graph.add_edge(id.clone(), src.clone(), tgt.clone(), label.clone())?;
+        }
+    }
+    for f in &facts {
+        if let Fact::Prop { id, key, value } = f {
+            graph.set_property(id, key.clone(), value.clone())?;
+        }
+    }
+    Ok((graph, gid))
+}
+
+/// Split `n<gid>(args).` into (kind char, gid, argument terms).
+fn parse_fact_line(line: &str, lineno: usize) -> Result<(char, String, Vec<String>), GraphError> {
+    let err = |msg: String| GraphError::parse("datalog", Some(lineno), msg);
+    let open = line
+        .find('(')
+        .ok_or_else(|| err("missing `(`".to_owned()))?;
+    let name = &line[..open];
+    let mut name_chars = name.chars();
+    let kind = name_chars
+        .next()
+        .ok_or_else(|| err("empty relation name".to_owned()))?;
+    if !matches!(kind, 'n' | 'e' | 'p') {
+        return Err(err(format!("unknown relation kind `{kind}`")));
+    }
+    let gid: String = name_chars.collect();
+    if gid.is_empty() {
+        return Err(err("missing graph id in relation name".to_owned()));
+    }
+    let body = line[open + 1..].trim_end();
+    let body = body
+        .strip_suffix('.')
+        .ok_or_else(|| err("missing trailing `.`".to_owned()))?
+        .trim_end();
+    let body = body
+        .strip_suffix(')')
+        .ok_or_else(|| err("missing `)`".to_owned()))?;
+    let args = split_terms(body, lineno)?;
+    Ok((kind, gid, args))
+}
+
+/// Split a comma-separated term list, respecting quoted strings.
+fn split_terms(body: &str, lineno: usize) -> Result<Vec<String>, GraphError> {
+    let err = |msg: &str| GraphError::parse("datalog", Some(lineno), msg.to_owned());
+    let mut terms = Vec::new();
+    let mut chars = body.chars().peekable();
+    loop {
+        while matches!(chars.peek(), Some(c) if c.is_whitespace()) {
+            chars.next();
+        }
+        match chars.peek() {
+            None => break,
+            Some('"') => {
+                chars.next();
+                let mut s = String::new();
+                loop {
+                    match chars.next() {
+                        None => return Err(err("unterminated string")),
+                        Some('\\') => match chars.next() {
+                            Some('"') => s.push('"'),
+                            Some('\\') => s.push('\\'),
+                            Some('n') => s.push('\n'),
+                            other => {
+                                return Err(err(&format!("bad escape `\\{:?}`", other)));
+                            }
+                        },
+                        Some('"') => break,
+                        Some(c) => s.push(c),
+                    }
+                }
+                terms.push(s);
+            }
+            Some(_) => {
+                let mut s = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c == ',' {
+                        break;
+                    }
+                    s.push(c);
+                    chars.next();
+                }
+                let s = s.trim().to_owned();
+                if s.is_empty() {
+                    return Err(err("empty term"));
+                }
+                terms.push(s);
+            }
+        }
+        while matches!(chars.peek(), Some(c) if c.is_whitespace()) {
+            chars.next();
+        }
+        match chars.next() {
+            None => break,
+            Some(',') => continue,
+            Some(c) => return Err(err(&format!("expected `,`, found `{c}`"))),
+        }
+    }
+    Ok(terms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn listing2_graph() -> PropertyGraph {
+        let mut g = PropertyGraph::new();
+        g.add_node("n1", "File").unwrap();
+        g.add_node("n2", "Process").unwrap();
+        g.add_edge("e1", "n1", "n2", "Used").unwrap();
+        g.set_node_property("n1", "Userid", "1").unwrap();
+        g.set_node_property("n1", "Name", "text").unwrap();
+        g
+    }
+
+    #[test]
+    fn emits_listing2_facts() {
+        let text = to_datalog(&listing2_graph(), "g2");
+        assert!(text.contains("ng2(n1,\"File\")."));
+        assert!(text.contains("ng2(n2,\"Process\")."));
+        assert!(text.contains("eg2(e1,n1,n2,\"Used\")."));
+        assert!(text.contains("pg2(n1,\"Userid\",\"1\")."));
+        assert!(text.contains("pg2(n1,\"Name\",\"text\")."));
+    }
+
+    #[test]
+    fn roundtrip_preserves_graph() {
+        let g = listing2_graph();
+        let (g2, gid) = parse_datalog(&to_datalog(&g, "g7")).unwrap();
+        assert_eq!(gid, "g7");
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn canonical_output_is_sorted_and_stable() {
+        let mut g = PropertyGraph::new();
+        g.add_node("zz", "B").unwrap();
+        g.add_node("aa", "A").unwrap();
+        let c = to_canonical_datalog(&g, "g1");
+        let aa = c.find("ng1(aa").unwrap();
+        let zz = c.find("ng1(zz").unwrap();
+        assert!(aa < zz);
+        // Insertion-ordered output differs, canonical does not.
+        let mut g2 = PropertyGraph::new();
+        g2.add_node("aa", "A").unwrap();
+        g2.add_node("zz", "B").unwrap();
+        assert_eq!(to_canonical_datalog(&g2, "g1"), c);
+        assert_ne!(to_datalog(&g2, "g1"), to_datalog(&g, "g1"));
+    }
+
+    #[test]
+    fn quoting_escapes_specials() {
+        assert_eq!(quote("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        let mut g = PropertyGraph::new();
+        g.add_node("n1", "File").unwrap();
+        g.set_node_property("n1", "path", "/tmp/\"x\"\\y").unwrap();
+        let (g2, _) = parse_datalog(&to_datalog(&g, "g1")).unwrap();
+        assert_eq!(g2.prop("n1", "path"), Some("/tmp/\"x\"\\y"));
+    }
+
+    #[test]
+    fn ids_needing_quotes_roundtrip() {
+        let mut g = PropertyGraph::new();
+        g.add_node("Node-1:weird", "File").unwrap();
+        g.add_node("n2", "Process").unwrap();
+        g.add_edge("E 1", "Node-1:weird", "n2", "Used").unwrap();
+        let (g2, _) = parse_datalog(&to_datalog(&g, "g1")).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let text = "% a comment\n\nng1(n1,\"X\").\n";
+        let (g, _) = parse_datalog(text).unwrap();
+        assert_eq!(g.node_count(), 1);
+    }
+
+    #[test]
+    fn property_before_element_is_accepted() {
+        let text = "pg1(n1,\"k\",\"v\").\nng1(n1,\"X\").\n";
+        let (g, _) = parse_datalog(text).unwrap();
+        assert_eq!(g.prop("n1", "k"), Some("v"));
+    }
+
+    #[test]
+    fn gid_mismatch_rejected() {
+        let text = "ng1(n1,\"X\").\nng2(n2,\"X\").\n";
+        let e = parse_datalog(text).unwrap_err();
+        assert!(matches!(e, GraphError::Parse { line: Some(2), .. }));
+    }
+
+    #[test]
+    fn arity_errors_rejected() {
+        assert!(parse_datalog("ng1(n1).\n").is_err());
+        assert!(parse_datalog("eg1(e1,n1,n2).\n").is_err());
+        assert!(parse_datalog("pg1(n1,\"k\").\n").is_err());
+    }
+
+    #[test]
+    fn malformed_lines_rejected_with_line_numbers() {
+        for (text, line) in [
+            ("ng1 n1.\n", 1),
+            ("ng1(n1,\"X\")\n", 1),
+            ("ng1(n1,\"X\").\nxg1(n1,\"X\").\n", 2),
+            ("ng1(n1,\"unterminated).\n", 1),
+        ] {
+            match parse_datalog(text) {
+                Err(GraphError::Parse { line: Some(l), .. }) => assert_eq!(l, line, "{text}"),
+                other => panic!("expected parse error for {text:?}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn dangling_edge_in_facts_rejected() {
+        let text = "ng1(n1,\"X\").\neg1(e1,n1,n9,\"Y\").\n";
+        assert!(matches!(
+            parse_datalog(text),
+            Err(GraphError::MissingNode(_))
+        ));
+    }
+
+    #[test]
+    fn bare_atom_predicate() {
+        assert!(is_bare_atom("n1"));
+        assert!(is_bare_atom("abc_123"));
+        assert!(!is_bare_atom("N1"));
+        assert!(!is_bare_atom("1n"));
+        assert!(!is_bare_atom(""));
+        assert!(!is_bare_atom("a-b"));
+    }
+
+    #[test]
+    fn empty_input_yields_empty_graph() {
+        let (g, gid) = parse_datalog("").unwrap();
+        assert!(g.is_empty());
+        assert_eq!(gid, "g");
+    }
+}

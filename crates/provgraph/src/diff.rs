@@ -1,0 +1,169 @@
+//! Graph difference with dummy-node retention (paper §3.5).
+//!
+//! After the comparison stage matches the generalized background graph to a
+//! subgraph of the generalized foreground graph, the benchmark result is the
+//! *set difference*: foreground elements that were not matched. Edges in the
+//! difference may have endpoints that *were* matched away; those endpoints
+//! are retained as **dummy nodes** "which stand for pre-existing parts of
+//! the graph … to make the result a complete graph" (paper §4). Dummy nodes
+//! keep their label and carry the [`DUMMY_PROP`](crate::DUMMY_PROP) marker
+//! but lose their properties.
+
+use std::collections::BTreeSet;
+
+use crate::{GraphError, PropertyGraph, DUMMY_PROP};
+
+/// Subtract matched elements from a foreground graph.
+///
+/// `matched_nodes` and `matched_edges` are the foreground identifiers that
+/// the comparison stage matched to background structure. The result contains
+/// every unmatched foreground node and edge, plus dummy placeholders for
+/// matched nodes that anchor unmatched edges.
+///
+/// # Errors
+///
+/// Returns an error if a matched identifier does not exist in `foreground`
+/// — that indicates a solver bug, not a benchmark outcome.
+pub fn subtract(
+    foreground: &PropertyGraph,
+    matched_nodes: &BTreeSet<String>,
+    matched_edges: &BTreeSet<String>,
+) -> Result<PropertyGraph, GraphError> {
+    for id in matched_nodes {
+        if !foreground.has_node(id) {
+            return Err(GraphError::MissingNode(id.clone()));
+        }
+    }
+    for id in matched_edges {
+        if !foreground.has_edge(id) {
+            return Err(GraphError::MissingElem(id.clone()));
+        }
+    }
+    let mut result = PropertyGraph::new();
+    // Unmatched nodes survive with their properties.
+    for n in foreground.nodes() {
+        if !matched_nodes.contains(&n.id) {
+            result.add_node_data(n.clone())?;
+        }
+    }
+    // Unmatched edges survive; their matched endpoints become dummies.
+    for e in foreground.edges() {
+        if matched_edges.contains(&e.id) {
+            continue;
+        }
+        for endpoint in [&e.src, &e.tgt] {
+            if !result.has_node(endpoint) {
+                let orig = foreground
+                    .node(endpoint)
+                    .ok_or_else(|| GraphError::MissingNode(endpoint.clone()))?;
+                result.add_node(endpoint.clone(), orig.label.clone())?;
+                result.set_node_property(endpoint, DUMMY_PROP, "true")?;
+            }
+        }
+        result.add_edge_data(e.clone())?;
+    }
+    Ok(result)
+}
+
+/// `true` if the node is a dummy placeholder produced by [`subtract`].
+pub fn is_dummy(graph: &PropertyGraph, id: &str) -> bool {
+    graph.prop(id, DUMMY_PROP) == Some("true")
+}
+
+/// Count of non-dummy elements in a benchmark result graph.
+///
+/// An *empty* benchmark result (the recorder did not capture the target
+/// activity) is one whose non-dummy size is zero.
+pub fn effective_size(graph: &PropertyGraph) -> usize {
+    let dummies = graph.nodes().filter(|n| is_dummy(graph, &n.id)).count();
+    graph.size() - dummies
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// fg: p -(used)-> f1, p -(wgb)-> f2 ; bg matched: p, f1, used-edge.
+    fn setup() -> (PropertyGraph, BTreeSet<String>, BTreeSet<String>) {
+        let mut fg = PropertyGraph::new();
+        fg.add_node("p", "Process").unwrap();
+        fg.add_node("f1", "Artifact").unwrap();
+        fg.add_node("f2", "Artifact").unwrap();
+        fg.add_edge("e1", "p", "f1", "Used").unwrap();
+        fg.add_edge("e2", "p", "f2", "WasGeneratedBy").unwrap();
+        fg.set_node_property("p", "pid", "7").unwrap();
+        let nodes: BTreeSet<String> = ["p", "f1"].iter().map(|s| s.to_string()).collect();
+        let edges: BTreeSet<String> = ["e1"].iter().map(|s| s.to_string()).collect();
+        (fg, nodes, edges)
+    }
+
+    #[test]
+    fn unmatched_structure_survives() {
+        let (fg, n, e) = setup();
+        let r = subtract(&fg, &n, &e).unwrap();
+        assert!(r.has_node("f2"));
+        assert!(r.has_edge("e2"));
+        assert!(!r.has_edge("e1"));
+        assert!(!r.has_node("f1"));
+    }
+
+    #[test]
+    fn matched_endpoint_becomes_dummy() {
+        let (fg, n, e) = setup();
+        let r = subtract(&fg, &n, &e).unwrap();
+        assert!(r.has_node("p"), "endpoint of surviving e2 must be retained");
+        assert!(is_dummy(&r, "p"));
+        assert!(!is_dummy(&r, "f2"));
+        // Dummy keeps label, loses ordinary properties.
+        assert_eq!(r.node_label("p").unwrap().as_str(), "Process");
+        assert_eq!(r.prop("p", "pid"), None);
+    }
+
+    #[test]
+    fn effective_size_ignores_dummies() {
+        let (fg, n, e) = setup();
+        let r = subtract(&fg, &n, &e).unwrap();
+        // f2 + e2 are real; p is a dummy.
+        assert_eq!(r.size(), 3);
+        assert_eq!(effective_size(&r), 2);
+    }
+
+    #[test]
+    fn full_match_yields_empty_result() {
+        let (fg, _, _) = setup();
+        let nodes: BTreeSet<String> = fg.nodes().map(|n| n.id.clone()).collect();
+        let edges: BTreeSet<String> = fg.edges().map(|e| e.id.clone()).collect();
+        let r = subtract(&fg, &nodes, &edges).unwrap();
+        assert!(r.is_empty());
+        assert_eq!(effective_size(&r), 0);
+    }
+
+    #[test]
+    fn empty_match_returns_foreground() {
+        let (fg, _, _) = setup();
+        let r = subtract(&fg, &BTreeSet::new(), &BTreeSet::new()).unwrap();
+        assert_eq!(r, fg);
+    }
+
+    #[test]
+    fn unknown_matched_ids_rejected() {
+        let (fg, _, _) = setup();
+        let bad: BTreeSet<String> = ["ghost".to_string()].into_iter().collect();
+        assert!(subtract(&fg, &bad, &BTreeSet::new()).is_err());
+        assert!(subtract(&fg, &BTreeSet::new(), &bad).is_err());
+    }
+
+    #[test]
+    fn dummy_preserved_across_multiple_edges() {
+        let mut fg = PropertyGraph::new();
+        fg.add_node("p", "Process").unwrap();
+        fg.add_node("a", "Artifact").unwrap();
+        fg.add_node("b", "Artifact").unwrap();
+        fg.add_edge("e1", "p", "a", "Used").unwrap();
+        fg.add_edge("e2", "p", "b", "Used").unwrap();
+        let nodes: BTreeSet<String> = ["p".to_string()].into_iter().collect();
+        let r = subtract(&fg, &nodes, &BTreeSet::new()).unwrap();
+        assert!(is_dummy(&r, "p"));
+        assert_eq!(r.edge_count(), 2);
+    }
+}

@@ -1,0 +1,388 @@
+//! Graphviz DOT serialization — the native output format of the SPADE
+//! recorder (paper §3.3: "SPADE supports Graphviz DOT format and Neo4J
+//! storage (among others)").
+//!
+//! The dialect written and read here is the attribute-list form:
+//!
+//! ```text
+//! digraph provenance {
+//!   "n1" [label="Process" pid="42"];
+//!   "n1" -> "n2" [id="e1" label="Used"];
+//! }
+//! ```
+//!
+//! Node labels are stored in the `label` attribute and every other
+//! attribute becomes a property; edges carry their identifier in the `id`
+//! attribute (DOT has no native edge ids). Round-tripping through this
+//! module is the transformation path for SPADE output in the pipeline, and
+//! is also used to render benchmark result graphs for human inspection.
+
+use crate::{GraphError, PropertyGraph};
+
+/// Attribute key used to carry edge identifiers in DOT output.
+pub const EDGE_ID_ATTR: &str = "id";
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Serialize a graph to DOT text.
+///
+/// Nodes and edges appear in insertion order. The `label` attribute holds
+/// the element label; properties follow in sorted key order.
+pub fn to_dot(graph: &PropertyGraph, name: &str) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("digraph {name} {{\n"));
+    for n in graph.nodes() {
+        out.push_str(&format!("  \"{}\" [label=\"{}\"", escape(&n.id), escape(n.label.as_str())));
+        for (k, v) in &n.props {
+            out.push_str(&format!(" \"{}\"=\"{}\"", escape(k), escape(v)));
+        }
+        out.push_str("];\n");
+    }
+    for e in graph.edges() {
+        out.push_str(&format!(
+            "  \"{}\" -> \"{}\" [{}=\"{}\" label=\"{}\"",
+            escape(&e.src),
+            escape(&e.tgt),
+            EDGE_ID_ATTR,
+            escape(&e.id),
+            escape(e.label.as_str())
+        ));
+        for (k, v) in &e.props {
+            out.push_str(&format!(" \"{}\"=\"{}\"", escape(k), escape(v)));
+        }
+        out.push_str("];\n");
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Parse the DOT dialect produced by [`to_dot`] (and by the SPADE recorder
+/// simulation) back into a [`PropertyGraph`].
+///
+/// # Errors
+///
+/// Returns [`GraphError::Parse`] for malformed input. Edges without an `id`
+/// attribute get a synthesized identifier `e<k>` where `k` is the edge's
+/// position, mirroring how ProvMark names anonymous edges during
+/// transformation.
+pub fn parse_dot(text: &str) -> Result<PropertyGraph, GraphError> {
+    let mut graph = PropertyGraph::new();
+    let mut lines = text.lines().enumerate();
+    // Header
+    let header = loop {
+        match lines.next() {
+            None => return Err(GraphError::parse("dot", None, "empty input")),
+            Some((_, l)) if l.trim().is_empty() || l.trim().starts_with("//") => continue,
+            Some((n, l)) => break (n + 1, l.trim()),
+        }
+    };
+    if !(header.1.starts_with("digraph") && header.1.ends_with('{')) {
+        return Err(GraphError::parse(
+            "dot",
+            Some(header.0),
+            "expected `digraph <name> {` header",
+        ));
+    }
+    let mut anon_edges = 0usize;
+    let mut pending_edges: Vec<(usize, String, String, Vec<(String, String)>)> = Vec::new();
+    for (lineno0, raw) in lines {
+        let lineno = lineno0 + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with("//") {
+            continue;
+        }
+        if line == "}" {
+            // Add pending edges now that all nodes exist.
+            for (lineno, src, tgt, attrs) in pending_edges {
+                add_edge_from_attrs(&mut graph, lineno, src, tgt, attrs, &mut anon_edges)?;
+            }
+            return Ok(graph);
+        }
+        let line = line.strip_suffix(';').unwrap_or(line);
+        if let Some(arrow) = find_arrow(line) {
+            let (src_part, rest) = line.split_at(arrow);
+            let rest = &rest[2..];
+            let (tgt_part, attrs_part) = match rest.find('[') {
+                Some(i) => (&rest[..i], Some(&rest[i..])),
+                None => (rest, None),
+            };
+            let src = parse_ident(src_part.trim(), lineno)?;
+            let tgt = parse_ident(tgt_part.trim(), lineno)?;
+            let attrs = match attrs_part {
+                Some(a) => parse_attrs(a, lineno)?,
+                None => Vec::new(),
+            };
+            pending_edges.push((lineno, src, tgt, attrs));
+        } else {
+            // Node statement: ident [attrs]
+            let (id_part, attrs_part) = match line.find('[') {
+                Some(i) => (&line[..i], Some(&line[i..])),
+                None => (line, None),
+            };
+            let id = parse_ident(id_part.trim(), lineno)?;
+            let attrs = match attrs_part {
+                Some(a) => parse_attrs(a, lineno)?,
+                None => Vec::new(),
+            };
+            let mut label = String::from("node");
+            let mut props = Vec::new();
+            for (k, v) in attrs {
+                if k == "label" {
+                    label = v;
+                } else {
+                    props.push((k, v));
+                }
+            }
+            graph.add_node(id.clone(), label)?;
+            for (k, v) in props {
+                graph.set_node_property(&id, k, v)?;
+            }
+        }
+    }
+    Err(GraphError::parse("dot", None, "missing closing `}`"))
+}
+
+fn add_edge_from_attrs(
+    graph: &mut PropertyGraph,
+    _lineno: usize,
+    src: String,
+    tgt: String,
+    attrs: Vec<(String, String)>,
+    anon_edges: &mut usize,
+) -> Result<(), GraphError> {
+    let mut id = None;
+    let mut label = String::from("edge");
+    let mut props = Vec::new();
+    for (k, v) in attrs {
+        if k == EDGE_ID_ATTR {
+            id = Some(v);
+        } else if k == "label" {
+            label = v;
+        } else {
+            props.push((k, v));
+        }
+    }
+    let id = id.unwrap_or_else(|| {
+        *anon_edges += 1;
+        format!("_anon_e{anon_edges}")
+    });
+    graph.add_edge(id.clone(), src, tgt, label)?;
+    for (k, v) in props {
+        graph.set_edge_property(&id, k, v)?;
+    }
+    Ok(())
+}
+
+/// Find `->` outside of quotes.
+fn find_arrow(line: &str) -> Option<usize> {
+    let bytes = line.as_bytes();
+    let mut in_quote = false;
+    let mut i = 0;
+    while i + 1 < bytes.len() {
+        match bytes[i] {
+            b'"' => in_quote = !in_quote,
+            b'\\' if in_quote => i += 1,
+            b'-' if !in_quote && bytes[i + 1] == b'>' => return Some(i),
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+fn parse_ident(s: &str, lineno: usize) -> Result<String, GraphError> {
+    let s = s.trim();
+    if let Some(stripped) = s.strip_prefix('"') {
+        let inner = stripped
+            .strip_suffix('"')
+            .ok_or_else(|| GraphError::parse("dot", Some(lineno), "unterminated identifier"))?;
+        Ok(unescape(inner))
+    } else if !s.is_empty() && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+        Ok(s.to_owned())
+    } else {
+        Err(GraphError::parse(
+            "dot",
+            Some(lineno),
+            format!("bad identifier `{s}`"),
+        ))
+    }
+}
+
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some(other) => {
+                    out.push('\\');
+                    out.push(other);
+                }
+                None => out.push('\\'),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Parse `[k="v" "k2"="v2" ...]` into key/value pairs.
+fn parse_attrs(s: &str, lineno: usize) -> Result<Vec<(String, String)>, GraphError> {
+    let err = |msg: &str| GraphError::parse("dot", Some(lineno), msg.to_owned());
+    let s = s.trim();
+    let s = s
+        .strip_prefix('[')
+        .and_then(|x| x.strip_suffix(']'))
+        .ok_or_else(|| err("expected `[...]` attribute list"))?;
+    let mut out = Vec::new();
+    let mut chars = s.chars().peekable();
+    loop {
+        while matches!(chars.peek(), Some(c) if c.is_whitespace() || *c == ',') {
+            chars.next();
+        }
+        if chars.peek().is_none() {
+            break;
+        }
+        // key: quoted or bare
+        let key = if chars.peek() == Some(&'"') {
+            read_quoted(&mut chars).ok_or_else(|| err("unterminated key"))?
+        } else {
+            let mut k = String::new();
+            while let Some(&c) = chars.peek() {
+                if c == '=' || c.is_whitespace() {
+                    break;
+                }
+                k.push(c);
+                chars.next();
+            }
+            k
+        };
+        while matches!(chars.peek(), Some(c) if c.is_whitespace()) {
+            chars.next();
+        }
+        if chars.next() != Some('=') {
+            return Err(err("expected `=` in attribute"));
+        }
+        while matches!(chars.peek(), Some(c) if c.is_whitespace()) {
+            chars.next();
+        }
+        let value = if chars.peek() == Some(&'"') {
+            read_quoted(&mut chars).ok_or_else(|| err("unterminated value"))?
+        } else {
+            let mut v = String::new();
+            while let Some(&c) = chars.peek() {
+                if c.is_whitespace() {
+                    break;
+                }
+                v.push(c);
+                chars.next();
+            }
+            v
+        };
+        out.push((key, value));
+    }
+    Ok(out)
+}
+
+fn read_quoted(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Option<String> {
+    if chars.next() != Some('"') {
+        return None;
+    }
+    let mut s = String::new();
+    loop {
+        match chars.next()? {
+            '\\' => match chars.next()? {
+                '"' => s.push('"'),
+                '\\' => s.push('\\'),
+                other => {
+                    s.push('\\');
+                    s.push(other);
+                }
+            },
+            '"' => return Some(s),
+            c => s.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> PropertyGraph {
+        let mut g = PropertyGraph::new();
+        g.add_node("n1", "Process").unwrap();
+        g.add_node("n2", "Artifact").unwrap();
+        g.add_edge("e1", "n1", "n2", "Used").unwrap();
+        g.set_node_property("n1", "pid", "42").unwrap();
+        g.set_edge_property("e1", "time", "t0").unwrap();
+        g
+    }
+
+    #[test]
+    fn roundtrip() {
+        let g = toy();
+        let g2 = parse_dot(&to_dot(&g, "provenance")).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn roundtrip_special_chars() {
+        let mut g = PropertyGraph::new();
+        g.add_node("n \"x\"", "L\\abel").unwrap();
+        g.set_node_property("n \"x\"", "path", "/a/\"b\"").unwrap();
+        let g2 = parse_dot(&to_dot(&g, "g")).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn edges_may_precede_nodes() {
+        let text = "digraph g {\n  \"a\" -> \"b\" [id=\"e\" label=\"L\"];\n  \"a\" [label=\"A\"];\n  \"b\" [label=\"B\"];\n}\n";
+        let g = parse_dot(text).unwrap();
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.edge("e").unwrap().src, "a");
+    }
+
+    #[test]
+    fn anonymous_edge_gets_synthesized_id() {
+        let text = "digraph g {\n  a [label=\"A\"];\n  b [label=\"B\"];\n  a -> b [label=\"L\"];\n}\n";
+        let g = parse_dot(text).unwrap();
+        assert!(g.has_edge("_anon_e1"));
+    }
+
+    #[test]
+    fn node_without_attrs_gets_default_label() {
+        let text = "digraph g {\n  a;\n}\n";
+        let g = parse_dot(text).unwrap();
+        assert_eq!(g.node_label("a").unwrap().as_str(), "node");
+    }
+
+    #[test]
+    fn missing_header_rejected() {
+        assert!(parse_dot("graph g {\n}\n").is_err());
+        assert!(parse_dot("").is_err());
+    }
+
+    #[test]
+    fn missing_close_rejected() {
+        assert!(parse_dot("digraph g {\n a [label=\"A\"];\n").is_err());
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let text = "// header comment\ndigraph g {\n// inner\n a [label=\"A\"];\n}\n";
+        assert_eq!(parse_dot(text).unwrap().node_count(), 1);
+    }
+
+    #[test]
+    fn attr_list_with_commas() {
+        let text = "digraph g {\n a [label=\"A\", k=\"v\"];\n}\n";
+        let g = parse_dot(text).unwrap();
+        assert_eq!(g.prop("a", "k"), Some("v"));
+    }
+}

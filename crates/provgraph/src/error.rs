@@ -1,0 +1,83 @@
+use std::fmt;
+
+/// Errors produced by graph construction and format parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// A node with the given identifier already exists.
+    DuplicateNode(String),
+    /// An edge with the given identifier already exists.
+    DuplicateEdge(String),
+    /// An identifier is used both for a node and an edge.
+    ///
+    /// The paper requires `V ∩ E = ∅`; we enforce it at construction time.
+    IdClash(String),
+    /// The referenced node does not exist.
+    MissingNode(String),
+    /// The referenced element (node or edge) does not exist.
+    MissingElem(String),
+    /// A format parser rejected its input.
+    Parse {
+        /// Name of the format being parsed (`"datalog"`, `"dot"`, ...).
+        format: &'static str,
+        /// Line number (1-based) where the error was detected, if known.
+        line: Option<usize>,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+}
+
+impl GraphError {
+    /// Convenience constructor for parse errors.
+    pub(crate) fn parse(format: &'static str, line: Option<usize>, message: impl Into<String>) -> Self {
+        GraphError::Parse {
+            format,
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::DuplicateNode(id) => write!(f, "duplicate node identifier `{id}`"),
+            GraphError::DuplicateEdge(id) => write!(f, "duplicate edge identifier `{id}`"),
+            GraphError::IdClash(id) => {
+                write!(f, "identifier `{id}` used for both a node and an edge")
+            }
+            GraphError::MissingNode(id) => write!(f, "node `{id}` does not exist"),
+            GraphError::MissingElem(id) => write!(f, "element `{id}` does not exist"),
+            GraphError::Parse { format, line, message } => match line {
+                Some(n) => write!(f, "{format} parse error at line {n}: {message}"),
+                None => write!(f, "{format} parse error: {message}"),
+            },
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_specific() {
+        let e = GraphError::DuplicateNode("n1".into());
+        assert_eq!(e.to_string(), "duplicate node identifier `n1`");
+        let e = GraphError::parse("datalog", Some(3), "unterminated string");
+        assert_eq!(
+            e.to_string(),
+            "datalog parse error at line 3: unterminated string"
+        );
+        let e = GraphError::parse("dot", None, "bad header");
+        assert_eq!(e.to_string(), "dot parse error: bad header");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GraphError>();
+    }
+}

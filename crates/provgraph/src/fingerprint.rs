@@ -1,0 +1,226 @@
+//! Weisfeiler–Lehman style graph fingerprints.
+//!
+//! Deciding graph similarity (shape isomorphism) for every pair of trials
+//! would be wasteful; ProvMark first buckets trials by a cheap invariant and
+//! only runs the exact solver within buckets. The invariant used here is an
+//! iterated neighbourhood-colour refinement ("1-WL"): equal fingerprints are
+//! a *necessary* condition for isomorphism, never a proof — the exact solver
+//! ([`aspsolver`](https://docs.rs/aspsolver)) confirms candidates.
+//!
+//! Two variants are provided:
+//!
+//! - [`shape_fingerprint`] ignores properties — the invariant matching the
+//!   paper's *similarity* relation (structure + labels only, §3.4).
+//! - [`full_fingerprint`] also hashes properties — the invariant matching
+//!   full property-graph isomorphism.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::BTreeMap;
+use std::hash::{Hash, Hasher};
+
+use crate::PropertyGraph;
+
+fn h64(parts: &[u64]) -> u64 {
+    let mut h = DefaultHasher::new();
+    for p in parts {
+        p.hash(&mut h);
+    }
+    h.finish()
+}
+
+fn hstr(s: &str) -> u64 {
+    let mut h = DefaultHasher::new();
+    s.hash(&mut h);
+    h.finish()
+}
+
+/// Number of refinement rounds; provenance benchmark graphs have small
+/// diameter so a handful of rounds reaches a fixpoint in practice.
+const ROUNDS: usize = 4;
+
+/// Per-node colours after `rounds` of refinement.
+///
+/// The initial colour of a node is a hash of its label (plus its sorted
+/// properties if `include_props`). Each round re-colours a node with the
+/// hash of its own colour and the sorted multiset of
+/// `(direction, edge colour, neighbour colour)` triples over its incident
+/// edges, where the edge colour hashes the edge label (plus properties if
+/// requested).
+pub fn wl_colors(
+    graph: &PropertyGraph,
+    rounds: usize,
+    include_props: bool,
+) -> BTreeMap<String, u64> {
+    let mut colors: BTreeMap<String, u64> = graph
+        .nodes()
+        .map(|n| {
+            let mut parts = vec![hstr(n.label.as_str())];
+            if include_props {
+                for (k, v) in &n.props {
+                    parts.push(hstr(k));
+                    parts.push(hstr(v));
+                }
+            }
+            (n.id.clone(), h64(&parts))
+        })
+        .collect();
+    let edge_color = |e: &crate::EdgeData| {
+        let mut parts = vec![hstr(e.label.as_str())];
+        if include_props {
+            for (k, v) in &e.props {
+                parts.push(hstr(k));
+                parts.push(hstr(v));
+            }
+        }
+        h64(&parts)
+    };
+    for _ in 0..rounds {
+        let mut next = BTreeMap::new();
+        for n in graph.nodes() {
+            let own = colors[&n.id];
+            let mut neigh: Vec<(u64, u64, u64)> = Vec::new();
+            for e in graph.out_edges(&n.id) {
+                neigh.push((0, edge_color(e), colors[&e.tgt]));
+            }
+            for e in graph.in_edges(&n.id) {
+                neigh.push((1, edge_color(e), colors[&e.src]));
+            }
+            neigh.sort_unstable();
+            let mut parts = vec![own];
+            for (d, ec, nc) in neigh {
+                parts.extend([d, ec, nc]);
+            }
+            next.insert(n.id.clone(), h64(&parts));
+        }
+        colors = next;
+    }
+    colors
+}
+
+fn fingerprint(graph: &PropertyGraph, include_props: bool) -> u64 {
+    let colors = wl_colors(graph, ROUNDS, include_props);
+    let mut node_colors: Vec<u64> = colors.values().copied().collect();
+    node_colors.sort_unstable();
+    let mut edge_hashes: Vec<u64> = graph
+        .edges()
+        .map(|e| {
+            let mut parts = vec![hstr(e.label.as_str()), colors[&e.src], colors[&e.tgt]];
+            if include_props {
+                for (k, v) in &e.props {
+                    parts.push(hstr(k));
+                    parts.push(hstr(v));
+                }
+            }
+            h64(&parts)
+        })
+        .collect();
+    edge_hashes.sort_unstable();
+    let mut parts = vec![graph.node_count() as u64, graph.edge_count() as u64];
+    parts.extend(node_colors);
+    parts.extend(edge_hashes);
+    h64(&parts)
+}
+
+/// Shape fingerprint: invariant under *similarity* (same structure and
+/// labels, arbitrary properties).
+///
+/// Equal fingerprints do not prove similarity (1-WL is incomplete); unequal
+/// fingerprints *do* prove the graphs are not similar.
+pub fn shape_fingerprint(graph: &PropertyGraph) -> u64 {
+    fingerprint(graph, false)
+}
+
+/// Full fingerprint: invariant under property-graph isomorphism
+/// (structure, labels, and properties).
+pub fn full_fingerprint(graph: &PropertyGraph) -> u64 {
+    fingerprint(graph, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain(ids: &[&str], label: &str) -> PropertyGraph {
+        let mut g = PropertyGraph::new();
+        for id in ids {
+            g.add_node(*id, label).unwrap();
+        }
+        for w in ids.windows(2) {
+            g.add_edge(format!("e_{}_{}", w[0], w[1]), w[0], w[1], "next")
+                .unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn relabelled_graphs_share_shape_fingerprint() {
+        let g1 = chain(&["a", "b", "c"], "N");
+        let g2 = chain(&["x", "y", "z"], "N");
+        assert_eq!(shape_fingerprint(&g1), shape_fingerprint(&g2));
+        assert_eq!(full_fingerprint(&g1), full_fingerprint(&g2));
+    }
+
+    #[test]
+    fn different_labels_differ() {
+        let g1 = chain(&["a", "b"], "N");
+        let g2 = chain(&["a", "b"], "M");
+        assert_ne!(shape_fingerprint(&g1), shape_fingerprint(&g2));
+    }
+
+    #[test]
+    fn different_structure_differs() {
+        let g1 = chain(&["a", "b", "c"], "N");
+        let mut g2 = chain(&["a", "b", "c"], "N");
+        g2.add_edge("extra", "c", "a", "next").unwrap();
+        assert_ne!(shape_fingerprint(&g1), shape_fingerprint(&g2));
+    }
+
+    #[test]
+    fn edge_direction_matters() {
+        let mut g1 = PropertyGraph::new();
+        g1.add_node("a", "N").unwrap();
+        g1.add_node("b", "M").unwrap();
+        g1.add_edge("e", "a", "b", "r").unwrap();
+        let mut g2 = PropertyGraph::new();
+        g2.add_node("a", "N").unwrap();
+        g2.add_node("b", "M").unwrap();
+        g2.add_edge("e", "b", "a", "r").unwrap();
+        assert_ne!(shape_fingerprint(&g1), shape_fingerprint(&g2));
+    }
+
+    #[test]
+    fn properties_only_affect_full_fingerprint() {
+        let g1 = chain(&["a", "b"], "N");
+        let mut g2 = chain(&["a", "b"], "N");
+        g2.set_node_property("a", "time", "123").unwrap();
+        assert_eq!(shape_fingerprint(&g1), shape_fingerprint(&g2));
+        assert_ne!(full_fingerprint(&g1), full_fingerprint(&g2));
+    }
+
+    #[test]
+    fn edge_properties_only_affect_full_fingerprint() {
+        let g1 = chain(&["a", "b"], "N");
+        let mut g2 = chain(&["a", "b"], "N");
+        g2.set_edge_property("e_a_b", "jiffies", "9").unwrap();
+        assert_eq!(shape_fingerprint(&g1), shape_fingerprint(&g2));
+        assert_ne!(full_fingerprint(&g1), full_fingerprint(&g2));
+    }
+
+    #[test]
+    fn empty_graphs_equal() {
+        assert_eq!(
+            shape_fingerprint(&PropertyGraph::new()),
+            shape_fingerprint(&PropertyGraph::new())
+        );
+    }
+
+    #[test]
+    fn wl_colors_distinguish_positions() {
+        let g = chain(&["a", "b", "c"], "N");
+        let colors = wl_colors(&g, 4, false);
+        // Endpoint vs middle must differ; the two endpoints differ too
+        // because edges are directed.
+        assert_ne!(colors["a"], colors["b"]);
+        assert_ne!(colors["a"], colors["c"]);
+    }
+}

@@ -1,0 +1,675 @@
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::GraphError;
+
+/// A node or edge label (an element of the vocabulary `Σ` in the paper).
+///
+/// Labels are interned as plain strings; the model deliberately makes no
+/// assumption that the vocabulary is known in advance (paper §3.3: "our
+/// representation does not assume the labels and properties are known in
+/// advance; it works with those produced by the tested system").
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Label(String);
+
+impl Label {
+    /// View the label as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl From<&str> for Label {
+    fn from(s: &str) -> Self {
+        Label(s.to_owned())
+    }
+}
+
+impl From<String> for Label {
+    fn from(s: String) -> Self {
+        Label(s)
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Identifier of a node or edge.
+///
+/// Identifiers originate from the recorders (e.g. audit event ids, kernel
+/// object ids) and are kept as strings; the paper's model requires node and
+/// edge identifier spaces to be disjoint within one graph.
+pub type ElemId = String;
+
+/// Property dictionary attached to a node or edge.
+///
+/// A `BTreeMap` keeps iteration deterministic, which matters for canonical
+/// serialization and reproducible benchmark results.
+pub type Props = BTreeMap<String, String>;
+
+/// Data stored for one node.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeData {
+    /// Node identifier, unique among nodes and edges of the graph.
+    pub id: ElemId,
+    /// Node label (`entity`, `activity`, `Process`, ...).
+    pub label: Label,
+    /// Key/value properties.
+    pub props: Props,
+}
+
+/// Data stored for one edge.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EdgeData {
+    /// Edge identifier, unique among nodes and edges of the graph.
+    pub id: ElemId,
+    /// Identifier of the source node.
+    pub src: ElemId,
+    /// Identifier of the target node.
+    pub tgt: ElemId,
+    /// Edge label (`used`, `wasGeneratedBy`, ...).
+    pub label: Label,
+    /// Key/value properties.
+    pub props: Props,
+}
+
+/// A directed property graph with labelled, attributed nodes and edges.
+///
+/// This is the formal object of paper §3.3:
+/// `G = (V, E, src, tgt, lab, prop)` with `V ∩ E = ∅`.
+///
+/// Nodes and edges are kept in insertion order; all iteration is
+/// deterministic. Identifier uniqueness (including across the node/edge
+/// boundary) is validated on insertion ([`GraphError::IdClash`]).
+///
+/// Equality is **set-based**: two graphs are equal when they contain the
+/// same nodes and edges regardless of insertion order, matching the paper's
+/// model where a graph is a set of Datalog facts.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct PropertyGraph {
+    nodes: Vec<NodeData>,
+    edges: Vec<EdgeData>,
+    #[serde(skip)]
+    node_index: BTreeMap<ElemId, usize>,
+    #[serde(skip)]
+    edge_index: BTreeMap<ElemId, usize>,
+}
+
+impl PropertyGraph {
+    /// Create an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Rebuild the id→index maps (needed after deserialization).
+    fn reindex(&mut self) {
+        self.node_index = self
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.id.clone(), i))
+            .collect();
+        self.edge_index = self
+            .edges
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (e.id.clone(), i))
+            .collect();
+    }
+
+    /// Construct a graph from already-validated parts.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if identifiers collide or edges dangle.
+    pub fn from_parts(nodes: Vec<NodeData>, edges: Vec<EdgeData>) -> Result<Self, GraphError> {
+        let mut g = PropertyGraph::new();
+        for n in nodes {
+            g.add_node_data(n)?;
+        }
+        for e in edges {
+            g.add_edge_data(e)?;
+        }
+        Ok(g)
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Total number of elements, `|V| + |E|`.
+    ///
+    /// This is the size measure the generalization stage uses when picking
+    /// the two smallest consistent trials (paper §3.4).
+    pub fn size(&self) -> usize {
+        self.nodes.len() + self.edges.len()
+    }
+
+    /// `true` if the graph has no nodes and no edges.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty() && self.edges.is_empty()
+    }
+
+    /// Add a node with the given identifier and label.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`GraphError::DuplicateNode`] or [`GraphError::IdClash`]
+    /// if the identifier is taken.
+    pub fn add_node(
+        &mut self,
+        id: impl Into<ElemId>,
+        label: impl Into<Label>,
+    ) -> Result<(), GraphError> {
+        self.add_node_data(NodeData {
+            id: id.into(),
+            label: label.into(),
+            props: Props::new(),
+        })
+    }
+
+    /// Add a fully-populated node.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`PropertyGraph::add_node`].
+    pub fn add_node_data(&mut self, node: NodeData) -> Result<(), GraphError> {
+        if self.node_index.contains_key(&node.id) {
+            return Err(GraphError::DuplicateNode(node.id));
+        }
+        if self.edge_index.contains_key(&node.id) {
+            return Err(GraphError::IdClash(node.id));
+        }
+        self.node_index.insert(node.id.clone(), self.nodes.len());
+        self.nodes.push(node);
+        Ok(())
+    }
+
+    /// Add an edge between two existing nodes.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the identifier is taken or an endpoint is missing.
+    pub fn add_edge(
+        &mut self,
+        id: impl Into<ElemId>,
+        src: impl Into<ElemId>,
+        tgt: impl Into<ElemId>,
+        label: impl Into<Label>,
+    ) -> Result<(), GraphError> {
+        self.add_edge_data(EdgeData {
+            id: id.into(),
+            src: src.into(),
+            tgt: tgt.into(),
+            label: label.into(),
+            props: Props::new(),
+        })
+    }
+
+    /// Add a fully-populated edge.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`PropertyGraph::add_edge`].
+    pub fn add_edge_data(&mut self, edge: EdgeData) -> Result<(), GraphError> {
+        if self.edge_index.contains_key(&edge.id) {
+            return Err(GraphError::DuplicateEdge(edge.id));
+        }
+        if self.node_index.contains_key(&edge.id) {
+            return Err(GraphError::IdClash(edge.id));
+        }
+        if !self.node_index.contains_key(&edge.src) {
+            return Err(GraphError::MissingNode(edge.src));
+        }
+        if !self.node_index.contains_key(&edge.tgt) {
+            return Err(GraphError::MissingNode(edge.tgt));
+        }
+        self.edge_index.insert(edge.id.clone(), self.edges.len());
+        self.edges.push(edge);
+        Ok(())
+    }
+
+    /// Set (or overwrite) a property on a node.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`GraphError::MissingElem`] if the node does not exist.
+    pub fn set_node_property(
+        &mut self,
+        id: &str,
+        key: impl Into<String>,
+        value: impl Into<String>,
+    ) -> Result<(), GraphError> {
+        let idx = *self
+            .node_index
+            .get(id)
+            .ok_or_else(|| GraphError::MissingElem(id.to_owned()))?;
+        self.nodes[idx].props.insert(key.into(), value.into());
+        Ok(())
+    }
+
+    /// Set (or overwrite) a property on an edge.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`GraphError::MissingElem`] if the edge does not exist.
+    pub fn set_edge_property(
+        &mut self,
+        id: &str,
+        key: impl Into<String>,
+        value: impl Into<String>,
+    ) -> Result<(), GraphError> {
+        let idx = *self
+            .edge_index
+            .get(id)
+            .ok_or_else(|| GraphError::MissingElem(id.to_owned()))?;
+        self.edges[idx].props.insert(key.into(), value.into());
+        Ok(())
+    }
+
+    /// Set a property on whichever element (node or edge) has this id.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`GraphError::MissingElem`] if no element has the id.
+    pub fn set_property(
+        &mut self,
+        id: &str,
+        key: impl Into<String>,
+        value: impl Into<String>,
+    ) -> Result<(), GraphError> {
+        if self.node_index.contains_key(id) {
+            self.set_node_property(id, key, value)
+        } else {
+            self.set_edge_property(id, key, value)
+        }
+    }
+
+    /// Remove a property from an element; returns the old value if present.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`GraphError::MissingElem`] if no element has the id.
+    pub fn remove_property(&mut self, id: &str, key: &str) -> Result<Option<String>, GraphError> {
+        if let Some(&idx) = self.node_index.get(id) {
+            Ok(self.nodes[idx].props.remove(key))
+        } else if let Some(&idx) = self.edge_index.get(id) {
+            Ok(self.edges[idx].props.remove(key))
+        } else {
+            Err(GraphError::MissingElem(id.to_owned()))
+        }
+    }
+
+    /// Look up a node by id.
+    pub fn node(&self, id: &str) -> Option<&NodeData> {
+        self.node_index.get(id).map(|&i| &self.nodes[i])
+    }
+
+    /// Look up an edge by id.
+    pub fn edge(&self, id: &str) -> Option<&EdgeData> {
+        self.edge_index.get(id).map(|&i| &self.edges[i])
+    }
+
+    /// Label of a node, if it exists.
+    pub fn node_label(&self, id: &str) -> Option<&Label> {
+        self.node(id).map(|n| &n.label)
+    }
+
+    /// Label of an edge, if it exists.
+    pub fn edge_label(&self, id: &str) -> Option<&Label> {
+        self.edge(id).map(|e| &e.label)
+    }
+
+    /// Properties of a node or edge, if the element exists.
+    pub fn props(&self, id: &str) -> Option<&Props> {
+        self.node(id)
+            .map(|n| &n.props)
+            .or_else(|| self.edge(id).map(|e| &e.props))
+    }
+
+    /// Value of one property of an element.
+    pub fn prop(&self, id: &str, key: &str) -> Option<&str> {
+        self.props(id).and_then(|p| p.get(key)).map(String::as_str)
+    }
+
+    /// `true` if a node with this id exists.
+    pub fn has_node(&self, id: &str) -> bool {
+        self.node_index.contains_key(id)
+    }
+
+    /// `true` if an edge with this id exists.
+    pub fn has_edge(&self, id: &str) -> bool {
+        self.edge_index.contains_key(id)
+    }
+
+    /// Iterate over nodes in insertion order.
+    pub fn nodes(&self) -> impl Iterator<Item = &NodeData> {
+        self.nodes.iter()
+    }
+
+    /// Iterate over edges in insertion order.
+    pub fn edges(&self) -> impl Iterator<Item = &EdgeData> {
+        self.edges.iter()
+    }
+
+    /// Edges whose source is `id`, in insertion order.
+    pub fn out_edges<'a>(&'a self, id: &'a str) -> impl Iterator<Item = &'a EdgeData> + 'a {
+        self.edges.iter().filter(move |e| e.src == id)
+    }
+
+    /// Edges whose target is `id`, in insertion order.
+    pub fn in_edges<'a>(&'a self, id: &'a str) -> impl Iterator<Item = &'a EdgeData> + 'a {
+        self.edges.iter().filter(move |e| e.tgt == id)
+    }
+
+    /// Out-degree of a node.
+    pub fn out_degree(&self, id: &str) -> usize {
+        self.out_edges(id).count()
+    }
+
+    /// In-degree of a node.
+    pub fn in_degree(&self, id: &str) -> usize {
+        self.in_edges(id).count()
+    }
+
+    /// Total number of properties across all elements.
+    pub fn property_count(&self) -> usize {
+        self.nodes.iter().map(|n| n.props.len()).sum::<usize>()
+            + self.edges.iter().map(|e| e.props.len()).sum::<usize>()
+    }
+
+    /// Multiset of node labels, sorted (a cheap invariant under isomorphism).
+    pub fn node_label_multiset(&self) -> Vec<&Label> {
+        let mut v: Vec<&Label> = self.nodes.iter().map(|n| &n.label).collect();
+        v.sort();
+        v
+    }
+
+    /// Multiset of edge labels, sorted (a cheap invariant under isomorphism).
+    pub fn edge_label_multiset(&self) -> Vec<&Label> {
+        let mut v: Vec<&Label> = self.edges.iter().map(|e| &e.label).collect();
+        v.sort();
+        v
+    }
+
+    /// Remove an edge; returns its data.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`GraphError::MissingElem`] if the edge does not exist.
+    pub fn remove_edge(&mut self, id: &str) -> Result<EdgeData, GraphError> {
+        let idx = self
+            .edge_index
+            .remove(id)
+            .ok_or_else(|| GraphError::MissingElem(id.to_owned()))?;
+        let data = self.edges.remove(idx);
+        // Shift indices after the removed position.
+        for e in self.edge_index.values_mut() {
+            if *e > idx {
+                *e -= 1;
+            }
+        }
+        Ok(data)
+    }
+
+    /// Remove a node **and all incident edges**; returns the node data.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`GraphError::MissingElem`] if the node does not exist.
+    pub fn remove_node(&mut self, id: &str) -> Result<NodeData, GraphError> {
+        let idx = self
+            .node_index
+            .remove(id)
+            .ok_or_else(|| GraphError::MissingElem(id.to_owned()))?;
+        let data = self.nodes.remove(idx);
+        for n in self.node_index.values_mut() {
+            if *n > idx {
+                *n -= 1;
+            }
+        }
+        let incident: Vec<ElemId> = self
+            .edges
+            .iter()
+            .filter(|e| e.src == data.id || e.tgt == data.id)
+            .map(|e| e.id.clone())
+            .collect();
+        for eid in incident {
+            let _ = self.remove_edge(&eid);
+        }
+        Ok(data)
+    }
+
+    /// Return a copy of the graph with every identifier prefixed.
+    ///
+    /// Useful when merging graphs from different trials into one namespace.
+    pub fn with_id_prefix(&self, prefix: &str) -> PropertyGraph {
+        let mut g = PropertyGraph::new();
+        for n in &self.nodes {
+            let mut n2 = n.clone();
+            n2.id = format!("{prefix}{}", n.id);
+            g.add_node_data(n2).expect("prefixing preserves uniqueness");
+        }
+        for e in &self.edges {
+            let mut e2 = e.clone();
+            e2.id = format!("{prefix}{}", e.id);
+            e2.src = format!("{prefix}{}", e.src);
+            e2.tgt = format!("{prefix}{}", e.tgt);
+            g.add_edge_data(e2).expect("prefixing preserves uniqueness");
+        }
+        g
+    }
+
+    /// Restore internal indices after deserialization with serde.
+    ///
+    /// `serde(skip)` omits the index maps; call this after deserializing.
+    /// All public constructors maintain the indices automatically.
+    pub fn rebuild_indices(&mut self) {
+        self.reindex();
+    }
+}
+
+impl PartialEq for PropertyGraph {
+    fn eq(&self, other: &Self) -> bool {
+        if self.nodes.len() != other.nodes.len() || self.edges.len() != other.edges.len() {
+            return false;
+        }
+        self.nodes
+            .iter()
+            .all(|n| other.node(&n.id).is_some_and(|m| m == n))
+            && self
+                .edges
+                .iter()
+                .all(|e| other.edge(&e.id).is_some_and(|f| f == e))
+    }
+}
+
+impl Eq for PropertyGraph {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equality_is_order_insensitive() {
+        let mut g1 = PropertyGraph::new();
+        g1.add_node("a", "A").unwrap();
+        g1.add_node("b", "B").unwrap();
+        let mut g2 = PropertyGraph::new();
+        g2.add_node("b", "B").unwrap();
+        g2.add_node("a", "A").unwrap();
+        assert_eq!(g1, g2);
+        g2.set_node_property("a", "k", "v").unwrap();
+        assert_ne!(g1, g2);
+    }
+
+    fn toy() -> PropertyGraph {
+        let mut g = PropertyGraph::new();
+        g.add_node("n1", "File").unwrap();
+        g.add_node("n2", "Process").unwrap();
+        g.add_edge("e1", "n1", "n2", "Used").unwrap();
+        g.set_node_property("n1", "Userid", "1").unwrap();
+        g.set_node_property("n1", "Name", "text").unwrap();
+        g
+    }
+
+    #[test]
+    fn build_and_query() {
+        let g = toy();
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.size(), 3);
+        assert_eq!(g.prop("n1", "Userid"), Some("1"));
+        assert_eq!(g.prop("n1", "Missing"), None);
+        assert_eq!(g.edge("e1").unwrap().src, "n1");
+        assert_eq!(g.out_degree("n1"), 1);
+        assert_eq!(g.in_degree("n2"), 1);
+        assert_eq!(g.in_degree("n1"), 0);
+    }
+
+    #[test]
+    fn duplicate_node_rejected() {
+        let mut g = toy();
+        assert_eq!(
+            g.add_node("n1", "File"),
+            Err(GraphError::DuplicateNode("n1".into()))
+        );
+    }
+
+    #[test]
+    fn duplicate_edge_rejected() {
+        let mut g = toy();
+        assert_eq!(
+            g.add_edge("e1", "n1", "n2", "Used"),
+            Err(GraphError::DuplicateEdge("e1".into()))
+        );
+    }
+
+    #[test]
+    fn node_edge_id_clash_rejected() {
+        let mut g = toy();
+        assert_eq!(g.add_node("e1", "File"), Err(GraphError::IdClash("e1".into())));
+        assert_eq!(
+            g.add_edge("n1", "n1", "n2", "Used"),
+            Err(GraphError::IdClash("n1".into()))
+        );
+    }
+
+    #[test]
+    fn dangling_edge_rejected() {
+        let mut g = toy();
+        assert_eq!(
+            g.add_edge("e2", "n1", "nope", "Used"),
+            Err(GraphError::MissingNode("nope".into()))
+        );
+        assert_eq!(
+            g.add_edge("e2", "nope", "n1", "Used"),
+            Err(GraphError::MissingNode("nope".into()))
+        );
+    }
+
+    #[test]
+    fn property_on_missing_elem_rejected() {
+        let mut g = toy();
+        assert_eq!(
+            g.set_property("zz", "k", "v"),
+            Err(GraphError::MissingElem("zz".into()))
+        );
+    }
+
+    #[test]
+    fn set_property_dispatches_to_edge() {
+        let mut g = toy();
+        g.set_property("e1", "ret", "0").unwrap();
+        assert_eq!(g.prop("e1", "ret"), Some("0"));
+    }
+
+    #[test]
+    fn remove_property_roundtrip() {
+        let mut g = toy();
+        assert_eq!(g.remove_property("n1", "Userid").unwrap(), Some("1".into()));
+        assert_eq!(g.remove_property("n1", "Userid").unwrap(), None);
+        assert_eq!(g.prop("n1", "Userid"), None);
+    }
+
+    #[test]
+    fn remove_node_cascades_to_edges() {
+        let mut g = toy();
+        g.remove_node("n1").unwrap();
+        assert_eq!(g.node_count(), 1);
+        assert_eq!(g.edge_count(), 0);
+        assert!(!g.has_edge("e1"));
+    }
+
+    #[test]
+    fn remove_edge_keeps_nodes_and_fixes_indices() {
+        let mut g = toy();
+        g.add_edge("e2", "n2", "n1", "WasGeneratedBy").unwrap();
+        g.remove_edge("e1").unwrap();
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.edge("e2").unwrap().label, Label::from("WasGeneratedBy"));
+        assert_eq!(g.node_count(), 2);
+    }
+
+    #[test]
+    fn label_multisets_sorted() {
+        let mut g = toy();
+        g.add_node("n3", "Artifact").unwrap();
+        let labels: Vec<&str> = g.node_label_multiset().iter().map(|l| l.as_str()).collect();
+        assert_eq!(labels, vec!["Artifact", "File", "Process"]);
+    }
+
+    #[test]
+    fn id_prefixing_preserves_structure() {
+        let g = toy().with_id_prefix("t0_");
+        assert!(g.has_node("t0_n1"));
+        assert!(g.has_edge("t0_e1"));
+        assert_eq!(g.edge("t0_e1").unwrap().src, "t0_n1");
+        assert_eq!(g.prop("t0_n1", "Userid"), Some("1"));
+    }
+
+    #[test]
+    fn serde_roundtrip_with_reindex() {
+        let g = toy();
+        let json = serde_json::to_string(&g).unwrap();
+        let mut g2: PropertyGraph = serde_json::from_str(&json).unwrap();
+        g2.rebuild_indices();
+        assert_eq!(g2.prop("n1", "Name"), Some("text"));
+        assert_eq!(g2.edge("e1").unwrap().tgt, "n2");
+    }
+
+    #[test]
+    fn from_parts_validates() {
+        let n = |id: &str| NodeData {
+            id: id.into(),
+            label: "X".into(),
+            props: Props::new(),
+        };
+        let e = EdgeData {
+            id: "e1".into(),
+            src: "a".into(),
+            tgt: "missing".into(),
+            label: "Y".into(),
+            props: Props::new(),
+        };
+        assert!(PropertyGraph::from_parts(vec![n("a")], vec![e]).is_err());
+    }
+
+    #[test]
+    fn property_count_sums_nodes_and_edges() {
+        let mut g = toy();
+        g.set_edge_property("e1", "time", "12").unwrap();
+        assert_eq!(g.property_count(), 3);
+    }
+}

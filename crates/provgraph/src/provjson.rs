@@ -1,0 +1,308 @@
+//! W3C PROV-JSON serialization — the native output format of the CamFlow
+//! recorder (paper §3.3: "CamFlow supports W3C PROV-JSON as well as a number
+//! of other storage or stream processing backends").
+//!
+//! A PROV-JSON document groups nodes under the three PROV node categories
+//! (`entity`, `activity`, `agent`) and edges under relation names (`used`,
+//! `wasGeneratedBy`, ...). Each relation name fixes which JSON keys hold the
+//! source and target identifiers, per the PROV-DM definitions; for example
+//! a `used` edge points from the using activity to the used entity:
+//!
+//! ```json
+//! { "used": { "e1": { "prov:activity": "a1", "prov:entity": "n1" } } }
+//! ```
+//!
+//! Graphs whose node labels are not PROV categories, or whose edge labels
+//! are not known PROV relations, fall back to the `provmark:node` /
+//! `provmark:relation` buckets so that *any* property graph can round-trip.
+
+use std::collections::BTreeMap;
+
+use serde_json::{json, Map, Value};
+
+use crate::{GraphError, PropertyGraph};
+
+/// PROV node categories.
+const NODE_CATEGORIES: [&str; 3] = ["entity", "activity", "agent"];
+
+/// Known PROV relations with their (source key, target key) conventions.
+///
+/// Source/target orientation follows PROV-DM: the edge points from the
+/// "subject" of the relation to its "object" (e.g. `used` points from the
+/// activity to the entity it used).
+const RELATIONS: [(&str, &str, &str); 7] = [
+    ("used", "prov:activity", "prov:entity"),
+    ("wasGeneratedBy", "prov:entity", "prov:activity"),
+    ("wasInformedBy", "prov:informed", "prov:informant"),
+    ("wasDerivedFrom", "prov:generatedEntity", "prov:usedEntity"),
+    ("wasAssociatedWith", "prov:activity", "prov:agent"),
+    ("actedOnBehalfOf", "prov:delegate", "prov:responsible"),
+    ("wasAttributedTo", "prov:entity", "prov:agent"),
+];
+
+/// Fallback bucket for nodes with non-PROV labels.
+const GENERIC_NODE: &str = "provmark:node";
+/// Fallback bucket for edges with non-PROV relation labels.
+const GENERIC_RELATION: &str = "provmark:relation";
+/// Property key that carries the original label through a fallback bucket.
+const LABEL_KEY: &str = "provmark:label";
+
+fn relation_keys(label: &str) -> Option<(&'static str, &'static str)> {
+    RELATIONS
+        .iter()
+        .find(|(name, _, _)| *name == label)
+        .map(|(_, s, t)| (*s, *t))
+}
+
+/// Serialize a graph as a PROV-JSON document (pretty-printed).
+pub fn to_provjson(graph: &PropertyGraph) -> String {
+    let mut doc: BTreeMap<String, Map<String, Value>> = BTreeMap::new();
+    for n in graph.nodes() {
+        let label = n.label.as_str();
+        let (bucket, extra_label) = if NODE_CATEGORIES.contains(&label) {
+            (label, None)
+        } else {
+            (GENERIC_NODE, Some(label))
+        };
+        let mut obj = Map::new();
+        if let Some(l) = extra_label {
+            obj.insert(LABEL_KEY.to_owned(), Value::String(l.to_owned()));
+        }
+        for (k, v) in &n.props {
+            obj.insert(k.clone(), Value::String(v.clone()));
+        }
+        doc.entry(bucket.to_owned())
+            .or_default()
+            .insert(n.id.clone(), Value::Object(obj));
+    }
+    for e in graph.edges() {
+        let label = e.label.as_str();
+        let mut obj = Map::new();
+        match relation_keys(label) {
+            Some((sk, tk)) => {
+                obj.insert(sk.to_owned(), Value::String(e.src.clone()));
+                obj.insert(tk.to_owned(), Value::String(e.tgt.clone()));
+            }
+            None => {
+                obj.insert(LABEL_KEY.to_owned(), Value::String(label.to_owned()));
+                obj.insert("provmark:from".to_owned(), Value::String(e.src.clone()));
+                obj.insert("provmark:to".to_owned(), Value::String(e.tgt.clone()));
+            }
+        }
+        for (k, v) in &e.props {
+            obj.insert(k.clone(), Value::String(v.clone()));
+        }
+        let bucket = if relation_keys(label).is_some() {
+            label
+        } else {
+            GENERIC_RELATION
+        };
+        doc.entry(bucket.to_owned())
+            .or_default()
+            .insert(e.id.clone(), Value::Object(obj));
+    }
+    let value = json!(doc);
+    serde_json::to_string_pretty(&value).expect("prov-json document serializes")
+}
+
+fn as_str<'a>(v: &'a Value, what: &str, id: &str) -> Result<&'a str, GraphError> {
+    v.as_str().ok_or_else(|| {
+        GraphError::parse(
+            "prov-json",
+            None,
+            format!("{what} of `{id}` is not a string"),
+        )
+    })
+}
+
+/// Parse a PROV-JSON document into a [`PropertyGraph`].
+///
+/// # Errors
+///
+/// Returns [`GraphError::Parse`] for documents that are not valid JSON
+/// objects or that violate the relation key conventions, and graph errors
+/// for duplicate ids or dangling relation endpoints.
+pub fn parse_provjson(text: &str) -> Result<PropertyGraph, GraphError> {
+    let value: Value = serde_json::from_str(text)
+        .map_err(|e| GraphError::parse("prov-json", None, e.to_string()))?;
+    let obj = value
+        .as_object()
+        .ok_or_else(|| GraphError::parse("prov-json", None, "document is not an object"))?;
+    let mut graph = PropertyGraph::new();
+
+    // Pass 1: nodes.
+    for (bucket, members) in obj {
+        let is_category = NODE_CATEGORIES.contains(&bucket.as_str()) || bucket == GENERIC_NODE;
+        if !is_category {
+            continue;
+        }
+        let members = members.as_object().ok_or_else(|| {
+            GraphError::parse("prov-json", None, format!("bucket `{bucket}` is not an object"))
+        })?;
+        for (id, body) in members {
+            let body = body.as_object().ok_or_else(|| {
+                GraphError::parse("prov-json", None, format!("node `{id}` is not an object"))
+            })?;
+            let label = if bucket == GENERIC_NODE {
+                body.get(LABEL_KEY)
+                    .and_then(Value::as_str)
+                    .unwrap_or("entity")
+                    .to_owned()
+            } else {
+                bucket.clone()
+            };
+            graph.add_node(id.clone(), label)?;
+            for (k, v) in body {
+                if k == LABEL_KEY {
+                    continue;
+                }
+                let v = match v {
+                    Value::String(s) => s.clone(),
+                    other => other.to_string(),
+                };
+                graph.set_node_property(id, k.clone(), v)?;
+            }
+        }
+    }
+
+    // Pass 2: edges.
+    for (bucket, members) in obj {
+        let rel = relation_keys(bucket);
+        let is_generic = bucket == GENERIC_RELATION;
+        if rel.is_none() && !is_generic {
+            continue;
+        }
+        let members = members.as_object().ok_or_else(|| {
+            GraphError::parse("prov-json", None, format!("bucket `{bucket}` is not an object"))
+        })?;
+        for (id, body) in members {
+            let body = body.as_object().ok_or_else(|| {
+                GraphError::parse("prov-json", None, format!("edge `{id}` is not an object"))
+            })?;
+            let (src_key, tgt_key, label): (&str, &str, String) = match rel {
+                Some((s, t)) => (s, t, bucket.clone()),
+                None => (
+                    "provmark:from",
+                    "provmark:to",
+                    body.get(LABEL_KEY)
+                        .and_then(Value::as_str)
+                        .unwrap_or("relation")
+                        .to_owned(),
+                ),
+            };
+            let src = body.get(src_key).ok_or_else(|| {
+                GraphError::parse(
+                    "prov-json",
+                    None,
+                    format!("edge `{id}` missing `{src_key}`"),
+                )
+            })?;
+            let tgt = body.get(tgt_key).ok_or_else(|| {
+                GraphError::parse(
+                    "prov-json",
+                    None,
+                    format!("edge `{id}` missing `{tgt_key}`"),
+                )
+            })?;
+            let src = as_str(src, "source", id)?.to_owned();
+            let tgt = as_str(tgt, "target", id)?.to_owned();
+            graph.add_edge(id.clone(), src, tgt, label)?;
+            for (k, v) in body {
+                if k == src_key || k == tgt_key || k == LABEL_KEY {
+                    continue;
+                }
+                let v = match v {
+                    Value::String(s) => s.clone(),
+                    other => other.to_string(),
+                };
+                graph.set_edge_property(id, k.clone(), v)?;
+            }
+        }
+    }
+    Ok(graph)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn camflow_like() -> PropertyGraph {
+        let mut g = PropertyGraph::new();
+        g.add_node("cf:1", "entity").unwrap();
+        g.add_node("cf:2", "activity").unwrap();
+        g.add_node("cf:3", "agent").unwrap();
+        g.set_node_property("cf:1", "prov:type", "inode").unwrap();
+        g.set_node_property("cf:2", "prov:type", "task").unwrap();
+        g.add_edge("cf:e1", "cf:2", "cf:1", "used").unwrap();
+        g.add_edge("cf:e2", "cf:1", "cf:2", "wasGeneratedBy").unwrap();
+        g.add_edge("cf:e3", "cf:2", "cf:3", "wasAssociatedWith").unwrap();
+        g.set_edge_property("cf:e1", "cf:date", "boot-1").unwrap();
+        g
+    }
+
+    #[test]
+    fn roundtrip_prov_vocabulary() {
+        let g = camflow_like();
+        let g2 = parse_provjson(&to_provjson(&g)).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn used_relation_key_convention() {
+        let g = camflow_like();
+        let text = to_provjson(&g);
+        let v: Value = serde_json::from_str(&text).unwrap();
+        assert_eq!(v["used"]["cf:e1"]["prov:activity"], "cf:2");
+        assert_eq!(v["used"]["cf:e1"]["prov:entity"], "cf:1");
+        assert_eq!(v["wasGeneratedBy"]["cf:e2"]["prov:entity"], "cf:1");
+    }
+
+    #[test]
+    fn generic_labels_roundtrip() {
+        let mut g = PropertyGraph::new();
+        g.add_node("n1", "Process").unwrap();
+        g.add_node("n2", "Artifact").unwrap();
+        g.add_edge("e1", "n1", "n2", "CustomRel").unwrap();
+        g.set_edge_property("e1", "k", "v").unwrap();
+        let g2 = parse_provjson(&to_provjson(&g)).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn missing_endpoint_key_rejected() {
+        let text = r#"{ "activity": {"a": {}}, "entity": {"n": {}},
+                        "used": {"e": {"prov:activity": "a"}} }"#;
+        let err = parse_provjson(text).unwrap_err();
+        assert!(err.to_string().contains("prov:entity"), "{err}");
+    }
+
+    #[test]
+    fn dangling_endpoint_rejected() {
+        let text = r#"{ "activity": {"a": {}},
+                        "used": {"e": {"prov:activity": "a", "prov:entity": "ghost"}} }"#;
+        assert!(matches!(
+            parse_provjson(text),
+            Err(GraphError::MissingNode(_))
+        ));
+    }
+
+    #[test]
+    fn non_json_rejected() {
+        assert!(parse_provjson("not json").is_err());
+        assert!(parse_provjson("[1,2]").is_err());
+    }
+
+    #[test]
+    fn unknown_buckets_ignored() {
+        let text = r#"{ "prefix": {"cf": "http://example.org"}, "entity": {"n": {}} }"#;
+        let g = parse_provjson(text).unwrap();
+        assert_eq!(g.node_count(), 1);
+    }
+
+    #[test]
+    fn non_string_property_values_stringified() {
+        let text = r#"{ "entity": {"n": {"cf:version": 3}} }"#;
+        let g = parse_provjson(text).unwrap();
+        assert_eq!(g.prop("n", "cf:version"), Some("3"));
+    }
+}

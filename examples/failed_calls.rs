@@ -1,0 +1,81 @@
+//! Alice's use case (paper §3.1, "Tracking failed calls").
+//!
+//! A security analyst wants to know which recorders track syscalls that
+//! fail due to access-control violations. The benchmark drops privileges
+//! and then attempts to overwrite `/etc/passwd` by renaming another file —
+//! the exact scenario from the paper:
+//!
+//! - SPADE's default audit rules report only successful calls → empty;
+//! - OPUS intercepts the libc call and records the same structure as a
+//!   successful rename, with return value −13 → nonempty;
+//! - CamFlow could observe the denied permission check in principle but
+//!   does not record it by default → empty (and a config flag shows the
+//!   "in principle" part).
+//!
+//! Run with: `cargo run --example failed_calls`
+
+use provmark_suite::oskernel::program::{Op, SetupAction};
+use provmark_suite::provmark_core::{
+    pipeline, report, suite::BenchSpec, tool::Tool, BenchmarkOptions,
+};
+
+fn failed_rename_spec() -> BenchSpec {
+    BenchSpec {
+        name: "rename-failed".to_owned(),
+        group: 1,
+        setup: vec![SetupAction::CreateFile {
+            path: "/staging/mine.txt".to_owned(),
+            mode: 0o644,
+        }],
+        // Context: drop privileges so the rename is denied.
+        context: vec![Op::Setuid { uid: 1000 }],
+        // Target: the failing rename (the benchmark *expects* EACCES).
+        target: vec![Op::RenameExpectFailure {
+            old: "/staging/mine.txt".to_owned(),
+            new: "/etc/passwd".to_owned(),
+        }],
+    }
+}
+
+fn main() {
+    let spec = failed_rename_spec();
+    println!("scenario: unprivileged rename of /staging/mine.txt over /etc/passwd\n");
+
+    for tool in [
+        Tool::spade_baseline(),
+        Tool::opus_baseline(),
+        Tool::camflow_baseline(),
+    ] {
+        let name = tool.kind().name();
+        let mut inst = tool.instantiate();
+        let run = pipeline::run_benchmark(&mut inst, &spec, &BenchmarkOptions::default())
+            .expect("pipeline completes");
+        println!("--- {name}: {} ---", run.status.render());
+        if run.status.is_ok() {
+            print!("{}", report::describe_result(&run.result));
+            // OPUS records the failed call with its return value.
+            for n in run.result.nodes() {
+                if let Some(ret) = n.props.get("ret") {
+                    println!("  (return value property: {ret})");
+                }
+            }
+        }
+        println!();
+    }
+
+    // CamFlow "can in principle monitor failed system calls" — the
+    // simulation exposes that as a configuration extension.
+    let mut camflow_denied = Tool::CamFlow(provmark_suite::camflow::CamFlowConfig {
+        record_denied: true,
+        ..Default::default()
+    })
+    .instantiate();
+    let run = pipeline::run_benchmark(&mut camflow_denied, &spec, &BenchmarkOptions::default())
+        .expect("pipeline completes");
+    println!(
+        "--- CamFlow with record_denied=true: {} ---",
+        run.status.render()
+    );
+    println!("\nAlice's conclusion (paper §3.1): for auditing failed calls, OPUS");
+    println!("provides the best default coverage; CamFlow could after configuration.");
+}

@@ -1,0 +1,79 @@
+//! Charlie's use case (paper §3.1, "Regression testing").
+//!
+//! A recorder developer stores the benchmark graphs of a release as
+//! Datalog baselines. Whenever the recorder changes, a new benchmarking
+//! run is compared against the baselines with the same isomorphism solver
+//! the pipeline uses; expected changes are accepted, unexpected ones are
+//! investigated as bugs.
+//!
+//! Here the "system change" is flipping SPADE's versioning flag, which
+//! changes the write benchmark's structure but not creat's verdict.
+//!
+//! Run with: `cargo run --example regression_testing`
+
+use provmark_suite::provmark_core::{
+    pipeline,
+    regression::{RegressionOutcome, RegressionStore},
+    suite,
+    tool::Tool,
+    BenchmarkOptions,
+};
+use provmark_suite::spade::SpadeConfig;
+
+fn main() {
+    let dir = std::env::temp_dir().join(format!("provmark-regression-demo-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = RegressionStore::open(&dir).expect("store opens");
+    let opts = BenchmarkOptions::default();
+    let benchmarks = ["creat", "open", "write", "rename"];
+
+    println!("== release 1: store baselines ==");
+    for name in benchmarks {
+        let spec = suite::spec(name).unwrap();
+        let mut tool = Tool::spade_baseline().instantiate();
+        let run = pipeline::run_benchmark(&mut tool, &spec, &opts).unwrap();
+        let outcome = store.check(name, &run.result).unwrap();
+        println!("  {name}: {outcome:?}");
+    }
+
+    println!("\n== nightly rerun, unchanged recorder ==");
+    for name in benchmarks {
+        let spec = suite::spec(name).unwrap();
+        let mut tool = Tool::spade_baseline().instantiate();
+        // Different seeds: volatile values differ, structure should not.
+        let run = pipeline::run_benchmark(&mut tool, &spec, &opts.clone().seed(777)).unwrap();
+        let outcome = store.check(name, &run.result).unwrap();
+        println!("  {name}: {outcome:?}");
+        assert_eq!(outcome, RegressionOutcome::Unchanged);
+    }
+
+    println!("\n== recorder change: enable artifact versioning ==");
+    let versioned = SpadeConfig {
+        versioning: true,
+        ..SpadeConfig::default()
+    };
+    for name in benchmarks {
+        let spec = suite::spec(name).unwrap();
+        let mut tool = Tool::Spade(versioned.clone()).instantiate();
+        let run = pipeline::run_benchmark(&mut tool, &spec, &opts).unwrap();
+        let outcome = store.check(name, &run.result).unwrap();
+        let note = match outcome {
+            RegressionOutcome::Changed => " → investigate; expected (versioning), so accept",
+            _ => "",
+        };
+        println!("  {name}: {outcome:?}{note}");
+        if outcome == RegressionOutcome::Changed {
+            store.accept(name, &run.result).unwrap();
+        }
+    }
+
+    println!("\n== rerun after accepting ==");
+    for name in benchmarks {
+        let spec = suite::spec(name).unwrap();
+        let mut tool = Tool::Spade(versioned.clone()).instantiate();
+        let run = pipeline::run_benchmark(&mut tool, &spec, &opts.clone().seed(999)).unwrap();
+        println!("  {name}: {:?}", store.check(name, &run.result).unwrap());
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

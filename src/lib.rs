@@ -1,0 +1,13 @@
+//! Umbrella crate for the ProvMark-rs workspace.
+//!
+//! This crate hosts the workspace-level integration tests (`tests/`) and
+//! runnable examples (`examples/`). It re-exports the member crates so the
+//! examples can use a single import root.
+
+pub use aspsolver;
+pub use camflow;
+pub use opus;
+pub use oskernel;
+pub use provgraph;
+pub use provmark_core;
+pub use spade;

@@ -1,0 +1,78 @@
+//! The failure-scenario matrix (paper §3.1, Alice, generalized): for every
+//! access-control failure benchmark, SPADE (success-only audit rules) and
+//! CamFlow (denied events dropped) record nothing, while OPUS records the
+//! attempt — and CamFlow's `record_denied` extension flips its column.
+
+use provmark_core::{pipeline, suite, tool::Tool, BenchmarkOptions};
+
+#[test]
+fn denied_operations_matrix() {
+    let opts = BenchmarkOptions::default();
+    for spec in suite::failure_specs() {
+        let mut spade = Tool::spade_baseline().instantiate();
+        let run = pipeline::run_benchmark(&mut spade, &spec, &opts)
+            .unwrap_or_else(|e| panic!("{}/SPADE: {e}", spec.name));
+        assert!(
+            !run.status.is_ok(),
+            "{}: SPADE must miss denied calls",
+            spec.name
+        );
+
+        let mut opus = Tool::Opus(opus::OpusConfig {
+            db_startup_iterations: 100,
+            ..Default::default()
+        })
+        .instantiate();
+        let run = pipeline::run_benchmark(&mut opus, &spec, &opts)
+            .unwrap_or_else(|e| panic!("{}/OPUS: {e}", spec.name));
+        assert!(
+            run.status.is_ok(),
+            "{}: OPUS must record the attempt",
+            spec.name
+        );
+        // The event carries a negative return value.
+        let has_failed_ret = run.result.nodes().any(|n| {
+            n.props
+                .get("ret")
+                .is_some_and(|r| r.starts_with('-'))
+        });
+        assert!(has_failed_ret, "{}: OPUS event has errno return", spec.name);
+
+        let mut camflow = Tool::camflow_baseline().instantiate();
+        let run = pipeline::run_benchmark(&mut camflow, &spec, &opts)
+            .unwrap_or_else(|e| panic!("{}/CamFlow: {e}", spec.name));
+        assert!(
+            !run.status.is_ok(),
+            "{}: CamFlow drops denied ops by default",
+            spec.name
+        );
+    }
+}
+
+#[test]
+fn camflow_record_denied_extension_captures_most_scenarios() {
+    // With the extension on, scenarios that reach an LSM hook with a
+    // denial become visible. (`open` of an unreadable file fires
+    // `file_open` with allowed=false; `rename`/`unlink`/`chmod`/`truncate`
+    // fire their inode hooks.)
+    let opts = BenchmarkOptions::default();
+    let mut visible = 0;
+    let specs = suite::failure_specs();
+    for spec in &specs {
+        let mut tool = Tool::CamFlow(camflow::CamFlowConfig {
+            record_denied: true,
+            ..Default::default()
+        })
+        .instantiate();
+        if let Ok(run) = pipeline::run_benchmark(&mut tool, spec, &opts) {
+            if run.status.is_ok() {
+                visible += 1;
+            }
+        }
+    }
+    assert!(
+        visible >= 3,
+        "at least open/rename/chmod-style denials must become visible, got {visible}/{}",
+        specs.len()
+    );
+}

@@ -1,0 +1,100 @@
+//! Property-based tests: every serialization format round-trips arbitrary
+//! property graphs (Datalog always; DOT always; PROV-JSON for graphs in
+//! its vocabulary).
+
+use proptest::prelude::*;
+use provgraph::{datalog, dot, fingerprint, provjson, PropertyGraph};
+
+/// Strategy: an arbitrary small property graph.
+fn arb_graph() -> impl Strategy<Value = PropertyGraph> {
+    let node_label = prop::sample::select(vec!["Process", "Artifact", "Agent", "entity"]);
+    let edge_label = prop::sample::select(vec!["Used", "WasGeneratedBy", "rel x"]);
+    let key = prop::sample::select(vec!["path", "time", "weird key"]);
+    let value = "[a-zA-Z0-9/\\\\\" ]{0,12}";
+    let nodes = prop::collection::vec((node_label, prop::collection::vec((key.clone(), value), 0..3)), 1..8);
+    (nodes, prop::collection::vec((0usize..8, 0usize..8, edge_label, prop::collection::vec((key, "[a-z0-9]{0,6}"), 0..2)), 0..10))
+        .prop_map(|(nodes, edges)| {
+            let mut g = PropertyGraph::new();
+            for (i, (label, props)) in nodes.iter().enumerate() {
+                let id = format!("n{i}");
+                g.add_node(id.clone(), *label).unwrap();
+                for (k, v) in props {
+                    g.set_node_property(&id, *k, v.clone()).unwrap();
+                }
+            }
+            let n = g.node_count();
+            for (j, (s, t, label, props)) in edges.iter().enumerate() {
+                let id = format!("e{j}");
+                let src = format!("n{}", s % n);
+                let tgt = format!("n{}", t % n);
+                g.add_edge(id.clone(), src, tgt, *label).unwrap();
+                for (k, v) in props {
+                    g.set_edge_property(&id, *k, v.clone()).unwrap();
+                }
+            }
+            g
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn datalog_roundtrip(g in arb_graph()) {
+        let text = datalog::to_datalog(&g, "g1");
+        let (back, gid) = datalog::parse_datalog(&text).unwrap();
+        prop_assert_eq!(gid, "g1");
+        prop_assert_eq!(back, g);
+    }
+
+    #[test]
+    fn canonical_datalog_is_stable_under_reserialization(g in arb_graph()) {
+        let c1 = datalog::to_canonical_datalog(&g, "g");
+        let (back, _) = datalog::parse_datalog(&c1).unwrap();
+        let c2 = datalog::to_canonical_datalog(&back, "g");
+        prop_assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn dot_roundtrip(g in arb_graph()) {
+        let text = dot::to_dot(&g, "g");
+        let back = dot::parse_dot(&text).unwrap();
+        prop_assert_eq!(back, g);
+    }
+
+    #[test]
+    fn provjson_roundtrip(g in arb_graph()) {
+        let text = provjson::to_provjson(&g);
+        let back = provjson::parse_provjson(&text).unwrap();
+        prop_assert_eq!(back, g);
+    }
+
+    #[test]
+    fn fingerprints_are_serialization_invariant(g in arb_graph()) {
+        // Round-tripping through any format must not change either
+        // fingerprint (they depend only on the abstract graph).
+        let (via_datalog, _) = datalog::parse_datalog(&datalog::to_datalog(&g, "x")).unwrap();
+        let via_dot = dot::parse_dot(&dot::to_dot(&g, "x")).unwrap();
+        prop_assert_eq!(
+            fingerprint::full_fingerprint(&g),
+            fingerprint::full_fingerprint(&via_datalog)
+        );
+        prop_assert_eq!(
+            fingerprint::shape_fingerprint(&g),
+            fingerprint::shape_fingerprint(&via_dot)
+        );
+    }
+
+    #[test]
+    fn renaming_ids_preserves_fingerprints(g in arb_graph()) {
+        let renamed = g.with_id_prefix("trial2_");
+        prop_assert_eq!(
+            fingerprint::shape_fingerprint(&g),
+            fingerprint::shape_fingerprint(&renamed)
+        );
+        prop_assert_eq!(
+            fingerprint::full_fingerprint(&g),
+            fingerprint::full_fingerprint(&renamed)
+        );
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based tests for the kernel substrate: arbitrary benchmark
+//! programs never panic the kernel, and the emitted event streams satisfy
+//! the invariants the recorders rely on.
+
+use proptest::prelude::*;
+use oskernel::program::{Op, Program};
+use oskernel::{Event, Kernel, OpenFlags};
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    let path = prop::sample::select(vec!["a.txt", "b.txt", "c.txt"]);
+    let fd_var = prop::sample::select(vec!["x", "y", "z"]);
+    prop_oneof![
+        (path.clone(), fd_var.clone()).prop_map(|(p, v)| Op::Open {
+            path: p.into(),
+            flags: OpenFlags::RDWR.union(OpenFlags::CREAT),
+            mode: 0o644,
+            fd_var: v.into(),
+        }),
+        (path.clone(), fd_var.clone()).prop_map(|(p, v)| Op::Creat {
+            path: p.into(),
+            mode: 0o644,
+            fd_var: v.into(),
+        }),
+        fd_var.clone().prop_map(|v| Op::Close { fd_var: v.into() }),
+        (fd_var.clone(), 1u64..64).prop_map(|(v, n)| Op::Write { fd_var: v.into(), len: n }),
+        (fd_var.clone(), 1u64..64).prop_map(|(v, n)| Op::Read { fd_var: v.into(), len: n }),
+        fd_var.clone().prop_map(|v| Op::Dup { fd_var: v.into(), new_var: "d".into() }),
+        (path.clone(), path.clone()).prop_map(|(a, b)| Op::Rename { old: a.into(), new: b.into() }),
+        path.clone().prop_map(|p| Op::Unlink { path: p.into() }),
+        (path.clone(), path.clone())
+            .prop_map(|(a, b)| Op::Link { old: a.into(), new: b.into() }),
+        path.clone().prop_map(|p| Op::Chmod { path: p.into(), mode: 0o600 }),
+        Just(Op::Fork { child: vec![] }),
+        Just(Op::Setuid { uid: 500 }),
+        Just(Op::PipeOp { read_var: "pr".into(), write_var: "pw".into() }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Arbitrary op sequences run to completion (ops may fail with errno,
+    /// but the kernel never panics and always emits a coherent log).
+    #[test]
+    fn kernel_survives_arbitrary_programs(ops in prop::collection::vec(arb_op(), 0..12), seed in 0u64..1000) {
+        let mut prog = Program::new("fuzz");
+        prog = prog.ops(ops);
+        let mut kernel = Kernel::with_seed(seed);
+        let _ = kernel.run_program(&prog);
+
+        // Invariant: audit success flag agrees with the exit value sign.
+        for r in kernel.event_log().audit_records() {
+            prop_assert_eq!(r.success, r.exit >= 0, "audit record {:?}", r);
+        }
+        // Invariant: audit serials strictly increase.
+        let serials: Vec<u64> = kernel.event_log().audit_records().map(|r| r.serial).collect();
+        for w in serials.windows(2) {
+            prop_assert!(w[1] > w[0]);
+        }
+        // Invariant: every libc failure carries an errno and vice versa.
+        for c in kernel.event_log().libc_calls() {
+            prop_assert_eq!(c.ret < 0, c.errno.is_some(), "libc call {:?}", c);
+        }
+        // Invariant: LSM events carry the boot id of this kernel.
+        let boots: std::collections::BTreeSet<u64> =
+            kernel.event_log().lsm_events().map(|e| e.boot).collect();
+        prop_assert!(boots.len() <= 1);
+    }
+
+    /// Determinism: identical (seed, program) pairs give identical logs.
+    #[test]
+    fn kernel_is_deterministic(ops in prop::collection::vec(arb_op(), 0..10), seed in 0u64..100) {
+        let mut prog = Program::new("det");
+        prog = prog.ops(ops);
+        let run = |seed| {
+            let mut k = Kernel::with_seed(seed);
+            k.run_program(&prog);
+            format!("{:?}", k.events())
+        };
+        prop_assert_eq!(run(seed), run(seed));
+    }
+
+    /// The three observation layers see consistent call counts: every
+    /// audit record for a wrapped syscall has a libc counterpart.
+    #[test]
+    fn audit_and_libc_layers_consistent(ops in prop::collection::vec(arb_op(), 0..10)) {
+        let mut prog = Program::new("layers");
+        prog = prog.ops(ops);
+        let mut kernel = Kernel::with_seed(11);
+        kernel.run_program(&prog);
+        let audit_count = kernel
+            .event_log()
+            .audit_records()
+            .filter(|r| r.syscall != oskernel::Syscall::Clone)
+            .count();
+        let libc_count = kernel.event_log().libc_calls().count();
+        prop_assert_eq!(audit_count, libc_count);
+    }
+
+    /// Recorders never panic on fuzzed logs and produce parseable output.
+    #[test]
+    fn recorders_handle_arbitrary_logs(ops in prop::collection::vec(arb_op(), 0..10), seed in 0u64..50) {
+        let mut prog = Program::new("recfuzz");
+        prog = prog.ops(ops);
+        let mut kernel = Kernel::with_seed(seed);
+        kernel.run_program(&prog);
+        let log = kernel.event_log();
+
+        let dot_text = spade::SpadeRecorder::baseline().record(log);
+        prop_assert!(provgraph::dot::parse_dot(&dot_text).is_ok());
+
+        let opus_graph = opus::OpusRecorder::baseline().record_graph(log);
+        prop_assert!(opus_graph.node_count() > 0, "startup always visible");
+
+        let mut cam = camflow::CamFlowRecorder::baseline();
+        prop_assert!(cam.record_session_graph(log).is_ok());
+    }
+}

@@ -1,0 +1,158 @@
+//! Property-based tests for the matching solver: the solver must find
+//! isomorphisms between relabelled copies, embed any graph into any
+//! supergraph of itself, and generalization must keep exactly the shared
+//! properties.
+
+use proptest::prelude::*;
+use provgraph::PropertyGraph;
+
+fn arb_graph() -> impl Strategy<Value = PropertyGraph> {
+    let node_label = prop::sample::select(vec!["P", "A", "E"]);
+    let edge_label = prop::sample::select(vec!["u", "g", "t"]);
+    let nodes = prop::collection::vec(node_label, 1..7);
+    (
+        nodes,
+        prop::collection::vec((0usize..7, 0usize..7, edge_label), 0..9),
+        prop::collection::vec(("k[ab]", "[a-z]{0,4}"), 0..4),
+    )
+        .prop_map(|(nodes, edges, props)| {
+            let mut g = PropertyGraph::new();
+            for (i, label) in nodes.iter().enumerate() {
+                g.add_node(format!("n{i}"), *label).unwrap();
+            }
+            let n = g.node_count();
+            for (j, (s, t, label)) in edges.iter().enumerate() {
+                g.add_edge(format!("e{j}"), format!("n{}", s % n), format!("n{}", t % n), *label)
+                    .unwrap();
+            }
+            for (i, (k, v)) in props.iter().enumerate() {
+                let id = format!("n{}", i % n);
+                g.set_node_property(&id, k.clone(), v.clone()).unwrap();
+            }
+            g
+        })
+}
+
+/// A structurally identical copy with fresh ids (reversed insertion order
+/// to also shuffle candidate ordering).
+fn relabel(g: &PropertyGraph) -> PropertyGraph {
+    let mut out = PropertyGraph::new();
+    let nodes: Vec<_> = g.nodes().collect();
+    for n in nodes.iter().rev() {
+        let mut copy = (*n).clone();
+        copy.id = format!("copy_{}", n.id);
+        out.add_node_data(copy).unwrap();
+    }
+    let edges: Vec<_> = g.edges().collect();
+    for e in edges.iter().rev() {
+        let mut copy = (*e).clone();
+        copy.id = format!("copy_{}", e.id);
+        copy.src = format!("copy_{}", e.src);
+        copy.tgt = format!("copy_{}", e.tgt);
+        out.add_edge_data(copy).unwrap();
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn isomorphism_found_for_relabelled_copy(g in arb_graph()) {
+        let h = relabel(&g);
+        let m = aspsolver::find_isomorphism(&g, &h).expect("copies are isomorphic");
+        prop_assert_eq!(m.node_map.len(), g.node_count());
+        prop_assert_eq!(m.edge_map.len(), g.edge_count());
+        prop_assert_eq!(m.cost, 0);
+        // Witness is structure-preserving.
+        for e in g.edges() {
+            let img = &m.edge_map[&e.id];
+            let ed = h.edge(img).unwrap();
+            prop_assert_eq!(&m.node_map[&e.src], &ed.src);
+            prop_assert_eq!(&m.node_map[&e.tgt], &ed.tgt);
+            prop_assert_eq!(&e.label, &ed.label);
+        }
+    }
+
+    #[test]
+    fn similarity_ignores_properties(g in arb_graph()) {
+        let mut h = relabel(&g);
+        // Perturb properties arbitrarily: similarity must still hold.
+        let ids: Vec<String> = h.nodes().map(|n| n.id.clone()).collect();
+        for id in ids {
+            h.set_node_property(&id, "volatile", "zzz").unwrap();
+        }
+        prop_assert!(aspsolver::find_similarity(&g, &h).is_some());
+    }
+
+    #[test]
+    fn graph_embeds_into_its_supergraph(g in arb_graph(), extra in 1usize..4) {
+        let mut sup = relabel(&g);
+        // Add extra structure around a fresh hub node.
+        sup.add_node("hub", "HUB").unwrap();
+        for i in 0..extra {
+            sup.add_node(format!("x{i}"), "X").unwrap();
+            sup.add_edge(format!("xe{i}"), "hub", format!("x{i}"), "xr").unwrap();
+        }
+        let m = aspsolver::find_subgraph(&g, &sup).expect("embedding must exist");
+        prop_assert_eq!(m.node_map.len(), g.node_count());
+        prop_assert_eq!(m.cost, 0, "identical props embed at zero cost");
+        // Injectivity.
+        let images: std::collections::BTreeSet<&String> = m.node_map.values().collect();
+        prop_assert_eq!(images.len(), m.node_map.len());
+    }
+
+    #[test]
+    fn subgraph_cost_counts_missing_properties(g in arb_graph()) {
+        let mut h = relabel(&g);
+        // Strip every property from the image: the optimal cost is then
+        // exactly the number of g's properties.
+        let ids: Vec<String> = h.nodes().map(|n| n.id.clone()).collect();
+        for id in &ids {
+            let keys: Vec<String> = h.node(id).unwrap().props.keys().cloned().collect();
+            for k in keys {
+                h.remove_property(id, &k).unwrap();
+            }
+        }
+        if let Some(m) = aspsolver::find_subgraph(&g, &h) {
+            prop_assert_eq!(m.cost, g.property_count() as u64);
+        } else {
+            prop_assert!(false, "embedding must exist");
+        }
+    }
+
+    #[test]
+    fn generalization_agrees_with_pair_strip(g in arb_graph()) {
+        // Generalizing a graph against a relabelled copy with one volatile
+        // property changed keeps all other properties.
+        let mut h = relabel(&g);
+        let first_id = g.nodes().next().unwrap().id.clone();
+        h.set_node_property(format!("copy_{first_id}").as_str(), "kz", "volatile-x")
+            .unwrap();
+        let gen = provmark_core::generalize::generalize_pair(&g, &h).expect("similar");
+        prop_assert_eq!(gen.node_count(), g.node_count());
+        // No generalized node may carry the perturbed marker value.
+        for n in gen.nodes() {
+            prop_assert_ne!(n.props.get("kz").map(String::as_str), Some("volatile-x"));
+        }
+    }
+
+    #[test]
+    fn solver_agrees_with_naive_search(g in arb_graph()) {
+        // Ablation sanity: pruning must not change feasibility.
+        let h = relabel(&g);
+        let fast = aspsolver::solve(
+            aspsolver::Problem::Similarity,
+            &g,
+            &h,
+            &aspsolver::SolverConfig::default(),
+        );
+        let naive = aspsolver::solve(
+            aspsolver::Problem::Similarity,
+            &g,
+            &h,
+            &aspsolver::SolverConfig::naive(),
+        );
+        prop_assert_eq!(fast.matching.is_some(), naive.matching.is_some());
+    }
+}

@@ -1,0 +1,112 @@
+//! Charlie's regression-testing workflow (paper §3.1) end to end across
+//! crates: pipeline → store → isomorphism check → change detection.
+
+use provmark_core::regression::{RegressionOutcome, RegressionStore};
+use provmark_core::{pipeline, suite, tool::Tool, BenchmarkOptions};
+use spade::SpadeConfig;
+
+fn temp_store(tag: &str) -> RegressionStore {
+    let dir = std::env::temp_dir().join(format!(
+        "provmark-regression-it-{}-{tag}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    RegressionStore::open(dir).unwrap()
+}
+
+#[test]
+fn unchanged_recorder_stays_unchanged_across_seeds() {
+    let store = temp_store("stable");
+    let spec = suite::spec("rename").unwrap();
+    let opts = BenchmarkOptions::default();
+    let mut tool = Tool::spade_baseline().instantiate();
+    let run = pipeline::run_benchmark(&mut tool, &spec, &opts).unwrap();
+    assert_eq!(store.check("rename", &run.result).unwrap(), RegressionOutcome::New);
+    // Five reruns with different volatile worlds: always Unchanged.
+    for seed in [11u64, 222, 3333, 44444, 555555] {
+        let mut tool = Tool::spade_baseline().instantiate();
+        let run = pipeline::run_benchmark(&mut tool, &spec, &opts.clone().seed(seed)).unwrap();
+        assert_eq!(
+            store.check("rename", &run.result).unwrap(),
+            RegressionOutcome::Unchanged,
+            "seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn recorder_change_is_detected_and_acceptable() {
+    let store = temp_store("versioning");
+    let spec = suite::spec("write").unwrap();
+    let opts = BenchmarkOptions::default();
+
+    let mut baseline = Tool::spade_baseline().instantiate();
+    let run = pipeline::run_benchmark(&mut baseline, &spec, &opts).unwrap();
+    store.check("write", &run.result).unwrap();
+
+    // "XYZTrace" ships a new version that enables artifact versioning.
+    let mut changed = Tool::Spade(SpadeConfig {
+        versioning: true,
+        ..SpadeConfig::default()
+    })
+    .instantiate();
+    let new_run = pipeline::run_benchmark(&mut changed, &spec, &opts).unwrap();
+    assert_eq!(
+        store.check("write", &new_run.result).unwrap(),
+        RegressionOutcome::Changed,
+        "versioning changes the write benchmark graph"
+    );
+    // Accept, then the new behaviour is the baseline.
+    store.accept("write", &new_run.result).unwrap();
+    let mut again = Tool::Spade(SpadeConfig {
+        versioning: true,
+        ..SpadeConfig::default()
+    })
+    .instantiate();
+    let rerun = pipeline::run_benchmark(&mut again, &spec, &opts.clone().seed(777)).unwrap();
+    assert_eq!(
+        store.check("write", &rerun.result).unwrap(),
+        RegressionOutcome::Unchanged
+    );
+}
+
+#[test]
+fn fixing_the_io_runs_bug_shows_up_as_regression_change() {
+    // The IORuns fix (paper §3.1, Bob) is exactly the kind of change the
+    // regression workflow should surface.
+    let store = temp_store("iofix");
+    let spec = provmark_core::suite::BenchSpec {
+        name: "write-burst".into(),
+        group: 1,
+        setup: vec![],
+        context: vec![oskernel::program::Op::Open {
+            path: "/staging/out".into(),
+            flags: oskernel::OpenFlags::RDWR.union(oskernel::OpenFlags::CREAT),
+            mode: 0o644,
+            fd_var: "id".into(),
+        }],
+        target: (0..3)
+            .map(|_| oskernel::program::Op::Write { fd_var: "id".into(), len: 8 })
+            .collect(),
+    };
+    let opts = BenchmarkOptions::default();
+    let buggy = SpadeConfig {
+        io_runs_filter: true,
+        ..SpadeConfig::default()
+    };
+    let mut tool = Tool::Spade(buggy.clone()).instantiate();
+    let run = pipeline::run_benchmark(&mut tool, &spec, &opts).unwrap();
+    store.check("write-burst", &run.result).unwrap();
+
+    let fixed = SpadeConfig {
+        io_runs_bug_present: false,
+        ..buggy
+    };
+    let mut tool = Tool::Spade(fixed).instantiate();
+    let run = pipeline::run_benchmark(&mut tool, &spec, &opts).unwrap();
+    assert_eq!(
+        store.check("write-burst", &run.result).unwrap(),
+        RegressionOutcome::Changed,
+        "the coalescing fix must change the stored benchmark graph"
+    );
+}

@@ -1,0 +1,64 @@
+//! Scalability integration tests (paper §5.2): the scaleN workloads run
+//! end-to-end and target graphs grow with the scale factor.
+
+use provmark_core::scale::{scale_spec, SCALE_FACTORS};
+use provmark_core::{pipeline, tool::Tool, BenchmarkOptions};
+
+#[test]
+fn spade_scale_results_grow_monotonically() {
+    let opts = BenchmarkOptions::default();
+    let mut sizes = Vec::new();
+    for n in SCALE_FACTORS {
+        let mut tool = Tool::spade_baseline().instantiate();
+        let run = pipeline::run_benchmark(&mut tool, &scale_spec(n), &opts).unwrap();
+        assert!(run.status.is_ok(), "scale{n} must be detected");
+        sizes.push(run.result.size());
+    }
+    for w in sizes.windows(2) {
+        assert!(w[1] > w[0], "result sizes must grow: {sizes:?}");
+    }
+    // Each (creat + unlink) adds a fixed amount of structure: linear.
+    let per_step = sizes[1] - sizes[0];
+    assert_eq!(
+        sizes[3] - sizes[2],
+        per_step * 4,
+        "growth is linear in the scale factor: {sizes:?}"
+    );
+}
+
+#[test]
+fn camflow_scale_results_grow() {
+    let opts = BenchmarkOptions::default();
+    let mut tool = Tool::camflow_baseline().instantiate();
+    let small = pipeline::run_benchmark(&mut tool, &scale_spec(1), &opts).unwrap();
+    let large = pipeline::run_benchmark(&mut tool, &scale_spec(4), &opts).unwrap();
+    assert!(large.result.size() > small.result.size());
+}
+
+#[test]
+fn opus_scale_runs_with_reduced_db_cost() {
+    let opts = BenchmarkOptions::default();
+    let mut tool = Tool::Opus(opus::OpusConfig {
+        db_startup_iterations: 100,
+        ..Default::default()
+    })
+    .instantiate();
+    let run = pipeline::run_benchmark(&mut tool, &scale_spec(2), &opts).unwrap();
+    assert!(run.status.is_ok());
+}
+
+#[test]
+fn scale8_handles_within_budget() {
+    // Paper §5.2: "ProvMark can currently handle short sequences of 10-20
+    // syscalls without problems" — scale8 is 16 target calls.
+    let opts = BenchmarkOptions::default();
+    let mut tool = Tool::spade_baseline().instantiate();
+    let start = std::time::Instant::now();
+    let run = pipeline::run_benchmark(&mut tool, &scale_spec(8), &opts).unwrap();
+    assert!(run.status.is_ok());
+    assert!(
+        start.elapsed() < std::time::Duration::from_secs(60),
+        "scale8 must complete quickly, took {:?}",
+        start.elapsed()
+    );
+}

@@ -1,0 +1,38 @@
+//! The headline reproduction test: every cell of the paper's Table 2.
+//!
+//! Runs all 44 Table 1 benchmarks through the full four-stage pipeline
+//! under all three recorder simulations and asserts that the ok/empty
+//! verdict matches the paper cell-for-cell.
+
+use provmark_core::{pipeline, suite, BenchmarkOptions};
+
+#[test]
+fn table2_matches_the_paper_cell_for_cell() {
+    let opts = BenchmarkOptions::default();
+    // Scale the simulated Neo4j startup down so the matrix runs quickly.
+    let rows = pipeline::run_matrix(&opts, Some(500));
+    let mut mismatches = Vec::new();
+    for (exp, cells) in &rows {
+        for (tool, (cell, expected)) in ["SPADE", "OPUS", "CamFlow"].iter().zip(
+            cells
+                .iter()
+                .zip([exp.spade, exp.opus, exp.camflow]),
+        ) {
+            if cell.is_ok() != expected.is_ok() || cell.run.is_none() {
+                mismatches.push(format!(
+                    "{}/{}: expected {}, measured {}",
+                    exp.syscall,
+                    tool,
+                    expected.render(),
+                    cell.render()
+                ));
+            }
+        }
+    }
+    assert!(
+        mismatches.is_empty(),
+        "Table 2 mismatches ({}):\n{}",
+        mismatches.len(),
+        mismatches.join("\n")
+    );
+}
