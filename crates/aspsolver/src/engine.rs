@@ -1,17 +1,42 @@
-//! Branch-and-bound search engine for the graph matching problems.
+//! Branch-and-bound search engine for the graph matching problems,
+//! running on the **compiled** (symbol-interned) graph representation.
 //!
-//! The engine searches over *node* mappings only: once every g1 node has an
-//! image, the edges decompose into independent groups keyed by
-//! `(mapped source, mapped target, label)` and each group is an assignment
-//! problem solved exactly by the Hungarian algorithm
+//! The engine searches over *node* mappings only: once every g1 node has
+//! an image, the edges decompose into independent groups keyed by
+//! `(mapped source, mapped target, label)` and each group is an
+//! assignment problem solved exactly by the Hungarian algorithm
 //! ([`crate::min_cost_assignment`]). This two-level decomposition is what
 //! makes the NP-complete subgraph isomorphism instances from provenance
 //! graphs tractable in practice (paper §5.1 establishes "minutes rather
 //! than days"; we do better on the simulated substrate).
+//!
+//! # The hot path
+//!
+//! Every datum the inner loop touches is an integer:
+//!
+//! - labels, property keys and values are [`Symbol`]s interned once at
+//!   compile time ([`provgraph::compiled`]);
+//! - candidate lists live in one flat array indexed by per-node ranges —
+//!   nothing is cloned while descending;
+//! - pair costs are precomputed into a dense `n1 × n2` table read by
+//!   multiplication-free indexing;
+//! - the partial cost and the remaining-cost floor are maintained
+//!   incrementally on assign/undo instead of being recomputed per
+//!   candidate;
+//! - adjacency consistency compares sorted `(Symbol, count)` slices.
+//!
+//! String identifiers reappear only once, when the final dense matching
+//! is translated back to [`Matching`]'s `ElemId` maps. The legacy
+//! string-path engine is preserved in [`crate::solve_strings`] for
+//! differential testing and ablation benchmarks.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
-use provgraph::{Props, PropertyGraph};
+use provgraph::compiled::{
+    degree_sig_leq, label_counts_leq, one_sided_prop_diff, symmetric_prop_diff, CompiledGraph,
+    Interner, Symbol,
+};
+use provgraph::PropertyGraph;
 
 use crate::assignment::{min_cost_assignment, FORBIDDEN};
 use crate::matching::{Matching, Outcome};
@@ -33,11 +58,14 @@ pub enum Problem {
 }
 
 impl Problem {
-    fn bijective(self) -> bool {
+    /// `true` for problems requiring a bijection (everything except
+    /// [`Problem::Subgraph`]).
+    pub fn bijective(self) -> bool {
         !matches!(self, Problem::Subgraph)
     }
 
-    fn optimizing(self) -> bool {
+    /// `true` for problems minimizing a property-mismatch objective.
+    pub fn optimizing(self) -> bool {
         matches!(self, Problem::Generalization | Problem::Subgraph)
     }
 }
@@ -99,16 +127,68 @@ pub struct SolverStats {
     pub solutions: u64,
 }
 
+thread_local! {
+    /// Warm per-thread interner reused across [`solve`] calls.
+    ///
+    /// Provenance vocabularies (labels, property keys, most values) are
+    /// small and highly repetitive, so after the first few solves the
+    /// compile pass stops allocating strings entirely — every intern is a
+    /// single hash probe. Solver outcomes are invariant to symbol
+    /// numbering (symbols only feed equality tests, set-inclusion merges
+    /// and order-insensitive sums), so the warm start never changes a
+    /// result; `tests/differential_compiled.rs` pins that down against
+    /// the deterministic string path.
+    static SOLVER_INTERNER: std::cell::RefCell<Interner> =
+        std::cell::RefCell::new(Interner::new());
+}
+
+/// Reset threshold for the warm interner.
+///
+/// Volatile property values (timestamps, fresh ids) are unique per trial,
+/// so a long-lived service thread would otherwise accumulate distinct
+/// strings without bound. The stable vocabulary is tiny; rebuilding it
+/// after a reset costs one compile pass.
+const WARM_INTERNER_CAP: usize = 1 << 20;
+
 /// Solve `problem` matching `g1` against `g2`.
 ///
-/// For bijective problems the graphs must have identical element counts and
-/// label multisets or the result is immediately infeasible. The returned
-/// [`Outcome`] carries the optimal matching (or `None`), an optimality
-/// flag, and search statistics.
+/// Compiles both graphs into a shared (thread-warm) interner and runs
+/// the compiled search ([`solve_compiled`]). For bijective problems the
+/// graphs must have identical element counts and label multisets or the
+/// result is immediately infeasible. The returned [`Outcome`] carries
+/// the optimal matching (or `None`), an optimality flag, and search
+/// statistics.
+///
+/// Callers matching the *same* graph repeatedly (e.g. similarity
+/// classification over many trials) should compile once and call
+/// [`solve_compiled`] directly to amortize the compile pass as well.
 pub fn solve(
     problem: Problem,
     g1: &PropertyGraph,
     g2: &PropertyGraph,
+    config: &SolverConfig,
+) -> Outcome {
+    SOLVER_INTERNER.with(|cell| {
+        let mut interner = cell.borrow_mut();
+        if interner.len() > WARM_INTERNER_CAP {
+            *interner = Interner::new();
+        }
+        let c1 = CompiledGraph::compile(g1, &mut interner);
+        let c2 = CompiledGraph::compile(g2, &mut interner);
+        drop(interner);
+        solve_compiled(problem, &c1, &c2, config)
+    })
+}
+
+/// Solve `problem` over graphs compiled with a **shared** interner.
+///
+/// Symbols are only comparable within one interner's namespace; passing
+/// graphs compiled against different interners silently mismatches
+/// labels. The [`solve`] wrapper handles this for one-shot calls.
+pub fn solve_compiled(
+    problem: Problem,
+    g1: &CompiledGraph,
+    g2: &CompiledGraph,
     config: &SolverConfig,
 ) -> Outcome {
     let mut outcome = Outcome {
@@ -130,8 +210,8 @@ pub fn solve(
         if g1.node_count() > g2.node_count() || g1.edge_count() > g2.edge_count() {
             return outcome;
         }
-        if !multiset_leq(&g1.node_label_multiset(), &g2.node_label_multiset())
-            || !multiset_leq(&g1.edge_label_multiset(), &g2.edge_label_multiset())
+        if !multiset_leq(g1.node_label_multiset(), g2.node_label_multiset())
+            || !multiset_leq(g1.edge_label_multiset(), g2.edge_label_multiset())
         {
             return outcome;
         }
@@ -148,11 +228,17 @@ pub fn solve(
     search.run();
     outcome.stats = search.stats;
     outcome.optimal = !search.budget_exhausted;
-    outcome.matching = search.best.take().map(|(node_assign, edge_map, cost)| {
+    outcome.matching = search.best.take().map(|(node_assign, edge_pairs, cost)| {
+        // The only string work in the whole solve: translating the dense
+        // witness back to ElemId maps.
         let node_map: BTreeMap<String, String> = node_assign
             .iter()
             .enumerate()
-            .map(|(i, &j)| (search.ids1[i].clone(), search.ids2[j].clone()))
+            .map(|(i, &j)| (g1.node_id(i as u32).to_owned(), g2.node_id(j).to_owned()))
+            .collect();
+        let edge_map: BTreeMap<String, String> = edge_pairs
+            .iter()
+            .map(|&(e1, e2)| (g1.edge_id(e1).to_owned(), g2.edge_id(e2).to_owned()))
             .collect();
         Matching {
             node_map,
@@ -178,177 +264,150 @@ fn multiset_leq<T: Ord>(small: &[T], big: &[T]) -> bool {
     true
 }
 
-/// Per-node signature: for each (direction, edge label) the number of
-/// incident edges. Direction 0 = outgoing, 1 = incoming.
-type DegreeSig = BTreeMap<(u8, String), usize>;
+/// Sentinel for "not yet assigned" in the dense assignment array.
+const UNASSIGNED: u32 = u32::MAX;
+
+/// Best solution found so far: node assignment, edge pairing, total cost.
+type BestSolution = (Vec<u32>, Vec<(u32, u32)>, u64);
 
 struct Search<'a> {
     problem: Problem,
     config: &'a SolverConfig,
-    g1: &'a PropertyGraph,
-    g2: &'a PropertyGraph,
-    ids1: Vec<String>,
-    ids2: Vec<String>,
-    idx2: HashMap<String, usize>,
-    /// adjacency label counts between node index pairs
-    adj1: HashMap<(usize, usize), BTreeMap<String, usize>>,
-    adj2: HashMap<(usize, usize), BTreeMap<String, usize>>,
-    /// neighbours of each g1 node (for forward checking)
-    neigh1: Vec<Vec<usize>>,
-    /// statically feasible candidates for each g1 node
-    candidates: Vec<Vec<usize>>,
-    /// pair costs for statically feasible pairs
-    pair_cost: HashMap<(usize, usize), u64>,
-    /// admissible per-node lower bound (min static pair cost)
+    g1: &'a CompiledGraph<'a>,
+    g2: &'a CompiledGraph<'a>,
+    n1: usize,
+    n2: usize,
+    /// Statically feasible candidates, flattened; node i's candidates are
+    /// `cand_flat[cand_start[i]..cand_start[i+1]]`.
+    cand_flat: Vec<u32>,
+    cand_start: Vec<u32>,
+    /// Dense pair-cost table (`i * n2 + j`); `u64::MAX` = incompatible.
+    /// Empty for pure feasibility problems, where every pair costs zero.
+    pair_cost: Vec<u64>,
+    /// Admissible per-node lower bound (min static pair cost).
     node_min_cost: Vec<u64>,
-    /// admissible total lower bound contribution of all g1 edges
+    /// Admissible total lower bound contribution of all g1 edges.
     edge_cost_floor: u64,
-    // search state
-    assign: Vec<Option<usize>>,
+    /// g2 edges grouped by (src, tgt, label) — assignment-independent,
+    /// built lazily on the first complete assignment.
+    groups2: Option<BTreeMap<(u32, u32, Symbol), Vec<u32>>>,
+    // --- search state ----------------------------------------------------
+    assign: Vec<u32>,
     used: Vec<bool>,
+    /// Sum of pair costs of currently assigned nodes (incremental).
+    partial_cost: u64,
+    /// Sum of `node_min_cost` over currently unassigned nodes (incremental).
+    unassigned_floor: u64,
     stats: SolverStats,
     budget_exhausted: bool,
-    best: Option<(Vec<usize>, BTreeMap<String, String>, u64)>,
+    best: Option<BestSolution>,
     best_cost: u64,
-    /// global lower bound; reaching it allows immediate termination
+    /// Global lower bound; reaching it allows immediate termination.
     global_floor: u64,
 }
 
 impl<'a> Search<'a> {
     fn new(
         problem: Problem,
-        g1: &'a PropertyGraph,
-        g2: &'a PropertyGraph,
+        g1: &'a CompiledGraph<'a>,
+        g2: &'a CompiledGraph<'a>,
         config: &'a SolverConfig,
     ) -> Self {
-        let ids1: Vec<String> = g1.nodes().map(|n| n.id.clone()).collect();
-        let ids2: Vec<String> = g2.nodes().map(|n| n.id.clone()).collect();
-        let idx1: HashMap<String, usize> = ids1
-            .iter()
-            .enumerate()
-            .map(|(i, id)| (id.clone(), i))
-            .collect();
-        let idx2: HashMap<String, usize> = ids2
-            .iter()
-            .enumerate()
-            .map(|(i, id)| (id.clone(), i))
-            .collect();
-
-        let mut adj1: HashMap<(usize, usize), BTreeMap<String, usize>> = HashMap::new();
-        let mut neigh1: Vec<Vec<usize>> = vec![Vec::new(); ids1.len()];
-        for e in g1.edges() {
-            let s = idx1[&e.src];
-            let t = idx1[&e.tgt];
-            *adj1
-                .entry((s, t))
-                .or_default()
-                .entry(e.label.as_str().to_owned())
-                .or_default() += 1;
-            if !neigh1[s].contains(&t) {
-                neigh1[s].push(t);
-            }
-            if !neigh1[t].contains(&s) {
-                neigh1[t].push(s);
-            }
-        }
-        let mut adj2: HashMap<(usize, usize), BTreeMap<String, usize>> = HashMap::new();
-        for e in g2.edges() {
-            let s = idx2[&e.src];
-            let t = idx2[&e.tgt];
-            *adj2
-                .entry((s, t))
-                .or_default()
-                .entry(e.label.as_str().to_owned())
-                .or_default() += 1;
-        }
-
-        let sig = |g: &PropertyGraph, id: &str| -> DegreeSig {
-            let mut s = DegreeSig::new();
-            for e in g.out_edges(id) {
-                *s.entry((0, e.label.as_str().to_owned())).or_default() += 1;
-            }
-            for e in g.in_edges(id) {
-                *s.entry((1, e.label.as_str().to_owned())).or_default() += 1;
-            }
-            s
-        };
-        let sigs1: Vec<DegreeSig> = ids1.iter().map(|id| sig(g1, id)).collect();
-        let sigs2: Vec<DegreeSig> = ids2.iter().map(|id| sig(g2, id)).collect();
-
+        let n1 = g1.node_count();
+        let n2 = g2.node_count();
         let bijective = problem.bijective();
-        let mut candidates: Vec<Vec<usize>> = Vec::with_capacity(ids1.len());
-        let mut pair_cost: HashMap<(usize, usize), u64> = HashMap::new();
-        let mut node_min_cost: Vec<u64> = Vec::with_capacity(ids1.len());
-        for (i, n1) in g1.nodes().enumerate() {
-            let mut cands = Vec::new();
+        let optimizing = problem.optimizing();
+
+        let mut cand_flat: Vec<u32> = Vec::new();
+        let mut cand_start: Vec<u32> = Vec::with_capacity(n1 + 1);
+        cand_start.push(0);
+        // Feasibility problems cost zero everywhere — skip the table.
+        let mut pair_cost = if optimizing {
+            vec![u64::MAX; n1 * n2]
+        } else {
+            Vec::new()
+        };
+        let mut node_min_cost: Vec<u64> = Vec::with_capacity(n1);
+        let mut scratch: Vec<u32> = Vec::with_capacity(n2);
+        for i in 0..n1 as u32 {
+            scratch.clear();
             let mut min_cost = u64::MAX;
-            for (j, n2) in g2.nodes().enumerate() {
-                if n1.label != n2.label {
+            for j in 0..n2 as u32 {
+                if g1.node_label(i) != g2.node_label(j) {
                     continue;
                 }
-                if problem == Problem::Isomorphism && n1.props != n2.props {
+                if problem == Problem::Isomorphism && g1.node_props(i) != g2.node_props(j) {
                     continue;
                 }
                 if config.degree_filter {
                     let ok = if bijective {
-                        sigs1[i] == sigs2[j]
+                        g1.degree_sig(i) == g2.degree_sig(j)
                     } else {
-                        sig_leq(&sigs1[i], &sigs2[j])
+                        degree_sig_leq(g1.degree_sig(i), g2.degree_sig(j))
                     };
                     if !ok {
                         continue;
                     }
                 }
-                let cost = node_pair_cost(problem, &n1.props, &n2.props);
-                pair_cost.insert((i, j), cost);
-                min_cost = min_cost.min(cost);
-                cands.push(j);
+                if optimizing {
+                    let cost = node_pair_cost(problem, g1.node_props(i), g2.node_props(j));
+                    pair_cost[i as usize * n2 + j as usize] = cost;
+                    min_cost = min_cost.min(cost);
+                }
+                scratch.push(j);
             }
-            if config.order_by_cost {
-                cands.sort_by_key(|&j| pair_cost[&(i, j)]);
+            if config.order_by_cost && optimizing {
+                // Stable by cost: ties keep insertion order, exactly like
+                // the string path (and trivially so for feasibility
+                // problems, where the sort would be an all-ties no-op).
+                scratch.sort_by_key(|&j| pair_cost[i as usize * n2 + j as usize]);
             }
             node_min_cost.push(if min_cost == u64::MAX { 0 } else { min_cost });
-            candidates.push(cands);
+            cand_flat.extend_from_slice(&scratch);
+            cand_start.push(cand_flat.len() as u32);
         }
 
         // Admissible edge-cost floor: each g1 edge costs at least the
         // minimum mismatch against any same-label g2 edge.
         let mut edge_cost_floor = 0u64;
         if problem.optimizing() {
-            for e1 in g1.edges() {
+            for e1 in 0..g1.edge_count() as u32 {
                 let mut min_c = u64::MAX;
-                for e2 in g2.edges() {
-                    if e1.label != e2.label {
+                for e2 in 0..g2.edge_count() as u32 {
+                    if g1.edge_label(e1) != g2.edge_label(e2) {
                         continue;
                     }
-                    min_c = min_c.min(edge_pair_cost(problem, &e1.props, &e2.props));
+                    min_c = min_c.min(edge_pair_cost(
+                        problem,
+                        g1.edge_props(e1),
+                        g2.edge_props(e2),
+                    ));
                 }
                 if min_c != u64::MAX {
                     edge_cost_floor += min_c;
                 }
             }
         }
-        let global_floor = node_min_cost.iter().sum::<u64>() + edge_cost_floor;
+        let unassigned_floor = node_min_cost.iter().sum::<u64>();
+        let global_floor = unassigned_floor + edge_cost_floor;
 
-        let n2 = ids2.len();
-        let n1 = ids1.len();
         Search {
             problem,
             config,
             g1,
             g2,
-            ids1,
-            ids2,
-            idx2,
-            adj1,
-            adj2,
-            neigh1,
-            candidates,
+            n1,
+            n2,
+            cand_flat,
+            cand_start,
             pair_cost,
             node_min_cost,
             edge_cost_floor,
-            assign: vec![None; n1],
+            groups2: None,
+            assign: vec![UNASSIGNED; n1],
             used: vec![false; n2],
+            partial_cost: 0,
+            unassigned_floor,
             stats: SolverStats::default(),
             budget_exhausted: false,
             best: None,
@@ -357,9 +416,26 @@ impl<'a> Search<'a> {
         }
     }
 
+    #[inline]
+    fn cost_of(&self, i: u32, j: u32) -> u64 {
+        if self.pair_cost.is_empty() {
+            0
+        } else {
+            self.pair_cost[i as usize * self.n2 + j as usize]
+        }
+    }
+
+    #[inline]
+    fn candidates(&self, i: u32) -> (usize, usize) {
+        (
+            self.cand_start[i as usize] as usize,
+            self.cand_start[i as usize + 1] as usize,
+        )
+    }
+
     fn run(&mut self) {
         // A node with zero candidates makes the problem infeasible.
-        if self.candidates.iter().any(|c| c.is_empty()) {
+        if self.cand_start.windows(2).any(|w| w[0] == w[1]) {
             return;
         }
         self.descend(0);
@@ -370,16 +446,17 @@ impl<'a> Search<'a> {
         if self.budget_exhausted {
             return true;
         }
-        if depth == self.assign.len() {
+        if depth == self.n1 {
             return self.complete();
         }
         let var = match self.select_variable() {
             Some(v) => v,
             None => return false, // some node has no remaining candidate
         };
-        let cands = self.candidates[var].clone();
-        for j in cands {
-            if self.used[j] {
+        let (start, end) = self.candidates(var);
+        for ci in start..end {
+            let j = self.cand_flat[ci];
+            if self.used[j as usize] {
                 continue;
             }
             if self.config.forward_check && !self.consistent(var, j) {
@@ -390,17 +467,27 @@ impl<'a> Search<'a> {
                 self.budget_exhausted = true;
                 return true;
             }
+            let pair = self.cost_of(var, j);
             if self.config.cost_bound && self.problem.optimizing() {
-                let bound = self.partial_cost_with(var, j) + self.remaining_floor(var);
+                // Incrementally maintained bound: assigned cost + this
+                // pair + floors of the other unassigned nodes + edges.
+                let bound = self.partial_cost
+                    + pair
+                    + self.edge_cost_floor
+                    + (self.unassigned_floor - self.node_min_cost[var as usize]);
                 if bound >= self.best_cost {
                     continue;
                 }
             }
-            self.assign[var] = Some(j);
-            self.used[j] = true;
+            self.assign[var as usize] = j;
+            self.used[j as usize] = true;
+            self.partial_cost += pair;
+            self.unassigned_floor -= self.node_min_cost[var as usize];
             let stop = self.descend(depth + 1);
-            self.assign[var] = None;
-            self.used[j] = false;
+            self.assign[var as usize] = UNASSIGNED;
+            self.used[j as usize] = false;
+            self.partial_cost -= pair;
+            self.unassigned_floor += self.node_min_cost[var as usize];
             if stop {
                 return true;
             }
@@ -411,27 +498,31 @@ impl<'a> Search<'a> {
 
     /// Minimum-remaining-values with a preference for nodes adjacent to the
     /// already-assigned frontier.
-    fn select_variable(&self) -> Option<usize> {
-        let mut best: Option<(usize, usize, usize)> = None; // (remaining, -adjacency, var)
-        for i in 0..self.assign.len() {
-            if self.assign[i].is_some() {
+    fn select_variable(&self) -> Option<u32> {
+        let mut best: Option<(usize, usize, u32)> = None; // (remaining, -adjacency, var)
+        for i in 0..self.n1 as u32 {
+            if self.assign[i as usize] != UNASSIGNED {
                 continue;
             }
             let mut remaining = 0usize;
-            for &j in &self.candidates[i] {
-                if !self.used[j] && (!self.config.forward_check || self.consistent(i, j)) {
+            let (start, end) = self.candidates(i);
+            for ci in start..end {
+                let j = self.cand_flat[ci];
+                if !self.used[j as usize] && (!self.config.forward_check || self.consistent(i, j)) {
                     remaining += 1;
                 }
             }
             if remaining == 0 {
                 return None;
             }
-            let adjacency = self.neigh1[i]
+            let adjacency = self
+                .g1
+                .neighbours(i)
                 .iter()
-                .filter(|&&n| self.assign[n].is_some())
+                .filter(|&&n| self.assign[n as usize] != UNASSIGNED)
                 .count();
             let key = (remaining, usize::MAX - adjacency, i);
-            if best.map_or(true, |b| key < b) {
+            if best.is_none_or(|b| key < b) {
                 best = Some(key);
             }
         }
@@ -439,9 +530,12 @@ impl<'a> Search<'a> {
     }
 
     /// Is mapping node `i` → `j` consistent with every assigned neighbour?
-    fn consistent(&self, i: usize, j: usize) -> bool {
-        for &n in &self.neigh1[i] {
-            let Some(jn) = self.assign[n] else { continue };
+    fn consistent(&self, i: u32, j: u32) -> bool {
+        for &n in self.g1.neighbours(i) {
+            let jn = self.assign[n as usize];
+            if jn == UNASSIGNED {
+                continue;
+            }
             if !self.pair_edges_ok(i, n, j, jn) || !self.pair_edges_ok(n, i, jn, j) {
                 return false;
             }
@@ -449,59 +543,50 @@ impl<'a> Search<'a> {
         true
     }
 
-    /// Check edge-count compatibility for the ordered pair (a→b) vs (x→y).
-    fn pair_edges_ok(&self, a: usize, b: usize, x: usize, y: usize) -> bool {
-        let empty = BTreeMap::new();
-        let c1 = self.adj1.get(&(a, b)).unwrap_or(&empty);
-        let c2 = self.adj2.get(&(x, y)).unwrap_or(&empty);
+    /// Check edge-count compatibility for the ordered pair (a→b) vs (x→y):
+    /// a sorted-slice compare, no map probing, no allocation.
+    #[inline]
+    fn pair_edges_ok(&self, a: u32, b: u32, x: u32, y: u32) -> bool {
+        let c1 = self.g1.pair_labels(a, b);
+        let c2 = self.g2.pair_labels(x, y);
         if self.problem.bijective() {
             c1 == c2
         } else {
-            c1.iter().all(|(l, &n)| c2.get(l).copied().unwrap_or(0) >= n)
+            label_counts_leq(c1, c2)
         }
-    }
-
-    fn partial_cost_with(&self, var: usize, j: usize) -> u64 {
-        let mut cost = self.pair_cost[&(var, j)];
-        for (i, a) in self.assign.iter().enumerate() {
-            if let Some(jj) = a {
-                cost += self.pair_cost[&(i, *jj)];
-            }
-        }
-        cost
-    }
-
-    fn remaining_floor(&self, excluding: usize) -> u64 {
-        let mut floor = self.edge_cost_floor;
-        for (i, a) in self.assign.iter().enumerate() {
-            if a.is_none() && i != excluding {
-                floor += self.node_min_cost[i];
-            }
-        }
-        floor
     }
 
     /// All nodes assigned: place edges group-by-group and record solution.
     /// Returns `true` when the search can stop globally.
     fn complete(&mut self) -> bool {
-        let node_cost: u64 = self
-            .assign
-            .iter()
-            .enumerate()
-            .map(|(i, a)| self.pair_cost[&(i, a.expect("complete assignment"))])
-            .sum();
+        let node_cost = self.partial_cost;
         if self.problem.optimizing() && node_cost + self.edge_cost_floor >= self.best_cost {
             return false;
         }
-        let Some((edge_map, edge_cost)) = self.place_edges() else {
+        if self.groups2.is_none() {
+            // Built on the first complete assignment only: infeasible
+            // searches never pay for it.
+            let mut groups: BTreeMap<(u32, u32, Symbol), Vec<u32>> = BTreeMap::new();
+            for e in 0..self.g2.edge_count() as u32 {
+                groups
+                    .entry((
+                        self.g2.edge_src(e),
+                        self.g2.edge_tgt(e),
+                        self.g2.edge_label(e),
+                    ))
+                    .or_default()
+                    .push(e);
+            }
+            self.groups2 = Some(groups);
+        }
+        let Some((edge_pairs, edge_cost)) = self.place_edges() else {
             return false;
         };
         self.stats.solutions += 1;
         let total = node_cost + edge_cost;
         if total < self.best_cost {
             self.best_cost = total;
-            let assign: Vec<usize> = self.assign.iter().map(|a| a.unwrap()).collect();
-            self.best = Some((assign, edge_map, total));
+            self.best = Some((self.assign.clone(), edge_pairs, total));
         }
         if !self.problem.optimizing() {
             return true; // first feasible solution suffices
@@ -511,25 +596,15 @@ impl<'a> Search<'a> {
     }
 
     /// Assign g1 edges to g2 edges given the complete node map.
-    fn place_edges(&self) -> Option<(BTreeMap<String, String>, u64)> {
+    fn place_edges(&self) -> Option<(Vec<(u32, u32)>, u64)> {
+        let groups2 = self.groups2.as_ref().expect("groups built in complete()");
         // Group g1 edges by mapped (src, tgt, label).
-        let mut groups1: BTreeMap<(usize, usize, String), Vec<&provgraph::EdgeData>> =
-            BTreeMap::new();
-        for e in self.g1.edges() {
-            let s = self.assign[self.node_index1(&e.src)].expect("assigned");
-            let t = self.assign[self.node_index1(&e.tgt)].expect("assigned");
+        let mut groups1: BTreeMap<(u32, u32, Symbol), Vec<u32>> = BTreeMap::new();
+        for e in 0..self.g1.edge_count() as u32 {
+            let s = self.assign[self.g1.edge_src(e) as usize];
+            let t = self.assign[self.g1.edge_tgt(e) as usize];
             groups1
-                .entry((s, t, e.label.as_str().to_owned()))
-                .or_default()
-                .push(e);
-        }
-        let mut groups2: BTreeMap<(usize, usize, String), Vec<&provgraph::EdgeData>> =
-            BTreeMap::new();
-        for e in self.g2.edges() {
-            let s = self.idx2[&e.src];
-            let t = self.idx2[&e.tgt];
-            groups2
-                .entry((s, t, e.label.as_str().to_owned()))
+                .entry((s, t, self.g1.edge_label(e)))
                 .or_default()
                 .push(e);
         }
@@ -538,13 +613,13 @@ impl<'a> Search<'a> {
             if groups1.len() != groups2.len() {
                 return None;
             }
-            for (k, v2) in &groups2 {
+            for (k, v2) in groups2 {
                 if groups1.get(k).map(Vec::len) != Some(v2.len()) {
                     return None;
                 }
             }
         }
-        let mut edge_map = BTreeMap::new();
+        let mut edge_pairs = Vec::with_capacity(self.g1.edge_count());
         let mut total_cost = 0u64;
         for (key, es1) in &groups1 {
             let es2 = groups2.get(key)?;
@@ -553,13 +628,15 @@ impl<'a> Search<'a> {
             }
             let cost_matrix: Vec<Vec<u64>> = es1
                 .iter()
-                .map(|e1| {
+                .map(|&e1| {
                     es2.iter()
-                        .map(|e2| {
-                            if self.problem == Problem::Isomorphism && e1.props != e2.props {
+                        .map(|&e2| {
+                            let p1 = self.g1.edge_props(e1);
+                            let p2 = self.g2.edge_props(e2);
+                            if self.problem == Problem::Isomorphism && p1 != p2 {
                                 FORBIDDEN
                             } else {
-                                edge_pair_cost(self.problem, &e1.props, &e2.props)
+                                edge_pair_cost(self.problem, p1, p2)
                             }
                         })
                         .collect()
@@ -568,56 +645,23 @@ impl<'a> Search<'a> {
             let (cols, cost) = min_cost_assignment(&cost_matrix)?;
             total_cost += cost;
             for (row, col) in cols.into_iter().enumerate() {
-                edge_map.insert(es1[row].id.clone(), es2[col].id.clone());
+                edge_pairs.push((es1[row], es2[col]));
             }
         }
-        Some((edge_map, total_cost))
-    }
-
-    fn node_index1(&self, id: &str) -> usize {
-        self.ids1
-            .iter()
-            .position(|x| x == id)
-            .expect("edge endpoint indexed")
+        Some((edge_pairs, total_cost))
     }
 }
 
-fn symmetric_diff_count(p1: &Props, p2: &Props) -> u64 {
-    let mut n = 0u64;
-    for (k, v) in p1 {
-        if p2.get(k) != Some(v) {
-            n += 1;
-        }
-    }
-    for (k, v) in p2 {
-        if p1.get(k) != Some(v) {
-            n += 1;
-        }
-    }
-    n
-}
-
-fn one_sided_diff_count(p1: &Props, p2: &Props) -> u64 {
-    // Paper Listing 4: a g1 property costs 1 when the image either lacks
-    // the key or carries a different value.
-    p1.iter().filter(|(k, v)| p2.get(*k) != Some(*v)).count() as u64
-}
-
-fn node_pair_cost(problem: Problem, p1: &Props, p2: &Props) -> u64 {
+fn node_pair_cost(problem: Problem, p1: &[(Symbol, Symbol)], p2: &[(Symbol, Symbol)]) -> u64 {
     match problem {
         Problem::Similarity | Problem::Isomorphism => 0,
-        Problem::Generalization => symmetric_diff_count(p1, p2),
-        Problem::Subgraph => one_sided_diff_count(p1, p2),
+        Problem::Generalization => symmetric_prop_diff(p1, p2),
+        Problem::Subgraph => one_sided_prop_diff(p1, p2),
     }
 }
 
-fn edge_pair_cost(problem: Problem, p1: &Props, p2: &Props) -> u64 {
+fn edge_pair_cost(problem: Problem, p1: &[(Symbol, Symbol)], p2: &[(Symbol, Symbol)]) -> u64 {
     node_pair_cost(problem, p1, p2)
-}
-
-fn sig_leq(s1: &DegreeSig, s2: &DegreeSig) -> bool {
-    s1.iter()
-        .all(|(k, &n)| s2.get(k).copied().unwrap_or(0) >= n)
 }
 
 #[cfg(test)]
@@ -677,9 +721,11 @@ mod tests {
             g.add_edge("e1", "p1", "p2", "r").unwrap();
             g.add_edge("e2", "p0", "p2", "r").unwrap();
         });
-        assert!(solve(Problem::Similarity, &a, &path, &SolverConfig::default())
-            .matching
-            .is_none());
+        assert!(
+            solve(Problem::Similarity, &a, &path, &SolverConfig::default())
+                .matching
+                .is_none()
+        );
     }
 
     #[test]
@@ -706,9 +752,11 @@ mod tests {
             g.add_node("y", "A").unwrap();
             g.set_node_property("y", "k", "2").unwrap();
         });
-        assert!(solve(Problem::Isomorphism, &a, &b, &SolverConfig::default())
-            .matching
-            .is_none());
+        assert!(
+            solve(Problem::Isomorphism, &a, &b, &SolverConfig::default())
+                .matching
+                .is_none()
+        );
         assert!(solve(Problem::Similarity, &a, &b, &SolverConfig::default())
             .matching
             .is_some());
@@ -854,9 +902,11 @@ mod tests {
             g.add_edge("e", "q", "x", "r").unwrap();
             g.add_edge("other", "x", "q", "r").unwrap();
         });
-        assert!(solve(Problem::Subgraph, &bg, &fg_one, &SolverConfig::default())
-            .matching
-            .is_none());
+        assert!(
+            solve(Problem::Subgraph, &bg, &fg_one, &SolverConfig::default())
+                .matching
+                .is_none()
+        );
         let fg_two = g(|g| {
             g.add_node("q", "P").unwrap();
             g.add_node("x", "F").unwrap();
@@ -992,12 +1042,22 @@ mod tests {
                 g.add_node(format!("{p}hub"), "Hub").unwrap();
                 for i in 0..6 {
                     g.add_node(format!("{p}leaf{i}"), "Leaf").unwrap();
-                    g.add_edge(format!("{p}e{i}"), format!("{p}hub"), format!("{p}leaf{i}"), "spoke")
-                        .unwrap();
+                    g.add_edge(
+                        format!("{p}e{i}"),
+                        format!("{p}hub"),
+                        format!("{p}leaf{i}"),
+                        "spoke",
+                    )
+                    .unwrap();
                 }
             })
         };
-        let out = solve(Problem::Similarity, &star("a"), &star("b"), &SolverConfig::default());
+        let out = solve(
+            Problem::Similarity,
+            &star("a"),
+            &star("b"),
+            &SolverConfig::default(),
+        );
         assert!(out.matching.is_some());
         assert!(out.optimal);
         assert!(out.stats.steps < 100, "steps: {}", out.stats.steps);
@@ -1014,8 +1074,13 @@ mod tests {
                     g.add_node(format!("{p}{i}"), "N").unwrap();
                 }
                 for i in 0..6 {
-                    g.add_edge(format!("{p}e{i}"), format!("{p}{i}"), format!("{p}{}", i + 1), "r")
-                        .unwrap();
+                    g.add_edge(
+                        format!("{p}e{i}"),
+                        format!("{p}{i}"),
+                        format!("{p}{}", i + 1),
+                        "r",
+                    )
+                    .unwrap();
                 }
             })
         };
@@ -1038,9 +1103,11 @@ mod tests {
             g(|g| {
                 g.add_node(format!("{p}1"), "A").unwrap();
                 g.add_node(format!("{p}2"), "A").unwrap();
-                g.set_node_property(&format!("{p}1"), "name", "one").unwrap();
+                g.set_node_property(&format!("{p}1"), "name", "one")
+                    .unwrap();
                 g.set_node_property(&format!("{p}1"), "t", t).unwrap();
-                g.set_node_property(&format!("{p}2"), "name", "two").unwrap();
+                g.set_node_property(&format!("{p}2"), "name", "two")
+                    .unwrap();
                 g.set_node_property(&format!("{p}2"), "t", t).unwrap();
             })
         };
@@ -1084,5 +1151,29 @@ mod tests {
         let out = solve(Problem::Similarity, &a, &b, &SolverConfig::default());
         assert!(out.stats.steps >= 3);
         assert_eq!(out.stats.solutions, 1);
+    }
+
+    #[test]
+    fn solve_compiled_reuses_precompiled_graphs() {
+        // Compile once, match the same g1 against two partners — the
+        // amortized call pattern of similarity classification.
+        let a = triangle("a");
+        let b = triangle("b");
+        let c = g(|g| {
+            g.add_node("only", "N").unwrap();
+        });
+        let mut interner = Interner::new();
+        let ca = CompiledGraph::compile(&a, &mut interner);
+        let cb = CompiledGraph::compile(&b, &mut interner);
+        let cc = CompiledGraph::compile(&c, &mut interner);
+        let cfg = SolverConfig::default();
+        assert!(solve_compiled(Problem::Similarity, &ca, &cb, &cfg)
+            .matching
+            .is_some());
+        assert!(solve_compiled(Problem::Similarity, &ca, &cc, &cfg)
+            .matching
+            .is_none());
+        // And the wrapper agrees.
+        assert!(solve(Problem::Similarity, &a, &b, &cfg).matching.is_some());
     }
 }

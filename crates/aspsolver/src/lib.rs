@@ -22,6 +22,23 @@
 //! exact clingo programs from the paper for inspection and differential
 //! debugging.
 //!
+//! # Two engine paths
+//!
+//! The default entry points ([`solve`] and the `find_*` helpers) run on
+//! the **compiled path**: both graphs are interned into a shared
+//! [`provgraph::compiled::Interner`] and searched as
+//! [`provgraph::compiled::CompiledGraph`]s, so the hot loop touches only
+//! dense integers (see [`provgraph::compiled`] for the representation).
+//! Callers that match one graph against many partners — similarity
+//! classification, regression sweeps — should compile each graph once and
+//! call [`solve_compiled`] to amortize the interning pass.
+//!
+//! The legacy **string path** ([`solve_strings`]) searches
+//! [`PropertyGraph`] directly. It is retained as the reference
+//! implementation for differential tests and as the baseline of the
+//! solver ablation benchmark; both paths provably return identical
+//! outcomes (`tests/differential_compiled.rs`).
+//!
 //! # Example
 //!
 //! ```
@@ -52,10 +69,12 @@ pub mod asp;
 mod assignment;
 mod engine;
 mod matching;
+mod strpath;
 
 pub use assignment::min_cost_assignment;
-pub use engine::{solve, Problem, SolverConfig, SolverStats};
+pub use engine::{solve, solve_compiled, Problem, SolverConfig, SolverStats};
 pub use matching::{Matching, Outcome};
+pub use strpath::solve_strings;
 
 use provgraph::PropertyGraph;
 

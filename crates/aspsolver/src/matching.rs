@@ -27,8 +27,16 @@ impl Matching {
     /// Invert the matching (g2 → g1). Only meaningful for bijections.
     pub fn invert(&self) -> Matching {
         Matching {
-            node_map: self.node_map.iter().map(|(a, b)| (b.clone(), a.clone())).collect(),
-            edge_map: self.edge_map.iter().map(|(a, b)| (b.clone(), a.clone())).collect(),
+            node_map: self
+                .node_map
+                .iter()
+                .map(|(a, b)| (b.clone(), a.clone()))
+                .collect(),
+            edge_map: self
+                .edge_map
+                .iter()
+                .map(|(a, b)| (b.clone(), a.clone()))
+                .collect(),
             cost: self.cost,
         }
     }

@@ -1,0 +1,625 @@
+//! The legacy **string-path** solver: branch-and-bound search directly
+//! over [`PropertyGraph`], re-hashing `String` ids and probing
+//! `BTreeMap<String, String>` property dictionaries in the inner loop.
+//!
+//! The compiled path ([`crate::solve`]) replaced this as the default; the
+//! string path is kept verbatim (plus the neighbour-list construction
+//! fix) as
+//!
+//! 1. the **reference implementation** differential tests compare the
+//!    compiled engine against (`tests/differential_compiled.rs`), and
+//! 2. the **baseline** of the `ablation_solver` benchmark and the
+//!    `BENCH_solver.json` report, quantifying what interning buys.
+//!
+//! Do not add features here: new solver work goes into the compiled
+//! engine, and this module only changes when the *semantics* of the
+//! matching problems change.
+
+use std::collections::{BTreeMap, HashMap};
+
+use provgraph::{PropertyGraph, Props};
+
+use crate::assignment::{min_cost_assignment, FORBIDDEN};
+use crate::engine::{Problem, SolverConfig, SolverStats};
+use crate::matching::{Matching, Outcome};
+
+/// Solve `problem` over the string path (legacy reference engine).
+///
+/// Same contract as [`crate::solve`]; kept for differential testing and
+/// the solver ablation benchmarks.
+pub fn solve_strings(
+    problem: Problem,
+    g1: &PropertyGraph,
+    g2: &PropertyGraph,
+    config: &SolverConfig,
+) -> Outcome {
+    let mut outcome = Outcome {
+        matching: None,
+        optimal: true,
+        stats: SolverStats::default(),
+    };
+
+    // Global pre-checks that make the problem trivially infeasible.
+    if problem.bijective() {
+        if g1.node_count() != g2.node_count()
+            || g1.edge_count() != g2.edge_count()
+            || g1.node_label_multiset() != g2.node_label_multiset()
+            || g1.edge_label_multiset() != g2.edge_label_multiset()
+        {
+            return outcome;
+        }
+    } else {
+        if g1.node_count() > g2.node_count() || g1.edge_count() > g2.edge_count() {
+            return outcome;
+        }
+        if !multiset_leq(&g1.node_label_multiset(), &g2.node_label_multiset())
+            || !multiset_leq(&g1.edge_label_multiset(), &g2.edge_label_multiset())
+        {
+            return outcome;
+        }
+    }
+    if g1.node_count() == 0 {
+        // Possible only when g2 is also empty (bijective) or any g2
+        // (subgraph): the empty matching, with no edges to place.
+        outcome.matching = Some(Matching::default());
+        outcome.stats.solutions = 1;
+        return outcome;
+    }
+
+    let mut search = Search::new(problem, g1, g2, config);
+    search.run();
+    outcome.stats = search.stats;
+    outcome.optimal = !search.budget_exhausted;
+    outcome.matching = search.best.take().map(|(node_assign, edge_map, cost)| {
+        let node_map: BTreeMap<String, String> = node_assign
+            .iter()
+            .enumerate()
+            .map(|(i, &j)| (search.ids1[i].clone(), search.ids2[j].clone()))
+            .collect();
+        Matching {
+            node_map,
+            edge_map,
+            cost,
+        }
+    });
+    outcome
+}
+
+fn multiset_leq<T: Ord>(small: &[T], big: &[T]) -> bool {
+    // Both inputs are sorted; check small ⊆ big as multisets.
+    let mut i = 0;
+    for x in small {
+        while i < big.len() && big[i] < *x {
+            i += 1;
+        }
+        if i >= big.len() || big[i] != *x {
+            return false;
+        }
+        i += 1;
+    }
+    true
+}
+
+/// Per-node signature: for each (direction, edge label) the number of
+/// incident edges. Direction 0 = outgoing, 1 = incoming.
+type DegreeSig = BTreeMap<(u8, String), usize>;
+
+struct Search<'a> {
+    problem: Problem,
+    config: &'a SolverConfig,
+    g1: &'a PropertyGraph,
+    g2: &'a PropertyGraph,
+    ids1: Vec<String>,
+    ids2: Vec<String>,
+    idx2: HashMap<String, usize>,
+    /// adjacency label counts between node index pairs
+    adj1: HashMap<(usize, usize), BTreeMap<String, usize>>,
+    adj2: HashMap<(usize, usize), BTreeMap<String, usize>>,
+    /// neighbours of each g1 node (for forward checking)
+    neigh1: Vec<Vec<usize>>,
+    /// statically feasible candidates for each g1 node
+    candidates: Vec<Vec<usize>>,
+    /// pair costs for statically feasible pairs
+    pair_cost: HashMap<(usize, usize), u64>,
+    /// admissible per-node lower bound (min static pair cost)
+    node_min_cost: Vec<u64>,
+    /// admissible total lower bound contribution of all g1 edges
+    edge_cost_floor: u64,
+    // search state
+    assign: Vec<Option<usize>>,
+    used: Vec<bool>,
+    stats: SolverStats,
+    budget_exhausted: bool,
+    best: Option<(Vec<usize>, BTreeMap<String, String>, u64)>,
+    best_cost: u64,
+    /// global lower bound; reaching it allows immediate termination
+    global_floor: u64,
+}
+
+impl<'a> Search<'a> {
+    fn new(
+        problem: Problem,
+        g1: &'a PropertyGraph,
+        g2: &'a PropertyGraph,
+        config: &'a SolverConfig,
+    ) -> Self {
+        let ids1: Vec<String> = g1.nodes().map(|n| n.id.clone()).collect();
+        let ids2: Vec<String> = g2.nodes().map(|n| n.id.clone()).collect();
+        let idx1: HashMap<String, usize> = ids1
+            .iter()
+            .enumerate()
+            .map(|(i, id)| (id.clone(), i))
+            .collect();
+        let idx2: HashMap<String, usize> = ids2
+            .iter()
+            .enumerate()
+            .map(|(i, id)| (id.clone(), i))
+            .collect();
+
+        let mut adj1: HashMap<(usize, usize), BTreeMap<String, usize>> = HashMap::new();
+        let mut neigh1: Vec<Vec<usize>> = vec![Vec::new(); ids1.len()];
+        for e in g1.edges() {
+            let s = idx1[&e.src];
+            let t = idx1[&e.tgt];
+            *adj1
+                .entry((s, t))
+                .or_default()
+                .entry(e.label.as_str().to_owned())
+                .or_default() += 1;
+            neigh1[s].push(t);
+            neigh1[t].push(s);
+        }
+        // Sort + dedup instead of the old per-edge `Vec::contains` scan,
+        // which made neighbour-list construction quadratic in degree.
+        for list in &mut neigh1 {
+            list.sort_unstable();
+            list.dedup();
+        }
+        let mut adj2: HashMap<(usize, usize), BTreeMap<String, usize>> = HashMap::new();
+        for e in g2.edges() {
+            let s = idx2[&e.src];
+            let t = idx2[&e.tgt];
+            *adj2
+                .entry((s, t))
+                .or_default()
+                .entry(e.label.as_str().to_owned())
+                .or_default() += 1;
+        }
+
+        let sig = |g: &PropertyGraph, id: &str| -> DegreeSig {
+            let mut s = DegreeSig::new();
+            for e in g.out_edges(id) {
+                *s.entry((0, e.label.as_str().to_owned())).or_default() += 1;
+            }
+            for e in g.in_edges(id) {
+                *s.entry((1, e.label.as_str().to_owned())).or_default() += 1;
+            }
+            s
+        };
+        let sigs1: Vec<DegreeSig> = ids1.iter().map(|id| sig(g1, id)).collect();
+        let sigs2: Vec<DegreeSig> = ids2.iter().map(|id| sig(g2, id)).collect();
+
+        let bijective = problem.bijective();
+        let mut candidates: Vec<Vec<usize>> = Vec::with_capacity(ids1.len());
+        let mut pair_cost: HashMap<(usize, usize), u64> = HashMap::new();
+        let mut node_min_cost: Vec<u64> = Vec::with_capacity(ids1.len());
+        for (i, n1) in g1.nodes().enumerate() {
+            let mut cands = Vec::new();
+            let mut min_cost = u64::MAX;
+            for (j, n2) in g2.nodes().enumerate() {
+                if n1.label != n2.label {
+                    continue;
+                }
+                if problem == Problem::Isomorphism && n1.props != n2.props {
+                    continue;
+                }
+                if config.degree_filter {
+                    let ok = if bijective {
+                        sigs1[i] == sigs2[j]
+                    } else {
+                        sig_leq(&sigs1[i], &sigs2[j])
+                    };
+                    if !ok {
+                        continue;
+                    }
+                }
+                let cost = node_pair_cost(problem, &n1.props, &n2.props);
+                pair_cost.insert((i, j), cost);
+                min_cost = min_cost.min(cost);
+                cands.push(j);
+            }
+            if config.order_by_cost {
+                cands.sort_by_key(|&j| pair_cost[&(i, j)]);
+            }
+            node_min_cost.push(if min_cost == u64::MAX { 0 } else { min_cost });
+            candidates.push(cands);
+        }
+
+        // Admissible edge-cost floor: each g1 edge costs at least the
+        // minimum mismatch against any same-label g2 edge.
+        let mut edge_cost_floor = 0u64;
+        if problem.optimizing() {
+            for e1 in g1.edges() {
+                let mut min_c = u64::MAX;
+                for e2 in g2.edges() {
+                    if e1.label != e2.label {
+                        continue;
+                    }
+                    min_c = min_c.min(edge_pair_cost(problem, &e1.props, &e2.props));
+                }
+                if min_c != u64::MAX {
+                    edge_cost_floor += min_c;
+                }
+            }
+        }
+        let global_floor = node_min_cost.iter().sum::<u64>() + edge_cost_floor;
+
+        let n2 = ids2.len();
+        let n1 = ids1.len();
+        Search {
+            problem,
+            config,
+            g1,
+            g2,
+            ids1,
+            ids2,
+            idx2,
+            adj1,
+            adj2,
+            neigh1,
+            candidates,
+            pair_cost,
+            node_min_cost,
+            edge_cost_floor,
+            assign: vec![None; n1],
+            used: vec![false; n2],
+            stats: SolverStats::default(),
+            budget_exhausted: false,
+            best: None,
+            best_cost: u64::MAX,
+            global_floor,
+        }
+    }
+
+    fn run(&mut self) {
+        // A node with zero candidates makes the problem infeasible.
+        if self.candidates.iter().any(|c| c.is_empty()) {
+            return;
+        }
+        self.descend(0);
+    }
+
+    /// `depth` = number of assigned nodes so far.
+    fn descend(&mut self, depth: usize) -> bool {
+        if self.budget_exhausted {
+            return true;
+        }
+        if depth == self.assign.len() {
+            return self.complete();
+        }
+        let var = match self.select_variable() {
+            Some(v) => v,
+            None => return false, // some node has no remaining candidate
+        };
+        let cands = self.candidates[var].clone();
+        for j in cands {
+            if self.used[j] {
+                continue;
+            }
+            if self.config.forward_check && !self.consistent(var, j) {
+                continue;
+            }
+            self.stats.steps += 1;
+            if self.stats.steps > self.config.max_steps {
+                self.budget_exhausted = true;
+                return true;
+            }
+            if self.config.cost_bound && self.problem.optimizing() {
+                let bound = self.partial_cost_with(var, j) + self.remaining_floor(var);
+                if bound >= self.best_cost {
+                    continue;
+                }
+            }
+            self.assign[var] = Some(j);
+            self.used[j] = true;
+            let stop = self.descend(depth + 1);
+            self.assign[var] = None;
+            self.used[j] = false;
+            if stop {
+                return true;
+            }
+        }
+        self.stats.backtracks += 1;
+        false
+    }
+
+    /// Minimum-remaining-values with a preference for nodes adjacent to the
+    /// already-assigned frontier.
+    fn select_variable(&self) -> Option<usize> {
+        let mut best: Option<(usize, usize, usize)> = None; // (remaining, -adjacency, var)
+        for i in 0..self.assign.len() {
+            if self.assign[i].is_some() {
+                continue;
+            }
+            let mut remaining = 0usize;
+            for &j in &self.candidates[i] {
+                if !self.used[j] && (!self.config.forward_check || self.consistent(i, j)) {
+                    remaining += 1;
+                }
+            }
+            if remaining == 0 {
+                return None;
+            }
+            let adjacency = self.neigh1[i]
+                .iter()
+                .filter(|&&n| self.assign[n].is_some())
+                .count();
+            let key = (remaining, usize::MAX - adjacency, i);
+            if best.is_none_or(|b| key < b) {
+                best = Some(key);
+            }
+        }
+        best.map(|(_, _, v)| v)
+    }
+
+    /// Is mapping node `i` → `j` consistent with every assigned neighbour?
+    fn consistent(&self, i: usize, j: usize) -> bool {
+        for &n in &self.neigh1[i] {
+            let Some(jn) = self.assign[n] else { continue };
+            if !self.pair_edges_ok(i, n, j, jn) || !self.pair_edges_ok(n, i, jn, j) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Check edge-count compatibility for the ordered pair (a→b) vs (x→y).
+    fn pair_edges_ok(&self, a: usize, b: usize, x: usize, y: usize) -> bool {
+        let empty = BTreeMap::new();
+        let c1 = self.adj1.get(&(a, b)).unwrap_or(&empty);
+        let c2 = self.adj2.get(&(x, y)).unwrap_or(&empty);
+        if self.problem.bijective() {
+            c1 == c2
+        } else {
+            c1.iter()
+                .all(|(l, &n)| c2.get(l).copied().unwrap_or(0) >= n)
+        }
+    }
+
+    fn partial_cost_with(&self, var: usize, j: usize) -> u64 {
+        let mut cost = self.pair_cost[&(var, j)];
+        for (i, a) in self.assign.iter().enumerate() {
+            if let Some(jj) = a {
+                cost += self.pair_cost[&(i, *jj)];
+            }
+        }
+        cost
+    }
+
+    fn remaining_floor(&self, excluding: usize) -> u64 {
+        let mut floor = self.edge_cost_floor;
+        for (i, a) in self.assign.iter().enumerate() {
+            if a.is_none() && i != excluding {
+                floor += self.node_min_cost[i];
+            }
+        }
+        floor
+    }
+
+    /// All nodes assigned: place edges group-by-group and record solution.
+    /// Returns `true` when the search can stop globally.
+    fn complete(&mut self) -> bool {
+        let node_cost: u64 = self
+            .assign
+            .iter()
+            .enumerate()
+            .map(|(i, a)| self.pair_cost[&(i, a.expect("complete assignment"))])
+            .sum();
+        if self.problem.optimizing() && node_cost + self.edge_cost_floor >= self.best_cost {
+            return false;
+        }
+        let Some((edge_map, edge_cost)) = self.place_edges() else {
+            return false;
+        };
+        self.stats.solutions += 1;
+        let total = node_cost + edge_cost;
+        if total < self.best_cost {
+            self.best_cost = total;
+            let assign: Vec<usize> = self.assign.iter().map(|a| a.unwrap()).collect();
+            self.best = Some((assign, edge_map, total));
+        }
+        if !self.problem.optimizing() {
+            return true; // first feasible solution suffices
+        }
+        // Optimal as soon as we hit the admissible global floor.
+        self.best_cost <= self.global_floor
+    }
+
+    /// Assign g1 edges to g2 edges given the complete node map.
+    fn place_edges(&self) -> Option<(BTreeMap<String, String>, u64)> {
+        // Group g1 edges by mapped (src, tgt, label).
+        let mut groups1: BTreeMap<(usize, usize, String), Vec<&provgraph::EdgeData>> =
+            BTreeMap::new();
+        for e in self.g1.edges() {
+            let s = self.assign[self.node_index1(&e.src)].expect("assigned");
+            let t = self.assign[self.node_index1(&e.tgt)].expect("assigned");
+            groups1
+                .entry((s, t, e.label.as_str().to_owned()))
+                .or_default()
+                .push(e);
+        }
+        let mut groups2: BTreeMap<(usize, usize, String), Vec<&provgraph::EdgeData>> =
+            BTreeMap::new();
+        for e in self.g2.edges() {
+            let s = self.idx2[&e.src];
+            let t = self.idx2[&e.tgt];
+            groups2
+                .entry((s, t, e.label.as_str().to_owned()))
+                .or_default()
+                .push(e);
+        }
+        if self.problem.bijective() {
+            // Every g2 edge must be covered by an equal-size g1 group.
+            if groups1.len() != groups2.len() {
+                return None;
+            }
+            for (k, v2) in &groups2 {
+                if groups1.get(k).map(Vec::len) != Some(v2.len()) {
+                    return None;
+                }
+            }
+        }
+        let mut edge_map = BTreeMap::new();
+        let mut total_cost = 0u64;
+        for (key, es1) in &groups1 {
+            let es2 = groups2.get(key)?;
+            if es1.len() > es2.len() {
+                return None;
+            }
+            let cost_matrix: Vec<Vec<u64>> = es1
+                .iter()
+                .map(|e1| {
+                    es2.iter()
+                        .map(|e2| {
+                            if self.problem == Problem::Isomorphism && e1.props != e2.props {
+                                FORBIDDEN
+                            } else {
+                                edge_pair_cost(self.problem, &e1.props, &e2.props)
+                            }
+                        })
+                        .collect()
+                })
+                .collect();
+            let (cols, cost) = min_cost_assignment(&cost_matrix)?;
+            total_cost += cost;
+            for (row, col) in cols.into_iter().enumerate() {
+                edge_map.insert(es1[row].id.clone(), es2[col].id.clone());
+            }
+        }
+        Some((edge_map, total_cost))
+    }
+
+    fn node_index1(&self, id: &str) -> usize {
+        self.ids1
+            .iter()
+            .position(|x| x == id)
+            .expect("edge endpoint indexed")
+    }
+}
+
+fn symmetric_diff_count(p1: &Props, p2: &Props) -> u64 {
+    let mut n = 0u64;
+    for (k, v) in p1 {
+        if p2.get(k) != Some(v) {
+            n += 1;
+        }
+    }
+    for (k, v) in p2 {
+        if p1.get(k) != Some(v) {
+            n += 1;
+        }
+    }
+    n
+}
+
+fn one_sided_diff_count(p1: &Props, p2: &Props) -> u64 {
+    // Paper Listing 4: a g1 property costs 1 when the image either lacks
+    // the key or carries a different value.
+    p1.iter().filter(|(k, v)| p2.get(*k) != Some(*v)).count() as u64
+}
+
+fn node_pair_cost(problem: Problem, p1: &Props, p2: &Props) -> u64 {
+    match problem {
+        Problem::Similarity | Problem::Isomorphism => 0,
+        Problem::Generalization => symmetric_diff_count(p1, p2),
+        Problem::Subgraph => one_sided_diff_count(p1, p2),
+    }
+}
+
+fn edge_pair_cost(problem: Problem, p1: &Props, p2: &Props) -> u64 {
+    node_pair_cost(problem, p1, p2)
+}
+
+fn sig_leq(s1: &DegreeSig, s2: &DegreeSig) -> bool {
+    s1.iter()
+        .all(|(k, &n)| s2.get(k).copied().unwrap_or(0) >= n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle(prefix: &str) -> PropertyGraph {
+        let mut g = PropertyGraph::new();
+        for i in 0..3 {
+            g.add_node(format!("{prefix}{i}"), "N").unwrap();
+        }
+        for i in 0..3 {
+            g.add_edge(
+                format!("{prefix}e{i}"),
+                format!("{prefix}{i}"),
+                format!("{prefix}{}", (i + 1) % 3),
+                "r",
+            )
+            .unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn string_path_still_solves() {
+        let m = solve_strings(
+            Problem::Similarity,
+            &triangle("a"),
+            &triangle("b"),
+            &SolverConfig::default(),
+        )
+        .matching
+        .unwrap();
+        assert_eq!(m.node_map.len(), 3);
+        assert_eq!(m.edge_map.len(), 3);
+        assert_eq!(m.cost, 0);
+    }
+
+    #[test]
+    fn string_path_agrees_with_compiled_default() {
+        let mut b = triangle("b");
+        b.set_node_property("b1", "time", "42").unwrap();
+        let a = triangle("a");
+        let legacy = solve_strings(Problem::Generalization, &a, &b, &SolverConfig::default());
+        let compiled = crate::solve(Problem::Generalization, &a, &b, &SolverConfig::default());
+        assert_eq!(
+            legacy.matching.as_ref().map(|m| m.cost),
+            compiled.matching.as_ref().map(|m| m.cost)
+        );
+        assert_eq!(
+            legacy.matching.map(|m| m.node_map),
+            compiled.matching.map(|m| m.node_map)
+        );
+    }
+
+    #[test]
+    fn neighbour_lists_deduplicate_parallel_edges() {
+        // Two parallel edges between one pair: the neighbour fix must not
+        // change feasibility or witness shape.
+        let mk = |p: &str| {
+            let mut g = PropertyGraph::new();
+            g.add_node(format!("{p}a"), "N").unwrap();
+            g.add_node(format!("{p}b"), "N").unwrap();
+            g.add_edge(format!("{p}e1"), format!("{p}a"), format!("{p}b"), "r")
+                .unwrap();
+            g.add_edge(format!("{p}e2"), format!("{p}a"), format!("{p}b"), "r")
+                .unwrap();
+            g
+        };
+        let m = solve_strings(
+            Problem::Similarity,
+            &mk("x"),
+            &mk("y"),
+            &SolverConfig::default(),
+        )
+        .matching
+        .unwrap();
+        assert_eq!(m.edge_map.len(), 2);
+    }
+}

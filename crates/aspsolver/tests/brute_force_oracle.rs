@@ -4,7 +4,7 @@
 //! models the paper's ASP encodings (Listings 3 and 4) define.
 
 use proptest::prelude::*;
-use provgraph::{Props, PropertyGraph};
+use provgraph::{PropertyGraph, Props};
 
 fn arb_tiny_graph(max_nodes: usize) -> impl Strategy<Value = PropertyGraph> {
     let node_label = prop::sample::select(vec!["A", "B"]);
@@ -21,8 +21,13 @@ fn arb_tiny_graph(max_nodes: usize) -> impl Strategy<Value = PropertyGraph> {
             }
             let n = g.node_count();
             for (j, (s, t, l)) in edges.iter().enumerate() {
-                g.add_edge(format!("e{j}"), format!("n{}", s % n), format!("n{}", t % n), *l)
-                    .unwrap();
+                g.add_edge(
+                    format!("e{j}"),
+                    format!("n{}", s % n),
+                    format!("n{}", t % n),
+                    *l,
+                )
+                .unwrap();
             }
             for (i, k, v) in props {
                 g.set_node_property(&format!("n{}", i % n), k, v).unwrap();
@@ -123,7 +128,15 @@ fn brute_force_subgraph(g1: &PropertyGraph, g2: &PropertyGraph) -> Option<u64> {
         }
         let mut edge_used = vec![false; e2.len()];
         let mut local_best: Option<u64> = None;
-        edge_rec(0, &e1, &e2, &node_img, &mut edge_used, cost, &mut local_best);
+        edge_rec(
+            0,
+            &e1,
+            &e2,
+            &node_img,
+            &mut edge_used,
+            cost,
+            &mut local_best,
+        );
         if let Some(b) = local_best {
             best = Some(best.map_or(b, |x| x.min(b)));
         }

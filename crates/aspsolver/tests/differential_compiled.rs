@@ -1,0 +1,251 @@
+//! Differential property tests: the compiled (symbol-interned) engine and
+//! the legacy string-path engine must return **identical** outcomes —
+//! same feasibility verdict, same witness matching, same cost, same
+//! optimality flag — for every problem over randomly generated graphs.
+//!
+//! The two engines share candidate ordering, variable selection and edge
+//! placement logic by construction, so even witnesses (which are not
+//! unique in general) line up exactly; asserting full equality is what
+//! lets the string path serve as the reference implementation while the
+//! compiled path serves production traffic.
+
+use proptest::prelude::*;
+use provgraph::PropertyGraph;
+
+use aspsolver::{solve, solve_strings, Matching, Problem, SolverConfig};
+
+/// An arbitrary small multigraph with node and edge properties.
+fn arb_graph(max_nodes: usize) -> impl Strategy<Value = PropertyGraph> {
+    let node_label = prop::sample::select(vec!["P", "A", "E"]);
+    let edge_label = prop::sample::select(vec!["u", "g"]);
+    (
+        prop::collection::vec(node_label, 1..=max_nodes),
+        prop::collection::vec((0usize..8, 0usize..8, edge_label), 0..=8),
+        prop::collection::vec((0usize..8, "k[123]", "[abc]"), 0..=5),
+        prop::collection::vec((0usize..8, "t[12]", "[xy]"), 0..=4),
+    )
+        .prop_map(|(nodes, edges, node_props, edge_props)| {
+            let mut g = PropertyGraph::new();
+            for (i, label) in nodes.iter().enumerate() {
+                g.add_node(format!("n{i}"), *label).unwrap();
+            }
+            let n = g.node_count();
+            for (j, (s, t, label)) in edges.iter().enumerate() {
+                g.add_edge(
+                    format!("e{j}"),
+                    format!("n{}", s % n),
+                    format!("n{}", t % n),
+                    *label,
+                )
+                .unwrap();
+            }
+            for (i, k, v) in node_props {
+                g.set_node_property(&format!("n{}", i % n), k, v).unwrap();
+            }
+            let m = g.edge_count();
+            if m > 0 {
+                for (j, k, v) in edge_props {
+                    g.set_edge_property(&format!("e{}", j % m), k, v).unwrap();
+                }
+            }
+            g
+        })
+}
+
+/// A structurally identical copy with fresh ids, reversed insertion order
+/// and perturbed properties (drives the optimizing problems off the
+/// trivial zero-cost diagonal).
+fn relabel_perturbed(g: &PropertyGraph, perturb: bool) -> PropertyGraph {
+    let mut out = PropertyGraph::new();
+    let nodes: Vec<_> = g.nodes().collect();
+    for n in nodes.iter().rev() {
+        let mut copy = (*n).clone();
+        copy.id = format!("c_{}", n.id);
+        if perturb {
+            copy.props.insert("k1".to_owned(), "perturbed".to_owned());
+        }
+        out.add_node_data(copy).unwrap();
+    }
+    let edges: Vec<_> = g.edges().collect();
+    for e in edges.iter().rev() {
+        let mut copy = (*e).clone();
+        copy.id = format!("c_{}", e.id);
+        copy.src = format!("c_{}", e.src);
+        copy.tgt = format!("c_{}", e.tgt);
+        out.add_edge_data(copy).unwrap();
+    }
+    out
+}
+
+const ALL_PROBLEMS: [Problem; 4] = [
+    Problem::Similarity,
+    Problem::Isomorphism,
+    Problem::Generalization,
+    Problem::Subgraph,
+];
+
+/// Assert both engines produce the same outcome; returns the matching for
+/// further validity checks.
+fn assert_paths_agree(
+    problem: Problem,
+    g1: &PropertyGraph,
+    g2: &PropertyGraph,
+    config: &SolverConfig,
+) -> Option<Matching> {
+    let compiled = solve(problem, g1, g2, config);
+    let strings = solve_strings(problem, g1, g2, config);
+    assert_eq!(
+        compiled.optimal, strings.optimal,
+        "{problem:?}: optimality flags diverge"
+    );
+    assert_eq!(
+        compiled.matching.is_some(),
+        strings.matching.is_some(),
+        "{problem:?}: feasibility diverges"
+    );
+    match (&compiled.matching, &strings.matching) {
+        (Some(c), Some(s)) => {
+            assert_eq!(c.cost, s.cost, "{problem:?}: optima diverge");
+            assert_eq!(
+                c.node_map, s.node_map,
+                "{problem:?}: node witnesses diverge"
+            );
+            assert_eq!(
+                c.edge_map, s.edge_map,
+                "{problem:?}: edge witnesses diverge"
+            );
+        }
+        (None, None) => {}
+        _ => unreachable!("feasibility already compared"),
+    }
+    compiled.matching
+}
+
+/// Check a matching is a valid witness for `problem` (independent of
+/// either engine's internals).
+fn assert_valid_witness(problem: Problem, g1: &PropertyGraph, g2: &PropertyGraph, m: &Matching) {
+    assert_eq!(
+        m.node_map.len(),
+        g1.node_count(),
+        "{problem:?}: total on nodes"
+    );
+    assert_eq!(
+        m.edge_map.len(),
+        g1.edge_count(),
+        "{problem:?}: total on edges"
+    );
+    // Injectivity.
+    let images: std::collections::BTreeSet<&String> = m.node_map.values().collect();
+    assert_eq!(
+        images.len(),
+        m.node_map.len(),
+        "{problem:?}: node injectivity"
+    );
+    let eimages: std::collections::BTreeSet<&String> = m.edge_map.values().collect();
+    assert_eq!(
+        eimages.len(),
+        m.edge_map.len(),
+        "{problem:?}: edge injectivity"
+    );
+    if problem.bijective() {
+        assert_eq!(m.node_map.len(), g2.node_count(), "{problem:?}: onto nodes");
+        assert_eq!(m.edge_map.len(), g2.edge_count(), "{problem:?}: onto edges");
+    }
+    // Structure and label preservation.
+    for (id1, id2) in &m.node_map {
+        assert_eq!(
+            g1.node_label(id1),
+            g2.node_label(id2),
+            "{problem:?}: node label preserved"
+        );
+    }
+    for (e1, e2) in &m.edge_map {
+        let d1 = g1.edge(e1).unwrap();
+        let d2 = g2.edge(e2).unwrap();
+        assert_eq!(d1.label, d2.label, "{problem:?}: edge label preserved");
+        assert_eq!(
+            &m.node_map[&d1.src], &d2.src,
+            "{problem:?}: source preserved"
+        );
+        assert_eq!(
+            &m.node_map[&d1.tgt], &d2.tgt,
+            "{problem:?}: target preserved"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Identical outcomes on arbitrary (mostly infeasible) pairs.
+    #[test]
+    fn engines_agree_on_arbitrary_pairs(
+        g1 in arb_graph(4),
+        g2 in arb_graph(5),
+    ) {
+        for problem in ALL_PROBLEMS {
+            if let Some(m) = assert_paths_agree(problem, &g1, &g2, &SolverConfig::default()) {
+                assert_valid_witness(problem, &g1, &g2, &m);
+            }
+        }
+    }
+
+    /// Identical outcomes on relabelled copies (always feasible for the
+    /// bijective problems, so witnesses are actually exercised).
+    #[test]
+    fn engines_agree_on_relabelled_copies(g in arb_graph(6)) {
+        let h = relabel_perturbed(&g, false);
+        for problem in ALL_PROBLEMS {
+            let m = assert_paths_agree(problem, &g, &h, &SolverConfig::default())
+                .expect("relabelled copy must match");
+            assert_valid_witness(problem, &g, &h, &m);
+            if problem.optimizing() {
+                assert_eq!(m.cost, 0, "{problem:?}: identical copy at zero cost");
+            }
+        }
+    }
+
+    /// Identical outcomes (including nonzero optima) on property-perturbed
+    /// copies.
+    #[test]
+    fn engines_agree_on_perturbed_copies(g in arb_graph(5)) {
+        let h = relabel_perturbed(&g, true);
+        for problem in [Problem::Generalization, Problem::Subgraph] {
+            if let Some(m) = assert_paths_agree(problem, &g, &h, &SolverConfig::default()) {
+                assert_valid_witness(problem, &g, &h, &m);
+            }
+        }
+    }
+
+    /// The ablation configurations agree across engines too (they drive
+    /// different search orders, which must stay in lockstep).
+    #[test]
+    fn engines_agree_under_ablation_configs(g in arb_graph(4)) {
+        let h = relabel_perturbed(&g, true);
+        let configs = [
+            SolverConfig::naive(),
+            SolverConfig { degree_filter: false, ..SolverConfig::default() },
+            SolverConfig { forward_check: false, ..SolverConfig::default() },
+            SolverConfig { cost_bound: false, order_by_cost: false, ..SolverConfig::default() },
+        ];
+        for config in &configs {
+            for problem in ALL_PROBLEMS {
+                assert_paths_agree(problem, &g, &h, config);
+            }
+        }
+    }
+
+    /// Step/backtrack statistics line up as well — the compiled engine is
+    /// a representation change, not a search-order change.
+    #[test]
+    fn engines_explore_identically(g in arb_graph(5), h in arb_graph(5)) {
+        for problem in ALL_PROBLEMS {
+            let compiled = solve(problem, &g, &h, &SolverConfig::default());
+            let strings = solve_strings(problem, &g, &h, &SolverConfig::default());
+            prop_assert_eq!(
+                compiled.stats, strings.stats,
+                "{:?}: search statistics diverge", problem
+            );
+        }
+    }
+}

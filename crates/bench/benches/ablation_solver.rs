@@ -1,17 +1,29 @@
-//! Ablation: what each solver pruning rule buys (DESIGN.md §6).
+//! Ablation: what each solver pruning rule buys (DESIGN.md §6), and what
+//! the compiled (symbol-interned) representation buys over the legacy
+//! string path.
 //!
 //! Compares the default configuration (degree filter + forward checking +
 //! cost bound + value ordering) against partially and fully disabled
 //! variants on real pipeline workloads: the generalization matching of two
 //! SPADE execve trials (the paper's slowest SPADE generalization) and the
-//! background→foreground subgraph matching for scale4.
+//! background→foreground subgraph matching for scale4. Every (workload,
+//! config) cell runs on **both engine paths** — `compiled` is
+//! [`aspsolver::solve`], `strings` is the reference
+//! [`aspsolver::solve_strings`] — so the interning ablation composes with
+//! the pruning-rule ablation. `bench_solver` (a `src/bin` tool) distills
+//! the same comparison into `BENCH_solver.json` for CI.
 
+use aspsolver::{solve, solve_strings, Outcome, Problem, SolverConfig};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use aspsolver::{solve, Problem, SolverConfig};
+use provgraph::PropertyGraph;
 use provmark_bench::{prepare_generalized, prepare_trial_graphs};
 use provmark_core::scale::scale_spec;
 use provmark_core::suite;
 use provmark_core::tool::ToolKind;
+
+/// The two engine paths under comparison.
+type SolveFn = fn(Problem, &PropertyGraph, &PropertyGraph, &SolverConfig) -> Outcome;
+const PATHS: [(&str, SolveFn); 2] = [("compiled", solve), ("strings", solve_strings)];
 
 fn configs() -> Vec<(&'static str, SolverConfig)> {
     vec![
@@ -49,32 +61,41 @@ fn bench(c: &mut Criterion) {
     // Workload 1: generalization matching of two execve foreground trials.
     let spec = suite::spec("execve").expect("execve in suite");
     let (_, fg_trials) = prepare_trial_graphs(ToolKind::Spade, &spec, 2);
-    for (label, config) in configs() {
-        group.bench_with_input(
-            BenchmarkId::new("generalize_execve", label),
-            &config,
-            |b, config| {
-                b.iter(|| {
-                    let out = solve(Problem::Generalization, &fg_trials[0], &fg_trials[1], config);
-                    assert!(out.matching.is_some());
-                })
-            },
-        );
+    for (path, solve_fn) in PATHS {
+        for (label, config) in configs() {
+            group.bench_with_input(
+                BenchmarkId::new("generalize_execve", format!("{path}/{label}")),
+                &config,
+                |b, config| {
+                    b.iter(|| {
+                        let out = solve_fn(
+                            Problem::Generalization,
+                            &fg_trials[0],
+                            &fg_trials[1],
+                            config,
+                        );
+                        assert!(out.matching.is_some());
+                    })
+                },
+            );
+        }
     }
 
     // Workload 2: subgraph matching for the scale4 benchmark.
     let (bg, fg) = prepare_generalized(ToolKind::Spade, &scale_spec(4));
-    for (label, config) in configs() {
-        group.bench_with_input(
-            BenchmarkId::new("subgraph_scale4", label),
-            &config,
-            |b, config| {
-                b.iter(|| {
-                    let out = solve(Problem::Subgraph, &bg, &fg, config);
-                    assert!(out.matching.is_some());
-                })
-            },
-        );
+    for (path, solve_fn) in PATHS {
+        for (label, config) in configs() {
+            group.bench_with_input(
+                BenchmarkId::new("subgraph_scale4", format!("{path}/{label}")),
+                &config,
+                |b, config| {
+                    b.iter(|| {
+                        let out = solve_fn(Problem::Subgraph, &bg, &fg, config);
+                        assert!(out.matching.is_some());
+                    })
+                },
+            );
+        }
     }
     group.finish();
 }

@@ -13,16 +13,12 @@ fn bench(c: &mut Criterion) {
     let spec = suite::spec("creat").expect("creat in suite");
     for trials in [2usize, 4, 6] {
         let opts = BenchmarkOptions::with_trials(trials);
-        group.bench_with_input(
-            BenchmarkId::new("creat_spade", trials),
-            &opts,
-            |b, opts| {
-                b.iter(|| {
-                    let mut tool = harness_tool(ToolKind::Spade);
-                    pipeline::run_benchmark(&mut tool, &spec, opts).expect("pipeline runs")
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("creat_spade", trials), &opts, |b, opts| {
+            b.iter(|| {
+                let mut tool = harness_tool(ToolKind::Spade);
+                pipeline::run_benchmark(&mut tool, &spec, opts).expect("pipeline runs")
+            })
+        });
         // With noise, extra trials are what makes results stable.
         let noisy = BenchmarkOptions {
             trials,

@@ -23,13 +23,17 @@ fn bench(c: &mut Criterion) {
         });
 
         let texts = native_texts(ToolKind::Spade, &spec, 2);
-        group.bench_with_input(BenchmarkId::new("transformation", name), &texts, |b, texts| {
-            b.iter(|| {
-                for t in texts {
-                    provgraph::dot::parse_dot(t).expect("dot parses");
-                }
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("transformation", name),
+            &texts,
+            |b, texts| {
+                b.iter(|| {
+                    for t in texts {
+                        provgraph::dot::parse_dot(t).expect("dot parses");
+                    }
+                })
+            },
+        );
 
         let (bg, fg) = prepare_trial_graphs(ToolKind::Spade, &spec, 2);
         group.bench_with_input(
@@ -44,9 +48,11 @@ fn bench(c: &mut Criterion) {
         );
 
         let pair = prepare_generalized(ToolKind::Spade, &spec);
-        group.bench_with_input(BenchmarkId::new("comparison", name), &pair, |b, (bg, fg)| {
-            b.iter(|| compare::compare(bg, fg).expect("background embeds"))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("comparison", name),
+            &pair,
+            |b, (bg, fg)| b.iter(|| compare::compare(bg, fg).expect("background embeds")),
+        );
     }
     group.finish();
 }

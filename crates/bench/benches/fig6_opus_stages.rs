@@ -24,13 +24,17 @@ fn bench(c: &mut Criterion) {
 
         // Transformation = Neo4j warmup + query + parse; the store is
         // rebuilt outside the timed section.
-        group.bench_with_input(BenchmarkId::new("transformation", name), &spec, |b, spec| {
-            b.iter_batched(
-                || prepare_opus_store(spec, 33),
-                |mut store| store.export().expect("store exports"),
-                BatchSize::PerIteration,
-            )
-        });
+        group.bench_with_input(
+            BenchmarkId::new("transformation", name),
+            &spec,
+            |b, spec| {
+                b.iter_batched(
+                    || prepare_opus_store(spec, 33),
+                    |mut store| store.export().expect("store exports"),
+                    BatchSize::PerIteration,
+                )
+            },
+        );
 
         let (bg, fg) = prepare_trial_graphs(ToolKind::Opus, &spec, 2);
         group.bench_with_input(
@@ -45,9 +49,11 @@ fn bench(c: &mut Criterion) {
         );
 
         let pair = prepare_generalized(ToolKind::Opus, &spec);
-        group.bench_with_input(BenchmarkId::new("comparison", name), &pair, |b, (bg, fg)| {
-            b.iter(|| compare::compare(bg, fg).expect("background embeds"))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("comparison", name),
+            &pair,
+            |b, (bg, fg)| b.iter(|| compare::compare(bg, fg).expect("background embeds")),
+        );
     }
     group.finish();
 }

@@ -21,13 +21,17 @@ fn bench(c: &mut Criterion) {
         });
 
         let texts = native_texts(ToolKind::CamFlow, &spec, 2);
-        group.bench_with_input(BenchmarkId::new("transformation", name), &texts, |b, texts| {
-            b.iter(|| {
-                for t in texts {
-                    provgraph::provjson::parse_provjson(t).expect("prov-json parses");
-                }
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("transformation", name),
+            &texts,
+            |b, texts| {
+                b.iter(|| {
+                    for t in texts {
+                        provgraph::provjson::parse_provjson(t).expect("prov-json parses");
+                    }
+                })
+            },
+        );
 
         let (bg, fg) = prepare_trial_graphs(ToolKind::CamFlow, &spec, 2);
         group.bench_with_input(
@@ -42,9 +46,11 @@ fn bench(c: &mut Criterion) {
         );
 
         let pair = prepare_generalized(ToolKind::CamFlow, &spec);
-        group.bench_with_input(BenchmarkId::new("comparison", name), &pair, |b, (bg, fg)| {
-            b.iter(|| compare::compare(bg, fg).expect("background embeds"))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("comparison", name),
+            &pair,
+            |b, (bg, fg)| b.iter(|| compare::compare(bg, fg).expect("background embeds")),
+        );
     }
     group.finish();
 }

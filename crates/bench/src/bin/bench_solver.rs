@@ -1,0 +1,235 @@
+//! Solver engine-path benchmark: string path vs compiled path, reported
+//! as `BENCH_solver.json`.
+//!
+//! Runs the `ablation_solver` workloads — the generalization matching of
+//! two SPADE execve foreground trials, the background→foreground subgraph
+//! matching for scale4, and the same for scale8 — on both engine paths
+//! under the default configuration, verifies the outcomes are identical,
+//! and writes before/after timings.
+//!
+//! Two "after" numbers are reported per workload:
+//!
+//! - `compiled_oneshot_ms` — [`aspsolver::solve`]: compile both graphs
+//!   into the warm thread interner, then search. The cost a cold caller
+//!   pays.
+//! - `compiled_amortized_ms` — [`aspsolver::solve_compiled`] on
+//!   pre-compiled graphs: the pipeline's steady-state pattern (similarity
+//!   classification compiles each trial once and confirms it against
+//!   many class representatives). This is the solver hot path the
+//!   compiled representation exists for, and the number the `--min-speedup`
+//!   gate applies to.
+//!
+//! The string path has no compile stage to amortize — re-deriving
+//! adjacency tables, degree signatures and property comparisons from
+//! heap strings on every call is exactly the work the compiled
+//! representation eliminates.
+//!
+//! ```text
+//! bench_solver [--out PATH] [--min-speedup X] [--reps N]
+//! ```
+//!
+//! Exits nonzero when the paths disagree on any outcome, or when
+//! `--min-speedup` is given and any workload's amortized speedup falls
+//! below it (the CI gate).
+
+use std::time::Instant;
+
+use aspsolver::{solve, solve_compiled, solve_strings, Problem, SolverConfig};
+use provgraph::compiled::{CompiledGraph, Interner};
+use provgraph::PropertyGraph;
+use provmark_bench::{prepare_generalized, prepare_trial_graphs};
+use provmark_core::scale::scale_spec;
+use provmark_core::suite;
+use provmark_core::tool::ToolKind;
+use serde_json::{Map, Value};
+
+struct Workload {
+    name: &'static str,
+    problem: Problem,
+    g1: PropertyGraph,
+    g2: PropertyGraph,
+}
+
+fn workloads() -> Vec<Workload> {
+    let spec = suite::spec("execve").expect("execve in suite");
+    let (_, fg_trials) = prepare_trial_graphs(ToolKind::Spade, &spec, 2);
+    let mut trials = fg_trials.into_iter();
+    let g1 = trials.next().expect("two trials");
+    let g2 = trials.next().expect("two trials");
+    let (bg4, fg4) = prepare_generalized(ToolKind::Spade, &scale_spec(4));
+    let (bg8, fg8) = prepare_generalized(ToolKind::Spade, &scale_spec(8));
+    vec![
+        Workload {
+            name: "generalize_execve",
+            problem: Problem::Generalization,
+            g1,
+            g2,
+        },
+        Workload {
+            name: "subgraph_scale4",
+            problem: Problem::Subgraph,
+            g1: bg4,
+            g2: fg4,
+        },
+        Workload {
+            name: "subgraph_scale8",
+            problem: Problem::Subgraph,
+            g1: bg8,
+            g2: fg8,
+        },
+    ]
+}
+
+/// Median wall-clock seconds of `reps` runs (after one warm-up).
+fn median_secs<T>(reps: usize, mut run: impl FnMut() -> T) -> f64 {
+    std::hint::black_box(run());
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            std::hint::black_box(run());
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let mut out_path = "BENCH_solver.json".to_owned();
+    let mut min_speedup: Option<f64> = None;
+    let mut reps = 25usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            "--min-speedup" => {
+                min_speedup = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--min-speedup needs a number"),
+                )
+            }
+            "--reps" => {
+                reps = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--reps needs a count")
+            }
+            other => {
+                eprintln!("unknown argument `{other}`");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let config = SolverConfig::default();
+    let mut rows = Vec::new();
+    let mut disagreements = 0usize;
+    println!(
+        "{:<20} {:>13} {:>13} {:>13} {:>9} {:>9}",
+        "workload", "strings (ms)", "oneshot (ms)", "amortized", "1shot ×", "amort ×"
+    );
+    for w in workloads() {
+        // Differential check first: identical outcomes on this workload.
+        let compiled = solve(w.problem, &w.g1, &w.g2, &config);
+        let strings = solve_strings(w.problem, &w.g1, &w.g2, &config);
+        let agree = compiled.optimal == strings.optimal && compiled.matching == strings.matching;
+        if !agree {
+            eprintln!("{}: engine paths DISAGREE — not publishing timings", w.name);
+            disagreements += 1;
+            continue;
+        }
+        assert!(
+            compiled.optimal,
+            "benchmark workloads must solve to optimality"
+        );
+        let cost = compiled.matching.as_ref().map(|m| m.cost);
+
+        let strings_s = median_secs(reps, || solve_strings(w.problem, &w.g1, &w.g2, &config));
+        let oneshot_s = median_secs(reps, || solve(w.problem, &w.g1, &w.g2, &config));
+        let mut interner = Interner::new();
+        let c1 = CompiledGraph::compile(&w.g1, &mut interner);
+        let c2 = CompiledGraph::compile(&w.g2, &mut interner);
+        let amortized_s = median_secs(reps, || solve_compiled(w.problem, &c1, &c2, &config));
+        let oneshot_x = strings_s / oneshot_s;
+        let amortized_x = strings_s / amortized_s;
+        println!(
+            "{:<20} {:>13.3} {:>13.3} {:>13.3} {:>8.2}x {:>8.2}x",
+            w.name,
+            strings_s * 1e3,
+            oneshot_s * 1e3,
+            amortized_s * 1e3,
+            oneshot_x,
+            amortized_x
+        );
+
+        let mut row = Map::new();
+        row.insert("name".into(), Value::String(w.name.into()));
+        row.insert("problem".into(), Value::String(format!("{:?}", w.problem)));
+        row.insert("g1_size".into(), Value::Number(w.g1.size() as f64));
+        row.insert("g2_size".into(), Value::Number(w.g2.size() as f64));
+        row.insert("strings_ms".into(), Value::Number(strings_s * 1e3));
+        row.insert("compiled_oneshot_ms".into(), Value::Number(oneshot_s * 1e3));
+        row.insert(
+            "compiled_amortized_ms".into(),
+            Value::Number(amortized_s * 1e3),
+        );
+        row.insert("oneshot_speedup".into(), Value::Number(oneshot_x));
+        row.insert("amortized_speedup".into(), Value::Number(amortized_x));
+        row.insert(
+            "matching_cost".into(),
+            cost.map_or(Value::Null, |c| Value::Number(c as f64)),
+        );
+        row.insert("outcomes_identical".into(), Value::Bool(true));
+        rows.push((amortized_x, oneshot_x, Value::Object(row)));
+    }
+
+    if disagreements > 0 {
+        std::process::exit(1);
+    }
+
+    let min_amortized = rows.iter().map(|r| r.0).fold(f64::INFINITY, f64::min);
+    let min_oneshot = rows.iter().map(|r| r.1).fold(f64::INFINITY, f64::min);
+    let geomean_amortized = (rows.iter().map(|r| r.0.ln()).sum::<f64>() / rows.len() as f64).exp();
+
+    let mut doc = Map::new();
+    doc.insert("bench".into(), Value::String("solver_path_ablation".into()));
+    doc.insert(
+        "description".into(),
+        Value::String(
+            "aspsolver string path (before) vs compiled symbol-interned path (after), \
+             default SolverConfig, median wall-clock. `amortized` = solve_compiled on \
+             pre-compiled graphs, the pipeline's steady-state call pattern; `oneshot` \
+             includes compiling both graphs"
+                .into(),
+        ),
+    );
+    doc.insert("reps".into(), Value::Number(reps as f64));
+    doc.insert(
+        "workloads".into(),
+        Value::Array(rows.into_iter().map(|r| r.2).collect()),
+    );
+    let mut summary = Map::new();
+    summary.insert("min_amortized_speedup".into(), Value::Number(min_amortized));
+    summary.insert("min_oneshot_speedup".into(), Value::Number(min_oneshot));
+    summary.insert(
+        "geomean_amortized_speedup".into(),
+        Value::Number(geomean_amortized),
+    );
+    doc.insert("summary".into(), Value::Object(summary));
+
+    let text = serde_json::to_string_pretty(&Value::Object(doc)).expect("report serializes");
+    std::fs::write(&out_path, text).expect("report written");
+    println!(
+        "wrote {out_path} (min amortized {min_amortized:.2}x, geomean {geomean_amortized:.2}x, min oneshot {min_oneshot:.2}x)"
+    );
+
+    if let Some(required) = min_speedup {
+        if min_amortized < required {
+            eprintln!(
+                "FAIL: min amortized speedup {min_amortized:.2}x below required {required:.2}x"
+            );
+            std::process::exit(1);
+        }
+    }
+}

@@ -10,7 +10,10 @@ use provmark_core::BenchmarkOptions;
 
 fn main() {
     println!("ProvMark expressiveness benchmark — paper Table 2 reproduction");
-    println!("(44 syscalls × 3 recorders, {} trials per program variant)\n", 2);
+    println!(
+        "(44 syscalls × 3 recorders, {} trials per program variant)\n",
+        2
+    );
     let rows = provmark_bench::table2_rows(&BenchmarkOptions::default());
     let rendered: Vec<_> = rows
         .iter()

@@ -36,23 +36,55 @@ fn count_code_lines(path: &Path) -> usize {
 fn count_files(paths: &[&str]) -> usize {
     paths
         .iter()
-        .map(|p| count_code_lines(Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").join(p).as_path()))
+        .map(|p| {
+            count_code_lines(
+                Path::new(env!("CARGO_MANIFEST_DIR"))
+                    .join("../..")
+                    .join(p)
+                    .as_path(),
+            )
+        })
         .sum()
 }
 
 fn main() {
     println!("ProvMark — paper Table 4 analogue (module sizes, lines of Rust)\n");
     let recording = [
-        ("SPADE (DOT)", count_files(&["crates/spade/src/recorder.rs", "crates/spade/src/filters.rs", "crates/spade/src/lib.rs"])),
-        ("OPUS (Neo4j)", count_files(&["crates/opus/src/recorder.rs", "crates/opus/src/lib.rs"])),
-        ("CamFlow (PROV-JSON)", count_files(&["crates/camflow/src/recorder.rs", "crates/camflow/src/lib.rs"])),
+        (
+            "SPADE (DOT)",
+            count_files(&[
+                "crates/spade/src/recorder.rs",
+                "crates/spade/src/filters.rs",
+                "crates/spade/src/lib.rs",
+            ]),
+        ),
+        (
+            "OPUS (Neo4j)",
+            count_files(&["crates/opus/src/recorder.rs", "crates/opus/src/lib.rs"]),
+        ),
+        (
+            "CamFlow (PROV-JSON)",
+            count_files(&[
+                "crates/camflow/src/recorder.rs",
+                "crates/camflow/src/lib.rs",
+            ]),
+        ),
     ];
     let transformation = [
         ("SPADE (DOT)", count_files(&["crates/provgraph/src/dot.rs"])),
-        ("OPUS (Neo4j)", count_files(&["crates/opus/src/neo4jsim.rs"])),
-        ("CamFlow (PROV-JSON)", count_files(&["crates/provgraph/src/provjson.rs"])),
+        (
+            "OPUS (Neo4j)",
+            count_files(&["crates/opus/src/neo4jsim.rs"]),
+        ),
+        (
+            "CamFlow (PROV-JSON)",
+            count_files(&["crates/provgraph/src/provjson.rs"]),
+        ),
     ];
-    println!("{:<24} {:>12} {:>16}", "Module", "Recording", "Transformation");
+    println!(
+        "{:<24} {:>12} {:>16}",
+        "Module", "Recording", "Transformation"
+    );
     for ((name, rec), (_, tr)) in recording.iter().zip(&transformation) {
         println!("{name:<24} {rec:>12} {tr:>16}");
     }

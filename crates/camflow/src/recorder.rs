@@ -3,7 +3,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use oskernel::{EventLog, LsmEvent, LsmHook, LsmObject, Pid};
-use provgraph::{Props, PropertyGraph};
+use provgraph::{PropertyGraph, Props};
 use serde_json::{json, Map, Value};
 
 use crate::CamFlowConfig;
@@ -143,8 +143,11 @@ impl CamFlowRecorder {
             // Not recorded in 0.4.5 (Table 2: symlink/mknod/pipe empty NR;
             // kill/exit invisible; close's file_free lands outside the
             // recording window).
-            LsmHook::InodeSymlink | LsmHook::InodeMknod | LsmHook::TaskKill
-                | LsmHook::TaskFree | LsmHook::FileFree
+            LsmHook::InodeSymlink
+                | LsmHook::InodeMknod
+                | LsmHook::TaskKill
+                | LsmHook::TaskFree
+                | LsmHook::FileFree
         )
     }
 }
@@ -246,7 +249,13 @@ impl<'a> Session<'a> {
 
     /// Current entity node for an inode object.
     fn inode_entity(&mut self, obj: &LsmObject, ev: &LsmEvent) -> Option<String> {
-        let LsmObject::Inode { ino, kind, mode, uid } = obj else {
+        let LsmObject::Inode {
+            ino,
+            kind,
+            mode,
+            uid,
+        } = obj
+        else {
             return None;
         };
         let key = ObjKey::Inode(ev.boot, *ino);
@@ -266,7 +275,13 @@ impl<'a> Session<'a> {
     /// New version of an inode entity (write, setattr).
     fn new_inode_version(&mut self, obj: &LsmObject, ev: &LsmEvent) -> Option<String> {
         let old = self.inode_entity(obj, ev)?;
-        let LsmObject::Inode { ino, kind, mode, uid } = obj else {
+        let LsmObject::Inode {
+            ino,
+            kind,
+            mode,
+            uid,
+        } = obj
+        else {
             return None;
         };
         let key = ObjKey::Inode(ev.boot, *ino);
@@ -314,8 +329,7 @@ impl<'a> Session<'a> {
         match ev.hook {
             LsmHook::FileOpen => {
                 let task = self.task(ev);
-                let Some(inode) = ev.objects.first().and_then(|o| self.inode_entity(o, ev))
-                else {
+                let Some(inode) = ev.objects.first().and_then(|o| self.inode_entity(o, ev)) else {
                     return;
                 };
                 if let Some(LsmObject::Path { path }) = ev.objects.get(1) {
@@ -367,8 +381,7 @@ impl<'a> Session<'a> {
             }
             LsmHook::InodeLink => {
                 let task = self.task(ev);
-                let Some(inode) = ev.objects.first().and_then(|o| self.inode_entity(o, ev))
-                else {
+                let Some(inode) = ev.objects.first().and_then(|o| self.inode_entity(o, ev)) else {
                     return;
                 };
                 if let Some(LsmObject::Path { path }) = ev.objects.get(1) {
@@ -383,8 +396,7 @@ impl<'a> Session<'a> {
                 // associated with the file object; the old path does not
                 // appear in the benchmark result" (paper §4.1).
                 let task = self.task(ev);
-                let Some(inode) = ev.objects.first().and_then(|o| self.inode_entity(o, ev))
-                else {
+                let Some(inode) = ev.objects.first().and_then(|o| self.inode_entity(o, ev)) else {
                     return;
                 };
                 if let Some(LsmObject::Path { path }) = ev.objects.get(2) {
@@ -482,7 +494,9 @@ impl<'a> Session<'a> {
         let mut skipped: Vec<String> = Vec::new();
         let new_set: BTreeSet<&String> = new_nodes.iter().collect();
         for id in &referenced {
-            let Some(node) = daemon.nodes.get(id) else { continue };
+            let Some(node) = daemon.nodes.get(id) else {
+                continue;
+            };
             if new_set.contains(id) || !daemon.serialized.contains(id) {
                 emit.push(node);
             } else if daemon.config.reserialize_workaround {
@@ -569,10 +583,7 @@ mod tests {
             .unwrap()
     }
 
-    fn edge_with_type<'a>(
-        g: &'a PropertyGraph,
-        cf_type: &str,
-    ) -> Option<&'a provgraph::EdgeData> {
+    fn edge_with_type<'a>(g: &'a PropertyGraph, cf_type: &str) -> Option<&'a provgraph::EdgeData> {
         g.edges()
             .find(|e| e.props.get("cf:type").map(String::as_str) == Some(cf_type))
     }
@@ -598,8 +609,14 @@ mod tests {
     #[test]
     fn rename_adds_new_path_old_path_absent_from_activity() {
         let g = graph(
-            vec![Op::Rename { old: "a".into(), new: "b".into() }],
-            vec![SetupAction::CreateFile { path: "/staging/a".into(), mode: 0o644 }],
+            vec![Op::Rename {
+                old: "a".into(),
+                new: "b".into(),
+            }],
+            vec![SetupAction::CreateFile {
+                path: "/staging/a".into(),
+                mode: 0o644,
+            }],
         );
         let rename_edge = edge_with_type(&g, "rename").expect("rename recorded");
         let new_path = g.node(&rename_edge.src).unwrap();
@@ -622,11 +639,20 @@ mod tests {
     fn denied_operations_not_recorded_by_default() {
         let ops = vec![
             Op::Setuid { uid: 1000 },
-            Op::RenameExpectFailure { old: "mine".into(), new: "/etc/passwd".into() },
+            Op::RenameExpectFailure {
+                old: "mine".into(),
+                new: "/etc/passwd".into(),
+            },
         ];
-        let setup = vec![SetupAction::CreateFile { path: "/staging/mine".into(), mode: 0o644 }];
+        let setup = vec![SetupAction::CreateFile {
+            path: "/staging/mine".into(),
+            mode: 0o644,
+        }];
         let g = graph(ops.clone(), setup.clone());
-        assert!(edge_with_type(&g, "rename").is_none(), "denied rename dropped");
+        assert!(
+            edge_with_type(&g, "rename").is_none(),
+            "denied rename dropped"
+        );
         // With the extension enabled, the denied hook is visible.
         let kernel = run_log(ops, setup, 1);
         let mut rec = CamFlowRecorder::new(CamFlowConfig {
@@ -641,12 +667,24 @@ mod tests {
     fn symlink_and_mknod_not_recorded() {
         let base = graph(vec![], vec![]);
         let sym = graph(
-            vec![Op::Symlink { target: "/staging/x".into(), linkpath: "s".into() }],
-            vec![SetupAction::CreateFile { path: "/staging/x".into(), mode: 0o644 }],
+            vec![Op::Symlink {
+                target: "/staging/x".into(),
+                linkpath: "s".into(),
+            }],
+            vec![SetupAction::CreateFile {
+                path: "/staging/x".into(),
+                mode: 0o644,
+            }],
         );
         // Setup file never touched during recording; symlink unhandled.
         assert_eq!(sym.size(), base.size(), "symlink empty (NR) in 0.4.5");
-        let mk = graph(vec![Op::Mknod { path: "f".into(), mode: 0o644 }], vec![]);
+        let mk = graph(
+            vec![Op::Mknod {
+                path: "f".into(),
+                mode: 0o644,
+            }],
+            vec![],
+        );
         assert_eq!(mk.size(), base.size(), "mknod empty (NR)");
     }
 
@@ -654,16 +692,32 @@ mod tests {
     fn pipe_unrecorded_tee_recorded() {
         let base = graph(vec![], vec![]);
         let pipe = graph(
-            vec![Op::PipeOp { read_var: "r".into(), write_var: "w".into() }],
+            vec![Op::PipeOp {
+                read_var: "r".into(),
+                write_var: "w".into(),
+            }],
             vec![],
         );
         assert_eq!(pipe.size(), base.size(), "pipe empty (NR)");
         let tee = graph(
             vec![
-                Op::PipeOp { read_var: "r1".into(), write_var: "w1".into() },
-                Op::Pipe2Op { read_var: "r2".into(), write_var: "w2".into() },
-                Op::Write { fd_var: "w1".into(), len: 4 },
-                Op::Tee { in_var: "r1".into(), out_var: "w2".into(), len: 4 },
+                Op::PipeOp {
+                    read_var: "r1".into(),
+                    write_var: "w1".into(),
+                },
+                Op::Pipe2Op {
+                    read_var: "r2".into(),
+                    write_var: "w2".into(),
+                },
+                Op::Write {
+                    fd_var: "w1".into(),
+                    len: 4,
+                },
+                Op::Tee {
+                    in_var: "r1".into(),
+                    out_var: "w2".into(),
+                    len: 4,
+                },
             ],
             vec![],
         );
@@ -674,7 +728,11 @@ mod tests {
     fn setid_family_always_recorded_even_without_change() {
         let base = graph(vec![], vec![]);
         let g = graph(
-            vec![Op::Setresgid { rgid: Some(0), egid: Some(0), sgid: Some(0) }],
+            vec![Op::Setresgid {
+                rgid: Some(0),
+                egid: Some(0),
+                sgid: Some(0),
+            }],
             vec![],
         );
         assert!(
@@ -696,8 +754,14 @@ mod tests {
                     mode: 0o644,
                     fd_var: "id".into(),
                 },
-                Op::Write { fd_var: "id".into(), len: 5 },
-                Op::Write { fd_var: "id".into(), len: 5 },
+                Op::Write {
+                    fd_var: "id".into(),
+                    len: 5,
+                },
+                Op::Write {
+                    fd_var: "id".into(),
+                    len: 5,
+                },
             ],
             vec![],
         );
@@ -711,10 +775,8 @@ mod tests {
     #[test]
     fn fork_connects_tasks() {
         let g = graph(vec![Op::Fork { child: vec![] }], vec![]);
-        assert!(g
-            .edges()
-            .any(|e| e.label.as_str() == "wasInformedBy"
-                && e.props.get("cf:type").map(String::as_str) == Some("fork")));
+        assert!(g.edges().any(|e| e.label.as_str() == "wasInformedBy"
+            && e.props.get("cf:type").map(String::as_str) == Some("fork")));
     }
 
     #[test]
@@ -757,7 +819,11 @@ mod tests {
     #[test]
     fn workaround_keeps_sessions_parseable_and_similar() {
         let mut rec = CamFlowRecorder::baseline();
-        let ops = vec![Op::Creat { path: "t".into(), mode: 0o644, fd_var: "id".into() }];
+        let ops = vec![Op::Creat {
+            path: "t".into(),
+            mode: 0o644,
+            fd_var: "id".into(),
+        }];
         let k1 = run_log(ops.clone(), vec![], 1);
         let g1 = rec.record_session_graph(k1.event_log()).unwrap();
         let k2 = run_log(ops, vec![], 2);
@@ -790,7 +856,9 @@ mod tests {
                     mode: 0o644,
                     fd_var: "id".into(),
                 },
-                Op::Close { fd_var: "id".into() },
+                Op::Close {
+                    fd_var: "id".into(),
+                },
             ],
             vec![],
         );
@@ -820,7 +888,10 @@ mod tests {
                     mode: 0o644,
                     fd_var: "id".into(),
                 },
-                Op::Dup { fd_var: "id".into(), new_var: "d".into() },
+                Op::Dup {
+                    fd_var: "id".into(),
+                    new_var: "d".into(),
+                },
             ],
             vec![],
         );

@@ -14,17 +14,20 @@
 //!                rh = HTML page on stdout
 //! ```
 
+use provgraph::datalog;
 use provmark_core::pipeline::BenchmarkRun;
 use provmark_core::report;
 use provmark_core::scale::scale_spec;
 use provmark_core::suite::{self, BenchSpec};
 use provmark_core::tool::{Tool, ToolKind};
 use provmark_core::{pipeline, BenchmarkOptions};
-use provgraph::datalog;
 
 fn usage() -> ! {
     eprintln!("usage: provmark <spg|spn|opu|cam> <benchmark|all> [trials] [rb|rg|rh]");
-    eprintln!("       benchmarks: {} … or scaleN", suite::all_names()[..6].join(", "));
+    eprintln!(
+        "       benchmarks: {} … or scaleN",
+        suite::all_names()[..6].join(", ")
+    );
     std::process::exit(2);
 }
 
@@ -40,7 +43,11 @@ fn parse_tool(code: &str) -> Option<ToolKind> {
 
 fn lookup_spec(name: &str) -> Option<BenchSpec> {
     if let Some(rest) = name.strip_prefix("scale") {
-        return rest.parse::<usize>().ok().filter(|n| *n > 0).map(scale_spec);
+        return rest
+            .parse::<usize>()
+            .ok()
+            .filter(|n| *n > 0)
+            .map(scale_spec);
     }
     suite::spec(name)
 }
@@ -52,14 +59,17 @@ fn print_run(run: &BenchmarkRun, result_type: &str) {
     print!("{}", datalog::to_canonical_datalog(&run.result, "res"));
     if result_type == "rg" {
         println!("-- generalized foreground --");
-        print!("{}", datalog::to_canonical_datalog(&run.generalized_fg, "fg"));
+        print!(
+            "{}",
+            datalog::to_canonical_datalog(&run.generalized_fg, "fg")
+        );
         println!("-- generalized background --");
-        print!("{}", datalog::to_canonical_datalog(&run.generalized_bg, "bg"));
+        print!(
+            "{}",
+            datalog::to_canonical_datalog(&run.generalized_bg, "bg")
+        );
     }
-    println!(
-        "-- timing -- {}",
-        run.timings.time_log_line("-", &run.name)
-    );
+    println!("-- timing -- {}", run.timings.time_log_line("-", &run.name));
 }
 
 fn main() {
@@ -67,7 +77,9 @@ fn main() {
     if args.len() < 2 {
         usage();
     }
-    let Some(kind) = parse_tool(&args[0]) else { usage() };
+    let Some(kind) = parse_tool(&args[0]) else {
+        usage()
+    };
     let bench = args[1].as_str();
     let trials: usize = args.get(2).and_then(|a| a.parse().ok()).unwrap_or(2);
     let result_type = args.get(3).map(String::as_str).unwrap_or("rb");

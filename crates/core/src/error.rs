@@ -44,7 +44,10 @@ impl fmt::Display for PipelineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             PipelineError::BenchmarkFailed { name, variant } => {
-                write!(f, "benchmark `{name}` {variant} variant did not perform its target behaviour")
+                write!(
+                    f,
+                    "benchmark `{name}` {variant} variant did not perform its target behaviour"
+                )
             }
             PipelineError::Transform { source } => {
                 write!(f, "transformation to datalog failed: {source}")
@@ -54,7 +57,10 @@ impl fmt::Display for PipelineError {
                 write!(f, "no two consistent {variant} trials among {trials} runs")
             }
             PipelineError::BackgroundNotSubgraph => {
-                write!(f, "background graph does not embed into the foreground graph")
+                write!(
+                    f,
+                    "background graph does not embed into the foreground graph"
+                )
             }
             PipelineError::NotEnoughTrials(n) => {
                 write!(f, "generalization needs at least 2 trials, got {n}")
@@ -91,7 +97,10 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        let e = PipelineError::NoConsistentTrials { variant: "background", trials: 4 };
+        let e = PipelineError::NoConsistentTrials {
+            variant: "background",
+            trials: 4,
+        };
         assert_eq!(
             e.to_string(),
             "no two consistent background trials among 4 runs"

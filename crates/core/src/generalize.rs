@@ -13,10 +13,11 @@
 //!    **strips every property that differs** — the surviving properties
 //!    are the invariant ones.
 
-use aspsolver::{find_generalization, find_similarity};
+use aspsolver::{find_generalization, solve_compiled, Problem, SolverConfig};
+use provgraph::compiled::{CompiledGraph, Interner};
 use provgraph::{fingerprint, PropertyGraph};
 
-use crate::PipelineError;
+use crate::{par, PipelineError};
 
 /// Which pair of consistent trials generalization uses (paper §3.4
 /// discusses the choice; `TwoSmallest` is ProvMark's default).
@@ -31,32 +32,64 @@ pub enum PairStrategy {
 
 /// Partition trial graphs into similarity classes.
 ///
-/// Graphs are pre-bucketed by Weisfeiler–Lehman shape fingerprint (a
-/// necessary condition) and confirmed pairwise with the exact solver, so
-/// the classes are true similarity classes.
+/// Three-layer classification, all layers parallel across trials:
+///
+/// 1. **Fingerprint prefilter** — Weisfeiler–Lehman shape fingerprints
+///    (computed in parallel) bucket the trials; unequal fingerprints
+///    *prove* dissimilarity, so the exact solver never sees cross-bucket
+///    pairs.
+/// 2. **Identity fast path** — set-equal graphs are trivially similar
+///    and skip the solver entirely.
+/// 3. **Exact confirmation** — within a bucket (buckets processed in
+///    parallel), every trial is compiled once into a bucket-shared
+///    [`Interner`] and confirmed against class representatives with the
+///    compiled solver ([`solve_compiled`]), amortizing interning across
+///    the whole bucket. Fingerprint collisions may still split a bucket
+///    into several classes, so the result is always a true partition by
+///    similarity.
 pub fn similarity_classes(graphs: &[PropertyGraph]) -> Vec<Vec<usize>> {
+    let fingerprints = par::par_map(graphs, fingerprint::shape_fingerprint);
     let mut buckets: std::collections::BTreeMap<u64, Vec<usize>> = Default::default();
-    for (i, g) in graphs.iter().enumerate() {
-        buckets.entry(fingerprint::shape_fingerprint(g)).or_default().push(i);
+    for (i, fp) in fingerprints.iter().enumerate() {
+        buckets.entry(*fp).or_default().push(i);
     }
-    let mut classes: Vec<Vec<usize>> = Vec::new();
-    for (_, bucket) in buckets {
-        // Within a bucket, confirm with the exact solver; fingerprint
-        // collisions may split a bucket into several classes.
+    let buckets: Vec<Vec<usize>> = buckets.into_values().collect();
+    let config = SolverConfig::default();
+    let per_bucket: Vec<Vec<Vec<usize>>> = par::par_map(&buckets, |bucket| {
+        // Compile every trial in the bucket once, against one shared
+        // interner, so pairwise confirmation is all-integer work.
+        let mut interner = Interner::new();
+        let compiled: Vec<CompiledGraph> = bucket
+            .iter()
+            .map(|&i| CompiledGraph::compile(&graphs[i], &mut interner))
+            .collect();
+        // Class members as bucket-local positions; representative first.
         let mut sub: Vec<Vec<usize>> = Vec::new();
-        'outer: for idx in bucket {
+        'outer: for local in 0..bucket.len() {
             for class in &mut sub {
                 let rep = class[0];
-                if find_similarity(&graphs[rep], &graphs[idx]).is_some() {
-                    class.push(idx);
+                let trivially_equal = graphs[bucket[rep]] == graphs[bucket[local]];
+                if trivially_equal
+                    || solve_compiled(
+                        Problem::Similarity,
+                        &compiled[rep],
+                        &compiled[local],
+                        &config,
+                    )
+                    .matching
+                    .is_some()
+                {
+                    class.push(local);
                     continue 'outer;
                 }
             }
-            sub.push(vec![idx]);
+            sub.push(vec![local]);
         }
-        classes.extend(sub);
-    }
-    classes
+        sub.into_iter()
+            .map(|class| class.into_iter().map(|local| bucket[local]).collect())
+            .collect()
+    });
+    per_bucket.into_iter().flatten().collect()
 }
 
 /// Pick the representative pair per the strategy. Returns trial indices.
@@ -188,7 +221,12 @@ mod tests {
     #[test]
     fn pick_pair_strategies_differ() {
         // Two classes of two: small pair and large pair.
-        let graphs = vec![trial("1", false), trial("2", false), trial("3", true), trial("4", true)];
+        let graphs = vec![
+            trial("1", false),
+            trial("2", false),
+            trial("3", true),
+            trial("4", true),
+        ];
         let classes = similarity_classes(&graphs);
         let small = pick_pair(&classes, &graphs, PairStrategy::TwoSmallest).unwrap();
         let large = pick_pair(&classes, &graphs, PairStrategy::TwoLargest).unwrap();
@@ -227,19 +265,21 @@ mod tests {
         g2.add_node("a", "B").unwrap();
         let mut g3 = PropertyGraph::new();
         g3.add_node("a", "C").unwrap();
-        let err = generalize_trials(&[g1, g2, g3], PairStrategy::default(), "foreground")
-            .unwrap_err();
+        let err =
+            generalize_trials(&[g1, g2, g3], PairStrategy::default(), "foreground").unwrap_err();
         assert!(matches!(
             err,
-            PipelineError::NoConsistentTrials { variant: "foreground", trials: 3 }
+            PipelineError::NoConsistentTrials {
+                variant: "foreground",
+                trials: 3
+            }
         ));
     }
 
     #[test]
     fn single_trial_is_error() {
-        let err =
-            generalize_trials(&[trial("1", false)], PairStrategy::default(), "background")
-                .unwrap_err();
+        let err = generalize_trials(&[trial("1", false)], PairStrategy::default(), "background")
+            .unwrap_err();
         assert!(matches!(err, PipelineError::NotEnoughTrials(1)));
     }
 

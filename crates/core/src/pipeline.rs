@@ -124,8 +124,7 @@ fn prepare_variant(
     timings.transformation += t0.elapsed();
 
     let t0 = Instant::now();
-    let mut generalized =
-        generalize::generalize_trials(&graphs, PairStrategy::default(), variant)?;
+    let mut generalized = generalize::generalize_trials(&graphs, PairStrategy::default(), variant)?;
     generalized.discarded += unparseable;
     timings.generalization += t0.elapsed();
     Ok(generalized)
@@ -204,8 +203,14 @@ impl MeasuredCell {
 }
 
 /// Run the full Table 2 matrix: every Table 1 benchmark under every tool
-/// (in its baseline configuration), reusing one tool instance per column
-/// as the real harness does.
+/// (in its baseline configuration).
+///
+/// Benchmarks run **in parallel** across the machine's cores
+/// ([`crate::par::par_map`]); each row instantiates its own tool handles,
+/// so every cell is reproducible in isolation (the simulated kernel is
+/// seeded per trial, and a fresh instance pins the session counter the
+/// boot seed mixes in — a shared warm instance would make a cell's boot
+/// ids depend on how many benchmarks ran before it).
 ///
 /// `opus_db_iterations` overrides the simulated Neo4j startup cost so
 /// tests can run the matrix quickly; pass `None` for the default.
@@ -214,40 +219,36 @@ pub fn run_matrix(
     opus_db_iterations: Option<u64>,
 ) -> Vec<(crate::suite::Expectation, [MeasuredCell; 3])> {
     use crate::tool::{Tool, ToolKind};
-    let mut instances: Vec<crate::tool::ToolInstance> = ToolKind::all()
-        .into_iter()
-        .map(|kind| {
-            let tool = match (kind, opus_db_iterations) {
-                (ToolKind::Opus, Some(iters)) => Tool::Opus(opus::OpusConfig {
-                    db_startup_iterations: iters,
-                    ..opus::OpusConfig::default()
-                }),
-                _ => Tool::baseline(kind),
-            };
-            tool.instantiate()
-        })
-        .collect();
-    let mut rows = Vec::new();
-    for exp in crate::suite::table2() {
+    let expectations = crate::suite::table2();
+    let cells = crate::par::par_map(&expectations, |exp| {
         let spec = crate::suite::spec(exp.syscall).expect("table2 rows have specs");
-        let mut cells: Vec<MeasuredCell> = Vec::with_capacity(3);
-        for inst in instances.iter_mut() {
-            let cell = match run_benchmark(inst, &spec, opts) {
-                Ok(run) => MeasuredCell {
-                    run: Some(run),
-                    error: None,
-                },
-                Err(e) => MeasuredCell {
-                    run: None,
-                    error: Some(e.to_string()),
-                },
-            };
-            cells.push(cell);
-        }
+        let cells: Vec<MeasuredCell> = ToolKind::all()
+            .into_iter()
+            .map(|kind| {
+                let tool = match (kind, opus_db_iterations) {
+                    (ToolKind::Opus, Some(iters)) => Tool::Opus(opus::OpusConfig {
+                        db_startup_iterations: iters,
+                        ..opus::OpusConfig::default()
+                    }),
+                    _ => Tool::baseline(kind),
+                };
+                let mut inst = tool.instantiate();
+                match run_benchmark(&mut inst, &spec, opts) {
+                    Ok(run) => MeasuredCell {
+                        run: Some(run),
+                        error: None,
+                    },
+                    Err(e) => MeasuredCell {
+                        run: None,
+                        error: Some(e.to_string()),
+                    },
+                }
+            })
+            .collect();
         let cells: [MeasuredCell; 3] = cells.try_into().expect("three tools");
-        rows.push((exp, cells));
-    }
-    rows
+        cells
+    });
+    expectations.into_iter().zip(cells).collect()
 }
 
 #[cfg(test)]
@@ -291,7 +292,11 @@ mod tests {
             let kind = tool.kind();
             let mut inst = tool.instantiate();
             let run = run_benchmark(&mut inst, &spec, &BenchmarkOptions::default()).unwrap();
-            assert_eq!(run.status, BenchStatus::Empty, "{kind:?} exit must be empty (LP)");
+            assert_eq!(
+                run.status,
+                BenchStatus::Empty,
+                "{kind:?} exit must be empty (LP)"
+            );
         }
     }
 

@@ -108,10 +108,8 @@ mod tests {
     use super::*;
 
     fn tmp_store(tag: &str) -> RegressionStore {
-        let dir = std::env::temp_dir().join(format!(
-            "provmark-regression-{}-{tag}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("provmark-regression-{}-{tag}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         RegressionStore::open(dir).unwrap()
     }
@@ -136,7 +134,9 @@ mod tests {
     #[test]
     fn isomorphic_rerun_is_unchanged_despite_new_ids() {
         let store = tmp_store("iso");
-        store.check("creat", &result_graph(("p1", "a1"), "/t")).unwrap();
+        store
+            .check("creat", &result_graph(("p1", "a1"), "/t"))
+            .unwrap();
         // A later run has different (volatile) node ids but same shape.
         let rerun = result_graph(("p999", "a777"), "/t");
         assert_eq!(
@@ -148,7 +148,9 @@ mod tests {
     #[test]
     fn structural_change_detected_and_acceptable() {
         let store = tmp_store("change");
-        store.check("creat", &result_graph(("p1", "a1"), "/t")).unwrap();
+        store
+            .check("creat", &result_graph(("p1", "a1"), "/t"))
+            .unwrap();
         let mut changed = result_graph(("p1", "a1"), "/t");
         changed.add_node("extra", "Artifact").unwrap();
         assert_eq!(
@@ -166,7 +168,9 @@ mod tests {
     #[test]
     fn property_change_detected() {
         let store = tmp_store("prop");
-        store.check("creat", &result_graph(("p1", "a1"), "/t")).unwrap();
+        store
+            .check("creat", &result_graph(("p1", "a1"), "/t"))
+            .unwrap();
         let renamed = result_graph(("p1", "a1"), "/other");
         assert_eq!(
             store.check("creat", &renamed).unwrap(),

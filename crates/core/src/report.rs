@@ -5,7 +5,7 @@
 use provgraph::{datalog, diff, dot, PropertyGraph};
 
 use crate::pipeline::BenchmarkRun;
-use crate::suite::{ExpectedCell, Expectation};
+use crate::suite::{Expectation, ExpectedCell};
 use crate::tool::ToolKind;
 
 /// One rendered cell of the results matrix.
@@ -63,7 +63,11 @@ pub fn describe_result(graph: &PropertyGraph) -> String {
         graph.edge_count()
     ));
     for n in graph.nodes() {
-        let dummy = if diff::is_dummy(graph, &n.id) { " [dummy]" } else { "" };
+        let dummy = if diff::is_dummy(graph, &n.id) {
+            " [dummy]"
+        } else {
+            ""
+        };
         out.push_str(&format!("  node {} : {}{}\n", n.id, n.label, dummy));
     }
     for e in graph.edges() {
@@ -82,7 +86,9 @@ pub fn describe_result(graph: &PropertyGraph) -> String {
 }
 
 fn html_escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 /// Generate the HTML results page (`finalResult/index.html` analogue):
@@ -128,7 +134,10 @@ pub fn render_html(tool: ToolKind, runs: &[BenchmarkRun]) -> String {
         out.push_str("<h3>Benchmark result (DOT)</h3>\n<pre>");
         out.push_str(&html_escape(&dot::to_dot(&run.result, "benchmark")));
         out.push_str("</pre>\n<h3>Benchmark result (Datalog)</h3>\n<pre>");
-        out.push_str(&html_escape(&datalog::to_canonical_datalog(&run.result, "res")));
+        out.push_str(&html_escape(&datalog::to_canonical_datalog(
+            &run.result,
+            "res",
+        )));
         out.push_str("</pre>\n<h3>Generalized foreground</h3>\n<pre>");
         out.push_str(&html_escape(&datalog::to_canonical_datalog(
             &run.generalized_fg,
@@ -158,7 +167,11 @@ mod tests {
         }
         BenchmarkRun {
             name: name.to_owned(),
-            status: if ok { BenchStatus::Ok } else { BenchStatus::Empty },
+            status: if ok {
+                BenchStatus::Ok
+            } else {
+                BenchStatus::Empty
+            },
             result,
             generalized_bg: PropertyGraph::new(),
             generalized_fg: PropertyGraph::new(),
@@ -191,7 +204,8 @@ mod tests {
     fn describe_marks_dummies() {
         let mut g = PropertyGraph::new();
         g.add_node("p", "Process").unwrap();
-        g.set_node_property("p", provgraph::DUMMY_PROP, "true").unwrap();
+        g.set_node_property("p", provgraph::DUMMY_PROP, "true")
+            .unwrap();
         g.add_node("a", "Artifact").unwrap();
         g.add_edge("e", "p", "a", "Used").unwrap();
         g.set_edge_property("e", "op", "creat").unwrap();

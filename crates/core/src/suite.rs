@@ -30,7 +30,12 @@ impl BenchSpec {
         for s in &self.setup {
             p = p.setup(s.clone());
         }
-        p.ops(self.context.iter().cloned().chain(self.target.iter().cloned()))
+        p.ops(
+            self.context
+                .iter()
+                .cloned()
+                .chain(self.target.iter().cloned()),
+        )
     }
 
     /// The background program: context only.
@@ -83,67 +88,102 @@ pub fn spec(name: &str) -> Option<BenchSpec> {
             1,
             vec![],
             vec![open_ctx("test.txt", rw_creat)],
-            vec![Op::Close { fd_var: "id".into() }],
+            vec![Op::Close {
+                fd_var: "id".into(),
+            }],
         ),
         "creat" => s(
             1,
             vec![],
             vec![],
-            vec![Op::Creat { path: staged("test.txt"), mode: 0o644, fd_var: "id".into() }],
+            vec![Op::Creat {
+                path: staged("test.txt"),
+                mode: 0o644,
+                fd_var: "id".into(),
+            }],
         ),
         "dup" => s(
             1,
             vec![],
             vec![open_ctx("test.txt", rw_creat)],
-            vec![Op::Dup { fd_var: "id".into(), new_var: "d".into() }],
+            vec![Op::Dup {
+                fd_var: "id".into(),
+                new_var: "d".into(),
+            }],
         ),
         "dup2" => s(
             1,
             vec![],
             vec![open_ctx("test.txt", rw_creat)],
-            vec![Op::Dup2 { fd_var: "id".into(), newfd: 9, new_var: "d".into() }],
+            vec![Op::Dup2 {
+                fd_var: "id".into(),
+                newfd: 9,
+                new_var: "d".into(),
+            }],
         ),
         "dup3" => s(
             1,
             vec![],
             vec![open_ctx("test.txt", rw_creat)],
-            vec![Op::Dup3 { fd_var: "id".into(), newfd: 9, new_var: "d".into() }],
+            vec![Op::Dup3 {
+                fd_var: "id".into(),
+                newfd: 9,
+                new_var: "d".into(),
+            }],
         ),
         "link" => s(
             1,
             vec![setup_file("test.txt")],
             vec![],
-            vec![Op::Link { old: staged("test.txt"), new: staged("test.link") }],
+            vec![Op::Link {
+                old: staged("test.txt"),
+                new: staged("test.link"),
+            }],
         ),
         "linkat" => s(
             1,
             vec![setup_file("test.txt")],
             vec![],
-            vec![Op::Linkat { old: staged("test.txt"), new: staged("test.link") }],
+            vec![Op::Linkat {
+                old: staged("test.txt"),
+                new: staged("test.link"),
+            }],
         ),
         "symlink" => s(
             1,
             vec![setup_file("test.txt")],
             vec![],
-            vec![Op::Symlink { target: staged("test.txt"), linkpath: staged("test.sym") }],
+            vec![Op::Symlink {
+                target: staged("test.txt"),
+                linkpath: staged("test.sym"),
+            }],
         ),
         "symlinkat" => s(
             1,
             vec![setup_file("test.txt")],
             vec![],
-            vec![Op::Symlinkat { target: staged("test.txt"), linkpath: staged("test.sym") }],
+            vec![Op::Symlinkat {
+                target: staged("test.txt"),
+                linkpath: staged("test.sym"),
+            }],
         ),
         "mknod" => s(
             1,
             vec![],
             vec![],
-            vec![Op::Mknod { path: staged("test.fifo"), mode: 0o644 }],
+            vec![Op::Mknod {
+                path: staged("test.fifo"),
+                mode: 0o644,
+            }],
         ),
         "mknodat" => s(
             1,
             vec![],
             vec![],
-            vec![Op::Mknodat { path: staged("test.fifo"), mode: 0o644 }],
+            vec![Op::Mknodat {
+                path: staged("test.fifo"),
+                mode: 0o644,
+            }],
         ),
         "open" => s(
             1,
@@ -166,61 +206,91 @@ pub fn spec(name: &str) -> Option<BenchSpec> {
             1,
             vec![setup_file("test.txt")],
             vec![open_ctx("test.txt", OpenFlags::RDONLY)],
-            vec![Op::Read { fd_var: "id".into(), len: 100 }],
+            vec![Op::Read {
+                fd_var: "id".into(),
+                len: 100,
+            }],
         ),
         "pread" => s(
             1,
             vec![setup_file("test.txt")],
             vec![open_ctx("test.txt", OpenFlags::RDONLY)],
-            vec![Op::Pread { fd_var: "id".into(), len: 100, offset: 0 }],
+            vec![Op::Pread {
+                fd_var: "id".into(),
+                len: 100,
+                offset: 0,
+            }],
         ),
         "rename" => s(
             1,
             vec![setup_file("test.txt")],
             vec![],
-            vec![Op::Rename { old: staged("test.txt"), new: staged("test.new") }],
+            vec![Op::Rename {
+                old: staged("test.txt"),
+                new: staged("test.new"),
+            }],
         ),
         "renameat" => s(
             1,
             vec![setup_file("test.txt")],
             vec![],
-            vec![Op::Renameat { old: staged("test.txt"), new: staged("test.new") }],
+            vec![Op::Renameat {
+                old: staged("test.txt"),
+                new: staged("test.new"),
+            }],
         ),
         "truncate" => s(
             1,
             vec![setup_file("test.txt")],
             vec![],
-            vec![Op::Truncate { path: staged("test.txt"), len: 16 }],
+            vec![Op::Truncate {
+                path: staged("test.txt"),
+                len: 16,
+            }],
         ),
         "ftruncate" => s(
             1,
             vec![setup_file("test.txt")],
             vec![open_ctx("test.txt", OpenFlags::RDWR)],
-            vec![Op::Ftruncate { fd_var: "id".into(), len: 16 }],
+            vec![Op::Ftruncate {
+                fd_var: "id".into(),
+                len: 16,
+            }],
         ),
         "unlink" => s(
             1,
             vec![setup_file("test.txt")],
             vec![],
-            vec![Op::Unlink { path: staged("test.txt") }],
+            vec![Op::Unlink {
+                path: staged("test.txt"),
+            }],
         ),
         "unlinkat" => s(
             1,
             vec![setup_file("test.txt")],
             vec![],
-            vec![Op::Unlinkat { path: staged("test.txt") }],
+            vec![Op::Unlinkat {
+                path: staged("test.txt"),
+            }],
         ),
         "write" => s(
             1,
             vec![],
             vec![open_ctx("test.txt", rw_creat)],
-            vec![Op::Write { fd_var: "id".into(), len: 100 }],
+            vec![Op::Write {
+                fd_var: "id".into(),
+                len: 100,
+            }],
         ),
         "pwrite" => s(
             1,
             vec![],
             vec![open_ctx("test.txt", rw_creat)],
-            vec![Op::Pwrite { fd_var: "id".into(), len: 100, offset: 0 }],
+            vec![Op::Pwrite {
+                fd_var: "id".into(),
+                len: 100,
+                offset: 0,
+            }],
         ),
         // ---- group 2: processes ----------------------------------------
         "clone" => s(2, vec![], vec![], vec![Op::CloneProc { child: vec![] }]),
@@ -228,7 +298,9 @@ pub fn spec(name: &str) -> Option<BenchSpec> {
             2,
             vec![],
             vec![],
-            vec![Op::Execve { path: "/usr/local/bin/bench_bg".into() }],
+            vec![Op::Execve {
+                path: "/usr/local/bin/bench_bg".into(),
+            }],
         ),
         "exit" => s(2, vec![], vec![], vec![Op::ExitOp { code: 0 }]),
         "fork" => s(2, vec![], vec![], vec![Op::Fork { child: vec![] }]),
@@ -244,44 +316,68 @@ pub fn spec(name: &str) -> Option<BenchSpec> {
             3,
             vec![setup_file("test.txt")],
             vec![],
-            vec![Op::Chmod { path: staged("test.txt"), mode: 0o600 }],
+            vec![Op::Chmod {
+                path: staged("test.txt"),
+                mode: 0o600,
+            }],
         ),
         "fchmod" => s(
             3,
             vec![setup_file("test.txt")],
             vec![open_ctx("test.txt", OpenFlags::RDWR)],
-            vec![Op::Fchmod { fd_var: "id".into(), mode: 0o600 }],
+            vec![Op::Fchmod {
+                fd_var: "id".into(),
+                mode: 0o600,
+            }],
         ),
         "fchmodat" => s(
             3,
             vec![setup_file("test.txt")],
             vec![],
-            vec![Op::Fchmodat { path: staged("test.txt"), mode: 0o600 }],
+            vec![Op::Fchmodat {
+                path: staged("test.txt"),
+                mode: 0o600,
+            }],
         ),
         "chown" => s(
             3,
             vec![setup_file("test.txt")],
             vec![],
-            vec![Op::Chown { path: staged("test.txt"), uid: 500, gid: 500 }],
+            vec![Op::Chown {
+                path: staged("test.txt"),
+                uid: 500,
+                gid: 500,
+            }],
         ),
         "fchown" => s(
             3,
             vec![setup_file("test.txt")],
             vec![open_ctx("test.txt", OpenFlags::RDWR)],
-            vec![Op::Fchown { fd_var: "id".into(), uid: 500, gid: 500 }],
+            vec![Op::Fchown {
+                fd_var: "id".into(),
+                uid: 500,
+                gid: 500,
+            }],
         ),
         "fchownat" => s(
             3,
             vec![setup_file("test.txt")],
             vec![],
-            vec![Op::Fchownat { path: staged("test.txt"), uid: 500, gid: 500 }],
+            vec![Op::Fchownat {
+                path: staged("test.txt"),
+                uid: 500,
+                gid: 500,
+            }],
         ),
         "setgid" => s(3, vec![], vec![], vec![Op::Setgid { gid: 500 }]),
         "setregid" => s(
             3,
             vec![],
             vec![],
-            vec![Op::Setregid { rgid: Some(500), egid: Some(500) }],
+            vec![Op::Setregid {
+                rgid: Some(500),
+                egid: Some(500),
+            }],
         ),
         // "our benchmark for setresgid just sets the group id attribute to
         // its current value" (paper §4.3) — root's gid is 0.
@@ -289,14 +385,21 @@ pub fn spec(name: &str) -> Option<BenchSpec> {
             3,
             vec![],
             vec![],
-            vec![Op::Setresgid { rgid: Some(0), egid: Some(0), sgid: Some(0) }],
+            vec![Op::Setresgid {
+                rgid: Some(0),
+                egid: Some(0),
+                sgid: Some(0),
+            }],
         ),
         "setuid" => s(3, vec![], vec![], vec![Op::Setuid { uid: 500 }]),
         "setreuid" => s(
             3,
             vec![],
             vec![],
-            vec![Op::Setreuid { ruid: Some(500), euid: Some(500) }],
+            vec![Op::Setreuid {
+                ruid: Some(500),
+                euid: Some(500),
+            }],
         ),
         // "our benchmark result for setresuid is nonempty, reflecting an
         // actual change of user id" (paper §4.3).
@@ -304,30 +407,53 @@ pub fn spec(name: &str) -> Option<BenchSpec> {
             3,
             vec![],
             vec![],
-            vec![Op::Setresuid { ruid: Some(500), euid: Some(500), suid: Some(500) }],
+            vec![Op::Setresuid {
+                ruid: Some(500),
+                euid: Some(500),
+                suid: Some(500),
+            }],
         ),
         // ---- group 4: pipes --------------------------------------------
         "pipe" => s(
             4,
             vec![],
             vec![],
-            vec![Op::PipeOp { read_var: "r".into(), write_var: "w".into() }],
+            vec![Op::PipeOp {
+                read_var: "r".into(),
+                write_var: "w".into(),
+            }],
         ),
         "pipe2" => s(
             4,
             vec![],
             vec![],
-            vec![Op::Pipe2Op { read_var: "r".into(), write_var: "w".into() }],
+            vec![Op::Pipe2Op {
+                read_var: "r".into(),
+                write_var: "w".into(),
+            }],
         ),
         "tee" => s(
             4,
             vec![],
             vec![
-                Op::PipeOp { read_var: "r1".into(), write_var: "w1".into() },
-                Op::PipeOp { read_var: "r2".into(), write_var: "w2".into() },
-                Op::Write { fd_var: "w1".into(), len: 8 },
+                Op::PipeOp {
+                    read_var: "r1".into(),
+                    write_var: "w1".into(),
+                },
+                Op::PipeOp {
+                    read_var: "r2".into(),
+                    write_var: "w2".into(),
+                },
+                Op::Write {
+                    fd_var: "w1".into(),
+                    len: 8,
+                },
             ],
-            vec![Op::Tee { in_var: "r1".into(), out_var: "w2".into(), len: 8 }],
+            vec![Op::Tee {
+                in_var: "r1".into(),
+                out_var: "w2".into(),
+                len: 8,
+            }],
         ),
         _ => None,
     }
@@ -364,9 +490,26 @@ pub fn failure_spec(name: &str) -> Option<BenchSpec> {
                 new: "/etc/passwd".into(),
             },
         ),
-        "unlink" => (vec![], Op::Unlink { path: "/etc/passwd".into() }),
-        "chmod" => (vec![secret()], Op::Chmod { path: staged("secret"), mode: 0o777 }),
-        "truncate" => (vec![secret()], Op::Truncate { path: staged("secret"), len: 0 }),
+        "unlink" => (
+            vec![],
+            Op::Unlink {
+                path: "/etc/passwd".into(),
+            },
+        ),
+        "chmod" => (
+            vec![secret()],
+            Op::Chmod {
+                path: staged("secret"),
+                mode: 0o777,
+            },
+        ),
+        "truncate" => (
+            vec![secret()],
+            Op::Truncate {
+                path: staged("secret"),
+                len: 0,
+            },
+        ),
         _ => return None,
     };
     Some(BenchSpec {
@@ -394,11 +537,50 @@ pub fn failure_specs() -> Vec<BenchSpec> {
 /// Names of all 44 benchmarked syscalls, in Table 1/Table 2 order.
 pub fn all_names() -> Vec<&'static str> {
     vec![
-        "close", "creat", "dup", "dup2", "dup3", "link", "linkat", "symlink", "symlinkat",
-        "mknod", "mknodat", "open", "openat", "read", "pread", "rename", "renameat", "truncate",
-        "ftruncate", "unlink", "unlinkat", "write", "pwrite", "clone", "execve", "exit", "fork",
-        "kill", "vfork", "chmod", "fchmod", "fchmodat", "chown", "fchown", "fchownat", "setgid",
-        "setregid", "setresgid", "setuid", "setreuid", "setresuid", "pipe", "pipe2", "tee",
+        "close",
+        "creat",
+        "dup",
+        "dup2",
+        "dup3",
+        "link",
+        "linkat",
+        "symlink",
+        "symlinkat",
+        "mknod",
+        "mknodat",
+        "open",
+        "openat",
+        "read",
+        "pread",
+        "rename",
+        "renameat",
+        "truncate",
+        "ftruncate",
+        "unlink",
+        "unlinkat",
+        "write",
+        "pwrite",
+        "clone",
+        "execve",
+        "exit",
+        "fork",
+        "kill",
+        "vfork",
+        "chmod",
+        "fchmod",
+        "fchmodat",
+        "chown",
+        "fchown",
+        "fchownat",
+        "setgid",
+        "setregid",
+        "setresgid",
+        "setuid",
+        "setreuid",
+        "setresuid",
+        "pipe",
+        "pipe2",
+        "tee",
     ]
 }
 
@@ -597,11 +779,7 @@ mod tests {
             for (variant, prog) in [("fg", spec.foreground()), ("bg", spec.background())] {
                 let mut kernel = oskernel::Kernel::with_seed(5);
                 let out = kernel.run_program(&prog);
-                assert!(
-                    out.success,
-                    "{} {variant}: {:?}",
-                    spec.name, out.results
-                );
+                assert!(out.success, "{} {variant}: {:?}", spec.name, out.results);
             }
             // The foreground target op really failed (inverted criterion).
             let mut kernel = oskernel::Kernel::with_seed(5);

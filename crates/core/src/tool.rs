@@ -8,9 +8,9 @@
 //! downstream works on the uniform Datalog property-graph representation.
 
 use camflow::{CamFlowConfig, CamFlowRecorder};
+use opus::{Neo4jStore, OpusConfig, OpusRecorder};
 use oskernel::program::Program;
 use oskernel::Kernel;
-use opus::{Neo4jStore, OpusConfig, OpusRecorder};
 use provgraph::{dot, provjson, PropertyGraph};
 use spade::{SpadeConfig, SpadeRecorder};
 
@@ -144,7 +144,10 @@ impl Tool {
     pub fn instantiate(self) -> ToolInstance {
         let inner = match self {
             Tool::Spade(c) => RecorderImpl::Spade(SpadeRecorder::new(c)),
-            Tool::SpadeNeo4j { config, db_startup_iterations } => RecorderImpl::SpadeNeo4j {
+            Tool::SpadeNeo4j {
+                config,
+                db_startup_iterations,
+            } => RecorderImpl::SpadeNeo4j {
                 recorder: SpadeRecorder::new(config),
                 db_startup_iterations,
             },
@@ -225,7 +228,7 @@ impl ToolInstance {
             .wrapping_mul(0x100000001B3)
             .wrapping_add(self.sessions.wrapping_mul(0x9E3779B97F4A7C15));
         let mut kernel = Kernel::with_seed(boot_seed);
-        kernel.startup_noise = noise && seed % 5 == 0;
+        kernel.startup_noise = noise && seed.is_multiple_of(5);
         let outcome = kernel.run_program(program);
         if !outcome.success {
             let variant = if program.exe_path.ends_with("bench_bg") {
@@ -240,7 +243,10 @@ impl ToolInstance {
         }
         match &mut self.inner {
             RecorderImpl::Spade(rec) => Ok(NativeOutput::Dot(rec.record(kernel.event_log()))),
-            RecorderImpl::SpadeNeo4j { recorder, db_startup_iterations } => {
+            RecorderImpl::SpadeNeo4j {
+                recorder,
+                db_startup_iterations,
+            } => {
                 let store = Neo4jStore::create_temp(*db_startup_iterations)?;
                 store.ingest(&recorder.record_graph(kernel.event_log()))?;
                 Ok(NativeOutput::Neo4j(Box::new(store)))
@@ -356,7 +362,9 @@ mod tests {
     fn failing_benchmark_reported() {
         let program = Program::new("bad")
             .exe("/usr/local/bin/bench_bg")
-            .op(Op::Unlink { path: "/staging/does-not-exist".into() });
+            .op(Op::Unlink {
+                path: "/staging/does-not-exist".into(),
+            });
         let mut tool = Tool::spade_baseline().instantiate();
         let err = tool.record(&program, 1, false).unwrap_err();
         match err {

@@ -54,10 +54,8 @@ impl Neo4jStore {
     /// Propagates filesystem errors creating the directory.
     pub fn create_temp(startup_iterations: u64) -> io::Result<Self> {
         let n = STORE_COUNTER.fetch_add(1, Ordering::Relaxed);
-        let dir = std::env::temp_dir().join(format!(
-            "provmark-neo4jsim-{}-{n}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("provmark-neo4jsim-{}-{n}", std::process::id()));
         Self::create_at(&dir, startup_iterations)
     }
 

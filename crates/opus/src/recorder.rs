@@ -105,7 +105,9 @@ impl<'a> Builder<'a> {
 
     fn edge(&mut self, src: &str, tgt: &str, label: &str, time: u64) {
         let id = self.fresh("e");
-        self.graph.add_edge(id.clone(), src, tgt, label).expect("endpoints exist");
+        self.graph
+            .add_edge(id.clone(), src, tgt, label)
+            .expect("endpoints exist");
         self.graph
             .set_edge_property(&id, "time", time.to_string())
             .expect("edge exists");
@@ -116,7 +118,9 @@ impl<'a> Builder<'a> {
             return id.clone();
         }
         let id = format!("proc{}", call.pid);
-        self.graph.add_node(id.clone(), "Process").expect("fresh process");
+        self.graph
+            .add_node(id.clone(), "Process")
+            .expect("fresh process");
         self.graph
             .set_node_property(&id, "pid", call.pid.to_string())
             .expect("exists");
@@ -138,7 +142,9 @@ impl<'a> Builder<'a> {
     fn event(&mut self, call: &LibcCall) -> String {
         let proc_id = self.ensure_process(call);
         let id = self.fresh("ev");
-        self.graph.add_node(id.clone(), "Event").expect("fresh event");
+        self.graph
+            .add_node(id.clone(), "Event")
+            .expect("fresh event");
         self.graph
             .set_node_property(&id, "function", call.func.clone())
             .expect("exists");
@@ -162,7 +168,9 @@ impl<'a> Builder<'a> {
             return id.clone();
         }
         let id = self.fresh("glob");
-        self.graph.add_node(id.clone(), "Global").expect("fresh global");
+        self.graph
+            .add_node(id.clone(), "Global")
+            .expect("fresh global");
         self.graph
             .set_node_property(&id, "path", path)
             .expect("exists");
@@ -177,7 +185,9 @@ impl<'a> Builder<'a> {
         }
         let glob = self.ensure_global(path);
         let id = self.fresh("ver");
-        self.graph.add_node(id.clone(), "Version").expect("fresh version");
+        self.graph
+            .add_node(id.clone(), "Version")
+            .expect("fresh version");
         self.edge(&id, &glob, "VERSION_OF", time);
         self.versions.insert(path.to_owned(), id.clone());
         id
@@ -188,7 +198,9 @@ impl<'a> Builder<'a> {
         let old = self.ensure_version(path, time);
         let glob = self.ensure_global(path);
         let id = self.fresh("ver");
-        self.graph.add_node(id.clone(), "Version").expect("fresh version");
+        self.graph
+            .add_node(id.clone(), "Version")
+            .expect("fresh version");
         self.edge(&id, &glob, "VERSION_OF", time);
         self.edge(&id, &old, "DERIVED_FROM", time);
         self.versions.insert(path.to_owned(), id.clone());
@@ -198,7 +210,9 @@ impl<'a> Builder<'a> {
     fn new_local(&mut self, call: &LibcCall, fd: i32) -> String {
         let proc_id = self.ensure_process(call);
         let id = self.fresh("loc");
-        self.graph.add_node(id.clone(), "Local").expect("fresh local");
+        self.graph
+            .add_node(id.clone(), "Local")
+            .expect("fresh local");
         self.graph
             .set_node_property(&id, "fd", fd.to_string())
             .expect("exists");
@@ -234,7 +248,9 @@ impl<'a> Builder<'a> {
     /// to the file" (version + global), paper §4.1.
     fn handle_open(&mut self, call: &LibcCall) {
         let ev = self.event(call);
-        let Some(path) = call.args.first().cloned() else { return };
+        let Some(path) = call.args.first().cloned() else {
+            return;
+        };
         if call.ret >= 0 {
             let fd = call.ret as i32;
             let local = self.new_local(call, fd);
@@ -292,14 +308,15 @@ impl<'a> Builder<'a> {
 
     fn handle_link(&mut self, call: &LibcCall) {
         let ev = self.event(call);
-        let (Some(old), Some(new)) = (call.args.first().cloned(), call.args.get(1).cloned())
-        else {
+        let (Some(old), Some(new)) = (call.args.first().cloned(), call.args.get(1).cloned()) else {
             return;
         };
         let old_ver = self.ensure_version(&old, call.time);
         let glob_new = self.ensure_global(&new);
         let new_ver = self.fresh("ver");
-        self.graph.add_node(new_ver.clone(), "Version").expect("fresh version");
+        self.graph
+            .add_node(new_ver.clone(), "Version")
+            .expect("fresh version");
         self.edge(&new_ver, &glob_new, "VERSION_OF", call.time);
         self.edge(&new_ver, &old_ver, "DERIVED_FROM", call.time);
         self.edge(&ev, &new_ver, "CREATES", call.time);
@@ -308,7 +325,9 @@ impl<'a> Builder<'a> {
 
     fn handle_mknod(&mut self, call: &LibcCall) {
         let ev = self.event(call);
-        let Some(path) = call.args.first().cloned() else { return };
+        let Some(path) = call.args.first().cloned() else {
+            return;
+        };
         if call.ret == 0 {
             let ver = self.ensure_version(&path, call.time);
             self.edge(&ev, &ver, "CREATES", call.time);
@@ -322,14 +341,15 @@ impl<'a> Builder<'a> {
     /// value property distinguishes them (paper §3.1).
     fn handle_rename(&mut self, call: &LibcCall) {
         let ev = self.event(call);
-        let (Some(old), Some(new)) = (call.args.first().cloned(), call.args.get(1).cloned())
-        else {
+        let (Some(old), Some(new)) = (call.args.first().cloned(), call.args.get(1).cloned()) else {
             return;
         };
         let old_ver = self.ensure_version(&old, call.time);
         let glob_new = self.ensure_global(&new);
         let new_ver = self.fresh("ver");
-        self.graph.add_node(new_ver.clone(), "Version").expect("fresh version");
+        self.graph
+            .add_node(new_ver.clone(), "Version")
+            .expect("fresh version");
         self.edge(&new_ver, &glob_new, "VERSION_OF", call.time);
         self.edge(&new_ver, &old_ver, "DERIVED_FROM", call.time);
         self.edge(&ev, &old_ver, "READS", call.time);
@@ -342,7 +362,9 @@ impl<'a> Builder<'a> {
 
     fn handle_truncate_path(&mut self, call: &LibcCall) {
         let ev = self.event(call);
-        let Some(path) = call.args.first().cloned() else { return };
+        let Some(path) = call.args.first().cloned() else {
+            return;
+        };
         if call.ret == 0 {
             let ver = self.new_version(&path, call.time);
             self.edge(&ev, &ver, "TRUNCATES", call.time);
@@ -360,7 +382,9 @@ impl<'a> Builder<'a> {
         if let Some(local) = self.fd_local.get(&(call.pid, fd)).cloned() {
             if let Some(old_ver) = self.local_version.get(&local).cloned() {
                 let new_ver = self.fresh("ver");
-                self.graph.add_node(new_ver.clone(), "Version").expect("fresh version");
+                self.graph
+                    .add_node(new_ver.clone(), "Version")
+                    .expect("fresh version");
                 self.edge(&new_ver, &old_ver, "DERIVED_FROM", call.time);
                 self.edge(&ev, &new_ver, "TRUNCATES", call.time);
                 self.local_version.insert(local, new_ver);
@@ -370,7 +394,9 @@ impl<'a> Builder<'a> {
 
     fn handle_unlink(&mut self, call: &LibcCall) {
         let ev = self.event(call);
-        let Some(path) = call.args.first().cloned() else { return };
+        let Some(path) = call.args.first().cloned() else {
+            return;
+        };
         let ver = self.ensure_version(&path, call.time);
         self.edge(&ev, &ver, "DELETES", call.time);
         if call.ret == 0 {
@@ -380,7 +406,9 @@ impl<'a> Builder<'a> {
 
     fn handle_attr(&mut self, call: &LibcCall) {
         let ev = self.event(call);
-        let Some(path) = call.args.first().cloned() else { return };
+        let Some(path) = call.args.first().cloned() else {
+            return;
+        };
         if call.ret == 0 {
             let ver = self.new_version(&path, call.time);
             self.edge(&ev, &ver, "SETS_ATTR", call.time);
@@ -404,7 +432,9 @@ impl<'a> Builder<'a> {
         self.pid_env.insert(child, parent_env.clone());
         let child_id = format!("proc{child}");
         if !self.graph.has_node(&child_id) {
-            self.graph.add_node(child_id.clone(), "Process").expect("fresh child");
+            self.graph
+                .add_node(child_id.clone(), "Process")
+                .expect("fresh child");
             self.graph
                 .set_node_property(&child_id, "pid", child.to_string())
                 .expect("exists");
@@ -421,7 +451,9 @@ impl<'a> Builder<'a> {
         self.edge(&ev, &child_id, "FORKS", call.time);
         // Environment node (OPUS records environments, §5.1).
         let env_node = self.fresh("env");
-        self.graph.add_node(env_node.clone(), "Env").expect("fresh env node");
+        self.graph
+            .add_node(env_node.clone(), "Env")
+            .expect("fresh env node");
         for (k, v) in &parent_env {
             self.graph
                 .set_node_property(&env_node, k.clone(), v.clone())
@@ -457,7 +489,9 @@ impl<'a> Builder<'a> {
             self.pid_env.insert(call.pid, env.clone());
         }
         let new_id = self.fresh("procx");
-        self.graph.add_node(new_id.clone(), "Process").expect("fresh incarnation");
+        self.graph
+            .add_node(new_id.clone(), "Process")
+            .expect("fresh incarnation");
         self.graph
             .set_node_property(&new_id, "pid", call.pid.to_string())
             .expect("exists");
@@ -552,15 +586,24 @@ mod tests {
 
     #[test]
     fn failed_rename_same_structure_different_ret() {
-        let setup = vec![SetupAction::CreateFile { path: "/staging/mine".into(), mode: 0o644 }];
+        let setup = vec![SetupAction::CreateFile {
+            path: "/staging/mine".into(),
+            mode: 0o644,
+        }];
         let ok = run(
-            vec![Op::Rename { old: "mine".into(), new: "theirs".into() }],
+            vec![Op::Rename {
+                old: "mine".into(),
+                new: "theirs".into(),
+            }],
             setup.clone(),
         );
         let failed = run(
             vec![
                 Op::Setuid { uid: 1000 },
-                Op::RenameExpectFailure { old: "mine".into(), new: "/etc/passwd".into() },
+                Op::RenameExpectFailure {
+                    old: "mine".into(),
+                    new: "/etc/passwd".into(),
+                },
             ],
             setup,
         );
@@ -600,7 +643,10 @@ mod tests {
                 mode: 0o644,
                 fd_var: "id".into(),
             },
-            Op::Dup { fd_var: "id".into(), new_var: "d".into() },
+            Op::Dup {
+                fd_var: "id".into(),
+                new_var: "d".into(),
+            },
         ];
         let g = run(ops, vec![]);
         let ev = events_named(&g, "dup")[0];
@@ -638,25 +684,46 @@ mod tests {
         let base = run(ops(vec![]), vec![]);
         let with_io = run(
             ops(vec![
-                Op::Write { fd_var: "id".into(), len: 10 },
-                Op::Read { fd_var: "id".into(), len: 10 },
+                Op::Write {
+                    fd_var: "id".into(),
+                    len: 10,
+                },
+                Op::Read {
+                    fd_var: "id".into(),
+                    len: 10,
+                },
             ]),
             vec![],
         );
         assert_eq!(base.size(), with_io.size(), "default config drops IO (NR)");
         let recorded = run_with(
-            ops(vec![Op::Write { fd_var: "id".into(), len: 10 }]),
+            ops(vec![Op::Write {
+                fd_var: "id".into(),
+                len: 10,
+            }]),
             vec![],
-            OpusConfig { record_io: true, ..OpusConfig::default() },
+            OpusConfig {
+                record_io: true,
+                ..OpusConfig::default()
+            },
         );
         assert!(recorded.size() > base.size());
     }
 
     #[test]
     fn fchmod_and_fchown_unwrapped_but_chmod_recorded() {
-        let setup = vec![SetupAction::CreateFile { path: "/staging/t".into(), mode: 0o644 }];
+        let setup = vec![SetupAction::CreateFile {
+            path: "/staging/t".into(),
+            mode: 0o644,
+        }];
         let base = run(vec![], setup.clone());
-        let chmod = run(vec![Op::Chmod { path: "t".into(), mode: 0o600 }], setup.clone());
+        let chmod = run(
+            vec![Op::Chmod {
+                path: "t".into(),
+                mode: 0o600,
+            }],
+            setup.clone(),
+        );
         assert!(chmod.size() > base.size());
         let open_then = |extra: Op| {
             vec![
@@ -670,7 +737,9 @@ mod tests {
             ]
         };
         let with_open = run(
-            open_then(Op::Close { fd_var: "id".into() }),
+            open_then(Op::Close {
+                fd_var: "id".into(),
+            }),
             setup.clone(),
         );
         let fchmod = run(
@@ -681,8 +750,13 @@ mod tests {
                     mode: 0,
                     fd_var: "id".into(),
                 },
-                Op::Fchmod { fd_var: "id".into(), mode: 0o600 },
-                Op::Close { fd_var: "id".into() },
+                Op::Fchmod {
+                    fd_var: "id".into(),
+                    mode: 0o600,
+                },
+                Op::Close {
+                    fd_var: "id".into(),
+                },
             ],
             setup,
         );
@@ -692,9 +766,21 @@ mod tests {
     #[test]
     fn mknod_recorded_mknodat_not() {
         let base = run(vec![], vec![]);
-        let mknod = run(vec![Op::Mknod { path: "fifo".into(), mode: 0o644 }], vec![]);
+        let mknod = run(
+            vec![Op::Mknod {
+                path: "fifo".into(),
+                mode: 0o644,
+            }],
+            vec![],
+        );
         assert!(mknod.size() > base.size());
-        let mknodat = run(vec![Op::Mknodat { path: "fifo".into(), mode: 0o644 }], vec![]);
+        let mknodat = run(
+            vec![Op::Mknodat {
+                path: "fifo".into(),
+                mode: 0o644,
+            }],
+            vec![],
+        );
         assert_eq!(mknodat.size(), base.size(), "mknodat unwrapped (NR)");
     }
 
@@ -702,17 +788,33 @@ mod tests {
     fn pipe_recorded_tee_not() {
         let base = run(vec![], vec![]);
         let pipe = run(
-            vec![Op::PipeOp { read_var: "r".into(), write_var: "w".into() }],
+            vec![Op::PipeOp {
+                read_var: "r".into(),
+                write_var: "w".into(),
+            }],
             vec![],
         );
         assert!(pipe.size() > base.size());
         assert_eq!(events_named(&pipe, "pipe").len(), 1);
         let tee = run(
             vec![
-                Op::PipeOp { read_var: "r1".into(), write_var: "w1".into() },
-                Op::Pipe2Op { read_var: "r2".into(), write_var: "w2".into() },
-                Op::Write { fd_var: "w1".into(), len: 4 },
-                Op::Tee { in_var: "r1".into(), out_var: "w2".into(), len: 4 },
+                Op::PipeOp {
+                    read_var: "r1".into(),
+                    write_var: "w1".into(),
+                },
+                Op::Pipe2Op {
+                    read_var: "r2".into(),
+                    write_var: "w2".into(),
+                },
+                Op::Write {
+                    fd_var: "w1".into(),
+                    len: 4,
+                },
+                Op::Tee {
+                    in_var: "r1".into(),
+                    out_var: "w2".into(),
+                    len: 4,
+                },
             ],
             vec![],
         );
@@ -723,7 +825,11 @@ mod tests {
     fn setres_family_unwrapped() {
         let base = run(vec![], vec![]);
         let g = run(
-            vec![Op::Setresuid { ruid: Some(500), euid: Some(500), suid: Some(500) }],
+            vec![Op::Setresuid {
+                ruid: Some(500),
+                euid: Some(500),
+                suid: Some(500),
+            }],
             vec![],
         );
         assert_eq!(g.size(), base.size(), "setresuid unwrapped (NR)");
@@ -736,7 +842,7 @@ mod tests {
         let g = run(vec![], vec![]);
         let exec_proc = g
             .nodes()
-            .find(|n| n.props.get("binary").is_some())
+            .find(|n| n.props.contains_key("binary"))
             .expect("exec incarnation exists");
         assert!(
             exec_proc.props.keys().any(|k| k.starts_with("env:")),
@@ -747,7 +853,11 @@ mod tests {
 
     #[test]
     fn store_roundtrip_through_neo4jsim() {
-        let ops = vec![Op::Creat { path: "t".into(), mode: 0o644, fd_var: "id".into() }];
+        let ops = vec![Op::Creat {
+            path: "t".into(),
+            mode: 0o644,
+            fd_var: "id".into(),
+        }];
         let mut prog = Program::new("creat");
         prog = prog.ops(ops);
         let mut kernel = Kernel::with_seed(1);

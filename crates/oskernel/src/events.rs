@@ -120,8 +120,8 @@ impl Syscall {
         use Syscall::*;
         match self {
             Close | Creat | Dup | Dup2 | Dup3 | Link | Linkat | Symlink | Symlinkat | Mknod
-            | Mknodat | Open | Openat | Read | Pread | Rename | Renameat | Truncate
-            | Ftruncate | Unlink | Unlinkat | Write | Pwrite => 1,
+            | Mknodat | Open | Openat | Read | Pread | Rename | Renameat | Truncate | Ftruncate
+            | Unlink | Unlinkat | Write | Pwrite => 1,
             Clone | Execve | Exit | Fork | Kill | Vfork => 2,
             Chmod | Fchmod | Fchmodat | Chown | Fchown | Fchownat | Setgid | Setregid
             | Setresgid | Setuid | Setreuid | Setresuid => 3,
@@ -133,11 +133,10 @@ impl Syscall {
     pub fn all() -> &'static [Syscall] {
         use Syscall::*;
         &[
-            Close, Creat, Dup, Dup2, Dup3, Link, Linkat, Symlink, Symlinkat, Mknod, Mknodat,
-            Open, Openat, Read, Pread, Rename, Renameat, Truncate, Ftruncate, Unlink, Unlinkat,
-            Write, Pwrite, Clone, Execve, Exit, Fork, Kill, Vfork, Chmod, Fchmod, Fchmodat,
-            Chown, Fchown, Fchownat, Setgid, Setregid, Setresgid, Setuid, Setreuid, Setresuid,
-            Pipe, Pipe2, Tee,
+            Close, Creat, Dup, Dup2, Dup3, Link, Linkat, Symlink, Symlinkat, Mknod, Mknodat, Open,
+            Openat, Read, Pread, Rename, Renameat, Truncate, Ftruncate, Unlink, Unlinkat, Write,
+            Pwrite, Clone, Execve, Exit, Fork, Kill, Vfork, Chmod, Fchmod, Fchmodat, Chown, Fchown,
+            Fchownat, Setgid, Setregid, Setresgid, Setuid, Setreuid, Setresuid, Pipe, Pipe2, Tee,
         ]
     }
 }
@@ -413,7 +412,9 @@ mod tests {
         let len = names.len();
         names.dedup();
         assert_eq!(names.len(), len);
-        assert!(names.iter().all(|n| n.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit())));
+        assert!(names.iter().all(|n| n
+            .chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit())));
     }
 
     #[test]

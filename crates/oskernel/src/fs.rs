@@ -122,7 +122,8 @@ impl Namespace {
     fn alloc_inode(&mut self, kind: InodeKind, mode: Mode, uid: Uid, gid: Gid) -> Ino {
         let ino = self.next_ino;
         self.next_ino += 1;
-        self.inodes.insert(ino, Inode::new(ino, kind, mode, uid, gid));
+        self.inodes
+            .insert(ino, Inode::new(ino, kind, mode, uid, gid));
         ino
     }
 
@@ -235,7 +236,12 @@ impl Namespace {
     }
 
     /// Add a hard link `new_path` → the inode at `old_path`.
-    pub fn link(&mut self, old_path: &str, new_path: &str, creds: &Credentials) -> Result<Ino, Errno> {
+    pub fn link(
+        &mut self,
+        old_path: &str,
+        new_path: &str,
+        creds: &Credentials,
+    ) -> Result<Ino, Errno> {
         let ino = self.lookup(old_path).ok_or(Errno::ENOENT)?;
         if matches!(self.inodes[&ino].kind, InodeKind::Directory) {
             return Err(Errno::EPERM);
@@ -457,11 +463,17 @@ mod tests {
         let a = ns
             .create("/tmp/a", InodeKind::Regular, 0o644, &user_creds())
             .unwrap();
-        assert_eq!(ns.rename("/tmp/a", "/tmp/a", &user_creds()).unwrap(), (a, None));
+        assert_eq!(
+            ns.rename("/tmp/a", "/tmp/a", &user_creds()).unwrap(),
+            (a, None)
+        );
         assert_eq!(ns.lookup("/tmp/a"), Some(a));
         // Hard-link variant: rename between two names of the same inode.
         ns.link("/tmp/a", "/tmp/b", &user_creds()).unwrap();
-        assert_eq!(ns.rename("/tmp/a", "/tmp/b", &user_creds()).unwrap(), (a, None));
+        assert_eq!(
+            ns.rename("/tmp/a", "/tmp/b", &user_creds()).unwrap(),
+            (a, None)
+        );
         assert_eq!(ns.inode(a).unwrap().nlink, 2, "no link may be lost");
     }
 

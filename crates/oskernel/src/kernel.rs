@@ -178,11 +178,36 @@ impl Kernel {
 
     fn populate_base_filesystem(&mut self) {
         let root = Credentials::root();
-        for dir in ["/bin", "/lib", "/etc", "/tmp", "/staging", "/usr", "/usr/local", "/usr/local/bin"] {
-            self.ns.mkdir(dir, if dir == "/tmp" || dir == "/staging" { 0o777 } else { 0o755 }, &root)
+        for dir in [
+            "/bin",
+            "/lib",
+            "/etc",
+            "/tmp",
+            "/staging",
+            "/usr",
+            "/usr/local",
+            "/usr/local/bin",
+        ] {
+            self.ns
+                .mkdir(
+                    dir,
+                    if dir == "/tmp" || dir == "/staging" {
+                        0o777
+                    } else {
+                        0o755
+                    },
+                    &root,
+                )
                 .expect("base directory creates");
         }
-        for file in ["/bin/sh", "/lib/ld-linux.so", "/lib/libc.so", "/etc/ld.so.cache", "/usr/local/bin/bench_fg", "/usr/local/bin/bench_bg"] {
+        for file in [
+            "/bin/sh",
+            "/lib/ld-linux.so",
+            "/lib/libc.so",
+            "/etc/ld.so.cache",
+            "/usr/local/bin/bench_fg",
+            "/usr/local/bin/bench_bg",
+        ] {
             self.ns
                 .create(file, InodeKind::Regular, 0o755, &root)
                 .expect("base file creates");
@@ -411,11 +436,15 @@ impl Kernel {
         if matches!(inode.kind, InodeKind::Directory) && flags.writable() {
             return Err(Errno::EISDIR);
         }
-        let allowed = created || inode.may_access(&creds, flags.readable(), flags.writable(), false);
+        let allowed =
+            created || inode.may_access(&creds, flags.readable(), flags.writable(), false);
         self.emit_lsm(
             pid,
             LsmHook::FileOpen,
-            vec![self.inode_object(ino), LsmObject::Path { path: norm.clone() }],
+            vec![
+                self.inode_object(ino),
+                LsmObject::Path { path: norm.clone() },
+            ],
             allowed,
         );
         if !allowed {
@@ -458,7 +487,11 @@ impl Kernel {
         let path = &self.abs(pid, path);
         let existed = self.ns.lookup(path).is_some();
         let r = self.do_open(pid, path, flags, mode);
-        let nametype = if !existed && r.is_ok() { "CREATE" } else { "NORMAL" };
+        let nametype = if !existed && r.is_ok() {
+            "CREATE"
+        } else {
+            "NORMAL"
+        };
         let paths = vec![self.path_record(path, nametype)];
         let args = vec![path.to_owned(), flags.to_string(), format!("{mode:o}")];
         self.emit_audit(pid, syscall, &r, args.clone(), paths, None);
@@ -471,7 +504,11 @@ impl Kernel {
         let path = self.fd_path(pid, fd);
         let r = (|| -> SysResult {
             let entry = self.fd_entry(pid, fd)?;
-            self.procs.get_mut(&pid).expect("live process").fds.remove(&fd);
+            self.procs
+                .get_mut(&pid)
+                .expect("live process")
+                .fds
+                .remove(&fd);
             self.drop_ofd_ref(entry.ofd);
             Ok(0)
         })();
@@ -494,7 +531,13 @@ impl Kernel {
         let proc = self.procs.get_mut(&pid).expect("live process");
         let fd = match newfd {
             Some(nf) => {
-                if let Some(old) = proc.fds.insert(nf, FdEntry { ofd: entry.ofd, cloexec }) {
+                if let Some(old) = proc.fds.insert(
+                    nf,
+                    FdEntry {
+                        ofd: entry.ofd,
+                        cloexec,
+                    },
+                ) {
                     // Implicit close of the previous occupant.
                     self.drop_ofd_ref(old.ofd);
                 }
@@ -502,7 +545,13 @@ impl Kernel {
             }
             None => {
                 let nf = proc.lowest_free_fd();
-                proc.fds.insert(nf, FdEntry { ofd: entry.ofd, cloexec });
+                proc.fds.insert(
+                    nf,
+                    FdEntry {
+                        ofd: entry.ofd,
+                        cloexec,
+                    },
+                );
                 nf
             }
         };
@@ -549,7 +598,12 @@ impl Kernel {
         }
         match ofd.target.clone() {
             OfdTarget::Inode(ino) => {
-                self.emit_lsm(pid, LsmHook::FilePermissionRead, vec![self.inode_object(ino)], true);
+                self.emit_lsm(
+                    pid,
+                    LsmHook::FilePermissionRead,
+                    vec![self.inode_object(ino)],
+                    true,
+                );
                 let size = self.ns.inode(ino).map(|i| i.size).unwrap_or(0);
                 let pos = offset.unwrap_or(self.ofds[entry.ofd].offset);
                 let n = len.min(size.saturating_sub(pos));
@@ -559,7 +613,14 @@ impl Kernel {
                 Ok(n as i64)
             }
             OfdTarget::PipeRead(i) => {
-                self.emit_lsm(pid, LsmHook::FilePermissionRead, vec![LsmObject::Path { path: format!("pipe:[{i}]") }], true);
+                self.emit_lsm(
+                    pid,
+                    LsmHook::FilePermissionRead,
+                    vec![LsmObject::Path {
+                        path: format!("pipe:[{i}]"),
+                    }],
+                    true,
+                );
                 let data = self.pipes[i].read(len as usize);
                 Ok(data.len() as i64)
             }
@@ -575,7 +636,12 @@ impl Kernel {
         }
         match ofd.target.clone() {
             OfdTarget::Inode(ino) => {
-                self.emit_lsm(pid, LsmHook::FilePermissionWrite, vec![self.inode_object(ino)], true);
+                self.emit_lsm(
+                    pid,
+                    LsmHook::FilePermissionWrite,
+                    vec![self.inode_object(ino)],
+                    true,
+                );
                 let pos = offset.unwrap_or(self.ofds[entry.ofd].offset);
                 let inode = self.ns.inode_mut(ino).ok_or(Errno::ENOENT)?;
                 inode.size = inode.size.max(pos + len);
@@ -589,7 +655,14 @@ impl Kernel {
                 if !self.pipes[i].read_open {
                     return Err(Errno::EPIPE);
                 }
-                self.emit_lsm(pid, LsmHook::FilePermissionWrite, vec![LsmObject::Path { path: format!("pipe:[{i}]") }], true);
+                self.emit_lsm(
+                    pid,
+                    LsmHook::FilePermissionWrite,
+                    vec![LsmObject::Path {
+                        path: format!("pipe:[{i}]"),
+                    }],
+                    true,
+                );
                 let data = vec![0u8; len as usize];
                 let n = self.pipes[i].write(&data);
                 Ok(n as i64)
@@ -630,6 +703,7 @@ impl Kernel {
         r
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn finish_io(
         &mut self,
         pid: Pid,
@@ -649,7 +723,14 @@ impl Kernel {
         self.emit_libc(pid, func, args, r, None);
     }
 
-    fn sys_link_variant(&mut self, pid: Pid, old: &str, new: &str, syscall: Syscall, func: &str) -> SysResult {
+    fn sys_link_variant(
+        &mut self,
+        pid: Pid,
+        old: &str,
+        new: &str,
+        syscall: Syscall,
+        func: &str,
+    ) -> SysResult {
         let old = &self.abs(pid, old);
         let new = &self.abs(pid, new);
         let creds = self.procs[&pid].creds;
@@ -658,7 +739,12 @@ impl Kernel {
             self.emit_lsm(
                 pid,
                 LsmHook::InodeLink,
-                vec![self.inode_object(ino), LsmObject::Path { path: Namespace::normalize(new) }],
+                vec![
+                    self.inode_object(ino),
+                    LsmObject::Path {
+                        path: Namespace::normalize(new),
+                    },
+                ],
                 true,
             );
         }
@@ -683,14 +769,23 @@ impl Kernel {
         self.sys_link_variant(pid, old, new, Syscall::Linkat, "linkat")
     }
 
-    fn sys_symlink_variant(&mut self, pid: Pid, target: &str, linkpath: &str, syscall: Syscall, func: &str) -> SysResult {
+    fn sys_symlink_variant(
+        &mut self,
+        pid: Pid,
+        target: &str,
+        linkpath: &str,
+        syscall: Syscall,
+        func: &str,
+    ) -> SysResult {
         let target = &self.abs(pid, target);
         let linkpath = &self.abs(pid, linkpath);
         let creds = self.procs[&pid].creds;
         self.emit_lsm(
             pid,
             LsmHook::InodeSymlink,
-            vec![LsmObject::Path { path: Namespace::normalize(linkpath) }],
+            vec![LsmObject::Path {
+                path: Namespace::normalize(linkpath),
+            }],
             true,
         );
         let r = self.ns.symlink(target, linkpath, &creds).map(|_| 0i64);
@@ -711,13 +806,23 @@ impl Kernel {
         self.sys_symlink_variant(pid, target, linkpath, Syscall::Symlinkat, "symlinkat")
     }
 
-    fn sys_mknod_variant(&mut self, pid: Pid, path: &str, kind: InodeKind, mode: Mode, syscall: Syscall, func: &str) -> SysResult {
+    fn sys_mknod_variant(
+        &mut self,
+        pid: Pid,
+        path: &str,
+        kind: InodeKind,
+        mode: Mode,
+        syscall: Syscall,
+        func: &str,
+    ) -> SysResult {
         let path = &self.abs(pid, path);
         let creds = self.procs[&pid].creds;
         self.emit_lsm(
             pid,
             LsmHook::InodeMknod,
-            vec![LsmObject::Path { path: Namespace::normalize(path) }],
+            vec![LsmObject::Path {
+                path: Namespace::normalize(path),
+            }],
             true,
         );
         let r = self.ns.create(path, kind, mode, &creds).map(|_| 0i64);
@@ -735,10 +840,24 @@ impl Kernel {
 
     /// `mknodat(2)` (`AT_FDCWD` only).
     pub fn sys_mknodat(&mut self, pid: Pid, path: &str, mode: Mode) -> SysResult {
-        self.sys_mknod_variant(pid, path, InodeKind::Fifo, mode, Syscall::Mknodat, "mknodat")
+        self.sys_mknod_variant(
+            pid,
+            path,
+            InodeKind::Fifo,
+            mode,
+            Syscall::Mknodat,
+            "mknodat",
+        )
     }
 
-    fn sys_rename_variant(&mut self, pid: Pid, old: &str, new: &str, syscall: Syscall, func: &str) -> SysResult {
+    fn sys_rename_variant(
+        &mut self,
+        pid: Pid,
+        old: &str,
+        new: &str,
+        syscall: Syscall,
+        func: &str,
+    ) -> SysResult {
         let old = &self.abs(pid, old);
         let new = &self.abs(pid, new);
         let creds = self.procs[&pid].creds;
@@ -748,8 +867,12 @@ impl Kernel {
                 LsmHook::InodeRename,
                 vec![
                     self.inode_object(ino),
-                    LsmObject::Path { path: Namespace::normalize(old) },
-                    LsmObject::Path { path: Namespace::normalize(new) },
+                    LsmObject::Path {
+                        path: Namespace::normalize(old),
+                    },
+                    LsmObject::Path {
+                        path: Namespace::normalize(new),
+                    },
                 ],
                 self.ns.check_parent_writable(new, &creds).is_ok(),
             );
@@ -779,7 +902,12 @@ impl Kernel {
         let creds = self.procs[&pid].creds;
         let inode = self.ns.inode(ino).ok_or(Errno::ENOENT)?;
         let allowed = inode.may_access(&creds, false, true, false);
-        self.emit_lsm(pid, LsmHook::InodeSetattr, vec![self.inode_object(ino)], allowed);
+        self.emit_lsm(
+            pid,
+            LsmHook::InodeSetattr,
+            vec![self.inode_object(ino)],
+            allowed,
+        );
         if !allowed {
             return Err(Errno::EACCES);
         }
@@ -820,14 +948,25 @@ impl Kernel {
         r
     }
 
-    fn sys_unlink_variant(&mut self, pid: Pid, path: &str, syscall: Syscall, func: &str) -> SysResult {
+    fn sys_unlink_variant(
+        &mut self,
+        pid: Pid,
+        path: &str,
+        syscall: Syscall,
+        func: &str,
+    ) -> SysResult {
         let path = &self.abs(pid, path);
         let creds = self.procs[&pid].creds;
         if let Some(ino) = self.ns.lookup(path) {
             self.emit_lsm(
                 pid,
                 LsmHook::InodeUnlink,
-                vec![self.inode_object(ino), LsmObject::Path { path: Namespace::normalize(path) }],
+                vec![
+                    self.inode_object(ino),
+                    LsmObject::Path {
+                        path: Namespace::normalize(path),
+                    },
+                ],
                 self.ns.check_parent_writable(path, &creds).is_ok(),
             );
         }
@@ -867,7 +1006,12 @@ impl Kernel {
         }
         child.vfork_child = vfork;
         self.procs.insert(child_pid, child);
-        self.emit_lsm(parent, LsmHook::TaskAlloc, vec![LsmObject::Task { pid: child_pid }], true);
+        self.emit_lsm(
+            parent,
+            LsmHook::TaskAlloc,
+            vec![LsmObject::Task { pid: child_pid }],
+            true,
+        );
         child_pid
     }
 
@@ -888,7 +1032,8 @@ impl Kernel {
     pub fn sys_vfork(&mut self, pid: Pid) -> SysResult {
         let child = self.clone_process(pid, true);
         self.procs.get_mut(&pid).expect("parent lives").state = ProcessState::VforkWait;
-        self.pending_vfork.push(PendingVforkAudit { parent: pid, child });
+        self.pending_vfork
+            .push(PendingVforkAudit { parent: pid, child });
         Ok(child as i64)
     }
 
@@ -898,7 +1043,14 @@ impl Kernel {
     pub fn sys_clone(&mut self, pid: Pid) -> SysResult {
         let child = self.clone_process(pid, false);
         let r = Ok(child as i64);
-        self.emit_audit(pid, Syscall::Clone, &r, vec!["CLONE_VM".into()], vec![], Some(child));
+        self.emit_audit(
+            pid,
+            Syscall::Clone,
+            &r,
+            vec!["CLONE_VM".into()],
+            vec![],
+            Some(child),
+        );
         r
     }
 
@@ -927,7 +1079,12 @@ impl Kernel {
 
     /// `execve(2)`: replace the process image. Fires `bprm_check`; closes
     /// cloexec descriptors; releases a vfork-suspended parent.
-    pub fn sys_execve(&mut self, pid: Pid, path: &str, env: &BTreeMap<String, String>) -> SysResult {
+    pub fn sys_execve(
+        &mut self,
+        pid: Pid,
+        path: &str,
+        env: &BTreeMap<String, String>,
+    ) -> SysResult {
         let path = &self.abs(pid, path);
         let creds = self.procs[&pid].creds;
         let r: SysResult = match self.ns.resolve(path) {
@@ -937,7 +1094,12 @@ impl Kernel {
                 self.emit_lsm(
                     pid,
                     LsmHook::BprmCheck,
-                    vec![self.inode_object(ino), LsmObject::Path { path: Namespace::normalize(path) }],
+                    vec![
+                        self.inode_object(ino),
+                        LsmObject::Path {
+                            path: Namespace::normalize(path),
+                        },
+                    ],
                     allowed,
                 );
                 if allowed {
@@ -961,7 +1123,13 @@ impl Kernel {
                 .map(|(fd, _)| *fd)
                 .collect();
             for fd in cloexec {
-                if let Some(entry) = self.procs.get_mut(&pid).expect("live process").fds.remove(&fd) {
+                if let Some(entry) = self
+                    .procs
+                    .get_mut(&pid)
+                    .expect("live process")
+                    .fds
+                    .remove(&fd)
+                {
                     self.drop_ofd_ref(entry.ofd);
                 }
             }
@@ -1009,7 +1177,12 @@ impl Kernel {
             }
             Ok(0)
         })();
-        self.emit_lsm(pid, LsmHook::TaskKill, vec![LsmObject::Task { pid: target }], r.is_ok());
+        self.emit_lsm(
+            pid,
+            LsmHook::TaskKill,
+            vec![LsmObject::Task { pid: target }],
+            r.is_ok(),
+        );
         if r.is_ok() {
             let fds: Vec<FdEntry> = self.procs[&target].fds.values().copied().collect();
             for e in fds {
@@ -1031,7 +1204,12 @@ impl Kernel {
         let creds = self.procs[&pid].creds;
         let inode = self.ns.inode(ino).ok_or(Errno::ENOENT)?;
         let allowed = creds.privileged() || creds.euid == inode.uid;
-        self.emit_lsm(pid, LsmHook::InodeSetattr, vec![self.inode_object(ino)], allowed);
+        self.emit_lsm(
+            pid,
+            LsmHook::InodeSetattr,
+            vec![self.inode_object(ino)],
+            allowed,
+        );
         if !allowed {
             return Err(Errno::EPERM);
         }
@@ -1059,7 +1237,15 @@ impl Kernel {
             Ok(ino) => self.do_chmod(pid, ino, mode),
             Err(e) => Err(e),
         };
-        self.finish_perm_fd(pid, Syscall::Fchmod, "fchmod", fd, path, &format!("{mode:o}"), &r);
+        self.finish_perm_fd(
+            pid,
+            Syscall::Fchmod,
+            "fchmod",
+            fd,
+            path,
+            &format!("{mode:o}"),
+            &r,
+        );
         r
     }
 
@@ -1070,14 +1256,26 @@ impl Kernel {
             Ok(ino) => self.do_chmod(pid, ino, mode),
             Err(e) => Err(e),
         };
-        self.finish_perm_path(pid, Syscall::Fchmodat, "fchmodat", path, &format!("{mode:o}"), &r);
+        self.finish_perm_path(
+            pid,
+            Syscall::Fchmodat,
+            "fchmodat",
+            path,
+            &format!("{mode:o}"),
+            &r,
+        );
         r
     }
 
     fn do_chown(&mut self, pid: Pid, ino: Ino, uid: Uid, gid: Gid) -> SysResult {
         let creds = self.procs[&pid].creds;
         let allowed = creds.privileged();
-        self.emit_lsm(pid, LsmHook::InodeSetown, vec![self.inode_object(ino)], allowed);
+        self.emit_lsm(
+            pid,
+            LsmHook::InodeSetown,
+            vec![self.inode_object(ino)],
+            allowed,
+        );
         if !allowed {
             return Err(Errno::EPERM);
         }
@@ -1095,7 +1293,14 @@ impl Kernel {
             Ok(ino) => self.do_chown(pid, ino, uid, gid),
             Err(e) => Err(e),
         };
-        self.finish_perm_path(pid, Syscall::Chown, "chown", path, &format!("{uid}:{gid}"), &r);
+        self.finish_perm_path(
+            pid,
+            Syscall::Chown,
+            "chown",
+            path,
+            &format!("{uid}:{gid}"),
+            &r,
+        );
         r
     }
 
@@ -1106,7 +1311,15 @@ impl Kernel {
             Ok(ino) => self.do_chown(pid, ino, uid, gid),
             Err(e) => Err(e),
         };
-        self.finish_perm_fd(pid, Syscall::Fchown, "fchown", fd, path, &format!("{uid}:{gid}"), &r);
+        self.finish_perm_fd(
+            pid,
+            Syscall::Fchown,
+            "fchown",
+            fd,
+            path,
+            &format!("{uid}:{gid}"),
+            &r,
+        );
         r
     }
 
@@ -1117,18 +1330,43 @@ impl Kernel {
             Ok(ino) => self.do_chown(pid, ino, uid, gid),
             Err(e) => Err(e),
         };
-        self.finish_perm_path(pid, Syscall::Fchownat, "fchownat", path, &format!("{uid}:{gid}"), &r);
+        self.finish_perm_path(
+            pid,
+            Syscall::Fchownat,
+            "fchownat",
+            path,
+            &format!("{uid}:{gid}"),
+            &r,
+        );
         r
     }
 
-    fn finish_perm_path(&mut self, pid: Pid, syscall: Syscall, func: &str, path: &str, arg: &str, r: &SysResult) {
+    fn finish_perm_path(
+        &mut self,
+        pid: Pid,
+        syscall: Syscall,
+        func: &str,
+        path: &str,
+        arg: &str,
+        r: &SysResult,
+    ) {
         let paths = vec![self.path_record(path, "NORMAL")];
         let args = vec![path.to_owned(), arg.to_owned()];
         self.emit_audit(pid, syscall, r, args.clone(), paths, None);
         self.emit_libc(pid, func, args, r, None);
     }
 
-    fn finish_perm_fd(&mut self, pid: Pid, syscall: Syscall, func: &str, fd: i32, path: Option<String>, arg: &str, r: &SysResult) {
+    #[allow(clippy::too_many_arguments)]
+    fn finish_perm_fd(
+        &mut self,
+        pid: Pid,
+        syscall: Syscall,
+        func: &str,
+        fd: i32,
+        path: Option<String>,
+        arg: &str,
+        r: &SysResult,
+    ) {
         let paths = path
             .as_deref()
             .map(|p| vec![self.path_record(p, "NORMAL")])
@@ -1158,7 +1396,11 @@ impl Kernel {
             Ok(()) => Ok(0),
             Err(e) => Err(e),
         };
-        let hook = if is_uid { LsmHook::TaskFixSetuid } else { LsmHook::TaskFixSetgid };
+        let hook = if is_uid {
+            LsmHook::TaskFixSetuid
+        } else {
+            LsmHook::TaskFixSetgid
+        };
         self.emit_lsm(pid, hook, vec![LsmObject::Task { pid }], r.is_ok());
         let changed = new != old;
         if r.is_ok() {
@@ -1177,97 +1419,167 @@ impl Kernel {
     /// `setuid(2)`.
     pub fn sys_setuid(&mut self, pid: Pid, uid: Uid) -> SysResult {
         let priv_ = self.procs[&pid].creds.privileged();
-        self.set_creds(pid, Syscall::Setuid, "setuid", |c| {
-            if priv_ {
-                c.uid = uid;
-                c.euid = uid;
-                c.suid = uid;
-                Ok(())
-            } else if uid == c.uid || uid == c.suid {
-                c.euid = uid;
-                Ok(())
-            } else {
-                Err(Errno::EPERM)
-            }
-        }, true)
+        self.set_creds(
+            pid,
+            Syscall::Setuid,
+            "setuid",
+            |c| {
+                if priv_ {
+                    c.uid = uid;
+                    c.euid = uid;
+                    c.suid = uid;
+                    Ok(())
+                } else if uid == c.uid || uid == c.suid {
+                    c.euid = uid;
+                    Ok(())
+                } else {
+                    Err(Errno::EPERM)
+                }
+            },
+            true,
+        )
     }
 
     /// `setreuid(2)`.
     pub fn sys_setreuid(&mut self, pid: Pid, ruid: Option<Uid>, euid: Option<Uid>) -> SysResult {
         let priv_ = self.procs[&pid].creds.privileged();
-        self.set_creds(pid, Syscall::Setreuid, "setreuid", |c| {
-            let target_r = ruid.unwrap_or(c.uid);
-            let target_e = euid.unwrap_or(c.euid);
-            if !priv_ && (![c.uid, c.euid, c.suid].contains(&target_r) || ![c.uid, c.euid, c.suid].contains(&target_e)) {
-                return Err(Errno::EPERM);
-            }
-            c.uid = target_r;
-            c.euid = target_e;
-            Ok(())
-        }, true)
+        self.set_creds(
+            pid,
+            Syscall::Setreuid,
+            "setreuid",
+            |c| {
+                let target_r = ruid.unwrap_or(c.uid);
+                let target_e = euid.unwrap_or(c.euid);
+                if !priv_
+                    && (![c.uid, c.euid, c.suid].contains(&target_r)
+                        || ![c.uid, c.euid, c.suid].contains(&target_e))
+                {
+                    return Err(Errno::EPERM);
+                }
+                c.uid = target_r;
+                c.euid = target_e;
+                Ok(())
+            },
+            true,
+        )
     }
 
     /// `setresuid(2)`.
-    pub fn sys_setresuid(&mut self, pid: Pid, ruid: Option<Uid>, euid: Option<Uid>, suid: Option<Uid>) -> SysResult {
+    pub fn sys_setresuid(
+        &mut self,
+        pid: Pid,
+        ruid: Option<Uid>,
+        euid: Option<Uid>,
+        suid: Option<Uid>,
+    ) -> SysResult {
         let priv_ = self.procs[&pid].creds.privileged();
-        self.set_creds(pid, Syscall::Setresuid, "setresuid", |c| {
-            let (r, e, s) = (ruid.unwrap_or(c.uid), euid.unwrap_or(c.euid), suid.unwrap_or(c.suid));
-            if !priv_ && [r, e, s].iter().any(|v| ![c.uid, c.euid, c.suid].contains(v)) {
-                return Err(Errno::EPERM);
-            }
-            c.uid = r;
-            c.euid = e;
-            c.suid = s;
-            Ok(())
-        }, true)
+        self.set_creds(
+            pid,
+            Syscall::Setresuid,
+            "setresuid",
+            |c| {
+                let (r, e, s) = (
+                    ruid.unwrap_or(c.uid),
+                    euid.unwrap_or(c.euid),
+                    suid.unwrap_or(c.suid),
+                );
+                if !priv_
+                    && [r, e, s]
+                        .iter()
+                        .any(|v| ![c.uid, c.euid, c.suid].contains(v))
+                {
+                    return Err(Errno::EPERM);
+                }
+                c.uid = r;
+                c.euid = e;
+                c.suid = s;
+                Ok(())
+            },
+            true,
+        )
     }
 
     /// `setgid(2)`.
     pub fn sys_setgid(&mut self, pid: Pid, gid: Gid) -> SysResult {
         let priv_ = self.procs[&pid].creds.privileged();
-        self.set_creds(pid, Syscall::Setgid, "setgid", |c| {
-            if priv_ {
-                c.gid = gid;
-                c.egid = gid;
-                c.sgid = gid;
-                Ok(())
-            } else if gid == c.gid || gid == c.sgid {
-                c.egid = gid;
-                Ok(())
-            } else {
-                Err(Errno::EPERM)
-            }
-        }, false)
+        self.set_creds(
+            pid,
+            Syscall::Setgid,
+            "setgid",
+            |c| {
+                if priv_ {
+                    c.gid = gid;
+                    c.egid = gid;
+                    c.sgid = gid;
+                    Ok(())
+                } else if gid == c.gid || gid == c.sgid {
+                    c.egid = gid;
+                    Ok(())
+                } else {
+                    Err(Errno::EPERM)
+                }
+            },
+            false,
+        )
     }
 
     /// `setregid(2)`.
     pub fn sys_setregid(&mut self, pid: Pid, rgid: Option<Gid>, egid: Option<Gid>) -> SysResult {
         let priv_ = self.procs[&pid].creds.privileged();
-        self.set_creds(pid, Syscall::Setregid, "setregid", |c| {
-            let target_r = rgid.unwrap_or(c.gid);
-            let target_e = egid.unwrap_or(c.egid);
-            if !priv_ && (![c.gid, c.egid, c.sgid].contains(&target_r) || ![c.gid, c.egid, c.sgid].contains(&target_e)) {
-                return Err(Errno::EPERM);
-            }
-            c.gid = target_r;
-            c.egid = target_e;
-            Ok(())
-        }, false)
+        self.set_creds(
+            pid,
+            Syscall::Setregid,
+            "setregid",
+            |c| {
+                let target_r = rgid.unwrap_or(c.gid);
+                let target_e = egid.unwrap_or(c.egid);
+                if !priv_
+                    && (![c.gid, c.egid, c.sgid].contains(&target_r)
+                        || ![c.gid, c.egid, c.sgid].contains(&target_e))
+                {
+                    return Err(Errno::EPERM);
+                }
+                c.gid = target_r;
+                c.egid = target_e;
+                Ok(())
+            },
+            false,
+        )
     }
 
     /// `setresgid(2)`.
-    pub fn sys_setresgid(&mut self, pid: Pid, rgid: Option<Gid>, egid: Option<Gid>, sgid: Option<Gid>) -> SysResult {
+    pub fn sys_setresgid(
+        &mut self,
+        pid: Pid,
+        rgid: Option<Gid>,
+        egid: Option<Gid>,
+        sgid: Option<Gid>,
+    ) -> SysResult {
         let priv_ = self.procs[&pid].creds.privileged();
-        self.set_creds(pid, Syscall::Setresgid, "setresgid", |c| {
-            let (r, e, s) = (rgid.unwrap_or(c.gid), egid.unwrap_or(c.egid), sgid.unwrap_or(c.sgid));
-            if !priv_ && [r, e, s].iter().any(|v| ![c.gid, c.egid, c.sgid].contains(v)) {
-                return Err(Errno::EPERM);
-            }
-            c.gid = r;
-            c.egid = e;
-            c.sgid = s;
-            Ok(())
-        }, false)
+        self.set_creds(
+            pid,
+            Syscall::Setresgid,
+            "setresgid",
+            |c| {
+                let (r, e, s) = (
+                    rgid.unwrap_or(c.gid),
+                    egid.unwrap_or(c.egid),
+                    sgid.unwrap_or(c.sgid),
+                );
+                if !priv_
+                    && [r, e, s]
+                        .iter()
+                        .any(|v| ![c.gid, c.egid, c.sgid].contains(v))
+                {
+                    return Err(Errno::EPERM);
+                }
+                c.gid = r;
+                c.egid = e;
+                c.sgid = s;
+                Ok(())
+            },
+            false,
+        )
     }
 
     // ----- group 4: pipe syscalls --------------------------------------------
@@ -1275,14 +1587,28 @@ impl Kernel {
     fn do_pipe(&mut self, pid: Pid, cloexec: bool) -> Result<(i32, i32), Errno> {
         self.pipes.push(Pipe::new());
         let idx = self.pipes.len() - 1;
-        let r_ofd = self.alloc_ofd(OfdTarget::PipeRead(idx), OpenFlags::RDONLY, Some(format!("pipe:[{idx}]")));
+        let r_ofd = self.alloc_ofd(
+            OfdTarget::PipeRead(idx),
+            OpenFlags::RDONLY,
+            Some(format!("pipe:[{idx}]")),
+        );
         let rfd = self.install_fd(pid, r_ofd, cloexec);
-        let w_ofd = self.alloc_ofd(OfdTarget::PipeWrite(idx), OpenFlags::WRONLY, Some(format!("pipe:[{idx}]")));
+        let w_ofd = self.alloc_ofd(
+            OfdTarget::PipeWrite(idx),
+            OpenFlags::WRONLY,
+            Some(format!("pipe:[{idx}]")),
+        );
         let wfd = self.install_fd(pid, w_ofd, cloexec);
         Ok((rfd, wfd))
     }
 
-    fn sys_pipe_variant(&mut self, pid: Pid, cloexec: bool, syscall: Syscall, func: &str) -> Result<(i32, i32), Errno> {
+    fn sys_pipe_variant(
+        &mut self,
+        pid: Pid,
+        cloexec: bool,
+        syscall: Syscall,
+        func: &str,
+    ) -> Result<(i32, i32), Errno> {
         // No LSM hook: CamFlow does not observe pipe creation
         // (Table 2: `pipe` empty/NR for CamFlow).
         let r = self.do_pipe(pid, cloexec);
@@ -1327,8 +1653,12 @@ impl Kernel {
                 pid,
                 LsmHook::FileSplice,
                 vec![
-                    LsmObject::Path { path: format!("pipe:[{in_pipe}]") },
-                    LsmObject::Path { path: format!("pipe:[{out_pipe}]") },
+                    LsmObject::Path {
+                        path: format!("pipe:[{in_pipe}]"),
+                    },
+                    LsmObject::Path {
+                        path: format!("pipe:[{out_pipe}]"),
+                    },
                 ],
                 true,
             );
@@ -1431,7 +1761,11 @@ impl Kernel {
             let expect_failure = op.expects_failure();
             let r = self.run_op(pid, op, results, success, fd_vars, last_child);
             results.push(r);
-            let ok = if expect_failure { r.is_err() } else { r.is_ok() };
+            let ok = if expect_failure {
+                r.is_err()
+            } else {
+                r.is_ok()
+            };
             if !ok {
                 *success = false;
             }
@@ -1452,14 +1786,24 @@ impl Kernel {
             vars.get(name).copied().ok_or(Errno::EBADF)
         };
         match op {
-            Op::Open { path, flags, mode, fd_var } => {
+            Op::Open {
+                path,
+                flags,
+                mode,
+                fd_var,
+            } => {
                 let r = self.sys_open(pid, path, *flags, *mode);
                 if let Ok(fd) = r {
                     fd_vars.insert(fd_var.clone(), fd as i32);
                 }
                 r
             }
-            Op::Openat { path, flags, mode, fd_var } => {
+            Op::Openat {
+                path,
+                flags,
+                mode,
+                fd_var,
+            } => {
                 let r = self.sys_openat(pid, path, *flags, *mode);
                 if let Ok(fd) = r {
                     fd_vars.insert(fd_var.clone(), fd as i32);
@@ -1485,7 +1829,11 @@ impl Kernel {
                 }
                 r
             }
-            Op::Dup2 { fd_var, newfd, new_var } => {
+            Op::Dup2 {
+                fd_var,
+                newfd,
+                new_var,
+            } => {
                 let fd = fd_of(fd_vars, fd_var)?;
                 let r = self.sys_dup2(pid, fd, *newfd);
                 if let Ok(nfd) = r {
@@ -1493,7 +1841,11 @@ impl Kernel {
                 }
                 r
             }
-            Op::Dup3 { fd_var, newfd, new_var } => {
+            Op::Dup3 {
+                fd_var,
+                newfd,
+                new_var,
+            } => {
                 let fd = fd_of(fd_vars, fd_var)?;
                 let r = self.sys_dup3(pid, fd, *newfd, false);
                 if let Ok(nfd) = r {
@@ -1505,7 +1857,11 @@ impl Kernel {
                 let fd = fd_of(fd_vars, fd_var)?;
                 self.sys_read(pid, fd, *len)
             }
-            Op::Pread { fd_var, len, offset } => {
+            Op::Pread {
+                fd_var,
+                len,
+                offset,
+            } => {
                 let fd = fd_of(fd_vars, fd_var)?;
                 self.sys_pread(pid, fd, *len, *offset)
             }
@@ -1513,7 +1869,11 @@ impl Kernel {
                 let fd = fd_of(fd_vars, fd_var)?;
                 self.sys_write(pid, fd, *len)
             }
-            Op::Pwrite { fd_var, len, offset } => {
+            Op::Pwrite {
+                fd_var,
+                len,
+                offset,
+            } => {
                 let fd = fd_of(fd_vars, fd_var)?;
                 self.sys_pwrite(pid, fd, *len, *offset)
             }
@@ -1526,9 +1886,7 @@ impl Kernel {
             Op::Rename { old, new } => self.sys_rename(pid, old, new),
             Op::Renameat { old, new } => self.sys_renameat(pid, old, new),
             Op::RenameExpectFailure { old, new } => self.sys_rename(pid, old, new),
-            Op::MustFail(inner) => {
-                self.run_op(pid, inner, results, success, fd_vars, last_child)
-            }
+            Op::MustFail(inner) => self.run_op(pid, inner, results, success, fd_vars, last_child),
             Op::Truncate { path, len } => self.sys_truncate(pid, path, *len),
             Op::Ftruncate { fd_var, len } => {
                 let fd = fd_of(fd_vars, fd_var)?;
@@ -1543,7 +1901,14 @@ impl Kernel {
                     *last_child = Some(cpid);
                     let mut child_vars = fd_vars.clone();
                     let mut child_last = None;
-                    self.run_ops_inner(cpid, child, results, success, &mut child_vars, &mut child_last);
+                    self.run_ops_inner(
+                        cpid,
+                        child,
+                        results,
+                        success,
+                        &mut child_vars,
+                        &mut child_last,
+                    );
                     if !self.procs[&cpid].terminated() {
                         let _ = self.sys_exit(cpid, 0);
                     }
@@ -1557,7 +1922,14 @@ impl Kernel {
                     *last_child = Some(cpid);
                     let mut child_vars = fd_vars.clone();
                     let mut child_last = None;
-                    self.run_ops_inner(cpid, child, results, success, &mut child_vars, &mut child_last);
+                    self.run_ops_inner(
+                        cpid,
+                        child,
+                        results,
+                        success,
+                        &mut child_vars,
+                        &mut child_last,
+                    );
                     // Deliberately no implicit exit: the child keeps
                     // running (the kill benchmark's victim).
                 }
@@ -1570,7 +1942,14 @@ impl Kernel {
                     *last_child = Some(cpid);
                     let mut child_vars = fd_vars.clone();
                     let mut child_last = None;
-                    self.run_ops_inner(cpid, child, results, success, &mut child_vars, &mut child_last);
+                    self.run_ops_inner(
+                        cpid,
+                        child,
+                        results,
+                        success,
+                        &mut child_vars,
+                        &mut child_last,
+                    );
                     if !self.procs[&cpid].terminated() {
                         let _ = self.sys_exit(cpid, 0);
                     }
@@ -1584,7 +1963,14 @@ impl Kernel {
                     *last_child = Some(cpid);
                     let mut child_vars = fd_vars.clone();
                     let mut child_last = None;
-                    self.run_ops_inner(cpid, child, results, success, &mut child_vars, &mut child_last);
+                    self.run_ops_inner(
+                        cpid,
+                        child,
+                        results,
+                        success,
+                        &mut child_vars,
+                        &mut child_last,
+                    );
                     if !self.procs[&cpid].terminated() {
                         let _ = self.sys_exit(cpid, 0);
                     }
@@ -1618,7 +2004,10 @@ impl Kernel {
             Op::Setgid { gid } => self.sys_setgid(pid, *gid),
             Op::Setregid { rgid, egid } => self.sys_setregid(pid, *rgid, *egid),
             Op::Setresgid { rgid, egid, sgid } => self.sys_setresgid(pid, *rgid, *egid, *sgid),
-            Op::PipeOp { read_var, write_var } => match self.sys_pipe(pid) {
+            Op::PipeOp {
+                read_var,
+                write_var,
+            } => match self.sys_pipe(pid) {
                 Ok((rfd, wfd)) => {
                     fd_vars.insert(read_var.clone(), rfd);
                     fd_vars.insert(write_var.clone(), wfd);
@@ -1626,7 +2015,10 @@ impl Kernel {
                 }
                 Err(e) => Err(e),
             },
-            Op::Pipe2Op { read_var, write_var } => match self.sys_pipe2(pid) {
+            Op::Pipe2Op {
+                read_var,
+                write_var,
+            } => match self.sys_pipe2(pid) {
                 Ok((rfd, wfd)) => {
                     fd_vars.insert(read_var.clone(), rfd);
                     fd_vars.insert(write_var.clone(), wfd);
@@ -1634,7 +2026,11 @@ impl Kernel {
                 }
                 Err(e) => Err(e),
             },
-            Op::Tee { in_var, out_var, len } => {
+            Op::Tee {
+                in_var,
+                out_var,
+                len,
+            } => {
                 let fd_in = fd_of(fd_vars, in_var)?;
                 let fd_out = fd_of(fd_vars, out_var)?;
                 self.sys_tee(pid, fd_in, fd_out, *len)
@@ -1686,8 +2082,13 @@ mod tests {
         let mut k = kernel();
         let pid = k.shell_pid();
         k.setup(|ns| {
-            ns.create("/etc/secret", InodeKind::Regular, 0o600, &Credentials::root())
-                .unwrap();
+            ns.create(
+                "/etc/secret",
+                InodeKind::Regular,
+                0o600,
+                &Credentials::root(),
+            )
+            .unwrap();
         });
         k.sys_setuid(pid, 1000).unwrap(); // drop privileges
         assert_eq!(
@@ -1737,8 +2138,13 @@ mod tests {
         let mut k = kernel();
         let pid = k.shell_pid();
         k.setup(|ns| {
-            ns.create("/staging/mine", InodeKind::Regular, 0o644, &Credentials::user(1000, 1000))
-                .unwrap();
+            ns.create(
+                "/staging/mine",
+                InodeKind::Regular,
+                0o644,
+                &Credentials::user(1000, 1000),
+            )
+            .unwrap();
         });
         k.sys_setuid(pid, 1000).unwrap(); // drop privileges
         assert_eq!(
@@ -1778,7 +2184,10 @@ mod tests {
             .audit_records()
             .map(|r| (r.pid, r.syscall))
             .collect();
-        let vfork_pos = calls.iter().position(|&(_, s)| s == Syscall::Vfork).unwrap();
+        let vfork_pos = calls
+            .iter()
+            .position(|&(_, s)| s == Syscall::Vfork)
+            .unwrap();
         let child_open = calls
             .iter()
             .position(|&(p, s)| p == child && s == Syscall::Open)
@@ -1795,7 +2204,8 @@ mod tests {
         let shell = k.shell_pid();
         let child = k.sys_vfork(shell).unwrap() as Pid;
         let env = BTreeMap::new();
-        k.sys_execve(child, "/usr/local/bin/bench_fg", &env).unwrap();
+        k.sys_execve(child, "/usr/local/bin/bench_fg", &env)
+            .unwrap();
         assert_eq!(k.process(shell).unwrap().state, ProcessState::Running);
         assert!(k
             .event_log()
@@ -1986,7 +2396,9 @@ mod tests {
         k.sys_write(pid, fd, 24).unwrap();
         k.sys_close(pid, fd).unwrap();
         k.sys_symlink(pid, "/staging/real", "/staging/sym").unwrap();
-        let fd = k.sys_open(pid, "/staging/sym", OpenFlags::RDONLY, 0).unwrap() as i32;
+        let fd = k
+            .sys_open(pid, "/staging/sym", OpenFlags::RDONLY, 0)
+            .unwrap() as i32;
         assert_eq!(k.sys_read(pid, fd, 100), Ok(24), "read through the symlink");
     }
 
@@ -2038,8 +2450,13 @@ mod tests {
         let mut k = kernel();
         let pid = k.shell_pid();
         k.setup(|ns| {
-            ns.create("/staging/t", InodeKind::Regular, 0o600, &Credentials::root())
-                .unwrap();
+            ns.create(
+                "/staging/t",
+                InodeKind::Regular,
+                0o600,
+                &Credentials::root(),
+            )
+            .unwrap();
         });
         k.sys_chown(pid, "/staging/t", 1000, 1000).unwrap();
         let worker = k.sys_fork(pid).unwrap() as Pid;

@@ -84,7 +84,9 @@ mod tests {
                 mode: 0o644,
                 fd_var: "id".into(),
             })
-            .op(Op::Close { fd_var: "id".into() });
+            .op(Op::Close {
+                fd_var: "id".into(),
+            });
         let mut kernel = Kernel::with_seed(1);
         let outcome = kernel.run_program(&prog);
         assert!(outcome.success, "{:?}", outcome);

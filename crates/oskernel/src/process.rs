@@ -132,7 +132,10 @@ impl Process {
 
     /// `true` if the process has terminated (exited or killed).
     pub fn terminated(&self) -> bool {
-        matches!(self.state, ProcessState::Exited(_) | ProcessState::Killed(_))
+        matches!(
+            self.state,
+            ProcessState::Exited(_) | ProcessState::Killed(_)
+        )
     }
 }
 
@@ -154,9 +157,27 @@ mod tests {
     fn lowest_free_fd_fills_gaps() {
         let mut p = Process::new(10, 1, Credentials::root(), "/bin/x");
         assert_eq!(p.lowest_free_fd(), 0);
-        p.fds.insert(0, FdEntry { ofd: 0, cloexec: false });
-        p.fds.insert(1, FdEntry { ofd: 1, cloexec: false });
-        p.fds.insert(3, FdEntry { ofd: 2, cloexec: false });
+        p.fds.insert(
+            0,
+            FdEntry {
+                ofd: 0,
+                cloexec: false,
+            },
+        );
+        p.fds.insert(
+            1,
+            FdEntry {
+                ofd: 1,
+                cloexec: false,
+            },
+        );
+        p.fds.insert(
+            3,
+            FdEntry {
+                ofd: 2,
+                cloexec: false,
+            },
+        );
         assert_eq!(p.lowest_free_fd(), 2);
     }
 

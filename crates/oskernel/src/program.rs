@@ -58,7 +58,12 @@ impl SetupAction {
             SetupAction::CreateFile { path, mode } => {
                 let _ = ns.create(path, InodeKind::Regular, *mode, &bench_user);
             }
-            SetupAction::CreateFileOwned { path, mode, uid, gid } => {
+            SetupAction::CreateFileOwned {
+                path,
+                mode,
+                uid,
+                gid,
+            } => {
                 let creds = Credentials {
                     uid: *uid,
                     euid: *uid,
@@ -82,65 +87,206 @@ impl SetupAction {
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[allow(missing_docs)]
 pub enum Op {
-    Open { path: String, flags: OpenFlags, mode: Mode, fd_var: String },
-    Openat { path: String, flags: OpenFlags, mode: Mode, fd_var: String },
-    Creat { path: String, mode: Mode, fd_var: String },
-    Close { fd_var: String },
-    Dup { fd_var: String, new_var: String },
-    Dup2 { fd_var: String, newfd: i32, new_var: String },
-    Dup3 { fd_var: String, newfd: i32, new_var: String },
-    Read { fd_var: String, len: u64 },
-    Pread { fd_var: String, len: u64, offset: u64 },
-    Write { fd_var: String, len: u64 },
-    Pwrite { fd_var: String, len: u64, offset: u64 },
-    Link { old: String, new: String },
-    Linkat { old: String, new: String },
-    Symlink { target: String, linkpath: String },
-    Symlinkat { target: String, linkpath: String },
-    Mknod { path: String, mode: Mode },
-    Mknodat { path: String, mode: Mode },
-    Rename { old: String, new: String },
-    Renameat { old: String, new: String },
+    Open {
+        path: String,
+        flags: OpenFlags,
+        mode: Mode,
+        fd_var: String,
+    },
+    Openat {
+        path: String,
+        flags: OpenFlags,
+        mode: Mode,
+        fd_var: String,
+    },
+    Creat {
+        path: String,
+        mode: Mode,
+        fd_var: String,
+    },
+    Close {
+        fd_var: String,
+    },
+    Dup {
+        fd_var: String,
+        new_var: String,
+    },
+    Dup2 {
+        fd_var: String,
+        newfd: i32,
+        new_var: String,
+    },
+    Dup3 {
+        fd_var: String,
+        newfd: i32,
+        new_var: String,
+    },
+    Read {
+        fd_var: String,
+        len: u64,
+    },
+    Pread {
+        fd_var: String,
+        len: u64,
+        offset: u64,
+    },
+    Write {
+        fd_var: String,
+        len: u64,
+    },
+    Pwrite {
+        fd_var: String,
+        len: u64,
+        offset: u64,
+    },
+    Link {
+        old: String,
+        new: String,
+    },
+    Linkat {
+        old: String,
+        new: String,
+    },
+    Symlink {
+        target: String,
+        linkpath: String,
+    },
+    Symlinkat {
+        target: String,
+        linkpath: String,
+    },
+    Mknod {
+        path: String,
+        mode: Mode,
+    },
+    Mknodat {
+        path: String,
+        mode: Mode,
+    },
+    Rename {
+        old: String,
+        new: String,
+    },
+    Renameat {
+        old: String,
+        new: String,
+    },
     /// A `rename` that the benchmark *expects* to fail (Alice's failed-call
     /// scenario, paper §3.1): success criterion inverted.
-    RenameExpectFailure { old: String, new: String },
+    RenameExpectFailure {
+        old: String,
+        new: String,
+    },
     /// Run the wrapped op expecting it to fail with an errno — the generic
     /// form for failure-scenario benchmarks ("handling other scenarios
     /// such as failure cases is straightforward", paper §4).
     MustFail(Box<Op>),
-    Truncate { path: String, len: u64 },
-    Ftruncate { fd_var: String, len: u64 },
-    Unlink { path: String },
-    Unlinkat { path: String },
+    Truncate {
+        path: String,
+        len: u64,
+    },
+    Ftruncate {
+        fd_var: String,
+        len: u64,
+    },
+    Unlink {
+        path: String,
+    },
+    Unlinkat {
+        path: String,
+    },
     /// `fork` and run `child` ops in the child before the parent continues.
     /// The child exits implicitly when its ops finish.
-    Fork { child: Vec<Op> },
+    Fork {
+        child: Vec<Op>,
+    },
     /// `fork` a child that stays alive after its ops finish (no implicit
     /// exit) — the `kill` benchmark's victim.
-    ForkAlive { child: Vec<Op> },
+    ForkAlive {
+        child: Vec<Op>,
+    },
     /// `vfork`: the parent suspends until the child exits or execs.
-    Vfork { child: Vec<Op> },
+    Vfork {
+        child: Vec<Op>,
+    },
     /// Raw `clone` (no libc wrapper — invisible to OPUS).
-    CloneProc { child: Vec<Op> },
-    Execve { path: String },
-    ExitOp { code: i32 },
+    CloneProc {
+        child: Vec<Op>,
+    },
+    Execve {
+        path: String,
+    },
+    ExitOp {
+        code: i32,
+    },
     /// `kill` the most recently forked child with signal `sig`.
-    KillLastChild { sig: i32 },
-    Chmod { path: String, mode: Mode },
-    Fchmod { fd_var: String, mode: Mode },
-    Fchmodat { path: String, mode: Mode },
-    Chown { path: String, uid: Uid, gid: Gid },
-    Fchown { fd_var: String, uid: Uid, gid: Gid },
-    Fchownat { path: String, uid: Uid, gid: Gid },
-    Setuid { uid: Uid },
-    Setreuid { ruid: Option<Uid>, euid: Option<Uid> },
-    Setresuid { ruid: Option<Uid>, euid: Option<Uid>, suid: Option<Uid> },
-    Setgid { gid: Gid },
-    Setregid { rgid: Option<Gid>, egid: Option<Gid> },
-    Setresgid { rgid: Option<Gid>, egid: Option<Gid>, sgid: Option<Gid> },
-    PipeOp { read_var: String, write_var: String },
-    Pipe2Op { read_var: String, write_var: String },
-    Tee { in_var: String, out_var: String, len: u64 },
+    KillLastChild {
+        sig: i32,
+    },
+    Chmod {
+        path: String,
+        mode: Mode,
+    },
+    Fchmod {
+        fd_var: String,
+        mode: Mode,
+    },
+    Fchmodat {
+        path: String,
+        mode: Mode,
+    },
+    Chown {
+        path: String,
+        uid: Uid,
+        gid: Gid,
+    },
+    Fchown {
+        fd_var: String,
+        uid: Uid,
+        gid: Gid,
+    },
+    Fchownat {
+        path: String,
+        uid: Uid,
+        gid: Gid,
+    },
+    Setuid {
+        uid: Uid,
+    },
+    Setreuid {
+        ruid: Option<Uid>,
+        euid: Option<Uid>,
+    },
+    Setresuid {
+        ruid: Option<Uid>,
+        euid: Option<Uid>,
+        suid: Option<Uid>,
+    },
+    Setgid {
+        gid: Gid,
+    },
+    Setregid {
+        rgid: Option<Gid>,
+        egid: Option<Gid>,
+    },
+    Setresgid {
+        rgid: Option<Gid>,
+        egid: Option<Gid>,
+        sgid: Option<Gid>,
+    },
+    PipeOp {
+        read_var: String,
+        write_var: String,
+    },
+    Pipe2Op {
+        read_var: String,
+        write_var: String,
+    },
+    Tee {
+        in_var: String,
+        out_var: String,
+        len: u64,
+    },
 }
 
 impl Op {
@@ -219,8 +365,13 @@ mod tests {
     fn builder_accumulates() {
         let p = Program::new("open")
             .exe("/usr/local/bin/bench_bg")
-            .setup(SetupAction::CreateFile { path: "/staging/t".into(), mode: 0o644 })
-            .op(Op::Unlink { path: "/staging/t".into() })
+            .setup(SetupAction::CreateFile {
+                path: "/staging/t".into(),
+                mode: 0o644,
+            })
+            .op(Op::Unlink {
+                path: "/staging/t".into(),
+            })
             .ops([Op::ExitOp { code: 0 }]);
         assert_eq!(p.name, "open");
         assert_eq!(p.exe_path, "/usr/local/bin/bench_bg");
@@ -233,7 +384,11 @@ mod tests {
     fn setup_actions_apply() {
         let mut ns = Namespace::new(10);
         ns.mkdir("/staging", 0o777, &Credentials::root()).unwrap();
-        SetupAction::CreateFile { path: "/staging/f".into(), mode: 0o644 }.apply(&mut ns);
+        SetupAction::CreateFile {
+            path: "/staging/f".into(),
+            mode: 0o644,
+        }
+        .apply(&mut ns);
         assert!(ns.lookup("/staging/f").is_some());
         SetupAction::CreateFileOwned {
             path: "/staging/rootfile".into(),
@@ -244,15 +399,25 @@ mod tests {
         .apply(&mut ns);
         let ino = ns.lookup("/staging/rootfile").unwrap();
         assert_eq!(ns.inode(ino).unwrap().uid, 0);
-        SetupAction::Mkdir { path: "/staging/dir".into(), mode: 0o755 }.apply(&mut ns);
+        SetupAction::Mkdir {
+            path: "/staging/dir".into(),
+            mode: 0o755,
+        }
+        .apply(&mut ns);
         assert!(ns.lookup("/staging/dir").is_some());
         SetupAction::Nothing.apply(&mut ns); // no-op, no panic
     }
 
     #[test]
     fn expected_failure_flag() {
-        let ok = Op::Rename { old: "/a".into(), new: "/b".into() };
-        let fail = Op::RenameExpectFailure { old: "/a".into(), new: "/b".into() };
+        let ok = Op::Rename {
+            old: "/a".into(),
+            new: "/b".into(),
+        };
+        let fail = Op::RenameExpectFailure {
+            old: "/a".into(),
+            new: "/b".into(),
+        };
         assert!(!ok.expects_failure());
         assert!(fail.expects_failure());
         let wrapped = Op::MustFail(Box::new(ok));

@@ -138,9 +138,21 @@ fn emit(graph: &PropertyGraph, gid: &str, out: &mut String, sorted: bool) {
 /// One parsed fact: relation kind, and its argument terms.
 #[derive(Debug, Clone, PartialEq, Eq)]
 enum Fact {
-    Node { id: String, label: String },
-    Edge { id: String, src: String, tgt: String, label: String },
-    Prop { id: String, key: String, value: String },
+    Node {
+        id: String,
+        label: String,
+    },
+    Edge {
+        id: String,
+        src: String,
+        tgt: String,
+        label: String,
+    },
+    Prop {
+        id: String,
+        key: String,
+        value: String,
+    },
 }
 
 /// Parse Datalog facts back into a [`PropertyGraph`].
@@ -209,7 +221,13 @@ pub fn parse_datalog(text: &str) -> Result<(PropertyGraph, String), GraphError> 
         }
     }
     for f in &facts {
-        if let Fact::Edge { id, src, tgt, label } = f {
+        if let Fact::Edge {
+            id,
+            src,
+            tgt,
+            label,
+        } = f
+        {
             graph.add_edge(id.clone(), src.clone(), tgt.clone(), label.clone())?;
         }
     }

@@ -34,7 +34,11 @@ pub fn to_dot(graph: &PropertyGraph, name: &str) -> String {
     let mut out = String::new();
     out.push_str(&format!("digraph {name} {{\n"));
     for n in graph.nodes() {
-        out.push_str(&format!("  \"{}\" [label=\"{}\"", escape(&n.id), escape(n.label.as_str())));
+        out.push_str(&format!(
+            "  \"{}\" [label=\"{}\"",
+            escape(&n.id),
+            escape(n.label.as_str())
+        ));
         for (k, v) in &n.props {
             out.push_str(&format!(" \"{}\"=\"{}\"", escape(k), escape(v)));
         }
@@ -86,7 +90,9 @@ pub fn parse_dot(text: &str) -> Result<PropertyGraph, GraphError> {
         ));
     }
     let mut anon_edges = 0usize;
-    let mut pending_edges: Vec<(usize, String, String, Vec<(String, String)>)> = Vec::new();
+    // (line number, src, tgt, attributes)
+    type PendingEdge = (usize, String, String, Vec<(String, String)>);
+    let mut pending_edges: Vec<PendingEdge> = Vec::new();
     for (lineno0, raw) in lines {
         let lineno = lineno0 + 1;
         let line = raw.trim();
@@ -350,7 +356,8 @@ mod tests {
 
     #[test]
     fn anonymous_edge_gets_synthesized_id() {
-        let text = "digraph g {\n  a [label=\"A\"];\n  b [label=\"B\"];\n  a -> b [label=\"L\"];\n}\n";
+        let text =
+            "digraph g {\n  a [label=\"A\"];\n  b [label=\"B\"];\n  a -> b [label=\"L\"];\n}\n";
         let g = parse_dot(text).unwrap();
         assert!(g.has_edge("_anon_e1"));
     }

@@ -29,7 +29,11 @@ pub enum GraphError {
 
 impl GraphError {
     /// Convenience constructor for parse errors.
-    pub(crate) fn parse(format: &'static str, line: Option<usize>, message: impl Into<String>) -> Self {
+    pub(crate) fn parse(
+        format: &'static str,
+        line: Option<usize>,
+        message: impl Into<String>,
+    ) -> Self {
         GraphError::Parse {
             format,
             line,
@@ -48,7 +52,11 @@ impl fmt::Display for GraphError {
             }
             GraphError::MissingNode(id) => write!(f, "node `{id}` does not exist"),
             GraphError::MissingElem(id) => write!(f, "element `{id}` does not exist"),
-            GraphError::Parse { format, line, message } => match line {
+            GraphError::Parse {
+                format,
+                line,
+                message,
+            } => match line {
                 Some(n) => write!(f, "{format} parse error at line {n}: {message}"),
                 None => write!(f, "{format} parse error: {message}"),
             },

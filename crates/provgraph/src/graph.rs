@@ -1,8 +1,6 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::GraphError;
 
 /// A node or edge label (an element of the vocabulary `Σ` in the paper).
@@ -11,7 +9,7 @@ use crate::GraphError;
 /// assumption that the vocabulary is known in advance (paper §3.3: "our
 /// representation does not assume the labels and properties are known in
 /// advance; it works with those produced by the tested system").
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Label(String);
 
 impl Label {
@@ -53,7 +51,7 @@ pub type ElemId = String;
 pub type Props = BTreeMap<String, String>;
 
 /// Data stored for one node.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NodeData {
     /// Node identifier, unique among nodes and edges of the graph.
     pub id: ElemId,
@@ -64,7 +62,7 @@ pub struct NodeData {
 }
 
 /// Data stored for one edge.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EdgeData {
     /// Edge identifier, unique among nodes and edges of the graph.
     pub id: ElemId,
@@ -90,13 +88,11 @@ pub struct EdgeData {
 /// Equality is **set-based**: two graphs are equal when they contain the
 /// same nodes and edges regardless of insertion order, matching the paper's
 /// model where a graph is a set of Datalog facts.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct PropertyGraph {
     nodes: Vec<NodeData>,
     edges: Vec<EdgeData>,
-    #[serde(skip)]
     node_index: BTreeMap<ElemId, usize>,
-    #[serde(skip)]
     edge_index: BTreeMap<ElemId, usize>,
 }
 
@@ -559,7 +555,10 @@ mod tests {
     #[test]
     fn node_edge_id_clash_rejected() {
         let mut g = toy();
-        assert_eq!(g.add_node("e1", "File"), Err(GraphError::IdClash("e1".into())));
+        assert_eq!(
+            g.add_node("e1", "File"),
+            Err(GraphError::IdClash("e1".into()))
+        );
         assert_eq!(
             g.add_edge("n1", "n1", "n2", "Used"),
             Err(GraphError::IdClash("n1".into()))

@@ -1,0 +1,188 @@
+//! Plain-JSON serialization of [`PropertyGraph`] (the storage format of
+//! the embedded Neo4j-style store).
+//!
+//! The document shape matches what the original serde derive produced:
+//!
+//! ```json
+//! {
+//!   "nodes": [{"id": "n1", "label": "Process", "props": {"pid": "42"}}],
+//!   "edges": [{"id": "e1", "src": "n1", "tgt": "n2", "label": "Used", "props": {}}]
+//! }
+//! ```
+//!
+//! Implemented as [`ToJson`] / [`FromJson`] on [`PropertyGraph`], so
+//! `serde_json::to_string(&graph)` and
+//! `serde_json::from_str::<PropertyGraph>(…)` keep working against the
+//! vendored JSON shim.
+
+use serde_json::{Error, FromJson, Map, ToJson, Value};
+
+use crate::{EdgeData, NodeData, PropertyGraph, Props};
+
+fn props_to_json(props: &Props) -> Value {
+    let mut m = Map::new();
+    for (k, v) in props {
+        m.insert(k.clone(), Value::String(v.clone()));
+    }
+    Value::Object(m)
+}
+
+fn props_from_json(v: &Value, what: &str) -> Result<Props, Error> {
+    let obj = v
+        .as_object()
+        .ok_or_else(|| Error::msg(format!("{what}: `props` is not an object")))?;
+    let mut props = Props::new();
+    for (k, val) in obj {
+        let s = val
+            .as_str()
+            .ok_or_else(|| Error::msg(format!("{what}: property `{k}` is not a string")))?;
+        props.insert(k.clone(), s.to_owned());
+    }
+    Ok(props)
+}
+
+fn str_field<'a>(obj: &'a Map, field: &str, what: &str) -> Result<&'a str, Error> {
+    obj.get(field)
+        .and_then(Value::as_str)
+        .ok_or_else(|| Error::msg(format!("{what}: missing string field `{field}`")))
+}
+
+impl ToJson for NodeData {
+    fn to_json(&self) -> Value {
+        let mut m = Map::new();
+        m.insert("id".to_owned(), Value::String(self.id.clone()));
+        m.insert(
+            "label".to_owned(),
+            Value::String(self.label.as_str().to_owned()),
+        );
+        m.insert("props".to_owned(), props_to_json(&self.props));
+        Value::Object(m)
+    }
+}
+
+impl FromJson for NodeData {
+    fn from_json(value: Value) -> Result<Self, Error> {
+        let obj = value
+            .as_object()
+            .ok_or_else(|| Error::msg("node is not an object"))?;
+        Ok(NodeData {
+            id: str_field(obj, "id", "node")?.to_owned(),
+            label: str_field(obj, "label", "node")?.into(),
+            props: props_from_json(obj.get("props").unwrap_or(&Value::Null), "node")?,
+        })
+    }
+}
+
+impl ToJson for EdgeData {
+    fn to_json(&self) -> Value {
+        let mut m = Map::new();
+        m.insert("id".to_owned(), Value::String(self.id.clone()));
+        m.insert("src".to_owned(), Value::String(self.src.clone()));
+        m.insert("tgt".to_owned(), Value::String(self.tgt.clone()));
+        m.insert(
+            "label".to_owned(),
+            Value::String(self.label.as_str().to_owned()),
+        );
+        m.insert("props".to_owned(), props_to_json(&self.props));
+        Value::Object(m)
+    }
+}
+
+impl FromJson for EdgeData {
+    fn from_json(value: Value) -> Result<Self, Error> {
+        let obj = value
+            .as_object()
+            .ok_or_else(|| Error::msg("edge is not an object"))?;
+        Ok(EdgeData {
+            id: str_field(obj, "id", "edge")?.to_owned(),
+            src: str_field(obj, "src", "edge")?.to_owned(),
+            tgt: str_field(obj, "tgt", "edge")?.to_owned(),
+            label: str_field(obj, "label", "edge")?.into(),
+            props: props_from_json(obj.get("props").unwrap_or(&Value::Null), "edge")?,
+        })
+    }
+}
+
+impl ToJson for PropertyGraph {
+    fn to_json(&self) -> Value {
+        let mut m = Map::new();
+        m.insert(
+            "nodes".to_owned(),
+            Value::Array(self.nodes().map(ToJson::to_json).collect()),
+        );
+        m.insert(
+            "edges".to_owned(),
+            Value::Array(self.edges().map(ToJson::to_json).collect()),
+        );
+        Value::Object(m)
+    }
+}
+
+impl FromJson for PropertyGraph {
+    fn from_json(value: Value) -> Result<Self, Error> {
+        let obj = value
+            .as_object()
+            .ok_or_else(|| Error::msg("graph is not an object"))?;
+        let arr = |field: &str| -> Result<&[Value], Error> {
+            match obj.get(field) {
+                Some(Value::Array(items)) => Ok(items),
+                Some(_) => Err(Error::msg(format!("`{field}` is not an array"))),
+                None => Ok(&[]),
+            }
+        };
+        let nodes = arr("nodes")?
+            .iter()
+            .map(|v| NodeData::from_json(v.clone()))
+            .collect::<Result<Vec<_>, _>>()?;
+        let edges = arr("edges")?
+            .iter()
+            .map(|v| EdgeData::from_json(v.clone()))
+            .collect::<Result<Vec<_>, _>>()?;
+        PropertyGraph::from_parts(nodes, edges).map_err(|e| Error::msg(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> PropertyGraph {
+        let mut g = PropertyGraph::new();
+        g.add_node("n1", "Process").unwrap();
+        g.add_node("n2", "Artifact").unwrap();
+        g.add_edge("e1", "n1", "n2", "Used").unwrap();
+        g.set_node_property("n1", "pid", "42").unwrap();
+        g.set_edge_property("e1", "time", "weird \"quoted\" value")
+            .unwrap();
+        g
+    }
+
+    #[test]
+    fn graph_json_roundtrip() {
+        let g = toy();
+        let text = serde_json::to_string(&g).unwrap();
+        let back: PropertyGraph = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, g);
+    }
+
+    #[test]
+    fn malformed_graph_json_rejected() {
+        assert!(serde_json::from_str::<PropertyGraph>("[]").is_err());
+        assert!(serde_json::from_str::<PropertyGraph>(r#"{"nodes": 3}"#).is_err());
+        assert!(serde_json::from_str::<PropertyGraph>(
+            r#"{"nodes": [{"id": "n", "label": "L", "props": {"k": 1}}]}"#
+        )
+        .is_err());
+        // Dangling edges are a graph-validation error, not a parse error.
+        assert!(serde_json::from_str::<PropertyGraph>(
+            r#"{"nodes": [], "edges": [{"id": "e", "src": "a", "tgt": "b", "label": "r", "props": {}}]}"#
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn missing_sections_default_to_empty() {
+        let g: PropertyGraph = serde_json::from_str("{}").unwrap();
+        assert!(g.is_empty());
+    }
+}

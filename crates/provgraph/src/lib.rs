@@ -22,6 +22,26 @@
 //! - [`fingerprint`] — Weisfeiler–Lehman style shape and full fingerprints
 //!   used to pre-bucket trials into candidate similarity classes before the
 //!   exact solver confirms them.
+//! - [`compiled`] — the symbol-interned graph kernel: dense-id, CSR,
+//!   merge-friendly read-only views the matching solver runs on.
+//!
+//! # `PropertyGraph` vs `CompiledGraph`
+//!
+//! [`PropertyGraph`] is the **construction and interchange** API: string
+//! identifiers, validated insertion, mutable properties, serialization.
+//! Use it everywhere a graph is being built, transformed, stored, or
+//! inspected — recorders, format parsers, generalization output, results.
+//!
+//! [`compiled::CompiledGraph`] is the **matching** API: an immutable view
+//! with interned labels/properties and flat integer adjacency, built with
+//! [`compiled::CompiledGraph::compile`] against a shared
+//! [`compiled::Interner`]. Compile when a graph is about to be matched
+//! repeatedly (similarity classification pairs each trial against many
+//! class representatives) and pass the views to
+//! `aspsolver::solve_compiled`; for one-shot matches, `aspsolver::solve`
+//! compiles internally against a warm per-thread interner. The compiled
+//! view borrows the source graph, so it cannot outlive it and never
+//! observes mutation.
 //!
 //! # Example
 //!
@@ -46,7 +66,9 @@
 
 mod error;
 mod graph;
+mod json;
 
+pub mod compiled;
 pub mod datalog;
 pub mod diff;
 pub mod dot;

@@ -137,7 +137,11 @@ pub fn parse_provjson(text: &str) -> Result<PropertyGraph, GraphError> {
             continue;
         }
         let members = members.as_object().ok_or_else(|| {
-            GraphError::parse("prov-json", None, format!("bucket `{bucket}` is not an object"))
+            GraphError::parse(
+                "prov-json",
+                None,
+                format!("bucket `{bucket}` is not an object"),
+            )
         })?;
         for (id, body) in members {
             let body = body.as_object().ok_or_else(|| {
@@ -173,7 +177,11 @@ pub fn parse_provjson(text: &str) -> Result<PropertyGraph, GraphError> {
             continue;
         }
         let members = members.as_object().ok_or_else(|| {
-            GraphError::parse("prov-json", None, format!("bucket `{bucket}` is not an object"))
+            GraphError::parse(
+                "prov-json",
+                None,
+                format!("bucket `{bucket}` is not an object"),
+            )
         })?;
         for (id, body) in members {
             let body = body.as_object().ok_or_else(|| {
@@ -234,8 +242,10 @@ mod tests {
         g.set_node_property("cf:1", "prov:type", "inode").unwrap();
         g.set_node_property("cf:2", "prov:type", "task").unwrap();
         g.add_edge("cf:e1", "cf:2", "cf:1", "used").unwrap();
-        g.add_edge("cf:e2", "cf:1", "cf:2", "wasGeneratedBy").unwrap();
-        g.add_edge("cf:e3", "cf:2", "cf:3", "wasAssociatedWith").unwrap();
+        g.add_edge("cf:e2", "cf:1", "cf:2", "wasGeneratedBy")
+            .unwrap();
+        g.add_edge("cf:e3", "cf:2", "cf:3", "wasAssociatedWith")
+            .unwrap();
         g.set_edge_property("cf:e1", "cf:date", "boot-1").unwrap();
         g
     }

@@ -1,0 +1,307 @@
+//! Minimal `criterion` stand-in for the offline build.
+//!
+//! Provides the API surface the workspace's benches use — benchmark
+//! groups, [`BenchmarkId`], [`Bencher::iter`]/[`Bencher::iter_batched`],
+//! [`Throughput`] — measured as wall-clock medians over a fixed number of
+//! samples, printed one line per benchmark:
+//!
+//! ```text
+//! ablation_solver/generalize_execve/full  median 1.234 ms  (10 samples)
+//! ```
+//!
+//! There is no statistical analysis, warm-up tuning, HTML report, or
+//! baseline comparison; benches exist here to produce honest relative
+//! numbers (and machine-readable output via [`Criterion::json_path`]),
+//! not criterion's confidence intervals.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benchmark
+/// bodies.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup cost (accepted, not acted on — every
+/// iteration re-runs setup outside the timed section).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration state.
+    SmallInput,
+    /// Large per-iteration state.
+    LargeInput,
+    /// Fresh setup for every routine invocation.
+    PerIteration,
+}
+
+/// Declared throughput of one benchmark (recorded into the report line).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A `group/function/parameter` benchmark identifier.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Identifier from a function name and a parameter (rendered with
+    /// `Display`, like criterion).
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// Identifier from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// One measured benchmark, for the JSON report.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Full benchmark id (`group/function/parameter`).
+    pub id: String,
+    /// Median iteration time.
+    pub median: Duration,
+    /// Number of samples measured.
+    pub samples: usize,
+}
+
+/// Timing state handed to the benchmark closure.
+pub struct Bencher {
+    samples: usize,
+    measured: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Measure a routine: per sample, run the routine repeatedly until a
+    /// minimum window elapses and record the mean iteration time.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        for _ in 0..self.samples {
+            // One untimed warm-up run per sample keeps caches hot without
+            // polluting the measurement.
+            black_box(routine());
+            let mut iters = 0u32;
+            let start = Instant::now();
+            let mut elapsed;
+            loop {
+                black_box(routine());
+                iters += 1;
+                elapsed = start.elapsed();
+                if elapsed >= Duration::from_millis(2) || iters >= 1024 {
+                    break;
+                }
+            }
+            self.measured.push(elapsed / iters);
+        }
+    }
+
+    /// Measure a routine with untimed per-iteration setup.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.measured.push(start.elapsed());
+        }
+    }
+
+    fn median(&mut self) -> Duration {
+        if self.measured.is_empty() {
+            return Duration::ZERO;
+        }
+        self.measured.sort_unstable();
+        self.measured[self.measured.len() / 2]
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Record the declared throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Set the measurement time (accepted for API compatibility; the shim
+    /// sizes its measurement window per iteration instead).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmark a closure against one input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.run(id.to_string(), input, f);
+        self
+    }
+
+    /// Benchmark a closure with no input.
+    pub fn bench_function(
+        &mut self,
+        id: impl Display,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        self.run(id.to_string(), &(), move |b, ()| f(b));
+        self
+    }
+
+    fn run<I: ?Sized>(&mut self, id: String, input: &I, mut f: impl FnMut(&mut Bencher, &I)) {
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            measured: Vec::with_capacity(self.sample_size),
+        };
+        f(&mut bencher, input);
+        let samples = bencher.measured.len();
+        let median = bencher.median();
+        let full_id = format!("{}/{}", self.name, id);
+        let tp = match self.throughput {
+            Some(Throughput::Elements(n)) => format!("  ({n} elems/iter)"),
+            Some(Throughput::Bytes(n)) => format!("  ({n} bytes/iter)"),
+            None => String::new(),
+        };
+        println!("{full_id}  median {median:?}  ({samples} samples){tp}");
+        self.criterion.measurements.push(Measurement {
+            id: full_id,
+            median,
+            samples,
+        });
+    }
+
+    /// Finish the group (report output already happened per benchmark).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness handle.
+#[derive(Default)]
+pub struct Criterion {
+    /// All measurements taken so far (inspected by reporting code).
+    pub measurements: Vec<Measurement>,
+}
+
+impl Criterion {
+    /// Accept (and ignore) CLI arguments, like `criterion`'s builder.
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    /// Benchmark a closure with no input at the default sample size.
+    pub fn bench_function(&mut self, id: impl Display, mut f: impl FnMut(&mut Bencher)) {
+        let name = id.to_string();
+        let mut group = self.benchmark_group(name.clone());
+        group.run(name, &(), move |b, ()| f(b));
+    }
+}
+
+/// Define a benchmark group function, like `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Define the bench `main` function, like `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_group_measures_and_records() {
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("unit");
+            g.sample_size(3);
+            g.throughput(Throughput::Elements(4));
+            g.bench_with_input(BenchmarkId::new("sum", 8), &8u64, |b, &n| {
+                b.iter(|| (0..n).sum::<u64>())
+            });
+            g.bench_with_input(BenchmarkId::new("batched", 2), &2u64, |b, &n| {
+                b.iter_batched(
+                    || vec![n; 4],
+                    |v| v.iter().sum::<u64>(),
+                    BatchSize::SmallInput,
+                )
+            });
+            g.finish();
+        }
+        assert_eq!(c.measurements.len(), 2);
+        assert_eq!(c.measurements[0].id, "unit/sum/8");
+        assert_eq!(c.measurements[0].samples, 3);
+    }
+
+    #[test]
+    fn macros_compile() {
+        fn target(c: &mut Criterion) {
+            c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        }
+        criterion_group!(unit_group, target);
+        unit_group();
+    }
+}

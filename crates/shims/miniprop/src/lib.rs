@@ -1,0 +1,637 @@
+//! Minimal `proptest` stand-in for the offline build.
+//!
+//! Supports the strategy combinators this workspace uses — integer
+//! ranges, tuples, [`Just`], `prop_oneof!`, `prop::sample::select`,
+//! `prop::collection::vec`, `prop_map`, and string strategies over a
+//! small regex subset (`literal`, `[class]`, `{m,n}` quantifiers, `\`
+//! escapes) — driven by a deterministic xorshift RNG.
+//!
+//! There is **no shrinking**: a failing case panics with the case number
+//! and seed printed to stderr so the failure can be replayed by editing
+//! the seed into [`TestRunner::new`].
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic RNG used to drive strategies (xorshift64* with a
+/// splitmix-style seeding).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// RNG from a seed (0 is remapped to a fixed constant).
+    pub fn from_seed(seed: u64) -> Self {
+        let mut z = seed.wrapping_add(0x9E3779B97F4A7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^= z >> 31;
+        TestRng {
+            state: if z == 0 { 0x5DEECE66D } else { z },
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+}
+
+/// A value generator.
+///
+/// The shim's analogue of `proptest::strategy::Strategy`; `generate`
+/// replaces `new_tree` + simplification (there is no shrinking).
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through a function.
+    fn prop_map<O, F>(self, f: F) -> MapStrategy<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        MapStrategy { inner: self, f }
+    }
+
+    /// Erase the strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+/// Strategy producing one fixed (cloned) value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Result of [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct MapStrategy<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for MapStrategy<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Uniform choice between type-erased alternatives (`prop_oneof!`).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Union over the given alternatives; must be non-empty.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.options.len() as u64) as usize;
+        self.options[i].generate(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty)+) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + rng.below(span) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + rng.below(span + 1) as $t
+            }
+        }
+    )+};
+}
+
+int_range_strategy!(usize u8 u16 u32 u64);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))+) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        regex::generate(self, rng)
+    }
+}
+
+/// String generation over a small regex subset.
+mod regex {
+    use super::TestRng;
+
+    enum Atom {
+        Literal(char),
+        Class(Vec<(char, char)>),
+    }
+
+    struct Piece {
+        atom: Atom,
+        min: u32,
+        max: u32,
+    }
+
+    fn parse(pattern: &str) -> Vec<Piece> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut pieces = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let atom = match chars[i] {
+                '[' => {
+                    let mut ranges = Vec::new();
+                    i += 1;
+                    while i < chars.len() && chars[i] != ']' {
+                        let lo = if chars[i] == '\\' {
+                            i += 1;
+                            chars[i]
+                        } else {
+                            chars[i]
+                        };
+                        if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                            ranges.push((lo, chars[i + 2]));
+                            i += 3;
+                        } else {
+                            ranges.push((lo, lo));
+                            i += 1;
+                        }
+                    }
+                    assert!(i < chars.len(), "unterminated class in `{pattern}`");
+                    i += 1; // consume ']'
+                    Atom::Class(ranges)
+                }
+                '\\' => {
+                    i += 1;
+                    assert!(i < chars.len(), "trailing escape in `{pattern}`");
+                    let c = chars[i];
+                    i += 1;
+                    Atom::Literal(c)
+                }
+                c => {
+                    assert!(
+                        !matches!(c, '(' | ')' | '|' | '*' | '+' | '?' | '.'),
+                        "unsupported regex feature `{c}` in `{pattern}` (shim supports literals, classes and counted repeats)"
+                    );
+                    i += 1;
+                    Atom::Literal(c)
+                }
+            };
+            let (min, max) = if i < chars.len() && chars[i] == '{' {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .map(|p| i + p)
+                    .unwrap_or_else(|| panic!("unterminated repeat in `{pattern}`"));
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("repeat lower bound"),
+                        hi.trim().parse().expect("repeat upper bound"),
+                    ),
+                    None => {
+                        let n: u32 = body.trim().parse().expect("repeat count");
+                        (n, n)
+                    }
+                }
+            } else {
+                (1, 1)
+            };
+            pieces.push(Piece { atom, min, max });
+        }
+        pieces
+    }
+
+    pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for piece in parse(pattern) {
+            let span = u64::from(piece.max - piece.min) + 1;
+            let reps = piece.min + rng.below(span) as u32;
+            for _ in 0..reps {
+                match &piece.atom {
+                    Atom::Literal(c) => out.push(*c),
+                    Atom::Class(ranges) => {
+                        let total: u64 = ranges
+                            .iter()
+                            .map(|(lo, hi)| (*hi as u64) - (*lo as u64) + 1)
+                            .sum();
+                        let mut pick = rng.below(total);
+                        for (lo, hi) in ranges {
+                            let size = (*hi as u64) - (*lo as u64) + 1;
+                            if pick < size {
+                                out.push(
+                                    char::from_u32(*lo as u32 + pick as u32)
+                                        .expect("class range stays in char space"),
+                                );
+                                break;
+                            }
+                            pick -= size;
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// `prop::sample` — choosing among explicit values.
+pub mod sample {
+    use super::{Strategy, TestRng};
+
+    /// Strategy choosing uniformly from a fixed list.
+    #[derive(Debug, Clone)]
+    pub struct Select<T: Clone> {
+        options: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.options.len() as u64) as usize;
+            self.options[i].clone()
+        }
+    }
+
+    /// Choose uniformly from `options` (must be non-empty).
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select needs at least one option");
+        Select { options }
+    }
+}
+
+/// `prop::collection` — container strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::{Range, RangeInclusive};
+
+    /// Length distribution for [`vec`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for vectors with lengths drawn from a [`SizeRange`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.max - self.size.min) as u64 + 1;
+            let len = self.size.min + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Vector of `element` values with a length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// Per-run configuration (`with_cases` is the only knob the shim honours).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Drives the cases of one property.
+pub struct TestRunner {
+    config: ProptestConfig,
+    seed: u64,
+    case: u64,
+}
+
+impl TestRunner {
+    /// Runner for the named property. The base seed is derived from the
+    /// name (stable across runs) unless `MINIPROP_SEED` overrides it.
+    pub fn new(config: ProptestConfig, name: &str) -> Self {
+        let seed = match std::env::var("MINIPROP_SEED") {
+            Ok(s) => s.parse().unwrap_or(0),
+            Err(_) => name.bytes().fold(0xcbf29ce484222325u64, |h, b| {
+                (h ^ u64::from(b)).wrapping_mul(0x100000001b3)
+            }),
+        };
+        TestRunner {
+            config,
+            seed,
+            case: 0,
+        }
+    }
+
+    /// Number of cases to run.
+    pub fn cases(&self) -> u32 {
+        self.config.cases
+    }
+
+    /// RNG for the next case.
+    pub fn next_rng(&mut self) -> TestRng {
+        let rng = TestRng::from_seed(self.seed.wrapping_add(self.case));
+        self.case += 1;
+        rng
+    }
+
+    /// Current (0-based) case number minus one: the case `next_rng` last
+    /// prepared.
+    pub fn current_case(&self) -> u64 {
+        self.case.saturating_sub(1)
+    }
+
+    /// Base seed of the runner.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+}
+
+/// Prints replay information when a case panics.
+pub struct CaseGuard<'a> {
+    /// Property name.
+    pub name: &'a str,
+    /// Case number.
+    pub case: u64,
+    /// Base seed.
+    pub seed: u64,
+}
+
+impl Drop for CaseGuard<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            eprintln!(
+                "miniprop: property `{}` failed at case {} (base seed {:#x}; rerun with MINIPROP_SEED={} and cases=1 to replay)",
+                self.name,
+                self.case,
+                self.seed,
+                self.seed.wrapping_add(self.case),
+            );
+        }
+    }
+}
+
+/// The property-test entry macro, mirroring `proptest::proptest!`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!{ ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!{ ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr); $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let prop_name = concat!(module_path!(), "::", stringify!($name));
+                let mut runner = $crate::TestRunner::new($config, prop_name);
+                for _ in 0..runner.cases() {
+                    let mut rng = runner.next_rng();
+                    let _guard = $crate::CaseGuard {
+                        name: prop_name,
+                        case: runner.current_case(),
+                        seed: runner.seed(),
+                    };
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Uniform choice among strategy alternatives.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($arm)),+])
+    };
+}
+
+/// Assertion inside a property (plain `assert!` — no shrinking to drive).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Inequality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// The prelude, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, BoxedStrategy, Just,
+        ProptestConfig, Strategy,
+    };
+
+    /// Strategy modules, mirroring `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_and_tuples_generate_in_bounds() {
+        let mut rng = crate::TestRng::from_seed(7);
+        for _ in 0..200 {
+            let v = (0usize..7).generate(&mut rng);
+            assert!(v < 7);
+            let w = (1u64..=3).generate(&mut rng);
+            assert!((1..=3).contains(&w));
+            let (a, b) = ((0usize..2), (5u64..6)).generate(&mut rng);
+            assert!(a < 2 && b == 5);
+        }
+    }
+
+    #[test]
+    fn regex_subset_generates_matching_strings() {
+        let mut rng = crate::TestRng::from_seed(11);
+        for _ in 0..200 {
+            let s = "k[ab]".generate(&mut rng);
+            assert!(s == "ka" || s == "kb", "{s}");
+            let t = "[a-z]{0,4}".generate(&mut rng);
+            assert!(
+                t.len() <= 4 && t.chars().all(|c| c.is_ascii_lowercase()),
+                "{t}"
+            );
+            let u = "[a-zA-Z0-9/\\\\\" ]{0,12}".generate(&mut rng);
+            assert!(u.len() <= 12, "{u}");
+            assert!(
+                u.chars()
+                    .all(|c| c.is_ascii_alphanumeric() || "/\\\" ".contains(c)),
+                "{u:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn select_vec_and_oneof_work() {
+        let mut rng = crate::TestRng::from_seed(13);
+        let s = prop::sample::select(vec!["P", "A"]);
+        let all: Vec<&str> = (0..50).map(|_| s.generate(&mut rng)).collect();
+        assert!(all.contains(&"P") && all.contains(&"A"));
+        let v = prop::collection::vec(0usize..3, 1..5).generate(&mut rng);
+        assert!((1..5).contains(&v.len()));
+        let u = prop_oneof![Just(1u8), Just(2u8)];
+        let picks: Vec<u8> = (0..50).map(|_| u.generate(&mut rng)).collect();
+        assert!(picks.contains(&1) && picks.contains(&2));
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let a: Vec<u64> = {
+            let mut r = crate::TestRng::from_seed(42);
+            (0..10).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = crate::TestRng::from_seed(42);
+            (0..10).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro itself: generated args are in range.
+        #[test]
+        fn macro_generates_args(x in 0usize..5, label in prop::sample::select(vec!["a", "b"])) {
+            prop_assert!(x < 5);
+            prop_assert!(label == "a" || label == "b");
+        }
+    }
+}

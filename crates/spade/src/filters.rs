@@ -52,9 +52,7 @@ pub fn apply_io_runs_filter(graph: &PropertyGraph, op_key: &str) -> PropertyGrap
             }
         }
         let mut merged = e.clone();
-        merged
-            .props
-            .insert("count".to_owned(), (j - i).to_string());
+        merged.props.insert("count".to_owned(), (j - i).to_string());
         out.add_edge_data(merged).expect("merged edge is unique");
         i = j;
     }
@@ -108,7 +106,7 @@ mod tests {
         g.set_edge_property("x", "op", "fork").unwrap();
         let f = apply_io_runs_filter(&g, "op");
         assert_eq!(f.edge_count(), 1);
-        assert!(f.edges().next().unwrap().props.get("count").is_none());
+        assert!(!f.edges().next().unwrap().props.contains_key("count"));
     }
 
     #[test]

@@ -62,9 +62,8 @@ impl SpadeRecorder {
         use Syscall::*;
         match syscall {
             // File rules.
-            Close | Creat | Link | Linkat | Symlink | Symlinkat | Open | Openat | Read
-            | Pread | Rename | Renameat | Truncate | Ftruncate | Unlink | Unlinkat | Write
-            | Pwrite => true,
+            Close | Creat | Link | Linkat | Symlink | Symlinkat | Open | Openat | Read | Pread
+            | Rename | Renameat | Truncate | Ftruncate | Unlink | Unlinkat | Write | Pwrite => true,
             // Process rules (exit is reported but adds no structure).
             Clone | Execve | Fork | Vfork | Exit => true,
             // Descriptor duplication: consumed for fd state only (note SC).
@@ -167,7 +166,10 @@ impl<'a> Builder<'a> {
     /// (used for execve, credential updates).
     fn new_process_version(&mut self, r: &AuditRecord, op: &str) -> String {
         let old = self.ensure_process(r);
-        let v = self.proc_version.get_mut(&r.pid).expect("versioned process");
+        let v = self
+            .proc_version
+            .get_mut(&r.pid)
+            .expect("versioned process");
         *v += 1;
         let id = format!("p{}_v{}", r.pid, *v);
         self.graph
@@ -237,7 +239,9 @@ impl<'a> Builder<'a> {
         self.graph
             .add_node(id.clone(), "Artifact")
             .expect("fresh artifact version");
-        self.graph.set_node_property(&id, "path", path).expect("exists");
+        self.graph
+            .set_node_property(&id, "path", path)
+            .expect("exists");
         self.graph
             .set_node_property(&id, "subtype", subtype)
             .expect("exists");
@@ -245,7 +249,8 @@ impl<'a> Builder<'a> {
             .set_node_property(&id, "version", new_ver.to_string())
             .expect("exists");
         self.add_edge(&id, &old, "WasDerivedFrom", &[("time", time.to_string())]);
-        self.artifacts.insert(path.to_owned(), (id.clone(), new_ver));
+        self.artifacts
+            .insert(path.to_owned(), (id.clone(), new_ver));
         id
     }
 
@@ -289,9 +294,7 @@ impl<'a> Builder<'a> {
             Clone => self.handle_fork(r, "clone"),
             Vfork => self.handle_vfork(r),
             Execve => self.handle_execve(r),
-            Setuid | Setreuid | Setgid | Setregid | Setresuid | Setresgid => {
-                self.handle_setid(r)
-            }
+            Setuid | Setreuid | Setgid | Setregid | Setresuid | Setresgid => self.handle_setid(r),
             // Consumed for internal state only: no graph (note SC).
             Dup | Dup2 | Dup3 => {}
             // Exit adds no structure, but SPADE still learns about the pid
@@ -311,7 +314,10 @@ impl<'a> Builder<'a> {
             return;
         };
         let proc_id = self.ensure_process(r);
-        let writable = r.args.get(1).is_some_and(|f| f.contains("O_WRONLY") || f.contains("O_RDWR"));
+        let writable = r
+            .args
+            .get(1)
+            .is_some_and(|f| f.contains("O_WRONLY") || f.contains("O_RDWR"));
         if writable {
             let art = self.artifact_for_write(&path, "file", r.time);
             self.add_edge(
@@ -336,7 +342,11 @@ impl<'a> Builder<'a> {
             return;
         };
         let proc_id = self.ensure_process(r);
-        let subtype = if path.starts_with("pipe:") { "pipe" } else { "file" };
+        let subtype = if path.starts_with("pipe:") {
+            "pipe"
+        } else {
+            "file"
+        };
         let art = self.ensure_artifact(&path, subtype);
         self.add_edge(
             &proc_id,
@@ -351,7 +361,11 @@ impl<'a> Builder<'a> {
             return;
         };
         let proc_id = self.ensure_process(r);
-        let subtype = if path.starts_with("pipe:") { "pipe" } else { "file" };
+        let subtype = if path.starts_with("pipe:") {
+            "pipe"
+        } else {
+            "file"
+        };
         let art = self.artifact_for_write(&path, subtype, r.time);
         self.add_edge(
             &art,
@@ -507,7 +521,7 @@ impl<'a> Builder<'a> {
         // The uninitialized-property bug (paper §3.1, Bob): with simplify
         // disabled, an extra background edge intermittently appears with a
         // garbage value, visible as a disconnected subgraph in benchmarks.
-        if !self.config.simplify && r.serial % 2 == 0 {
+        if !self.config.simplify && r.serial.is_multiple_of(2) {
             let bug_node = format!("{new_id}_residual");
             self.graph
                 .add_node(bug_node.clone(), "Artifact")
@@ -566,13 +580,18 @@ mod tests {
     #[test]
     fn creat_adds_artifact_and_wgb_edge() {
         let g = run(
-            vec![Op::Creat { path: "t".into(), mode: 0o644, fd_var: "id".into() }],
+            vec![Op::Creat {
+                path: "t".into(),
+                mode: 0o644,
+                fd_var: "id".into(),
+            }],
             vec![],
         );
+        assert!(g.edges().any(|e| e.label.as_str() == "WasGeneratedBy"
+            && e.props.get("op").map(String::as_str) == Some("creat")));
         assert!(g
-            .edges()
-            .any(|e| e.label.as_str() == "WasGeneratedBy" && e.props.get("op").map(String::as_str) == Some("creat")));
-        assert!(g.nodes().any(|n| n.props.get("path").map(String::as_str) == Some("/staging/t")));
+            .nodes()
+            .any(|n| n.props.get("path").map(String::as_str) == Some("/staging/t")));
     }
 
     #[test]
@@ -580,20 +599,33 @@ mod tests {
         // Drop privileges, then attempt to overwrite /etc/passwd (Alice).
         let ops = vec![
             Op::Setuid { uid: 1000 },
-            Op::RenameExpectFailure { old: "mine".into(), new: "/etc/passwd".into() },
+            Op::RenameExpectFailure {
+                old: "mine".into(),
+                new: "/etc/passwd".into(),
+            },
         ];
-        let setup = vec![SetupAction::CreateFile { path: "/staging/mine".into(), mode: 0o644 }];
+        let setup = vec![SetupAction::CreateFile {
+            path: "/staging/mine".into(),
+            mode: 0o644,
+        }];
         let g = run(ops, setup);
         assert!(
-            !g.edges().any(|e| e.props.get("op").map(String::as_str) == Some("rename")),
+            !g.edges()
+                .any(|e| e.props.get("op").map(String::as_str) == Some("rename")),
             "success-only audit rules drop the failed rename"
         );
     }
 
     #[test]
     fn successful_rename_has_paper_shape() {
-        let ops = vec![Op::Rename { old: "a".into(), new: "b".into() }];
-        let setup = vec![SetupAction::CreateFile { path: "/staging/a".into(), mode: 0o644 }];
+        let ops = vec![Op::Rename {
+            old: "a".into(),
+            new: "b".into(),
+        }];
+        let setup = vec![SetupAction::CreateFile {
+            path: "/staging/a".into(),
+            mode: 0o644,
+        }];
         let g = run(ops, setup);
         let rename_edges: Vec<_> = g
             .edges()
@@ -614,7 +646,10 @@ mod tests {
             fd_var: "id".into(),
         }];
         let mut with_dup = base.clone();
-        with_dup.push(Op::Dup { fd_var: "id".into(), new_var: "d".into() });
+        with_dup.push(Op::Dup {
+            fd_var: "id".into(),
+            new_var: "d".into(),
+        });
         let g1 = run(base, vec![]);
         let g2 = run(with_dup, vec![]);
         assert_eq!(g1.size(), g2.size(), "dup only updates internal state (SC)");
@@ -623,7 +658,11 @@ mod tests {
     #[test]
     fn vfork_child_is_disconnected() {
         let ops = vec![Op::Vfork {
-            child: vec![Op::Creat { path: "c".into(), mode: 0o644, fd_var: "id".into() }],
+            child: vec![Op::Creat {
+                path: "c".into(),
+                mode: 0o644,
+                fd_var: "id".into(),
+            }],
         }];
         let g = run(ops, vec![]);
         // Find the child process node (it created file c).
@@ -643,7 +682,11 @@ mod tests {
     #[test]
     fn fork_child_is_connected() {
         let ops = vec![Op::Fork {
-            child: vec![Op::Creat { path: "c".into(), mode: 0o644, fd_var: "id".into() }],
+            child: vec![Op::Creat {
+                path: "c".into(),
+                mode: 0o644,
+                fd_var: "id".into(),
+            }],
         }];
         let g = run(ops, vec![]);
         let wgb_creat = g
@@ -662,12 +705,20 @@ mod tests {
         // setresgid to the current gid is not (paper §4.3).
         let base_size = run(vec![], vec![]).size();
         let same = run(
-            vec![Op::Setresgid { rgid: Some(0), egid: Some(0), sgid: Some(0) }],
+            vec![Op::Setresgid {
+                rgid: Some(0),
+                egid: Some(0),
+                sgid: Some(0),
+            }],
             vec![],
         );
         assert_eq!(same.size(), base_size, "no observed change, no structure");
         let changed = run(
-            vec![Op::Setresuid { ruid: Some(500), euid: Some(500), suid: Some(500) }],
+            vec![Op::Setresuid {
+                ruid: Some(500),
+                euid: Some(500),
+                suid: Some(500),
+            }],
             vec![],
         );
         assert!(
@@ -678,13 +729,29 @@ mod tests {
 
     #[test]
     fn chown_not_recorded_chmod_recorded() {
-        let setup = vec![SetupAction::CreateFile { path: "/staging/t".into(), mode: 0o644 }];
-        let g_chmod = run(vec![Op::Chmod { path: "t".into(), mode: 0o600 }], setup.clone());
+        let setup = vec![SetupAction::CreateFile {
+            path: "/staging/t".into(),
+            mode: 0o644,
+        }];
+        let g_chmod = run(
+            vec![Op::Chmod {
+                path: "t".into(),
+                mode: 0o600,
+            }],
+            setup.clone(),
+        );
         assert!(g_chmod
             .edges()
             .any(|e| e.props.get("op").map(String::as_str) == Some("chmod")));
         let base = run(vec![], setup.clone()).size();
-        let g_chown = run(vec![Op::Chown { path: "t".into(), uid: 1000, gid: 1000 }], setup);
+        let g_chown = run(
+            vec![Op::Chown {
+                path: "t".into(),
+                uid: 1000,
+                gid: 1000,
+            }],
+            setup,
+        );
         // chown fails for non-root anyway; but even the record is not in
         // the rules, so nothing appears either way.
         assert_eq!(g_chown.size(), base);
@@ -696,15 +763,16 @@ mod tests {
         // Startup includes one execve: process version + agent + edges.
         assert!(count_label(&g, "Agent") >= 1);
         assert!(g.edges().any(|e| e.label.as_str() == "WasControlledBy"));
-        assert!(g
-            .edges()
-            .any(|e| e.label.as_str() == "WasTriggeredBy"
-                && e.props.get("op").map(String::as_str) == Some("execve")));
+        assert!(g.edges().any(|e| e.label.as_str() == "WasTriggeredBy"
+            && e.props.get("op").map(String::as_str) == Some("execve")));
     }
 
     #[test]
     fn simplify_bug_residual_appears_intermittently() {
-        let cfg = SpadeConfig { simplify: false, ..SpadeConfig::default() };
+        let cfg = SpadeConfig {
+            simplify: false,
+            ..SpadeConfig::default()
+        };
         let mut saw_residual = false;
         let mut saw_clean = false;
         for seed in 0..8 {
@@ -731,15 +799,30 @@ mod tests {
                 mode: 0o644,
                 fd_var: "id".into(),
             },
-            Op::Write { fd_var: "id".into(), len: 10 },
-            Op::Write { fd_var: "id".into(), len: 10 },
-            Op::Write { fd_var: "id".into(), len: 10 },
-            Op::Write { fd_var: "id".into(), len: 10 },
+            Op::Write {
+                fd_var: "id".into(),
+                len: 10,
+            },
+            Op::Write {
+                fd_var: "id".into(),
+                len: 10,
+            },
+            Op::Write {
+                fd_var: "id".into(),
+                len: 10,
+            },
+            Op::Write {
+                fd_var: "id".into(),
+                len: 10,
+            },
         ];
         let buggy = run_with(
             ops.clone(),
             vec![],
-            SpadeConfig { io_runs_filter: true, ..SpadeConfig::default() },
+            SpadeConfig {
+                io_runs_filter: true,
+                ..SpadeConfig::default()
+            },
             1,
         );
         let plain = run_with(ops.clone(), vec![], SpadeConfig::default(), 1);
@@ -754,7 +837,10 @@ mod tests {
             },
             1,
         );
-        assert!(fixed.edge_count() < plain.edge_count(), "fixed filter coalesces");
+        assert!(
+            fixed.edge_count() < plain.edge_count(),
+            "fixed filter coalesces"
+        );
         assert!(fixed
             .edges()
             .any(|e| e.props.get("count").map(String::as_str) == Some("4")));
@@ -769,23 +855,39 @@ mod tests {
                 mode: 0o644,
                 fd_var: "id".into(),
             },
-            Op::Write { fd_var: "id".into(), len: 10 },
-            Op::Write { fd_var: "id".into(), len: 10 },
+            Op::Write {
+                fd_var: "id".into(),
+                len: 10,
+            },
+            Op::Write {
+                fd_var: "id".into(),
+                len: 10,
+            },
         ];
-        let cfg = SpadeConfig { versioning: true, ..SpadeConfig::default() };
+        let cfg = SpadeConfig {
+            versioning: true,
+            ..SpadeConfig::default()
+        };
         let g = run_with(ops, vec![], cfg, 1);
         let versions: Vec<&str> = g
             .nodes()
             .filter(|n| n.props.get("path").map(String::as_str) == Some("/staging/t"))
             .filter_map(|n| n.props.get("version").map(String::as_str))
             .collect();
-        assert!(versions.len() >= 3, "open-create + two writes: {versions:?}");
+        assert!(
+            versions.len() >= 3,
+            "open-create + two writes: {versions:?}"
+        );
         assert!(g.edges().any(|e| e.label.as_str() == "WasDerivedFrom"));
     }
 
     #[test]
     fn deterministic_given_seed_volatile_across_seeds() {
-        let ops = vec![Op::Creat { path: "t".into(), mode: 0o644, fd_var: "id".into() }];
+        let ops = vec![Op::Creat {
+            path: "t".into(),
+            mode: 0o644,
+            fd_var: "id".into(),
+        }];
         let g1 = run_with(ops.clone(), vec![], SpadeConfig::default(), 9);
         let g2 = run_with(ops.clone(), vec![], SpadeConfig::default(), 9);
         assert_eq!(g1, g2);
@@ -798,13 +900,20 @@ mod tests {
 
     #[test]
     fn dot_output_parses_back() {
-        let ops = vec![Op::Creat { path: "t".into(), mode: 0o644, fd_var: "id".into() }];
+        let ops = vec![Op::Creat {
+            path: "t".into(),
+            mode: 0o644,
+            fd_var: "id".into(),
+        }];
         let mut prog = Program::new("creat");
         prog = prog.ops(ops);
         let mut kernel = Kernel::with_seed(1);
         kernel.run_program(&prog);
         let dot_text = SpadeRecorder::baseline().record(kernel.event_log());
         let parsed = provgraph::dot::parse_dot(&dot_text).unwrap();
-        assert_eq!(parsed, SpadeRecorder::baseline().record_graph(kernel.event_log()));
+        assert_eq!(
+            parsed,
+            SpadeRecorder::baseline().record_graph(kernel.event_log())
+        );
     }
 }

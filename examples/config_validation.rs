@@ -14,7 +14,9 @@
 
 use provmark_suite::oskernel::program::Op;
 use provmark_suite::oskernel::OpenFlags;
-use provmark_suite::provmark_core::{pipeline, suite, suite::BenchSpec, tool::Tool, BenchmarkOptions};
+use provmark_suite::provmark_core::{
+    pipeline, suite, suite::BenchSpec, tool::Tool, BenchmarkOptions,
+};
 use provmark_suite::spade::SpadeConfig;
 
 fn io_heavy_spec() -> BenchSpec {
@@ -45,7 +47,10 @@ fn main() {
     let spec = suite::spec("setresgid").unwrap();
     let mut baseline = Tool::spade_baseline().instantiate();
     let run = pipeline::run_benchmark(&mut baseline, &spec, &opts).unwrap();
-    println!("  verdict: {} (expected: empty (SC))\n", run.status.render());
+    println!(
+        "  verdict: {} (expected: empty (SC))\n",
+        run.status.render()
+    );
 
     println!("== setresgid under simplify=off ==");
     let no_simplify = SpadeConfig {

@@ -6,8 +6,8 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
-use provmark_suite::provmark_core::{pipeline, report, suite, tool::Tool, BenchmarkOptions};
 use provmark_suite::provgraph::{datalog, dot};
+use provmark_suite::provmark_core::{pipeline, report, suite, tool::Tool, BenchmarkOptions};
 
 fn main() {
     let spec = suite::spec("creat").expect("creat is in the Table 1 suite");

@@ -39,28 +39,43 @@ fn escalation_spec() -> BenchSpec {
             // uid to the service user (saved uid stays 0 — the classic
             // setuid-binary situation an attacker exploits) and read the
             // configuration.
-            Op::Setreuid { ruid: None, euid: Some(33) },
+            Op::Setreuid {
+                ruid: None,
+                euid: Some(33),
+            },
             Op::Open {
                 path: "/staging/service.conf".to_owned(),
                 flags: OpenFlags::RDONLY,
                 mode: 0,
                 fd_var: "conf".to_owned(),
             },
-            Op::Read { fd_var: "conf".to_owned(), len: 256 },
-            Op::Close { fd_var: "conf".to_owned() },
+            Op::Read {
+                fd_var: "conf".to_owned(),
+                len: 256,
+            },
+            Op::Close {
+                fd_var: "conf".to_owned(),
+            },
         ],
         target: vec![
             // The escalation: the subverted process regains root (via its
             // saved uid — a classic setuid-binary subversion) and
             // exfiltrates a protected file.
-            Op::Setresuid { ruid: Some(0), euid: Some(0), suid: Some(0) },
+            Op::Setresuid {
+                ruid: Some(0),
+                euid: Some(0),
+                suid: Some(0),
+            },
             Op::Open {
                 path: "/etc/shadow".to_owned(),
                 flags: OpenFlags::RDONLY,
                 mode: 0,
                 fd_var: "loot".to_owned(),
             },
-            Op::Read { fd_var: "loot".to_owned(), len: 4096 },
+            Op::Read {
+                fd_var: "loot".to_owned(),
+                len: 4096,
+            },
         ],
     }
 }

@@ -31,11 +31,10 @@ fn denied_operations_matrix() {
             spec.name
         );
         // The event carries a negative return value.
-        let has_failed_ret = run.result.nodes().any(|n| {
-            n.props
-                .get("ret")
-                .is_some_and(|r| r.starts_with('-'))
-        });
+        let has_failed_ret = run
+            .result
+            .nodes()
+            .any(|n| n.props.get("ret").is_some_and(|r| r.starts_with('-')));
         assert!(has_failed_ret, "{}: OPUS event has errno return", spec.name);
 
         let mut camflow = Tool::camflow_baseline().instantiate();

@@ -71,8 +71,8 @@ fn opus_failed_rename_same_structure_as_success() {
         })
         .instantiate()
     };
-    let ok_run = pipeline::run_benchmark(&mut fast(), &suite::spec("rename").unwrap(), &opts)
-        .unwrap();
+    let ok_run =
+        pipeline::run_benchmark(&mut fast(), &suite::spec("rename").unwrap(), &opts).unwrap();
     let failed_run = pipeline::run_benchmark(&mut fast(), &failed_rename_spec(), &opts).unwrap();
     // The failed variant's context includes setuid (one extra event node
     // pair); compare only the rename event's local neighbourhood.
@@ -98,7 +98,10 @@ fn setres_family_asymmetry() {
     let mut spade = Tool::spade_baseline().instantiate();
     let uid_run =
         pipeline::run_benchmark(&mut spade, &suite::spec("setresuid").unwrap(), &opts).unwrap();
-    assert!(uid_run.status.is_ok(), "actual change of user id is noticed");
+    assert!(
+        uid_run.status.is_ok(),
+        "actual change of user id is noticed"
+    );
     let gid_run =
         pipeline::run_benchmark(&mut spade, &suite::spec("setresgid").unwrap(), &opts).unwrap();
     assert!(!gid_run.status.is_ok(), "no observed change, not noticed");
@@ -115,7 +118,7 @@ fn setres_family_asymmetry() {
 /// monitored — the benchmark flips from empty to ok even with no change.
 #[test]
 fn disabling_simplify_monitors_setresgid() {
-    let opts = BenchmarkOptions::default();
+    let _opts = BenchmarkOptions::default();
     let mut no_simplify = Tool::Spade(spade::SpadeConfig {
         simplify: false,
         ..Default::default()
@@ -146,8 +149,7 @@ fn disabling_simplify_monitors_setresgid() {
     let mut uid_ok = false;
     for seed in 0..12u64 {
         let o = BenchmarkOptions::with_trials(4).seed(seed * 977 + 3);
-        if let Ok(run) =
-            pipeline::run_benchmark(&mut fresh, &suite::spec("setresuid").unwrap(), &o)
+        if let Ok(run) = pipeline::run_benchmark(&mut fresh, &suite::spec("setresuid").unwrap(), &o)
         {
             uid_ok |= run.status.is_ok();
         }
@@ -171,26 +173,20 @@ fn pipe_and_tee_coverage() {
         [("pipe", false, true, false), ("tee", false, false, true)]
     {
         let spec = suite::spec(name).unwrap();
-        let spade_ok = pipeline::run_benchmark(
-            &mut Tool::spade_baseline().instantiate(),
-            &spec,
-            &opts,
-        )
-        .unwrap()
-        .status
-        .is_ok();
+        let spade_ok =
+            pipeline::run_benchmark(&mut Tool::spade_baseline().instantiate(), &spec, &opts)
+                .unwrap()
+                .status
+                .is_ok();
         let opus_ok = pipeline::run_benchmark(&mut fast_opus().instantiate(), &spec, &opts)
             .unwrap()
             .status
             .is_ok();
-        let camflow_ok = pipeline::run_benchmark(
-            &mut Tool::camflow_baseline().instantiate(),
-            &spec,
-            &opts,
-        )
-        .unwrap()
-        .status
-        .is_ok();
+        let camflow_ok =
+            pipeline::run_benchmark(&mut Tool::camflow_baseline().instantiate(), &spec, &opts)
+                .unwrap()
+                .status
+                .is_ok();
         assert_eq!(spade_ok, expect_spade, "{name}/SPADE");
         assert_eq!(opus_ok, expect_opus, "{name}/OPUS");
         assert_eq!(camflow_ok, expect_camflow, "{name}/CamFlow");

@@ -1,8 +1,8 @@
 //! Cross-crate integration tests: structural claims from paper §4 about
 //! what each recorder captures for representative syscalls.
 
-use provmark_core::{pipeline, suite, tool::Tool, BenchmarkOptions};
 use provgraph::diff;
+use provmark_core::{pipeline, suite, tool::Tool, BenchmarkOptions};
 
 fn run(tool: Tool, name: &str) -> pipeline::BenchmarkRun {
     let spec = suite::spec(name).expect("known benchmark");
@@ -206,7 +206,10 @@ fn generalization_strips_all_volatile_properties() {
                 .generalized_fg
                 .nodes()
                 .any(|n| !machine_node(n) && n.props.contains_key(key));
-            let in_edges = run.generalized_fg.edges().any(|e| e.props.contains_key(key));
+            let in_edges = run
+                .generalized_fg
+                .edges()
+                .any(|e| e.props.contains_key(key));
             assert!(
                 !in_nodes && !in_edges,
                 "{kind:?}: volatile key `{key}` survived generalization"

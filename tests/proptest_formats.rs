@@ -11,8 +11,25 @@ fn arb_graph() -> impl Strategy<Value = PropertyGraph> {
     let edge_label = prop::sample::select(vec!["Used", "WasGeneratedBy", "rel x"]);
     let key = prop::sample::select(vec!["path", "time", "weird key"]);
     let value = "[a-zA-Z0-9/\\\\\" ]{0,12}";
-    let nodes = prop::collection::vec((node_label, prop::collection::vec((key.clone(), value), 0..3)), 1..8);
-    (nodes, prop::collection::vec((0usize..8, 0usize..8, edge_label, prop::collection::vec((key, "[a-z0-9]{0,6}"), 0..2)), 0..10))
+    let nodes = prop::collection::vec(
+        (
+            node_label,
+            prop::collection::vec((key.clone(), value), 0..3),
+        ),
+        1..8,
+    );
+    (
+        nodes,
+        prop::collection::vec(
+            (
+                0usize..8,
+                0usize..8,
+                edge_label,
+                prop::collection::vec((key, "[a-z0-9]{0,6}"), 0..2),
+            ),
+            0..10,
+        ),
+    )
         .prop_map(|(nodes, edges)| {
             let mut g = PropertyGraph::new();
             for (i, (label, props)) in nodes.iter().enumerate() {

@@ -2,9 +2,9 @@
 //! programs never panic the kernel, and the emitted event streams satisfy
 //! the invariants the recorders rely on.
 
-use proptest::prelude::*;
 use oskernel::program::{Op, Program};
-use oskernel::{Event, Kernel, OpenFlags};
+use oskernel::{Kernel, OpenFlags};
+use proptest::prelude::*;
 
 fn arb_op() -> impl Strategy<Value = Op> {
     let path = prop::sample::select(vec!["a.txt", "b.txt", "c.txt"]);
@@ -22,17 +22,37 @@ fn arb_op() -> impl Strategy<Value = Op> {
             fd_var: v.into(),
         }),
         fd_var.clone().prop_map(|v| Op::Close { fd_var: v.into() }),
-        (fd_var.clone(), 1u64..64).prop_map(|(v, n)| Op::Write { fd_var: v.into(), len: n }),
-        (fd_var.clone(), 1u64..64).prop_map(|(v, n)| Op::Read { fd_var: v.into(), len: n }),
-        fd_var.clone().prop_map(|v| Op::Dup { fd_var: v.into(), new_var: "d".into() }),
-        (path.clone(), path.clone()).prop_map(|(a, b)| Op::Rename { old: a.into(), new: b.into() }),
+        (fd_var.clone(), 1u64..64).prop_map(|(v, n)| Op::Write {
+            fd_var: v.into(),
+            len: n
+        }),
+        (fd_var.clone(), 1u64..64).prop_map(|(v, n)| Op::Read {
+            fd_var: v.into(),
+            len: n
+        }),
+        fd_var.clone().prop_map(|v| Op::Dup {
+            fd_var: v.into(),
+            new_var: "d".into()
+        }),
+        (path.clone(), path.clone()).prop_map(|(a, b)| Op::Rename {
+            old: a.into(),
+            new: b.into()
+        }),
         path.clone().prop_map(|p| Op::Unlink { path: p.into() }),
-        (path.clone(), path.clone())
-            .prop_map(|(a, b)| Op::Link { old: a.into(), new: b.into() }),
-        path.clone().prop_map(|p| Op::Chmod { path: p.into(), mode: 0o600 }),
+        (path.clone(), path.clone()).prop_map(|(a, b)| Op::Link {
+            old: a.into(),
+            new: b.into()
+        }),
+        path.clone().prop_map(|p| Op::Chmod {
+            path: p.into(),
+            mode: 0o600
+        }),
         Just(Op::Fork { child: vec![] }),
         Just(Op::Setuid { uid: 500 }),
-        Just(Op::PipeOp { read_var: "pr".into(), write_var: "pw".into() }),
+        Just(Op::PipeOp {
+            read_var: "pr".into(),
+            write_var: "pw".into()
+        }),
     ]
 }
 

@@ -22,8 +22,13 @@ fn arb_graph() -> impl Strategy<Value = PropertyGraph> {
             }
             let n = g.node_count();
             for (j, (s, t, label)) in edges.iter().enumerate() {
-                g.add_edge(format!("e{j}"), format!("n{}", s % n), format!("n{}", t % n), *label)
-                    .unwrap();
+                g.add_edge(
+                    format!("e{j}"),
+                    format!("n{}", s % n),
+                    format!("n{}", t % n),
+                    *label,
+                )
+                .unwrap();
             }
             for (i, (k, v)) in props.iter().enumerate() {
                 let id = format!("n{}", i % n);

@@ -21,7 +21,10 @@ fn unchanged_recorder_stays_unchanged_across_seeds() {
     let opts = BenchmarkOptions::default();
     let mut tool = Tool::spade_baseline().instantiate();
     let run = pipeline::run_benchmark(&mut tool, &spec, &opts).unwrap();
-    assert_eq!(store.check("rename", &run.result).unwrap(), RegressionOutcome::New);
+    assert_eq!(
+        store.check("rename", &run.result).unwrap(),
+        RegressionOutcome::New
+    );
     // Five reruns with different volatile worlds: always Unchanged.
     for seed in [11u64, 222, 3333, 44444, 555555] {
         let mut tool = Tool::spade_baseline().instantiate();
@@ -86,7 +89,10 @@ fn fixing_the_io_runs_bug_shows_up_as_regression_change() {
             fd_var: "id".into(),
         }],
         target: (0..3)
-            .map(|_| oskernel::program::Op::Write { fd_var: "id".into(), len: 8 })
+            .map(|_| oskernel::program::Op::Write {
+                fd_var: "id".into(),
+                len: 8,
+            })
             .collect(),
     };
     let opts = BenchmarkOptions::default();

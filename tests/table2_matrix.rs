@@ -4,7 +4,7 @@
 //! under all three recorder simulations and asserts that the ok/empty
 //! verdict matches the paper cell-for-cell.
 
-use provmark_core::{pipeline, suite, BenchmarkOptions};
+use provmark_core::{pipeline, BenchmarkOptions};
 
 #[test]
 fn table2_matches_the_paper_cell_for_cell() {
@@ -13,11 +13,11 @@ fn table2_matches_the_paper_cell_for_cell() {
     let rows = pipeline::run_matrix(&opts, Some(500));
     let mut mismatches = Vec::new();
     for (exp, cells) in &rows {
-        for (tool, (cell, expected)) in ["SPADE", "OPUS", "CamFlow"].iter().zip(
-            cells
-                .iter()
-                .zip([exp.spade, exp.opus, exp.camflow]),
-        ) {
+        for (tool, (cell, expected)) in ["SPADE", "OPUS", "CamFlow"].iter().zip(cells.iter().zip([
+            exp.spade,
+            exp.opus,
+            exp.camflow,
+        ])) {
             if cell.is_ok() != expected.is_ok() || cell.run.is_none() {
                 mismatches.push(format!(
                     "{}/{}: expected {}, measured {}",
