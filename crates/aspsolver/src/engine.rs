@@ -34,7 +34,7 @@ use std::collections::BTreeMap;
 
 use provgraph::compiled::{
     degree_sig_leq, label_counts_leq, one_sided_prop_diff, symmetric_prop_diff, CompiledGraph,
-    Interner, Symbol,
+    CorpusSession, GraphCore, GraphId, Interner, NamedGraph, Symbol,
 };
 use provgraph::PropertyGraph;
 
@@ -191,6 +191,39 @@ pub fn solve_compiled(
     g2: &CompiledGraph,
     config: &SolverConfig,
 ) -> Outcome {
+    solve_named(problem, g1, g2, config)
+}
+
+/// Solve `problem` over two graphs of a [`CorpusSession`].
+///
+/// This is the amortized corpus path: both graphs were compiled exactly
+/// once when added to the session (sharing its interner), so repeated
+/// solves over session members — similarity confirmation, generalization,
+/// the comparison stage — pay zero compile or interning cost per call.
+///
+/// Handles are only meaningful for the session that issued them. Panics
+/// when a foreign handle's index is out of range; a foreign handle whose
+/// index happens to be in range silently addresses a *different* session
+/// graph (see [`CorpusSession::graph`]) — keep handles with their
+/// session.
+pub fn solve_in(
+    problem: Problem,
+    session: &CorpusSession,
+    g1: GraphId,
+    g2: GraphId,
+    config: &SolverConfig,
+) -> Outcome {
+    solve_named(problem, session.graph(g1), session.graph(g2), config)
+}
+
+/// Shared implementation of the compiled entry points: search the cores,
+/// then translate the dense witness through the carriers' id tables.
+fn solve_named<G1: NamedGraph, G2: NamedGraph>(
+    problem: Problem,
+    g1: &G1,
+    g2: &G2,
+    config: &SolverConfig,
+) -> Outcome {
     let mut outcome = Outcome {
         matching: None,
         optimal: true,
@@ -224,7 +257,9 @@ pub fn solve_compiled(
         return outcome;
     }
 
-    let mut search = Search::new(problem, g1, g2, config);
+    let c1: &GraphCore = g1;
+    let c2: &GraphCore = g2;
+    let mut search = Search::new(problem, c1, c2, config);
     search.run();
     outcome.stats = search.stats;
     outcome.optimal = !search.budget_exhausted;
@@ -273,8 +308,8 @@ type BestSolution = (Vec<u32>, Vec<(u32, u32)>, u64);
 struct Search<'a> {
     problem: Problem,
     config: &'a SolverConfig,
-    g1: &'a CompiledGraph<'a>,
-    g2: &'a CompiledGraph<'a>,
+    g1: &'a GraphCore,
+    g2: &'a GraphCore,
     n1: usize,
     n2: usize,
     /// Statically feasible candidates, flattened; node i's candidates are
@@ -309,8 +344,8 @@ struct Search<'a> {
 impl<'a> Search<'a> {
     fn new(
         problem: Problem,
-        g1: &'a CompiledGraph<'a>,
-        g2: &'a CompiledGraph<'a>,
+        g1: &'a GraphCore,
+        g2: &'a GraphCore,
         config: &'a SolverConfig,
     ) -> Self {
         let n1 = g1.node_count();
@@ -1151,6 +1186,37 @@ mod tests {
         let out = solve(Problem::Similarity, &a, &b, &SolverConfig::default());
         assert!(out.stats.steps >= 3);
         assert_eq!(out.stats.solutions, 1);
+    }
+
+    #[test]
+    fn solve_in_matches_session_members() {
+        // The corpus-session call pattern: compile everything once, then
+        // match members pairwise with zero per-call compile cost.
+        let a = triangle("a");
+        let b = triangle("b");
+        let c = g(|g| {
+            g.add_node("only", "N").unwrap();
+        });
+        let mut session = CorpusSession::new();
+        let ia = session.add(&a);
+        let ib = session.add(&b);
+        let ic = session.add(&c);
+        let cfg = SolverConfig::default();
+        let m = solve_in(Problem::Similarity, &session, ia, ib, &cfg)
+            .matching
+            .expect("triangles similar");
+        assert_eq!(m.node_map.len(), 3);
+        // Witness identifiers resolve to the original strings.
+        assert!(m.node_map.keys().all(|k| k.starts_with('a')));
+        assert!(m.node_map.values().all(|v| v.starts_with('b')));
+        assert!(solve_in(Problem::Similarity, &session, ia, ic, &cfg)
+            .matching
+            .is_none());
+        // Session outcomes equal the one-shot path in full.
+        let oneshot = solve(Problem::Similarity, &a, &b, &cfg);
+        let in_session = solve_in(Problem::Similarity, &session, ia, ib, &cfg);
+        assert_eq!(oneshot.matching, in_session.matching);
+        assert_eq!(oneshot.stats, in_session.stats);
     }
 
     #[test]

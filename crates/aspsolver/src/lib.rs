@@ -22,22 +22,30 @@
 //! exact clingo programs from the paper for inspection and differential
 //! debugging.
 //!
-//! # Two engine paths
+//! # Engine paths
 //!
 //! The default entry points ([`solve`] and the `find_*` helpers) run on
 //! the **compiled path**: both graphs are interned into a shared
 //! [`provgraph::compiled::Interner`] and searched as
 //! [`provgraph::compiled::CompiledGraph`]s, so the hot loop touches only
 //! dense integers (see [`provgraph::compiled`] for the representation).
-//! Callers that match one graph against many partners — similarity
-//! classification, regression sweeps — should compile each graph once and
-//! call [`solve_compiled`] to amortize the interning pass.
+//!
+//! Callers that match corpus members against each other repeatedly — the
+//! whole benchmark pipeline: similarity classification, generalization,
+//! the comparison stage — should compile every graph once into a
+//! [`provgraph::compiled::CorpusSession`] and use the **session path**
+//! ([`solve_in`] and the `find_*_in` helpers over
+//! [`provgraph::compiled::GraphId`] handles); each solve then pays zero
+//! compile or interning cost. [`solve_compiled`] serves the same purpose
+//! for borrow-based [`provgraph::compiled::CompiledGraph`]s compiled by
+//! the caller.
 //!
 //! The legacy **string path** ([`solve_strings`]) searches
 //! [`PropertyGraph`] directly. It is retained as the reference
 //! implementation for differential tests and as the baseline of the
-//! solver ablation benchmark; both paths provably return identical
-//! outcomes (`tests/differential_compiled.rs`).
+//! solver ablation benchmark; all paths provably return identical
+//! outcomes, including identical search statistics
+//! (`tests/differential_compiled.rs`).
 //!
 //! # Example
 //!
@@ -72,10 +80,11 @@ mod matching;
 mod strpath;
 
 pub use assignment::min_cost_assignment;
-pub use engine::{solve, solve_compiled, Problem, SolverConfig, SolverStats};
+pub use engine::{solve, solve_compiled, solve_in, Problem, SolverConfig, SolverStats};
 pub use matching::{Matching, Outcome};
 pub use strpath::solve_strings;
 
+use provgraph::compiled::{CorpusSession, GraphId};
 use provgraph::PropertyGraph;
 
 /// Decide *similarity* (paper Listing 3): a bijection preserving structure
@@ -107,6 +116,42 @@ pub fn find_generalization(g1: &PropertyGraph, g2: &PropertyGraph) -> Option<Mat
 /// Returns `None` when no structure/label-preserving embedding exists.
 pub fn find_subgraph(g1: &PropertyGraph, g2: &PropertyGraph) -> Option<Matching> {
     solve(Problem::Subgraph, g1, g2, &SolverConfig::default()).matching
+}
+
+/// [`find_similarity`] over two members of a [`CorpusSession`] — the
+/// amortized path for similarity classification (no compile per call).
+pub fn find_similarity_in(session: &CorpusSession, g1: GraphId, g2: GraphId) -> Option<Matching> {
+    solve_in(
+        Problem::Similarity,
+        session,
+        g1,
+        g2,
+        &SolverConfig::default(),
+    )
+    .matching
+}
+
+/// [`find_generalization`] over two members of a [`CorpusSession`] — the
+/// amortized path for the generalization stage (paper §3.4).
+pub fn find_generalization_in(
+    session: &CorpusSession,
+    g1: GraphId,
+    g2: GraphId,
+) -> Option<Matching> {
+    solve_in(
+        Problem::Generalization,
+        session,
+        g1,
+        g2,
+        &SolverConfig::default(),
+    )
+    .matching
+}
+
+/// [`find_subgraph`] over two members of a [`CorpusSession`] — the
+/// amortized path for the comparison stage (paper Listing 4).
+pub fn find_subgraph_in(session: &CorpusSession, g1: GraphId, g2: GraphId) -> Option<Matching> {
+    solve_in(Problem::Subgraph, session, g1, g2, &SolverConfig::default()).matching
 }
 
 #[cfg(test)]

@@ -10,9 +10,10 @@
 //! compiled path serves production traffic.
 
 use proptest::prelude::*;
+use provgraph::compiled::{CompiledGraph, CorpusSession, Interner};
 use provgraph::PropertyGraph;
 
-use aspsolver::{solve, solve_strings, Matching, Problem, SolverConfig};
+use aspsolver::{solve, solve_compiled, solve_in, solve_strings, Matching, Problem, SolverConfig};
 
 /// An arbitrary small multigraph with node and edge properties.
 fn arb_graph(max_nodes: usize) -> impl Strategy<Value = PropertyGraph> {
@@ -246,6 +247,67 @@ proptest! {
                 compiled.stats, strings.stats,
                 "{:?}: search statistics diverge", problem
             );
+        }
+    }
+
+    /// The corpus-session path returns outcomes identical to **both** the
+    /// string oracle and the borrow-based compiled path — matchings,
+    /// costs, optimality and search statistics — on every ordered pair of
+    /// a randomly generated corpus, for all four problems. This is what
+    /// licenses the pipeline to run generalization and comparison over
+    /// session handles while the string path stays the reference.
+    #[test]
+    fn session_path_agrees_with_both_engines(
+        graphs in prop::collection::vec(arb_graph(4), 2..4),
+        perturbed_copy in prop::sample::select(vec![false, true]),
+    ) {
+        let mut corpus: Vec<PropertyGraph> = graphs;
+        // Guarantee at least one feasible bijective pair in the corpus so
+        // witnesses are exercised, not just infeasibility verdicts.
+        let copy = relabel_perturbed(&corpus[0], perturbed_copy);
+        corpus.push(copy);
+        let mut session = CorpusSession::new();
+        let ids: Vec<_> = corpus.iter().map(|g| session.add(g)).collect();
+        // An equivalent borrow-based compilation sharing one interner.
+        let mut interner = Interner::new();
+        let compiled: Vec<CompiledGraph> = corpus
+            .iter()
+            .map(|g| CompiledGraph::compile(g, &mut interner))
+            .collect();
+        let config = SolverConfig::default();
+        for i in 0..corpus.len() {
+            for j in 0..corpus.len() {
+                for problem in ALL_PROBLEMS {
+                    let in_session = solve_in(problem, &session, ids[i], ids[j], &config);
+                    let strings = solve_strings(problem, &corpus[i], &corpus[j], &config);
+                    let borrowed =
+                        solve_compiled(problem, &compiled[i], &compiled[j], &config);
+                    prop_assert_eq!(
+                        in_session.optimal, strings.optimal,
+                        "{:?} ({}, {}): optimality diverges from oracle", problem, i, j
+                    );
+                    prop_assert_eq!(
+                        &in_session.matching, &strings.matching,
+                        "{:?} ({}, {}): matching diverges from oracle", problem, i, j
+                    );
+                    prop_assert_eq!(
+                        in_session.stats, strings.stats,
+                        "{:?} ({}, {}): statistics diverge from oracle", problem, i, j
+                    );
+                    prop_assert_eq!(
+                        &in_session.matching, &borrowed.matching,
+                        "{:?} ({}, {}): session and borrowed compiled paths diverge",
+                        problem, i, j
+                    );
+                    prop_assert_eq!(
+                        in_session.stats, borrowed.stats,
+                        "{:?} ({}, {}): session and borrowed stats diverge", problem, i, j
+                    );
+                    if let Some(m) = &in_session.matching {
+                        assert_valid_witness(problem, &corpus[i], &corpus[j], m);
+                    }
+                }
+            }
         }
     }
 }

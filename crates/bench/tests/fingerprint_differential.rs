@@ -1,0 +1,112 @@
+//! Differential test: the compiled-path WL fingerprints must induce the
+//! **same bucketing** as the string-path implementation across the whole
+//! benchmark suite.
+//!
+//! The two implementations hash different base data (label/property
+//! strings vs interned symbol ids), so the `u64` values differ — but
+//! within one shared interner the induced equivalence classes must be
+//! identical: `fp(a) == fp(b)` on one path iff on the other. The
+//! similarity-classification prefilter only consumes fingerprint
+//! *equality*, so bucketing equivalence is exactly the property that
+//! keeps the pipeline's compiled prefilter honest against the string
+//! reference.
+//!
+//! The corpus pools every Table 1 benchmark's background and foreground
+//! trials (SPADE and CamFlow recorders — text-native tools; OPUS is
+//! excluded only because its simulated Neo4j startup would dominate the
+//! test's runtime) plus the scale suites, all compiled into **one**
+//! session, so cross-benchmark bucketing is exercised too.
+
+use provgraph::compiled::CorpusSession;
+use provgraph::{fingerprint, PropertyGraph};
+use provmark_bench::prepare_trial_graphs;
+use provmark_core::scale::{scale_spec, SCALE_FACTORS};
+use provmark_core::suite;
+use provmark_core::tool::ToolKind;
+
+/// Normalized partition of `0..keys.len()` by key equality: each class
+/// sorted, classes sorted by first member.
+fn partition(keys: &[u64]) -> Vec<Vec<usize>> {
+    let mut by_key: std::collections::BTreeMap<u64, Vec<usize>> = Default::default();
+    for (i, k) in keys.iter().enumerate() {
+        by_key.entry(*k).or_default().push(i);
+    }
+    let mut classes: Vec<Vec<usize>> = by_key.into_values().collect();
+    classes.sort_by_key(|c| c[0]);
+    classes
+}
+
+fn corpus() -> Vec<PropertyGraph> {
+    let mut graphs: Vec<PropertyGraph> = Vec::new();
+    for spec in suite::all_specs() {
+        for kind in [ToolKind::Spade, ToolKind::CamFlow] {
+            let (bg, fg) = prepare_trial_graphs(kind, &spec, 2);
+            graphs.extend(bg);
+            graphs.extend(fg);
+        }
+    }
+    for n in SCALE_FACTORS {
+        let (bg, fg) = prepare_trial_graphs(ToolKind::Spade, &scale_spec(n), 2);
+        graphs.extend(bg);
+        graphs.extend(fg);
+    }
+    graphs
+}
+
+#[test]
+fn compiled_fingerprints_bucket_suite_like_string_path() {
+    let graphs = corpus();
+    assert!(graphs.len() > 300, "corpus spans the whole suite");
+    let mut session = CorpusSession::new();
+    let ids: Vec<_> = graphs.iter().map(|g| session.add(g)).collect();
+
+    let shape_strings: Vec<u64> = graphs.iter().map(fingerprint::shape_fingerprint).collect();
+    let shape_session: Vec<u64> = ids
+        .iter()
+        .map(|&id| session.shape_fingerprint(id))
+        .collect();
+    assert_eq!(
+        partition(&shape_strings),
+        partition(&shape_session),
+        "shape fingerprint bucketing diverges between string and compiled paths"
+    );
+
+    let full_strings: Vec<u64> = graphs.iter().map(fingerprint::full_fingerprint).collect();
+    let full_session: Vec<u64> = ids.iter().map(|&id| session.full_fingerprint(id)).collect();
+    assert_eq!(
+        partition(&full_strings),
+        partition(&full_session),
+        "full fingerprint bucketing diverges between string and compiled paths"
+    );
+
+    // Sanity on the corpus itself: fingerprints must actually distinguish
+    // things (not everything in one bucket) and also group things (each
+    // benchmark's repeated trials share a shape class).
+    let shape_classes = partition(&shape_session);
+    assert!(shape_classes.len() > 10, "shape fingerprints distinguish");
+    assert!(
+        shape_classes.iter().any(|c| c.len() >= 2),
+        "repeated trials share shape classes"
+    );
+}
+
+#[test]
+fn session_similarity_classes_match_string_fingerprint_buckets() {
+    // End-to-end: similarity_classes (session-compiled prefilter + exact
+    // confirmation) must refine the *string* shape-fingerprint bucketing
+    // — every similarity class stays inside one string-path bucket.
+    let graphs: Vec<PropertyGraph> = {
+        let spec = suite::spec("execve").expect("execve in suite");
+        let (bg, fg) = prepare_trial_graphs(ToolKind::Spade, &spec, 3);
+        bg.into_iter().chain(fg).collect()
+    };
+    let classes = provmark_core::generalize::similarity_classes(&graphs);
+    let string_fps: Vec<u64> = graphs.iter().map(fingerprint::shape_fingerprint).collect();
+    for class in &classes {
+        let fp0 = string_fps[class[0]];
+        assert!(
+            class.iter().all(|&i| string_fps[i] == fp0),
+            "a similarity class crosses string-path fingerprint buckets"
+        );
+    }
+}

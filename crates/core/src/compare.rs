@@ -5,10 +5,17 @@
 //! approximate subgraph isomorphism with property-mismatch cost
 //! minimization (paper Listing 4), and the unmatched foreground remainder
 //! — with dummy boundary nodes — is the benchmark result.
+//!
+//! The stage is session-aware: [`compare_in`] matches two members of a
+//! [`CorpusSession`] (zero compile cost when the pipeline threads its
+//! per-run session through), borrows the matched identifiers straight out
+//! of the witness matching, and lowers to a [`PropertyGraph`] only for
+//! the subtracted result graph.
 
 use std::collections::BTreeSet;
 
-use aspsolver::find_subgraph;
+use aspsolver::{find_subgraph, find_subgraph_in, Matching};
+use provgraph::compiled::{CorpusSession, GraphId};
 use provgraph::{diff, PropertyGraph};
 
 use crate::PipelineError;
@@ -34,6 +41,11 @@ impl Comparison {
 
 /// Match `background` into `foreground` and subtract it.
 ///
+/// One-shot path: solves via [`find_subgraph`], whose engine compiles
+/// both graphs against the warm per-thread interner (no session setup or
+/// owned id arenas per call). The pipeline uses [`compare_in`] with its
+/// per-run session instead, which amortizes even that compile.
+///
 /// # Errors
 ///
 /// [`PipelineError::BackgroundNotSubgraph`] when no structure-preserving
@@ -46,8 +58,38 @@ pub fn compare(
 ) -> Result<Comparison, PipelineError> {
     let matching =
         find_subgraph(background, foreground).ok_or(PipelineError::BackgroundNotSubgraph)?;
-    let matched_nodes: BTreeSet<String> = matching.node_map.values().cloned().collect();
-    let matched_edges: BTreeSet<String> = matching.edge_map.values().cloned().collect();
+    subtract_matched(foreground, &matching)
+}
+
+/// Match session member `background` into `foreground` and subtract it.
+///
+/// `foreground_graph` must be the property graph `foreground` was
+/// compiled from; the result graph is carved out of it. The matched
+/// identifiers are borrowed from the witness matching — nothing is cloned
+/// per cell on the way to the subtraction.
+///
+/// # Errors
+///
+/// Same contract as [`compare`].
+pub fn compare_in(
+    session: &CorpusSession,
+    background: GraphId,
+    foreground: GraphId,
+    foreground_graph: &PropertyGraph,
+) -> Result<Comparison, PipelineError> {
+    let matching = find_subgraph_in(session, background, foreground)
+        .ok_or(PipelineError::BackgroundNotSubgraph)?;
+    subtract_matched(foreground_graph, &matching)
+}
+
+/// Shared tail of both entry points: borrow the matched identifiers out
+/// of the witness and subtract them from the foreground.
+fn subtract_matched(
+    foreground: &PropertyGraph,
+    matching: &Matching,
+) -> Result<Comparison, PipelineError> {
+    let matched_nodes: BTreeSet<&str> = matching.node_map.values().map(String::as_str).collect();
+    let matched_edges: BTreeSet<&str> = matching.edge_map.values().map(String::as_str).collect();
     let result = diff::subtract(foreground, &matched_nodes, &matched_edges)?;
     Ok(Comparison {
         result,
@@ -90,6 +132,19 @@ mod tests {
         let c = compare(&bg(), &bg()).unwrap();
         assert!(c.is_empty());
         assert_eq!(c.matching_cost, 0);
+    }
+
+    #[test]
+    fn compare_in_agrees_with_one_shot_compare() {
+        let bg = bg();
+        let fg = fg_with_target();
+        let mut session = CorpusSession::new();
+        let b = session.add(&bg);
+        let f = session.add(&fg);
+        let via_session = compare_in(&session, b, f, &fg).unwrap();
+        let one_shot = compare(&bg, &fg).unwrap();
+        assert_eq!(via_session.result, one_shot.result);
+        assert_eq!(via_session.matching_cost, one_shot.matching_cost);
     }
 
     #[test]

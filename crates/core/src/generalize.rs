@@ -12,10 +12,18 @@
 //! 3. finds the similarity bijection minimizing property differences and
 //!    **strips every property that differs** — the surviving properties
 //!    are the invariant ones.
+//!
+//! The whole stage runs over a [`CorpusSession`]: every trial is compiled
+//! exactly once into the session's shared interner, and fingerprint
+//! bucketing, similarity confirmation and the generalization matching all
+//! reuse those compiled graphs ([`generalize_trials_in`]). The pipeline
+//! threads one session per benchmark run through generalization *and* the
+//! comparison stage, so no graph is ever compiled (or its vocabulary
+//! re-interned) twice.
 
-use aspsolver::{find_generalization, solve_compiled, Problem, SolverConfig};
-use provgraph::compiled::{CompiledGraph, Interner};
-use provgraph::{fingerprint, PropertyGraph};
+use aspsolver::{find_generalization, find_generalization_in, find_similarity_in, Matching};
+use provgraph::compiled::{CorpusSession, GraphId};
+use provgraph::PropertyGraph;
 
 use crate::{par, PipelineError};
 
@@ -32,37 +40,48 @@ pub enum PairStrategy {
 
 /// Partition trial graphs into similarity classes.
 ///
-/// Three-layer classification, all layers parallel across trials:
+/// Convenience wrapper over [`similarity_classes_in`] that compiles the
+/// trials into a throwaway [`CorpusSession`]. Callers that keep using the
+/// graphs (the pipeline does) should build the session themselves so the
+/// compiled trials are reused by the later stages.
+pub fn similarity_classes(graphs: &[PropertyGraph]) -> Vec<Vec<usize>> {
+    let mut session = CorpusSession::new();
+    let ids: Vec<GraphId> = graphs.iter().map(|g| session.add(g)).collect();
+    similarity_classes_in(&session, &ids, graphs)
+}
+
+/// Partition session-compiled trial graphs into similarity classes.
 ///
-/// 1. **Fingerprint prefilter** — Weisfeiler–Lehman shape fingerprints
-///    (computed in parallel) bucket the trials; unequal fingerprints
-///    *prove* dissimilarity, so the exact solver never sees cross-bucket
-///    pairs.
+/// `ids[i]` must be the session handle of `graphs[i]`; the returned
+/// classes contain positions into that common indexing. Three-layer
+/// classification, entirely in symbol space:
+///
+/// 1. **Fingerprint prefilter** — compiled-path Weisfeiler–Lehman shape
+///    fingerprints (computed in parallel over the session's CSR cores, no
+///    string hashing) bucket the trials; unequal fingerprints *prove*
+///    dissimilarity, so the exact solver never sees cross-bucket pairs.
 /// 2. **Identity fast path** — set-equal graphs are trivially similar
 ///    and skip the solver entirely.
 /// 3. **Exact confirmation** — within a bucket (buckets processed in
-///    parallel), every trial is compiled once into a bucket-shared
-///    [`Interner`] and confirmed against class representatives with the
-///    compiled solver ([`solve_compiled`]), amortizing interning across
-///    the whole bucket. Fingerprint collisions may still split a bucket
-///    into several classes, so the result is always a true partition by
-///    similarity.
-pub fn similarity_classes(graphs: &[PropertyGraph]) -> Vec<Vec<usize>> {
-    let fingerprints = par::par_map(graphs, fingerprint::shape_fingerprint);
+///    parallel), trials are confirmed against class representatives with
+///    the session solver ([`find_similarity_in`]); every trial was
+///    compiled exactly once when added to the session, so confirmation
+///    pays zero compile cost. Fingerprint collisions may still split a
+///    bucket into several classes, so the result is always a true
+///    partition by similarity.
+pub fn similarity_classes_in(
+    session: &CorpusSession,
+    ids: &[GraphId],
+    graphs: &[PropertyGraph],
+) -> Vec<Vec<usize>> {
+    debug_assert_eq!(ids.len(), graphs.len());
+    let fingerprints = par::par_map(ids, |id| session.shape_fingerprint(*id));
     let mut buckets: std::collections::BTreeMap<u64, Vec<usize>> = Default::default();
     for (i, fp) in fingerprints.iter().enumerate() {
         buckets.entry(*fp).or_default().push(i);
     }
     let buckets: Vec<Vec<usize>> = buckets.into_values().collect();
-    let config = SolverConfig::default();
     let per_bucket: Vec<Vec<Vec<usize>>> = par::par_map(&buckets, |bucket| {
-        // Compile every trial in the bucket once, against one shared
-        // interner, so pairwise confirmation is all-integer work.
-        let mut interner = Interner::new();
-        let compiled: Vec<CompiledGraph> = bucket
-            .iter()
-            .map(|&i| CompiledGraph::compile(&graphs[i], &mut interner))
-            .collect();
         // Class members as bucket-local positions; representative first.
         let mut sub: Vec<Vec<usize>> = Vec::new();
         'outer: for local in 0..bucket.len() {
@@ -70,14 +89,7 @@ pub fn similarity_classes(graphs: &[PropertyGraph]) -> Vec<Vec<usize>> {
                 let rep = class[0];
                 let trivially_equal = graphs[bucket[rep]] == graphs[bucket[local]];
                 if trivially_equal
-                    || solve_compiled(
-                        Problem::Similarity,
-                        &compiled[rep],
-                        &compiled[local],
-                        &config,
-                    )
-                    .matching
-                    .is_some()
+                    || find_similarity_in(session, ids[bucket[rep]], ids[bucket[local]]).is_some()
                 {
                     class.push(local);
                     continue 'outer;
@@ -114,6 +126,16 @@ pub fn pick_pair(
 /// Returns `None` when the graphs are not similar at all.
 pub fn generalize_pair(g1: &PropertyGraph, g2: &PropertyGraph) -> Option<PropertyGraph> {
     let matching = find_generalization(g1, g2)?;
+    Some(apply_generalization(g1, g2, &matching))
+}
+
+/// Build the generalized graph for a matched pair: `g1` with every
+/// property that differs from its image under `matching` stripped.
+fn apply_generalization(
+    g1: &PropertyGraph,
+    g2: &PropertyGraph,
+    matching: &Matching,
+) -> PropertyGraph {
     let mut out = PropertyGraph::new();
     for n in g1.nodes() {
         let mut node = n.clone();
@@ -133,7 +155,7 @@ pub fn generalize_pair(g1: &PropertyGraph, g2: &PropertyGraph) -> Option<Propert
         }
         out.add_edge_data(edge).expect("copied edge unique");
     }
-    Some(out)
+    out
 }
 
 /// Outcome of generalizing one variant's trials.
@@ -148,6 +170,10 @@ pub struct Generalized {
 
 /// Full generalization stage over all trials of one program variant.
 ///
+/// Convenience wrapper over [`generalize_trials_in`] with a throwaway
+/// [`CorpusSession`]; the pipeline passes its per-run session instead so
+/// compiled trials carry over to the comparison stage's interner.
+///
 /// # Errors
 ///
 /// - [`PipelineError::NotEnoughTrials`] with fewer than two trials;
@@ -158,18 +184,43 @@ pub fn generalize_trials(
     strategy: PairStrategy,
     variant: &'static str,
 ) -> Result<Generalized, PipelineError> {
+    generalize_trials_in(&mut CorpusSession::new(), graphs, strategy, variant)
+}
+
+/// Full generalization stage over all trials of one program variant,
+/// threading a caller-owned [`CorpusSession`].
+///
+/// Every trial is compiled once into `session`; classification and the
+/// generalization matching then run entirely over the session's compiled
+/// graphs. The session keeps the compiled trials (and, more importantly,
+/// the interned vocabulary) afterwards, so later stages sharing the
+/// session — the other variant, the comparison stage — intern next to
+/// nothing. Lowering to a [`PropertyGraph`] happens only once, for the
+/// returned generalized representative.
+///
+/// # Errors
+///
+/// Same contract as [`generalize_trials`].
+pub fn generalize_trials_in(
+    session: &mut CorpusSession,
+    graphs: &[PropertyGraph],
+    strategy: PairStrategy,
+    variant: &'static str,
+) -> Result<Generalized, PipelineError> {
     if graphs.len() < 2 {
         return Err(PipelineError::NotEnoughTrials(graphs.len()));
     }
-    let classes = similarity_classes(graphs);
+    let ids: Vec<GraphId> = graphs.iter().map(|g| session.add(g)).collect();
+    let classes = similarity_classes_in(session, &ids, graphs);
     let Some((a, b)) = pick_pair(&classes, graphs, strategy) else {
         return Err(PipelineError::NoConsistentTrials {
             variant,
             trials: graphs.len(),
         });
     };
-    let graph = generalize_pair(&graphs[a], &graphs[b])
+    let matching = find_generalization_in(session, ids[a], ids[b])
         .expect("pair drawn from a similarity class is similar");
+    let graph = apply_generalization(&graphs[a], &graphs[b], &matching);
     let chosen_class_len = classes
         .iter()
         .find(|c| c.contains(&a))

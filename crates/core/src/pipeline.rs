@@ -1,8 +1,27 @@
 //! The end-to-end ProvMark pipeline (paper Figure 3), with per-stage
 //! timing instrumentation used to regenerate Figures 5–10.
+//!
+//! # Session lifecycle
+//!
+//! Every [`run_benchmark`] call owns one
+//! [`CorpusSession`](provgraph::compiled::CorpusSession) spanning the
+//! whole run: the background and foreground trials are compiled into it
+//! exactly once during generalization, the generalized representatives
+//! are added at the comparison boundary (their vocabulary is already
+//! interned, so that compile is near-free), and the subgraph comparison
+//! runs over session handles — every matching problem in the run shares
+//! one interner and never re-interns or re-compiles a graph. The pipeline
+//! lowers back to [`PropertyGraph`] only where string identifiers and
+//! mutable properties are the point: the generalized representatives and
+//! the subtracted result graph handed to [`crate::report`].
+//!
+//! [`run_matrix`] keeps one session *per cell* (cells run in parallel
+//! and must stay independently reproducible), which is exactly the
+//! per-run scope described above.
 
 use std::time::{Duration, Instant};
 
+use provgraph::compiled::CorpusSession;
 use provgraph::{diff, PropertyGraph};
 
 use crate::generalize::{self, PairStrategy};
@@ -88,9 +107,11 @@ pub struct BenchmarkRun {
     pub matching_cost: u64,
 }
 
-/// Record, transform and generalize one program variant.
+/// Record, transform and generalize one program variant, compiling its
+/// trials into the run's shared session.
 fn prepare_variant(
     tool: &mut ToolInstance,
+    session: &mut CorpusSession,
     spec: &BenchSpec,
     opts: &BenchmarkOptions,
     variant: &'static str,
@@ -124,7 +145,8 @@ fn prepare_variant(
     timings.transformation += t0.elapsed();
 
     let t0 = Instant::now();
-    let mut generalized = generalize::generalize_trials(&graphs, PairStrategy::default(), variant)?;
+    let mut generalized =
+        generalize::generalize_trials_in(session, &graphs, PairStrategy::default(), variant)?;
     generalized.discarded += unparseable;
     timings.generalization += t0.elapsed();
     Ok(generalized)
@@ -145,10 +167,22 @@ pub fn run_benchmark(
         return Err(PipelineError::NotEnoughTrials(opts.trials));
     }
     let mut timings = StageTimings::default();
+    // One corpus session for the whole run: both variants' trials, the
+    // generalized representatives and the comparison share one interner.
+    let mut session = CorpusSession::new();
     // Distinct kernel seeds per variant so volatile values never repeat.
-    let bg = prepare_variant(tool, spec, opts, "background", opts.base_seed, &mut timings)?;
+    let bg = prepare_variant(
+        tool,
+        &mut session,
+        spec,
+        opts,
+        "background",
+        opts.base_seed,
+        &mut timings,
+    )?;
     let fg = prepare_variant(
         tool,
+        &mut session,
         spec,
         opts,
         "foreground",
@@ -157,7 +191,12 @@ pub fn run_benchmark(
     )?;
 
     let t0 = Instant::now();
-    let cmp = compare::compare(&bg.graph, &fg.graph)?;
+    // The generalized graphs are new (property-stripped) graphs, but
+    // their entire vocabulary is already interned from the trials, so
+    // adding them compiles without growing the symbol table.
+    let bg_id = session.add(&bg.graph);
+    let fg_id = session.add(&fg.graph);
+    let cmp = compare::compare_in(&session, bg_id, fg_id, &fg.graph)?;
     timings.comparison += t0.elapsed();
 
     let status = if diff::effective_size(&cmp.result) == 0 {

@@ -24,6 +24,18 @@
 //! Graphs that will be matched against each other must be compiled with
 //! the **same** interner — symbols are only comparable within one
 //! interner's namespace.
+//!
+//! Two carrier types expose the compiled core ([`GraphCore`]) together
+//! with string identifiers:
+//!
+//! - [`CompiledGraph`] borrows the source graph — the right shape for
+//!   one-shot solves where the source outlives the view;
+//! - [`CorpusSession`] owns an arena of [`SessionGraph`]s compiled
+//!   against one shared interner, addressed by stable [`GraphId`]
+//!   handles — the right shape for pipelines that compile a whole trial
+//!   corpus once and match its members against each other repeatedly
+//!   (fingerprint bucketing, similarity confirmation, generalization and
+//!   comparison all reuse the same compiled graphs).
 
 use std::collections::BTreeMap;
 use std::hash::{BuildHasherDefault, Hasher};
@@ -194,11 +206,15 @@ pub type PropRow = Vec<(Symbol, Symbol)>;
 /// direction 0 = outgoing, 1 = incoming.
 pub type DegreeSigEntry = (u8, Symbol, u32);
 
-/// A compiled, read-only view of a [`PropertyGraph`].
+/// The fully-owned, identifier-free compiled representation of one graph:
+/// everything the matching solver's inner loops touch, and nothing else.
 ///
 /// Node and edge indices are dense `u32`s in insertion order of the source
-/// graph; [`CompiledGraph::node_id`] / [`CompiledGraph::edge_id`] map back
-/// to the original string identifiers.
+/// graph. Mapping dense indices back to the original string identifiers is
+/// the job of the carrier type — [`CompiledGraph`] (borrowing the source
+/// graph's strings) or [`SessionGraph`] (owning them in a flat arena) —
+/// via the [`NamedGraph`] trait; the core itself contains no strings, so
+/// it is `'static` and freely shareable across threads.
 ///
 /// All variable-length per-element data (properties, neighbour lists,
 /// degree signatures, pair label counts) lives in flat arrays with
@@ -206,9 +222,7 @@ pub type DegreeSigEntry = (u8, Symbol, u32);
 /// *section*, not per element, which keeps the compile pass cheap enough
 /// to pay even for single-solve calls on small graphs.
 #[derive(Debug, Clone)]
-pub struct CompiledGraph<'a> {
-    node_ids: Vec<&'a str>,
-    edge_ids: Vec<&'a str>,
+pub struct GraphCore {
     node_labels: Vec<Symbol>,
     edge_labels: Vec<Symbol>,
     edge_src: Vec<u32>,
@@ -246,15 +260,12 @@ pub struct CompiledGraph<'a> {
     pair_label_counts: Vec<(Symbol, u32)>,
 }
 
-impl<'a> CompiledGraph<'a> {
-    /// Compile a property graph against (and extending) `interner`.
-    ///
-    /// The compiled view borrows the source graph's identifier strings —
-    /// compilation itself allocates no per-element strings.
-    pub fn compile(graph: &'a PropertyGraph, interner: &mut Interner) -> CompiledGraph<'a> {
+impl GraphCore {
+    /// Compile the solver-facing core of a property graph against (and
+    /// extending) `interner`, ignoring element identifiers entirely.
+    pub fn compile(graph: &PropertyGraph, interner: &mut Interner) -> GraphCore {
         let n = graph.node_count();
         let m = graph.edge_count();
-        let mut node_ids = Vec::with_capacity(n);
         let mut node_labels = Vec::with_capacity(n);
         let props_hint = graph.property_count();
         let mut node_prop_start = Vec::with_capacity(n + 1);
@@ -264,13 +275,11 @@ impl<'a> CompiledGraph<'a> {
         node_prop_start.push(0u32);
         for (i, node) in graph.nodes().enumerate() {
             dense.insert(node.id.as_str(), i as u32);
-            node_ids.push(node.id.as_str());
             node_labels.push(interner.intern(node.label.as_str()));
             intern_props_into(&node.props, interner, &mut node_prop_data);
             node_prop_start.push(node_prop_data.len() as u32);
         }
 
-        let mut edge_ids = Vec::with_capacity(m);
         let mut edge_labels = Vec::with_capacity(m);
         let mut edge_src = Vec::with_capacity(m);
         let mut edge_tgt = Vec::with_capacity(m);
@@ -278,7 +287,6 @@ impl<'a> CompiledGraph<'a> {
         let mut edge_prop_data = Vec::with_capacity(props_hint);
         edge_prop_start.push(0u32);
         for edge in graph.edges() {
-            edge_ids.push(edge.id.as_str());
             edge_labels.push(interner.intern(edge.label.as_str()));
             edge_src.push(dense[edge.src.as_str()]);
             edge_tgt.push(dense[edge.tgt.as_str()]);
@@ -372,9 +380,7 @@ impl<'a> CompiledGraph<'a> {
             pair_start[i + 1] += pair_start[i];
         }
 
-        CompiledGraph {
-            node_ids,
-            edge_ids,
+        GraphCore {
             node_labels,
             edge_labels,
             edge_src,
@@ -401,22 +407,12 @@ impl<'a> CompiledGraph<'a> {
 
     /// Number of nodes.
     pub fn node_count(&self) -> usize {
-        self.node_ids.len()
+        self.node_labels.len()
     }
 
     /// Number of edges.
     pub fn edge_count(&self) -> usize {
-        self.edge_ids.len()
-    }
-
-    /// Original identifier of a dense node index.
-    pub fn node_id(&self, v: u32) -> &'a str {
-        self.node_ids[v as usize]
-    }
-
-    /// Original identifier of a dense edge index.
-    pub fn edge_id(&self, e: u32) -> &'a str {
-        self.edge_ids[e as usize]
+        self.edge_labels.len()
     }
 
     /// Label symbol of a node.
@@ -502,6 +498,251 @@ impl<'a> CompiledGraph<'a> {
             }
             Err(_) => &[],
         }
+    }
+}
+
+/// A compiled graph whose dense indices can be resolved back to the
+/// original string identifiers.
+///
+/// The solver searches a [`GraphCore`]; only the final witness translation
+/// needs identifiers, so the two carrier types — [`CompiledGraph`]
+/// (borrowing) and [`SessionGraph`] (owning) — share this one interface.
+pub trait NamedGraph: std::ops::Deref<Target = GraphCore> {
+    /// Original identifier of a dense node index.
+    fn node_id(&self, v: u32) -> &str;
+    /// Original identifier of a dense edge index.
+    fn edge_id(&self, e: u32) -> &str;
+}
+
+/// A compiled, read-only view of a [`PropertyGraph`] that **borrows** the
+/// source graph's identifier strings — compilation allocates no
+/// per-element strings.
+///
+/// Dereferences to its [`GraphCore`] for all solver-facing accessors. For
+/// an owned equivalent with a stable handle, compile into a
+/// [`CorpusSession`] instead.
+#[derive(Debug, Clone)]
+pub struct CompiledGraph<'a> {
+    core: GraphCore,
+    node_ids: Vec<&'a str>,
+    edge_ids: Vec<&'a str>,
+}
+
+impl<'a> CompiledGraph<'a> {
+    /// Compile a property graph against (and extending) `interner`.
+    pub fn compile(graph: &'a PropertyGraph, interner: &mut Interner) -> CompiledGraph<'a> {
+        CompiledGraph {
+            core: GraphCore::compile(graph, interner),
+            node_ids: graph.nodes().map(|n| n.id.as_str()).collect(),
+            edge_ids: graph.edges().map(|e| e.id.as_str()).collect(),
+        }
+    }
+
+    /// The identifier-free compiled core the solver searches.
+    pub fn core(&self) -> &GraphCore {
+        &self.core
+    }
+
+    /// Original identifier of a dense node index.
+    pub fn node_id(&self, v: u32) -> &'a str {
+        self.node_ids[v as usize]
+    }
+
+    /// Original identifier of a dense edge index.
+    pub fn edge_id(&self, e: u32) -> &'a str {
+        self.edge_ids[e as usize]
+    }
+}
+
+impl std::ops::Deref for CompiledGraph<'_> {
+    type Target = GraphCore;
+
+    fn deref(&self) -> &GraphCore {
+        &self.core
+    }
+}
+
+impl NamedGraph for CompiledGraph<'_> {
+    fn node_id(&self, v: u32) -> &str {
+        self.node_ids[v as usize]
+    }
+
+    fn edge_id(&self, e: u32) -> &str {
+        self.edge_ids[e as usize]
+    }
+}
+
+/// A compiled graph **owned** by a [`CorpusSession`]: the [`GraphCore`]
+/// plus the original identifiers, stored as one flat byte arena with
+/// per-element offsets (no per-element `String` allocations).
+#[derive(Debug, Clone)]
+pub struct SessionGraph {
+    core: GraphCore,
+    node_id_bytes: String,
+    node_id_start: Vec<u32>,
+    edge_id_bytes: String,
+    edge_id_start: Vec<u32>,
+}
+
+impl SessionGraph {
+    fn build(graph: &PropertyGraph, interner: &mut Interner) -> SessionGraph {
+        let mut node_id_bytes = String::new();
+        let mut node_id_start = Vec::with_capacity(graph.node_count() + 1);
+        node_id_start.push(0u32);
+        for n in graph.nodes() {
+            node_id_bytes.push_str(&n.id);
+            node_id_start.push(node_id_bytes.len() as u32);
+        }
+        let mut edge_id_bytes = String::new();
+        let mut edge_id_start = Vec::with_capacity(graph.edge_count() + 1);
+        edge_id_start.push(0u32);
+        for e in graph.edges() {
+            edge_id_bytes.push_str(&e.id);
+            edge_id_start.push(edge_id_bytes.len() as u32);
+        }
+        SessionGraph {
+            core: GraphCore::compile(graph, interner),
+            node_id_bytes,
+            node_id_start,
+            edge_id_bytes,
+            edge_id_start,
+        }
+    }
+
+    /// The identifier-free compiled core the solver searches.
+    pub fn core(&self) -> &GraphCore {
+        &self.core
+    }
+
+    /// Original identifier of a dense node index.
+    pub fn node_id(&self, v: u32) -> &str {
+        &self.node_id_bytes
+            [self.node_id_start[v as usize] as usize..self.node_id_start[v as usize + 1] as usize]
+    }
+
+    /// Original identifier of a dense edge index.
+    pub fn edge_id(&self, e: u32) -> &str {
+        &self.edge_id_bytes
+            [self.edge_id_start[e as usize] as usize..self.edge_id_start[e as usize + 1] as usize]
+    }
+}
+
+impl std::ops::Deref for SessionGraph {
+    type Target = GraphCore;
+
+    fn deref(&self) -> &GraphCore {
+        &self.core
+    }
+}
+
+impl NamedGraph for SessionGraph {
+    fn node_id(&self, v: u32) -> &str {
+        SessionGraph::node_id(self, v)
+    }
+
+    fn edge_id(&self, e: u32) -> &str {
+        SessionGraph::edge_id(self, e)
+    }
+}
+
+/// Stable handle of one graph compiled into a [`CorpusSession`].
+///
+/// Only meaningful for the session that issued it; using it with another
+/// session indexes a different (or missing) graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GraphId(u32);
+
+impl GraphId {
+    /// Dense position of this graph in its session (insertion order).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A corpus of graphs compiled once against one **shared** interner.
+///
+/// This is the batch counterpart of [`CompiledGraph::compile`]: the whole
+/// benchmark pipeline compiles each trial exactly once into a session and
+/// stays in symbol space — fingerprint bucketing, similarity
+/// confirmation, generalization matching and the final subgraph
+/// comparison all run over the session's owned [`SessionGraph`]s, keyed
+/// by stable [`GraphId`]s. Because every graph shares the interner, any
+/// two session graphs are directly comparable (symbols are only
+/// comparable within one interner's namespace), and the stable provenance
+/// vocabulary is interned exactly once for the whole corpus.
+///
+/// Lowering back to [`PropertyGraph`] (string identifiers, mutable
+/// properties) is only needed at the report boundary; [`SessionGraph`]
+/// resolves dense indices back to the original identifiers for that.
+#[derive(Debug, Clone, Default)]
+pub struct CorpusSession {
+    interner: Interner,
+    graphs: Vec<SessionGraph>,
+}
+
+impl CorpusSession {
+    /// Create an empty session.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Compile `graph` into the session, returning its stable handle.
+    ///
+    /// The session keeps an owned compiled copy; the source graph can be
+    /// dropped or mutated freely afterwards.
+    pub fn add(&mut self, graph: &PropertyGraph) -> GraphId {
+        let id = u32::try_from(self.graphs.len()).expect("session graph count overflow");
+        self.graphs
+            .push(SessionGraph::build(graph, &mut self.interner));
+        GraphId(id)
+    }
+
+    /// The compiled graph behind a handle.
+    ///
+    /// Handles are plain indices: one minted by a *different* session is
+    /// not detected unless its index is out of range — an in-range
+    /// foreign handle resolves to whatever graph occupies that position
+    /// here. Keep handles with the session that issued them.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the handle's index is out of range for this session.
+    pub fn graph(&self, id: GraphId) -> &SessionGraph {
+        &self.graphs[id.0 as usize]
+    }
+
+    /// The shared interner all session graphs were compiled against.
+    pub fn interner(&self) -> &Interner {
+        &self.interner
+    }
+
+    /// Number of graphs compiled into the session.
+    pub fn len(&self) -> usize {
+        self.graphs.len()
+    }
+
+    /// `true` when no graph has been added.
+    pub fn is_empty(&self) -> bool {
+        self.graphs.is_empty()
+    }
+
+    /// Handles of all session graphs, in insertion order.
+    pub fn ids(&self) -> impl Iterator<Item = GraphId> + '_ {
+        (0..self.graphs.len() as u32).map(GraphId)
+    }
+
+    /// Compiled-path shape fingerprint of a session graph (structure +
+    /// labels, properties ignored) — see
+    /// [`fingerprint::shape_fingerprint_core`](crate::fingerprint::shape_fingerprint_core).
+    pub fn shape_fingerprint(&self, id: GraphId) -> u64 {
+        crate::fingerprint::shape_fingerprint_core(self.graph(id).core())
+    }
+
+    /// Compiled-path full fingerprint of a session graph (structure,
+    /// labels and properties) — see
+    /// [`fingerprint::full_fingerprint_core`](crate::fingerprint::full_fingerprint_core).
+    pub fn full_fingerprint(&self, id: GraphId) -> u64 {
+        crate::fingerprint::full_fingerprint_core(self.graph(id).core())
     }
 }
 
@@ -790,6 +1031,75 @@ mod tests {
         let c1 = CompiledGraph::compile(&g1, &mut interner);
         let c2 = CompiledGraph::compile(&g2, &mut interner);
         assert_eq!(c1.node_label(0), c2.node_label(0));
+    }
+
+    #[test]
+    fn session_owns_graphs_and_resolves_ids() {
+        let g = toy_graph();
+        let mut session = CorpusSession::new();
+        let id = {
+            // The source graph dies here; the session copy must survive.
+            let local = g.clone();
+            session.add(&local)
+        };
+        let sg = session.graph(id);
+        assert_eq!(sg.node_count(), g.node_count());
+        assert_eq!(sg.edge_count(), g.edge_count());
+        for (i, n) in g.nodes().enumerate() {
+            assert_eq!(sg.node_id(i as u32), n.id);
+            assert_eq!(
+                session.interner().resolve(sg.node_label(i as u32)),
+                n.label.as_str()
+            );
+        }
+        for (e, d) in g.edges().enumerate() {
+            assert_eq!(sg.edge_id(e as u32), d.id);
+        }
+    }
+
+    #[test]
+    fn session_graphs_share_one_interner() {
+        let mut g1 = PropertyGraph::new();
+        g1.add_node("a", "Process").unwrap();
+        let mut g2 = PropertyGraph::new();
+        g2.add_node("b", "Process").unwrap();
+        let mut session = CorpusSession::new();
+        let i1 = session.add(&g1);
+        let i2 = session.add(&g2);
+        assert_ne!(i1, i2);
+        assert_eq!(
+            session.graph(i1).node_label(0),
+            session.graph(i2).node_label(0)
+        );
+        assert_eq!(session.len(), 2);
+        assert_eq!(session.ids().collect::<Vec<_>>(), vec![i1, i2]);
+        assert_eq!(i1.index(), 0);
+    }
+
+    #[test]
+    fn session_graph_matches_borrowed_compile() {
+        // The owned session compile and the borrowing compile must agree
+        // on every solver-facing datum when run against equal interners.
+        let g = toy_graph();
+        let mut session = CorpusSession::new();
+        let id = session.add(&g);
+        let mut interner = Interner::new();
+        let borrowed = CompiledGraph::compile(&g, &mut interner);
+        let owned = session.graph(id);
+        assert_eq!(owned.node_count(), borrowed.node_count());
+        assert_eq!(owned.edge_count(), borrowed.edge_count());
+        for v in 0..owned.node_count() as u32 {
+            assert_eq!(owned.node_id(v), borrowed.node_id(v));
+            assert_eq!(owned.node_label(v), borrowed.node_label(v));
+            assert_eq!(owned.node_props(v), borrowed.node_props(v));
+            assert_eq!(owned.degree_sig(v), borrowed.degree_sig(v));
+            assert_eq!(owned.neighbours(v), borrowed.neighbours(v));
+        }
+        for e in 0..owned.edge_count() as u32 {
+            assert_eq!(owned.edge_id(e), borrowed.edge_id(e));
+            assert_eq!(owned.edge_src(e), borrowed.edge_src(e));
+            assert_eq!(owned.edge_tgt(e), borrowed.edge_tgt(e));
+        }
     }
 
     #[test]

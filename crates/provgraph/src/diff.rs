@@ -16,9 +16,11 @@ use crate::{GraphError, PropertyGraph, DUMMY_PROP};
 /// Subtract matched elements from a foreground graph.
 ///
 /// `matched_nodes` and `matched_edges` are the foreground identifiers that
-/// the comparison stage matched to background structure. The result contains
-/// every unmatched foreground node and edge, plus dummy placeholders for
-/// matched nodes that anchor unmatched edges.
+/// the comparison stage matched to background structure, borrowed from
+/// wherever the caller holds them (typically the matching's value maps —
+/// no identifier is cloned to call this). The result contains every
+/// unmatched foreground node and edge, plus dummy placeholders for matched
+/// nodes that anchor unmatched edges.
 ///
 /// # Errors
 ///
@@ -26,29 +28,29 @@ use crate::{GraphError, PropertyGraph, DUMMY_PROP};
 /// — that indicates a solver bug, not a benchmark outcome.
 pub fn subtract(
     foreground: &PropertyGraph,
-    matched_nodes: &BTreeSet<String>,
-    matched_edges: &BTreeSet<String>,
+    matched_nodes: &BTreeSet<&str>,
+    matched_edges: &BTreeSet<&str>,
 ) -> Result<PropertyGraph, GraphError> {
     for id in matched_nodes {
         if !foreground.has_node(id) {
-            return Err(GraphError::MissingNode(id.clone()));
+            return Err(GraphError::MissingNode((*id).to_owned()));
         }
     }
     for id in matched_edges {
         if !foreground.has_edge(id) {
-            return Err(GraphError::MissingElem(id.clone()));
+            return Err(GraphError::MissingElem((*id).to_owned()));
         }
     }
     let mut result = PropertyGraph::new();
     // Unmatched nodes survive with their properties.
     for n in foreground.nodes() {
-        if !matched_nodes.contains(&n.id) {
+        if !matched_nodes.contains(n.id.as_str()) {
             result.add_node_data(n.clone())?;
         }
     }
     // Unmatched edges survive; their matched endpoints become dummies.
     for e in foreground.edges() {
-        if matched_edges.contains(&e.id) {
+        if matched_edges.contains(e.id.as_str()) {
             continue;
         }
         for endpoint in [&e.src, &e.tgt] {
@@ -84,7 +86,11 @@ mod tests {
     use super::*;
 
     /// fg: p -(used)-> f1, p -(wgb)-> f2 ; bg matched: p, f1, used-edge.
-    fn setup() -> (PropertyGraph, BTreeSet<String>, BTreeSet<String>) {
+    fn setup() -> (
+        PropertyGraph,
+        BTreeSet<&'static str>,
+        BTreeSet<&'static str>,
+    ) {
         let mut fg = PropertyGraph::new();
         fg.add_node("p", "Process").unwrap();
         fg.add_node("f1", "Artifact").unwrap();
@@ -92,8 +98,8 @@ mod tests {
         fg.add_edge("e1", "p", "f1", "Used").unwrap();
         fg.add_edge("e2", "p", "f2", "WasGeneratedBy").unwrap();
         fg.set_node_property("p", "pid", "7").unwrap();
-        let nodes: BTreeSet<String> = ["p", "f1"].iter().map(|s| s.to_string()).collect();
-        let edges: BTreeSet<String> = ["e1"].iter().map(|s| s.to_string()).collect();
+        let nodes: BTreeSet<&str> = ["p", "f1"].into_iter().collect();
+        let edges: BTreeSet<&str> = ["e1"].into_iter().collect();
         (fg, nodes, edges)
     }
 
@@ -131,8 +137,8 @@ mod tests {
     #[test]
     fn full_match_yields_empty_result() {
         let (fg, _, _) = setup();
-        let nodes: BTreeSet<String> = fg.nodes().map(|n| n.id.clone()).collect();
-        let edges: BTreeSet<String> = fg.edges().map(|e| e.id.clone()).collect();
+        let nodes: BTreeSet<&str> = fg.nodes().map(|n| n.id.as_str()).collect();
+        let edges: BTreeSet<&str> = fg.edges().map(|e| e.id.as_str()).collect();
         let r = subtract(&fg, &nodes, &edges).unwrap();
         assert!(r.is_empty());
         assert_eq!(effective_size(&r), 0);
@@ -148,7 +154,7 @@ mod tests {
     #[test]
     fn unknown_matched_ids_rejected() {
         let (fg, _, _) = setup();
-        let bad: BTreeSet<String> = ["ghost".to_string()].into_iter().collect();
+        let bad: BTreeSet<&str> = ["ghost"].into_iter().collect();
         assert!(subtract(&fg, &bad, &BTreeSet::new()).is_err());
         assert!(subtract(&fg, &BTreeSet::new(), &bad).is_err());
     }
@@ -161,7 +167,7 @@ mod tests {
         fg.add_node("b", "Artifact").unwrap();
         fg.add_edge("e1", "p", "a", "Used").unwrap();
         fg.add_edge("e2", "p", "b", "Used").unwrap();
-        let nodes: BTreeSet<String> = ["p".to_string()].into_iter().collect();
+        let nodes: BTreeSet<&str> = ["p"].into_iter().collect();
         let r = subtract(&fg, &nodes, &BTreeSet::new()).unwrap();
         assert!(is_dummy(&r, "p"));
         assert_eq!(r.edge_count(), 2);

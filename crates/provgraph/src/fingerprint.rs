@@ -13,11 +13,26 @@
 //!   paper's *similarity* relation (structure + labels only, §3.4).
 //! - [`full_fingerprint`] also hashes properties — the invariant matching
 //!   full property-graph isomorphism.
+//!
+//! Each variant exists on two representations: the original string path
+//! over [`PropertyGraph`] (hashes label/property strings per node per
+//! round), and the compiled path over
+//! [`GraphCore`](crate::compiled::GraphCore)
+//! ([`shape_fingerprint_core`] / [`full_fingerprint_core`]), which hashes
+//! interned [`Symbol`](crate::compiled::Symbol) ids and walks CSR
+//! adjacency — no string hashing at all. The two paths do not produce the
+//! same `u64` values (one hashes strings, the other symbol ids), but they
+//! induce the **same bucketing**: within one shared interner, equal
+//! strings map to equal symbols and vice versa, so the WL colour
+//! partitions — and therefore fingerprint equality between graphs — are
+//! identical modulo hash collisions. The differential suite pins this
+//! down across the whole benchmark corpus.
 
 use std::collections::hash_map::DefaultHasher;
 use std::collections::BTreeMap;
 use std::hash::{Hash, Hasher};
 
+use crate::compiled::GraphCore;
 use crate::PropertyGraph;
 
 fn h64(parts: &[u64]) -> u64 {
@@ -136,6 +151,124 @@ pub fn full_fingerprint(graph: &PropertyGraph) -> u64 {
     fingerprint(graph, true)
 }
 
+#[inline]
+fn hsym(s: crate::compiled::Symbol) -> u64 {
+    h64(&[u64::from(s.0)])
+}
+
+/// Per-node colours after `rounds` of refinement over a compiled graph,
+/// indexed by dense node id.
+///
+/// The compiled counterpart of [`wl_colors`]: the refinement is the same
+/// iterated neighbourhood-colour hash, but base colours hash interned
+/// symbols instead of strings and neighbourhoods come from the CSR
+/// arrays, so a round is pure integer work. Colour *equality* agrees with
+/// the string path for graphs compiled against a shared interner (equal
+/// strings ⇔ equal symbols); the colour values themselves differ.
+pub fn wl_colors_core(core: &GraphCore, rounds: usize, include_props: bool) -> Vec<u64> {
+    let n = core.node_count();
+    let m = core.edge_count();
+    let mut colors: Vec<u64> = (0..n as u32)
+        .map(|v| {
+            let mut parts = vec![hsym(core.node_label(v))];
+            if include_props {
+                for &(k, val) in core.node_props(v) {
+                    parts.push(hsym(k));
+                    parts.push(hsym(val));
+                }
+            }
+            h64(&parts)
+        })
+        .collect();
+    // Edge colours are round-invariant: compute once, not per node visit.
+    let edge_colors: Vec<u64> = (0..m as u32)
+        .map(|e| {
+            let mut parts = vec![hsym(core.edge_label(e))];
+            if include_props {
+                for &(k, val) in core.edge_props(e) {
+                    parts.push(hsym(k));
+                    parts.push(hsym(val));
+                }
+            }
+            h64(&parts)
+        })
+        .collect();
+    let mut neigh: Vec<(u64, u64, u64)> = Vec::new();
+    for _ in 0..rounds {
+        let mut next = Vec::with_capacity(n);
+        for v in 0..n as u32 {
+            neigh.clear();
+            for &e in core.out_edges(v) {
+                neigh.push((
+                    0,
+                    edge_colors[e as usize],
+                    colors[core.edge_tgt(e) as usize],
+                ));
+            }
+            for &e in core.in_edges(v) {
+                neigh.push((
+                    1,
+                    edge_colors[e as usize],
+                    colors[core.edge_src(e) as usize],
+                ));
+            }
+            neigh.sort_unstable();
+            let mut parts = vec![colors[v as usize]];
+            for &(d, ec, nc) in &neigh {
+                parts.extend([d, ec, nc]);
+            }
+            next.push(h64(&parts));
+        }
+        colors = next;
+    }
+    colors
+}
+
+fn fingerprint_core(core: &GraphCore, include_props: bool) -> u64 {
+    let colors = wl_colors_core(core, ROUNDS, include_props);
+    let mut node_colors = colors.clone();
+    node_colors.sort_unstable();
+    let mut edge_hashes: Vec<u64> = (0..core.edge_count() as u32)
+        .map(|e| {
+            let mut parts = vec![
+                hsym(core.edge_label(e)),
+                colors[core.edge_src(e) as usize],
+                colors[core.edge_tgt(e) as usize],
+            ];
+            if include_props {
+                for &(k, v) in core.edge_props(e) {
+                    parts.push(hsym(k));
+                    parts.push(hsym(v));
+                }
+            }
+            h64(&parts)
+        })
+        .collect();
+    edge_hashes.sort_unstable();
+    let mut parts = vec![core.node_count() as u64, core.edge_count() as u64];
+    parts.extend(node_colors);
+    parts.extend(edge_hashes);
+    h64(&parts)
+}
+
+/// Compiled-path shape fingerprint: the similarity invariant of
+/// [`shape_fingerprint`] computed over a [`GraphCore`] with zero string
+/// hashing.
+///
+/// Comparable only between graphs compiled against the **same** interner
+/// (e.g. members of one [`CorpusSession`](crate::compiled::CorpusSession));
+/// within that scope it buckets graphs exactly like the string path.
+pub fn shape_fingerprint_core(core: &GraphCore) -> u64 {
+    fingerprint_core(core, false)
+}
+
+/// Compiled-path full fingerprint: the isomorphism invariant of
+/// [`full_fingerprint`] computed over a [`GraphCore`] with zero string
+/// hashing. Same shared-interner scoping as [`shape_fingerprint_core`].
+pub fn full_fingerprint_core(core: &GraphCore) -> u64 {
+    fingerprint_core(core, true)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -212,6 +345,70 @@ mod tests {
             shape_fingerprint(&PropertyGraph::new()),
             shape_fingerprint(&PropertyGraph::new())
         );
+    }
+
+    #[test]
+    fn compiled_fingerprints_bucket_like_string_path() {
+        use crate::compiled::CorpusSession;
+        // A mixed corpus: similar pairs, a structural outlier, a
+        // property-perturbed copy.
+        let g1 = chain(&["a", "b", "c"], "N");
+        let g2 = chain(&["x", "y", "z"], "N");
+        let mut g3 = chain(&["a", "b", "c"], "N");
+        g3.add_edge("extra", "c", "a", "next").unwrap();
+        let mut g4 = chain(&["p", "q", "r"], "N");
+        g4.set_node_property("p", "time", "7").unwrap();
+        let graphs = [g1, g2, g3, g4];
+        let mut session = CorpusSession::new();
+        let ids: Vec<_> = graphs.iter().map(|g| session.add(g)).collect();
+        for (i, a) in graphs.iter().enumerate() {
+            for (j, b) in graphs.iter().enumerate() {
+                assert_eq!(
+                    shape_fingerprint(a) == shape_fingerprint(b),
+                    session.shape_fingerprint(ids[i]) == session.shape_fingerprint(ids[j]),
+                    "shape bucketing diverges on pair ({i}, {j})"
+                );
+                assert_eq!(
+                    full_fingerprint(a) == full_fingerprint(b),
+                    session.full_fingerprint(ids[i]) == session.full_fingerprint(ids[j]),
+                    "full bucketing diverges on pair ({i}, {j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn compiled_wl_colors_partition_like_string_path() {
+        use crate::compiled::{CorpusSession, Interner};
+        let mut g = chain(&["a", "b", "c"], "N");
+        g.set_node_property("b", "k", "v").unwrap();
+        let mut session = CorpusSession::new();
+        let id = session.add(&g);
+        for include_props in [false, true] {
+            let by_string = wl_colors(&g, 4, include_props);
+            let by_core = wl_colors_core(session.graph(id).core(), 4, include_props);
+            // Dense index i corresponds to the i-th inserted node.
+            let dense: Vec<&str> = g.nodes().map(|n| n.id.as_str()).collect();
+            for (i, a) in dense.iter().enumerate() {
+                for (j, b) in dense.iter().enumerate() {
+                    assert_eq!(
+                        by_string[*a] == by_string[*b],
+                        by_core[i] == by_core[j],
+                        "colour partition diverges ({a}, {b}, props={include_props})"
+                    );
+                }
+            }
+        }
+        // Same fingerprint for the same graph compiled twice in a session.
+        let id2 = session.add(&g);
+        assert_eq!(session.full_fingerprint(id), session.full_fingerprint(id2));
+        // And invariant under a fresh interner with different numbering
+        // only within one session: across interners values may differ,
+        // but a lone graph still equals itself.
+        let mut other = Interner::new();
+        other.intern("unrelated-noise-to-shift-symbol-ids");
+        let core = crate::compiled::GraphCore::compile(&g, &mut other);
+        assert_eq!(shape_fingerprint_core(&core), shape_fingerprint_core(&core));
     }
 
     #[test]

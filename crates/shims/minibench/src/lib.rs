@@ -9,10 +9,13 @@
 //! ablation_solver/generalize_execve/full  median 1.234 ms  (10 samples)
 //! ```
 //!
-//! There is no statistical analysis, warm-up tuning, HTML report, or
-//! baseline comparison; benches exist here to produce honest relative
-//! numbers (and machine-readable output via [`Criterion::json_path`]),
-//! not criterion's confidence intervals.
+//! There is no warm-up tuning, HTML report, or baseline comparison;
+//! benches exist here to produce honest relative numbers (and
+//! machine-readable output via [`Criterion::json_path`]), not criterion's
+//! confidence intervals. The closest thing provided is the interquartile
+//! range: every measurement records p25/p75 alongside the median, so
+//! downstream gates (the solver CI gate) can tell a noisy run from a
+//! real regression instead of flapping.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -84,8 +87,24 @@ pub struct Measurement {
     pub id: String,
     /// Median iteration time.
     pub median: Duration,
+    /// 25th-percentile iteration time (lower quartile).
+    pub p25: Duration,
+    /// 75th-percentile iteration time (upper quartile).
+    pub p75: Duration,
     /// Number of samples measured.
     pub samples: usize,
+}
+
+impl Measurement {
+    /// Interquartile range relative to the median — a unitless noise
+    /// indicator (0 = perfectly stable samples).
+    pub fn relative_iqr(&self) -> f64 {
+        let median = self.median.as_secs_f64();
+        if median == 0.0 {
+            return 0.0;
+        }
+        (self.p75.as_secs_f64() - self.p25.as_secs_f64()) / median
+    }
 }
 
 /// Timing state handed to the benchmark closure.
@@ -132,12 +151,18 @@ impl Bencher {
         }
     }
 
-    fn median(&mut self) -> Duration {
+    /// `(p25, median, p75)` of the recorded samples.
+    fn quartiles(&mut self) -> (Duration, Duration, Duration) {
         if self.measured.is_empty() {
-            return Duration::ZERO;
+            return (Duration::ZERO, Duration::ZERO, Duration::ZERO);
         }
         self.measured.sort_unstable();
-        self.measured[self.measured.len() / 2]
+        let n = self.measured.len();
+        (
+            self.measured[n / 4],
+            self.measured[n / 2],
+            self.measured[(3 * n) / 4],
+        )
     }
 }
 
@@ -196,17 +221,19 @@ impl BenchmarkGroup<'_> {
         };
         f(&mut bencher, input);
         let samples = bencher.measured.len();
-        let median = bencher.median();
+        let (p25, median, p75) = bencher.quartiles();
         let full_id = format!("{}/{}", self.name, id);
         let tp = match self.throughput {
             Some(Throughput::Elements(n)) => format!("  ({n} elems/iter)"),
             Some(Throughput::Bytes(n)) => format!("  ({n} bytes/iter)"),
             None => String::new(),
         };
-        println!("{full_id}  median {median:?}  ({samples} samples){tp}");
+        println!("{full_id}  median {median:?}  p25 {p25:?}  p75 {p75:?}  ({samples} samples){tp}");
         self.criterion.measurements.push(Measurement {
             id: full_id,
             median,
+            p25,
+            p75,
             samples,
         });
     }
@@ -294,6 +321,9 @@ mod tests {
         assert_eq!(c.measurements.len(), 2);
         assert_eq!(c.measurements[0].id, "unit/sum/8");
         assert_eq!(c.measurements[0].samples, 3);
+        let m = &c.measurements[0];
+        assert!(m.p25 <= m.median && m.median <= m.p75, "quartiles ordered");
+        assert!(m.relative_iqr() >= 0.0);
     }
 
     #[test]
