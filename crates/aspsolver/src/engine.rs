@@ -34,8 +34,9 @@ use std::collections::BTreeMap;
 
 use provgraph::compiled::{
     degree_sig_leq, label_counts_leq, one_sided_prop_diff, symmetric_prop_diff, CompiledGraph,
-    CorpusSession, GraphCore, GraphId, Interner, NamedGraph, Symbol,
+    CorpusSession, FxHashMap, GraphCore, GraphId, Interner, NamedGraph, Symbol,
 };
+use provgraph::par;
 use provgraph::PropertyGraph;
 
 use crate::assignment::{min_cost_assignment, FORBIDDEN};
@@ -216,6 +217,244 @@ pub fn solve_in(
     solve_named(problem, session.graph(g1), session.graph(g2), config)
 }
 
+/// Left-hand search state prepared once and reused across many right-hand
+/// graphs — the "one plan, many right-hand graphs" batch pattern of
+/// similarity classification (one class representative confirmed against
+/// every bucket member) and the Table 2 matrix replay (one generalized
+/// graph embedded into many cells).
+///
+/// Most left-derived state the solver needs — sorted property rows,
+/// degree signatures, CSR adjacency, label multisets — is already
+/// precompiled into the borrowed [`GraphCore`]. What `PreparedLhs` adds
+/// is the per-problem organisation of that core around *labels*, which
+/// lets each per-right solve skip every cross-label pair instead of
+/// scanning the full `n1 × n2` candidate grid:
+///
+/// - the set of distinct left node labels, used to index only the
+///   relevant right nodes when building candidate ranges (right nodes
+///   whose label never occurs on the left are not even bucketed);
+/// - for optimizing problems, the left edges grouped by label, so the
+///   admissible edge-cost floor visits same-label edge pairs only.
+///
+/// # Invariants
+///
+/// A plan is valid for exactly one `(problem, left core)` pair and any
+/// right-hand graph compiled against the **same interner** (symbols are
+/// only comparable within one interner's namespace — the same scoping
+/// rule as [`solve_compiled`]). A solve through a plan builds candidate
+/// tables, pair costs and cost floors identical to the unprepared path,
+/// so matchings, costs, optimality flags and search statistics equal
+/// [`solve_in`] / [`solve_compiled`] /
+/// [`solve_strings`](crate::solve_strings) outcomes — pinned by the
+/// batch differential proptest in `tests/differential_compiled.rs`.
+pub struct PreparedLhs<'a> {
+    problem: Problem,
+    core: &'a GraphCore,
+    /// Distinct left node labels (with multiplicities, cheap to carry).
+    node_label_counts: FxHashMap<Symbol, u32>,
+    /// Left edge indices grouped by label (ascending within a group);
+    /// empty for non-optimizing problems, which have no cost floor.
+    edge_groups: FxHashMap<Symbol, Vec<u32>>,
+}
+
+impl<'a> PreparedLhs<'a> {
+    /// Prepare the left-hand plan for `problem` over a compiled core.
+    pub fn new(problem: Problem, core: &'a GraphCore) -> PreparedLhs<'a> {
+        let mut node_label_counts: FxHashMap<Symbol, u32> = FxHashMap::default();
+        for v in 0..core.node_count() as u32 {
+            *node_label_counts.entry(core.node_label(v)).or_insert(0) += 1;
+        }
+        let mut edge_groups: FxHashMap<Symbol, Vec<u32>> = FxHashMap::default();
+        if problem.optimizing() {
+            for e in 0..core.edge_count() as u32 {
+                edge_groups.entry(core.edge_label(e)).or_default().push(e);
+            }
+        }
+        PreparedLhs {
+            problem,
+            core,
+            node_label_counts,
+            edge_groups,
+        }
+    }
+
+    /// The problem this plan was prepared for.
+    pub fn problem(&self) -> Problem {
+        self.problem
+    }
+
+    /// The left compiled core this plan was prepared over.
+    pub fn core(&self) -> &'a GraphCore {
+        self.core
+    }
+}
+
+/// Solve with a prepared left-hand plan.
+///
+/// `g1` must be the carrier of the exact core `lhs` was prepared over
+/// (checked by `debug_assert`), and `g2` must share its interner. The
+/// outcome is identical to [`solve_compiled`]`(lhs.problem(), g1, g2,
+/// config)` in every observable; only the per-call setup cost differs.
+/// [`BatchSolver`] wraps this for session handles.
+pub fn solve_prepared<G1: NamedGraph, G2: NamedGraph>(
+    lhs: &PreparedLhs<'_>,
+    g1: &G1,
+    g2: &G2,
+    config: &SolverConfig,
+) -> Outcome {
+    run_search(lhs.problem, g1, g2, config, Some(lhs))
+}
+
+/// Batched solver over a [`CorpusSession`]: one prepared left-hand graph
+/// matched against many right-hand session members.
+///
+/// This is the amortization layer on top of the session path: where
+/// [`solve_in`] pays the full per-pair setup on every call, a
+/// `BatchSolver` builds the left-hand plan ([`PreparedLhs`]) once at
+/// construction and reuses it for every right-hand graph.
+/// [`solve_batch`](BatchSolver::solve_batch) additionally shares one
+/// dense search across rights whose compiled cores are
+/// solver-equivalent and fans distinct solves out across the machine's
+/// cores (see its docs for both mechanisms).
+///
+/// Handle scoping is as for [`solve_in`]: handles are only meaningful
+/// for the session that issued them.
+pub struct BatchSolver<'s> {
+    session: &'s CorpusSession,
+    lhs: GraphId,
+    prepared: PreparedLhs<'s>,
+    config: SolverConfig,
+}
+
+impl<'s> BatchSolver<'s> {
+    /// Prepare `session`'s graph `lhs` as the fixed left-hand side for
+    /// `problem` under `config`.
+    pub fn new(
+        problem: Problem,
+        session: &'s CorpusSession,
+        lhs: GraphId,
+        config: SolverConfig,
+    ) -> BatchSolver<'s> {
+        BatchSolver {
+            session,
+            lhs,
+            prepared: PreparedLhs::new(problem, session.graph(lhs).core()),
+            config,
+        }
+    }
+
+    /// The problem this solver batches.
+    pub fn problem(&self) -> Problem {
+        self.prepared.problem
+    }
+
+    /// The prepared left-hand session graph.
+    pub fn lhs(&self) -> GraphId {
+        self.lhs
+    }
+
+    /// Solve the prepared left against one right-hand session graph.
+    ///
+    /// Identical outcome (matching, cost, optimality, statistics) to
+    /// `solve_in(problem, session, lhs, rhs, config)`.
+    pub fn solve_one(&self, rhs: GraphId) -> Outcome {
+        solve_prepared(
+            &self.prepared,
+            self.session.graph(self.lhs),
+            self.session.graph(rhs),
+            &self.config,
+        )
+    }
+
+    /// Solve the prepared left against every right-hand graph, in order.
+    ///
+    /// Two batch-level amortizations on top of the shared plan:
+    ///
+    /// - **Dense-solve sharing.** The search itself never sees element
+    ///   identifiers, so its outcome is a pure function of the two
+    ///   compiled cores (for [`Problem::Similarity`], of their structure
+    ///   and labels alone — see `cores_equivalent`). Rights whose cores
+    ///   are solver-equivalent are grouped — cheap: the session's
+    ///   memoized fingerprints prefilter, an exact core comparison
+    ///   confirms — and searched **once**; only the witness translation
+    ///   back to each right's identifiers is per-member. This is the
+    ///   dominant win for similarity confirmation, where bucket members
+    ///   routinely differ only in volatile property values.
+    /// - **Parallel fan-out.** Distinct dense solves run across the
+    ///   machine's cores via [`provgraph::par::par_map`] (which degrades
+    ///   to a sequential loop when already inside a parallel stage, so
+    ///   the pipeline's matrix cells batch without oversubscribing).
+    ///
+    /// Outcomes are returned in `rhs` order; each equals the
+    /// corresponding per-pair [`solve_in`] call in every observable,
+    /// including search statistics (a shared dense solve reports the
+    /// statistics the identical per-pair search would have).
+    pub fn solve_batch(&self, rhs: &[GraphId]) -> Vec<Outcome> {
+        // Group rights by solver-equivalent cores: fingerprint prefilter
+        // (memoized in the session, so a lookup), exact check to confirm.
+        let mut groups: Vec<(GraphId, u64, Vec<usize>)> = Vec::new();
+        let problem = self.prepared.problem;
+        let fingerprint = |id: GraphId| {
+            if problem == Problem::Similarity {
+                self.session.shape_fingerprint(id)
+            } else {
+                self.session.full_fingerprint(id)
+            }
+        };
+        for (pos, &id) in rhs.iter().enumerate() {
+            let fp = fingerprint(id);
+            let found = groups.iter_mut().find(|(rep, rep_fp, _)| {
+                *rep_fp == fp
+                    && cores_equivalent(
+                        problem,
+                        self.session.graph(*rep).core(),
+                        self.session.graph(id).core(),
+                    )
+            });
+            match found {
+                Some((_, _, members)) => members.push(pos),
+                None => groups.push((id, fp, vec![pos])),
+            }
+        }
+        let dense: Vec<DenseOutcome> = par::par_map(&groups, |(rep, _, _)| {
+            solve_dense(
+                problem,
+                self.prepared.core,
+                self.session.graph(*rep).core(),
+                &self.config,
+                Some(&self.prepared),
+            )
+        });
+        let g1 = self.session.graph(self.lhs);
+        let mut out: Vec<Option<Outcome>> = (0..rhs.len()).map(|_| None).collect();
+        for ((_, _, members), dense) in groups.iter().zip(&dense) {
+            for &pos in members {
+                out[pos] = Some(translate(dense, g1, self.session.graph(rhs[pos])));
+            }
+        }
+        out.into_iter()
+            .map(|o| o.expect("every right belongs to exactly one group"))
+            .collect()
+    }
+}
+
+/// Solve `problem` matching session graph `lhs` against each of `rhs`,
+/// preparing the left-hand side once for the whole batch.
+///
+/// Convenience wrapper constructing a [`BatchSolver`] for a single
+/// batch; callers issuing several batches against the same left side
+/// should keep the solver. Outcomes are returned in `rhs` order and are
+/// identical to per-pair [`solve_in`] calls.
+pub fn solve_batch_in(
+    problem: Problem,
+    session: &CorpusSession,
+    lhs: GraphId,
+    rhs: &[GraphId],
+    config: &SolverConfig,
+) -> Vec<Outcome> {
+    BatchSolver::new(problem, session, lhs, config.clone()).solve_batch(rhs)
+}
+
 /// Shared implementation of the compiled entry points: search the cores,
 /// then translate the dense witness through the carriers' id tables.
 fn solve_named<G1: NamedGraph, G2: NamedGraph>(
@@ -224,8 +463,47 @@ fn solve_named<G1: NamedGraph, G2: NamedGraph>(
     g2: &G2,
     config: &SolverConfig,
 ) -> Outcome {
-    let mut outcome = Outcome {
-        matching: None,
+    run_search(problem, g1, g2, config, None)
+}
+
+/// The one search driver behind every entry point. `prepared`, when
+/// given, must be a plan over `g1`'s core for `problem`; the search then
+/// builds its candidate state through the plan's label indexes (same
+/// tables, cheaper construction).
+fn run_search<G1: NamedGraph, G2: NamedGraph>(
+    problem: Problem,
+    g1: &G1,
+    g2: &G2,
+    config: &SolverConfig,
+    prepared: Option<&PreparedLhs<'_>>,
+) -> Outcome {
+    let c1: &GraphCore = g1;
+    let c2: &GraphCore = g2;
+    translate(&solve_dense(problem, c1, c2, config, prepared), g1, g2)
+}
+
+/// The identifier-free half of a solve: everything the search produces
+/// before the witness is translated back to string ids. A pure function
+/// of `(problem, left core, right core, config)` — element identifiers
+/// are invisible to the search — which is what lets the batch path share
+/// one dense solve across rights with solver-equivalent cores.
+struct DenseOutcome {
+    best: Option<BestSolution>,
+    optimal: bool,
+    stats: SolverStats,
+}
+
+/// Run pre-checks and the branch-and-bound search over the cores,
+/// stopping short of witness translation.
+fn solve_dense(
+    problem: Problem,
+    g1: &GraphCore,
+    g2: &GraphCore,
+    config: &SolverConfig,
+    prepared: Option<&PreparedLhs<'_>>,
+) -> DenseOutcome {
+    let mut dense = DenseOutcome {
+        best: None,
         optimal: true,
         stats: SolverStats::default(),
     };
@@ -237,51 +515,74 @@ fn solve_named<G1: NamedGraph, G2: NamedGraph>(
             || g1.node_label_multiset() != g2.node_label_multiset()
             || g1.edge_label_multiset() != g2.edge_label_multiset()
         {
-            return outcome;
+            return dense;
         }
     } else {
         if g1.node_count() > g2.node_count() || g1.edge_count() > g2.edge_count() {
-            return outcome;
+            return dense;
         }
         if !multiset_leq(g1.node_label_multiset(), g2.node_label_multiset())
             || !multiset_leq(g1.edge_label_multiset(), g2.edge_label_multiset())
         {
-            return outcome;
+            return dense;
         }
     }
     if g1.node_count() == 0 {
         // Possible only when g2 is also empty (bijective) or any g2
         // (subgraph): the empty matching, with no edges to place.
-        outcome.matching = Some(Matching::default());
-        outcome.stats.solutions = 1;
-        return outcome;
+        dense.best = Some((Vec::new(), Vec::new(), 0));
+        dense.stats.solutions = 1;
+        return dense;
     }
 
-    let c1: &GraphCore = g1;
-    let c2: &GraphCore = g2;
-    let mut search = Search::new(problem, c1, c2, config);
+    let mut search = Search::build(problem, g1, g2, config, prepared);
     search.run();
-    outcome.stats = search.stats;
-    outcome.optimal = !search.budget_exhausted;
-    outcome.matching = search.best.take().map(|(node_assign, edge_pairs, cost)| {
-        // The only string work in the whole solve: translating the dense
-        // witness back to ElemId maps.
-        let node_map: BTreeMap<String, String> = node_assign
-            .iter()
-            .enumerate()
-            .map(|(i, &j)| (g1.node_id(i as u32).to_owned(), g2.node_id(j).to_owned()))
-            .collect();
-        let edge_map: BTreeMap<String, String> = edge_pairs
-            .iter()
-            .map(|&(e1, e2)| (g1.edge_id(e1).to_owned(), g2.edge_id(e2).to_owned()))
-            .collect();
-        Matching {
-            node_map,
-            edge_map,
-            cost,
-        }
-    });
-    outcome
+    dense.stats = search.stats;
+    dense.optimal = !search.budget_exhausted;
+    dense.best = search.best.take();
+    dense
+}
+
+/// Translate a dense outcome back to an [`Outcome`] through the
+/// carriers' id tables — the only string work in the whole solve.
+fn translate<G1: NamedGraph, G2: NamedGraph>(dense: &DenseOutcome, g1: &G1, g2: &G2) -> Outcome {
+    Outcome {
+        optimal: dense.optimal,
+        stats: dense.stats,
+        matching: dense.best.as_ref().map(|(node_assign, edge_pairs, cost)| {
+            let node_map: BTreeMap<String, String> = node_assign
+                .iter()
+                .enumerate()
+                .map(|(i, &j)| (g1.node_id(i as u32).to_owned(), g2.node_id(j).to_owned()))
+                .collect();
+            let edge_map: BTreeMap<String, String> = edge_pairs
+                .iter()
+                .map(|&(e1, e2)| (g1.edge_id(e1).to_owned(), g2.edge_id(e2).to_owned()))
+                .collect();
+            Matching {
+                node_map,
+                edge_map,
+                cost: *cost,
+            }
+        }),
+    }
+}
+
+/// `true` when two right-hand cores are indistinguishable to the search
+/// for `problem`, so one dense solve serves both.
+///
+/// For [`Problem::Similarity`] this is structural equality alone: the
+/// similarity search never reads a property — candidate filtering is
+/// label + degree signature, consistency is edge-label counts, edge
+/// placement costs are identically zero — so property rows cannot
+/// influence any observable. Every other problem reads properties
+/// (isomorphism filters on them; the optimizing problems cost them), so
+/// full core equality is required.
+fn cores_equivalent(problem: Problem, a: &GraphCore, b: &GraphCore) -> bool {
+    if !a.same_structure(b) {
+        return false;
+    }
+    problem == Problem::Similarity || a.same_props(b)
 }
 
 fn multiset_leq<T: Ord>(small: &[T], big: &[T]) -> bool {
@@ -342,16 +643,45 @@ struct Search<'a> {
 }
 
 impl<'a> Search<'a> {
-    fn new(
+    /// Build the per-solve search state. With a prepared left-hand plan
+    /// (`lhs`, which must be over `g1` for `problem`), the right graph
+    /// is indexed by the plan's left labels once and only same-label
+    /// pairs are visited; without one, the full grid is scanned. Both
+    /// paths run every pair through the same filters, so the resulting
+    /// tables — and therefore the search and its statistics — are
+    /// identical.
+    fn build(
         problem: Problem,
         g1: &'a GraphCore,
         g2: &'a GraphCore,
         config: &'a SolverConfig,
+        lhs: Option<&PreparedLhs<'_>>,
     ) -> Self {
         let n1 = g1.node_count();
         let n2 = g2.node_count();
         let bijective = problem.bijective();
         let optimizing = problem.optimizing();
+
+        // Right nodes bucketed by label, restricted to labels that occur
+        // on the left (one pass over g2, reused by every left node).
+        let rhs_by_label: Option<FxHashMap<Symbol, Vec<u32>>> = lhs.map(|lhs| {
+            debug_assert!(
+                std::ptr::eq(lhs.core, g1),
+                "prepared plan used with a different left graph"
+            );
+            debug_assert_eq!(
+                lhs.problem, problem,
+                "prepared plan for a different problem"
+            );
+            let mut buckets: FxHashMap<Symbol, Vec<u32>> = FxHashMap::default();
+            for j in 0..n2 as u32 {
+                let label = g2.node_label(j);
+                if lhs.node_label_counts.contains_key(&label) {
+                    buckets.entry(label).or_default().push(j);
+                }
+            }
+            buckets
+        });
 
         let mut cand_flat: Vec<u32> = Vec::new();
         let mut cand_start: Vec<u32> = Vec::with_capacity(n1 + 1);
@@ -364,32 +694,54 @@ impl<'a> Search<'a> {
         };
         let mut node_min_cost: Vec<u64> = Vec::with_capacity(n1);
         let mut scratch: Vec<u32> = Vec::with_capacity(n2);
+        // The per-pair candidate filter, shared verbatim by both
+        // construction paths.
+        let consider = |i: u32,
+                        j: u32,
+                        scratch: &mut Vec<u32>,
+                        pair_cost: &mut Vec<u64>,
+                        min_cost: &mut u64| {
+            if g1.node_label(i) != g2.node_label(j) {
+                return;
+            }
+            if problem == Problem::Isomorphism && g1.node_props(i) != g2.node_props(j) {
+                return;
+            }
+            if config.degree_filter {
+                let ok = if bijective {
+                    g1.degree_sig(i) == g2.degree_sig(j)
+                } else {
+                    degree_sig_leq(g1.degree_sig(i), g2.degree_sig(j))
+                };
+                if !ok {
+                    return;
+                }
+            }
+            if optimizing {
+                let cost = node_pair_cost(problem, g1.node_props(i), g2.node_props(j));
+                pair_cost[i as usize * n2 + j as usize] = cost;
+                *min_cost = (*min_cost).min(cost);
+            }
+            scratch.push(j);
+        };
         for i in 0..n1 as u32 {
             scratch.clear();
             let mut min_cost = u64::MAX;
-            for j in 0..n2 as u32 {
-                if g1.node_label(i) != g2.node_label(j) {
-                    continue;
-                }
-                if problem == Problem::Isomorphism && g1.node_props(i) != g2.node_props(j) {
-                    continue;
-                }
-                if config.degree_filter {
-                    let ok = if bijective {
-                        g1.degree_sig(i) == g2.degree_sig(j)
-                    } else {
-                        degree_sig_leq(g1.degree_sig(i), g2.degree_sig(j))
-                    };
-                    if !ok {
-                        continue;
+            match &rhs_by_label {
+                Some(buckets) => {
+                    // Bucket rows are ascending in j, so candidate order
+                    // matches the full scan's.
+                    if let Some(bucket) = buckets.get(&g1.node_label(i)) {
+                        for &j in bucket {
+                            consider(i, j, &mut scratch, &mut pair_cost, &mut min_cost);
+                        }
                     }
                 }
-                if optimizing {
-                    let cost = node_pair_cost(problem, g1.node_props(i), g2.node_props(j));
-                    pair_cost[i as usize * n2 + j as usize] = cost;
-                    min_cost = min_cost.min(cost);
+                None => {
+                    for j in 0..n2 as u32 {
+                        consider(i, j, &mut scratch, &mut pair_cost, &mut min_cost);
+                    }
                 }
-                scratch.push(j);
             }
             if config.order_by_cost && optimizing {
                 // Stable by cost: ties keep insertion order, exactly like
@@ -403,23 +755,56 @@ impl<'a> Search<'a> {
         }
 
         // Admissible edge-cost floor: each g1 edge costs at least the
-        // minimum mismatch against any same-label g2 edge.
+        // minimum mismatch against any same-label g2 edge. (Per-edge
+        // minima are order-independent, so the label-grouped prepared
+        // path sums the exact same floor as the full scan.)
         let mut edge_cost_floor = 0u64;
-        if problem.optimizing() {
-            for e1 in 0..g1.edge_count() as u32 {
-                let mut min_c = u64::MAX;
-                for e2 in 0..g2.edge_count() as u32 {
-                    if g1.edge_label(e1) != g2.edge_label(e2) {
-                        continue;
+        if optimizing {
+            match lhs {
+                Some(lhs) => {
+                    let mut rhs_edges: FxHashMap<Symbol, Vec<u32>> = FxHashMap::default();
+                    for e2 in 0..g2.edge_count() as u32 {
+                        let label = g2.edge_label(e2);
+                        if lhs.edge_groups.contains_key(&label) {
+                            rhs_edges.entry(label).or_default().push(e2);
+                        }
                     }
-                    min_c = min_c.min(edge_pair_cost(
-                        problem,
-                        g1.edge_props(e1),
-                        g2.edge_props(e2),
-                    ));
+                    for (label, es1) in &lhs.edge_groups {
+                        let Some(es2) = rhs_edges.get(label) else {
+                            continue;
+                        };
+                        for &e1 in es1 {
+                            let mut min_c = u64::MAX;
+                            for &e2 in es2 {
+                                min_c = min_c.min(edge_pair_cost(
+                                    problem,
+                                    g1.edge_props(e1),
+                                    g2.edge_props(e2),
+                                ));
+                            }
+                            if min_c != u64::MAX {
+                                edge_cost_floor += min_c;
+                            }
+                        }
+                    }
                 }
-                if min_c != u64::MAX {
-                    edge_cost_floor += min_c;
+                None => {
+                    for e1 in 0..g1.edge_count() as u32 {
+                        let mut min_c = u64::MAX;
+                        for e2 in 0..g2.edge_count() as u32 {
+                            if g1.edge_label(e1) != g2.edge_label(e2) {
+                                continue;
+                            }
+                            min_c = min_c.min(edge_pair_cost(
+                                problem,
+                                g1.edge_props(e1),
+                                g2.edge_props(e2),
+                            ));
+                        }
+                        if min_c != u64::MAX {
+                            edge_cost_floor += min_c;
+                        }
+                    }
                 }
             }
         }
@@ -1217,6 +1602,46 @@ mod tests {
         let in_session = solve_in(Problem::Similarity, &session, ia, ib, &cfg);
         assert_eq!(oneshot.matching, in_session.matching);
         assert_eq!(oneshot.stats, in_session.stats);
+    }
+
+    #[test]
+    fn batch_solver_matches_per_pair_session_path() {
+        let a = triangle("a");
+        let mut b = triangle("b");
+        // A property perturbation drives the optimizing problems off the
+        // zero-cost diagonal, exercising the prepared pair-cost table.
+        b.set_node_property("b1", "time", "42").unwrap();
+        let c = g(|g| {
+            g.add_node("only", "N").unwrap();
+        });
+        let mut session = CorpusSession::new();
+        let ia = session.add(&a);
+        let ib = session.add(&b);
+        let ic = session.add(&c);
+        let cfg = SolverConfig::default();
+        let rhs = [ia, ib, ic];
+        for problem in [
+            Problem::Similarity,
+            Problem::Isomorphism,
+            Problem::Generalization,
+            Problem::Subgraph,
+        ] {
+            let batch = solve_batch_in(problem, &session, ia, &rhs, &cfg);
+            assert_eq!(batch.len(), rhs.len());
+            for (out, &r) in batch.iter().zip(&rhs) {
+                let per_pair = solve_in(problem, &session, ia, r, &cfg);
+                assert_eq!(out.matching, per_pair.matching, "{problem:?}");
+                assert_eq!(out.optimal, per_pair.optimal, "{problem:?}");
+                assert_eq!(out.stats, per_pair.stats, "{problem:?}");
+            }
+        }
+        // A kept solver reuses one plan across batches and single solves.
+        let solver = BatchSolver::new(Problem::Similarity, &session, ia, cfg);
+        assert_eq!(solver.problem(), Problem::Similarity);
+        assert_eq!(solver.lhs(), ia);
+        assert!(solver.solve_one(ib).matching.is_some());
+        assert!(solver.solve_one(ic).matching.is_none());
+        assert!(solver.solve_batch(&[]).is_empty());
     }
 
     #[test]

@@ -40,6 +40,15 @@
 //! for borrow-based [`provgraph::compiled::CompiledGraph`]s compiled by
 //! the caller.
 //!
+//! Callers that match one *fixed* left-hand graph against many right-hand
+//! graphs — a similarity-class representative confirmed against every
+//! bucket member, a generalized graph replayed across matrix cells —
+//! should use the **batch path**: [`BatchSolver`] (or the [`solve_batch_in`]
+//! one-shot wrapper) prepares the left-hand search plan ([`PreparedLhs`])
+//! once and reuses it for every right-hand solve, fanning the batch out
+//! over the machine's cores. Batch outcomes are identical to per-pair
+//! [`solve_in`] calls in every observable, including search statistics.
+//!
 //! The legacy **string path** ([`solve_strings`]) searches
 //! [`PropertyGraph`] directly. It is retained as the reference
 //! implementation for differential tests and as the baseline of the
@@ -80,7 +89,10 @@ mod matching;
 mod strpath;
 
 pub use assignment::min_cost_assignment;
-pub use engine::{solve, solve_compiled, solve_in, Problem, SolverConfig, SolverStats};
+pub use engine::{
+    solve, solve_batch_in, solve_compiled, solve_in, solve_prepared, BatchSolver, PreparedLhs,
+    Problem, SolverConfig, SolverStats,
+};
 pub use matching::{Matching, Outcome};
 pub use strpath::solve_strings;
 

@@ -10,10 +10,12 @@
 //! compiled path serves production traffic.
 
 use proptest::prelude::*;
-use provgraph::compiled::{CompiledGraph, CorpusSession, Interner};
+use provgraph::compiled::{CompiledGraph, CorpusSession, GraphId, Interner};
 use provgraph::PropertyGraph;
 
-use aspsolver::{solve, solve_compiled, solve_in, solve_strings, Matching, Problem, SolverConfig};
+use aspsolver::{
+    solve, solve_batch_in, solve_compiled, solve_in, solve_strings, Matching, Problem, SolverConfig,
+};
 
 /// An arbitrary small multigraph with node and edge properties.
 fn arb_graph(max_nodes: usize) -> impl Strategy<Value = PropertyGraph> {
@@ -304,6 +306,63 @@ proptest! {
                         "{:?} ({}, {}): session and borrowed stats diverge", problem, i, j
                     );
                     if let Some(m) = &in_session.matching {
+                        assert_valid_witness(problem, &corpus[i], &corpus[j], m);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The batch path (one prepared left-hand plan, many right-hand
+    /// graphs) returns outcomes identical to per-pair [`solve_in`] and
+    /// to the string oracle — matchings, costs, optimality flags and
+    /// search statistics — for every left graph of a random corpus
+    /// against the whole corpus, for all four problems. This is what
+    /// licenses similarity classification and the comparison stage to
+    /// batch their solves.
+    #[test]
+    fn batch_path_agrees_with_per_pair_session_and_oracle(
+        graphs in prop::collection::vec(arb_graph(4), 2..4),
+        perturbed_copy in prop::sample::select(vec![false, true]),
+    ) {
+        let mut corpus: Vec<PropertyGraph> = graphs;
+        // Guarantee at least one feasible bijective pair so witnesses
+        // are exercised, not just infeasibility verdicts.
+        let copy = relabel_perturbed(&corpus[0], perturbed_copy);
+        corpus.push(copy);
+        let mut session = CorpusSession::new();
+        let ids: Vec<GraphId> = corpus.iter().map(|g| session.add(g)).collect();
+        let config = SolverConfig::default();
+        for problem in ALL_PROBLEMS {
+            for (i, &lhs) in ids.iter().enumerate() {
+                // The batch includes the left graph itself (the
+                // self-solve is a legal member of a bucket batch).
+                let batch = solve_batch_in(problem, &session, lhs, &ids, &config);
+                prop_assert_eq!(batch.len(), ids.len());
+                for (j, out) in batch.iter().enumerate() {
+                    let per_pair = solve_in(problem, &session, lhs, ids[j], &config);
+                    let strings = solve_strings(problem, &corpus[i], &corpus[j], &config);
+                    prop_assert_eq!(
+                        &out.matching, &per_pair.matching,
+                        "{:?} ({}, {}): batch matching diverges from per-pair", problem, i, j
+                    );
+                    prop_assert_eq!(
+                        out.optimal, per_pair.optimal,
+                        "{:?} ({}, {}): batch optimality diverges from per-pair", problem, i, j
+                    );
+                    prop_assert_eq!(
+                        out.stats, per_pair.stats,
+                        "{:?} ({}, {}): batch statistics diverge from per-pair", problem, i, j
+                    );
+                    prop_assert_eq!(
+                        &out.matching, &strings.matching,
+                        "{:?} ({}, {}): batch matching diverges from oracle", problem, i, j
+                    );
+                    prop_assert_eq!(
+                        out.stats, strings.stats,
+                        "{:?} ({}, {}): batch statistics diverge from oracle", problem, i, j
+                    );
+                    if let Some(m) = &out.matching {
                         assert_valid_witness(problem, &corpus[i], &corpus[j], m);
                     }
                 }

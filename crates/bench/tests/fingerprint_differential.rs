@@ -17,6 +17,10 @@
 //! test's runtime) plus the scale suites, all compiled into **one**
 //! session, so cross-benchmark bucketing is exercised too.
 
+//! It also pins the session's **fingerprint cache**: fingerprints are
+//! memoized per `GraphId` at `CorpusSession::add` time, and every cached
+//! value must equal a fresh computation over the compiled core.
+
 use provgraph::compiled::CorpusSession;
 use provgraph::{fingerprint, PropertyGraph};
 use provmark_bench::prepare_trial_graphs;
@@ -78,6 +82,24 @@ fn compiled_fingerprints_bucket_suite_like_string_path() {
         partition(&full_session),
         "full fingerprint bucketing diverges between string and compiled paths"
     );
+
+    // Cache correctness: the fingerprints memoized at `add` time must
+    // equal a fresh computation over each graph's compiled core — for
+    // every graph in the suite-wide corpus, even though the shared
+    // interner kept growing long after the early graphs were added.
+    for &id in &ids {
+        let core = session.graph(id).core();
+        assert_eq!(
+            session.shape_fingerprint(id),
+            fingerprint::shape_fingerprint_core(core),
+            "cached shape fingerprint diverges from fresh computation"
+        );
+        assert_eq!(
+            session.full_fingerprint(id),
+            fingerprint::full_fingerprint_core(core),
+            "cached full fingerprint diverges from fresh computation"
+        );
+    }
 
     // Sanity on the corpus itself: fingerprints must actually distinguish
     // things (not everything in one bucket) and also group things (each

@@ -8,13 +8,15 @@
 //!
 //! The stage is session-aware: [`compare_in`] matches two members of a
 //! [`CorpusSession`] (zero compile cost when the pipeline threads its
-//! per-run session through), borrows the matched identifiers straight out
-//! of the witness matching, and lowers to a [`PropertyGraph`] only for
-//! the subtracted result graph.
+//! per-run session through), drives the subgraph solve through a
+//! prepared left-hand plan ([`BatchSolver`]) so the background side of
+//! the search is set up once per cell rather than once per solve, borrows
+//! the matched identifiers straight out of the witness matching, and
+//! lowers to a [`PropertyGraph`] only for the subtracted result graph.
 
 use std::collections::BTreeSet;
 
-use aspsolver::{find_subgraph, find_subgraph_in, Matching};
+use aspsolver::{find_subgraph, BatchSolver, Matching, Problem, SolverConfig};
 use provgraph::compiled::{CorpusSession, GraphId};
 use provgraph::{diff, PropertyGraph};
 
@@ -68,6 +70,10 @@ pub fn compare(
 /// identifiers are borrowed from the witness matching — nothing is cloned
 /// per cell on the way to the subtraction.
 ///
+/// The solve goes through [`batch_comparer`]'s prepared left-hand plan
+/// (a batch of one here). Outcomes are identical to the plain session
+/// path.
+///
 /// # Errors
 ///
 /// Same contract as [`compare`].
@@ -77,9 +83,27 @@ pub fn compare_in(
     foreground: GraphId,
     foreground_graph: &PropertyGraph,
 ) -> Result<Comparison, PipelineError> {
-    let matching = find_subgraph_in(session, background, foreground)
+    let matching = batch_comparer(session, background)
+        .solve_one(foreground)
+        .matching
         .ok_or(PipelineError::BackgroundNotSubgraph)?;
     subtract_matched(foreground_graph, &matching)
+}
+
+/// A batched subgraph solver with `background` as the prepared left-hand
+/// side: the comparison-stage entry point for checking one generalized
+/// background against many foregrounds (regression replay over stored
+/// results, future matrix sharding). [`compare_in`] is currently its
+/// only in-tree caller — a batch of one; callers with several
+/// foregrounds should keep the returned solver and use
+/// [`BatchSolver::solve_batch`].
+pub fn batch_comparer(session: &CorpusSession, background: GraphId) -> BatchSolver<'_> {
+    BatchSolver::new(
+        Problem::Subgraph,
+        session,
+        background,
+        SolverConfig::default(),
+    )
 }
 
 /// Shared tail of both entry points: borrow the matched identifiers out

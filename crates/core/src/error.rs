@@ -38,6 +38,16 @@ pub enum PipelineError {
     BackgroundNotSubgraph,
     /// Fewer than two trials were requested; generalization needs a pair.
     NotEnoughTrials(usize),
+    /// The exact solver abandoned the search at its step budget before
+    /// producing a matching the pipeline requires to exist (e.g. the
+    /// generalization matching of two graphs already confirmed similar).
+    /// Reachable only on pathological trial graphs whose search space
+    /// exceeds the budget; surfaced as an error instead of a panic so a
+    /// malformed trial cannot take down a whole matrix run.
+    SolverGaveUp {
+        /// Which matching stage gave up.
+        stage: &'static str,
+    },
 }
 
 impl fmt::Display for PipelineError {
@@ -64,6 +74,9 @@ impl fmt::Display for PipelineError {
             }
             PipelineError::NotEnoughTrials(n) => {
                 write!(f, "generalization needs at least 2 trials, got {n}")
+            }
+            PipelineError::SolverGaveUp { stage } => {
+                write!(f, "exact solver exhausted its step budget during {stage}")
             }
         }
     }
@@ -107,6 +120,11 @@ mod tests {
         );
         let e = PipelineError::NotEnoughTrials(1);
         assert!(e.to_string().contains("at least 2"));
+        let e = PipelineError::SolverGaveUp {
+            stage: "generalization",
+        };
+        assert!(e.to_string().contains("step budget"));
+        assert!(e.to_string().contains("generalization"));
     }
 
     #[test]

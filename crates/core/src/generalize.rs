@@ -21,7 +21,9 @@
 //! comparison stage, so no graph is ever compiled (or its vocabulary
 //! re-interned) twice.
 
-use aspsolver::{find_generalization, find_generalization_in, find_similarity_in, Matching};
+use aspsolver::{
+    find_generalization, find_generalization_in, BatchSolver, Matching, Problem, SolverConfig,
+};
 use provgraph::compiled::{CorpusSession, GraphId};
 use provgraph::PropertyGraph;
 
@@ -63,12 +65,19 @@ pub fn similarity_classes(graphs: &[PropertyGraph]) -> Vec<Vec<usize>> {
 /// 2. **Identity fast path** — set-equal graphs are trivially similar
 ///    and skip the solver entirely.
 /// 3. **Exact confirmation** — within a bucket (buckets processed in
-///    parallel), trials are confirmed against class representatives with
-///    the session solver ([`find_similarity_in`]); every trial was
-///    compiled exactly once when added to the session, so confirmation
-///    pays zero compile cost. Fingerprint collisions may still split a
-///    bucket into several classes, so the result is always a true
-///    partition by similarity.
+///    parallel), each class representative is confirmed against **all**
+///    still-unclassified bucket members in one batched solver call
+///    ([`BatchSolver`]): the representative's left-hand search plan is
+///    prepared once and reused for every member, instead of being
+///    rebuilt per pair. Every trial was compiled exactly once when added
+///    to the session, so confirmation pays zero compile cost either way.
+///    Fingerprint collisions may still split a bucket into several
+///    classes, so the result is always a true partition by similarity.
+///
+/// The batched schedule produces exactly the partition the pair-at-a-time
+/// schedule did: a trial belongs to the first class (in creation order)
+/// whose representative it matches, and representatives are taken in
+/// trial order either way.
 pub fn similarity_classes_in(
     session: &CorpusSession,
     ids: &[GraphId],
@@ -84,18 +93,50 @@ pub fn similarity_classes_in(
     let per_bucket: Vec<Vec<Vec<usize>>> = par::par_map(&buckets, |bucket| {
         // Class members as bucket-local positions; representative first.
         let mut sub: Vec<Vec<usize>> = Vec::new();
-        'outer: for local in 0..bucket.len() {
-            for class in &mut sub {
-                let rep = class[0];
-                let trivially_equal = graphs[bucket[rep]] == graphs[bucket[local]];
-                if trivially_equal
-                    || find_similarity_in(session, ids[bucket[rep]], ids[bucket[local]]).is_some()
-                {
+        let mut remaining: Vec<usize> = (0..bucket.len()).collect();
+        while let Some((&rep, rest)) = remaining.split_first() {
+            // Identity fast path first; everything else goes through one
+            // batched confirmation against the representative.
+            let mut need: Vec<GraphId> = Vec::new();
+            let trivially: Vec<bool> = rest
+                .iter()
+                .map(|&local| {
+                    let equal = graphs[bucket[rep]] == graphs[bucket[local]];
+                    if !equal {
+                        need.push(ids[bucket[local]]);
+                    }
+                    equal
+                })
+                .collect();
+            let outcomes = if need.is_empty() {
+                Vec::new()
+            } else {
+                BatchSolver::new(
+                    Problem::Similarity,
+                    session,
+                    ids[bucket[rep]],
+                    SolverConfig::default(),
+                )
+                .solve_batch(&need)
+            };
+            let mut outcomes = outcomes.into_iter();
+            let mut class = vec![rep];
+            let mut next = Vec::new();
+            for (&local, &equal) in rest.iter().zip(&trivially) {
+                let similar = equal
+                    || outcomes
+                        .next()
+                        .expect("one batch outcome per solver-confirmed member")
+                        .matching
+                        .is_some();
+                if similar {
                     class.push(local);
-                    continue 'outer;
+                } else {
+                    next.push(local);
                 }
             }
-            sub.push(vec![local]);
+            sub.push(class);
+            remaining = next;
         }
         sub.into_iter()
             .map(|class| class.into_iter().map(|local| bucket[local]).collect())
@@ -218,8 +259,14 @@ pub fn generalize_trials_in(
             trials: graphs.len(),
         });
     };
-    let matching = find_generalization_in(session, ids[a], ids[b])
-        .expect("pair drawn from a similarity class is similar");
+    // A pair drawn from a similarity class is similar, so the only way
+    // the matching can be absent is the solver abandoning the search at
+    // its step budget on a pathological trial — a reportable condition,
+    // not a programming error.
+    let matching =
+        find_generalization_in(session, ids[a], ids[b]).ok_or(PipelineError::SolverGaveUp {
+            stage: "generalization",
+        })?;
     let graph = apply_generalization(&graphs[a], &graphs[b], &matching);
     let chosen_class_len = classes
         .iter()

@@ -6,14 +6,21 @@
 //! Every [`run_benchmark`] call owns one
 //! [`CorpusSession`](provgraph::compiled::CorpusSession) spanning the
 //! whole run: the background and foreground trials are compiled into it
-//! exactly once during generalization, the generalized representatives
-//! are added at the comparison boundary (their vocabulary is already
-//! interned, so that compile is near-free), and the subgraph comparison
-//! runs over session handles — every matching problem in the run shares
-//! one interner and never re-interns or re-compiles a graph. The pipeline
-//! lowers back to [`PropertyGraph`] only where string identifiers and
-//! mutable properties are the point: the generalized representatives and
-//! the subtracted result graph handed to [`crate::report`].
+//! exactly once during generalization (WL fingerprints are memoized at
+//! that same moment), the generalized representatives are added at the
+//! comparison boundary (their vocabulary is already interned, so that
+//! compile is near-free), and the subgraph comparison runs over session
+//! handles — every matching problem in the run shares one interner and
+//! never re-interns or re-compiles a graph. Within the run, the repeated
+//! solves go through the batch solver: similarity classification
+//! confirms each class representative against all unclassified bucket
+//! members with one prepared left-hand plan
+//! ([`generalize::similarity_classes_in`]), and the comparison prepares
+//! the background side once per cell ([`compare::compare_in`]). The
+//! pipeline lowers back to [`PropertyGraph`] only where string
+//! identifiers and mutable properties are the point: the generalized
+//! representatives and the subtracted result graph handed to
+//! [`crate::report`].
 //!
 //! [`run_matrix`] keeps one session *per cell* (cells run in parallel
 //! and must stay independently reproducible), which is exactly the

@@ -482,6 +482,35 @@ impl GraphCore {
         &self.edge_label_multiset
     }
 
+    /// `true` when `other` has the identical dense structure and
+    /// labelling: the same node labels in the same dense order, and the
+    /// same edges with the same endpoints and labels. Properties are
+    /// ignored. Symbols are only comparable within one interner's
+    /// namespace, so the comparison is meaningful only for cores
+    /// compiled against a **shared** interner (e.g. members of one
+    /// [`CorpusSession`]).
+    ///
+    /// Fails fast on element counts, so a negative answer is near-free.
+    pub fn same_structure(&self, other: &GraphCore) -> bool {
+        self.node_labels == other.node_labels
+            && self.edge_labels == other.edge_labels
+            && self.edge_src == other.edge_src
+            && self.edge_tgt == other.edge_tgt
+    }
+
+    /// `true` when `other` carries identical property rows on every node
+    /// and edge (same shared-interner scoping as
+    /// [`same_structure`](GraphCore::same_structure)). Together with it,
+    /// this is full solver-facing equality of two compiled cores —
+    /// everything a matching search can observe except element
+    /// identifiers.
+    pub fn same_props(&self, other: &GraphCore) -> bool {
+        self.node_prop_start == other.node_prop_start
+            && self.node_prop_data == other.node_prop_data
+            && self.edge_prop_start == other.edge_prop_start
+            && self.edge_prop_data == other.edge_prop_data
+    }
+
     /// Per-label edge counts between an ordered node pair, sorted by
     /// label; empty when no edge connects the pair.
     ///
@@ -659,6 +688,14 @@ impl GraphId {
     }
 }
 
+/// Weisfeiler–Lehman fingerprints of one session graph, memoized at
+/// [`CorpusSession::add`] time.
+#[derive(Debug, Clone, Copy)]
+struct CachedFingerprints {
+    shape: u64,
+    full: u64,
+}
+
 /// A corpus of graphs compiled once against one **shared** interner.
 ///
 /// This is the batch counterpart of [`CompiledGraph::compile`]: the whole
@@ -671,6 +708,24 @@ impl GraphId {
 /// comparable within one interner's namespace), and the stable provenance
 /// vocabulary is interned exactly once for the whole corpus.
 ///
+/// # Fingerprint cache
+///
+/// The WL shape and full fingerprints of every graph are computed once,
+/// eagerly, when the graph is added, so [`CorpusSession::shape_fingerprint`]
+/// and [`CorpusSession::full_fingerprint`] are array lookups. The cache
+/// invariants making this sound:
+///
+/// - a [`SessionGraph`]'s core is immutable after `add`, so the cached
+///   value always equals a fresh [`fingerprint::shape_fingerprint_core`]
+///   / [`fingerprint::full_fingerprint_core`] over it (pinned across the
+///   whole benchmark suite by `crates/bench/tests/fingerprint_differential.rs`);
+/// - fingerprints hash symbol *ids*, and a symbol, once interned, is
+///   never renumbered — later `add` calls may grow the interner but can
+///   never change the colour of an existing graph.
+///
+/// [`fingerprint::shape_fingerprint_core`]: crate::fingerprint::shape_fingerprint_core
+/// [`fingerprint::full_fingerprint_core`]: crate::fingerprint::full_fingerprint_core
+///
 /// Lowering back to [`PropertyGraph`] (string identifiers, mutable
 /// properties) is only needed at the report boundary; [`SessionGraph`]
 /// resolves dense indices back to the original identifiers for that.
@@ -678,6 +733,9 @@ impl GraphId {
 pub struct CorpusSession {
     interner: Interner,
     graphs: Vec<SessionGraph>,
+    /// `fingerprints[id.index()]` caches the WL fingerprints of
+    /// `graphs[id.index()]`, in lockstep with `graphs`.
+    fingerprints: Vec<CachedFingerprints>,
 }
 
 impl CorpusSession {
@@ -689,11 +747,19 @@ impl CorpusSession {
     /// Compile `graph` into the session, returning its stable handle.
     ///
     /// The session keeps an owned compiled copy; the source graph can be
-    /// dropped or mutated freely afterwards.
+    /// dropped or mutated freely afterwards. Both WL fingerprints are
+    /// computed here, once — every later
+    /// [`shape_fingerprint`](CorpusSession::shape_fingerprint) /
+    /// [`full_fingerprint`](CorpusSession::full_fingerprint) call is a
+    /// lookup (see the type-level cache invariants).
     pub fn add(&mut self, graph: &PropertyGraph) -> GraphId {
         let id = u32::try_from(self.graphs.len()).expect("session graph count overflow");
-        self.graphs
-            .push(SessionGraph::build(graph, &mut self.interner));
+        let compiled = SessionGraph::build(graph, &mut self.interner);
+        self.fingerprints.push(CachedFingerprints {
+            shape: crate::fingerprint::shape_fingerprint_core(compiled.core()),
+            full: crate::fingerprint::full_fingerprint_core(compiled.core()),
+        });
+        self.graphs.push(compiled);
         GraphId(id)
     }
 
@@ -734,15 +800,20 @@ impl CorpusSession {
     /// Compiled-path shape fingerprint of a session graph (structure +
     /// labels, properties ignored) — see
     /// [`fingerprint::shape_fingerprint_core`](crate::fingerprint::shape_fingerprint_core).
+    ///
+    /// Memoized: computed once at [`add`](CorpusSession::add), looked up
+    /// here (same foreign-handle caveats as [`graph`](CorpusSession::graph)).
     pub fn shape_fingerprint(&self, id: GraphId) -> u64 {
-        crate::fingerprint::shape_fingerprint_core(self.graph(id).core())
+        self.fingerprints[id.0 as usize].shape
     }
 
     /// Compiled-path full fingerprint of a session graph (structure,
     /// labels and properties) — see
     /// [`fingerprint::full_fingerprint_core`](crate::fingerprint::full_fingerprint_core).
+    ///
+    /// Memoized like [`shape_fingerprint`](CorpusSession::shape_fingerprint).
     pub fn full_fingerprint(&self, id: GraphId) -> u64 {
-        crate::fingerprint::full_fingerprint_core(self.graph(id).core())
+        self.fingerprints[id.0 as usize].full
     }
 }
 
@@ -1099,6 +1170,62 @@ mod tests {
             assert_eq!(owned.edge_id(e), borrowed.edge_id(e));
             assert_eq!(owned.edge_src(e), borrowed.edge_src(e));
             assert_eq!(owned.edge_tgt(e), borrowed.edge_tgt(e));
+        }
+    }
+
+    #[test]
+    fn core_equality_splits_structure_from_props() {
+        let g = toy_graph();
+        // Same structure and props, different identifiers.
+        let mut relabelled = PropertyGraph::new();
+        for n in g.nodes() {
+            let mut c = n.clone();
+            c.id = format!("x_{}", n.id);
+            relabelled.add_node_data(c).unwrap();
+        }
+        for e in g.edges() {
+            let mut c = e.clone();
+            c.id = format!("x_{}", e.id);
+            c.src = format!("x_{}", e.src);
+            c.tgt = format!("x_{}", e.tgt);
+            relabelled.add_edge_data(c).unwrap();
+        }
+        // Same structure, perturbed property.
+        let mut perturbed = g.clone();
+        perturbed.set_node_property("n0", "pid", "43").unwrap();
+        // Different structure.
+        let mut extra = g.clone();
+        extra.add_edge("e_extra", "n2", "n1", "Used").unwrap();
+        let mut session = CorpusSession::new();
+        let ids: Vec<_> = [&g, &relabelled, &perturbed, &extra]
+            .into_iter()
+            .map(|x| session.add(x))
+            .collect();
+        let core = |i: usize| session.graph(ids[i]).core();
+        assert!(core(0).same_structure(core(1)) && core(0).same_props(core(1)));
+        assert!(core(0).same_structure(core(2)) && !core(0).same_props(core(2)));
+        assert!(!core(0).same_structure(core(3)));
+    }
+
+    #[test]
+    fn session_fingerprints_cached_on_add_match_fresh_computation() {
+        let g = toy_graph();
+        let mut session = CorpusSession::new();
+        let id = session.add(&g);
+        // Growing the interner with later adds must not disturb earlier
+        // cached fingerprints (symbols are never renumbered).
+        let mut other = PropertyGraph::new();
+        other.add_node("x", "FreshLabel").unwrap();
+        let id2 = session.add(&other);
+        for id in [id, id2] {
+            assert_eq!(
+                session.shape_fingerprint(id),
+                crate::fingerprint::shape_fingerprint_core(session.graph(id).core())
+            );
+            assert_eq!(
+                session.full_fingerprint(id),
+                crate::fingerprint::full_fingerprint_core(session.graph(id).core())
+            );
         }
     }
 

@@ -24,6 +24,8 @@
 //!   exact solver confirms them.
 //! - [`compiled`] — the symbol-interned graph kernel: dense-id, CSR,
 //!   merge-friendly read-only views the matching solver runs on.
+//! - [`par`] — the scoped-thread parallel map shared by the solver's
+//!   batch path and the pipeline's parallel stages.
 //!
 //! # `PropertyGraph` vs `CompiledGraph`
 //!
@@ -73,6 +75,7 @@ pub mod datalog;
 pub mod diff;
 pub mod dot;
 pub mod fingerprint;
+pub mod par;
 pub mod provjson;
 
 pub use error::GraphError;

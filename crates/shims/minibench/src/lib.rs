@@ -12,10 +12,13 @@
 //! There is no warm-up tuning, HTML report, or baseline comparison;
 //! benches exist here to produce honest relative numbers (and
 //! machine-readable output via [`Criterion::json_path`]), not criterion's
-//! confidence intervals. The closest thing provided is the interquartile
-//! range: every measurement records p25/p75 alongside the median, so
-//! downstream gates (the solver CI gate) can tell a noisy run from a
-//! real regression instead of flapping.
+//! full statistics machinery. Two noise indicators are provided per
+//! measurement: the interquartile range (p25/p75 alongside the median)
+//! and a bootstrap confidence interval of the median
+//! ([`bootstrap_median_ci`], percentile bootstrap over resampled
+//! medians, deterministic RNG). Downstream gates (the solver CI gate)
+//! use the bootstrap interval to tell a noisy run from a real
+//! regression instead of flapping.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -28,6 +31,54 @@ use std::time::{Duration, Instant};
 /// bodies.
 pub fn black_box<T>(x: T) -> T {
     hint::black_box(x)
+}
+
+/// Deterministic xorshift64* step (Marsaglia/Vigna) — good enough for
+/// bootstrap index sampling, zero dependencies, reproducible runs.
+fn xorshift64(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+/// 95% percentile-bootstrap confidence interval of the **median** of
+/// `samples`: draw `resamples` resamples with replacement, take each
+/// resample's median (same `sorted[n / 2]` convention as the quartile
+/// reporting), and return the 2.5th/97.5th percentiles of those medians.
+///
+/// Deterministic for a given `(samples, resamples, seed)` triple, so CI
+/// gates built on it are reproducible. Returns `(0.0, 0.0)` for empty
+/// input and the sample itself for a singleton. Unlike the raw
+/// p25/p75 quartiles this narrows with the sample count, which is what
+/// makes it a usable noise bound for speedup gates: the interval covers
+/// where the median *itself* plausibly lies, not where individual
+/// samples land.
+pub fn bootstrap_median_ci(samples: &[f64], resamples: usize, seed: u64) -> (f64, f64) {
+    if samples.is_empty() {
+        return (0.0, 0.0);
+    }
+    if samples.len() == 1 {
+        return (samples[0], samples[0]);
+    }
+    let mut state = seed | 1; // xorshift state must be nonzero
+    let n = samples.len();
+    let mut medians: Vec<f64> = Vec::with_capacity(resamples.max(1));
+    let mut resample: Vec<f64> = vec![0.0; n];
+    for _ in 0..resamples.max(1) {
+        for slot in &mut resample {
+            *slot = samples[(xorshift64(&mut state) % n as u64) as usize];
+        }
+        resample.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+        medians.push(resample[n / 2]);
+    }
+    medians.sort_by(|a, b| a.partial_cmp(b).expect("finite medians"));
+    let last = medians.len() - 1;
+    let lo = ((last as f64) * 0.025).round() as usize;
+    let hi = ((last as f64) * 0.975).round() as usize;
+    (medians[lo], medians[hi])
 }
 
 /// How `iter_batched` amortizes setup cost (accepted, not acted on — every
@@ -91,6 +142,11 @@ pub struct Measurement {
     pub p25: Duration,
     /// 75th-percentile iteration time (upper quartile).
     pub p75: Duration,
+    /// Lower bound of the 95% bootstrap CI of the median
+    /// ([`bootstrap_median_ci`]).
+    pub ci_low: Duration,
+    /// Upper bound of the 95% bootstrap CI of the median.
+    pub ci_high: Duration,
     /// Number of samples measured.
     pub samples: usize,
 }
@@ -164,6 +220,13 @@ impl Bencher {
             self.measured[(3 * n) / 4],
         )
     }
+
+    /// Bootstrap CI of the median of the recorded samples, as durations.
+    fn median_ci(&self) -> (Duration, Duration) {
+        let secs: Vec<f64> = self.measured.iter().map(Duration::as_secs_f64).collect();
+        let (lo, hi) = bootstrap_median_ci(&secs, 200, 0x5EED_CAFE);
+        (Duration::from_secs_f64(lo), Duration::from_secs_f64(hi))
+    }
 }
 
 /// A named group of benchmarks sharing configuration.
@@ -222,18 +285,24 @@ impl BenchmarkGroup<'_> {
         f(&mut bencher, input);
         let samples = bencher.measured.len();
         let (p25, median, p75) = bencher.quartiles();
+        let (ci_low, ci_high) = bencher.median_ci();
         let full_id = format!("{}/{}", self.name, id);
         let tp = match self.throughput {
             Some(Throughput::Elements(n)) => format!("  ({n} elems/iter)"),
             Some(Throughput::Bytes(n)) => format!("  ({n} bytes/iter)"),
             None => String::new(),
         };
-        println!("{full_id}  median {median:?}  p25 {p25:?}  p75 {p75:?}  ({samples} samples){tp}");
+        println!(
+            "{full_id}  median {median:?}  p25 {p25:?}  p75 {p75:?}  \
+             ci95 [{ci_low:?}, {ci_high:?}]  ({samples} samples){tp}"
+        );
         self.criterion.measurements.push(Measurement {
             id: full_id,
             median,
             p25,
             p75,
+            ci_low,
+            ci_high,
             samples,
         });
     }
@@ -324,6 +393,35 @@ mod tests {
         let m = &c.measurements[0];
         assert!(m.p25 <= m.median && m.median <= m.p75, "quartiles ordered");
         assert!(m.relative_iqr() >= 0.0);
+        assert!(m.ci_low <= m.ci_high, "CI bounds ordered");
+    }
+
+    #[test]
+    fn bootstrap_ci_is_deterministic_ordered_and_within_range() {
+        let samples = [3.0, 1.0, 4.0, 1.5, 9.0, 2.6, 5.0, 3.5];
+        let (lo, hi) = bootstrap_median_ci(&samples, 500, 42);
+        assert_eq!((lo, hi), bootstrap_median_ci(&samples, 500, 42));
+        assert!(lo <= hi);
+        let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        assert!(lo >= min && hi <= max, "CI within the sample range");
+        // A different seed resamples differently but stays a valid CI.
+        let (lo2, hi2) = bootstrap_median_ci(&samples, 500, 7);
+        assert!(lo2 <= hi2 && lo2 >= min && hi2 <= max);
+    }
+
+    #[test]
+    fn bootstrap_ci_narrows_against_quartiles_on_tight_samples() {
+        // Constant samples: the median cannot move, CI collapses.
+        let samples = [2.0; 16];
+        let (lo, hi) = bootstrap_median_ci(&samples, 300, 1);
+        assert_eq!((lo, hi), (2.0, 2.0));
+    }
+
+    #[test]
+    fn bootstrap_ci_edge_cases() {
+        assert_eq!(bootstrap_median_ci(&[], 100, 3), (0.0, 0.0));
+        assert_eq!(bootstrap_median_ci(&[5.0], 100, 3), (5.0, 5.0));
     }
 
     #[test]
