@@ -535,11 +535,13 @@ fn solve_dense(
         return dense;
     }
 
-    let mut search = Search::build(problem, g1, g2, config, prepared);
+    let scratch = SEARCH_SCRATCH.with(|cell| std::mem::take(&mut *cell.borrow_mut()));
+    let mut search = Search::build(problem, g1, g2, config, prepared, scratch);
     search.run();
     dense.stats = search.stats;
     dense.optimal = !search.budget_exhausted;
     dense.best = search.best.take();
+    SEARCH_SCRATCH.with(|cell| *cell.borrow_mut() = search.into_scratch());
     dense
 }
 
@@ -603,6 +605,53 @@ fn multiset_leq<T: Ord>(small: &[T], big: &[T]) -> bool {
 /// Sentinel for "not yet assigned" in the dense assignment array.
 const UNASSIGNED: u32 = u32::MAX;
 
+/// Reusable per-thread search allocations: the candidate tables, the
+/// dense pair-cost matrix and the assignment state.
+///
+/// Every solve used to allocate these six vectors from scratch; across a
+/// batch (the batch solver fans rights out over a fixed thread pool, and
+/// the pipeline's repeated solves stay on their worker thread) the same
+/// thread rebuilds same-shaped tables over and over, so the allocations
+/// are pure overhead. The pool hands the vectors to [`Search::build`],
+/// which **clears and refills** them — every element is rewritten before
+/// use, so reuse cannot leak state between solves and outcomes are
+/// bit-identical to the allocate-fresh path (pinned, like every engine
+/// change, by the differential tests including search statistics).
+#[derive(Default)]
+struct SearchScratch {
+    cand_flat: Vec<u32>,
+    cand_start: Vec<u32>,
+    pair_cost: Vec<u64>,
+    node_min_cost: Vec<u64>,
+    assign: Vec<u32>,
+    used: Vec<bool>,
+    cand_buf: Vec<u32>,
+}
+
+/// Element-capacity bound above which a scratch vector is dropped
+/// instead of returned to the per-thread pool, so one pathological solve
+/// cannot pin a huge buffer on a long-lived service thread (the same
+/// hygiene rule as [`WARM_INTERNER_CAP`]).
+const SCRATCH_CAP: usize = 1 << 22;
+
+thread_local! {
+    /// The per-thread scratch pool. Taken (not borrowed) for the
+    /// duration of a dense solve, so a re-entrant solve on the same
+    /// thread would simply fall back to fresh allocations.
+    static SEARCH_SCRATCH: std::cell::RefCell<SearchScratch> =
+        std::cell::RefCell::new(SearchScratch::default());
+}
+
+/// Clear `v` and return it to the pool, unless its capacity exceeds
+/// [`SCRATCH_CAP`] elements (then drop it and pool an empty vector).
+fn reclaim<T>(mut v: Vec<T>) -> Vec<T> {
+    if v.capacity() > SCRATCH_CAP {
+        return Vec::new();
+    }
+    v.clear();
+    v
+}
+
 /// Best solution found so far: node assignment, edge pairing, total cost.
 type BestSolution = (Vec<u32>, Vec<(u32, u32)>, u64);
 
@@ -630,6 +679,9 @@ struct Search<'a> {
     // --- search state ----------------------------------------------------
     assign: Vec<u32>,
     used: Vec<bool>,
+    /// Build-time per-node candidate buffer, carried only so
+    /// [`Search::into_scratch`] can return it to the per-thread pool.
+    cand_buf: Vec<u32>,
     /// Sum of pair costs of currently assigned nodes (incremental).
     partial_cost: u64,
     /// Sum of `node_min_cost` over currently unassigned nodes (incremental).
@@ -650,12 +702,17 @@ impl<'a> Search<'a> {
     /// paths run every pair through the same filters, so the resulting
     /// tables — and therefore the search and its statistics — are
     /// identical.
+    ///
+    /// The candidate tables, pair-cost matrix and assignment state are
+    /// filled into `scratch`'s (cleared) vectors rather than fresh
+    /// allocations; [`Search::into_scratch`] returns them to the pool.
     fn build(
         problem: Problem,
         g1: &'a GraphCore,
         g2: &'a GraphCore,
         config: &'a SolverConfig,
         lhs: Option<&PreparedLhs<'_>>,
+        scratch: SearchScratch,
     ) -> Self {
         let n1 = g1.node_count();
         let n2 = g2.node_count();
@@ -683,17 +740,32 @@ impl<'a> Search<'a> {
             buckets
         });
 
-        let mut cand_flat: Vec<u32> = Vec::new();
-        let mut cand_start: Vec<u32> = Vec::with_capacity(n1 + 1);
+        let SearchScratch {
+            mut cand_flat,
+            mut cand_start,
+            mut pair_cost,
+            mut node_min_cost,
+            mut assign,
+            mut used,
+            cand_buf: mut scratch,
+        } = scratch;
+        cand_flat.clear();
+        cand_start.clear();
+        cand_start.reserve(n1 + 1);
         cand_start.push(0);
         // Feasibility problems cost zero everywhere — skip the table.
-        let mut pair_cost = if optimizing {
-            vec![u64::MAX; n1 * n2]
-        } else {
-            Vec::new()
-        };
-        let mut node_min_cost: Vec<u64> = Vec::with_capacity(n1);
-        let mut scratch: Vec<u32> = Vec::with_capacity(n2);
+        pair_cost.clear();
+        if optimizing {
+            pair_cost.resize(n1 * n2, u64::MAX);
+        }
+        node_min_cost.clear();
+        node_min_cost.reserve(n1);
+        assign.clear();
+        assign.resize(n1, UNASSIGNED);
+        used.clear();
+        used.resize(n2, false);
+        scratch.clear();
+        scratch.reserve(n2);
         // The per-pair candidate filter, shared verbatim by both
         // construction paths.
         let consider = |i: u32,
@@ -824,8 +896,9 @@ impl<'a> Search<'a> {
             node_min_cost,
             edge_cost_floor,
             groups2: None,
-            assign: vec![UNASSIGNED; n1],
-            used: vec![false; n2],
+            assign,
+            used,
+            cand_buf: scratch,
             partial_cost: 0,
             unassigned_floor,
             stats: SolverStats::default(),
@@ -851,6 +924,20 @@ impl<'a> Search<'a> {
             self.cand_start[i as usize] as usize,
             self.cand_start[i as usize + 1] as usize,
         )
+    }
+
+    /// Dismantle the search, returning its reusable allocations to a
+    /// [`SearchScratch`] (each vector cleared, oversized ones dropped).
+    fn into_scratch(self) -> SearchScratch {
+        SearchScratch {
+            cand_flat: reclaim(self.cand_flat),
+            cand_start: reclaim(self.cand_start),
+            pair_cost: reclaim(self.pair_cost),
+            node_min_cost: reclaim(self.node_min_cost),
+            assign: reclaim(self.assign),
+            used: reclaim(self.used),
+            cand_buf: reclaim(self.cand_buf),
+        }
     }
 
     fn run(&mut self) {

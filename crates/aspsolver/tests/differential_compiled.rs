@@ -369,4 +369,71 @@ proptest! {
             }
         }
     }
+
+    /// Mixed-session batch fuzz: right-hand batches where [`GraphId`]
+    /// handles **repeat and interleave** arbitrarily, run across all four
+    /// problems over one shared session. Repeats land in one
+    /// dense-solve-sharing group by construction (a graph's core is
+    /// trivially solver-equivalent to itself), so this exercises the
+    /// grouping, translation fan-out and ordering logic well beyond the
+    /// each-member-once batches the pipeline issues — while the outcome
+    /// must stay position-by-position identical to per-pair [`solve_in`]
+    /// and the string oracle, including search statistics.
+    #[test]
+    fn batch_fuzz_repeated_interleaved_handles(
+        graphs in prop::collection::vec(arb_graph(4), 2..4),
+        picks in prop::collection::vec(0usize..16, 0..12),
+        lhs_picks in prop::collection::vec(0usize..16, 2..4),
+    ) {
+        let mut corpus: Vec<PropertyGraph> = graphs;
+        // A relabelled copy and an exact clone: guarantees both a
+        // feasible bijective pair and same-structure rights that the
+        // batch path will group into one shared dense solve.
+        let copy = relabel_perturbed(&corpus[0], false);
+        corpus.push(copy);
+        corpus.push(corpus[0].clone());
+        let mut session = CorpusSession::new();
+        let ids: Vec<GraphId> = corpus.iter().map(|g| session.add(g)).collect();
+        // Arbitrary multiset of handles: repeats and interleavings of
+        // every corpus member, in fuzzer-chosen order.
+        let rhs: Vec<GraphId> = picks.iter().map(|&p| ids[p % ids.len()]).collect();
+        let config = SolverConfig::default();
+        for &lp in &lhs_picks {
+            let lhs = ids[lp % ids.len()];
+            let li = lhs.index();
+            for problem in ALL_PROBLEMS {
+                let batch = solve_batch_in(problem, &session, lhs, &rhs, &config);
+                prop_assert_eq!(batch.len(), rhs.len());
+                for (pos, out) in batch.iter().enumerate() {
+                    let rid = rhs[pos];
+                    let ri = rid.index();
+                    let per_pair = solve_in(problem, &session, lhs, rid, &config);
+                    let strings = solve_strings(problem, &corpus[li], &corpus[ri], &config);
+                    prop_assert_eq!(
+                        &out.matching, &per_pair.matching,
+                        "{:?} lhs {} pos {} (rhs {}): fuzzed batch diverges from per-pair",
+                        problem, li, pos, ri
+                    );
+                    prop_assert_eq!(
+                        out.optimal, per_pair.optimal,
+                        "{:?} lhs {} pos {} (rhs {}): optimality diverges",
+                        problem, li, pos, ri
+                    );
+                    prop_assert_eq!(
+                        out.stats, per_pair.stats,
+                        "{:?} lhs {} pos {} (rhs {}): statistics diverge",
+                        problem, li, pos, ri
+                    );
+                    prop_assert_eq!(
+                        &out.matching, &strings.matching,
+                        "{:?} lhs {} pos {} (rhs {}): fuzzed batch diverges from oracle",
+                        problem, li, pos, ri
+                    );
+                    if let Some(m) = &out.matching {
+                        assert_valid_witness(problem, &corpus[li], &corpus[ri], m);
+                    }
+                }
+            }
+        }
+    }
 }

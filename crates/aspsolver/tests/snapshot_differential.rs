@@ -1,0 +1,183 @@
+//! Snapshot round-trip differential: a [`CorpusSession`] serialized to
+//! the versioned snapshot format and rehydrated in (what would be)
+//! another process must be **solver-identical** to the original — same
+//! matchings, costs, optimality flags and search statistics for every
+//! problem over every ordered pair of members, and the same memoized
+//! fingerprints. This is what licenses the sharding subsystem to ship
+//! sessions between worker processes instead of recompiling trials.
+
+use proptest::prelude::*;
+use provgraph::compiled::{CorpusSession, GraphId};
+use provgraph::fingerprint::{full_fingerprint_core, shape_fingerprint_core};
+use provgraph::snapshot::{restore_session, snapshot_session};
+use provgraph::PropertyGraph;
+
+use aspsolver::{solve_batch_in, solve_in, solve_strings, Problem, SolverConfig};
+
+/// An arbitrary small multigraph with node and edge properties (same
+/// shape as the engine differentials in `differential_compiled.rs`).
+fn arb_graph(max_nodes: usize) -> impl Strategy<Value = PropertyGraph> {
+    let node_label = prop::sample::select(vec!["P", "A", "E"]);
+    let edge_label = prop::sample::select(vec!["u", "g"]);
+    (
+        prop::collection::vec(node_label, 1..=max_nodes),
+        prop::collection::vec((0usize..8, 0usize..8, edge_label), 0..=8),
+        prop::collection::vec((0usize..8, "k[123]", "[abc]"), 0..=5),
+        prop::collection::vec((0usize..8, "t[12]", "[xy]"), 0..=4),
+    )
+        .prop_map(|(nodes, edges, node_props, edge_props)| {
+            let mut g = PropertyGraph::new();
+            for (i, label) in nodes.iter().enumerate() {
+                g.add_node(format!("n{i}"), *label).unwrap();
+            }
+            let n = g.node_count();
+            for (j, (s, t, label)) in edges.iter().enumerate() {
+                g.add_edge(
+                    format!("e{j}"),
+                    format!("n{}", s % n),
+                    format!("n{}", t % n),
+                    *label,
+                )
+                .unwrap();
+            }
+            for (i, k, v) in node_props {
+                g.set_node_property(&format!("n{}", i % n), k, v).unwrap();
+            }
+            let m = g.edge_count();
+            if m > 0 {
+                for (j, k, v) in edge_props {
+                    g.set_edge_property(&format!("e{}", j % m), k, v).unwrap();
+                }
+            }
+            g
+        })
+}
+
+/// A structurally identical copy with fresh ids (guarantees feasible
+/// bijective pairs exist, so witnesses are exercised).
+fn relabelled(g: &PropertyGraph) -> PropertyGraph {
+    let mut out = PropertyGraph::new();
+    let nodes: Vec<_> = g.nodes().collect();
+    for n in nodes.iter().rev() {
+        let mut copy = (*n).clone();
+        copy.id = format!("c_{}", n.id);
+        out.add_node_data(copy).unwrap();
+    }
+    let edges: Vec<_> = g.edges().collect();
+    for e in edges.iter().rev() {
+        let mut copy = (*e).clone();
+        copy.id = format!("c_{}", e.id);
+        copy.src = format!("c_{}", e.src);
+        copy.tgt = format!("c_{}", e.tgt);
+        out.add_edge_data(copy).unwrap();
+    }
+    out
+}
+
+const ALL_PROBLEMS: [Problem; 4] = [
+    Problem::Similarity,
+    Problem::Isomorphism,
+    Problem::Generalization,
+    Problem::Subgraph,
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Serialize → rehydrate → solve is indistinguishable from solving
+    /// the in-memory session, across all four problems and all ordered
+    /// member pairs (with the string path as the independent oracle).
+    #[test]
+    fn rehydrated_session_solves_identically(
+        graphs in prop::collection::vec(arb_graph(4), 2..4),
+    ) {
+        let mut corpus: Vec<PropertyGraph> = graphs;
+        let copy = relabelled(&corpus[0]);
+        corpus.push(copy);
+        let mut session = CorpusSession::new();
+        let ids: Vec<GraphId> = corpus.iter().map(|g| session.add(g)).collect();
+
+        let bytes = snapshot_session(&session);
+        let restored = restore_session(&bytes).expect("snapshot round trip");
+        prop_assert_eq!(restored.len(), session.len());
+
+        // Memoized fingerprints survive, and still equal a fresh
+        // computation over the restored cores.
+        for &id in &ids {
+            prop_assert_eq!(
+                restored.shape_fingerprint(id),
+                session.shape_fingerprint(id)
+            );
+            prop_assert_eq!(restored.full_fingerprint(id), session.full_fingerprint(id));
+            prop_assert_eq!(
+                restored.shape_fingerprint(id),
+                shape_fingerprint_core(restored.graph(id).core())
+            );
+            prop_assert_eq!(
+                restored.full_fingerprint(id),
+                full_fingerprint_core(restored.graph(id).core())
+            );
+        }
+
+        let config = SolverConfig::default();
+        for (i, &a) in ids.iter().enumerate() {
+            for (j, &b) in ids.iter().enumerate() {
+                for problem in ALL_PROBLEMS {
+                    let original = solve_in(problem, &session, a, b, &config);
+                    let rehydrated = solve_in(problem, &restored, a, b, &config);
+                    let oracle = solve_strings(problem, &corpus[i], &corpus[j], &config);
+                    prop_assert_eq!(
+                        &rehydrated.matching, &original.matching,
+                        "{:?} ({}, {}): rehydrated matching diverges", problem, i, j
+                    );
+                    prop_assert_eq!(
+                        rehydrated.optimal, original.optimal,
+                        "{:?} ({}, {}): rehydrated optimality diverges", problem, i, j
+                    );
+                    prop_assert_eq!(
+                        rehydrated.stats, original.stats,
+                        "{:?} ({}, {}): rehydrated statistics diverge", problem, i, j
+                    );
+                    prop_assert_eq!(
+                        &rehydrated.matching, &oracle.matching,
+                        "{:?} ({}, {}): rehydrated matching diverges from oracle", problem, i, j
+                    );
+                    prop_assert_eq!(
+                        rehydrated.stats, oracle.stats,
+                        "{:?} ({}, {}): rehydrated statistics diverge from oracle", problem, i, j
+                    );
+                }
+            }
+        }
+    }
+
+    /// The batch path (prepared left-hand plan + dense-solve sharing)
+    /// over a rehydrated session equals the batch path over the
+    /// original — the grouping decisions rest on the memoized
+    /// fingerprints and exact core comparisons, both of which the
+    /// snapshot must preserve.
+    #[test]
+    fn rehydrated_session_batches_identically(
+        graphs in prop::collection::vec(arb_graph(4), 2..4),
+    ) {
+        let mut corpus: Vec<PropertyGraph> = graphs;
+        let copy = relabelled(&corpus[0]);
+        corpus.push(copy);
+        let mut session = CorpusSession::new();
+        let ids: Vec<GraphId> = corpus.iter().map(|g| session.add(g)).collect();
+        let restored = restore_session(&snapshot_session(&session)).expect("round trip");
+        let config = SolverConfig::default();
+        for problem in ALL_PROBLEMS {
+            for &lhs in &ids {
+                let original = solve_batch_in(problem, &session, lhs, &ids, &config);
+                let rehydrated = solve_batch_in(problem, &restored, lhs, &ids, &config);
+                prop_assert_eq!(original.len(), rehydrated.len());
+                for (o, r) in original.iter().zip(&rehydrated) {
+                    prop_assert_eq!(&o.matching, &r.matching, "{:?}", problem);
+                    prop_assert_eq!(o.optimal, r.optimal, "{:?}", problem);
+                    prop_assert_eq!(o.stats, r.stats, "{:?}", problem);
+                }
+            }
+        }
+    }
+}

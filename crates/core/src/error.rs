@@ -48,6 +48,49 @@ pub enum PipelineError {
         /// Which matching stage gave up.
         stage: &'static str,
     },
+    /// A matrix split was requested with an unusable shard count
+    /// (`--shards 0`, or more shards than matrix rows).
+    InvalidShardCount {
+        /// Requested shard count.
+        count: usize,
+        /// Number of matrix rows available to distribute.
+        rows: usize,
+    },
+    /// A shard index outside `0..shard_count` was requested
+    /// (`--shard-index` out of range for `--shards`).
+    InvalidShardIndex {
+        /// Requested shard index.
+        index: usize,
+        /// The shard count the index must stay below.
+        count: usize,
+    },
+    /// A shard manifest or CLI invocation named a benchmark that is not
+    /// in the Table 2 matrix.
+    UnknownBenchmark {
+        /// The unrecognized benchmark name.
+        name: String,
+    },
+    /// A shard manifest or partial-results artifact was malformed: wrong
+    /// format tag, unsupported artifact version, or a field that does
+    /// not parse.
+    ShardArtifact {
+        /// What was wrong with the artifact.
+        detail: String,
+    },
+    /// Partial results from the matrix shards do not reassemble into the
+    /// full matrix (missing, duplicate or foreign cells) — the merge
+    /// refuses to emit a report that silently differs from the
+    /// single-process run.
+    ShardMerge {
+        /// What failed to line up.
+        detail: String,
+    },
+    /// A session snapshot could not be restored (wrong magic, version
+    /// mismatch, truncation or corruption).
+    Snapshot {
+        /// Underlying snapshot error.
+        source: provgraph::snapshot::SnapshotError,
+    },
 }
 
 impl fmt::Display for PipelineError {
@@ -78,6 +121,32 @@ impl fmt::Display for PipelineError {
             PipelineError::SolverGaveUp { stage } => {
                 write!(f, "exact solver exhausted its step budget during {stage}")
             }
+            PipelineError::InvalidShardCount { count, rows } => {
+                write!(
+                    f,
+                    "cannot split the matrix into {count} shard(s): pass --shards N \
+                     with 1 <= N <= {rows} (the matrix has {rows} rows)"
+                )
+            }
+            PipelineError::InvalidShardIndex { index, count } => {
+                write!(
+                    f,
+                    "shard index {index} is out of range for {count} shard(s): pass \
+                     --shard-index i with 0 <= i < {count}"
+                )
+            }
+            PipelineError::UnknownBenchmark { name } => {
+                write!(f, "`{name}` is not a Table 2 benchmark")
+            }
+            PipelineError::ShardArtifact { detail } => {
+                write!(f, "malformed shard artifact: {detail}")
+            }
+            PipelineError::ShardMerge { detail } => {
+                write!(f, "shard results do not reassemble the matrix: {detail}")
+            }
+            PipelineError::Snapshot { source } => {
+                write!(f, "session snapshot rejected: {source}")
+            }
         }
     }
 }
@@ -87,8 +156,15 @@ impl std::error::Error for PipelineError {
         match self {
             PipelineError::Transform { source } => Some(source),
             PipelineError::Store(e) => Some(e),
+            PipelineError::Snapshot { source } => Some(source),
             _ => None,
         }
+    }
+}
+
+impl From<provgraph::snapshot::SnapshotError> for PipelineError {
+    fn from(source: provgraph::snapshot::SnapshotError) -> Self {
+        PipelineError::Snapshot { source }
     }
 }
 
@@ -125,6 +201,33 @@ mod tests {
         };
         assert!(e.to_string().contains("step budget"));
         assert!(e.to_string().contains("generalization"));
+    }
+
+    #[test]
+    fn shard_and_snapshot_messages_are_actionable() {
+        let e = PipelineError::InvalidShardCount { count: 0, rows: 44 };
+        assert!(e.to_string().contains("--shards N"));
+        assert!(e.to_string().contains("44"));
+        let e = PipelineError::InvalidShardIndex { index: 5, count: 3 };
+        assert!(e.to_string().contains("0 <= i < 3"));
+        let e = PipelineError::UnknownBenchmark {
+            name: "frobnicate".into(),
+        };
+        assert!(e.to_string().contains("frobnicate"));
+        let e = PipelineError::ShardMerge {
+            detail: "row `creat` appears twice".into(),
+        };
+        assert!(e.to_string().contains("reassemble"));
+        let snap = provgraph::snapshot::SnapshotError::UnsupportedVersion {
+            found: 9,
+            supported: provgraph::snapshot::SNAPSHOT_VERSION,
+        };
+        let e = PipelineError::from(snap);
+        assert!(e.to_string().contains("version 9"));
+        assert!(
+            std::error::Error::source(&e).is_some(),
+            "snapshot source preserved"
+        );
     }
 
     #[test]

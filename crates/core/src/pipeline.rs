@@ -260,12 +260,121 @@ impl MeasuredCell {
 ///
 /// `opus_db_iterations` overrides the simulated Neo4j startup cost so
 /// tests can run the matrix quickly; pass `None` for the default.
+///
+/// This is the single-process convenience wrapper over the sharded
+/// execution path: [`plan_matrix_shards`] → [`run_matrix_cells`] →
+/// [`merge_matrix_summaries`] run the same matrix split across worker
+/// processes (or hosts) and reassemble the identical report.
 pub fn run_matrix(
     opts: &BenchmarkOptions,
     opus_db_iterations: Option<u64>,
 ) -> Vec<(crate::suite::Expectation, [MeasuredCell; 3])> {
+    let all: Vec<String> = crate::suite::table2()
+        .iter()
+        .map(|exp| exp.syscall.to_owned())
+        .collect();
+    run_matrix_cells(&all, opts, opus_db_iterations).expect("table2 rows are known benchmarks")
+}
+
+// ---------------------------------------------------------------------
+// Sharded matrix execution: plan / execute / merge
+// ---------------------------------------------------------------------
+
+/// One planned shard of the Table 2 matrix: a self-describing subset of
+/// rows for one worker to execute.
+///
+/// Rows are assigned round-robin by canonical position, so shard sizes
+/// differ by at most one and adjacent (similar-cost) rows spread across
+/// workers. The merge step reassembles canonical order regardless of
+/// how the plan distributed or the workers finished.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MatrixShard {
+    /// Position of this shard within the plan (`0..shard_count`).
+    pub shard_index: usize,
+    /// Total number of shards in the plan.
+    pub shard_count: usize,
+    /// Syscall names of the rows this shard executes.
+    pub syscalls: Vec<String>,
+}
+
+/// Split the Table 2 matrix into `shard_count` self-describing shards.
+///
+/// # Errors
+///
+/// [`PipelineError::InvalidShardCount`] when `shard_count` is zero or
+/// exceeds the number of matrix rows (which would plan empty workers —
+/// almost certainly a misconfiguration).
+pub fn plan_matrix_shards(shard_count: usize) -> Result<Vec<MatrixShard>, PipelineError> {
+    let rows = crate::suite::table2();
+    if shard_count == 0 || shard_count > rows.len() {
+        return Err(PipelineError::InvalidShardCount {
+            count: shard_count,
+            rows: rows.len(),
+        });
+    }
+    let mut shards: Vec<MatrixShard> = (0..shard_count)
+        .map(|shard_index| MatrixShard {
+            shard_index,
+            shard_count,
+            syscalls: Vec::new(),
+        })
+        .collect();
+    for (i, exp) in rows.iter().enumerate() {
+        shards[i % shard_count]
+            .syscalls
+            .push(exp.syscall.to_owned());
+    }
+    Ok(shards)
+}
+
+/// Plan a single shard of a `shard_count`-way split.
+///
+/// # Errors
+///
+/// [`PipelineError::InvalidShardCount`] /
+/// [`PipelineError::InvalidShardIndex`] on malformed `--shards` /
+/// `--shard-index` combinations.
+pub fn plan_matrix_shard(
+    shard_count: usize,
+    shard_index: usize,
+) -> Result<MatrixShard, PipelineError> {
+    let shards = plan_matrix_shards(shard_count)?;
+    shards
+        .into_iter()
+        .nth(shard_index)
+        .ok_or(PipelineError::InvalidShardIndex {
+            index: shard_index,
+            count: shard_count,
+        })
+}
+
+/// Execute a subset of Table 2 rows (the *execute* step of the sharded
+/// matrix path). Rows run in parallel exactly as in [`run_matrix`]; each
+/// cell instantiates its own tool handles, so a shard's cells are
+/// identical to the same cells of a single-process run.
+///
+/// # Errors
+///
+/// [`PipelineError::UnknownBenchmark`] when a name is not a Table 2 row
+/// (per-cell pipeline errors are *reported in the cell*, not raised —
+/// same contract as [`run_matrix`]).
+pub fn run_matrix_cells(
+    syscalls: &[String],
+    opts: &BenchmarkOptions,
+    opus_db_iterations: Option<u64>,
+) -> Result<Vec<(crate::suite::Expectation, [MeasuredCell; 3])>, PipelineError> {
     use crate::tool::{Tool, ToolKind};
-    let expectations = crate::suite::table2();
+    let table = crate::suite::table2();
+    let expectations: Vec<crate::suite::Expectation> = syscalls
+        .iter()
+        .map(|name| {
+            table
+                .iter()
+                .find(|exp| exp.syscall == name)
+                .copied()
+                .ok_or_else(|| PipelineError::UnknownBenchmark { name: name.clone() })
+        })
+        .collect::<Result<_, _>>()?;
     let cells = crate::par::par_map(&expectations, |exp| {
         let spec = crate::suite::spec(exp.syscall).expect("table2 rows have specs");
         let cells: Vec<MeasuredCell> = ToolKind::all()
@@ -294,7 +403,151 @@ pub fn run_matrix(
         let cells: [MeasuredCell; 3] = cells.try_into().expect("three tools");
         cells
     });
-    expectations.into_iter().zip(cells).collect()
+    Ok(expectations.into_iter().zip(cells).collect())
+}
+
+/// Deterministic, serializable summary of one measured matrix cell —
+/// the unit the sharded matrix runner ships between processes.
+///
+/// Everything here is a pure function of the cell's (seeded,
+/// deterministic) pipeline run: no timings, no host state. Two runs of
+/// the same cell on any machines produce equal summaries, which is what
+/// makes the merged shard report byte-identical to the single-process
+/// one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellOutcome {
+    /// `ok` / `empty` / `error: …`, exactly as [`MeasuredCell::render`].
+    pub status: String,
+    /// Property-mismatch cost of the comparison matching (`None` when
+    /// the cell's pipeline errored).
+    pub matching_cost: Option<u64>,
+    /// Trials discarded as failed runs (`None` on pipeline error).
+    pub discarded_trials: Option<usize>,
+    /// Node + edge count of the benchmark result graph (`None` on
+    /// pipeline error).
+    pub result_size: Option<usize>,
+}
+
+impl CellOutcome {
+    /// Summarize a measured cell.
+    pub fn of(cell: &MeasuredCell) -> CellOutcome {
+        CellOutcome {
+            status: cell.render(),
+            matching_cost: cell.run.as_ref().map(|r| r.matching_cost),
+            discarded_trials: cell.run.as_ref().map(|r| r.discarded_trials),
+            result_size: cell.run.as_ref().map(|r| r.result.size()),
+        }
+    }
+
+    /// `true` when the pipeline completed with a nonempty result.
+    pub fn is_ok(&self) -> bool {
+        self.status == "ok"
+    }
+
+    /// `true` when the pipeline completed at all (ok or empty).
+    pub fn completed(&self) -> bool {
+        self.matching_cost.is_some()
+    }
+}
+
+/// One summarized matrix row: the syscall plus the three tool outcomes
+/// in canonical order (SPADE, OPUS, CamFlow).
+pub type SummaryRow = (String, [CellOutcome; 3]);
+
+/// Summarize executed rows into the serializable interchange form.
+pub fn summarize_rows(rows: &[(crate::suite::Expectation, [MeasuredCell; 3])]) -> Vec<SummaryRow> {
+    rows.iter()
+        .map(|(exp, cells)| {
+            (
+                exp.syscall.to_owned(),
+                [
+                    CellOutcome::of(&cells[0]),
+                    CellOutcome::of(&cells[1]),
+                    CellOutcome::of(&cells[2]),
+                ],
+            )
+        })
+        .collect()
+}
+
+/// Deterministically merge shard partial results back into the full
+/// matrix (the *merge* step of the sharded path).
+///
+/// The output is in canonical Table 2 order regardless of how rows were
+/// distributed across shards or in which order workers finished, so a
+/// report rendered from it is byte-identical to the single-process
+/// run's.
+///
+/// # Errors
+///
+/// [`PipelineError::ShardMerge`] when the parts contain a row that is
+/// not a Table 2 benchmark, the same row twice, or fail to cover the
+/// matrix — the merge never emits a silently partial report.
+pub fn merge_matrix_summaries(
+    parts: impl IntoIterator<Item = Vec<SummaryRow>>,
+) -> Result<Vec<(crate::suite::Expectation, [CellOutcome; 3])>, PipelineError> {
+    let table = crate::suite::table2();
+    let mut by_name: std::collections::BTreeMap<String, [CellOutcome; 3]> = Default::default();
+    for (syscall, cells) in parts.into_iter().flatten() {
+        if !table.iter().any(|exp| exp.syscall == syscall) {
+            return Err(PipelineError::ShardMerge {
+                detail: format!("foreign row `{syscall}` is not a Table 2 benchmark"),
+            });
+        }
+        if by_name.insert(syscall.clone(), cells).is_some() {
+            return Err(PipelineError::ShardMerge {
+                detail: format!("row `{syscall}` appears in more than one shard result"),
+            });
+        }
+    }
+    let mut rows = Vec::with_capacity(table.len());
+    let mut missing: Vec<&str> = Vec::new();
+    for exp in table {
+        match by_name.remove(exp.syscall) {
+            Some(cells) => rows.push((exp, cells)),
+            None => missing.push(exp.syscall),
+        }
+    }
+    if !missing.is_empty() {
+        return Err(PipelineError::ShardMerge {
+            detail: format!(
+                "{} row(s) missing from the shard results: {}",
+                missing.len(),
+                missing.join(", ")
+            ),
+        });
+    }
+    Ok(rows)
+}
+
+/// Driver for a sharded matrix run: plan `shard_count` shards, execute
+/// each through `worker` — typically a closure that spawns a worker
+/// *process* of the current executable and parses its partial-results
+/// artifact (see the `provshard` crate), but in-process workers work
+/// too — and deterministically merge the partial results.
+///
+/// Workers run concurrently via [`crate::par::par_map`], so with a
+/// process-spawning worker this drives N local worker processes at
+/// once.
+///
+/// # Errors
+///
+/// Planning errors, the first worker error (by shard order), or a merge
+/// error when the partials do not reassemble the full matrix.
+pub fn run_matrix_sharded<W>(
+    shard_count: usize,
+    worker: W,
+) -> Result<Vec<(crate::suite::Expectation, [CellOutcome; 3])>, PipelineError>
+where
+    W: Fn(&MatrixShard) -> Result<Vec<SummaryRow>, PipelineError> + Sync,
+{
+    let shards = plan_matrix_shards(shard_count)?;
+    let parts = crate::par::par_map(&shards, &worker);
+    let mut collected = Vec::with_capacity(parts.len());
+    for part in parts {
+        collected.push(part?);
+    }
+    merge_matrix_summaries(collected)
 }
 
 #[cfg(test)]
@@ -411,6 +664,145 @@ mod tests {
             run_benchmark(&mut inst, &spec, &opts),
             Err(PipelineError::NotEnoughTrials(1))
         ));
+    }
+
+    #[test]
+    fn shard_plan_covers_matrix_exactly_once() {
+        let rows = crate::suite::table2();
+        for shard_count in [1, 2, 3, 7, rows.len()] {
+            let shards = plan_matrix_shards(shard_count).unwrap();
+            assert_eq!(shards.len(), shard_count);
+            let mut seen: Vec<&str> = Vec::new();
+            for (i, shard) in shards.iter().enumerate() {
+                assert_eq!(shard.shard_index, i);
+                assert_eq!(shard.shard_count, shard_count);
+                // Round-robin: sizes differ by at most one.
+                assert!(shard.syscalls.len() >= rows.len() / shard_count);
+                assert!(shard.syscalls.len() <= rows.len().div_ceil(shard_count));
+                seen.extend(shard.syscalls.iter().map(String::as_str));
+                assert_eq!(*shard, plan_matrix_shard(shard_count, i).unwrap());
+            }
+            seen.sort_unstable();
+            let mut all: Vec<&str> = rows.iter().map(|e| e.syscall).collect();
+            all.sort_unstable();
+            assert_eq!(seen, all, "{shard_count} shards must partition the rows");
+        }
+    }
+
+    #[test]
+    fn shard_plan_validates_arguments() {
+        let rows = crate::suite::table2().len();
+        assert!(matches!(
+            plan_matrix_shards(0),
+            Err(PipelineError::InvalidShardCount { count: 0, .. })
+        ));
+        assert!(matches!(
+            plan_matrix_shards(rows + 1),
+            Err(PipelineError::InvalidShardCount { .. })
+        ));
+        assert!(matches!(
+            plan_matrix_shard(3, 3),
+            Err(PipelineError::InvalidShardIndex { index: 3, count: 3 })
+        ));
+        assert!(matches!(
+            plan_matrix_shard(0, 0),
+            Err(PipelineError::InvalidShardCount { .. })
+        ));
+        let err = plan_matrix_shard(3, 5).unwrap_err().to_string();
+        assert!(err.contains("--shard-index"), "actionable: {err}");
+    }
+
+    #[test]
+    fn unknown_benchmark_rejected_by_execute() {
+        let err = run_matrix_cells(
+            &["creat".to_owned(), "no_such_call".to_owned()],
+            &BenchmarkOptions::default(),
+            Some(100),
+        )
+        .unwrap_err();
+        assert!(
+            matches!(&err, PipelineError::UnknownBenchmark { name } if name == "no_such_call"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn merge_rejects_missing_duplicate_and_foreign_rows() {
+        let ok_cell = || CellOutcome {
+            status: "ok".to_owned(),
+            matching_cost: Some(0),
+            discarded_trials: Some(0),
+            result_size: Some(3),
+        };
+        let row = |name: &str| (name.to_owned(), [ok_cell(), ok_cell(), ok_cell()]);
+        // Missing almost everything.
+        let err = merge_matrix_summaries([vec![row("creat")]]).unwrap_err();
+        assert!(
+            matches!(&err, PipelineError::ShardMerge { detail } if detail.contains("missing")),
+            "{err}"
+        );
+        // Duplicate across shards.
+        let err = merge_matrix_summaries([vec![row("creat")], vec![row("creat")]]).unwrap_err();
+        assert!(
+            matches!(&err, PipelineError::ShardMerge { detail } if detail.contains("more than one")),
+            "{err}"
+        );
+        // Foreign row.
+        let err = merge_matrix_summaries([vec![row("not_a_syscall")]]).unwrap_err();
+        assert!(
+            matches!(&err, PipelineError::ShardMerge { detail } if detail.contains("foreign")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn sharded_subset_equals_single_process_cells() {
+        // Two rows executed as two one-row "shards" must summarize
+        // identically to the same rows from one execution (cells are
+        // per-cell deterministic), and the merge must reorder to
+        // canonical positions.
+        let opts = BenchmarkOptions::default();
+        let names: Vec<String> = vec!["creat".into(), "close".into()];
+        let single = run_matrix_cells(&names, &opts, Some(100)).unwrap();
+        let single_rows = summarize_rows(&single);
+        let part_a = run_matrix_cells(&names[..1], &opts, Some(100)).unwrap();
+        let part_b = run_matrix_cells(&names[1..], &opts, Some(100)).unwrap();
+        let mut sharded = summarize_rows(&part_b);
+        sharded.extend(summarize_rows(&part_a));
+        for (name, cells) in &single_rows {
+            let (_, other) = sharded
+                .iter()
+                .find(|(n, _)| n == name)
+                .expect("row present");
+            assert_eq!(cells, other, "{name}: sharded cell diverges");
+        }
+    }
+
+    #[test]
+    fn sharded_driver_runs_in_process_workers() {
+        // The driver with an in-process worker must produce the merged
+        // full matrix in canonical order. (The byte-identical subprocess
+        // version lives in the provshard crate's integration tests.)
+        let opts = BenchmarkOptions::default();
+        let merged = run_matrix_sharded(11, |shard: &MatrixShard| {
+            Ok(summarize_rows(&run_matrix_cells(
+                &shard.syscalls,
+                &opts,
+                Some(100),
+            )?))
+        })
+        .unwrap();
+        let table = crate::suite::table2();
+        assert_eq!(merged.len(), table.len());
+        for ((exp, _), want) in merged.iter().zip(&table) {
+            assert_eq!(exp.syscall, want.syscall, "canonical order restored");
+        }
+        // A worker error propagates.
+        let err = run_matrix_sharded(3, |_shard| {
+            Err::<Vec<SummaryRow>, _>(PipelineError::NotEnoughTrials(0))
+        })
+        .unwrap_err();
+        assert!(matches!(err, PipelineError::NotEnoughTrials(0)));
     }
 
     #[test]

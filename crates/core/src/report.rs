@@ -4,7 +4,7 @@
 
 use provgraph::{datalog, diff, dot, PropertyGraph};
 
-use crate::pipeline::BenchmarkRun;
+use crate::pipeline::{BenchmarkRun, CellOutcome};
 use crate::suite::{Expectation, ExpectedCell};
 use crate::tool::ToolKind;
 
@@ -19,32 +19,97 @@ pub struct CellResult {
     pub agrees: bool,
 }
 
+/// Marker appended to a matrix cell whose measurement disagrees with
+/// the paper's expectation.
+const MISMATCH_MARK: &str = "  << MISMATCH";
+
+/// One fixed-width matrix table row — the framing shared by every
+/// matrix renderer, so the layouts cannot drift apart.
+fn matrix_table_row(group: &dyn std::fmt::Display, syscall: &str, cells: [&str; 3]) -> String {
+    format!(
+        "{:<5} {:<10} | {:<22} | {:<22} | {:<22}\n",
+        group, syscall, cells[0], cells[1], cells[2]
+    )
+}
+
+/// The shared matrix table header (column labels + separator rule).
+fn matrix_table_header() -> String {
+    let mut out = matrix_table_row(&"Group", "syscall", ["SPADE", "OPUS", "CamFlow"]);
+    out.push_str(&"-".repeat(92));
+    out.push('\n');
+    out
+}
+
 /// Render the Table 2 matrix as fixed-width text.
 ///
 /// `rows` pairs each expectation with the measured cell strings in tool
 /// order (SPADE, OPUS, CamFlow).
 pub fn render_table2(rows: &[(Expectation, [CellResult; 3])]) -> String {
-    let mut out = String::new();
-    out.push_str(&format!(
-        "{:<5} {:<10} | {:<22} | {:<22} | {:<22}\n",
-        "Group", "syscall", "SPADE", "OPUS", "CamFlow"
-    ));
-    out.push_str(&"-".repeat(92));
-    out.push('\n');
+    let mut out = matrix_table_header();
     for (exp, cells) in rows {
         let fmt_cell = |c: &CellResult| {
-            let mark = if c.agrees { "" } else { "  << MISMATCH" };
+            let mark = if c.agrees { "" } else { MISMATCH_MARK };
             format!("{}{}", c.measured, mark)
         };
-        out.push_str(&format!(
-            "{:<5} {:<10} | {:<22} | {:<22} | {:<22}\n",
-            exp.group,
-            exp.syscall,
+        let rendered = [
             fmt_cell(&cells[0]),
             fmt_cell(&cells[1]),
             fmt_cell(&cells[2]),
+        ];
+        out.push_str(&matrix_table_row(
+            &exp.group,
+            exp.syscall,
+            [&rendered[0], &rendered[1], &rendered[2]],
         ));
     }
+    out
+}
+
+/// Render the full matrix report from summarized cells — the canonical
+/// output of a matrix run, shared by the single-process and sharded
+/// paths.
+///
+/// Deterministic by construction: cells carry only seeded-pipeline
+/// outcomes (status, matching cost, discarded trials, result size — no
+/// timings), and rows arrive in canonical Table 2 order from
+/// [`crate::pipeline::merge_matrix_summaries`] / [`crate::pipeline::run_matrix`].
+/// A sharded run's merged report is therefore **byte-identical** to the
+/// single-process report, which is exactly what the sharded smoke test
+/// asserts.
+pub fn render_matrix_report(rows: &[(Expectation, [CellOutcome; 3])]) -> String {
+    let mut out = matrix_table_header();
+    let mut agreeing = 0usize;
+    for (exp, cells) in rows {
+        let fmt_cell = |cell: &CellOutcome, expected: ExpectedCell| {
+            let agrees = cell.completed() && cell.is_ok() == expected.is_ok();
+            let mut text = cell.status.clone();
+            if let Some(cost) = cell.matching_cost {
+                text.push_str(&format!(" c{cost}"));
+            }
+            if let Some(d) = cell.discarded_trials.filter(|&d| d > 0) {
+                text.push_str(&format!(" d{d}"));
+            }
+            if !agrees {
+                text.push_str(MISMATCH_MARK);
+            }
+            (text, agrees)
+        };
+        let rendered: Vec<(String, bool)> = [exp.spade, exp.opus, exp.camflow]
+            .into_iter()
+            .zip(cells)
+            .map(|(expected, cell)| fmt_cell(cell, expected))
+            .collect();
+        agreeing += rendered.iter().filter(|(_, a)| *a).count();
+        out.push_str(&matrix_table_row(
+            &exp.group,
+            exp.syscall,
+            [&rendered[0].0, &rendered[1].0, &rendered[2].0],
+        ));
+    }
+    out.push_str(&format!(
+        "\nagreement with paper Table 2: {agreeing}/{} cells\n",
+        rows.len() * 3
+    ));
     out
 }
 
@@ -224,6 +289,35 @@ mod tests {
         assert!(html.contains("Generalized background"));
         assert!(!html.contains("<digraph"), "DOT must be escaped");
         assert!(html.contains("digraph benchmark"));
+    }
+
+    #[test]
+    fn matrix_report_renders_outcomes_and_agreement() {
+        let exp = suite::table2()[1]; // creat: ok everywhere
+        let ok = CellOutcome {
+            status: "ok".into(),
+            matching_cost: Some(2),
+            discarded_trials: Some(1),
+            result_size: Some(5),
+        };
+        let empty = CellOutcome {
+            status: "empty".into(),
+            matching_cost: Some(0),
+            discarded_trials: Some(0),
+            result_size: Some(0),
+        };
+        let errored = CellOutcome {
+            status: "error: benchmark `creat` failed".into(),
+            matching_cost: None,
+            discarded_trials: None,
+            result_size: None,
+        };
+        let text = render_matrix_report(&[(exp, [ok, empty, errored])]);
+        assert!(text.contains("creat"));
+        assert!(text.contains("ok c2 d1"), "{text}");
+        assert!(text.contains("empty c0  << MISMATCH"));
+        assert!(text.contains("error:"));
+        assert!(text.contains("agreement with paper Table 2: 1/3 cells"));
     }
 
     #[test]

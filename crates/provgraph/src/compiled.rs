@@ -122,7 +122,7 @@ const INTERN_CACHE_SIZE: usize = 512;
 #[derive(Debug, Clone)]
 pub struct Interner {
     map: FxHashMap<String, u32>,
-    strings: Vec<String>,
+    pub(crate) strings: Vec<String>,
     /// `(hash, symbol id + 1)` per slot; 0 = empty. Verified by a string
     /// compare before use, so collisions cost a probe, never a wrong id.
     cache: Vec<(u64, u32)>,
@@ -223,41 +223,41 @@ pub type DegreeSigEntry = (u8, Symbol, u32);
 /// to pay even for single-solve calls on small graphs.
 #[derive(Debug, Clone)]
 pub struct GraphCore {
-    node_labels: Vec<Symbol>,
-    edge_labels: Vec<Symbol>,
-    edge_src: Vec<u32>,
-    edge_tgt: Vec<u32>,
+    pub(crate) node_labels: Vec<Symbol>,
+    pub(crate) edge_labels: Vec<Symbol>,
+    pub(crate) edge_src: Vec<u32>,
+    pub(crate) edge_tgt: Vec<u32>,
     /// Flat sorted property rows: node v's row is
     /// `node_prop_data[node_prop_start[v]..node_prop_start[v+1]]`.
-    node_prop_start: Vec<u32>,
-    node_prop_data: Vec<(Symbol, Symbol)>,
-    edge_prop_start: Vec<u32>,
-    edge_prop_data: Vec<(Symbol, Symbol)>,
+    pub(crate) node_prop_start: Vec<u32>,
+    pub(crate) node_prop_data: Vec<(Symbol, Symbol)>,
+    pub(crate) edge_prop_start: Vec<u32>,
+    pub(crate) edge_prop_data: Vec<(Symbol, Symbol)>,
     /// CSR: out_edges[out_start[v]..out_start[v+1]] = edge indices with src v.
-    out_start: Vec<u32>,
-    out_edges: Vec<u32>,
+    pub(crate) out_start: Vec<u32>,
+    pub(crate) out_edges: Vec<u32>,
     /// CSR: in_edges[in_start[v]..in_start[v+1]] = edge indices with tgt v.
-    in_start: Vec<u32>,
-    in_edges: Vec<u32>,
+    pub(crate) in_start: Vec<u32>,
+    pub(crate) in_edges: Vec<u32>,
     /// Flat undirected neighbour lists, each row sorted and deduplicated.
-    neigh_start: Vec<u32>,
-    neigh_data: Vec<u32>,
+    pub(crate) neigh_start: Vec<u32>,
+    pub(crate) neigh_data: Vec<u32>,
     /// Flat per-node degree signatures, each row sorted by (direction, label).
-    sig_start: Vec<u32>,
-    sig_data: Vec<DegreeSigEntry>,
+    pub(crate) sig_start: Vec<u32>,
+    pub(crate) sig_data: Vec<DegreeSigEntry>,
     /// Sorted multiset of node labels (isomorphism-invariant).
-    node_label_multiset: Vec<Symbol>,
+    pub(crate) node_label_multiset: Vec<Symbol>,
     /// Sorted multiset of edge labels (isomorphism-invariant).
-    edge_label_multiset: Vec<Symbol>,
+    pub(crate) edge_label_multiset: Vec<Symbol>,
     /// Per-source adjacency runs: src v's entries are
     /// `pair_entries[pair_start[v]..pair_start[v+1]]`, sorted by target;
     /// each entry is `(tgt, counts_start, counts_end)` into
     /// `pair_label_counts`. Binary-searched by the solver's
     /// adjacency-consistency check — no hashing on the hot path.
-    pair_start: Vec<u32>,
-    pair_entries: Vec<(u32, u32, u32)>,
+    pub(crate) pair_start: Vec<u32>,
+    pub(crate) pair_entries: Vec<(u32, u32, u32)>,
     /// Per-label edge counts of all ordered pairs, each run sorted by label.
-    pair_label_counts: Vec<(Symbol, u32)>,
+    pub(crate) pair_label_counts: Vec<(Symbol, u32)>,
 }
 
 impl GraphCore {
@@ -293,6 +293,41 @@ impl GraphCore {
             intern_props_into(&edge.props, interner, &mut edge_prop_data);
             edge_prop_start.push(edge_prop_data.len() as u32);
         }
+
+        GraphCore::from_primaries(
+            node_labels,
+            edge_labels,
+            edge_src,
+            edge_tgt,
+            node_prop_start,
+            node_prop_data,
+            edge_prop_start,
+            edge_prop_data,
+        )
+    }
+
+    /// Assemble a core from its primary arrays — labels, endpoints and
+    /// sorted property rows — deriving every secondary section (CSR
+    /// adjacency, neighbour lists, degree signatures, label multisets,
+    /// per-pair label runs). [`GraphCore::compile`] is the interning
+    /// front end over this; `snapshot` restore uses it to cross-validate
+    /// a deserialized core's derived sections.
+    ///
+    /// Endpoints must be in range and the offset tables well-formed
+    /// (callers validate untrusted input first).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_primaries(
+        node_labels: Vec<Symbol>,
+        edge_labels: Vec<Symbol>,
+        edge_src: Vec<u32>,
+        edge_tgt: Vec<u32>,
+        node_prop_start: Vec<u32>,
+        node_prop_data: Vec<(Symbol, Symbol)>,
+        edge_prop_start: Vec<u32>,
+        edge_prop_data: Vec<(Symbol, Symbol)>,
+    ) -> GraphCore {
+        let n = node_labels.len();
+        let m = edge_labels.len();
 
         // CSR adjacency (counting sort by endpoint).
         let (out_start, out_edges) = csr(n, &edge_src);
@@ -606,11 +641,11 @@ impl NamedGraph for CompiledGraph<'_> {
 /// per-element offsets (no per-element `String` allocations).
 #[derive(Debug, Clone)]
 pub struct SessionGraph {
-    core: GraphCore,
-    node_id_bytes: String,
-    node_id_start: Vec<u32>,
-    edge_id_bytes: String,
-    edge_id_start: Vec<u32>,
+    pub(crate) core: GraphCore,
+    pub(crate) node_id_bytes: String,
+    pub(crate) node_id_start: Vec<u32>,
+    pub(crate) edge_id_bytes: String,
+    pub(crate) edge_id_start: Vec<u32>,
 }
 
 impl SessionGraph {
@@ -691,9 +726,9 @@ impl GraphId {
 /// Weisfeiler–Lehman fingerprints of one session graph, memoized at
 /// [`CorpusSession::add`] time.
 #[derive(Debug, Clone, Copy)]
-struct CachedFingerprints {
-    shape: u64,
-    full: u64,
+pub(crate) struct CachedFingerprints {
+    pub(crate) shape: u64,
+    pub(crate) full: u64,
 }
 
 /// A corpus of graphs compiled once against one **shared** interner.
@@ -731,11 +766,11 @@ struct CachedFingerprints {
 /// resolves dense indices back to the original identifiers for that.
 #[derive(Debug, Clone, Default)]
 pub struct CorpusSession {
-    interner: Interner,
-    graphs: Vec<SessionGraph>,
+    pub(crate) interner: Interner,
+    pub(crate) graphs: Vec<SessionGraph>,
     /// `fingerprints[id.index()]` caches the WL fingerprints of
     /// `graphs[id.index()]`, in lockstep with `graphs`.
-    fingerprints: Vec<CachedFingerprints>,
+    pub(crate) fingerprints: Vec<CachedFingerprints>,
 }
 
 impl CorpusSession {

@@ -24,6 +24,10 @@
 //!   exact solver confirms them.
 //! - [`compiled`] — the symbol-interned graph kernel: dense-id, CSR,
 //!   merge-friendly read-only views the matching solver runs on.
+//! - [`snapshot`] — versioned binary snapshots of whole
+//!   [`compiled::CorpusSession`]s (vocabulary, compiled arenas, memoized
+//!   fingerprints), so sessions can cross process or host boundaries and
+//!   rehydrate to solver-identical state.
 //! - [`par`] — the scoped-thread parallel map shared by the solver's
 //!   batch path and the pipeline's parallel stages.
 //!
@@ -77,6 +81,7 @@ pub mod dot;
 pub mod fingerprint;
 pub mod par;
 pub mod provjson;
+pub mod snapshot;
 
 pub use error::GraphError;
 pub use graph::{EdgeData, ElemId, Label, NodeData, PropertyGraph, Props};

@@ -1,0 +1,874 @@
+//! Versioned binary snapshots of [`CorpusSession`]s.
+//!
+//! A snapshot captures everything a session owns — the interner
+//! vocabulary, every compiled [`GraphCore`] arena (labels, edge
+//! endpoints, sorted property rows, CSR adjacency, neighbour lists,
+//! degree signatures, label multisets, per-pair label runs), the flat
+//! identifier arenas of each [`SessionGraph`], and the memoized
+//! Weisfeiler–Lehman fingerprints — so a worker process or remote host
+//! can rehydrate the session and solve over it **identically** to the
+//! process that built it: same symbols, same dense ids, same candidate
+//! orders, same search statistics. No recompilation happens on restore;
+//! the arenas are read back verbatim.
+//!
+//! # Wire format
+//!
+//! Little-endian throughout. The layout is a fixed header followed by
+//! length-prefixed sections:
+//!
+//! ```text
+//! magic      4 bytes   b"PMSS"
+//! version    u32       SNAPSHOT_VERSION
+//! checksum   u64       FxHash of every byte after this field
+//! strings    u32 count, then per string: u32 byte length + UTF-8 bytes
+//! graphs     u32 count, then per graph: the GraphCore arrays (each a
+//!            u32 length-prefixed array of u32 / u64 / tuple entries, in
+//!            a fixed field order) followed by the node/edge identifier
+//!            arenas (byte blob + offset table)
+//! prints     per graph: shape u64, full u64 (the memoized WL
+//!            fingerprints, re-checked on restore)
+//! ```
+//!
+//! # Versioning rules
+//!
+//! - `SNAPSHOT_VERSION` is bumped on **any** change to the byte layout
+//!   or to the meaning of a serialized field — there are no in-place
+//!   format extensions; readers reject every version other than their
+//!   own with [`SnapshotError::UnsupportedVersion`] rather than guess.
+//! - The magic precedes the version, so arbitrary files fail fast with
+//!   [`SnapshotError::BadMagic`] instead of a version error.
+//!
+//! # Integrity: a rehydrated session never silently solves differently
+//!
+//! Three independent layers reject a snapshot whose restore would not be
+//! observably identical to the serialized session, each with a typed
+//! [`SnapshotError`]:
+//!
+//! 1. **Payload checksum** — the header carries an FxHash of the entire
+//!    body, so any transit corruption (including of the identifier
+//!    arenas and the stored fingerprints, which no semantic check
+//!    covers) fails fast.
+//! 2. **Structural validation** — offset tables monotone and in bounds,
+//!    symbols within the vocabulary, endpoints within the node count,
+//!    identifier offsets on UTF-8 boundaries; restore never panics on
+//!    untrusted bytes.
+//! 3. **Semantic cross-validation** — every *derived* [`GraphCore`]
+//!    section (CSR adjacency, neighbour lists, degree signatures, label
+//!    multisets, per-pair label runs) is re-derived from the primary
+//!    arrays and compared, and both WL fingerprints are recomputed and
+//!    compared against the stored ones — an internally consistent but
+//!    wrong section (a buggy or malicious writer) cannot slip through
+//!    to change candidate filtering, feasibility pre-checks or
+//!    fingerprint bucketing.
+//!
+//! Symbols are interner-relative, so a snapshot is self-contained: the
+//! vocabulary travels with the graphs and restored sessions keep the
+//! exact symbol numbering (later [`CorpusSession::add`] calls extend the
+//! restored interner just as they would the original).
+
+use std::fmt;
+
+use crate::compiled::{
+    CachedFingerprints, CorpusSession, DegreeSigEntry, GraphCore, Interner, SessionGraph, Symbol,
+};
+use crate::fingerprint::{full_fingerprint_core, shape_fingerprint_core};
+
+/// Magic bytes opening every session snapshot.
+pub const SNAPSHOT_MAGIC: [u8; 4] = *b"PMSS";
+
+/// Current snapshot format version. Bumped on any byte-layout change;
+/// see the module docs for the versioning rules.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Failure to restore a snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SnapshotError {
+    /// The input does not start with [`SNAPSHOT_MAGIC`] — it is not a
+    /// session snapshot at all.
+    BadMagic,
+    /// The snapshot was written by a different format version.
+    UnsupportedVersion {
+        /// Version found in the header.
+        found: u32,
+        /// The only version this build reads.
+        supported: u32,
+    },
+    /// The input ended before the structure it promised was complete.
+    Truncated {
+        /// Byte offset at which more data was needed.
+        at: usize,
+    },
+    /// The input decoded structurally but violates a format invariant.
+    Corrupt {
+        /// What was violated.
+        detail: String,
+    },
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::BadMagic => {
+                write!(f, "not a session snapshot (missing PMSS magic)")
+            }
+            SnapshotError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "snapshot format version {found} is not supported (this build reads \
+                 version {supported}); re-create the snapshot with a matching build"
+            ),
+            SnapshotError::Truncated { at } => {
+                write!(f, "snapshot truncated at byte offset {at}")
+            }
+            SnapshotError::Corrupt { detail } => write!(f, "snapshot corrupt: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+fn corrupt(detail: impl Into<String>) -> SnapshotError {
+    SnapshotError::Corrupt {
+        detail: detail.into(),
+    }
+}
+
+/// FxHash of a byte run — the snapshot's payload checksum.
+fn payload_hash(bytes: &[u8]) -> u64 {
+    use std::hash::Hasher;
+    let mut h = crate::compiled::FxHasher::default();
+    h.write(bytes);
+    h.finish()
+}
+
+/// Serialize a session to the versioned binary snapshot format.
+pub fn snapshot_session(session: &CorpusSession) -> Vec<u8> {
+    let payload = snapshot_payload(session);
+    let mut out = Vec::with_capacity(payload.len() + 16);
+    out.extend_from_slice(&SNAPSHOT_MAGIC);
+    out.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+    out.extend_from_slice(&payload_hash(&payload).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// The snapshot body (everything after the checksum header).
+fn snapshot_payload(session: &CorpusSession) -> Vec<u8> {
+    let mut w = Writer::default();
+    w.u32(session.interner.strings.len() as u32);
+    for s in &session.interner.strings {
+        w.blob(s.as_bytes());
+    }
+    w.u32(session.graphs.len() as u32);
+    for g in &session.graphs {
+        write_core(&mut w, &g.core);
+        w.blob(g.node_id_bytes.as_bytes());
+        w.u32_slice(&g.node_id_start);
+        w.blob(g.edge_id_bytes.as_bytes());
+        w.u32_slice(&g.edge_id_start);
+    }
+    for fp in &session.fingerprints {
+        w.u64(fp.shape);
+        w.u64(fp.full);
+    }
+    w.bytes
+}
+
+/// Read just the header of a snapshot, returning its format version.
+///
+/// # Errors
+///
+/// [`SnapshotError::BadMagic`] / [`SnapshotError::Truncated`] when the
+/// input is not a snapshot header at all.
+pub fn peek_version(bytes: &[u8]) -> Result<u32, SnapshotError> {
+    let mut r = Reader { bytes, pos: 0 };
+    r.magic()?;
+    r.u32()
+}
+
+/// Rehydrate a session from snapshot bytes.
+///
+/// The restored session is observably identical to the one serialized:
+/// same interner numbering, same graph order and dense ids, same
+/// memoized fingerprints — so solver outcomes (including search
+/// statistics) over restored handles equal those over the originals.
+///
+/// # Errors
+///
+/// Every malformed input is rejected with a typed [`SnapshotError`]
+/// (wrong magic, unsupported version, truncation, or an invariant
+/// violation); restore never panics on untrusted bytes.
+pub fn restore_session(bytes: &[u8]) -> Result<CorpusSession, SnapshotError> {
+    let mut r = Reader { bytes, pos: 0 };
+    r.magic()?;
+    let version = r.u32()?;
+    if version != SNAPSHOT_VERSION {
+        return Err(SnapshotError::UnsupportedVersion {
+            found: version,
+            supported: SNAPSHOT_VERSION,
+        });
+    }
+    // Integrity layer 1: whole-payload checksum, before any parsing —
+    // transit corruption anywhere in the body (identifier arenas and
+    // stored fingerprints included) fails here.
+    let stored_hash = r.u64()?;
+    if payload_hash(&bytes[r.pos..]) != stored_hash {
+        return Err(corrupt(
+            "payload checksum mismatch — the snapshot was corrupted in transit",
+        ));
+    }
+
+    // Vocabulary: re-interning in order reproduces the exact symbol
+    // numbering and rebuilds the lookup structures.
+    let string_count = r.u32()? as usize;
+    let mut interner = Interner::new();
+    for i in 0..string_count {
+        let s = r.str_blob()?;
+        let sym = interner.intern(s);
+        if sym.0 as usize != i {
+            return Err(corrupt(format!(
+                "duplicate vocabulary entry {s:?} at position {i}"
+            )));
+        }
+    }
+
+    let graph_count = r.u32()? as usize;
+    let mut graphs = Vec::with_capacity(graph_count.min(1 << 16));
+    for gi in 0..graph_count {
+        let core = read_core(&mut r, interner.len() as u32).map_err(|e| prefix_graph(e, gi))?;
+        let node_id_bytes = r.str_blob()?.to_owned();
+        let node_id_start = r.u32_vec()?;
+        let edge_id_bytes = r.str_blob()?.to_owned();
+        let edge_id_start = r.u32_vec()?;
+        check_id_arena(&node_id_bytes, &node_id_start, core.node_count(), "node")
+            .map_err(|e| prefix_graph(e, gi))?;
+        check_id_arena(&edge_id_bytes, &edge_id_start, core.edge_count(), "edge")
+            .map_err(|e| prefix_graph(e, gi))?;
+        graphs.push(SessionGraph {
+            core,
+            node_id_bytes,
+            node_id_start,
+            edge_id_bytes,
+            edge_id_start,
+        });
+    }
+
+    let mut fingerprints = Vec::with_capacity(graphs.len());
+    for (gi, g) in graphs.iter().enumerate() {
+        let stored = CachedFingerprints {
+            shape: r.u64()?,
+            full: r.u64()?,
+        };
+        // Integrity layer 3b: the memoized fingerprints are a pure
+        // function of the core's primary arrays, so recomputing and
+        // comparing catches a writer whose stored fingerprints disagree
+        // with its arenas — restored bucketing and dense-solve grouping
+        // must behave exactly like the original session's.
+        let fresh = CachedFingerprints {
+            shape: shape_fingerprint_core(&g.core),
+            full: full_fingerprint_core(&g.core),
+        };
+        if stored.shape != fresh.shape || stored.full != fresh.full {
+            return Err(corrupt(format!(
+                "graph {gi}: stored WL fingerprints do not match the arenas"
+            )));
+        }
+        fingerprints.push(stored);
+    }
+    if r.pos != bytes.len() {
+        return Err(corrupt(format!(
+            "{} trailing bytes after the snapshot body",
+            bytes.len() - r.pos
+        )));
+    }
+    Ok(CorpusSession {
+        interner,
+        graphs,
+        fingerprints,
+    })
+}
+
+fn prefix_graph(e: SnapshotError, gi: usize) -> SnapshotError {
+    match e {
+        SnapshotError::Corrupt { detail } => corrupt(format!("graph {gi}: {detail}")),
+        other => other,
+    }
+}
+
+// ---------------------------------------------------------------------
+// GraphCore framing
+// ---------------------------------------------------------------------
+
+fn write_core(w: &mut Writer, core: &GraphCore) {
+    w.sym_slice(&core.node_labels);
+    w.sym_slice(&core.edge_labels);
+    w.u32_slice(&core.edge_src);
+    w.u32_slice(&core.edge_tgt);
+    w.u32_slice(&core.node_prop_start);
+    w.pair_slice(&core.node_prop_data);
+    w.u32_slice(&core.edge_prop_start);
+    w.pair_slice(&core.edge_prop_data);
+    w.u32_slice(&core.out_start);
+    w.u32_slice(&core.out_edges);
+    w.u32_slice(&core.in_start);
+    w.u32_slice(&core.in_edges);
+    w.u32_slice(&core.neigh_start);
+    w.u32_slice(&core.neigh_data);
+    w.u32_slice(&core.sig_start);
+    w.u32(core.sig_data.len() as u32);
+    for &(dir, label, count) in &core.sig_data {
+        w.bytes.push(dir);
+        w.u32(label.0);
+        w.u32(count);
+    }
+    w.sym_slice(&core.node_label_multiset);
+    w.sym_slice(&core.edge_label_multiset);
+    w.u32_slice(&core.pair_start);
+    w.u32(core.pair_entries.len() as u32);
+    for &(tgt, start, end) in &core.pair_entries {
+        w.u32(tgt);
+        w.u32(start);
+        w.u32(end);
+    }
+    w.u32(core.pair_label_counts.len() as u32);
+    for &(label, count) in &core.pair_label_counts {
+        w.u32(label.0);
+        w.u32(count);
+    }
+}
+
+fn read_core(r: &mut Reader<'_>, vocab: u32) -> Result<GraphCore, SnapshotError> {
+    let node_labels = r.sym_vec(vocab, "node label")?;
+    let edge_labels = r.sym_vec(vocab, "edge label")?;
+    let n = node_labels.len();
+    let m = edge_labels.len();
+    let edge_src = r.index_vec(n as u32, "edge source")?;
+    let edge_tgt = r.index_vec(n as u32, "edge target")?;
+    if edge_src.len() != m || edge_tgt.len() != m {
+        return Err(corrupt("edge endpoint arrays disagree with edge count"));
+    }
+    let node_prop_start = r.u32_vec()?;
+    let node_prop_data = r.pair_vec(vocab, "node property")?;
+    check_offsets(&node_prop_start, n, node_prop_data.len(), "node property")?;
+    let edge_prop_start = r.u32_vec()?;
+    let edge_prop_data = r.pair_vec(vocab, "edge property")?;
+    check_offsets(&edge_prop_start, m, edge_prop_data.len(), "edge property")?;
+    let out_start = r.u32_vec()?;
+    let out_edges = r.index_vec(m as u32, "out edge")?;
+    check_offsets(&out_start, n, out_edges.len(), "out adjacency")?;
+    let in_start = r.u32_vec()?;
+    let in_edges = r.index_vec(m as u32, "in edge")?;
+    check_offsets(&in_start, n, in_edges.len(), "in adjacency")?;
+    if out_edges.len() != m || in_edges.len() != m {
+        return Err(corrupt("CSR arrays do not partition the edges"));
+    }
+    let neigh_start = r.u32_vec()?;
+    let neigh_data = r.index_vec(n as u32, "neighbour")?;
+    check_offsets(&neigh_start, n, neigh_data.len(), "neighbour")?;
+    let sig_start = r.u32_vec()?;
+    let sig_len = r.u32()? as usize;
+    let mut sig_data: Vec<DegreeSigEntry> = Vec::with_capacity(sig_len.min(1 << 20));
+    for _ in 0..sig_len {
+        let dir = r.u8()?;
+        if dir > 1 {
+            return Err(corrupt(format!("degree-signature direction {dir}")));
+        }
+        let label = r.u32()?;
+        if label >= vocab {
+            return Err(corrupt("degree-signature label outside the vocabulary"));
+        }
+        let count = r.u32()?;
+        sig_data.push((dir, Symbol(label), count));
+    }
+    check_offsets(&sig_start, n, sig_data.len(), "degree signature")?;
+    let node_label_multiset = r.sym_vec(vocab, "node multiset label")?;
+    let edge_label_multiset = r.sym_vec(vocab, "edge multiset label")?;
+    if node_label_multiset.len() != n || edge_label_multiset.len() != m {
+        return Err(corrupt("label multiset sizes disagree with element counts"));
+    }
+    let pair_start = r.u32_vec()?;
+    let pair_len = r.u32()? as usize;
+    let mut pair_entries: Vec<(u32, u32, u32)> = Vec::with_capacity(pair_len.min(1 << 20));
+    for _ in 0..pair_len {
+        let tgt = r.u32()?;
+        if tgt >= n as u32 {
+            return Err(corrupt("pair entry target outside the node count"));
+        }
+        let start = r.u32()?;
+        let end = r.u32()?;
+        pair_entries.push((tgt, start, end));
+    }
+    check_offsets(&pair_start, n, pair_entries.len(), "pair entry")?;
+    let count_len = r.u32()? as usize;
+    let mut pair_label_counts: Vec<(Symbol, u32)> = Vec::with_capacity(count_len.min(1 << 20));
+    for _ in 0..count_len {
+        let label = r.u32()?;
+        if label >= vocab {
+            return Err(corrupt("pair label outside the vocabulary"));
+        }
+        pair_label_counts.push((Symbol(label), r.u32()?));
+    }
+    for &(_, start, end) in &pair_entries {
+        if start > end || end as usize > pair_label_counts.len() {
+            return Err(corrupt("pair entry count range out of bounds"));
+        }
+    }
+    let core = GraphCore {
+        node_labels,
+        edge_labels,
+        edge_src,
+        edge_tgt,
+        node_prop_start,
+        node_prop_data,
+        edge_prop_start,
+        edge_prop_data,
+        out_start,
+        out_edges,
+        in_start,
+        in_edges,
+        neigh_start,
+        neigh_data,
+        sig_start,
+        sig_data,
+        node_label_multiset,
+        edge_label_multiset,
+        pair_start,
+        pair_entries,
+        pair_label_counts,
+    };
+    check_derived_sections(&core)?;
+    Ok(core)
+}
+
+/// Integrity layer 3a: re-derive every secondary section from the
+/// primary arrays (exactly as [`GraphCore::compile`] would) and require
+/// equality. An internally consistent snapshot whose derived data lies
+/// about the graph — a degree-signature count, a reordered label
+/// multiset, a padded pair run — would change candidate filtering and
+/// feasibility pre-checks without tripping any bounds check or the WL
+/// fingerprints (which read only the primary arrays); this closes that
+/// hole.
+fn check_derived_sections(core: &GraphCore) -> Result<(), SnapshotError> {
+    let reference = GraphCore::from_primaries(
+        core.node_labels.clone(),
+        core.edge_labels.clone(),
+        core.edge_src.clone(),
+        core.edge_tgt.clone(),
+        core.node_prop_start.clone(),
+        core.node_prop_data.clone(),
+        core.edge_prop_start.clone(),
+        core.edge_prop_data.clone(),
+    );
+    let sections: [(&str, bool); 6] = [
+        (
+            "CSR adjacency",
+            core.out_start == reference.out_start
+                && core.out_edges == reference.out_edges
+                && core.in_start == reference.in_start
+                && core.in_edges == reference.in_edges,
+        ),
+        (
+            "neighbour lists",
+            core.neigh_start == reference.neigh_start && core.neigh_data == reference.neigh_data,
+        ),
+        (
+            "degree signatures",
+            core.sig_start == reference.sig_start && core.sig_data == reference.sig_data,
+        ),
+        (
+            "label multisets",
+            core.node_label_multiset == reference.node_label_multiset
+                && core.edge_label_multiset == reference.edge_label_multiset,
+        ),
+        ("pair runs", {
+            core.pair_start == reference.pair_start && core.pair_entries == reference.pair_entries
+        }),
+        (
+            "pair label counts",
+            core.pair_label_counts == reference.pair_label_counts,
+        ),
+    ];
+    for (what, ok) in sections {
+        if !ok {
+            return Err(corrupt(format!(
+                "derived section ({what}) disagrees with the primary arrays"
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Validate an offset table: `count + 1` entries, starting at 0, ending
+/// at `data_len`, monotone nondecreasing.
+fn check_offsets(
+    start: &[u32],
+    count: usize,
+    data_len: usize,
+    what: &str,
+) -> Result<(), SnapshotError> {
+    if start.len() != count + 1 {
+        return Err(corrupt(format!(
+            "{what} offset table has {} entries, expected {}",
+            start.len(),
+            count + 1
+        )));
+    }
+    if start[0] != 0 || start[count] as usize != data_len {
+        return Err(corrupt(format!(
+            "{what} offset table does not span its data"
+        )));
+    }
+    if start.windows(2).any(|w| w[0] > w[1]) {
+        return Err(corrupt(format!("{what} offset table not monotone")));
+    }
+    Ok(())
+}
+
+/// Validate an identifier arena: offsets span the byte blob and land on
+/// UTF-8 character boundaries (slicing is by byte offset).
+fn check_id_arena(
+    bytes: &str,
+    start: &[u32],
+    count: usize,
+    what: &str,
+) -> Result<(), SnapshotError> {
+    check_offsets(start, count, bytes.len(), &format!("{what} identifier"))?;
+    for &off in start {
+        if !bytes.is_char_boundary(off as usize) {
+            return Err(corrupt(format!(
+                "{what} identifier offset {off} not on a character boundary"
+            )));
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Byte-level reader/writer
+// ---------------------------------------------------------------------
+
+#[derive(Default)]
+struct Writer {
+    bytes: Vec<u8>,
+}
+
+impl Writer {
+    fn u32(&mut self, v: u32) {
+        self.bytes.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.bytes.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn blob(&mut self, b: &[u8]) {
+        self.u32(b.len() as u32);
+        self.bytes.extend_from_slice(b);
+    }
+
+    fn u32_slice(&mut self, v: &[u32]) {
+        self.u32(v.len() as u32);
+        for &x in v {
+            self.u32(x);
+        }
+    }
+
+    fn sym_slice(&mut self, v: &[Symbol]) {
+        self.u32(v.len() as u32);
+        for &s in v {
+            self.u32(s.0);
+        }
+    }
+
+    fn pair_slice(&mut self, v: &[(Symbol, Symbol)]) {
+        self.u32(v.len() as u32);
+        for &(k, val) in v {
+            self.u32(k.0);
+            self.u32(val.0);
+        }
+    }
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or(SnapshotError::Truncated { at: self.pos })?;
+        let out = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    fn magic(&mut self) -> Result<(), SnapshotError> {
+        if self.take(4).map_err(|_| SnapshotError::BadMagic)? != SNAPSHOT_MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        Ok(())
+    }
+
+    fn u8(&mut self) -> Result<u8, SnapshotError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, SnapshotError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self) -> Result<u64, SnapshotError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn str_blob(&mut self) -> Result<&'a str, SnapshotError> {
+        let len = self.u32()? as usize;
+        let at = self.pos;
+        std::str::from_utf8(self.take(len)?)
+            .map_err(|_| corrupt(format!("invalid UTF-8 in string blob at offset {at}")))
+    }
+
+    fn u32_vec(&mut self) -> Result<Vec<u32>, SnapshotError> {
+        let len = self.u32()? as usize;
+        let mut out = Vec::with_capacity(len.min(1 << 20));
+        for _ in 0..len {
+            out.push(self.u32()?);
+        }
+        Ok(out)
+    }
+
+    /// A `u32` vector whose every entry must be `< bound`.
+    fn index_vec(&mut self, bound: u32, what: &str) -> Result<Vec<u32>, SnapshotError> {
+        let v = self.u32_vec()?;
+        if v.iter().any(|&x| x >= bound) {
+            return Err(corrupt(format!("{what} index out of range")));
+        }
+        Ok(v)
+    }
+
+    fn sym_vec(&mut self, vocab: u32, what: &str) -> Result<Vec<Symbol>, SnapshotError> {
+        Ok(self
+            .index_vec(vocab, what)?
+            .into_iter()
+            .map(Symbol)
+            .collect())
+    }
+
+    fn pair_vec(&mut self, vocab: u32, what: &str) -> Result<Vec<(Symbol, Symbol)>, SnapshotError> {
+        let len = self.u32()? as usize;
+        let mut out = Vec::with_capacity(len.min(1 << 20));
+        for _ in 0..len {
+            let k = self.u32()?;
+            let v = self.u32()?;
+            if k >= vocab || v >= vocab {
+                return Err(corrupt(format!("{what} symbol outside the vocabulary")));
+            }
+            out.push((Symbol(k), Symbol(v)));
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PropertyGraph;
+
+    fn sample_session() -> CorpusSession {
+        let mut g1 = PropertyGraph::new();
+        g1.add_node("p0", "Process").unwrap();
+        g1.add_node("a0", "Artifact").unwrap();
+        g1.add_edge("e0", "p0", "a0", "Used").unwrap();
+        g1.add_edge("e1", "p0", "a0", "Used").unwrap();
+        g1.set_node_property("p0", "pid", "42").unwrap();
+        g1.set_edge_property("e0", "time", "7").unwrap();
+        let mut g2 = PropertyGraph::new();
+        g2.add_node("x", "Process").unwrap();
+        g2.add_node("höher", "Artifact").unwrap();
+        g2.add_edge("f", "höher", "x", "WasGeneratedBy").unwrap();
+        let mut session = CorpusSession::new();
+        session.add(&g1);
+        session.add(&g2);
+        session.add(&PropertyGraph::new());
+        session
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything_observable() {
+        let session = sample_session();
+        let bytes = snapshot_session(&session);
+        assert_eq!(peek_version(&bytes), Ok(SNAPSHOT_VERSION));
+        let restored = restore_session(&bytes).expect("round trip");
+        assert_eq!(restored.len(), session.len());
+        assert_eq!(restored.interner().len(), session.interner().len());
+        for id in session.ids() {
+            let (a, b) = (session.graph(id), restored.graph(id));
+            assert_eq!(a.node_count(), b.node_count());
+            assert_eq!(a.edge_count(), b.edge_count());
+            for v in 0..a.node_count() as u32 {
+                assert_eq!(a.node_id(v), b.node_id(v));
+                assert_eq!(a.node_label(v), b.node_label(v));
+                assert_eq!(a.node_props(v), b.node_props(v));
+                assert_eq!(a.degree_sig(v), b.degree_sig(v));
+                assert_eq!(a.neighbours(v), b.neighbours(v));
+            }
+            for e in 0..a.edge_count() as u32 {
+                assert_eq!(a.edge_id(e), b.edge_id(e));
+                assert_eq!(a.edge_label(e), b.edge_label(e));
+                assert_eq!(a.edge_src(e), b.edge_src(e));
+                assert_eq!(a.edge_tgt(e), b.edge_tgt(e));
+                assert_eq!(a.edge_props(e), b.edge_props(e));
+            }
+            assert_eq!(
+                session.shape_fingerprint(id),
+                restored.shape_fingerprint(id)
+            );
+            assert_eq!(session.full_fingerprint(id), restored.full_fingerprint(id));
+        }
+        // A re-snapshot of the restored session is byte-identical.
+        assert_eq!(snapshot_session(&restored), bytes);
+    }
+
+    #[test]
+    fn restored_session_keeps_interning() {
+        let session = sample_session();
+        let bytes = snapshot_session(&session);
+        let mut restored = restore_session(&bytes).unwrap();
+        // The restored interner resolves the original vocabulary…
+        let used = restored.interner().get("Used").expect("vocabulary kept");
+        assert_eq!(restored.interner().resolve(used), "Used");
+        // …and keeps growing normally.
+        let mut extra = PropertyGraph::new();
+        extra.add_node("new", "Process").unwrap();
+        extra.add_node("other", "FreshLabel").unwrap();
+        let id = restored.add(&extra);
+        assert_eq!(restored.graph(id).node_count(), 2);
+    }
+
+    #[test]
+    fn empty_session_roundtrips() {
+        let session = CorpusSession::new();
+        let restored = restore_session(&snapshot_session(&session)).unwrap();
+        assert!(restored.is_empty());
+        assert!(restored.interner().is_empty());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert_eq!(
+            restore_session(b"nope").unwrap_err(),
+            SnapshotError::BadMagic
+        );
+        assert_eq!(restore_session(b"").unwrap_err(), SnapshotError::BadMagic);
+        let mut bytes = snapshot_session(&sample_session());
+        bytes[0] = b'X';
+        assert_eq!(
+            restore_session(&bytes).unwrap_err(),
+            SnapshotError::BadMagic
+        );
+    }
+
+    #[test]
+    fn unsupported_version_rejected_with_actionable_message() {
+        let mut bytes = snapshot_session(&sample_session());
+        bytes[4..8].copy_from_slice(&99u32.to_le_bytes());
+        let err = restore_session(&bytes).unwrap_err();
+        assert_eq!(
+            err,
+            SnapshotError::UnsupportedVersion {
+                found: 99,
+                supported: SNAPSHOT_VERSION
+            }
+        );
+        assert!(err.to_string().contains("version 99"));
+        assert!(err.to_string().contains("re-create"));
+    }
+
+    #[test]
+    fn truncation_rejected_at_every_prefix() {
+        let bytes = snapshot_session(&sample_session());
+        for cut in 0..bytes.len() {
+            let err = restore_session(&bytes[..cut]).expect_err("prefix must fail");
+            assert!(
+                matches!(
+                    err,
+                    SnapshotError::BadMagic
+                        | SnapshotError::Truncated { .. }
+                        | SnapshotError::Corrupt { .. }
+                ),
+                "unexpected error at cut {cut}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_rejected() {
+        let session = sample_session();
+        let clean = snapshot_session(&session);
+        // The payload checksum covers the whole body (identifier arenas
+        // and stored fingerprints included), the version field rejects
+        // itself, and the magic rejects itself — so no single-byte flip
+        // anywhere may restore successfully.
+        for pos in 0..clean.len() {
+            let mut bytes = clean.clone();
+            bytes[pos] ^= 0x01;
+            assert!(
+                restore_session(&bytes).is_err(),
+                "flip at byte {pos} restored successfully"
+            );
+        }
+    }
+
+    #[test]
+    fn internally_consistent_but_wrong_derived_section_rejected() {
+        // A buggy/malicious writer can produce a snapshot whose checksum
+        // and structure are fine but whose derived arrays lie about the
+        // graph. Tamper with the in-memory session (so the re-serialized
+        // checksum is consistent) and require the semantic layer to
+        // refuse it.
+        let mut session = sample_session();
+        let multiset = &mut session.graphs[0].core.node_label_multiset;
+        assert!(multiset.windows(2).any(|w| w[0] != w[1]), "needs 2 labels");
+        multiset.reverse(); // no longer sorted ⇒ differs from derivation
+        let err = restore_session(&snapshot_session(&session)).unwrap_err();
+        assert!(
+            matches!(&err, SnapshotError::Corrupt { detail }
+                if detail.contains("derived section") && detail.contains("multiset")),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn stored_fingerprints_disagreeing_with_arenas_rejected() {
+        // Same writer-side tampering, but on a *primary* array the
+        // derived sections do not depend on: a property value swap is
+        // only visible to the full WL fingerprint.
+        let mut session = sample_session();
+        let row_val = &mut session.graphs[0].core.node_prop_data[0].1;
+        *row_val = Symbol(if row_val.0 == 0 { 1 } else { 0 });
+        let err = restore_session(&snapshot_session(&session)).unwrap_err();
+        assert!(
+            matches!(&err, SnapshotError::Corrupt { detail }
+                if detail.contains("fingerprints")),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut bytes = snapshot_session(&sample_session());
+        bytes.push(0);
+        assert!(matches!(
+            restore_session(&bytes),
+            Err(SnapshotError::Corrupt { .. })
+        ));
+    }
+}

@@ -1,0 +1,250 @@
+//! `provmark-shard` — the sharded Table 2 matrix runner.
+//!
+//! ```text
+//! provmark-shard plan    --shards N [--shard-index i] --out-dir DIR [--quick] [--trials T] [--seed S]
+//! provmark-shard execute MANIFEST --out PARTIAL
+//! provmark-shard merge   PARTIAL... --out REPORT
+//! provmark-shard single  [--quick] [--trials T] [--seed S] --out REPORT
+//! provmark-shard drive   --shards N [--quick] [--trials T] [--seed S] --out REPORT [--work-dir DIR]
+//! ```
+//!
+//! `plan` writes self-describing shard manifests (one per shard, or just
+//! shard `i` with `--shard-index`); `execute` runs one manifest through
+//! the pipeline and writes its partial-results artifact; `merge`
+//! deterministically reassembles partials into the canonical matrix
+//! report; `single` runs the whole matrix in one process and writes the
+//! byte-identical reference report; `drive` does plan → N concurrent
+//! worker *processes* of this executable → merge in one invocation.
+//!
+//! All argument and artifact validation surfaces typed pipeline errors
+//! with actionable messages (exit code 2 for usage errors, 1 for
+//! pipeline failures).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use provmark_core::pipeline::plan_matrix_shard;
+use provmark_core::PipelineError;
+use provshard::{
+    drive_local, execute, merge, plan, single_report, PartialResults, RunConfig, ShardManifest,
+};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: provmark-shard <command> [options]\n\
+         \n\
+         commands:\n\
+         \x20 plan    --shards N [--shard-index i] --out-dir DIR [run options]\n\
+         \x20 execute MANIFEST --out PARTIAL\n\
+         \x20 merge   PARTIAL... --out REPORT\n\
+         \x20 single  --out REPORT [run options]\n\
+         \x20 drive   --shards N --out REPORT [--work-dir DIR] [run options]\n\
+         \n\
+         run options: --quick (scaled-down simulated OPUS startup),\n\
+         \x20          --trials T (default 2), --seed S (default 1)"
+    );
+    ExitCode::from(2)
+}
+
+/// Shared CLI state collected from the argument list.
+#[derive(Default)]
+struct Args {
+    shards: Option<usize>,
+    shard_index: Option<usize>,
+    out: Option<PathBuf>,
+    out_dir: Option<PathBuf>,
+    work_dir: Option<PathBuf>,
+    quick: bool,
+    trials: Option<usize>,
+    seed: Option<u64>,
+    positional: Vec<PathBuf>,
+}
+
+fn parse_args(raw: &[String]) -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = raw.iter();
+    let value = |flag: &str, it: &mut std::slice::Iter<'_, String>| {
+        it.next()
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--shards" => {
+                args.shards = Some(
+                    value("--shards", &mut it)?
+                        .parse()
+                        .map_err(|_| "--shards needs a positive integer".to_owned())?,
+                )
+            }
+            "--shard-index" => {
+                args.shard_index = Some(
+                    value("--shard-index", &mut it)?
+                        .parse()
+                        .map_err(|_| "--shard-index needs a non-negative integer".to_owned())?,
+                )
+            }
+            "--out" => args.out = Some(PathBuf::from(value("--out", &mut it)?)),
+            "--out-dir" => args.out_dir = Some(PathBuf::from(value("--out-dir", &mut it)?)),
+            "--work-dir" => args.work_dir = Some(PathBuf::from(value("--work-dir", &mut it)?)),
+            "--quick" => args.quick = true,
+            "--trials" => {
+                args.trials = Some(
+                    value("--trials", &mut it)?
+                        .parse()
+                        .map_err(|_| "--trials needs a positive integer".to_owned())?,
+                )
+            }
+            "--seed" => {
+                args.seed = Some(
+                    value("--seed", &mut it)?
+                        .parse()
+                        .map_err(|_| "--seed needs a non-negative integer".to_owned())?,
+                )
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
+            path => args.positional.push(PathBuf::from(path)),
+        }
+    }
+    Ok(args)
+}
+
+impl Args {
+    fn config(&self) -> RunConfig {
+        let mut config = if self.quick {
+            RunConfig::quick()
+        } else {
+            RunConfig::full()
+        };
+        if let Some(trials) = self.trials {
+            config.opts.trials = trials;
+        }
+        if let Some(seed) = self.seed {
+            config.opts.base_seed = seed;
+        }
+        config
+    }
+}
+
+fn run(command: &str, args: &Args) -> Result<(), PipelineError> {
+    match command {
+        "plan" => {
+            let shards = args.shards.ok_or(missing("--shards"))?;
+            let out_dir = args.out_dir.clone().ok_or(missing("--out-dir"))?;
+            std::fs::create_dir_all(&out_dir)?;
+            let manifests: Vec<ShardManifest> = match args.shard_index {
+                // Validates the index against the count with the typed
+                // pipeline errors before any file is written.
+                Some(index) => {
+                    plan_matrix_shard(shards, index)?;
+                    vec![plan(shards, &args.config())?.swap_remove(index)]
+                }
+                None => plan(shards, &args.config())?,
+            };
+            for manifest in &manifests {
+                let path = out_dir.join(format!("shard-{}.json", manifest.shard.shard_index));
+                std::fs::write(&path, manifest.to_json_string())?;
+                println!(
+                    "planned shard {}/{} ({} rows) -> {}",
+                    manifest.shard.shard_index,
+                    manifest.shard.shard_count,
+                    manifest.shard.syscalls.len(),
+                    path.display()
+                );
+            }
+            Ok(())
+        }
+        "execute" => {
+            let [manifest_path] = args.positional.as_slice() else {
+                return Err(missing("exactly one MANIFEST path"));
+            };
+            let out = args.out.clone().ok_or(missing("--out"))?;
+            let manifest = ShardManifest::from_json_str(&std::fs::read_to_string(manifest_path)?)?;
+            let partial = execute(&manifest)?;
+            std::fs::write(&out, partial.to_json_string())?;
+            println!(
+                "executed shard {}/{} ({} rows) -> {}",
+                partial.shard_index,
+                partial.shard_count,
+                partial.rows.len(),
+                out.display()
+            );
+            Ok(())
+        }
+        "merge" => {
+            if args.positional.is_empty() {
+                return Err(missing("at least one PARTIAL path"));
+            }
+            let out = args.out.clone().ok_or(missing("--out"))?;
+            let parts = args
+                .positional
+                .iter()
+                .map(|p| PartialResults::from_json_str(&std::fs::read_to_string(p)?))
+                .collect::<Result<Vec<_>, _>>()?;
+            let report = merge(parts)?;
+            std::fs::write(&out, &report)?;
+            println!(
+                "merged {} partial(s) -> {}",
+                args.positional.len(),
+                out.display()
+            );
+            Ok(())
+        }
+        "single" => {
+            let out = args.out.clone().ok_or(missing("--out"))?;
+            let report = single_report(&args.config());
+            std::fs::write(&out, &report)?;
+            println!("single-process matrix -> {}", out.display());
+            Ok(())
+        }
+        "drive" => {
+            let shards = args.shards.ok_or(missing("--shards"))?;
+            let out = args.out.clone().ok_or(missing("--out"))?;
+            let work_dir = args.work_dir.clone().unwrap_or_else(|| {
+                std::env::temp_dir().join(format!("provmark-shard-{}", std::process::id()))
+            });
+            let report = drive_local(shards, &args.config(), &work_dir)?;
+            std::fs::write(&out, &report)?;
+            println!(
+                "drove {shards} worker process(es) (artifacts in {}) -> {}",
+                work_dir.display(),
+                out.display()
+            );
+            Ok(())
+        }
+        other => Err(PipelineError::ShardArtifact {
+            detail: format!("unknown command `{other}`"),
+        }),
+    }
+}
+
+fn missing(what: &str) -> PipelineError {
+    PipelineError::ShardArtifact {
+        detail: format!("missing {what}"),
+    }
+}
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = raw.split_first() else {
+        return usage();
+    };
+    let args = match parse_args(rest) {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("provmark-shard: {message}");
+            return usage();
+        }
+    };
+    match run(command, &args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(PipelineError::ShardArtifact { detail }) if detail.starts_with("missing ") => {
+            eprintln!("provmark-shard {command}: {detail}");
+            usage()
+        }
+        Err(e) => {
+            eprintln!("provmark-shard {command}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

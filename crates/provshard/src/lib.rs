@@ -1,0 +1,777 @@
+//! Sharded Table 2 matrix runner: the distribution layer over
+//! `provmark_core`'s plan / execute / merge pipeline split.
+//!
+//! A matrix run is bounded by one process no matter how many cores or
+//! machines are available; this crate makes it distributable with three
+//! self-describing, versioned JSON artifacts and a worker binary:
+//!
+//! 1. **Plan** — [`plan`] splits the matrix into [`ShardManifest`]s:
+//!    each names the rows one worker executes plus the complete run
+//!    configuration (trials, seed, noise, filtering, simulated OPUS
+//!    startup cost), so a manifest alone fully determines a worker's
+//!    work — no shared state, no ambient configuration.
+//! 2. **Execute** — the `provmark-shard` binary (or [`execute`]
+//!    in-process) runs one manifest's cells through the ordinary
+//!    pipeline and emits a [`PartialResults`] artifact of per-cell
+//!    [`CellOutcome`]s. Cells are seeded and per-cell deterministic, so
+//!    a shard's cells equal the same cells of a single-process run
+//!    regardless of which host executed them.
+//! 3. **Merge** — [`merge`] reassembles partials through
+//!    `provmark_core`'s deterministic merge and renders the canonical
+//!    matrix report, **byte-identical** to the single-process
+//!    [`single_report`] (asserted by this crate's integration tests and
+//!    the CI sharded smoke).
+//!
+//! [`drive_local`] is the local driver mode: it plans, spawns N worker
+//! *processes* of the current executable (`provmark-shard execute …`)
+//! concurrently through `pipeline::run_matrix_sharded`, and merges
+//! their artifacts.
+//!
+//! # Artifact versioning
+//!
+//! Both artifact kinds carry a `format` tag and a `version` number
+//! ([`MANIFEST_VERSION`] / [`PARTIAL_VERSION`]), plus the
+//! [`provgraph::snapshot::SNAPSHOT_VERSION`] of the session snapshot
+//! format in effect, so heterogeneous runner fleets detect skew up
+//! front: readers reject any other format/version with typed
+//! [`PipelineError`]s instead of guessing (same rule as the snapshot
+//! format itself — no in-place extensions, every layout change bumps
+//! the version).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::path::Path;
+use std::process::Command;
+
+use provmark_core::pipeline::{
+    self, merge_matrix_summaries, plan_matrix_shards, run_matrix_cells, summarize_rows,
+    CellOutcome, MatrixShard, SummaryRow,
+};
+use provmark_core::report::render_matrix_report;
+use provmark_core::{BenchmarkOptions, PipelineError};
+use serde_json::{Map, Value};
+
+/// Version of the shard-manifest JSON layout.
+pub const MANIFEST_VERSION: u32 = 1;
+
+/// Version of the partial-results JSON layout.
+pub const PARTIAL_VERSION: u32 = 1;
+
+/// Simulated OPUS Neo4j startup iterations used by `--quick` runs (the
+/// CI smoke configuration; same scale as the tier-1 matrix test).
+pub const QUICK_OPUS_DB_ITERATIONS: u64 = 500;
+
+/// The full configuration of a matrix run, shipped inside every
+/// manifest so workers need nothing but the artifact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunConfig {
+    /// Pipeline options (trials, seed, noise, filtering).
+    pub opts: BenchmarkOptions,
+    /// Simulated OPUS Neo4j startup override (`None` = tool default).
+    pub opus_db_iterations: Option<u64>,
+}
+
+impl RunConfig {
+    /// The default (full-cost) configuration.
+    pub fn full() -> Self {
+        RunConfig {
+            opts: BenchmarkOptions::default(),
+            opus_db_iterations: None,
+        }
+    }
+
+    /// The `--quick` configuration: default options with the simulated
+    /// Neo4j startup scaled down ([`QUICK_OPUS_DB_ITERATIONS`]).
+    pub fn quick() -> Self {
+        RunConfig {
+            opts: BenchmarkOptions::default(),
+            opus_db_iterations: Some(QUICK_OPUS_DB_ITERATIONS),
+        }
+    }
+}
+
+/// A self-describing shard manifest: one worker's complete assignment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardManifest {
+    /// The planned shard (index, count, row names).
+    pub shard: MatrixShard,
+    /// The run configuration every shard of the plan shares.
+    pub config: RunConfig,
+}
+
+impl ShardManifest {
+    /// Render as the versioned manifest JSON document.
+    pub fn to_json_string(&self) -> String {
+        let mut doc = Map::new();
+        doc.insert(
+            "format".into(),
+            Value::String("provmark-shard-manifest".into()),
+        );
+        doc.insert("version".into(), Value::Number(MANIFEST_VERSION as f64));
+        doc.insert(
+            "snapshot_format_version".into(),
+            Value::Number(provgraph::snapshot::SNAPSHOT_VERSION as f64),
+        );
+        doc.insert(
+            "shard_index".into(),
+            Value::Number(self.shard.shard_index as f64),
+        );
+        doc.insert(
+            "shard_count".into(),
+            Value::Number(self.shard.shard_count as f64),
+        );
+        doc.insert(
+            "syscalls".into(),
+            Value::Array(
+                self.shard
+                    .syscalls
+                    .iter()
+                    .map(|s| Value::String(s.clone()))
+                    .collect(),
+            ),
+        );
+        insert_config(&mut doc, &self.config);
+        serde_json::to_string_pretty(&Value::Object(doc)).expect("manifest serializes")
+    }
+
+    /// Parse and validate a manifest document.
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::ShardArtifact`] on malformed JSON, a wrong
+    /// format tag, an unsupported manifest version or missing fields;
+    /// [`PipelineError::Snapshot`] when the manifest was produced
+    /// against a different session-snapshot format version (runner
+    /// skew).
+    pub fn from_json_str(text: &str) -> Result<ShardManifest, PipelineError> {
+        let doc: Value = serde_json::from_str(text)
+            .map_err(|e| artifact(format!("manifest is not valid JSON: {e}")))?;
+        check_header(&doc, "provmark-shard-manifest", MANIFEST_VERSION)?;
+        let shard = MatrixShard {
+            shard_index: get_usize(&doc, "shard_index")?,
+            shard_count: get_usize(&doc, "shard_count")?,
+            syscalls: match &doc["syscalls"] {
+                Value::Array(items) => items
+                    .iter()
+                    .map(|v| {
+                        v.as_str()
+                            .map(str::to_owned)
+                            .ok_or_else(|| artifact("manifest field `syscalls` must hold strings"))
+                    })
+                    .collect::<Result<_, _>>()?,
+                _ => return Err(artifact("manifest field `syscalls` must be an array")),
+            },
+        };
+        if shard.shard_index >= shard.shard_count {
+            return Err(PipelineError::InvalidShardIndex {
+                index: shard.shard_index,
+                count: shard.shard_count,
+            });
+        }
+        Ok(ShardManifest {
+            shard,
+            config: extract_config(&doc)?,
+        })
+    }
+}
+
+/// Write the run configuration into an artifact document — shared by
+/// manifests and partials, so the merge can verify that every partial
+/// was produced under one configuration.
+///
+/// The seed is serialized as a **string**: the vendored JSON shim backs
+/// numbers with `f64`, which would silently round seeds above 2^53.
+fn insert_config(doc: &mut Map<String, Value>, config: &RunConfig) {
+    let mut options = Map::new();
+    options.insert("trials".into(), Value::Number(config.opts.trials as f64));
+    options.insert(
+        "base_seed".into(),
+        Value::String(config.opts.base_seed.to_string()),
+    );
+    options.insert("noise".into(), Value::Bool(config.opts.noise));
+    options.insert(
+        "filter_graphs".into(),
+        Value::Bool(config.opts.filter_graphs),
+    );
+    doc.insert("options".into(), Value::Object(options));
+    doc.insert(
+        "opus_db_iterations".into(),
+        config
+            .opus_db_iterations
+            .map_or(Value::Null, |n| Value::Number(n as f64)),
+    );
+}
+
+/// Parse the run configuration back out of an artifact document.
+fn extract_config(doc: &Value) -> Result<RunConfig, PipelineError> {
+    let options = &doc["options"];
+    let base_seed: u64 = options["base_seed"]
+        .as_str()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| artifact("field `base_seed` must be a u64 encoded as a string"))?;
+    let opts = BenchmarkOptions {
+        trials: get_usize(options, "trials")?,
+        base_seed,
+        noise: get_bool(options, "noise")?,
+        filter_graphs: get_bool(options, "filter_graphs")?,
+    };
+    let opus_db_iterations = match &doc["opus_db_iterations"] {
+        Value::Null => None,
+        v => Some(
+            v.as_f64()
+                .filter(|n| *n >= 0.0 && n.fract() == 0.0)
+                .ok_or_else(|| {
+                    artifact("field `opus_db_iterations` must be a non-negative integer or null")
+                })? as u64,
+        ),
+    };
+    Ok(RunConfig {
+        opts,
+        opus_db_iterations,
+    })
+}
+
+/// The partial-results artifact one worker emits: the summarized rows
+/// of its shard.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartialResults {
+    /// Index of the shard these rows came from.
+    pub shard_index: usize,
+    /// Shard count of the plan the shard belonged to.
+    pub shard_count: usize,
+    /// The run configuration the cells were measured under (copied from
+    /// the manifest) — [`merge`] refuses partials whose configurations
+    /// disagree, so shards of different plans cannot be silently mixed
+    /// into a chimera report.
+    pub config: RunConfig,
+    /// Summarized matrix rows, in the shard's execution order.
+    pub rows: Vec<SummaryRow>,
+}
+
+impl PartialResults {
+    /// Render as the versioned partial-results JSON document.
+    pub fn to_json_string(&self) -> String {
+        let mut doc = Map::new();
+        doc.insert(
+            "format".into(),
+            Value::String("provmark-shard-partial".into()),
+        );
+        doc.insert("version".into(), Value::Number(PARTIAL_VERSION as f64));
+        doc.insert(
+            "snapshot_format_version".into(),
+            Value::Number(provgraph::snapshot::SNAPSHOT_VERSION as f64),
+        );
+        doc.insert("shard_index".into(), Value::Number(self.shard_index as f64));
+        doc.insert("shard_count".into(), Value::Number(self.shard_count as f64));
+        insert_config(&mut doc, &self.config);
+        let rows: Vec<Value> = self
+            .rows
+            .iter()
+            .map(|(syscall, cells)| {
+                let mut row = Map::new();
+                row.insert("syscall".into(), Value::String(syscall.clone()));
+                row.insert(
+                    "cells".into(),
+                    Value::Array(cells.iter().map(cell_to_json).collect()),
+                );
+                Value::Object(row)
+            })
+            .collect();
+        doc.insert("rows".into(), Value::Array(rows));
+        serde_json::to_string_pretty(&Value::Object(doc)).expect("partial serializes")
+    }
+
+    /// Parse and validate a partial-results document.
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::ShardArtifact`] / [`PipelineError::Snapshot`] on
+    /// the same header conditions as [`ShardManifest::from_json_str`].
+    pub fn from_json_str(text: &str) -> Result<PartialResults, PipelineError> {
+        let doc: Value = serde_json::from_str(text)
+            .map_err(|e| artifact(format!("partial results are not valid JSON: {e}")))?;
+        check_header(&doc, "provmark-shard-partial", PARTIAL_VERSION)?;
+        let rows = match &doc["rows"] {
+            Value::Array(items) => items
+                .iter()
+                .map(|row| {
+                    let syscall = row["syscall"]
+                        .as_str()
+                        .ok_or_else(|| artifact("row is missing `syscall`"))?
+                        .to_owned();
+                    let cells = match &row["cells"] {
+                        Value::Array(cells) if cells.len() == 3 => {
+                            let parsed: Vec<CellOutcome> =
+                                cells.iter().map(cell_from_json).collect::<Result<_, _>>()?;
+                            <[CellOutcome; 3]>::try_from(parsed).expect("length checked")
+                        }
+                        _ => {
+                            return Err(artifact(format!(
+                                "row `{syscall}` must carry exactly 3 cells"
+                            )))
+                        }
+                    };
+                    Ok((syscall, cells))
+                })
+                .collect::<Result<_, PipelineError>>()?,
+            _ => return Err(artifact("partial field `rows` must be an array")),
+        };
+        Ok(PartialResults {
+            shard_index: get_usize(&doc, "shard_index")?,
+            shard_count: get_usize(&doc, "shard_count")?,
+            config: extract_config(&doc)?,
+            rows,
+        })
+    }
+}
+
+fn cell_to_json(cell: &CellOutcome) -> Value {
+    let mut c = Map::new();
+    c.insert("status".into(), Value::String(cell.status.clone()));
+    c.insert(
+        "matching_cost".into(),
+        cell.matching_cost
+            .map_or(Value::Null, |v| Value::Number(v as f64)),
+    );
+    c.insert(
+        "discarded_trials".into(),
+        cell.discarded_trials
+            .map_or(Value::Null, |v| Value::Number(v as f64)),
+    );
+    c.insert(
+        "result_size".into(),
+        cell.result_size
+            .map_or(Value::Null, |v| Value::Number(v as f64)),
+    );
+    Value::Object(c)
+}
+
+fn cell_from_json(v: &Value) -> Result<CellOutcome, PipelineError> {
+    let opt = |field: &str| -> Result<Option<u64>, PipelineError> {
+        match &v[field] {
+            Value::Null => Ok(None),
+            x => x
+                .as_f64()
+                .filter(|n| *n >= 0.0 && n.fract() == 0.0)
+                .map(|n| Some(n as u64))
+                .ok_or_else(|| {
+                    artifact(format!(
+                        "cell field `{field}` must be a non-negative integer or null"
+                    ))
+                }),
+        }
+    };
+    Ok(CellOutcome {
+        status: v["status"]
+            .as_str()
+            .ok_or_else(|| artifact("cell is missing `status`"))?
+            .to_owned(),
+        matching_cost: opt("matching_cost")?,
+        discarded_trials: opt("discarded_trials")?.map(|x| x as usize),
+        result_size: opt("result_size")?.map(|x| x as usize),
+    })
+}
+
+fn artifact(detail: impl Into<String>) -> PipelineError {
+    PipelineError::ShardArtifact {
+        detail: detail.into(),
+    }
+}
+
+/// Validate the `format` / `version` / `snapshot_format_version` header
+/// shared by both artifact kinds.
+fn check_header(doc: &Value, format: &str, version: u32) -> Result<(), PipelineError> {
+    match doc["format"].as_str() {
+        Some(found) if found == format => {}
+        Some(found) => {
+            return Err(artifact(format!(
+                "expected a `{format}` document, found `{found}`"
+            )))
+        }
+        None => {
+            return Err(artifact(format!(
+                "missing `format` tag (expected `{format}`)"
+            )))
+        }
+    }
+    let found = get_usize(doc, "version")? as u32;
+    if found != version {
+        return Err(artifact(format!(
+            "{format} version {found} is not supported (this build reads version \
+             {version}); re-plan with a matching build"
+        )));
+    }
+    let snap = get_usize(doc, "snapshot_format_version")? as u32;
+    if snap != provgraph::snapshot::SNAPSHOT_VERSION {
+        return Err(PipelineError::Snapshot {
+            source: provgraph::snapshot::SnapshotError::UnsupportedVersion {
+                found: snap,
+                supported: provgraph::snapshot::SNAPSHOT_VERSION,
+            },
+        });
+    }
+    Ok(())
+}
+
+fn get_usize(doc: &Value, field: &str) -> Result<usize, PipelineError> {
+    doc[field]
+        .as_f64()
+        .filter(|n| *n >= 0.0 && n.fract() == 0.0)
+        .map(|n| n as usize)
+        .ok_or_else(|| artifact(format!("field `{field}` must be a non-negative integer")))
+}
+
+fn get_bool(doc: &Value, field: &str) -> Result<bool, PipelineError> {
+    doc[field]
+        .as_bool()
+        .ok_or_else(|| artifact(format!("field `{field}` must be a boolean")))
+}
+
+/// Plan a `shard_count`-way split of the matrix under `config`.
+///
+/// # Errors
+///
+/// [`PipelineError::InvalidShardCount`] on an unusable count.
+pub fn plan(shard_count: usize, config: &RunConfig) -> Result<Vec<ShardManifest>, PipelineError> {
+    Ok(plan_matrix_shards(shard_count)?
+        .into_iter()
+        .map(|shard| ShardManifest {
+            shard,
+            config: config.clone(),
+        })
+        .collect())
+}
+
+/// Execute one manifest in-process, producing its partial results.
+///
+/// # Errors
+///
+/// [`PipelineError::UnknownBenchmark`] when the manifest names a row
+/// outside Table 2 (per-cell pipeline errors are reported inside the
+/// cells, not raised).
+pub fn execute(manifest: &ShardManifest) -> Result<PartialResults, PipelineError> {
+    let rows = run_matrix_cells(
+        &manifest.shard.syscalls,
+        &manifest.config.opts,
+        manifest.config.opus_db_iterations,
+    )?;
+    Ok(PartialResults {
+        shard_index: manifest.shard.shard_index,
+        shard_count: manifest.shard.shard_count,
+        config: manifest.config.clone(),
+        rows: summarize_rows(&rows),
+    })
+}
+
+/// Deterministically merge partial results and render the canonical
+/// matrix report.
+///
+/// # Errors
+///
+/// [`PipelineError::ShardMerge`] when the partials came from different
+/// plans (disagreeing run configurations or shard counts) or do not
+/// reassemble the full matrix (missing, duplicate or foreign rows) —
+/// mixing shards of different runs would produce a chimera report that
+/// matches no single-process run.
+pub fn merge(parts: Vec<PartialResults>) -> Result<String, PipelineError> {
+    if let Some((first, rest)) = parts.split_first() {
+        for part in rest {
+            if part.config != first.config {
+                return Err(PipelineError::ShardMerge {
+                    detail: format!(
+                        "shard {} was measured under a different run configuration than \
+                         shard {} (trials/seed/noise/filtering/OPUS cost differ) — \
+                         execute every shard from one plan",
+                        part.shard_index, first.shard_index
+                    ),
+                });
+            }
+            if part.shard_count != first.shard_count {
+                return Err(PipelineError::ShardMerge {
+                    detail: format!(
+                        "partials come from different plans ({}-shard vs {}-shard)",
+                        first.shard_count, part.shard_count
+                    ),
+                });
+            }
+        }
+    }
+    let merged = merge_matrix_summaries(parts.into_iter().map(|p| p.rows))?;
+    Ok(render_matrix_report(&merged))
+}
+
+/// Run the matrix in-process (no sharding) and render the same report
+/// the sharded path merges to — the byte-identity reference.
+pub fn single_report(config: &RunConfig) -> String {
+    let rows = pipeline::run_matrix(&config.opts, config.opus_db_iterations);
+    let merged =
+        merge_matrix_summaries([summarize_rows(&rows)]).expect("a full single-process run merges");
+    render_matrix_report(&merged)
+}
+
+/// Local driver mode: plan `shard_count` shards, spawn one worker
+/// **process** of the current executable per shard (`provmark-shard
+/// execute <manifest> --out <partial>`, all concurrent via the pipeline
+/// driver), and merge their artifacts into the canonical report.
+///
+/// `work_dir` receives the manifest and partial files (kept for
+/// inspection).
+///
+/// # Errors
+///
+/// Plan/merge errors as above; [`PipelineError::Store`] on I/O
+/// failures; [`PipelineError::ShardMerge`] when a worker process exits
+/// unsuccessfully.
+pub fn drive_local(
+    shard_count: usize,
+    config: &RunConfig,
+    work_dir: &Path,
+) -> Result<String, PipelineError> {
+    let exe = std::env::current_exe()?;
+    std::fs::create_dir_all(work_dir)?;
+    let merged = pipeline::run_matrix_sharded(shard_count, |shard: &MatrixShard| {
+        let manifest = ShardManifest {
+            shard: shard.clone(),
+            config: config.clone(),
+        };
+        let manifest_path = work_dir.join(format!("shard-{}.json", shard.shard_index));
+        let partial_path = work_dir.join(format!("part-{}.json", shard.shard_index));
+        std::fs::write(&manifest_path, manifest.to_json_string())?;
+        let status = Command::new(&exe)
+            .arg("execute")
+            .arg(&manifest_path)
+            .arg("--out")
+            .arg(&partial_path)
+            .status()?;
+        if !status.success() {
+            return Err(PipelineError::ShardMerge {
+                detail: format!(
+                    "worker process for shard {} failed ({status}); see {}",
+                    shard.shard_index,
+                    manifest_path.display()
+                ),
+            });
+        }
+        let partial = PartialResults::from_json_str(&std::fs::read_to_string(&partial_path)?)?;
+        if partial.shard_index != shard.shard_index || partial.shard_count != shard.shard_count {
+            return Err(PipelineError::ShardMerge {
+                detail: format!(
+                    "worker for shard {} returned results labelled shard {}/{}",
+                    shard.shard_index, partial.shard_index, partial.shard_count
+                ),
+            });
+        }
+        if partial.config != *config {
+            return Err(PipelineError::ShardMerge {
+                detail: format!(
+                    "worker for shard {} ran under a different configuration than planned",
+                    shard.shard_index
+                ),
+            });
+        }
+        Ok(partial.rows)
+    })?;
+    Ok(render_matrix_report(&merged))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_manifest() -> ShardManifest {
+        plan(3, &RunConfig::quick()).unwrap().swap_remove(1)
+    }
+
+    #[test]
+    fn manifest_roundtrips_through_json() {
+        let manifest = sample_manifest();
+        let text = manifest.to_json_string();
+        let back = ShardManifest::from_json_str(&text).unwrap();
+        assert_eq!(back, manifest);
+        assert!(text.contains("\"format\": \"provmark-shard-manifest\""));
+        assert!(text.contains("\"snapshot_format_version\""));
+    }
+
+    #[test]
+    fn partial_roundtrips_through_json() {
+        let partial = PartialResults {
+            shard_index: 2,
+            shard_count: 3,
+            config: RunConfig::quick(),
+            rows: vec![(
+                "creat".to_owned(),
+                [
+                    CellOutcome {
+                        status: "ok".into(),
+                        matching_cost: Some(4),
+                        discarded_trials: Some(1),
+                        result_size: Some(7),
+                    },
+                    CellOutcome {
+                        status: "empty".into(),
+                        matching_cost: Some(0),
+                        discarded_trials: Some(0),
+                        result_size: Some(0),
+                    },
+                    CellOutcome {
+                        status: "error: benchmark `creat` background variant failed".into(),
+                        matching_cost: None,
+                        discarded_trials: None,
+                        result_size: None,
+                    },
+                ],
+            )],
+        };
+        let back = PartialResults::from_json_str(&partial.to_json_string()).unwrap();
+        assert_eq!(back, partial);
+    }
+
+    #[test]
+    fn wrong_format_tag_rejected() {
+        let manifest = sample_manifest();
+        let as_partial = PartialResults::from_json_str(&manifest.to_json_string());
+        assert!(
+            matches!(&as_partial, Err(PipelineError::ShardArtifact { detail })
+                if detail.contains("provmark-shard-partial")),
+            "{as_partial:?}"
+        );
+        let err = ShardManifest::from_json_str("{}").unwrap_err();
+        assert!(matches!(err, PipelineError::ShardArtifact { .. }));
+        let err = ShardManifest::from_json_str("not json").unwrap_err();
+        assert!(matches!(err, PipelineError::ShardArtifact { .. }));
+    }
+
+    #[test]
+    fn artifact_version_skew_rejected() {
+        let text = sample_manifest()
+            .to_json_string()
+            .replace("\"version\": 1", "\"version\": 2");
+        let err = ShardManifest::from_json_str(&text).unwrap_err();
+        assert!(
+            matches!(&err, PipelineError::ShardArtifact { detail }
+                if detail.contains("version 2") && detail.contains("re-plan")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn snapshot_version_skew_rejected_with_typed_error() {
+        let text = sample_manifest().to_json_string().replace(
+            "\"snapshot_format_version\": 1",
+            "\"snapshot_format_version\": 9",
+        );
+        let err = ShardManifest::from_json_str(&text).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                PipelineError::Snapshot {
+                    source: provgraph::snapshot::SnapshotError::UnsupportedVersion { found: 9, .. }
+                }
+            ),
+            "snapshot skew must surface as a typed snapshot error"
+        );
+    }
+
+    #[test]
+    fn manifest_with_bad_shard_index_rejected() {
+        let text = sample_manifest()
+            .to_json_string()
+            .replace("\"shard_index\": 1", "\"shard_index\": 7");
+        let err = ShardManifest::from_json_str(&text).unwrap_err();
+        assert!(matches!(
+            err,
+            PipelineError::InvalidShardIndex { index: 7, count: 3 }
+        ));
+    }
+
+    #[test]
+    fn plan_validates_count() {
+        assert!(matches!(
+            plan(0, &RunConfig::quick()),
+            Err(PipelineError::InvalidShardCount { count: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn merge_rejects_mixed_config_partials() {
+        let mut other = RunConfig::quick();
+        other.opts.base_seed = 7;
+        let part = |shard_index: usize, config: &RunConfig| PartialResults {
+            shard_index,
+            shard_count: 2,
+            config: config.clone(),
+            rows: Vec::new(),
+        };
+        let err = merge(vec![part(0, &RunConfig::quick()), part(1, &other)]).unwrap_err();
+        assert!(
+            matches!(&err, PipelineError::ShardMerge { detail }
+                if detail.contains("different run configuration")),
+            "{err}"
+        );
+        // Disagreeing plan sizes are rejected too.
+        let mut b = part(1, &RunConfig::quick());
+        b.shard_count = 3;
+        let err = merge(vec![part(0, &RunConfig::quick()), b]).unwrap_err();
+        assert!(
+            matches!(&err, PipelineError::ShardMerge { detail }
+                if detail.contains("different plans")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn large_seeds_roundtrip_exactly() {
+        // The JSON shim backs numbers with f64; seeds ride as strings so
+        // values above 2^53 survive the worker boundary bit-exactly.
+        let seed = (1u64 << 53) + 1;
+        let mut config = RunConfig::quick();
+        config.opts.base_seed = seed;
+        let manifest = plan(2, &config).unwrap().swap_remove(0);
+        let back = ShardManifest::from_json_str(&manifest.to_json_string()).unwrap();
+        assert_eq!(back.config.opts.base_seed, seed);
+    }
+
+    #[test]
+    fn malformed_cell_numbers_rejected() {
+        let clean = PartialResults {
+            shard_index: 0,
+            shard_count: 1,
+            config: RunConfig::quick(),
+            rows: vec![(
+                "creat".to_owned(),
+                [
+                    CellOutcome {
+                        status: "ok".into(),
+                        matching_cost: Some(3),
+                        discarded_trials: Some(0),
+                        result_size: Some(3),
+                    },
+                    CellOutcome {
+                        status: "ok".into(),
+                        matching_cost: Some(0),
+                        discarded_trials: Some(0),
+                        result_size: Some(3),
+                    },
+                    CellOutcome {
+                        status: "ok".into(),
+                        matching_cost: Some(0),
+                        discarded_trials: Some(0),
+                        result_size: Some(3),
+                    },
+                ],
+            )],
+        }
+        .to_json_string();
+        for bad in ["-3", "1.5"] {
+            let text = clean.replace("\"matching_cost\": 3", &format!("\"matching_cost\": {bad}"));
+            assert_ne!(text, clean, "replacement must hit");
+            let err = PartialResults::from_json_str(&text).unwrap_err();
+            assert!(
+                matches!(&err, PipelineError::ShardArtifact { detail }
+                    if detail.contains("matching_cost")),
+                "{bad}: {err:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! End-to-end sharded matrix tests: a 3-shard plan / execute / merge run
+//! — in-process and through real `provmark-shard` worker processes —
+//! must produce a report **byte-identical** to the single-process
+//! `run_matrix` report.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use provmark_core::PipelineError;
+use provshard::{execute, merge, plan, single_report, PartialResults, RunConfig};
+
+const WORKER: &str = env!("CARGO_BIN_EXE_provmark-shard");
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("provmark-shard-test-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+#[test]
+fn three_shard_merge_is_byte_identical_to_single_process() {
+    let config = RunConfig::quick();
+    let reference = single_report(&config);
+    assert!(reference.contains("agreement with paper Table 2"));
+
+    let manifests = plan(3, &config).expect("plan");
+    assert_eq!(manifests.len(), 3);
+    // Execute out of order and feed the merge in that order: the merge
+    // must restore canonical order on its own.
+    let mut parts: Vec<PartialResults> = Vec::new();
+    for manifest in manifests.iter().rev() {
+        // Round-trip every artifact through its JSON form, exactly as
+        // worker processes would exchange them.
+        let manifest =
+            provshard::ShardManifest::from_json_str(&manifest.to_json_string()).expect("manifest");
+        let partial = execute(&manifest).expect("execute");
+        parts.push(PartialResults::from_json_str(&partial.to_json_string()).expect("partial"));
+    }
+    let merged = merge(parts).expect("merge");
+    assert_eq!(
+        merged, reference,
+        "3-shard merged report must be byte-identical to the single-process report"
+    );
+}
+
+#[test]
+fn merge_refuses_incomplete_partials() {
+    let config = RunConfig::quick();
+    let manifests = plan(3, &config).expect("plan");
+    let only_one = execute(&manifests[0]).expect("execute");
+    let err = merge(vec![only_one]).expect_err("incomplete merge must fail");
+    assert!(
+        matches!(&err, PipelineError::ShardMerge { detail } if detail.contains("missing")),
+        "{err}"
+    );
+}
+
+#[test]
+fn worker_processes_produce_byte_identical_report() {
+    let dir = temp_dir("workers");
+    let run = |args: &[&str]| {
+        let output = Command::new(WORKER)
+            .args(args)
+            .output()
+            .expect("spawn provmark-shard");
+        assert!(
+            output.status.success(),
+            "provmark-shard {args:?} failed:\n{}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+    };
+    let path = |name: &str| dir.join(name).to_string_lossy().into_owned();
+
+    run(&["single", "--quick", "--out", &path("single.txt")]);
+    run(&["plan", "--shards", "3", "--quick", "--out-dir", &path("")]);
+    for i in 0..3 {
+        run(&[
+            "execute",
+            &path(&format!("shard-{i}.json")),
+            "--out",
+            &path(&format!("part-{i}.json")),
+        ]);
+    }
+    run(&[
+        "merge",
+        &path("part-2.json"),
+        &path("part-0.json"),
+        &path("part-1.json"),
+        "--out",
+        &path("merged.txt"),
+    ]);
+    let single = std::fs::read_to_string(dir.join("single.txt")).unwrap();
+    let merged = std::fs::read_to_string(dir.join("merged.txt")).unwrap();
+    assert_eq!(merged, single, "subprocess merge must be byte-identical");
+
+    // Driver mode: plan + spawn workers + merge in one invocation.
+    run(&[
+        "drive",
+        "--shards",
+        "3",
+        "--quick",
+        "--work-dir",
+        &path("drive"),
+        "--out",
+        &path("driven.txt"),
+    ]);
+    let driven = std::fs::read_to_string(dir.join("driven.txt")).unwrap();
+    assert_eq!(driven, single, "driver-mode report must be byte-identical");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn worker_cli_validates_arguments_with_actionable_errors() {
+    let dir = temp_dir("cli");
+    let fail = |args: &[&str]| -> String {
+        let output = Command::new(WORKER)
+            .args(args)
+            .output()
+            .expect("spawn provmark-shard");
+        assert!(
+            !output.status.success(),
+            "provmark-shard {args:?} must fail"
+        );
+        String::from_utf8_lossy(&output.stderr).into_owned()
+    };
+    let out_dir = dir.to_string_lossy().into_owned();
+
+    let err = fail(&["plan", "--shards", "0", "--out-dir", &out_dir]);
+    assert!(
+        err.contains("--shards N"),
+        "actionable shard-count error: {err}"
+    );
+
+    let err = fail(&[
+        "plan",
+        "--shards",
+        "3",
+        "--shard-index",
+        "5",
+        "--out-dir",
+        &out_dir,
+    ]);
+    assert!(
+        err.contains("0 <= i < 3"),
+        "actionable shard-index error: {err}"
+    );
+
+    let err = fail(&["plan", "--shards", "not-a-number", "--out-dir", &out_dir]);
+    assert!(err.contains("positive integer"), "{err}");
+
+    let err = fail(&["frobnicate"]);
+    assert!(err.contains("unknown command"), "{err}");
+
+    // A partial with a skewed snapshot-format version is rejected by
+    // the merge step with the typed snapshot error.
+    let partial = PartialResults {
+        shard_index: 0,
+        shard_count: 2,
+        config: RunConfig::quick(),
+        rows: Vec::new(),
+    };
+    let skewed = partial.to_json_string().replace(
+        "\"snapshot_format_version\": 1",
+        "\"snapshot_format_version\": 9",
+    );
+    let skewed_path = dir.join("skewed.json");
+    std::fs::write(&skewed_path, skewed).unwrap();
+    let err = fail(&[
+        "merge",
+        &skewed_path.to_string_lossy(),
+        "--out",
+        &dir.join("never.txt").to_string_lossy(),
+    ]);
+    assert!(
+        err.contains("snapshot") && err.contains("version 9"),
+        "typed snapshot-version error: {err}"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
