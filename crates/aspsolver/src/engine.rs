@@ -31,10 +31,12 @@
 //! differential testing and ablation benchmarks.
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
 
 use provgraph::compiled::{
     degree_sig_leq, label_counts_leq, one_sided_prop_diff, symmetric_prop_diff, CompiledGraph,
-    CorpusSession, FxHashMap, GraphCore, GraphId, Interner, NamedGraph, Symbol,
+    CorpusSession, FxHashMap, FxHasher, GraphCore, GraphId, Interner, NamedGraph, Symbol,
 };
 use provgraph::par;
 use provgraph::PropertyGraph;
@@ -75,7 +77,12 @@ impl Problem {
 ///
 /// The individual switches exist for the solver ablation benchmark
 /// (`ablation_solver`), which quantifies what each rule buys.
-#[derive(Debug, Clone)]
+/// `PartialEq`/`Eq`/`Hash` exist because the whole configuration is part
+/// of every [`SolveMemo`] key: each knob changes the search order or the
+/// step budget, and therefore the cached outcome (including its
+/// statistics), so outcomes cached under one configuration must never be
+/// replayed under another.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct SolverConfig {
     /// Budget on candidate assignments tried before giving up and
     /// returning the best solution found so far (`optimal = false`).
@@ -324,6 +331,7 @@ pub struct BatchSolver<'s> {
     lhs: GraphId,
     prepared: PreparedLhs<'s>,
     config: SolverConfig,
+    memo: Option<&'s SolveMemo>,
 }
 
 impl<'s> BatchSolver<'s> {
@@ -340,7 +348,19 @@ impl<'s> BatchSolver<'s> {
             lhs,
             prepared: PreparedLhs::new(problem, session.graph(lhs).core()),
             config,
+            memo: None,
         }
+    }
+
+    /// Attach (or detach) a session-level [`SolveMemo`]: every dense
+    /// solve this batch solver runs is then looked up in — and recorded
+    /// into — the memo, so replays of the same (problem, core pair,
+    /// config) across batches, calls and left-hand sides are searched
+    /// once. `None` restores the memo-less behaviour. The memo must be
+    /// scoped to the same session as the solver's handles.
+    pub fn with_memo(mut self, memo: Option<&'s SolveMemo>) -> BatchSolver<'s> {
+        self.memo = memo;
+        self
     }
 
     /// The problem this solver batches.
@@ -356,14 +376,34 @@ impl<'s> BatchSolver<'s> {
     /// Solve the prepared left against one right-hand session graph.
     ///
     /// Identical outcome (matching, cost, optimality, statistics) to
-    /// `solve_in(problem, session, lhs, rhs, config)`.
+    /// `solve_in(problem, session, lhs, rhs, config)`. With a memo
+    /// attached ([`with_memo`](BatchSolver::with_memo)), the dense half
+    /// is served from — or recorded into — the memo.
     pub fn solve_one(&self, rhs: GraphId) -> Outcome {
-        solve_prepared(
-            &self.prepared,
-            self.session.graph(self.lhs),
-            self.session.graph(rhs),
-            &self.config,
-        )
+        match self.memo {
+            Some(memo) => {
+                let dense = memoized_dense(
+                    memo,
+                    self.prepared.problem,
+                    self.session,
+                    self.lhs,
+                    rhs,
+                    &self.config,
+                    Some(&self.prepared),
+                );
+                translate(
+                    &dense,
+                    self.session.graph(self.lhs),
+                    self.session.graph(rhs),
+                )
+            }
+            None => solve_prepared(
+                &self.prepared,
+                self.session.graph(self.lhs),
+                self.session.graph(rhs),
+                &self.config,
+            ),
+        }
     }
 
     /// Solve the prepared left against every right-hand graph, in order.
@@ -416,14 +456,28 @@ impl<'s> BatchSolver<'s> {
                 None => groups.push((id, fp, vec![pos])),
             }
         }
-        let dense: Vec<DenseOutcome> = par::par_map(&groups, |(rep, _, _)| {
-            solve_dense(
-                problem,
-                self.prepared.core,
-                self.session.graph(*rep).core(),
-                &self.config,
-                Some(&self.prepared),
-            )
+        let dense: Vec<Arc<DenseOutcome>> = par::par_map(&groups, |(rep, _, _)| {
+            match self.memo {
+                // The memo is keyed on canonical core identity, so a
+                // replay of this (lhs, rep) pair from an earlier batch
+                // (or a left side with an equivalent core) is a lookup.
+                Some(memo) => memoized_dense(
+                    memo,
+                    problem,
+                    self.session,
+                    self.lhs,
+                    *rep,
+                    &self.config,
+                    Some(&self.prepared),
+                ),
+                None => Arc::new(solve_dense(
+                    problem,
+                    self.prepared.core,
+                    self.session.graph(*rep).core(),
+                    &self.config,
+                    Some(&self.prepared),
+                )),
+            }
         });
         let g1 = self.session.graph(self.lhs);
         let mut out: Vec<Option<Outcome>> = (0..rhs.len()).map(|_| None).collect();
@@ -453,6 +507,256 @@ pub fn solve_batch_in(
     config: &SolverConfig,
 ) -> Vec<Outcome> {
     BatchSolver::new(problem, session, lhs, config.clone()).solve_batch(rhs)
+}
+
+/// [`solve_batch_in`] with an optional session-level [`SolveMemo`]:
+/// dense solves are served from (and recorded into) the memo, so the
+/// same (problem, core pair, config) replayed across separate batch
+/// calls — the Table 2 matrix-replay shape — is searched once. With
+/// `None` this is exactly [`solve_batch_in`]. Outcomes are identical to
+/// the memo-less path in every observable, including search statistics.
+pub fn solve_batch_in_memo(
+    problem: Problem,
+    session: &CorpusSession,
+    lhs: GraphId,
+    rhs: &[GraphId],
+    config: &SolverConfig,
+    memo: Option<&SolveMemo>,
+) -> Vec<Outcome> {
+    BatchSolver::new(problem, session, lhs, config.clone())
+        .with_memo(memo)
+        .solve_batch(rhs)
+}
+
+/// [`solve_in`] with an optional session-level [`SolveMemo`]: the dense
+/// half of the solve is looked up under the pair's canonical core
+/// identity before searching, and recorded after. With `None` this is
+/// exactly [`solve_in`]. Outcomes are identical to the memo-less path
+/// in every observable, including search statistics.
+pub fn solve_in_memo(
+    problem: Problem,
+    session: &CorpusSession,
+    g1: GraphId,
+    g2: GraphId,
+    config: &SolverConfig,
+    memo: Option<&SolveMemo>,
+) -> Outcome {
+    match memo {
+        Some(memo) => {
+            let dense = memoized_dense(memo, problem, session, g1, g2, config, None);
+            translate(&dense, session.graph(g1), session.graph(g2))
+        }
+        None => solve_in(problem, session, g1, g2, config),
+    }
+}
+
+/// Number of shards the memo's outcome map is split across; keys are
+/// distributed by hash so concurrent batch fan-outs rarely contend on
+/// one lock.
+const MEMO_SHARDS: usize = 8;
+
+/// Memo key: the complete input of a dense solve. `lhs` / `rhs` are
+/// **canonical** handles — the first session graph seen with each core
+/// identity (see [`SolveMemo::canonical`]) — so graphs differing only in
+/// element identifiers (or, for [`Problem::Similarity`], only in
+/// properties) share one entry. The full [`SolverConfig`] is part of the
+/// key: in particular a budget-exhausted (non-optimal) outcome cached
+/// under a small `max_steps` can never be replayed for a larger budget,
+/// which would wrongly report a truncated search as that budget's
+/// result.
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct MemoKey {
+    problem: Problem,
+    lhs: GraphId,
+    rhs: GraphId,
+    config: SolverConfig,
+}
+
+/// One core-identity registry: session handles partitioned into
+/// equivalence classes (fingerprint prefilter, exact core comparison to
+/// confirm), each represented by the first handle seen with that core.
+#[derive(Default)]
+struct CanonMap {
+    /// Resolved handle → its class representative (memoized).
+    by_id: FxHashMap<GraphId, GraphId>,
+    /// WL fingerprint → class representatives with that fingerprint
+    /// (collisions keep multiple representatives; the exact comparison
+    /// disambiguates).
+    by_fingerprint: FxHashMap<u64, Vec<GraphId>>,
+}
+
+/// Session-level memo of dense solve outcomes, shared across batches,
+/// calls and left-hand sides.
+///
+/// The search never sees element identifiers, so a [`DenseOutcome`] is a
+/// pure function of `(problem, left core, right core, config)` — the
+/// same invariant the in-batch dense-solve sharing rests on, extended
+/// across calls: the Table 2 matrix replays the same foreground against
+/// many backgrounds in *separate* `solve_batch` calls, and similarity
+/// classification re-confirms equivalent cores under several
+/// representatives. Keys use canonical core identity (memoized WL
+/// fingerprints prefilter, exact [`GraphCore::same_structure`] /
+/// [`GraphCore::same_props`] comparison confirms — property-blind for
+/// [`Problem::Similarity`], whose search never reads a property) plus
+/// the **full** [`SolverConfig`], so a budget-exhausted outcome is only
+/// ever replayed under the exact budget that produced it.
+///
+/// A memo hit returns byte-identically what the fresh search would have
+/// returned — matching, cost, optimality flag and search statistics —
+/// so memo-on and memo-off runs are indistinguishable in every solver
+/// observable (pinned by `tests/differential_compiled.rs`). Hit/miss
+/// accounting lives here, not in [`SolverStats`], precisely so cached
+/// statistics stay bit-equal to fresh ones.
+///
+/// # Scoping and concurrency
+///
+/// A memo is only meaningful for the one [`CorpusSession`] whose handles
+/// it was fed — the same scoping rule as the handles themselves. It is
+/// `Sync`: the outcome map is sharded behind mutexes and solves run
+/// outside any lock, so `par_map` fan-outs share it freely. Concurrent
+/// misses on one key may duplicate a search, but every copy computes the
+/// same value, so whichever insert lands the outcome is unchanged (only
+/// the informational hit/miss counts can vary with scheduling).
+///
+/// The memo is deliberately **not** serialized into session snapshots:
+/// it is a cache of derived data, rebuilt on demand, and keys hold
+/// session-local handles that a foreign process must not trust.
+pub struct SolveMemo {
+    shards: [Mutex<FxHashMap<MemoKey, Arc<DenseOutcome>>>; MEMO_SHARDS],
+    /// Structure-only identity classes ([`Problem::Similarity`] keys).
+    shape_classes: RwLock<CanonMap>,
+    /// Full (structure + properties) identity classes (all other
+    /// problems).
+    full_classes: RwLock<CanonMap>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Default for SolveMemo {
+    fn default() -> Self {
+        SolveMemo {
+            shards: std::array::from_fn(|_| Mutex::new(FxHashMap::default())),
+            shape_classes: RwLock::new(CanonMap::default()),
+            full_classes: RwLock::new(CanonMap::default()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+}
+
+impl SolveMemo {
+    /// Create an empty memo.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Dense solves served from the cache so far (informational — never
+    /// part of [`SolverStats`]).
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Dense solves actually searched (and recorded) so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Canonical representative of `id`'s core-identity class:
+    /// fingerprint prefilter (a memoized session lookup), exact core
+    /// comparison to confirm, first-seen handle wins. `property_blind`
+    /// selects the structure-only classes used for
+    /// [`Problem::Similarity`].
+    fn canonical(&self, session: &CorpusSession, id: GraphId, property_blind: bool) -> GraphId {
+        let registry = if property_blind {
+            &self.shape_classes
+        } else {
+            &self.full_classes
+        };
+        // Hot path: every handle after its first solve resolves through a
+        // shared read lock, so concurrent batch fan-outs never serialize
+        // here in steady state.
+        if let Some(&rep) = registry.read().expect("memo registry lock").by_id.get(&id) {
+            return rep;
+        }
+        let fingerprint = if property_blind {
+            session.shape_fingerprint(id)
+        } else {
+            session.full_fingerprint(id)
+        };
+        // Cold path (at most once per handle): registration stays under
+        // one write lock so every thread agrees on a single first-seen
+        // representative per class — the exact core comparisons run here,
+        // but only against same-fingerprint representatives, and never
+        // again for this handle.
+        let mut map = registry.write().expect("memo registry lock");
+        if let Some(&rep) = map.by_id.get(&id) {
+            return rep; // registered by a racing thread meanwhile
+        }
+        let rep = {
+            let reps = map.by_fingerprint.entry(fingerprint).or_default();
+            let core = session.graph(id).core();
+            let found = reps.iter().copied().find(|&r| {
+                let rc = session.graph(r).core();
+                core.same_structure(rc) && (property_blind || core.same_props(rc))
+            });
+            match found {
+                Some(r) => r,
+                None => {
+                    reps.push(id);
+                    id
+                }
+            }
+        };
+        map.by_id.insert(id, rep);
+        rep
+    }
+
+    /// The outcome shard responsible for `key`.
+    fn shard(&self, key: &MemoKey) -> &Mutex<FxHashMap<MemoKey, Arc<DenseOutcome>>> {
+        use std::hash::{Hash, Hasher};
+        let mut h = FxHasher::default();
+        key.hash(&mut h);
+        &self.shards[h.finish() as usize % MEMO_SHARDS]
+    }
+}
+
+/// The memoized dense solve behind every memo-aware entry point:
+/// canonicalize both handles, look the key up, search-and-record on a
+/// miss. `prepared`, when given, must be a plan over `lhs`'s core (used
+/// only when the search actually runs).
+fn memoized_dense(
+    memo: &SolveMemo,
+    problem: Problem,
+    session: &CorpusSession,
+    lhs: GraphId,
+    rhs: GraphId,
+    config: &SolverConfig,
+    prepared: Option<&PreparedLhs<'_>>,
+) -> Arc<DenseOutcome> {
+    let blind = problem == Problem::Similarity;
+    let key = MemoKey {
+        problem,
+        lhs: memo.canonical(session, lhs, blind),
+        rhs: memo.canonical(session, rhs, blind),
+        config: config.clone(),
+    };
+    if let Some(found) = memo.shard(&key).lock().expect("memo shard lock").get(&key) {
+        memo.hits.fetch_add(1, Ordering::Relaxed);
+        return Arc::clone(found);
+    }
+    // Search outside the lock: two threads missing one key concurrently
+    // duplicate the work but compute the same pure-function value, so
+    // whichever insert lands first is the one everyone reads.
+    memo.misses.fetch_add(1, Ordering::Relaxed);
+    let dense = Arc::new(solve_dense(
+        problem,
+        session.graph(lhs).core(),
+        session.graph(rhs).core(),
+        config,
+        prepared,
+    ));
+    let mut shard = memo.shard(&key).lock().expect("memo shard lock");
+    Arc::clone(shard.entry(key).or_insert(dense))
 }
 
 /// Shared implementation of the compiled entry points: search the cores,
@@ -1753,5 +2057,139 @@ mod tests {
             .is_none());
         // And the wrapper agrees.
         assert!(solve(Problem::Similarity, &a, &b, &cfg).matching.is_some());
+    }
+
+    #[test]
+    fn memo_shares_across_calls_and_left_sides() {
+        let a = triangle("a");
+        let b = triangle("b");
+        let a_again = triangle("x"); // same core as `a`, different handle
+        let mut session = CorpusSession::new();
+        let ia = session.add(&a);
+        let ib = session.add(&b);
+        let ix = session.add(&a_again);
+        let cfg = SolverConfig::default();
+        let memo = SolveMemo::new();
+        // First batch populates the memo.
+        let first =
+            solve_batch_in_memo(Problem::Similarity, &session, ia, &[ib], &cfg, Some(&memo));
+        assert_eq!(memo.misses(), 1);
+        assert_eq!(memo.hits(), 0);
+        // A separate call replaying the same pair is a pure hit.
+        let replay =
+            solve_batch_in_memo(Problem::Similarity, &session, ia, &[ib], &cfg, Some(&memo));
+        assert_eq!(memo.hits(), 1);
+        // A *different left handle* with an equivalent core hits too —
+        // the cross-left-side sharing the per-batch path cannot do.
+        let cross_left = solve_in_memo(Problem::Similarity, &session, ix, ib, &cfg, Some(&memo));
+        assert_eq!(memo.hits(), 2);
+        assert_eq!(memo.misses(), 1);
+        // Every memo outcome equals the memo-off solve in full, with the
+        // witness translated through the *actual* carriers.
+        for (out, lhs) in [(&first[0], ia), (&replay[0], ia), (&cross_left, ix)] {
+            let plain = solve_in(Problem::Similarity, &session, lhs, ib, &cfg);
+            assert_eq!(out.matching, plain.matching);
+            assert_eq!(out.optimal, plain.optimal);
+            assert_eq!(out.stats, plain.stats);
+        }
+        let m = cross_left.matching.expect("triangles similar");
+        assert!(m.node_map.keys().all(|k| k.starts_with('x')));
+    }
+
+    #[test]
+    fn memo_keys_are_property_blind_only_for_similarity() {
+        let a = triangle("a");
+        let mut b = triangle("b");
+        b.set_node_property("b0", "time", "1").unwrap();
+        let mut c = triangle("c");
+        c.set_node_property("c0", "time", "2").unwrap();
+        let mut session = CorpusSession::new();
+        let ia = session.add(&a);
+        let ib = session.add(&b);
+        let ic = session.add(&c);
+        let cfg = SolverConfig::default();
+        let memo = SolveMemo::new();
+        // Similarity never reads a property, so b and c share one entry.
+        solve_in_memo(Problem::Similarity, &session, ia, ib, &cfg, Some(&memo));
+        solve_in_memo(Problem::Similarity, &session, ia, ic, &cfg, Some(&memo));
+        assert_eq!((memo.hits(), memo.misses()), (1, 1));
+        // Isomorphism reads properties: distinct rows, distinct entries —
+        // and the memoed verdicts still equal the memo-off ones.
+        let iso_b = solve_in_memo(Problem::Isomorphism, &session, ia, ib, &cfg, Some(&memo));
+        let iso_c = solve_in_memo(Problem::Isomorphism, &session, ia, ic, &cfg, Some(&memo));
+        assert_eq!((memo.hits(), memo.misses()), (1, 3));
+        assert!(iso_b.matching.is_none() && iso_c.matching.is_none());
+    }
+
+    #[test]
+    fn memo_does_not_reuse_budget_exhausted_outcomes_under_larger_budget() {
+        // Pathological pair: many interchangeable nodes whose properties
+        // make the optimizing search explore, so a tiny step budget
+        // exhausts before any complete assignment exists.
+        let make = |p: &str, shift: usize| {
+            g(|g| {
+                for i in 0..10 {
+                    g.add_node(format!("{p}{i}"), "N").unwrap();
+                    g.set_node_property(&format!("{p}{i}"), "t", ((i + shift) % 10).to_string())
+                        .unwrap();
+                }
+            })
+        };
+        let a = make("a", 0);
+        let b = make("b", 0);
+        let mut session = CorpusSession::new();
+        let ia = session.add(&a);
+        let ib = session.add(&b);
+        let memo = SolveMemo::new();
+        let small = SolverConfig {
+            max_steps: 4,
+            ..SolverConfig::naive()
+        };
+        let exhausted = solve_in_memo(
+            Problem::Generalization,
+            &session,
+            ia,
+            ib,
+            &small,
+            Some(&memo),
+        );
+        assert!(
+            !exhausted.optimal && exhausted.matching.is_none(),
+            "4 steps cannot assign 10 nodes"
+        );
+        // A larger budget must trigger a fresh search (the budget is part
+        // of the memo key), not replay the truncated outcome.
+        let full_cfg = SolverConfig::default();
+        let full = solve_in_memo(
+            Problem::Generalization,
+            &session,
+            ia,
+            ib,
+            &full_cfg,
+            Some(&memo),
+        );
+        assert!(
+            full.optimal,
+            "larger budget must not reuse the exhausted outcome"
+        );
+        assert_eq!(full.matching.as_ref().map(|m| m.cost), Some(0));
+        let plain = solve_in(Problem::Generalization, &session, ia, ib, &full_cfg);
+        assert_eq!(full.matching, plain.matching);
+        assert_eq!(full.stats, plain.stats);
+        assert_eq!(memo.hits(), 0, "distinct budgets are distinct keys");
+        // Replaying the *same* small budget is a legal hit and reproduces
+        // the exhausted outcome bit-for-bit.
+        let replay = solve_in_memo(
+            Problem::Generalization,
+            &session,
+            ia,
+            ib,
+            &small,
+            Some(&memo),
+        );
+        assert_eq!(memo.hits(), 1);
+        assert_eq!(replay.optimal, exhausted.optimal);
+        assert_eq!(replay.matching, exhausted.matching);
+        assert_eq!(replay.stats, exhausted.stats);
     }
 }

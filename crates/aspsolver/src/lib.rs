@@ -49,6 +49,17 @@
 //! over the machine's cores. Batch outcomes are identical to per-pair
 //! [`solve_in`] calls in every observable, including search statistics.
 //!
+//! Callers replaying the same pairs across *separate* calls — the
+//! Table 2 matrix replaying one foreground against many backgrounds,
+//! similarity classification re-confirming equivalent cores under
+//! several representatives — should additionally thread a session-level
+//! [`SolveMemo`] through the `_memo` entry points ([`solve_in_memo`],
+//! [`solve_batch_in_memo`], [`BatchSolver::with_memo`]): identifier-free
+//! dense outcomes are cached under canonical core identity and the full
+//! [`SolverConfig`], so cross-call and cross-left-side replays are
+//! searched once. Memo-on outcomes are byte-identical to memo-off ones,
+//! search statistics included.
+//!
 //! The legacy **string path** ([`solve_strings`]) searches
 //! [`PropertyGraph`] directly. It is retained as the reference
 //! implementation for differential tests and as the baseline of the
@@ -90,8 +101,8 @@ mod strpath;
 
 pub use assignment::min_cost_assignment;
 pub use engine::{
-    solve, solve_batch_in, solve_compiled, solve_in, solve_prepared, BatchSolver, PreparedLhs,
-    Problem, SolverConfig, SolverStats,
+    solve, solve_batch_in, solve_batch_in_memo, solve_compiled, solve_in, solve_in_memo,
+    solve_prepared, BatchSolver, PreparedLhs, Problem, SolveMemo, SolverConfig, SolverStats,
 };
 pub use matching::{Matching, Outcome};
 pub use strpath::solve_strings;

@@ -175,4 +175,46 @@ proptest! {
         let m = aspsolver::find_subgraph(&g, &g).expect("self-embedding exists");
         prop_assert_eq!(m.cost, 0);
     }
+
+    /// Memo-hit spot-check against ground truth: the second solve of a
+    /// pair through a [`aspsolver::SolveMemo`] is served from the cache,
+    /// and that cached outcome must still equal the brute-force optimum
+    /// (not merely the first solve) — a memo that cached a wrong or
+    /// stale outcome would fail here independently of the engine
+    /// differentials.
+    #[test]
+    fn memo_hit_path_matches_brute_force_subgraph_optimum(
+        g1 in arb_tiny_graph(3),
+        g2 in arb_tiny_graph(4),
+    ) {
+        use provgraph::compiled::CorpusSession;
+
+        let expected = brute_force_subgraph(&g1, &g2);
+        let mut session = CorpusSession::new();
+        let a = session.add(&g1);
+        let b = session.add(&g2);
+        let memo = aspsolver::SolveMemo::new();
+        let config = aspsolver::SolverConfig::default();
+        let cold = aspsolver::solve_in_memo(
+            aspsolver::Problem::Subgraph, &session, a, b, &config, Some(&memo),
+        );
+        let warm = aspsolver::solve_in_memo(
+            aspsolver::Problem::Subgraph, &session, a, b, &config, Some(&memo),
+        );
+        prop_assert!(memo.hits() >= 1, "the replay must hit the memo");
+        for (label, out) in [("cold", &cold), ("warm", &warm)] {
+            prop_assert!(out.optimal, "{}: tiny instances solve to optimality", label);
+            match (expected, &out.matching) {
+                (None, None) => {}
+                (Some(cost), Some(m)) => prop_assert_eq!(
+                    m.cost, cost, "{}: wrong optimum on the memo path", label
+                ),
+                (e, m) => prop_assert!(
+                    false,
+                    "{label}: feasibility disagrees: brute={e:?} solver={:?}",
+                    m.as_ref().map(|m| m.cost)
+                ),
+            }
+        }
+    }
 }

@@ -14,7 +14,8 @@ use provgraph::compiled::{CompiledGraph, CorpusSession, GraphId, Interner};
 use provgraph::PropertyGraph;
 
 use aspsolver::{
-    solve, solve_batch_in, solve_compiled, solve_in, solve_strings, Matching, Problem, SolverConfig,
+    solve, solve_batch_in, solve_batch_in_memo, solve_compiled, solve_in, solve_in_memo,
+    solve_strings, Matching, Problem, SolveMemo, SolverConfig,
 };
 
 /// An arbitrary small multigraph with node and edge properties.
@@ -435,5 +436,71 @@ proptest! {
                 }
             }
         }
+    }
+
+    /// Memo-on solves must be identical to memo-off solves in every
+    /// observable — matchings, costs, optimality flags and search
+    /// statistics — across all four problems over one **mixed** session
+    /// (an exact duplicate and a relabelled copy guarantee equivalent
+    /// cores under distinct handles), with one [`SolveMemo`] shared by
+    /// every problem, batch and per-pair call. Each batch runs twice, so
+    /// the second pass exercises the hit path; the memo must actually
+    /// have served hits by the end.
+    #[test]
+    fn memo_on_agrees_with_memo_off(
+        graphs in prop::collection::vec(arb_graph(4), 2..4),
+        perturbed_copy in prop::sample::select(vec![false, true]),
+    ) {
+        let mut corpus: Vec<PropertyGraph> = graphs;
+        let copy = relabel_perturbed(&corpus[0], perturbed_copy);
+        corpus.push(copy);
+        corpus.push(corpus[0].clone());
+        let mut session = CorpusSession::new();
+        let ids: Vec<GraphId> = corpus.iter().map(|g| session.add(g)).collect();
+        let config = SolverConfig::default();
+        let memo = SolveMemo::new();
+        for problem in ALL_PROBLEMS {
+            for (i, &lhs) in ids.iter().enumerate() {
+                let plain = solve_batch_in(problem, &session, lhs, &ids, &config);
+                for pass in 0..2 {
+                    let memoed =
+                        solve_batch_in_memo(problem, &session, lhs, &ids, &config, Some(&memo));
+                    prop_assert_eq!(memoed.len(), plain.len());
+                    for (j, (m, p)) in memoed.iter().zip(&plain).enumerate() {
+                        prop_assert_eq!(
+                            &m.matching, &p.matching,
+                            "{:?} ({}, {}) pass {}: memo-on matching diverges",
+                            problem, i, j, pass
+                        );
+                        prop_assert_eq!(
+                            m.optimal, p.optimal,
+                            "{:?} ({}, {}) pass {}: memo-on optimality diverges",
+                            problem, i, j, pass
+                        );
+                        prop_assert_eq!(
+                            m.stats, p.stats,
+                            "{:?} ({}, {}) pass {}: memo-on statistics diverge",
+                            problem, i, j, pass
+                        );
+                    }
+                }
+                // Per-pair solves through the same memo (hits seeded by
+                // the batches above) agree with memo-off per-pair solves.
+                for (j, &rid) in ids.iter().enumerate() {
+                    let m = solve_in_memo(problem, &session, lhs, rid, &config, Some(&memo));
+                    let p = solve_in(problem, &session, lhs, rid, &config);
+                    prop_assert_eq!(
+                        &m.matching, &p.matching,
+                        "{:?} ({}, {}): per-pair memo matching diverges", problem, i, j
+                    );
+                    prop_assert_eq!(m.optimal, p.optimal, "{:?} ({}, {})", problem, i, j);
+                    prop_assert_eq!(m.stats, p.stats, "{:?} ({}, {})", problem, i, j);
+                    if let Some(w) = &m.matching {
+                        assert_valid_witness(problem, &corpus[i], &corpus[j], w);
+                    }
+                }
+            }
+        }
+        prop_assert!(memo.hits() > 0, "replays must be served from the memo");
     }
 }

@@ -9,7 +9,9 @@
 use proptest::prelude::*;
 use provgraph::compiled::{CorpusSession, GraphId};
 use provgraph::fingerprint::{full_fingerprint_core, shape_fingerprint_core};
-use provgraph::snapshot::{restore_session, snapshot_session};
+use provgraph::snapshot::{
+    restore_session, snapshot_session, SnapshotError, SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
+};
 use provgraph::PropertyGraph;
 
 use aspsolver::{solve_batch_in, solve_in, solve_strings, Problem, SolverConfig};
@@ -179,5 +181,102 @@ proptest! {
                 }
             }
         }
+    }
+
+    /// Restore fuzz: **every** strict prefix of a valid snapshot must be
+    /// rejected with a typed [`SnapshotError`] — no panic, no partially
+    /// restored session. Truncations inside the header fail the header
+    /// reads; truncations anywhere in the body fail the whole-payload
+    /// checksum before any structure is trusted.
+    #[test]
+    fn truncated_snapshots_never_restore(
+        graphs in prop::collection::vec(arb_graph(4), 1..3),
+        cut in 0usize..1_000_000,
+    ) {
+        let mut session = CorpusSession::new();
+        for g in &graphs {
+            session.add(g);
+        }
+        let bytes = snapshot_session(&session);
+        let len = cut % bytes.len(); // 0..len → strictly shorter
+        let result = restore_session(&bytes[..len]);
+        prop_assert!(
+            result.is_err(),
+            "a {len}-byte prefix of a {}-byte snapshot must not restore",
+            bytes.len()
+        );
+    }
+}
+
+/// Degenerate restore inputs: zero-length and header-only buffers each
+/// fail with the *specific* typed error their truncation point implies.
+#[test]
+fn degenerate_snapshot_buffers_rejected_with_typed_errors() {
+    // Zero-length: not even a magic.
+    assert!(
+        restore_session(&[]).is_err(),
+        "empty input must not restore"
+    );
+
+    // Wrong magic fails before anything else is read.
+    assert!(matches!(
+        restore_session(b"NOPE\0\0\0\0\0\0\0\0\0\0\0\0"),
+        Err(SnapshotError::BadMagic)
+    ));
+
+    // Magic alone: truncated before the version.
+    assert!(matches!(
+        restore_session(&SNAPSHOT_MAGIC),
+        Err(SnapshotError::Truncated { .. })
+    ));
+
+    // Magic + version: truncated before the checksum.
+    let mut header = SNAPSHOT_MAGIC.to_vec();
+    header.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+    assert!(matches!(
+        restore_session(&header),
+        Err(SnapshotError::Truncated { .. })
+    ));
+
+    // Full header with a checksum over an *empty* payload (FxHash of no
+    // bytes is 0): the checksum passes, then the body reads must still
+    // fail typed — never panic, never yield a partial session.
+    let mut empty_payload = header.clone();
+    empty_payload.extend_from_slice(&0u64.to_le_bytes());
+    assert!(matches!(
+        restore_session(&empty_payload),
+        Err(SnapshotError::Truncated { .. })
+    ));
+
+    // Unsupported version is detected before the checksum.
+    let mut skewed = SNAPSHOT_MAGIC.to_vec();
+    skewed.extend_from_slice(&(SNAPSHOT_VERSION + 1).to_le_bytes());
+    skewed.extend_from_slice(&0u64.to_le_bytes());
+    assert!(matches!(
+        restore_session(&skewed),
+        Err(SnapshotError::UnsupportedVersion { .. })
+    ));
+}
+
+/// A corrupted body (any flipped byte after the header) must fail the
+/// payload checksum — snapshot restore trusts nothing it did not verify.
+#[test]
+fn flipped_payload_byte_fails_checksum() {
+    let mut g = PropertyGraph::new();
+    g.add_node("n0", "P").unwrap();
+    g.add_node("n1", "A").unwrap();
+    g.add_edge("e0", "n0", "n1", "u").unwrap();
+    let mut session = CorpusSession::new();
+    session.add(&g);
+    let bytes = snapshot_session(&session);
+    // Header = magic (4) + version (4) + checksum (8).
+    for at in [16, bytes.len() / 2, bytes.len() - 1] {
+        let mut corrupted = bytes.clone();
+        corrupted[at] ^= 0x40;
+        let result = restore_session(&corrupted);
+        assert!(
+            matches!(result, Err(SnapshotError::Corrupt { .. })),
+            "flip at byte {at}: {result:?}"
+        );
     }
 }

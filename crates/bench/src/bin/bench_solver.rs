@@ -51,9 +51,21 @@
 //!
 //! `--min-batch` gates `session_amortized / batch` on these workloads.
 //!
+//! A fourth `batch_memo` column replays each batch workload through a
+//! session-level [`aspsolver::SolveMemo`] held across calls — the
+//! steady-state matrix-replay pattern, where the same (problem, core
+//! pair, config) keys recur call after call and are served from the
+//! cache. `memo_speedup` = batch / batch_memo; `--min-memo` gates it on
+//! the `matrix_replay` workloads (per-batch sharing cannot help there —
+//! the rights are all distinct cores — so the memo's cross-call reuse is
+//! exactly what the gate measures); it is informational on the
+//! rep-members workloads. Each memo row also carries informational
+//! `memo_hits` / `memo_misses` / `memo_hit_rate` (tracked outside
+//! `SolverStats`, so cached outcomes stay bit-identical to fresh ones).
+//!
 //! ```text
 //! bench_solver [--out PATH] [--min-speedup X] [--min-oneshot X]
-//!              [--min-batch X] [--reps N] [--quick]
+//!              [--min-batch X] [--min-memo X] [--reps N] [--quick]
 //! ```
 //!
 //! `--quick` runs only the scaled suites plus the batch workloads at a
@@ -74,7 +86,8 @@
 use std::time::Instant;
 
 use aspsolver::{
-    solve, solve_batch_in, solve_compiled, solve_in, solve_strings, Problem, SolverConfig,
+    solve, solve_batch_in, solve_batch_in_memo, solve_compiled, solve_in, solve_strings, Problem,
+    SolveMemo, SolverConfig,
 };
 use criterion::bootstrap_median_ci;
 use provgraph::compiled::{CompiledGraph, CorpusSession, GraphId, Interner};
@@ -294,6 +307,7 @@ fn main() {
     let mut min_speedup: Option<f64> = None;
     let mut min_oneshot: Option<f64> = None;
     let mut min_batch: Option<f64> = None;
+    let mut min_memo: Option<f64> = None;
     let mut reps: Option<usize> = None;
     let mut quick = false;
     let mut args = std::env::args().skip(1);
@@ -319,6 +333,13 @@ fn main() {
                     args.next()
                         .and_then(|v| v.parse().ok())
                         .expect("--min-batch needs a number"),
+                )
+            }
+            "--min-memo" => {
+                min_memo = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--min-memo needs a number"),
                 )
             }
             "--reps" => {
@@ -450,9 +471,17 @@ fn main() {
 
     // ---- batch workloads: one prepared left, many rights ---------------
     let mut batch_speedups: Vec<(String, Speedup)> = Vec::new();
+    let mut memo_speedups: Vec<(String, Speedup)> = Vec::new();
     println!(
-        "\n{:<22} {:>6} {:>13} {:>11} {:>8}",
-        "batch workload", "rights", "session (ms)", "batch (ms)", "batch ×"
+        "\n{:<22} {:>6} {:>13} {:>11} {:>8} {:>11} {:>8} {:>6}",
+        "batch workload",
+        "rights",
+        "session (ms)",
+        "batch (ms)",
+        "batch ×",
+        "memo (ms)",
+        "memo ×",
+        "hit%"
     );
     for w in batch_workloads(quick) {
         let mut session = CorpusSession::new();
@@ -474,9 +503,22 @@ fn main() {
                 && out.optimal == strings.optimal
                 && out.stats == strings.stats;
         }
+        // Memo differential: a cold pass (populating) and a warm pass
+        // (replaying from the cache) must both equal the memo-off batch
+        // in every observable, search statistics included. The memo then
+        // stays warm for the timed column — the steady-state replay.
+        let memo = SolveMemo::new();
+        for _pass in 0..2 {
+            let memo_outcomes =
+                solve_batch_in_memo(w.problem, &session, lhs_id, &rhs_ids, &config, Some(&memo));
+            agree &= memo_outcomes.len() == batch_outcomes.len();
+            for (m, b) in memo_outcomes.iter().zip(&batch_outcomes) {
+                agree &= m.matching == b.matching && m.optimal == b.optimal && m.stats == b.stats;
+            }
+        }
         if !agree {
             eprintln!(
-                "{}: batch path DISAGREES with per-pair/oracle — not publishing timings",
+                "{}: batch/memo paths DISAGREE with per-pair/oracle — not publishing timings",
                 w.name
             );
             disagreements += 1;
@@ -491,19 +533,28 @@ fn main() {
         let batch_q = measure(reps, || {
             solve_batch_in(w.problem, &session, lhs_id, &rhs_ids, &config)
         });
+        let memo_q = measure(reps, || {
+            solve_batch_in_memo(w.problem, &session, lhs_id, &rhs_ids, &config, Some(&memo))
+        });
+        let (memo_hits, memo_misses) = (memo.hits(), memo.misses());
+        let memo_hit_rate = memo_hits as f64 / (memo_hits + memo_misses).max(1) as f64;
         let batch_x = speedup(session_q, batch_q);
-        let noisy = [session_q, batch_q]
+        let memo_x = speedup(batch_q, memo_q);
+        let noisy = [session_q, batch_q, memo_q]
             .into_iter()
             .map(relative_iqr)
             .fold(0.0f64, f64::max)
             > 0.25;
         println!(
-            "{:<22} {:>6} {:>13.3} {:>11.3} {:>7.2}x{}",
+            "{:<22} {:>6} {:>13.3} {:>11.3} {:>7.2}x {:>11.3} {:>7.2}x {:>5.0}%{}",
             w.name,
             rhs_ids.len(),
             session_q.median * 1e3,
             batch_q.median * 1e3,
             batch_x.median,
+            memo_q.median * 1e3,
+            memo_x.median,
+            memo_hit_rate * 100.0,
             if noisy { "  (noisy)" } else { "" }
         );
 
@@ -515,7 +566,14 @@ fn main() {
         row.insert("rhs_count".into(), Value::Number(rhs_ids.len() as f64));
         insert_quartiles(&mut row, "session_amortized", session_q);
         insert_quartiles(&mut row, "batch", batch_q);
+        insert_quartiles(&mut row, "batch_memo", memo_q);
         row.insert("batch_speedup".into(), Value::Number(batch_x.median));
+        row.insert("memo_speedup".into(), Value::Number(memo_x.median));
+        // Informational hit-rate accounting, kept outside SolverStats so
+        // cached outcomes stay bit-identical to fresh ones.
+        row.insert("memo_hits".into(), Value::Number(memo_hits as f64));
+        row.insert("memo_misses".into(), Value::Number(memo_misses as f64));
+        row.insert("memo_hit_rate".into(), Value::Number(memo_hit_rate));
         row.insert("outcomes_identical".into(), Value::Bool(true));
         row.insert("noisy".into(), Value::Bool(noisy));
         rows.push(Value::Object(row));
@@ -527,7 +585,15 @@ fn main() {
         // its batch win comes from parallel fan-out, which a single-core
         // runner cannot show.
         if w.name.starts_with("rep_members") {
-            batch_speedups.push((w.name, batch_x));
+            batch_speedups.push((w.name.clone(), batch_x));
+        }
+        // The memo gate is the mirror image: matrix replay is where
+        // per-batch sharing cannot help (all rights are distinct cores),
+        // so the memo's cross-call reuse must beat it; on rep-members
+        // the in-batch sharing already collapses the work, so the memo
+        // column is informational there.
+        if w.name.starts_with("matrix_replay") {
+            memo_speedups.push((w.name, memo_x));
         }
     }
 
@@ -615,6 +681,7 @@ fn main() {
     let min_session = min_of(&session_speedups);
     let min_oneshot_scale64 = min_of(&scale64_oneshot_speedups);
     let min_batch_speedup = min_of(&batch_speedups);
+    let min_memo_speedup = min_of(&memo_speedups);
     let geomean_amortized = (amortized_speedups
         .iter()
         .map(|(_, s)| s.median.ln())
@@ -639,7 +706,12 @@ fn main() {
              graphs, fanned out with par_map — against per-pair session solves of the \
              same pairs; `batch_speedup` = session_amortized / batch, gated \
              (--min-batch) on the rep_members workloads where rights share one \
-             compiled structure. All timings carry p25/p75 quartiles and a bootstrap \
+             compiled structure. The batch_memo column replays the same batch through \
+             a session-level SolveMemo held across calls (the steady-state \
+             matrix-replay pattern); `memo_speedup` = batch / batch_memo, gated \
+             (--min-memo) on the matrix_replay workloads where per-batch sharing \
+             cannot help, with informational memo_hits/memo_misses/memo_hit_rate per \
+             row. All timings carry p25/p75 quartiles and a bootstrap \
              95% CI of the median; gates use the CI bound for noise awareness"
                 .into(),
         ),
@@ -684,6 +756,10 @@ fn main() {
         Value::Number(geomean_amortized),
     );
     summary.insert("min_batch_speedup".into(), Value::Number(min_batch_speedup));
+    summary.insert(
+        "min_memo_speedup_matrix_replay".into(),
+        Value::Number(min_memo_speedup),
+    );
     doc.insert("summary".into(), Value::Object(summary));
 
     let text = serde_json::to_string_pretty(&Value::Object(doc)).expect("report serializes");
@@ -691,7 +767,7 @@ fn main() {
     println!(
         "wrote {out_path} (min amortized {min_amortized:.2}x, geomean {geomean_amortized:.2}x, \
          min session {min_session:.2}x, scale64 min oneshot {min_oneshot_scale64:.2}x, \
-         min batch {min_batch_speedup:.2}x)"
+         min batch {min_batch_speedup:.2}x, min memo (matrix replay) {min_memo_speedup:.2}x)"
     );
 
     let mut fail = false;
@@ -712,6 +788,14 @@ fn main() {
             fail = true;
         } else {
             fail |= gate("batch", required, &batch_speedups);
+        }
+    }
+    if let Some(required) = min_memo {
+        if memo_speedups.is_empty() {
+            eprintln!("FAIL: --min-memo given but no matrix_replay workload was run");
+            fail = true;
+        } else {
+            fail |= gate("memo", required, &memo_speedups);
         }
     }
     if fail {

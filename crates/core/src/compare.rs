@@ -16,7 +16,7 @@
 
 use std::collections::BTreeSet;
 
-use aspsolver::{find_subgraph, BatchSolver, Matching, Problem, SolverConfig};
+use aspsolver::{find_subgraph, BatchSolver, Matching, Problem, SolveMemo, SolverConfig};
 use provgraph::compiled::{CorpusSession, GraphId};
 use provgraph::{diff, PropertyGraph};
 
@@ -71,8 +71,10 @@ pub fn compare(
 /// per cell on the way to the subtraction.
 ///
 /// The solve goes through [`batch_comparer`]'s prepared left-hand plan
-/// (a batch of one here). Outcomes are identical to the plain session
-/// path.
+/// (a batch of one here), consulting `memo` when given — a replayed
+/// (background, foreground) core pair (regression replay, repeated
+/// cells) is then served from the cache. Outcomes are identical to the
+/// plain session path either way.
 ///
 /// # Errors
 ///
@@ -82,8 +84,9 @@ pub fn compare_in(
     background: GraphId,
     foreground: GraphId,
     foreground_graph: &PropertyGraph,
+    memo: Option<&SolveMemo>,
 ) -> Result<Comparison, PipelineError> {
-    let matching = batch_comparer(session, background)
+    let matching = batch_comparer(session, background, memo)
         .solve_one(foreground)
         .matching
         .ok_or(PipelineError::BackgroundNotSubgraph)?;
@@ -96,14 +99,20 @@ pub fn compare_in(
 /// results, future matrix sharding). [`compare_in`] is currently its
 /// only in-tree caller — a batch of one; callers with several
 /// foregrounds should keep the returned solver and use
-/// [`BatchSolver::solve_batch`].
-pub fn batch_comparer(session: &CorpusSession, background: GraphId) -> BatchSolver<'_> {
+/// [`BatchSolver::solve_batch`]. `memo`, when given, lets separate
+/// batches (and other stages sharing it) replay equivalent dense solves.
+pub fn batch_comparer<'s>(
+    session: &'s CorpusSession,
+    background: GraphId,
+    memo: Option<&'s SolveMemo>,
+) -> BatchSolver<'s> {
     BatchSolver::new(
         Problem::Subgraph,
         session,
         background,
         SolverConfig::default(),
     )
+    .with_memo(memo)
 }
 
 /// Shared tail of both entry points: borrow the matched identifiers out
@@ -165,10 +174,29 @@ mod tests {
         let mut session = CorpusSession::new();
         let b = session.add(&bg);
         let f = session.add(&fg);
-        let via_session = compare_in(&session, b, f, &fg).unwrap();
+        let via_session = compare_in(&session, b, f, &fg, None).unwrap();
         let one_shot = compare(&bg, &fg).unwrap();
         assert_eq!(via_session.result, one_shot.result);
         assert_eq!(via_session.matching_cost, one_shot.matching_cost);
+    }
+
+    #[test]
+    fn compare_in_with_memo_agrees_and_replays_from_cache() {
+        let bg = bg();
+        let fg = fg_with_target();
+        let mut session = CorpusSession::new();
+        let b = session.add(&bg);
+        let f = session.add(&fg);
+        let plain = compare_in(&session, b, f, &fg, None).unwrap();
+        let memo = SolveMemo::new();
+        let cold = compare_in(&session, b, f, &fg, Some(&memo)).unwrap();
+        let warm = compare_in(&session, b, f, &fg, Some(&memo)).unwrap();
+        assert_eq!(memo.misses(), 1);
+        assert_eq!(memo.hits(), 1, "the replayed cell must come from the cache");
+        for c in [&cold, &warm] {
+            assert_eq!(c.result, plain.result);
+            assert_eq!(c.matching_cost, plain.matching_cost);
+        }
     }
 
     #[test]

@@ -22,7 +22,7 @@
 //! re-interned) twice.
 
 use aspsolver::{
-    find_generalization, find_generalization_in, BatchSolver, Matching, Problem, SolverConfig,
+    find_generalization, solve_in_memo, BatchSolver, Matching, Problem, SolveMemo, SolverConfig,
 };
 use provgraph::compiled::{CorpusSession, GraphId};
 use provgraph::PropertyGraph;
@@ -49,7 +49,7 @@ pub enum PairStrategy {
 pub fn similarity_classes(graphs: &[PropertyGraph]) -> Vec<Vec<usize>> {
     let mut session = CorpusSession::new();
     let ids: Vec<GraphId> = graphs.iter().map(|g| session.add(g)).collect();
-    similarity_classes_in(&session, &ids, graphs)
+    similarity_classes_in(&session, &ids, graphs, None)
 }
 
 /// Partition session-compiled trial graphs into similarity classes.
@@ -78,10 +78,18 @@ pub fn similarity_classes(graphs: &[PropertyGraph]) -> Vec<Vec<usize>> {
 /// schedule did: a trial belongs to the first class (in creation order)
 /// whose representative it matches, and representatives are taken in
 /// trial order either way.
+///
+/// `memo`, when given, is threaded into every batched confirmation
+/// ([`BatchSolver::with_memo`]): cores already confirmed under one
+/// representative are replayed from the cache when a later
+/// representative (or a later caller sharing the memo — the pipeline
+/// threads one per benchmark run) meets an equivalent core. The
+/// partition is identical with and without it.
 pub fn similarity_classes_in(
     session: &CorpusSession,
     ids: &[GraphId],
     graphs: &[PropertyGraph],
+    memo: Option<&SolveMemo>,
 ) -> Vec<Vec<usize>> {
     debug_assert_eq!(ids.len(), graphs.len());
     let fingerprints = par::par_map(ids, |id| session.shape_fingerprint(*id));
@@ -117,6 +125,7 @@ pub fn similarity_classes_in(
                     ids[bucket[rep]],
                     SolverConfig::default(),
                 )
+                .with_memo(memo)
                 .solve_batch(&need)
             };
             let mut outcomes = outcomes.into_iter();
@@ -225,7 +234,7 @@ pub fn generalize_trials(
     strategy: PairStrategy,
     variant: &'static str,
 ) -> Result<Generalized, PipelineError> {
-    generalize_trials_in(&mut CorpusSession::new(), graphs, strategy, variant)
+    generalize_trials_in(&mut CorpusSession::new(), graphs, strategy, variant, None)
 }
 
 /// Full generalization stage over all trials of one program variant,
@@ -239,6 +248,10 @@ pub fn generalize_trials(
 /// nothing. Lowering to a [`PropertyGraph`] happens only once, for the
 /// returned generalized representative.
 ///
+/// `memo`, when given, is shared by the classification batches and the
+/// generalization matching (the pipeline threads one memo per benchmark
+/// run, so both variants' stages replay each other's dense solves).
+///
 /// # Errors
 ///
 /// Same contract as [`generalize_trials`].
@@ -247,12 +260,13 @@ pub fn generalize_trials_in(
     graphs: &[PropertyGraph],
     strategy: PairStrategy,
     variant: &'static str,
+    memo: Option<&SolveMemo>,
 ) -> Result<Generalized, PipelineError> {
     if graphs.len() < 2 {
         return Err(PipelineError::NotEnoughTrials(graphs.len()));
     }
     let ids: Vec<GraphId> = graphs.iter().map(|g| session.add(g)).collect();
-    let classes = similarity_classes_in(session, &ids, graphs);
+    let classes = similarity_classes_in(session, &ids, graphs, memo);
     let Some((a, b)) = pick_pair(&classes, graphs, strategy) else {
         return Err(PipelineError::NoConsistentTrials {
             variant,
@@ -263,10 +277,18 @@ pub fn generalize_trials_in(
     // the matching can be absent is the solver abandoning the search at
     // its step budget on a pathological trial — a reportable condition,
     // not a programming error.
-    let matching =
-        find_generalization_in(session, ids[a], ids[b]).ok_or(PipelineError::SolverGaveUp {
-            stage: "generalization",
-        })?;
+    let matching = solve_in_memo(
+        Problem::Generalization,
+        session,
+        ids[a],
+        ids[b],
+        &SolverConfig::default(),
+        memo,
+    )
+    .matching
+    .ok_or(PipelineError::SolverGaveUp {
+        stage: "generalization",
+    })?;
     let graph = apply_generalization(&graphs[a], &graphs[b], &matching);
     let chosen_class_len = classes
         .iter()

@@ -16,6 +16,13 @@ pub struct BenchmarkOptions {
     /// Discard obviously incomplete or inconsistent graphs before
     /// generalization (ProvMark's graph filtering; default on for CamFlow).
     pub filter_graphs: bool,
+    /// Thread one session-level solve memo (`aspsolver::SolveMemo`)
+    /// through each benchmark run, so dense searches replayed across
+    /// stages, batches and left-hand sides are cached. Outcomes are
+    /// byte-identical either way (the memo only skips re-deriving pure
+    /// functions); the switch exists for ablation and for the CI
+    /// memo-on/memo-off report diff. Default on.
+    pub use_solve_memo: bool,
 }
 
 impl Default for BenchmarkOptions {
@@ -25,6 +32,7 @@ impl Default for BenchmarkOptions {
             base_seed: 1,
             noise: false,
             filter_graphs: true,
+            use_solve_memo: true,
         }
     }
 }

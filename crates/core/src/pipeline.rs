@@ -16,7 +16,12 @@
 //! confirms each class representative against all unclassified bucket
 //! members with one prepared left-hand plan
 //! ([`generalize::similarity_classes_in`]), and the comparison prepares
-//! the background side once per cell ([`compare::compare_in`]). The
+//! the background side once per cell ([`compare::compare_in`]). A
+//! session-level solve memo ([`aspsolver::SolveMemo`], one per run, on
+//! by default via [`BenchmarkOptions::use_solve_memo`]) spans all those
+//! stages, so dense searches replayed across batches, calls and
+//! left-hand sides are looked up instead of re-run — with outcomes
+//! byte-identical to memo-off runs, search statistics included. The
 //! pipeline lowers back to [`PropertyGraph`] only where string
 //! identifiers and mutable properties are the point: the generalized
 //! representatives and the subtracted result graph handed to
@@ -28,6 +33,7 @@
 
 use std::time::{Duration, Instant};
 
+use aspsolver::SolveMemo;
 use provgraph::compiled::CorpusSession;
 use provgraph::{diff, PropertyGraph};
 
@@ -116,6 +122,7 @@ pub struct BenchmarkRun {
 
 /// Record, transform and generalize one program variant, compiling its
 /// trials into the run's shared session.
+#[allow(clippy::too_many_arguments)]
 fn prepare_variant(
     tool: &mut ToolInstance,
     session: &mut CorpusSession,
@@ -124,6 +131,7 @@ fn prepare_variant(
     variant: &'static str,
     seed_base: u64,
     timings: &mut StageTimings,
+    memo: Option<&SolveMemo>,
 ) -> Result<generalize::Generalized, PipelineError> {
     let program = if variant == "background" {
         spec.background()
@@ -153,7 +161,7 @@ fn prepare_variant(
 
     let t0 = Instant::now();
     let mut generalized =
-        generalize::generalize_trials_in(session, &graphs, PairStrategy::default(), variant)?;
+        generalize::generalize_trials_in(session, &graphs, PairStrategy::default(), variant, memo)?;
     generalized.discarded += unparseable;
     timings.generalization += t0.elapsed();
     Ok(generalized)
@@ -177,6 +185,12 @@ pub fn run_benchmark(
     // One corpus session for the whole run: both variants' trials, the
     // generalized representatives and the comparison share one interner.
     let mut session = CorpusSession::new();
+    // One solve memo for the whole run (session-scoped, like the
+    // interner): similarity confirmation, the generalization matching
+    // and the comparison all replay each other's dense searches, across
+    // both variants. Outcomes are byte-identical with the memo off.
+    let memo = opts.use_solve_memo.then(SolveMemo::new);
+    let memo = memo.as_ref();
     // Distinct kernel seeds per variant so volatile values never repeat.
     let bg = prepare_variant(
         tool,
@@ -186,6 +200,7 @@ pub fn run_benchmark(
         "background",
         opts.base_seed,
         &mut timings,
+        memo,
     )?;
     let fg = prepare_variant(
         tool,
@@ -195,6 +210,7 @@ pub fn run_benchmark(
         "foreground",
         opts.base_seed + 10_000,
         &mut timings,
+        memo,
     )?;
 
     let t0 = Instant::now();
@@ -203,7 +219,7 @@ pub fn run_benchmark(
     // adding them compiles without growing the symbol table.
     let bg_id = session.add(&bg.graph);
     let fg_id = session.add(&fg.graph);
-    let cmp = compare::compare_in(&session, bg_id, fg_id, &fg.graph)?;
+    let cmp = compare::compare_in(&session, bg_id, fg_id, &fg.graph, memo)?;
     timings.comparison += t0.elapsed();
 
     let status = if diff::effective_size(&cmp.result) == 0 {
@@ -633,6 +649,38 @@ mod tests {
             .filter(|n| provgraph::diff::is_dummy(&run.result, &n.id))
             .collect();
         assert!(!dummies.is_empty(), "process anchor should be a dummy");
+    }
+
+    #[test]
+    fn memo_on_run_identical_to_memo_off() {
+        // The solve memo must be invisible in every run observable:
+        // status, result graph, generalized graphs, matching cost,
+        // discarded-trial count.
+        let spec = suite::spec("creat").unwrap();
+        let on = BenchmarkOptions::default();
+        assert!(on.use_solve_memo, "memo is the default");
+        let off = BenchmarkOptions {
+            use_solve_memo: false,
+            ..BenchmarkOptions::default()
+        };
+        for tool in [
+            Tool::spade_baseline(),
+            fast_opus(),
+            Tool::camflow_baseline(),
+        ] {
+            let kind = tool.kind();
+            let run_on = run_benchmark(&mut tool.clone().instantiate(), &spec, &on).unwrap();
+            let run_off = run_benchmark(&mut tool.instantiate(), &spec, &off).unwrap();
+            assert_eq!(run_on.status, run_off.status, "{kind:?}");
+            assert_eq!(run_on.result, run_off.result, "{kind:?}");
+            assert_eq!(run_on.generalized_bg, run_off.generalized_bg, "{kind:?}");
+            assert_eq!(run_on.generalized_fg, run_off.generalized_fg, "{kind:?}");
+            assert_eq!(run_on.matching_cost, run_off.matching_cost, "{kind:?}");
+            assert_eq!(
+                run_on.discarded_trials, run_off.discarded_trials,
+                "{kind:?}"
+            );
+        }
     }
 
     #[test]

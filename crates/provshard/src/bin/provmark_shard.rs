@@ -26,7 +26,7 @@ use std::process::ExitCode;
 use provmark_core::pipeline::plan_matrix_shard;
 use provmark_core::PipelineError;
 use provshard::{
-    drive_local, execute, merge, plan, single_report, PartialResults, RunConfig, ShardManifest,
+    drive_local, execute, load_partial, merge, plan, single_report, RunConfig, ShardManifest,
 };
 
 fn usage() -> ExitCode {
@@ -41,7 +41,8 @@ fn usage() -> ExitCode {
          \x20 drive   --shards N --out REPORT [--work-dir DIR] [run options]\n\
          \n\
          run options: --quick (scaled-down simulated OPUS startup),\n\
-         \x20          --trials T (default 2), --seed S (default 1)"
+         \x20          --trials T (default 2), --seed S (default 1),\n\
+         \x20          --no-memo (disable the session-level solve memo)"
     );
     ExitCode::from(2)
 }
@@ -55,6 +56,7 @@ struct Args {
     out_dir: Option<PathBuf>,
     work_dir: Option<PathBuf>,
     quick: bool,
+    no_memo: bool,
     trials: Option<usize>,
     seed: Option<u64>,
     positional: Vec<PathBuf>,
@@ -88,6 +90,7 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
             "--out-dir" => args.out_dir = Some(PathBuf::from(value("--out-dir", &mut it)?)),
             "--work-dir" => args.work_dir = Some(PathBuf::from(value("--work-dir", &mut it)?)),
             "--quick" => args.quick = true,
+            "--no-memo" => args.no_memo = true,
             "--trials" => {
                 args.trials = Some(
                     value("--trials", &mut it)?
@@ -122,6 +125,7 @@ impl Args {
         if let Some(seed) = self.seed {
             config.opts.base_seed = seed;
         }
+        config.opts.use_solve_memo = !self.no_memo;
         config
     }
 }
@@ -176,10 +180,13 @@ fn run(command: &str, args: &Args) -> Result<(), PipelineError> {
                 return Err(missing("at least one PARTIAL path"));
             }
             let out = args.out.clone().ok_or(missing("--out"))?;
+            // Loading names the offending file path and argument position
+            // on any malformed (e.g. truncated mid-write) artifact.
             let parts = args
                 .positional
                 .iter()
-                .map(|p| PartialResults::from_json_str(&std::fs::read_to_string(p)?))
+                .enumerate()
+                .map(|(i, p)| load_partial(p, i))
                 .collect::<Result<Vec<_>, _>>()?;
             let report = merge(parts)?;
             std::fs::write(&out, &report)?;

@@ -53,10 +53,15 @@ use provmark_core::{BenchmarkOptions, PipelineError};
 use serde_json::{Map, Value};
 
 /// Version of the shard-manifest JSON layout.
-pub const MANIFEST_VERSION: u32 = 1;
+///
+/// v2: the run configuration gained the `use_solve_memo` switch (the
+/// session-level solve memo; on by default).
+pub const MANIFEST_VERSION: u32 = 2;
 
 /// Version of the partial-results JSON layout.
-pub const PARTIAL_VERSION: u32 = 1;
+///
+/// v2: the run configuration gained the `use_solve_memo` switch.
+pub const PARTIAL_VERSION: u32 = 2;
 
 /// Simulated OPUS Neo4j startup iterations used by `--quick` runs (the
 /// CI smoke configuration; same scale as the tier-1 matrix test).
@@ -194,6 +199,10 @@ fn insert_config(doc: &mut Map<String, Value>, config: &RunConfig) {
         "filter_graphs".into(),
         Value::Bool(config.opts.filter_graphs),
     );
+    options.insert(
+        "use_solve_memo".into(),
+        Value::Bool(config.opts.use_solve_memo),
+    );
     doc.insert("options".into(), Value::Object(options));
     doc.insert(
         "opus_db_iterations".into(),
@@ -215,6 +224,7 @@ fn extract_config(doc: &Value) -> Result<RunConfig, PipelineError> {
         base_seed,
         noise: get_bool(options, "noise")?,
         filter_graphs: get_bool(options, "filter_graphs")?,
+        use_solve_memo: get_bool(options, "use_solve_memo")?,
     };
     let opus_db_iterations = match &doc["opus_db_iterations"] {
         Value::Null => None,
@@ -377,6 +387,27 @@ fn artifact(detail: impl Into<String>) -> PipelineError {
     PipelineError::ShardArtifact {
         detail: detail.into(),
     }
+}
+
+/// Read and parse one partial-results artifact from disk, naming the
+/// offending **file path and shard position** in every artifact error.
+///
+/// A truncated or mid-write partial (a worker killed between `write`
+/// and `fsync`, an interrupted copy) used to surface as a bare "not
+/// valid JSON" message, leaving the operator to bisect which of N
+/// artifacts was broken; this wrapper pins the failure to the file so
+/// only that shard needs re-executing. Unreadable files are reported
+/// the same way; typed non-artifact errors (e.g. snapshot-version skew)
+/// pass through unchanged.
+pub fn load_partial(path: &Path, index: usize) -> Result<PartialResults, PipelineError> {
+    let annotate =
+        |detail: String| artifact(format!("partial #{index} (`{}`): {detail}", path.display()));
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| annotate(format!("cannot read the artifact: {e}")))?;
+    PartialResults::from_json_str(&text).map_err(|e| match e {
+        PipelineError::ShardArtifact { detail } => annotate(detail),
+        other => other,
+    })
 }
 
 /// Validate the `format` / `version` / `snapshot_format_version` header
@@ -553,7 +584,7 @@ pub fn drive_local(
                 ),
             });
         }
-        let partial = PartialResults::from_json_str(&std::fs::read_to_string(&partial_path)?)?;
+        let partial = load_partial(&partial_path, shard.shard_index)?;
         if partial.shard_index != shard.shard_index || partial.shard_count != shard.shard_count {
             return Err(PipelineError::ShardMerge {
                 detail: format!(
@@ -646,13 +677,72 @@ mod tests {
     fn artifact_version_skew_rejected() {
         let text = sample_manifest()
             .to_json_string()
-            .replace("\"version\": 1", "\"version\": 2");
+            .replace("\"version\": 2", "\"version\": 3");
         let err = ShardManifest::from_json_str(&text).unwrap_err();
         assert!(
             matches!(&err, PipelineError::ShardArtifact { detail }
-                if detail.contains("version 2") && detail.contains("re-plan")),
+                if detail.contains("version 3") && detail.contains("re-plan")),
             "{err}"
         );
+    }
+
+    #[test]
+    fn v1_artifacts_without_memo_field_rejected() {
+        // A v1-era manifest (no `use_solve_memo`) must be refused by the
+        // version header, not half-parsed into a default configuration.
+        let text = sample_manifest()
+            .to_json_string()
+            .replace("\"version\": 2", "\"version\": 1");
+        let err = ShardManifest::from_json_str(&text).unwrap_err();
+        assert!(
+            matches!(&err, PipelineError::ShardArtifact { detail } if detail.contains("version 1")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn memo_switch_roundtrips_through_artifacts() {
+        let mut config = RunConfig::quick();
+        config.opts.use_solve_memo = false;
+        let manifest = plan(2, &config).unwrap().swap_remove(0);
+        let back = ShardManifest::from_json_str(&manifest.to_json_string()).unwrap();
+        assert!(!back.config.opts.use_solve_memo);
+        assert_eq!(back.config, config);
+    }
+
+    #[test]
+    fn truncated_partial_reports_file_path_and_index() {
+        let dir = std::env::temp_dir().join(format!("provshard-trunc-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let full = PartialResults {
+            shard_index: 1,
+            shard_count: 3,
+            config: RunConfig::quick(),
+            rows: Vec::new(),
+        }
+        .to_json_string();
+        // A mid-write artifact: valid JSON prefix, cut off mid-document.
+        let path = dir.join("part-1.json");
+        std::fs::write(&path, &full[..full.len() / 2]).unwrap();
+        let err = load_partial(&path, 1).unwrap_err();
+        assert!(
+            matches!(&err, PipelineError::ShardArtifact { detail }
+                if detail.contains("partial #1")
+                    && detail.contains("part-1.json")
+                    && detail.contains("JSON")),
+            "truncated artifact must name the file and index: {err}"
+        );
+        // A missing artifact is annotated the same way.
+        let err = load_partial(&dir.join("never-written.json"), 2).unwrap_err();
+        assert!(
+            matches!(&err, PipelineError::ShardArtifact { detail }
+                if detail.contains("partial #2") && detail.contains("never-written.json")),
+            "{err}"
+        );
+        // An intact artifact still loads.
+        std::fs::write(&path, &full).unwrap();
+        assert_eq!(load_partial(&path, 1).unwrap().shard_index, 1);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -24,6 +24,16 @@ fn three_shard_merge_is_byte_identical_to_single_process() {
     let reference = single_report(&config);
     assert!(reference.contains("agreement with paper Table 2"));
 
+    // The session-level solve memo (on by default) must be invisible in
+    // the report: a memo-off run renders byte-identically.
+    let mut no_memo = RunConfig::quick();
+    no_memo.opts.use_solve_memo = false;
+    assert_eq!(
+        single_report(&no_memo),
+        reference,
+        "memo-on and memo-off matrix reports must be byte-identical"
+    );
+
     let manifests = plan(3, &config).expect("plan");
     assert_eq!(manifests.len(), 3);
     // Execute out of order and feed the merge in that order: the merge
@@ -176,6 +186,23 @@ fn worker_cli_validates_arguments_with_actionable_errors() {
     assert!(
         err.contains("snapshot") && err.contains("version 9"),
         "typed snapshot-version error: {err}"
+    );
+
+    // A truncated (mid-write) partial handed to `merge` names the
+    // offending file and its argument position, so the operator knows
+    // which shard to re-execute.
+    let full = partial.to_json_string();
+    let truncated_path = dir.join("part-torn.json");
+    std::fs::write(&truncated_path, &full[..full.len() / 2]).unwrap();
+    let err = fail(&[
+        "merge",
+        &truncated_path.to_string_lossy(),
+        "--out",
+        &dir.join("never.txt").to_string_lossy(),
+    ]);
+    assert!(
+        err.contains("partial #0") && err.contains("part-torn.json"),
+        "truncated artifact must name the file and index: {err}"
     );
 
     std::fs::remove_dir_all(&dir).ok();
