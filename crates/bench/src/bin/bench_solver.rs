@@ -667,6 +667,84 @@ fn main() {
         }
     }
 
+    // ---- elastic drive: one injected worker loss vs clean run -----------
+    //
+    // Informational row (never gated): pins down the wall-clock overhead
+    // of losing one worker mid-cell — stale-heartbeat detection, backoff
+    // and epoch-bumped re-dispatch — against the clean elastic run, and
+    // asserts the recovered report stays byte-identical. In-process
+    // thread workers (no subprocess spawning), so the overhead measured
+    // is the protocol's, not process startup.
+    {
+        use provshard::elastic::{drive_elastic_in_process, ElasticOptions, InjectSpec};
+        use provshard::RunConfig;
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        const ELASTIC_WORKERS: usize = 3;
+        let config = RunConfig {
+            opts: provmark_core::BenchmarkOptions::default(),
+            opus_db_iterations: Some(500),
+        };
+        let elastic_opts = |inject: &str| ElasticOptions {
+            stale_after: std::time::Duration::from_millis(300),
+            backoff: std::time::Duration::from_millis(50),
+            inject: InjectSpec::parse(inject).expect("inject spec"),
+            ..ElasticOptions::default()
+        };
+        // Every drive needs a fresh run directory (a reused one is
+        // refused by design).
+        let run_seq = AtomicUsize::new(0);
+        let drive = |inject: &str| {
+            let dir = std::env::temp_dir().join(format!(
+                "provmark-bench-elastic-{}-{}",
+                std::process::id(),
+                run_seq.fetch_add(1, Ordering::Relaxed)
+            ));
+            let outcome =
+                drive_elastic_in_process(ELASTIC_WORKERS, &config, &dir, &elastic_opts(inject))
+                    .expect("elastic drive");
+            std::fs::remove_dir_all(&dir).ok();
+            assert!(
+                outcome.failures.is_empty(),
+                "bench elastic drive must recover every cell: {:?}",
+                outcome.failures
+            );
+            outcome.report
+        };
+        let clean = drive("");
+        let faulted = drive("kill-worker=1");
+        if clean != faulted {
+            eprintln!(
+                "sharded_faulted_quick: fault-recovered report DIFFERS from the clean \
+                 elastic report — not publishing timings"
+            );
+            disagreements += 1;
+        } else {
+            let fault_reps = reps.min(3);
+            let clean_q = measure(fault_reps, || drive(""));
+            let faulted_q = measure(fault_reps, || drive("kill-worker=1"));
+            let ratio = speedup(clean_q, faulted_q);
+            println!(
+                "\n{:<22} {:>6} {:>13.3} {:>11.3} {:>7.2}x  (informational; recovered byte-identical)",
+                "sharded_faulted_quick",
+                ELASTIC_WORKERS,
+                clean_q.median * 1e3,
+                faulted_q.median * 1e3,
+                ratio.median,
+            );
+            let mut row = Map::new();
+            row.insert("name".into(), Value::String("sharded_faulted_quick".into()));
+            row.insert("kind".into(), Value::String("fault_injection".into()));
+            row.insert("workers".into(), Value::Number(ELASTIC_WORKERS as f64));
+            row.insert("inject".into(), Value::String("kill-worker=1".into()));
+            insert_quartiles(&mut row, "clean", clean_q);
+            insert_quartiles(&mut row, "faulted", faulted_q);
+            row.insert("clean_over_faulted".into(), Value::Number(ratio.median));
+            row.insert("reports_byte_identical".into(), Value::Bool(true));
+            rows.push(Value::Object(row));
+        }
+    }
+
     if disagreements > 0 {
         std::process::exit(1);
     }

@@ -85,12 +85,66 @@ pub enum PipelineError {
         /// What failed to line up.
         detail: String,
     },
+    /// A per-cell task or artifact named a tool column outside the
+    /// matrix (the Table 2 tools are 0 = SPADE, 1 = OPUS, 2 = CamFlow).
+    UnknownTool {
+        /// The out-of-range tool column.
+        index: usize,
+        /// Number of tool columns in the matrix.
+        tools: usize,
+    },
+    /// One or more matrix cells were abandoned by the elastic shard
+    /// runner after exhausting their retry budget: every dispatch of the
+    /// cell ended in a dead worker, a stale heartbeat or a torn result
+    /// artifact. The merged report records each such cell as `lost`
+    /// instead of silently omitting it; this error carries the typed
+    /// per-cell records.
+    CellsExhausted {
+        /// One record per abandoned cell.
+        failures: Vec<crate::pipeline::CellFailure>,
+    },
+    /// The local worker pool died before the matrix completed and the
+    /// respawn budget was exhausted — no worker is left to claim the
+    /// remaining cells.
+    WorkerPool {
+        /// Every worker that exited unsuccessfully (index, rendered exit
+        /// status, captured stderr path).
+        failures: Vec<WorkerFailure>,
+        /// What the pool was still responsible for when it died.
+        detail: String,
+    },
     /// A session snapshot could not be restored (wrong magic, version
     /// mismatch, truncation or corruption).
     Snapshot {
         /// Underlying snapshot error.
         source: provgraph::snapshot::SnapshotError,
     },
+}
+
+/// One worker process (or thread) of a local elastic pool that exited
+/// unsuccessfully — the per-worker detail behind
+/// [`PipelineError::WorkerPool`], also reported informationally by the
+/// driver when the run recovered anyway.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerFailure {
+    /// Worker index within the pool (respawned workers get fresh
+    /// indices past the initial pool size).
+    pub worker: usize,
+    /// Rendered exit status (process exit code / signal, or the
+    /// abandonment reason for thread workers).
+    pub status: String,
+    /// Captured stderr path, when the worker ran as a process.
+    pub stderr: Option<std::path::PathBuf>,
+}
+
+impl fmt::Display for WorkerFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "worker {} failed ({})", self.worker, self.status)?;
+        if let Some(path) = &self.stderr {
+            write!(f, " — stderr: {}", path.display())?;
+        }
+        Ok(())
+    }
 }
 
 impl fmt::Display for PipelineError {
@@ -143,6 +197,37 @@ impl fmt::Display for PipelineError {
             }
             PipelineError::ShardMerge { detail } => {
                 write!(f, "shard results do not reassemble the matrix: {detail}")
+            }
+            PipelineError::UnknownTool { index, tools } => {
+                write!(
+                    f,
+                    "tool column {index} is out of range: the matrix has {tools} tool(s) \
+                     (0 = SPADE, 1 = OPUS, 2 = CamFlow)"
+                )
+            }
+            PipelineError::CellsExhausted { failures } => {
+                write!(
+                    f,
+                    "{} matrix cell(s) exhausted their retries and were recorded as lost: ",
+                    failures.len()
+                )?;
+                for (i, failure) in failures.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "; ")?;
+                    }
+                    write!(f, "{failure}")?;
+                }
+                Ok(())
+            }
+            PipelineError::WorkerPool { failures, detail } => {
+                write!(f, "the local worker pool cannot make progress ({detail}): ")?;
+                for (i, failure) in failures.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "; ")?;
+                    }
+                    write!(f, "{failure}")?;
+                }
+                Ok(())
             }
             PipelineError::Snapshot { source } => {
                 write!(f, "session snapshot rejected: {source}")
@@ -228,6 +313,41 @@ mod tests {
             std::error::Error::source(&e).is_some(),
             "snapshot source preserved"
         );
+    }
+
+    #[test]
+    fn elastic_failure_messages_are_actionable() {
+        let e = PipelineError::UnknownTool { index: 5, tools: 3 };
+        assert!(e.to_string().contains("tool column 5"));
+        assert!(e.to_string().contains("CamFlow"));
+        let failure = crate::pipeline::CellFailure {
+            syscall: "creat".into(),
+            tool: 0,
+            attempts: 3,
+            detail: "worker heartbeat went stale".into(),
+        };
+        let e = PipelineError::CellsExhausted {
+            failures: vec![failure],
+        };
+        let text = e.to_string();
+        assert!(text.contains("1 matrix cell(s)"), "{text}");
+        assert!(text.contains("creat"), "{text}");
+        assert!(text.contains("3 attempt(s)"), "{text}");
+        let e = PipelineError::WorkerPool {
+            failures: vec![WorkerFailure {
+                worker: 2,
+                status: "exit status: 134".into(),
+                stderr: Some(std::path::PathBuf::from("/tmp/worker-2.stderr")),
+            }],
+            detail: "4 cell(s) still open".into(),
+        };
+        let text = e.to_string();
+        assert!(
+            text.contains("worker 2 failed (exit status: 134)"),
+            "{text}"
+        );
+        assert!(text.contains("/tmp/worker-2.stderr"), "{text}");
+        assert!(text.contains("4 cell(s) still open"), "{text}");
     }
 
     #[test]

@@ -50,7 +50,7 @@ pub mod scale;
 pub mod suite;
 pub mod tool;
 
-pub use error::PipelineError;
+pub use error::{PipelineError, WorkerFailure};
 pub use options::BenchmarkOptions;
 pub use pipeline::{BenchStatus, BenchmarkRun, StageTimings};
 pub use suite::{BenchSpec, EmptyNote, Expectation, ExpectedCell};

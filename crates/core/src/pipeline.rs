@@ -379,7 +379,7 @@ pub fn run_matrix_cells(
     opts: &BenchmarkOptions,
     opus_db_iterations: Option<u64>,
 ) -> Result<Vec<(crate::suite::Expectation, [MeasuredCell; 3])>, PipelineError> {
-    use crate::tool::{Tool, ToolKind};
+    use crate::tool::ToolKind;
     let table = crate::suite::table2();
     let expectations: Vec<crate::suite::Expectation> = syscalls
         .iter()
@@ -395,31 +395,205 @@ pub fn run_matrix_cells(
         let spec = crate::suite::spec(exp.syscall).expect("table2 rows have specs");
         let cells: Vec<MeasuredCell> = ToolKind::all()
             .into_iter()
-            .map(|kind| {
-                let tool = match (kind, opus_db_iterations) {
-                    (ToolKind::Opus, Some(iters)) => Tool::Opus(opus::OpusConfig {
-                        db_startup_iterations: iters,
-                        ..opus::OpusConfig::default()
-                    }),
-                    _ => Tool::baseline(kind),
-                };
-                let mut inst = tool.instantiate();
-                match run_benchmark(&mut inst, &spec, opts) {
-                    Ok(run) => MeasuredCell {
-                        run: Some(run),
-                        error: None,
-                    },
-                    Err(e) => MeasuredCell {
-                        run: None,
-                        error: Some(e.to_string()),
-                    },
-                }
-            })
+            .map(|kind| measure_cell(&spec, kind, opts, opus_db_iterations))
             .collect();
         let cells: [MeasuredCell; 3] = cells.try_into().expect("three tools");
         cells
     });
     Ok(expectations.into_iter().zip(cells).collect())
+}
+
+/// Measure one (benchmark, tool) cell: build the tool exactly as the
+/// full-matrix path does, instantiate a fresh handle, and run the
+/// pipeline. Each cell is a pure function of `(spec, kind, opts,
+/// opus_db_iterations)` — which is what makes per-cell elastic
+/// execution byte-identical to per-row and single-process runs.
+fn measure_cell(
+    spec: &crate::suite::BenchSpec,
+    kind: crate::tool::ToolKind,
+    opts: &BenchmarkOptions,
+    opus_db_iterations: Option<u64>,
+) -> MeasuredCell {
+    use crate::tool::{Tool, ToolKind};
+    let tool = match (kind, opus_db_iterations) {
+        (ToolKind::Opus, Some(iters)) => Tool::Opus(opus::OpusConfig {
+            db_startup_iterations: iters,
+            ..opus::OpusConfig::default()
+        }),
+        _ => Tool::baseline(kind),
+    };
+    let mut inst = tool.instantiate();
+    match run_benchmark(&mut inst, spec, opts) {
+        Ok(run) => MeasuredCell {
+            run: Some(run),
+            error: None,
+        },
+        Err(e) => MeasuredCell {
+            run: None,
+            error: Some(e.to_string()),
+        },
+    }
+}
+
+/// Execute a single matrix cell — one `(syscall, tool column)` pair —
+/// and summarize it. This is the unit of work the elastic shard runner
+/// dispatches to workers; it reuses the exact tool-construction and
+/// measurement path of [`run_matrix_cells`], so a matrix reassembled
+/// from per-cell outcomes is byte-identical to a single-process run.
+///
+/// # Errors
+///
+/// [`PipelineError::UnknownBenchmark`] when `syscall` is not a Table 2
+/// row; [`PipelineError::UnknownTool`] when `tool` is not a matrix
+/// column (0 = SPADE, 1 = OPUS, 2 = CamFlow). Per-cell *pipeline*
+/// errors are reported inside the [`CellOutcome`], not raised — same
+/// contract as the row-level runners.
+pub fn run_matrix_cell(
+    syscall: &str,
+    tool: usize,
+    opts: &BenchmarkOptions,
+    opus_db_iterations: Option<u64>,
+) -> Result<CellOutcome, PipelineError> {
+    use crate::tool::ToolKind;
+    let tools = ToolKind::all();
+    let kind = *tools.get(tool).ok_or(PipelineError::UnknownTool {
+        index: tool,
+        tools: tools.len(),
+    })?;
+    let table = crate::suite::table2();
+    if !table.iter().any(|exp| exp.syscall == syscall) {
+        return Err(PipelineError::UnknownBenchmark {
+            name: syscall.to_owned(),
+        });
+    }
+    let spec = crate::suite::spec(syscall).expect("table2 rows have specs");
+    Ok(CellOutcome::of(&measure_cell(
+        &spec,
+        kind,
+        opts,
+        opus_db_iterations,
+    )))
+}
+
+/// Typed record of one matrix cell abandoned by the elastic shard
+/// runner: every dispatch ended in a dead worker, stale heartbeat or
+/// torn artifact, and the retry budget ran out.
+///
+/// Carried by [`PipelineError::CellsExhausted`]; the merged report
+/// renders the cell via [`CellFailure::lost_outcome`] instead of
+/// silently omitting the row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellFailure {
+    /// Table 2 row (benchmark syscall name).
+    pub syscall: String,
+    /// Tool column index (0 = SPADE, 1 = OPUS, 2 = CamFlow).
+    pub tool: usize,
+    /// How many dispatch attempts were made before giving up.
+    pub attempts: u32,
+    /// Why the last attempt was declared dead (stale heartbeat, torn
+    /// artifact, …).
+    pub detail: String,
+}
+
+impl CellFailure {
+    /// Human name of the tool column (`"SPADE"` / `"OPUS"` /
+    /// `"CamFlow"`), or the raw index if out of range.
+    pub fn tool_name(&self) -> String {
+        crate::tool::ToolKind::all()
+            .get(self.tool)
+            .map(|kind| kind.name().to_owned())
+            .unwrap_or_else(|| format!("tool#{}", self.tool))
+    }
+
+    /// The placeholder outcome recorded in the merged matrix for this
+    /// cell: a non-completed status that renders as a mismatch, so a
+    /// degraded report is visibly degraded.
+    pub fn lost_outcome(&self) -> CellOutcome {
+        CellOutcome {
+            status: format!(
+                "lost: no worker completed this cell in {} attempt(s) ({})",
+                self.attempts, self.detail
+            ),
+            matching_cost: None,
+            discarded_trials: None,
+            result_size: None,
+        }
+    }
+}
+
+impl std::fmt::Display for CellFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "`{}`/{} abandoned after {} attempt(s): {}",
+            self.syscall,
+            self.tool_name(),
+            self.attempts,
+            self.detail
+        )
+    }
+}
+
+/// Deterministically reassemble per-cell outcomes into the full matrix
+/// (the merge step of the *elastic* sharded path, finer-grained than
+/// [`merge_matrix_summaries`]).
+///
+/// Output is in canonical Table 2 order with canonical tool columns
+/// regardless of completion order, so a report rendered from it is
+/// byte-identical to the single-process run's whenever every cell
+/// completed.
+///
+/// # Errors
+///
+/// [`PipelineError::UnknownTool`] on an out-of-range tool column;
+/// [`PipelineError::ShardMerge`] on a foreign row, a duplicate cell, or
+/// missing cells (listed as `syscall/tool`) — the merge never emits a
+/// silently partial report.
+pub fn merge_matrix_cells(
+    cells: impl IntoIterator<Item = (String, usize, CellOutcome)>,
+) -> Result<Vec<(crate::suite::Expectation, [CellOutcome; 3])>, PipelineError> {
+    let table = crate::suite::table2();
+    let tools = crate::tool::ToolKind::all().len();
+    let mut by_cell: std::collections::BTreeMap<(String, usize), CellOutcome> = Default::default();
+    for (syscall, tool, outcome) in cells {
+        if tool >= tools {
+            return Err(PipelineError::UnknownTool { index: tool, tools });
+        }
+        if !table.iter().any(|exp| exp.syscall == syscall) {
+            return Err(PipelineError::ShardMerge {
+                detail: format!("foreign row `{syscall}` is not a Table 2 benchmark"),
+            });
+        }
+        if by_cell.insert((syscall.clone(), tool), outcome).is_some() {
+            return Err(PipelineError::ShardMerge {
+                detail: format!("cell `{syscall}`/{tool} appears in more than one result"),
+            });
+        }
+    }
+    let mut rows = Vec::with_capacity(table.len());
+    let mut missing: Vec<String> = Vec::new();
+    for exp in table {
+        let mut row: Vec<CellOutcome> = Vec::with_capacity(tools);
+        for tool in 0..tools {
+            match by_cell.remove(&(exp.syscall.to_owned(), tool)) {
+                Some(outcome) => row.push(outcome),
+                None => missing.push(format!("{}/{tool}", exp.syscall)),
+            }
+        }
+        if let Ok(row) = <[CellOutcome; 3]>::try_from(row) {
+            rows.push((exp, row));
+        }
+    }
+    if !missing.is_empty() {
+        return Err(PipelineError::ShardMerge {
+            detail: format!(
+                "{} cell(s) missing from the results: {}",
+                missing.len(),
+                missing.join(", ")
+            ),
+        });
+    }
+    Ok(rows)
 }
 
 /// Deterministic, serializable summary of one measured matrix cell —
@@ -851,6 +1025,98 @@ mod tests {
         })
         .unwrap_err();
         assert!(matches!(err, PipelineError::NotEnoughTrials(0)));
+    }
+
+    #[test]
+    fn per_cell_execution_matches_per_row_execution() {
+        // `run_matrix_cell` (the elastic unit of work) must produce
+        // outcomes equal to the same cells of a row execution — the
+        // foundation of the byte-identity invariant for elastic runs.
+        let opts = BenchmarkOptions::default();
+        let names: Vec<String> = vec!["creat".into()];
+        let row = summarize_rows(&run_matrix_cells(&names, &opts, Some(100)).unwrap());
+        for tool in 0..3 {
+            let cell = run_matrix_cell("creat", tool, &opts, Some(100)).unwrap();
+            assert_eq!(cell, row[0].1[tool], "tool column {tool} diverges");
+        }
+    }
+
+    #[test]
+    fn cell_runner_validates_names_and_tools() {
+        let opts = BenchmarkOptions::default();
+        let err = run_matrix_cell("frobnicate", 0, &opts, Some(100)).unwrap_err();
+        assert!(matches!(err, PipelineError::UnknownBenchmark { name } if name == "frobnicate"));
+        let err = run_matrix_cell("creat", 3, &opts, Some(100)).unwrap_err();
+        assert!(matches!(
+            err,
+            PipelineError::UnknownTool { index: 3, tools: 3 }
+        ));
+    }
+
+    #[test]
+    fn cell_merge_restores_canonical_order_and_validates() {
+        let ok = || CellOutcome {
+            status: "ok".into(),
+            matching_cost: Some(0),
+            discarded_trials: Some(0),
+            result_size: Some(1),
+        };
+        let table = crate::suite::table2();
+        // Full coverage in reverse order merges into canonical order.
+        let mut cells: Vec<(String, usize, CellOutcome)> = Vec::new();
+        for exp in table.iter().rev() {
+            for tool in (0..3).rev() {
+                cells.push((exp.syscall.to_owned(), tool, ok()));
+            }
+        }
+        let merged = merge_matrix_cells(cells).unwrap();
+        assert_eq!(merged.len(), table.len());
+        for ((exp, _), want) in merged.iter().zip(&table) {
+            assert_eq!(exp.syscall, want.syscall, "canonical order restored");
+        }
+
+        let err = merge_matrix_cells(vec![("frobnicate".to_owned(), 0, ok())]).unwrap_err();
+        assert!(matches!(err, PipelineError::ShardMerge { detail } if detail.contains("foreign")));
+
+        let err = merge_matrix_cells(vec![("creat".to_owned(), 5, ok())]).unwrap_err();
+        assert!(matches!(
+            err,
+            PipelineError::UnknownTool { index: 5, tools: 3 }
+        ));
+
+        let err = merge_matrix_cells(vec![
+            ("creat".to_owned(), 0, ok()),
+            ("creat".to_owned(), 0, ok()),
+        ])
+        .unwrap_err();
+        assert!(
+            matches!(&err, PipelineError::ShardMerge { detail } if detail.contains("more than one")),
+            "{err}"
+        );
+
+        let err = merge_matrix_cells(vec![("creat".to_owned(), 0, ok())]).unwrap_err();
+        assert!(
+            matches!(&err, PipelineError::ShardMerge { detail }
+                if detail.contains("missing") && detail.contains("creat/1")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn lost_outcome_is_visibly_degraded() {
+        let failure = CellFailure {
+            syscall: "creat".into(),
+            tool: 1,
+            attempts: 3,
+            detail: "heartbeat stale".into(),
+        };
+        assert_eq!(failure.tool_name(), "OPUS");
+        let lost = failure.lost_outcome();
+        assert!(!lost.completed(), "lost cells must not count as completed");
+        assert!(lost.status.starts_with("lost:"), "{}", lost.status);
+        assert!(lost.status.contains("3 attempt(s)"), "{}", lost.status);
+        let text = failure.to_string();
+        assert!(text.contains("`creat`/OPUS"), "{text}");
     }
 
     #[test]

@@ -321,6 +321,36 @@ mod tests {
     }
 
     #[test]
+    fn lost_cells_render_as_visible_mismatches() {
+        // A cell abandoned by the elastic runner (retries exhausted)
+        // renders its `lost:` status with the mismatch marker and never
+        // counts toward agreement — a degraded report is visibly
+        // degraded.
+        let exp = suite::table2()[1]; // creat: ok everywhere
+        let ok = CellOutcome {
+            status: "ok".into(),
+            matching_cost: Some(2),
+            discarded_trials: Some(0),
+            result_size: Some(5),
+        };
+        let lost = crate::pipeline::CellFailure {
+            syscall: "creat".into(),
+            tool: 1,
+            attempts: 3,
+            detail: "heartbeat went stale".into(),
+        }
+        .lost_outcome();
+        let text = render_matrix_report(&[(exp, [ok.clone(), lost, ok])]);
+        assert!(
+            text.contains("lost: no worker completed this cell in 3 attempt(s)"),
+            "{text}"
+        );
+        let lost_line = text.lines().find(|l| l.contains("lost:")).unwrap();
+        assert!(lost_line.contains("MISMATCH"), "{lost_line}");
+        assert!(text.contains("agreement with paper Table 2: 2/3 cells"));
+    }
+
+    #[test]
     fn empty_note_codes() {
         assert_eq!(EmptyNote::NR.code(), "NR");
         assert_eq!(EmptyNote::DV.code(), "DV");

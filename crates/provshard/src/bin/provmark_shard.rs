@@ -5,7 +5,8 @@
 //! provmark-shard execute MANIFEST --out PARTIAL
 //! provmark-shard merge   PARTIAL... --out REPORT
 //! provmark-shard single  [--quick] [--trials T] [--seed S] --out REPORT
-//! provmark-shard drive   --shards N [--quick] [--trials T] [--seed S] --out REPORT [--work-dir DIR]
+//! provmark-shard drive   --shards N --out REPORT [--work-dir DIR] [fault options] [run options]
+//! provmark-shard work    DIR --worker-index N [--heartbeat-ms H] [--poll-ms P] [--stall-ms S] [--inject SPEC]
 //! ```
 //!
 //! `plan` writes self-describing shard manifests (one per shard, or just
@@ -13,20 +14,33 @@
 //! the pipeline and writes its partial-results artifact; `merge`
 //! deterministically reassembles partials into the canonical matrix
 //! report; `single` runs the whole matrix in one process and writes the
-//! byte-identical reference report; `drive` does plan → N concurrent
-//! worker *processes* of this executable → merge in one invocation.
+//! byte-identical reference report; `drive` runs the crash-tolerant
+//! elastic layer — per-cell claimable tasks, heartbeats, epoch-bumped
+//! re-dispatch — over N concurrent `work` worker *processes* of this
+//! executable; `work` is that worker loop (claim → solve → publish,
+//! driven entirely by the shared run directory).
+//!
+//! `--inject` deterministically injects faults for tests and CI:
+//! `kill-worker=N`, `torn-partial[=N]`, `stall=N`,
+//! `kill-cell=SYSCALL/TOOL`.
 //!
 //! All argument and artifact validation surfaces typed pipeline errors
 //! with actionable messages (exit code 2 for usage errors, 1 for
-//! pipeline failures).
+//! pipeline failures). All artifact writes are atomic
+//! (write-temp-then-rename), so a killed invocation never leaves a torn
+//! file at a final path.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Duration;
 
 use provmark_core::pipeline::plan_matrix_shard;
 use provmark_core::PipelineError;
+use provshard::elastic::{
+    drive_elastic, worker_loop, ElasticOptions, InjectSpec, TaskStore, WorkerContext, WorkerEnd,
+};
 use provshard::{
-    drive_local, execute, load_partial, merge, plan, single_report, RunConfig, ShardManifest,
+    atomic_write, execute, load_partial, merge, plan, single_report, RunConfig, ShardManifest,
 };
 
 fn usage() -> ExitCode {
@@ -38,11 +52,15 @@ fn usage() -> ExitCode {
          \x20 execute MANIFEST --out PARTIAL\n\
          \x20 merge   PARTIAL... --out REPORT\n\
          \x20 single  --out REPORT [run options]\n\
-         \x20 drive   --shards N --out REPORT [--work-dir DIR] [run options]\n\
+         \x20 drive   --shards N --out REPORT [--work-dir DIR] [fault options] [run options]\n\
+         \x20 work    DIR --worker-index N [--heartbeat-ms H] [--poll-ms P] [--stall-ms S] [--inject SPEC]\n\
          \n\
-         run options: --quick (scaled-down simulated OPUS startup),\n\
-         \x20          --trials T (default 2), --seed S (default 1),\n\
-         \x20          --no-memo (disable the session-level solve memo)"
+         run options:   --quick (scaled-down simulated OPUS startup),\n\
+         \x20            --trials T (default 2), --seed S (default 1),\n\
+         \x20            --no-memo (disable the session-level solve memo)\n\
+         fault options: --stale-after-ms MS (default 5000), --max-retries R (default 2),\n\
+         \x20            --backoff-ms MS (default 100),\n\
+         \x20            --inject kill-worker=N,torn-partial[=N],stall=N,kill-cell=SYSCALL/TOOL"
     );
     ExitCode::from(2)
 }
@@ -59,6 +77,14 @@ struct Args {
     no_memo: bool,
     trials: Option<usize>,
     seed: Option<u64>,
+    inject: InjectSpec,
+    stale_after_ms: Option<u64>,
+    max_retries: Option<u32>,
+    backoff_ms: Option<u64>,
+    worker_index: Option<usize>,
+    heartbeat_ms: Option<u64>,
+    poll_ms: Option<u64>,
+    stall_ms: Option<u64>,
     positional: Vec<PathBuf>,
 }
 
@@ -70,21 +96,24 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
             .cloned()
             .ok_or_else(|| format!("{flag} needs a value"))
     };
+    fn number<T: std::str::FromStr>(flag: &str, text: String, what: &str) -> Result<T, String> {
+        text.parse().map_err(|_| format!("{flag} needs {what}"))
+    }
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--shards" => {
-                args.shards = Some(
-                    value("--shards", &mut it)?
-                        .parse()
-                        .map_err(|_| "--shards needs a positive integer".to_owned())?,
-                )
+                args.shards = Some(number(
+                    "--shards",
+                    value("--shards", &mut it)?,
+                    "a positive integer",
+                )?)
             }
             "--shard-index" => {
-                args.shard_index = Some(
-                    value("--shard-index", &mut it)?
-                        .parse()
-                        .map_err(|_| "--shard-index needs a non-negative integer".to_owned())?,
-                )
+                args.shard_index = Some(number(
+                    "--shard-index",
+                    value("--shard-index", &mut it)?,
+                    "a non-negative integer",
+                )?)
             }
             "--out" => args.out = Some(PathBuf::from(value("--out", &mut it)?)),
             "--out-dir" => args.out_dir = Some(PathBuf::from(value("--out-dir", &mut it)?)),
@@ -92,18 +121,71 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
             "--quick" => args.quick = true,
             "--no-memo" => args.no_memo = true,
             "--trials" => {
-                args.trials = Some(
-                    value("--trials", &mut it)?
-                        .parse()
-                        .map_err(|_| "--trials needs a positive integer".to_owned())?,
-                )
+                args.trials = Some(number(
+                    "--trials",
+                    value("--trials", &mut it)?,
+                    "a positive integer",
+                )?)
             }
             "--seed" => {
-                args.seed = Some(
-                    value("--seed", &mut it)?
-                        .parse()
-                        .map_err(|_| "--seed needs a non-negative integer".to_owned())?,
-                )
+                args.seed = Some(number(
+                    "--seed",
+                    value("--seed", &mut it)?,
+                    "a non-negative integer",
+                )?)
+            }
+            "--inject" => {
+                args.inject = InjectSpec::parse(&value("--inject", &mut it)?)
+                    .map_err(|e| format!("--inject: {e}"))?
+            }
+            "--stale-after-ms" => {
+                args.stale_after_ms = Some(number(
+                    "--stale-after-ms",
+                    value("--stale-after-ms", &mut it)?,
+                    "a duration in milliseconds",
+                )?)
+            }
+            "--max-retries" => {
+                args.max_retries = Some(number(
+                    "--max-retries",
+                    value("--max-retries", &mut it)?,
+                    "a non-negative integer",
+                )?)
+            }
+            "--backoff-ms" => {
+                args.backoff_ms = Some(number(
+                    "--backoff-ms",
+                    value("--backoff-ms", &mut it)?,
+                    "a duration in milliseconds",
+                )?)
+            }
+            "--worker-index" => {
+                args.worker_index = Some(number(
+                    "--worker-index",
+                    value("--worker-index", &mut it)?,
+                    "a non-negative integer",
+                )?)
+            }
+            "--heartbeat-ms" => {
+                args.heartbeat_ms = Some(number(
+                    "--heartbeat-ms",
+                    value("--heartbeat-ms", &mut it)?,
+                    "a duration in milliseconds",
+                )?)
+            }
+            "--poll-ms" => {
+                args.poll_ms = Some(number(
+                    "--poll-ms",
+                    value("--poll-ms", &mut it)?,
+                    "a duration in milliseconds",
+                )?)
+            }
+            "--stall-ms" => {
+                args.stall_ms = Some(number(
+                    "--stall-ms",
+                    value("--stall-ms", &mut it)?,
+                    "a duration in milliseconds",
+                )?)
             }
             flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
             path => args.positional.push(PathBuf::from(path)),
@@ -128,6 +210,21 @@ impl Args {
         config.opts.use_solve_memo = !self.no_memo;
         config
     }
+
+    fn elastic_options(&self) -> ElasticOptions {
+        let mut opts = ElasticOptions::default();
+        if let Some(ms) = self.stale_after_ms {
+            opts.stale_after = Duration::from_millis(ms);
+        }
+        if let Some(retries) = self.max_retries {
+            opts.max_retries = retries;
+        }
+        if let Some(ms) = self.backoff_ms {
+            opts.backoff = Duration::from_millis(ms);
+        }
+        opts.inject = self.inject.clone();
+        opts
+    }
 }
 
 fn run(command: &str, args: &Args) -> Result<(), PipelineError> {
@@ -147,7 +244,7 @@ fn run(command: &str, args: &Args) -> Result<(), PipelineError> {
             };
             for manifest in &manifests {
                 let path = out_dir.join(format!("shard-{}.json", manifest.shard.shard_index));
-                std::fs::write(&path, manifest.to_json_string())?;
+                atomic_write(&path, &manifest.to_json_string())?;
                 println!(
                     "planned shard {}/{} ({} rows) -> {}",
                     manifest.shard.shard_index,
@@ -165,7 +262,7 @@ fn run(command: &str, args: &Args) -> Result<(), PipelineError> {
             let out = args.out.clone().ok_or(missing("--out"))?;
             let manifest = ShardManifest::from_json_str(&std::fs::read_to_string(manifest_path)?)?;
             let partial = execute(&manifest)?;
-            std::fs::write(&out, partial.to_json_string())?;
+            atomic_write(&out, &partial.to_json_string())?;
             println!(
                 "executed shard {}/{} ({} rows) -> {}",
                 partial.shard_index,
@@ -189,7 +286,7 @@ fn run(command: &str, args: &Args) -> Result<(), PipelineError> {
                 .map(|(i, p)| load_partial(p, i))
                 .collect::<Result<Vec<_>, _>>()?;
             let report = merge(parts)?;
-            std::fs::write(&out, &report)?;
+            atomic_write(&out, &report)?;
             println!(
                 "merged {} partial(s) -> {}",
                 args.positional.len(),
@@ -200,24 +297,83 @@ fn run(command: &str, args: &Args) -> Result<(), PipelineError> {
         "single" => {
             let out = args.out.clone().ok_or(missing("--out"))?;
             let report = single_report(&args.config());
-            std::fs::write(&out, &report)?;
+            atomic_write(&out, &report)?;
             println!("single-process matrix -> {}", out.display());
             Ok(())
         }
         "drive" => {
-            let shards = args.shards.ok_or(missing("--shards"))?;
+            let workers = args.shards.ok_or(missing("--shards"))?;
             let out = args.out.clone().ok_or(missing("--out"))?;
             let work_dir = args.work_dir.clone().unwrap_or_else(|| {
                 std::env::temp_dir().join(format!("provmark-shard-{}", std::process::id()))
             });
-            let report = drive_local(shards, &args.config(), &work_dir)?;
-            std::fs::write(&out, &report)?;
+            // Same worker-count validation as the classic row plan.
+            provmark_core::pipeline::plan_matrix_shards(workers)?;
+            let outcome =
+                drive_elastic(workers, &args.config(), &work_dir, &args.elastic_options())?;
+            // The report is written even on a degraded run: lost cells
+            // are visible in it, and the typed error follows.
+            atomic_write(&out, &outcome.report)?;
+            for exit in outcome.worker_exits.iter().filter(|e| !e.success) {
+                match &exit.stderr {
+                    Some(path) => eprintln!(
+                        "provmark-shard drive: worker {} failed ({}) — stderr: {}",
+                        exit.worker,
+                        exit.status,
+                        path.display()
+                    ),
+                    None => eprintln!(
+                        "provmark-shard drive: worker {} failed ({})",
+                        exit.worker, exit.status
+                    ),
+                }
+            }
             println!(
-                "drove {shards} worker process(es) (artifacts in {}) -> {}",
+                "drove {} worker process(es) ({} spawned, {} re-dispatch(es), artifacts in {}) -> {}",
+                workers,
+                outcome.workers_spawned,
+                outcome.requeues,
                 work_dir.display(),
                 out.display()
             );
-            Ok(())
+            if outcome.failures.is_empty() {
+                Ok(())
+            } else {
+                Err(PipelineError::CellsExhausted {
+                    failures: outcome.failures,
+                })
+            }
+        }
+        "work" => {
+            let [dir] = args.positional.as_slice() else {
+                return Err(missing("exactly one run DIR"));
+            };
+            let index = args.worker_index.ok_or(missing("--worker-index"))?;
+            let store = TaskStore::open(dir)?;
+            let defaults = ElasticOptions::default();
+            let ctx = WorkerContext {
+                index,
+                heartbeat_interval: args
+                    .heartbeat_ms
+                    .map_or(defaults.heartbeat_interval, Duration::from_millis),
+                poll_interval: args
+                    .poll_ms
+                    .map_or(defaults.poll_interval, Duration::from_millis),
+                stall: args
+                    .stall_ms
+                    .map_or(defaults.stale_after * 4, Duration::from_millis),
+                inject: args.inject.clone(),
+            };
+            match worker_loop(&store, &ctx)? {
+                WorkerEnd::Stopped => Ok(()),
+                WorkerEnd::Crashed(reason) => {
+                    // A fault injection asked for a real crash: abort so
+                    // the supervisor sees a signal death, not a tidy
+                    // error return.
+                    eprintln!("provmark-shard work: {reason}");
+                    std::process::abort();
+                }
+            }
         }
         other => Err(PipelineError::ShardArtifact {
             detail: format!("unknown command `{other}`"),

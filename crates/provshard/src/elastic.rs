@@ -1,0 +1,1278 @@
+//! Crash-tolerant elastic execution of the Table 2 matrix.
+//!
+//! A shared run directory is the whole coordination substrate — no
+//! sockets, no shared memory, no coordinator state that a crash can
+//! corrupt. The plan step writes one claimable **cell task file per
+//! matrix cell** (finer than the round-robin row shards of the classic
+//! path, so a long-tail row no longer serializes behind one worker);
+//! workers claim tasks by atomic `rename` into `claimed/`, refresh a
+//! heartbeat file while solving, and publish results with
+//! write-temp-then-`rename` so a torn artifact can never be observed at
+//! the final path. A supervisor loop watches heartbeats, re-dispatches
+//! cells whose worker died or stalled under a **bumped claim epoch**
+//! with bounded retries and backoff, and records cells that exhaust
+//! their budget as typed [`CellFailure`]s instead of poisoning the run.
+//!
+//! ## The claim protocol
+//!
+//! ```text
+//! tasks/creat.t0.e1.json      --rename-->  claimed/creat.t0.e1.json
+//!                                          heartbeats/creat.t0.e1.json  (refreshed)
+//!                                          done/creat.t0.e1.json        (atomic publish)
+//! ```
+//!
+//! * **Claim** is `rename(tasks/F, claimed/F)` — atomic on POSIX, so a
+//!   claim race between any number of workers has exactly one winner;
+//!   the losers see `NotFound` and move on.
+//! * **Heartbeat** files carry pid + worker index; only their *mtime*
+//!   matters to the supervisor. A heartbeat older than `stale_after`
+//!   declares the claim dead.
+//! * **Epoch** starts at 1 and is part of every file name. When the
+//!   supervisor re-dispatches a cell it writes a fresh task file at
+//!   epoch *e+1*; a zombie worker finishing the old claim publishes to
+//!   the epoch-*e* done path, which the supervisor ignores (latest
+//!   epoch wins, nothing is ever clobbered).
+//! * **Publish** is write-to-temp-then-`rename` ([`atomic_write`]), so
+//!   the done directory only ever holds complete documents — unless a
+//!   fault-injection deliberately tears one, which the harvest then
+//!   treats as a failed attempt.
+//!
+//! Because each cell reuses the exact single-process measurement path
+//! ([`run_matrix_cell`]), the merged report is **byte-identical** to
+//! the single-process run whenever every cell eventually completes —
+//! even if workers were lost and cells re-dispatched mid-flight.
+//!
+//! ## Fault injection
+//!
+//! [`InjectSpec`] drives deterministic failures for tests and CI:
+//! `kill-worker=N` (worker N aborts right after its first claim),
+//! `torn-partial[=N]` (worker N tears its first publish and crashes),
+//! `stall=N` (worker N stops heartbeating, oversleeps its claim and
+//! publishes under a superseded epoch), `kill-cell=SYSCALL/TOOL` (any
+//! worker claiming that cell crashes — drives retry exhaustion).
+
+use std::collections::BTreeMap;
+use std::io::ErrorKind;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+use provmark_core::pipeline::{merge_matrix_cells, run_matrix_cell, CellFailure, CellOutcome};
+use provmark_core::report::render_matrix_report;
+use provmark_core::{PipelineError, WorkerFailure};
+use serde_json::{Map, Value};
+
+use crate::{
+    artifact, atomic_write, cell_from_json, cell_to_json, check_header, extract_config,
+    insert_config, RunConfig,
+};
+
+/// Version of the cell-task JSON layout.
+pub const CELL_TASK_VERSION: u32 = 1;
+
+/// Version of the cell-result JSON layout.
+pub const CELL_RESULT_VERSION: u32 = 1;
+
+/// One claimable unit of work: a single `(syscall, tool)` matrix cell
+/// at a claim epoch, carrying the complete run configuration so the
+/// task file alone fully determines the work.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellTask {
+    /// Table 2 row (benchmark syscall name).
+    pub syscall: String,
+    /// Tool column index (0 = SPADE, 1 = OPUS, 2 = CamFlow).
+    pub tool: usize,
+    /// Claim epoch, starting at 1; bumped on every re-dispatch.
+    pub epoch: u32,
+    /// The run configuration shared by every cell of the plan.
+    pub config: RunConfig,
+}
+
+impl CellTask {
+    /// Stable cell identity (`"{syscall}.t{tool}"`), shared by every
+    /// epoch of the cell.
+    pub fn id(&self) -> String {
+        format!("{}.t{}", self.syscall, self.tool)
+    }
+
+    /// File name of this task/claim/heartbeat/result at this epoch.
+    pub fn file_name(&self) -> String {
+        format!("{}.e{}.json", self.id(), self.epoch)
+    }
+
+    /// Render as the versioned cell-task JSON document.
+    pub fn to_json_string(&self) -> String {
+        let mut doc = Map::new();
+        doc.insert("format".into(), Value::String("provmark-cell-task".into()));
+        doc.insert("version".into(), Value::Number(CELL_TASK_VERSION as f64));
+        doc.insert(
+            "snapshot_format_version".into(),
+            Value::Number(provgraph::snapshot::SNAPSHOT_VERSION as f64),
+        );
+        doc.insert("syscall".into(), Value::String(self.syscall.clone()));
+        doc.insert("tool".into(), Value::Number(self.tool as f64));
+        doc.insert("epoch".into(), Value::Number(self.epoch as f64));
+        insert_config(&mut doc, &self.config);
+        serde_json::to_string_pretty(&Value::Object(doc)).expect("cell task serializes")
+    }
+
+    /// Parse and validate a cell-task document.
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::ShardArtifact`] / [`PipelineError::Snapshot`] on
+    /// the same header conditions as the shard artifacts.
+    pub fn from_json_str(text: &str) -> Result<CellTask, PipelineError> {
+        let doc: Value = serde_json::from_str(text)
+            .map_err(|e| artifact(format!("cell task is not valid JSON: {e}")))?;
+        check_header(&doc, "provmark-cell-task", CELL_TASK_VERSION)?;
+        Ok(CellTask {
+            syscall: doc["syscall"]
+                .as_str()
+                .ok_or_else(|| artifact("cell task is missing `syscall`"))?
+                .to_owned(),
+            tool: crate::get_usize(&doc, "tool")?,
+            epoch: crate::get_usize(&doc, "epoch")? as u32,
+            config: extract_config(&doc)?,
+        })
+    }
+}
+
+/// The published outcome of one cell claim: the task identity plus the
+/// measured [`CellOutcome`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellResult {
+    /// Table 2 row the cell belongs to.
+    pub syscall: String,
+    /// Tool column index.
+    pub tool: usize,
+    /// Claim epoch this result was measured under.
+    pub epoch: u32,
+    /// The run configuration the cell was measured under — the
+    /// supervisor refuses results measured under a different
+    /// configuration than planned.
+    pub config: RunConfig,
+    /// The measured outcome.
+    pub cell: CellOutcome,
+}
+
+impl CellResult {
+    /// Render as the versioned cell-result JSON document.
+    pub fn to_json_string(&self) -> String {
+        let mut doc = Map::new();
+        doc.insert(
+            "format".into(),
+            Value::String("provmark-cell-result".into()),
+        );
+        doc.insert("version".into(), Value::Number(CELL_RESULT_VERSION as f64));
+        doc.insert(
+            "snapshot_format_version".into(),
+            Value::Number(provgraph::snapshot::SNAPSHOT_VERSION as f64),
+        );
+        doc.insert("syscall".into(), Value::String(self.syscall.clone()));
+        doc.insert("tool".into(), Value::Number(self.tool as f64));
+        doc.insert("epoch".into(), Value::Number(self.epoch as f64));
+        insert_config(&mut doc, &self.config);
+        doc.insert("cell".into(), cell_to_json(&self.cell));
+        serde_json::to_string_pretty(&Value::Object(doc)).expect("cell result serializes")
+    }
+
+    /// Parse and validate a cell-result document.
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::ShardArtifact`] / [`PipelineError::Snapshot`] on
+    /// the same header conditions as the shard artifacts.
+    pub fn from_json_str(text: &str) -> Result<CellResult, PipelineError> {
+        let doc: Value = serde_json::from_str(text)
+            .map_err(|e| artifact(format!("cell result is not valid JSON: {e}")))?;
+        check_header(&doc, "provmark-cell-result", CELL_RESULT_VERSION)?;
+        Ok(CellResult {
+            syscall: doc["syscall"]
+                .as_str()
+                .ok_or_else(|| artifact("cell result is missing `syscall`"))?
+                .to_owned(),
+            tool: crate::get_usize(&doc, "tool")?,
+            epoch: crate::get_usize(&doc, "epoch")? as u32,
+            config: extract_config(&doc)?,
+            cell: cell_from_json(&doc["cell"])?,
+        })
+    }
+}
+
+/// Plan the full matrix as one [`CellTask`] per `(row, tool)` cell at
+/// epoch 1, in canonical order.
+pub fn plan_cells(config: &RunConfig) -> Vec<CellTask> {
+    let tools = provmark_core::tool::ToolKind::all().len();
+    provmark_core::suite::table2()
+        .iter()
+        .flat_map(|exp| {
+            (0..tools).map(move |tool| CellTask {
+                syscall: exp.syscall.to_owned(),
+                tool,
+                epoch: 1,
+                config: config.clone(),
+            })
+        })
+        .collect()
+}
+
+/// The shared run directory: four subdirectories implementing the
+/// claim protocol (`tasks/`, `claimed/`, `heartbeats/`, `done/`) plus
+/// a `stop` sentinel file.
+///
+/// Cloneable and freely shareable — it holds only the root path; all
+/// state lives on the filesystem.
+#[derive(Debug, Clone)]
+pub struct TaskStore {
+    root: PathBuf,
+}
+
+impl TaskStore {
+    fn tasks(&self) -> PathBuf {
+        self.root.join("tasks")
+    }
+    fn claimed(&self) -> PathBuf {
+        self.root.join("claimed")
+    }
+    fn heartbeats(&self) -> PathBuf {
+        self.root.join("heartbeats")
+    }
+    fn done(&self) -> PathBuf {
+        self.root.join("done")
+    }
+    fn stop_file(&self) -> PathBuf {
+        self.root.join("stop")
+    }
+
+    /// Initialize a fresh run directory and seed it with `tasks`.
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::ShardArtifact`] when the directory already
+    /// holds a run (stale tasks or results would silently mix into the
+    /// new run); [`PipelineError::Store`] on I/O failure.
+    pub fn init(root: &Path, tasks: &[CellTask]) -> Result<TaskStore, PipelineError> {
+        let store = TaskStore {
+            root: root.to_owned(),
+        };
+        for dir in [
+            store.tasks(),
+            store.claimed(),
+            store.heartbeats(),
+            store.done(),
+        ] {
+            std::fs::create_dir_all(&dir)?;
+        }
+        for dir in [store.tasks(), store.done()] {
+            if std::fs::read_dir(&dir)?.next().is_some() {
+                return Err(artifact(format!(
+                    "work dir `{}` already contains a run ({} is not empty); \
+                     pass a fresh --work-dir",
+                    root.display(),
+                    dir.display()
+                )));
+            }
+        }
+        std::fs::remove_file(store.stop_file()).ok();
+        for task in tasks {
+            atomic_write(
+                &store.tasks().join(task.file_name()),
+                &task.to_json_string(),
+            )?;
+        }
+        Ok(store)
+    }
+
+    /// Open an existing run directory (the worker side of
+    /// [`TaskStore::init`]).
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::ShardArtifact`] when the directory does not
+    /// hold an elastic run.
+    pub fn open(root: &Path) -> Result<TaskStore, PipelineError> {
+        let store = TaskStore {
+            root: root.to_owned(),
+        };
+        if !store.tasks().is_dir() || !store.done().is_dir() {
+            return Err(artifact(format!(
+                "`{}` is not an elastic run directory (no tasks/done subdirectories)",
+                root.display()
+            )));
+        }
+        Ok(store)
+    }
+
+    /// Try to claim the task file `file_name` by atomically renaming it
+    /// into `claimed/`. Exactly one concurrent claimant wins; everyone
+    /// else observes `Ok(None)`.
+    ///
+    /// On success the claimed file's mtime is refreshed to claim time
+    /// (it otherwise keeps its plan-time stamp, which would look
+    /// instantly stale) and the first heartbeat is written.
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::Store`] on I/O failure,
+    /// [`PipelineError::ShardArtifact`] on a malformed task file.
+    pub fn try_claim(
+        &self,
+        file_name: &str,
+        worker: usize,
+    ) -> Result<Option<CellTask>, PipelineError> {
+        let claimed = self.claimed().join(file_name);
+        match std::fs::rename(self.tasks().join(file_name), &claimed) {
+            Ok(()) => {}
+            Err(e) if e.kind() == ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e.into()),
+        }
+        let text = std::fs::read_to_string(&claimed)?;
+        // Re-write the claimed file with its own content: `rename`
+        // preserves the plan-time mtime, and the supervisor uses the
+        // claimed file's mtime as the heartbeat fallback.
+        std::fs::write(&claimed, &text)?;
+        let task = CellTask::from_json_str(&text)?;
+        self.write_heartbeat(&task, worker)?;
+        Ok(Some(task))
+    }
+
+    /// Claim the first available task (by sorted file name, for
+    /// deterministic claim order under no contention).
+    ///
+    /// # Errors
+    ///
+    /// As [`TaskStore::try_claim`].
+    pub fn claim_next(&self, worker: usize) -> Result<Option<CellTask>, PipelineError> {
+        let mut names: Vec<String> = Vec::new();
+        for entry in std::fs::read_dir(self.tasks())? {
+            let name = entry?.file_name().to_string_lossy().into_owned();
+            if !name.starts_with('.') {
+                names.push(name);
+            }
+        }
+        names.sort();
+        for name in names {
+            if let Some(task) = self.try_claim(&name, worker)? {
+                return Ok(Some(task));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Refresh the heartbeat for a claim. The supervisor only reads the
+    /// file's mtime; the body (pid + worker index) is for operators.
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::Store`] on I/O failure.
+    pub fn write_heartbeat(&self, task: &CellTask, worker: usize) -> Result<(), PipelineError> {
+        let mut doc = Map::new();
+        doc.insert("format".into(), Value::String("provmark-heartbeat".into()));
+        doc.insert("pid".into(), Value::Number(std::process::id() as f64));
+        doc.insert("worker".into(), Value::Number(worker as f64));
+        doc.insert("epoch".into(), Value::Number(task.epoch as f64));
+        let text = serde_json::to_string_pretty(&Value::Object(doc)).expect("heartbeat serializes");
+        atomic_write(&self.heartbeats().join(task.file_name()), &text)?;
+        Ok(())
+    }
+
+    /// Age of the freshest liveness signal for a claim: the heartbeat
+    /// file's mtime, falling back to the claimed file's mtime (bumped
+    /// at claim time). `None` when neither file exists.
+    pub fn heartbeat_age(&self, id: &str, epoch: u32) -> Option<Duration> {
+        let name = format!("{id}.e{epoch}.json");
+        [self.heartbeats().join(&name), self.claimed().join(&name)]
+            .iter()
+            .filter_map(|p| std::fs::metadata(p).and_then(|m| m.modified()).ok())
+            .filter_map(|mtime| mtime.elapsed().ok())
+            .min()
+    }
+
+    /// Atomically publish a cell result to `done/` — the only way an
+    /// uninjected worker writes a result, so readers never observe a
+    /// torn document at the final path.
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::Store`] on I/O failure.
+    pub fn publish(&self, result: &CellResult) -> Result<(), PipelineError> {
+        let name = format!("{}.t{}.e{}.json", result.syscall, result.tool, result.epoch);
+        atomic_write(&self.done().join(name), &result.to_json_string())?;
+        Ok(())
+    }
+
+    /// **Fault injection only**: write a torn (truncated, non-atomic)
+    /// result directly to the final done path, simulating a worker
+    /// killed mid-`write` on a filesystem without atomic rename.
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::Store`] on I/O failure.
+    pub fn publish_torn(&self, result: &CellResult) -> Result<(), PipelineError> {
+        let name = format!("{}.t{}.e{}.json", result.syscall, result.tool, result.epoch);
+        let full = result.to_json_string();
+        std::fs::write(self.done().join(name), &full[..full.len() / 2])?;
+        Ok(())
+    }
+
+    /// List `(cell id, epoch)` of every published result, skipping
+    /// temp/hidden files.
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::Store`] on I/O failure.
+    pub fn done_entries(&self) -> Result<Vec<(String, u32)>, PipelineError> {
+        let mut entries = Vec::new();
+        for entry in std::fs::read_dir(self.done())? {
+            let name = entry?.file_name().to_string_lossy().into_owned();
+            if name.starts_with('.') {
+                continue;
+            }
+            if let Some((id, epoch)) = parse_epoch_name(&name) {
+                entries.push((id, epoch));
+            }
+        }
+        entries.sort();
+        Ok(entries)
+    }
+
+    /// Load one published result.
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::Store`] when unreadable,
+    /// [`PipelineError::ShardArtifact`] when torn or malformed.
+    pub fn load_result(&self, id: &str, epoch: u32) -> Result<CellResult, PipelineError> {
+        let path = self.done().join(format!("{id}.e{epoch}.json"));
+        let text = std::fs::read_to_string(&path)?;
+        CellResult::from_json_str(&text).map_err(|e| match e {
+            PipelineError::ShardArtifact { detail } => {
+                artifact(format!("result `{}`: {detail}", path.display()))
+            }
+            other => other,
+        })
+    }
+
+    /// `true` while the task file for this claim is still unclaimed.
+    pub fn task_pending(&self, task: &CellTask) -> bool {
+        self.tasks().join(task.file_name()).exists()
+    }
+
+    /// `true` once a result for this claim epoch has been published.
+    pub fn done_exists(&self, id: &str, epoch: u32) -> bool {
+        self.done().join(format!("{id}.e{epoch}.json")).exists()
+    }
+
+    /// Re-dispatch a cell: write its task file (already carrying the
+    /// bumped epoch) back into `tasks/` for any worker to claim.
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::Store`] on I/O failure.
+    pub fn requeue(&self, task: &CellTask) -> Result<(), PipelineError> {
+        atomic_write(&self.tasks().join(task.file_name()), &task.to_json_string())?;
+        Ok(())
+    }
+
+    /// Raise the stop sentinel: workers exit cleanly at their next poll.
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::Store`] on I/O failure.
+    pub fn request_stop(&self) -> Result<(), PipelineError> {
+        atomic_write(&self.stop_file(), "stop\n")?;
+        Ok(())
+    }
+
+    /// `true` once the supervisor has requested shutdown.
+    pub fn stop_requested(&self) -> bool {
+        self.stop_file().exists()
+    }
+}
+
+/// Parse `"{id}.e{epoch}.json"` into `(id, epoch)`.
+fn parse_epoch_name(name: &str) -> Option<(String, u32)> {
+    let stem = name.strip_suffix(".json")?;
+    let (id, epoch) = stem.rsplit_once(".e")?;
+    Some((id.to_owned(), epoch.parse().ok()?))
+}
+
+/// Deterministic fault-injection directives for tests and CI
+/// (`--inject kill-worker=1,torn-partial,stall=2,kill-cell=creat/0`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct InjectSpec {
+    /// Worker index that aborts right after its first claim (dead
+    /// worker with a fresh heartbeat — the supervisor must detect the
+    /// claim going stale).
+    pub kill_worker: Option<usize>,
+    /// Worker index that writes a torn result to the final done path on
+    /// its first publish and then crashes.
+    pub torn_partial: Option<usize>,
+    /// Worker index that stops heartbeating on its first claim,
+    /// oversleeps past staleness and publishes under the superseded
+    /// epoch (exercises stale-epoch rejection).
+    pub stall_worker: Option<usize>,
+    /// `(syscall, tool)` cell whose every claimant crashes — drives
+    /// retry exhaustion.
+    pub kill_cell: Option<(String, usize)>,
+}
+
+impl InjectSpec {
+    /// Parse a comma-separated directive list.
+    ///
+    /// # Errors
+    ///
+    /// A usage message naming the bad directive.
+    pub fn parse(spec: &str) -> Result<InjectSpec, String> {
+        let mut inject = InjectSpec::default();
+        for directive in spec.split(',').filter(|d| !d.is_empty()) {
+            let (key, value) = match directive.split_once('=') {
+                Some((k, v)) => (k, Some(v)),
+                None => (directive, None),
+            };
+            let index = |value: Option<&str>, default: Option<usize>| -> Result<usize, String> {
+                match value {
+                    Some(v) => v
+                        .parse()
+                        .map_err(|_| format!("`{directive}`: worker index must be an integer")),
+                    None => {
+                        default.ok_or_else(|| format!("`{directive}` needs =N (a worker index)"))
+                    }
+                }
+            };
+            match key {
+                "kill-worker" => inject.kill_worker = Some(index(value, None)?),
+                "torn-partial" => inject.torn_partial = Some(index(value, Some(0))?),
+                "stall" => inject.stall_worker = Some(index(value, None)?),
+                "kill-cell" => {
+                    let value =
+                        value.ok_or_else(|| "`kill-cell` needs =SYSCALL/TOOL".to_owned())?;
+                    let (syscall, tool) = value
+                        .split_once('/')
+                        .ok_or_else(|| format!("`{directive}`: expected SYSCALL/TOOL"))?;
+                    let tool = tool
+                        .parse()
+                        .map_err(|_| format!("`{directive}`: tool must be an integer"))?;
+                    inject.kill_cell = Some((syscall.to_owned(), tool));
+                }
+                other => {
+                    return Err(format!(
+                        "unknown --inject directive `{other}` (expected kill-worker=N, \
+                         torn-partial[=N], stall=N or kill-cell=SYSCALL/TOOL)"
+                    ))
+                }
+            }
+        }
+        Ok(inject)
+    }
+
+    /// Render back into the `--inject` argument form (for forwarding to
+    /// worker processes).
+    pub fn to_arg(&self) -> String {
+        let mut parts = Vec::new();
+        if let Some(n) = self.kill_worker {
+            parts.push(format!("kill-worker={n}"));
+        }
+        if let Some(n) = self.torn_partial {
+            parts.push(format!("torn-partial={n}"));
+        }
+        if let Some(n) = self.stall_worker {
+            parts.push(format!("stall={n}"));
+        }
+        if let Some((syscall, tool)) = &self.kill_cell {
+            parts.push(format!("kill-cell={syscall}/{tool}"));
+        }
+        parts.join(",")
+    }
+
+    /// `true` when no directive is set.
+    pub fn is_empty(&self) -> bool {
+        *self == InjectSpec::default()
+    }
+}
+
+/// Tuning knobs of the elastic driver.
+#[derive(Debug, Clone)]
+pub struct ElasticOptions {
+    /// Worker executable override (`None` = the current executable).
+    /// Tests point this at the `provmark-shard` binary.
+    pub worker_exe: Option<PathBuf>,
+    /// A claim whose heartbeat is older than this is declared dead and
+    /// re-dispatched.
+    pub stale_after: Duration,
+    /// How often workers refresh their heartbeat while solving (clamped
+    /// to at most `stale_after / 4`).
+    pub heartbeat_interval: Duration,
+    /// Worker / supervisor poll interval.
+    pub poll_interval: Duration,
+    /// How many times a cell is re-dispatched after its first attempt
+    /// before it is recorded as a typed per-cell failure.
+    pub max_retries: u32,
+    /// Delay before a failed cell's re-dispatch becomes claimable.
+    pub backoff: Duration,
+    /// How many replacement workers the supervisor may spawn when the
+    /// whole pool has died with cells still open.
+    pub max_respawns: usize,
+    /// Deterministic fault injection (tests / CI only).
+    pub inject: InjectSpec,
+}
+
+impl Default for ElasticOptions {
+    fn default() -> Self {
+        ElasticOptions {
+            worker_exe: None,
+            stale_after: Duration::from_secs(5),
+            heartbeat_interval: Duration::from_millis(250),
+            poll_interval: Duration::from_millis(25),
+            max_retries: 2,
+            backoff: Duration::from_millis(100),
+            max_respawns: 8,
+            inject: InjectSpec::default(),
+        }
+    }
+}
+
+/// Everything a worker needs besides the store.
+#[derive(Debug, Clone)]
+pub struct WorkerContext {
+    /// This worker's index (respawned workers get fresh indices past
+    /// the initial pool size, so index-keyed injections fire at most
+    /// once).
+    pub index: usize,
+    /// Heartbeat refresh interval while solving.
+    pub heartbeat_interval: Duration,
+    /// Sleep between idle polls of the task directory.
+    pub poll_interval: Duration,
+    /// How long a stall-injected worker oversleeps its first claim.
+    pub stall: Duration,
+    /// Fault injection directives.
+    pub inject: InjectSpec,
+}
+
+/// How a worker loop ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkerEnd {
+    /// The stop sentinel was raised; the worker drained cleanly.
+    Stopped,
+    /// A fault injection asked this worker to crash; the process
+    /// wrapper aborts, the in-process pool records the reason.
+    Crashed(&'static str),
+}
+
+/// The claim-solve-publish loop run by every worker.
+///
+/// Claims tasks until the stop sentinel appears, refreshing a heartbeat
+/// in a background thread while each cell solves, and publishing every
+/// result atomically. Fault injections deterministically divert the
+/// loop (see [`InjectSpec`]).
+///
+/// # Errors
+///
+/// [`PipelineError`] on I/O failures or malformed task files — the
+/// worker dies, its claim goes stale, and the supervisor re-dispatches.
+pub fn worker_loop(store: &TaskStore, ctx: &WorkerContext) -> Result<WorkerEnd, PipelineError> {
+    let mut first_claim = true;
+    loop {
+        if store.stop_requested() {
+            return Ok(WorkerEnd::Stopped);
+        }
+        let Some(task) = store.claim_next(ctx.index)? else {
+            std::thread::sleep(ctx.poll_interval);
+            continue;
+        };
+        let injected_first = first_claim;
+        first_claim = false;
+        if injected_first && ctx.inject.kill_worker == Some(ctx.index) {
+            // Die with a fresh claim + heartbeat on the books: the
+            // supervisor must notice the heartbeat going stale.
+            return Ok(WorkerEnd::Crashed("injected kill-worker"));
+        }
+        if let Some((syscall, tool)) = &ctx.inject.kill_cell {
+            if task.syscall == *syscall && task.tool == *tool {
+                return Ok(WorkerEnd::Crashed("injected kill-cell"));
+            }
+        }
+        let stalling = injected_first && ctx.inject.stall_worker == Some(ctx.index);
+        if stalling {
+            // No heartbeat refresh, oversleep past staleness, then fall
+            // through and publish under the (by now superseded) epoch.
+            std::thread::sleep(ctx.stall);
+        }
+        let heartbeat_done = AtomicBool::new(false);
+        let cell = std::thread::scope(|scope| {
+            if !stalling {
+                scope.spawn(|| {
+                    while !heartbeat_done.load(Ordering::Relaxed) {
+                        store.write_heartbeat(&task, ctx.index).ok();
+                        std::thread::sleep(ctx.heartbeat_interval);
+                    }
+                });
+            }
+            let cell = run_matrix_cell(
+                &task.syscall,
+                task.tool,
+                &task.config.opts,
+                task.config.opus_db_iterations,
+            );
+            heartbeat_done.store(true, Ordering::Relaxed);
+            cell
+        })?;
+        let result = CellResult {
+            syscall: task.syscall.clone(),
+            tool: task.tool,
+            epoch: task.epoch,
+            config: task.config.clone(),
+            cell,
+        };
+        if injected_first && ctx.inject.torn_partial == Some(ctx.index) {
+            store.publish_torn(&result)?;
+            return Ok(WorkerEnd::Crashed("injected torn-partial"));
+        }
+        store.publish(&result)?;
+    }
+}
+
+/// How one worker of the pool exited.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerExit {
+    /// The worker's index.
+    pub worker: usize,
+    /// `true` when the worker drained cleanly.
+    pub success: bool,
+    /// Rendered exit status (process exit code / signal, or the
+    /// crash/abandonment reason for thread workers).
+    pub status: String,
+    /// Captured stderr path, for process workers.
+    pub stderr: Option<PathBuf>,
+}
+
+impl WorkerExit {
+    fn failure(&self) -> WorkerFailure {
+        WorkerFailure {
+            worker: self.worker,
+            status: self.status.clone(),
+            stderr: self.stderr.clone(),
+        }
+    }
+}
+
+/// A pool of workers the supervisor can spawn into and reap from —
+/// process-backed for the real driver, thread-backed for in-process
+/// benchmarking and fast tests.
+trait Pool {
+    fn spawn(&mut self, index: usize) -> Result<(), PipelineError>;
+    /// Collect every worker that has exited since the last call.
+    fn reap(&mut self) -> Vec<WorkerExit>;
+    fn live(&self) -> usize;
+    /// Wait for the remaining workers after the stop sentinel is up.
+    fn shutdown(&mut self) -> Vec<WorkerExit>;
+}
+
+/// Worker pool backed by `provmark-shard work` subprocesses, each with
+/// its stderr captured to `worker-{index}.stderr` in the run directory.
+struct ProcessPool {
+    exe: PathBuf,
+    root: PathBuf,
+    heartbeat: Duration,
+    poll: Duration,
+    stall: Duration,
+    inject: InjectSpec,
+    children: Vec<(usize, std::process::Child, PathBuf)>,
+}
+
+impl ProcessPool {
+    fn exit(worker: usize, status: std::process::ExitStatus, stderr: PathBuf) -> WorkerExit {
+        WorkerExit {
+            worker,
+            success: status.success(),
+            status: status.to_string(),
+            stderr: Some(stderr),
+        }
+    }
+}
+
+impl Pool for ProcessPool {
+    fn spawn(&mut self, index: usize) -> Result<(), PipelineError> {
+        let stderr_path = self.root.join(format!("worker-{index}.stderr"));
+        let stderr = std::fs::File::create(&stderr_path)?;
+        let mut command = std::process::Command::new(&self.exe);
+        command
+            .arg("work")
+            .arg(&self.root)
+            .arg("--worker-index")
+            .arg(index.to_string())
+            .arg("--heartbeat-ms")
+            .arg(self.heartbeat.as_millis().to_string())
+            .arg("--poll-ms")
+            .arg(self.poll.as_millis().to_string())
+            .arg("--stall-ms")
+            .arg(self.stall.as_millis().to_string())
+            .stdout(std::process::Stdio::null())
+            .stderr(stderr);
+        if !self.inject.is_empty() {
+            command.arg("--inject").arg(self.inject.to_arg());
+        }
+        let child = command.spawn()?;
+        self.children.push((index, child, stderr_path));
+        Ok(())
+    }
+
+    fn reap(&mut self) -> Vec<WorkerExit> {
+        let mut exits = Vec::new();
+        self.children
+            .retain_mut(|(index, child, stderr)| match child.try_wait() {
+                Ok(Some(status)) => {
+                    exits.push(Self::exit(*index, status, stderr.clone()));
+                    false
+                }
+                Ok(None) => true,
+                Err(e) => {
+                    exits.push(WorkerExit {
+                        worker: *index,
+                        success: false,
+                        status: format!("wait failed: {e}"),
+                        stderr: Some(stderr.clone()),
+                    });
+                    false
+                }
+            });
+        exits
+    }
+
+    fn live(&self) -> usize {
+        self.children.len()
+    }
+
+    fn shutdown(&mut self) -> Vec<WorkerExit> {
+        // The stop sentinel is up; give workers (which may be finishing
+        // a superseded claim) a generous grace period, then kill.
+        let deadline = Instant::now() + Duration::from_secs(60);
+        let mut exits = Vec::new();
+        while !self.children.is_empty() {
+            exits.extend(self.reap());
+            if self.children.is_empty() {
+                break;
+            }
+            if Instant::now() >= deadline {
+                for (index, child, stderr) in self.children.drain(..) {
+                    let mut child = child;
+                    child.kill().ok();
+                    let status = child.wait();
+                    exits.push(WorkerExit {
+                        worker: index,
+                        success: false,
+                        status: status.map_or_else(
+                            |e| format!("kill failed: {e}"),
+                            |s| format!("killed at shutdown ({s})"),
+                        ),
+                        stderr: Some(stderr),
+                    });
+                }
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        exits
+    }
+}
+
+/// Worker pool backed by in-process threads (no subprocess spawning) —
+/// used by benches and fast tests. Threads cannot be killed, so
+/// injected crashes end the thread and are reported as failures.
+struct ThreadPool {
+    store: TaskStore,
+    heartbeat: Duration,
+    poll: Duration,
+    stall: Duration,
+    inject: InjectSpec,
+    threads: Vec<(
+        usize,
+        std::thread::JoinHandle<Result<WorkerEnd, PipelineError>>,
+    )>,
+}
+
+impl ThreadPool {
+    fn exit(
+        worker: usize,
+        handle: std::thread::JoinHandle<Result<WorkerEnd, PipelineError>>,
+    ) -> WorkerExit {
+        let (success, status) = match handle.join() {
+            Ok(Ok(WorkerEnd::Stopped)) => (true, "stopped".to_owned()),
+            Ok(Ok(WorkerEnd::Crashed(reason))) => (false, reason.to_owned()),
+            Ok(Err(e)) => (false, e.to_string()),
+            Err(_) => (false, "panicked".to_owned()),
+        };
+        WorkerExit {
+            worker,
+            success,
+            status,
+            stderr: None,
+        }
+    }
+}
+
+impl Pool for ThreadPool {
+    fn spawn(&mut self, index: usize) -> Result<(), PipelineError> {
+        let store = self.store.clone();
+        let ctx = WorkerContext {
+            index,
+            heartbeat_interval: self.heartbeat,
+            poll_interval: self.poll,
+            stall: self.stall,
+            inject: self.inject.clone(),
+        };
+        let handle = std::thread::spawn(move || worker_loop(&store, &ctx));
+        self.threads.push((index, handle));
+        Ok(())
+    }
+
+    fn reap(&mut self) -> Vec<WorkerExit> {
+        let mut exits = Vec::new();
+        let mut remaining = Vec::new();
+        for (index, handle) in self.threads.drain(..) {
+            if handle.is_finished() {
+                exits.push(Self::exit(index, handle));
+            } else {
+                remaining.push((index, handle));
+            }
+        }
+        self.threads = remaining;
+        exits
+    }
+
+    fn live(&self) -> usize {
+        self.threads.len()
+    }
+
+    fn shutdown(&mut self) -> Vec<WorkerExit> {
+        self.threads
+            .drain(..)
+            .map(|(index, handle)| Self::exit(index, handle))
+            .collect()
+    }
+}
+
+/// Result of an elastic drive: the rendered report plus everything the
+/// run observed along the way.
+#[derive(Debug)]
+pub struct ElasticOutcome {
+    /// The merged matrix report (byte-identical to the single-process
+    /// report when `failures` is empty).
+    pub report: String,
+    /// Cells that exhausted their retry budget, in canonical order —
+    /// rendered as `lost` in the report.
+    pub failures: Vec<CellFailure>,
+    /// Every worker exit the supervisor observed.
+    pub worker_exits: Vec<WorkerExit>,
+    /// Total workers spawned (initial pool + respawns).
+    pub workers_spawned: usize,
+    /// How many cell re-dispatches the supervisor issued.
+    pub requeues: usize,
+}
+
+/// Per-cell supervisor state.
+enum SlotState {
+    Open,
+    Done(CellOutcome),
+    Failed(CellFailure),
+}
+
+struct Slot {
+    task: CellTask,
+    state: SlotState,
+}
+
+/// The supervisor loop: harvest published results, watch heartbeats,
+/// re-dispatch dead claims under bumped epochs with bounded retries
+/// and backoff, respawn the pool if it collapses, and merge.
+fn supervise(
+    store: &TaskStore,
+    pool: &mut dyn Pool,
+    worker_count: usize,
+    tasks: Vec<CellTask>,
+    config: &RunConfig,
+    opts: &ElasticOptions,
+) -> Result<ElasticOutcome, PipelineError> {
+    let mut slots: BTreeMap<String, Slot> = tasks
+        .into_iter()
+        .map(|task| {
+            (
+                task.id(),
+                Slot {
+                    task,
+                    state: SlotState::Open,
+                },
+            )
+        })
+        .collect();
+    let mut pending: BTreeMap<String, Instant> = BTreeMap::new();
+    let mut exits: Vec<WorkerExit> = Vec::new();
+    let mut workers_spawned = 0;
+    let mut respawns = 0;
+    let mut requeues = 0;
+    for index in 0..worker_count {
+        pool.spawn(index)?;
+        workers_spawned += 1;
+    }
+
+    // Bump a cell's epoch for re-dispatch, or fail it for good once the
+    // retry budget is gone.
+    let fail_attempt = |slots: &mut BTreeMap<String, Slot>,
+                        pending: &mut BTreeMap<String, Instant>,
+                        requeues: &mut usize,
+                        id: &str,
+                        detail: String,
+                        backoff: Duration,
+                        max_retries: u32| {
+        let slot = slots.get_mut(id).expect("known cell");
+        if slot.task.epoch > max_retries {
+            slot.state = SlotState::Failed(CellFailure {
+                syscall: slot.task.syscall.clone(),
+                tool: slot.task.tool,
+                attempts: slot.task.epoch,
+                detail,
+            });
+        } else {
+            slot.task.epoch += 1;
+            pending.insert(id.to_owned(), Instant::now() + backoff);
+            *requeues += 1;
+        }
+    };
+
+    loop {
+        exits.extend(pool.reap());
+
+        // Harvest published results. Only the current epoch counts:
+        // superseded publishes (a stalled worker finishing a claim the
+        // supervisor already re-dispatched) are rejected here.
+        let mut completed: Vec<(String, CellOutcome)> = Vec::new();
+        let mut failed: Vec<(String, String)> = Vec::new();
+        for (id, epoch) in store.done_entries()? {
+            let Some(slot) = slots.get(&id) else { continue };
+            if !matches!(slot.state, SlotState::Open) || epoch != slot.task.epoch {
+                continue;
+            }
+            match store.load_result(&id, epoch) {
+                Ok(result)
+                    if result.syscall == slot.task.syscall
+                        && result.tool == slot.task.tool
+                        && result.config == *config =>
+                {
+                    completed.push((id, result.cell));
+                }
+                Ok(_) => failed.push((
+                    id,
+                    "published result does not match its task (identity or run \
+                     configuration differ)"
+                        .to_owned(),
+                )),
+                Err(e) => failed.push((id, format!("torn or malformed result artifact: {e}"))),
+            }
+        }
+        for (id, cell) in completed {
+            slots.get_mut(&id).expect("known cell").state = SlotState::Done(cell);
+            pending.remove(&id);
+        }
+        for (id, detail) in failed {
+            fail_attempt(
+                &mut slots,
+                &mut pending,
+                &mut requeues,
+                &id,
+                detail,
+                opts.backoff,
+                opts.max_retries,
+            );
+        }
+
+        // Staleness: an open, claimed, unpublished cell whose heartbeat
+        // is too old has lost its worker.
+        let mut stale: Vec<(String, String)> = Vec::new();
+        for (id, slot) in &slots {
+            if !matches!(slot.state, SlotState::Open)
+                || pending.contains_key(id)
+                || store.task_pending(&slot.task)
+                || store.done_exists(id, slot.task.epoch)
+            {
+                continue;
+            }
+            match store.heartbeat_age(id, slot.task.epoch) {
+                Some(age) if age > opts.stale_after => stale.push((
+                    id.clone(),
+                    format!(
+                        "heartbeat went stale at epoch {} ({}ms without a beat)",
+                        slot.task.epoch,
+                        age.as_millis()
+                    ),
+                )),
+                Some(_) => {}
+                None => stale.push((
+                    id.clone(),
+                    format!(
+                        "claim at epoch {} vanished without a heartbeat",
+                        slot.task.epoch
+                    ),
+                )),
+            }
+        }
+        for (id, detail) in stale {
+            fail_attempt(
+                &mut slots,
+                &mut pending,
+                &mut requeues,
+                &id,
+                detail,
+                opts.backoff,
+                opts.max_retries,
+            );
+        }
+
+        // Re-dispatch cells whose backoff has elapsed.
+        let now = Instant::now();
+        let due: Vec<String> = pending
+            .iter()
+            .filter(|(_, at)| **at <= now)
+            .map(|(id, _)| id.clone())
+            .collect();
+        for id in due {
+            pending.remove(&id);
+            store.requeue(&slots[&id].task)?;
+        }
+
+        let open = slots
+            .values()
+            .filter(|s| matches!(s.state, SlotState::Open))
+            .count();
+        if open == 0 {
+            break;
+        }
+
+        // The pool collapsed with work left: respawn (bounded), giving
+        // replacements fresh indices so index-keyed injections cannot
+        // retrigger.
+        if pool.live() == 0 {
+            if respawns >= opts.max_respawns {
+                return Err(PipelineError::WorkerPool {
+                    failures: exits
+                        .iter()
+                        .filter(|e| !e.success)
+                        .map(WorkerExit::failure)
+                        .collect(),
+                    detail: format!("{open} cell(s) still open after {respawns} respawn(s)"),
+                });
+            }
+            respawns += 1;
+            pool.spawn(workers_spawned)?;
+            workers_spawned += 1;
+        }
+
+        std::thread::sleep(opts.poll_interval);
+    }
+
+    store.request_stop()?;
+    exits.extend(pool.shutdown());
+
+    let mut cells: Vec<(String, usize, CellOutcome)> = Vec::new();
+    let mut failures: Vec<CellFailure> = Vec::new();
+    for (_, slot) in slots {
+        match slot.state {
+            SlotState::Done(cell) => cells.push((slot.task.syscall, slot.task.tool, cell)),
+            SlotState::Failed(failure) => {
+                cells.push((
+                    failure.syscall.clone(),
+                    failure.tool,
+                    failure.lost_outcome(),
+                ));
+                failures.push(failure);
+            }
+            SlotState::Open => unreachable!("loop exits only with no open cells"),
+        }
+    }
+    let merged = merge_matrix_cells(cells)?;
+    Ok(ElasticOutcome {
+        report: render_matrix_report(&merged),
+        failures,
+        worker_exits: exits,
+        workers_spawned,
+        requeues,
+    })
+}
+
+/// Clamp the heartbeat interval so a live worker can never look stale.
+fn effective_heartbeat(opts: &ElasticOptions) -> Duration {
+    opts.heartbeat_interval.min(opts.stale_after / 4)
+}
+
+/// How long a stall-injected worker oversleeps: comfortably past
+/// staleness, so the supervisor is guaranteed to re-dispatch first.
+fn stall_duration(opts: &ElasticOptions) -> Duration {
+    opts.stale_after * 4
+}
+
+/// Drive an elastic matrix run with `worker_count` worker
+/// **processes** (`provmark-shard work …`), supervising claims,
+/// heartbeats and re-dispatch in this process.
+///
+/// `work_dir` becomes the shared run directory (tasks, claims,
+/// heartbeats, results and per-worker stderr captures are kept for
+/// inspection).
+///
+/// # Errors
+///
+/// [`PipelineError::Store`] on I/O failures,
+/// [`PipelineError::ShardArtifact`] on a reused work dir,
+/// [`PipelineError::WorkerPool`] when the pool collapses beyond the
+/// respawn budget. Exhausted cells are **not** an error here — they are
+/// reported in [`ElasticOutcome::failures`] so the caller decides.
+pub fn drive_elastic(
+    worker_count: usize,
+    config: &RunConfig,
+    work_dir: &Path,
+    opts: &ElasticOptions,
+) -> Result<ElasticOutcome, PipelineError> {
+    std::fs::create_dir_all(work_dir)?;
+    let tasks = plan_cells(config);
+    let store = TaskStore::init(work_dir, &tasks)?;
+    let exe = match &opts.worker_exe {
+        Some(exe) => exe.clone(),
+        None => std::env::current_exe()?,
+    };
+    let mut pool = ProcessPool {
+        exe,
+        root: work_dir.to_owned(),
+        heartbeat: effective_heartbeat(opts),
+        poll: opts.poll_interval,
+        stall: stall_duration(opts),
+        inject: opts.inject.clone(),
+        children: Vec::new(),
+    };
+    supervise(&store, &mut pool, worker_count, tasks, config, opts)
+}
+
+/// Drive an elastic matrix run with `worker_count` worker **threads**
+/// in this process — no subprocess spawning, same protocol and
+/// supervisor. Used by benches and fast tests.
+///
+/// # Errors
+///
+/// As [`drive_elastic`].
+pub fn drive_elastic_in_process(
+    worker_count: usize,
+    config: &RunConfig,
+    work_dir: &Path,
+    opts: &ElasticOptions,
+) -> Result<ElasticOutcome, PipelineError> {
+    std::fs::create_dir_all(work_dir)?;
+    let tasks = plan_cells(config);
+    let store = TaskStore::init(work_dir, &tasks)?;
+    let mut pool = ThreadPool {
+        store: store.clone(),
+        heartbeat: effective_heartbeat(opts),
+        poll: opts.poll_interval,
+        stall: stall_duration(opts),
+        inject: opts.inject.clone(),
+        threads: Vec::new(),
+    };
+    supervise(&store, &mut pool, worker_count, tasks, config, opts)
+}

@@ -22,10 +22,12 @@
 //!    [`single_report`] (asserted by this crate's integration tests and
 //!    the CI sharded smoke).
 //!
-//! [`drive_local`] is the local driver mode: it plans, spawns N worker
-//! *processes* of the current executable (`provmark-shard execute …`)
-//! concurrently through `pipeline::run_matrix_sharded`, and merges
-//! their artifacts.
+//! [`drive_local`] is the local driver mode: it runs the crash-tolerant
+//! [`elastic`] execution layer — per-cell claimable tasks, heartbeats,
+//! epoch-bumped re-dispatch of dead claims, and typed per-cell failures
+//! when retries run out — over N concurrent worker *processes* of the
+//! current executable (`provmark-shard work …`). All artifact writes
+//! are atomic ([`atomic_write`]), so no reader can observe a torn file.
 //!
 //! # Artifact versioning
 //!
@@ -41,8 +43,9 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod elastic;
+
 use std::path::Path;
-use std::process::Command;
 
 use provmark_core::pipeline::{
     self, merge_matrix_summaries, plan_matrix_shards, run_matrix_cells, summarize_rows,
@@ -187,7 +190,7 @@ impl ShardManifest {
 ///
 /// The seed is serialized as a **string**: the vendored JSON shim backs
 /// numbers with `f64`, which would silently round seeds above 2^53.
-fn insert_config(doc: &mut Map<String, Value>, config: &RunConfig) {
+pub(crate) fn insert_config(doc: &mut Map<String, Value>, config: &RunConfig) {
     let mut options = Map::new();
     options.insert("trials".into(), Value::Number(config.opts.trials as f64));
     options.insert(
@@ -213,7 +216,7 @@ fn insert_config(doc: &mut Map<String, Value>, config: &RunConfig) {
 }
 
 /// Parse the run configuration back out of an artifact document.
-fn extract_config(doc: &Value) -> Result<RunConfig, PipelineError> {
+pub(crate) fn extract_config(doc: &Value) -> Result<RunConfig, PipelineError> {
     let options = &doc["options"];
     let base_seed: u64 = options["base_seed"]
         .as_str()
@@ -336,7 +339,7 @@ impl PartialResults {
     }
 }
 
-fn cell_to_json(cell: &CellOutcome) -> Value {
+pub(crate) fn cell_to_json(cell: &CellOutcome) -> Value {
     let mut c = Map::new();
     c.insert("status".into(), Value::String(cell.status.clone()));
     c.insert(
@@ -357,7 +360,7 @@ fn cell_to_json(cell: &CellOutcome) -> Value {
     Value::Object(c)
 }
 
-fn cell_from_json(v: &Value) -> Result<CellOutcome, PipelineError> {
+pub(crate) fn cell_from_json(v: &Value) -> Result<CellOutcome, PipelineError> {
     let opt = |field: &str| -> Result<Option<u64>, PipelineError> {
         match &v[field] {
             Value::Null => Ok(None),
@@ -383,7 +386,7 @@ fn cell_from_json(v: &Value) -> Result<CellOutcome, PipelineError> {
     })
 }
 
-fn artifact(detail: impl Into<String>) -> PipelineError {
+pub(crate) fn artifact(detail: impl Into<String>) -> PipelineError {
     PipelineError::ShardArtifact {
         detail: detail.into(),
     }
@@ -412,7 +415,7 @@ pub fn load_partial(path: &Path, index: usize) -> Result<PartialResults, Pipelin
 
 /// Validate the `format` / `version` / `snapshot_format_version` header
 /// shared by both artifact kinds.
-fn check_header(doc: &Value, format: &str, version: u32) -> Result<(), PipelineError> {
+pub(crate) fn check_header(doc: &Value, format: &str, version: u32) -> Result<(), PipelineError> {
     match doc["format"].as_str() {
         Some(found) if found == format => {}
         Some(found) => {
@@ -445,7 +448,7 @@ fn check_header(doc: &Value, format: &str, version: u32) -> Result<(), PipelineE
     Ok(())
 }
 
-fn get_usize(doc: &Value, field: &str) -> Result<usize, PipelineError> {
+pub(crate) fn get_usize(doc: &Value, field: &str) -> Result<usize, PipelineError> {
     doc[field]
         .as_f64()
         .filter(|n| *n >= 0.0 && n.fract() == 0.0)
@@ -453,7 +456,7 @@ fn get_usize(doc: &Value, field: &str) -> Result<usize, PipelineError> {
         .ok_or_else(|| artifact(format!("field `{field}` must be a non-negative integer")))
 }
 
-fn get_bool(doc: &Value, field: &str) -> Result<bool, PipelineError> {
+pub(crate) fn get_bool(doc: &Value, field: &str) -> Result<bool, PipelineError> {
     doc[field]
         .as_bool()
         .ok_or_else(|| artifact(format!("field `{field}` must be a boolean")))
@@ -541,69 +544,71 @@ pub fn single_report(config: &RunConfig) -> String {
     render_matrix_report(&merged)
 }
 
-/// Local driver mode: plan `shard_count` shards, spawn one worker
-/// **process** of the current executable per shard (`provmark-shard
-/// execute <manifest> --out <partial>`, all concurrent via the pipeline
-/// driver), and merge their artifacts into the canonical report.
+/// Write `contents` to `path` atomically: write to a hidden temp file
+/// in the destination directory, then `rename` over the final path.
 ///
-/// `work_dir` receives the manifest and partial files (kept for
-/// inspection).
+/// Readers can therefore never observe a torn artifact at `path` — a
+/// writer killed mid-write leaves only a `.{name}.tmp.*` file behind,
+/// which every artifact scan skips. Used for **all** provshard artifact
+/// writes (manifests, partials, cell tasks/results, heartbeats,
+/// reports).
 ///
 /// # Errors
 ///
-/// Plan/merge errors as above; [`PipelineError::Store`] on I/O
-/// failures; [`PipelineError::ShardMerge`] when a worker process exits
-/// unsuccessfully.
+/// Any I/O error from the write or the rename.
+pub fn atomic_write(path: &Path, contents: &str) -> std::io::Result<()> {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+    let name = path
+        .file_name()
+        .ok_or_else(|| std::io::Error::other("atomic_write needs a file path"))?
+        .to_string_lossy()
+        .into_owned();
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+    let tmp = dir.unwrap_or(Path::new(".")).join(format!(
+        ".{name}.tmp.{}.{}",
+        std::process::id(),
+        TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::write(&tmp, contents)?;
+    std::fs::rename(&tmp, path)
+}
+
+/// Local driver mode: spawn `worker_count` elastic worker **processes**
+/// of the current executable (`provmark-shard work …`) over a shared
+/// run directory, supervise claims/heartbeats/re-dispatch, and merge
+/// the per-cell results into the canonical report (see the [`elastic`]
+/// module for the protocol).
+///
+/// `work_dir` receives the claim-protocol directories and per-worker
+/// stderr captures (kept for inspection).
+///
+/// # Errors
+///
+/// [`PipelineError::InvalidShardCount`] on an unusable worker count
+/// (same validation as the classic row-shard plan);
+/// [`PipelineError::CellsExhausted`] when cells ran out of retries (the
+/// merged report still exists, with those cells marked `lost`);
+/// otherwise as [`elastic::drive_elastic`].
 pub fn drive_local(
-    shard_count: usize,
+    worker_count: usize,
     config: &RunConfig,
     work_dir: &Path,
 ) -> Result<String, PipelineError> {
-    let exe = std::env::current_exe()?;
-    std::fs::create_dir_all(work_dir)?;
-    let merged = pipeline::run_matrix_sharded(shard_count, |shard: &MatrixShard| {
-        let manifest = ShardManifest {
-            shard: shard.clone(),
-            config: config.clone(),
-        };
-        let manifest_path = work_dir.join(format!("shard-{}.json", shard.shard_index));
-        let partial_path = work_dir.join(format!("part-{}.json", shard.shard_index));
-        std::fs::write(&manifest_path, manifest.to_json_string())?;
-        let status = Command::new(&exe)
-            .arg("execute")
-            .arg(&manifest_path)
-            .arg("--out")
-            .arg(&partial_path)
-            .status()?;
-        if !status.success() {
-            return Err(PipelineError::ShardMerge {
-                detail: format!(
-                    "worker process for shard {} failed ({status}); see {}",
-                    shard.shard_index,
-                    manifest_path.display()
-                ),
-            });
-        }
-        let partial = load_partial(&partial_path, shard.shard_index)?;
-        if partial.shard_index != shard.shard_index || partial.shard_count != shard.shard_count {
-            return Err(PipelineError::ShardMerge {
-                detail: format!(
-                    "worker for shard {} returned results labelled shard {}/{}",
-                    shard.shard_index, partial.shard_index, partial.shard_count
-                ),
-            });
-        }
-        if partial.config != *config {
-            return Err(PipelineError::ShardMerge {
-                detail: format!(
-                    "worker for shard {} ran under a different configuration than planned",
-                    shard.shard_index
-                ),
-            });
-        }
-        Ok(partial.rows)
-    })?;
-    Ok(render_matrix_report(&merged))
+    plan_matrix_shards(worker_count)?;
+    let outcome = elastic::drive_elastic(
+        worker_count,
+        config,
+        work_dir,
+        &elastic::ElasticOptions::default(),
+    )?;
+    if outcome.failures.is_empty() {
+        Ok(outcome.report)
+    } else {
+        Err(PipelineError::CellsExhausted {
+            failures: outcome.failures,
+        })
+    }
 }
 
 #[cfg(test)]
