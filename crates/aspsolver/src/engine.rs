@@ -25,10 +25,35 @@
 //!   candidate;
 //! - adjacency consistency compares sorted `(Symbol, count)` slices.
 //!
+//! # The pruned kernel (`dense_pruning`, default on)
+//!
+//! On top of that, the default search runs over **bitset candidate
+//! domains**: each left node's domain is a `⌈n2/64⌉`-word bitset over
+//! dense right ids, restricted word-parallel as assignments extend
+//! (`restrict_neighbours`) and undone via a change trail, so the legacy
+//! per-candidate `used`/`consistent` probes become two bit tests and MRV
+//! domain sizes become `popcount(dyn & free)`. For bijective problems,
+//! memoized **Weisfeiler–Lehman shape colours**
+//! ([`provgraph::fingerprint::shape_colors_core`], a session lookup via
+//! [`CorpusSession::shape_colors`]) additionally pre-filter pairs whose
+//! iterated colour classes can never correspond, seed the
+//! most-constrained-first scan order, and tighten the admissible
+//! per-node cost floors. Every colour-guided prune removes only
+//! provably solution-free work, so **matchings, costs and optimality
+//! flags are identical** to the unpruned path (and to
+//! [`crate::solve_strings`]); [`SolverStats`] shrinks, deterministically
+//! — the invariant split the differential proptests pin. One caveat
+//! follows from doing less work: a budget-limited search may complete
+//! (report `optimal`) where the unpruned path would have exhausted
+//! `max_steps`; outcomes are guaranteed identical whenever neither path
+//! truncates.
+//!
 //! String identifiers reappear only once, when the final dense matching
 //! is translated back to [`Matching`]'s `ElemId` maps. The legacy
 //! string-path engine is preserved in [`crate::solve_strings`] for
-//! differential testing and ablation benchmarks.
+//! differential testing and ablation benchmarks; the unpruned dense
+//! path stays compilable (`dense_pruning: false`) as the ablation
+//! baseline `bench_solver`'s `dense_pruned` column measures against.
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -38,6 +63,7 @@ use provgraph::compiled::{
     degree_sig_leq, label_counts_leq, one_sided_prop_diff, symmetric_prop_diff, CompiledGraph,
     CorpusSession, FxHashMap, FxHasher, GraphCore, GraphId, Interner, NamedGraph, Symbol,
 };
+use provgraph::fingerprint::shape_colors_core;
 use provgraph::par;
 use provgraph::PropertyGraph;
 
@@ -96,6 +122,24 @@ pub struct SolverConfig {
     pub cost_bound: bool,
     /// Try cheap candidates first (best-first value ordering).
     pub order_by_cost: bool,
+    /// Run the dense search over bitset candidate domains with
+    /// WL-colour-guided pruning (see the `Search` internals docs).
+    ///
+    /// With this on (the default), candidate domains are maintained as
+    /// `u64`-block bitsets intersected word-parallel as assignments
+    /// extend, and — for bijective problems — Weisfeiler–Lehman shape
+    /// colours pre-filter pairs whose iterated colour classes can never
+    /// correspond. Matchings, costs and optimality flags are identical
+    /// to the unpruned path (and to [`solve_strings`]); only
+    /// [`SolverStats`] improves (fewer steps/backtracks explored,
+    /// deterministically). Turning it off restores the legacy
+    /// vector-walk search, kept compilable as the ablation baseline that
+    /// `bench_solver`'s `dense_pruned` column measures against — and the
+    /// configuration under which statistics, not just outcomes, are
+    /// pinned to [`solve_strings`].
+    ///
+    /// [`solve_strings`]: crate::solve_strings
+    pub dense_pruning: bool,
 }
 
 impl Default for SolverConfig {
@@ -106,6 +150,7 @@ impl Default for SolverConfig {
             forward_check: true,
             cost_bound: true,
             order_by_cost: true,
+            dense_pruning: true,
         }
     }
 }
@@ -120,6 +165,7 @@ impl SolverConfig {
             forward_check: false,
             cost_bound: false,
             order_by_cost: false,
+            dense_pruning: false,
         }
     }
 }
@@ -221,7 +267,20 @@ pub fn solve_in(
     g2: GraphId,
     config: &SolverConfig,
 ) -> Outcome {
-    solve_named(problem, session.graph(g1), session.graph(g2), config)
+    // The session memoizes WL shape colours at `add`, so the
+    // colour-guided pruning signal is a lookup here where the one-shot
+    // paths re-derive it. Pruning decisions depend only on the colour
+    // *equality pattern*, which is interner-invariant, so outcomes and
+    // statistics match the one-shot paths either way.
+    let dense = solve_dense(
+        problem,
+        session.graph(g1).core(),
+        session.graph(g2).core(),
+        config,
+        None,
+        Some((session.shape_colors(g1), session.shape_colors(g2))),
+    );
+    translate(&dense, session.graph(g1), session.graph(g2))
 }
 
 /// Left-hand search state prepared once and reused across many right-hand
@@ -380,30 +439,33 @@ impl<'s> BatchSolver<'s> {
     /// attached ([`with_memo`](BatchSolver::with_memo)), the dense half
     /// is served from — or recorded into — the memo.
     pub fn solve_one(&self, rhs: GraphId) -> Outcome {
-        match self.memo {
-            Some(memo) => {
-                let dense = memoized_dense(
-                    memo,
-                    self.prepared.problem,
-                    self.session,
-                    self.lhs,
-                    rhs,
-                    &self.config,
-                    Some(&self.prepared),
-                );
-                translate(
-                    &dense,
-                    self.session.graph(self.lhs),
-                    self.session.graph(rhs),
-                )
-            }
-            None => solve_prepared(
-                &self.prepared,
-                self.session.graph(self.lhs),
-                self.session.graph(rhs),
+        let dense = match self.memo {
+            Some(memo) => memoized_dense(
+                memo,
+                self.prepared.problem,
+                self.session,
+                self.lhs,
+                rhs,
                 &self.config,
+                Some(&self.prepared),
             ),
-        }
+            None => Arc::new(solve_dense(
+                self.prepared.problem,
+                self.prepared.core,
+                self.session.graph(rhs).core(),
+                &self.config,
+                Some(&self.prepared),
+                Some((
+                    self.session.shape_colors(self.lhs),
+                    self.session.shape_colors(rhs),
+                )),
+            )),
+        };
+        translate(
+            &dense,
+            self.session.graph(self.lhs),
+            self.session.graph(rhs),
+        )
     }
 
     /// Solve the prepared left against every right-hand graph, in order.
@@ -476,6 +538,10 @@ impl<'s> BatchSolver<'s> {
                     self.session.graph(*rep).core(),
                     &self.config,
                     Some(&self.prepared),
+                    Some((
+                        self.session.shape_colors(self.lhs),
+                        self.session.shape_colors(*rep),
+                    )),
                 )),
             }
         });
@@ -748,12 +814,17 @@ fn memoized_dense(
     // duplicate the work but compute the same pure-function value, so
     // whichever insert lands first is the one everyone reads.
     memo.misses.fetch_add(1, Ordering::Relaxed);
+    // Colours come from the *original* handles (the solve runs over
+    // their cores); canonical representatives have identical label and
+    // adjacency arrays, so their shape colours — and hence every pruning
+    // decision — are identical, keeping memo replays consistent.
     let dense = Arc::new(solve_dense(
         problem,
         session.graph(lhs).core(),
         session.graph(rhs).core(),
         config,
         prepared,
+        Some((session.shape_colors(lhs), session.shape_colors(rhs))),
     ));
     let mut shard = memo.shard(&key).lock().expect("memo shard lock");
     Arc::clone(shard.entry(key).or_insert(dense))
@@ -783,7 +854,11 @@ fn run_search<G1: NamedGraph, G2: NamedGraph>(
 ) -> Outcome {
     let c1: &GraphCore = g1;
     let c2: &GraphCore = g2;
-    translate(&solve_dense(problem, c1, c2, config, prepared), g1, g2)
+    translate(
+        &solve_dense(problem, c1, c2, config, prepared, None),
+        g1,
+        g2,
+    )
 }
 
 /// The identifier-free half of a solve: everything the search produces
@@ -799,12 +874,23 @@ struct DenseOutcome {
 
 /// Run pre-checks and the branch-and-bound search over the cores,
 /// stopping short of witness translation.
+///
+/// `colors`, when given, must be the WL shape colours
+/// ([`fingerprint::shape_colors_core`]) of `g1` and `g2` — session
+/// entry points pass their memoized arrays. When `None` and the
+/// configuration wants colour pruning, the colours are derived here
+/// (the one-shot paths); pruning decisions read only the colour
+/// equality pattern, which is interner-invariant, so both sources
+/// yield identical searches.
+///
+/// [`fingerprint::shape_colors_core`]: provgraph::fingerprint::shape_colors_core
 fn solve_dense(
     problem: Problem,
     g1: &GraphCore,
     g2: &GraphCore,
     config: &SolverConfig,
     prepared: Option<&PreparedLhs<'_>>,
+    colors: Option<(&[u64], &[u64])>,
 ) -> DenseOutcome {
     let mut dense = DenseOutcome {
         best: None,
@@ -839,8 +925,24 @@ fn solve_dense(
         return dense;
     }
 
+    // WL shape colours are preserved by label-preserving bijections, so
+    // they are a sound pruning signal exactly for the bijective
+    // problems; embeddings (subgraph) do not preserve iterated colours.
+    let derived: (Vec<u64>, Vec<u64>);
+    let wl_colors = if config.dense_pruning && problem.bijective() {
+        match colors {
+            Some(c) => Some(c),
+            None => {
+                derived = (shape_colors_core(g1), shape_colors_core(g2));
+                Some((derived.0.as_slice(), derived.1.as_slice()))
+            }
+        }
+    } else {
+        None
+    };
+
     let scratch = SEARCH_SCRATCH.with(|cell| std::mem::take(&mut *cell.borrow_mut()));
-    let mut search = Search::build(problem, g1, g2, config, prepared, scratch);
+    let mut search = Search::build(problem, g1, g2, config, prepared, wl_colors, scratch);
     search.run();
     dense.stats = search.stats;
     dense.optimal = !search.budget_exhausted;
@@ -912,7 +1014,7 @@ const UNASSIGNED: u32 = u32::MAX;
 /// Reusable per-thread search allocations: the candidate tables, the
 /// dense pair-cost matrix and the assignment state.
 ///
-/// Every solve used to allocate these six vectors from scratch; across a
+/// Every solve used to allocate these vectors from scratch; across a
 /// batch (the batch solver fans rights out over a fixed thread pool, and
 /// the pipeline's repeated solves stay on their worker thread) the same
 /// thread rebuilds same-shaped tables over and over, so the allocations
@@ -930,6 +1032,14 @@ struct SearchScratch {
     assign: Vec<u32>,
     used: Vec<bool>,
     cand_buf: Vec<u32>,
+    // Bitset-kernel buffers (filled only under `dense_pruning`); same
+    // clear-and-refill discipline as the vectors above.
+    dyn_bits: Vec<u64>,
+    wl_bits: Vec<u64>,
+    free_bits: Vec<u64>,
+    mask_buf: Vec<u64>,
+    seed_order: Vec<u32>,
+    trail: Vec<(u32, u32, u64)>,
 }
 
 /// Element-capacity bound above which a scratch vector is dropped
@@ -980,6 +1090,41 @@ struct Search<'a> {
     /// g2 edges grouped by (src, tgt, label) — assignment-independent,
     /// built lazily on the first complete assignment.
     groups2: Option<BTreeMap<(u32, u32, Symbol), Vec<u32>>>,
+    // --- bitset kernel (dense_pruning) -----------------------------------
+    /// `true` when the bitset kernel is active (`config.dense_pruning`).
+    pruning: bool,
+    /// `true` when WL-colour pruning is active (bitset kernel + bijective
+    /// problem + colour arrays supplied/derived).
+    wl_active: bool,
+    /// `u64` words per right-hand bitset row (`n2.div_ceil(64)`).
+    words: usize,
+    /// Dynamic candidate domains, one `words`-wide row per left node:
+    /// bit `j` of row `i` ⇔ `j` is statically feasible for `i` **and**
+    /// adjacency-consistent with every currently assigned neighbour of
+    /// `i` (with `forward_check` off the rows stay static). Maintained
+    /// incrementally by word-parallel ANDs on assign, undone via `trail`.
+    dyn_bits: Vec<u64>,
+    /// WL-colour masks, one row per left node: bit `j` ⇔ `j` is a static
+    /// candidate of `i` with the same iterated shape colour. Empty unless
+    /// `wl_active`. Colour-preserving bijections can never map outside
+    /// these masks, so they prune *provably doomed* subtrees only —
+    /// outcomes are untouched, statistics shrink.
+    wl_bits: Vec<u64>,
+    /// Bit `j` ⇔ right node `j` is unassigned (the bitset mirror of
+    /// `used`, kept so domain sizes are `popcount(dyn & free)`).
+    free_bits: Vec<u64>,
+    /// Per-assignment scratch row for the allowed-survivor mask built
+    /// over `g2.neighbours(j)`.
+    mask_buf: Vec<u64>,
+    /// Left nodes ordered most-constrained-first (smallest pruned
+    /// domain, then rarest WL colour class, then index) — the scan order
+    /// of variable selection, chosen so wipeouts surface on the first
+    /// few probes. Selection still minimizes the legacy MRV key, so the
+    /// chosen variable (and hence the witness) is scan-order-invariant.
+    seed_order: Vec<u32>,
+    /// Undo log for `dyn_bits`: `(left node, word index, previous word)`
+    /// per changed word; `descend` truncates to its saved mark.
+    trail: Vec<(u32, u32, u64)>,
     // --- search state ----------------------------------------------------
     assign: Vec<u32>,
     used: Vec<bool>,
@@ -1016,12 +1161,20 @@ impl<'a> Search<'a> {
         g2: &'a GraphCore,
         config: &'a SolverConfig,
         lhs: Option<&PreparedLhs<'_>>,
+        wl_colors: Option<(&[u64], &[u64])>,
         scratch: SearchScratch,
     ) -> Self {
         let n1 = g1.node_count();
         let n2 = g2.node_count();
         let bijective = problem.bijective();
         let optimizing = problem.optimizing();
+        let pruning = config.dense_pruning;
+        let wl_active = pruning && wl_colors.is_some();
+        let words = if pruning { n2.div_ceil(64) } else { 0 };
+        if let Some((c1, c2)) = wl_colors {
+            debug_assert_eq!(c1.len(), n1, "left colour array length");
+            debug_assert_eq!(c2.len(), n2, "right colour array length");
+        }
 
         // Right nodes bucketed by label, restricted to labels that occur
         // on the left (one pass over g2, reused by every left node).
@@ -1052,6 +1205,12 @@ impl<'a> Search<'a> {
             mut assign,
             mut used,
             cand_buf: mut scratch,
+            mut dyn_bits,
+            mut wl_bits,
+            mut free_bits,
+            mut mask_buf,
+            mut seed_order,
+            mut trail,
         } = scratch;
         cand_flat.clear();
         cand_start.clear();
@@ -1070,6 +1229,22 @@ impl<'a> Search<'a> {
         used.resize(n2, false);
         scratch.clear();
         scratch.reserve(n2);
+        dyn_bits.clear();
+        wl_bits.clear();
+        free_bits.clear();
+        mask_buf.clear();
+        seed_order.clear();
+        trail.clear();
+        if pruning {
+            dyn_bits.resize(n1 * words, 0);
+            // Bits past n2 in the last word stay set but are never set in
+            // any dyn/wl row, and every read ANDs against one.
+            free_bits.resize(words, u64::MAX);
+            mask_buf.resize(words, 0);
+            if wl_active {
+                wl_bits.resize(n1 * words, 0);
+            }
+        }
         // The per-pair candidate filter, shared verbatim by both
         // construction paths.
         let consider = |i: u32,
@@ -1125,9 +1300,64 @@ impl<'a> Search<'a> {
                 // problems, where the sort would be an all-ties no-op).
                 scratch.sort_by_key(|&j| pair_cost[i as usize * n2 + j as usize]);
             }
+            if pruning {
+                let row = i as usize * words;
+                for &j in scratch.iter() {
+                    dyn_bits[row + (j as usize >> 6)] |= 1u64 << (j & 63);
+                }
+                if let Some((c1, c2)) = wl_colors {
+                    let mut wl_min = u64::MAX;
+                    for &j in scratch.iter() {
+                        if c1[i as usize] == c2[j as usize] {
+                            wl_bits[row + (j as usize >> 6)] |= 1u64 << (j & 63);
+                            if optimizing {
+                                wl_min = wl_min.min(pair_cost[i as usize * n2 + j as usize]);
+                            }
+                        }
+                    }
+                    if optimizing {
+                        // Tightened admissible floor: every feasible
+                        // bijection maps `i` inside its colour class, so
+                        // the per-node minimum may ignore
+                        // colour-mismatched pairs. Raising the floor only
+                        // skips branches whose completions all cost at
+                        // least the incumbent — the strict-improvement
+                        // sequence, and hence the witness, is unchanged.
+                        min_cost = wl_min;
+                    }
+                }
+            }
             node_min_cost.push(if min_cost == u64::MAX { 0 } else { min_cost });
             cand_flat.extend_from_slice(&scratch);
             cand_start.push(cand_flat.len() as u32);
+        }
+
+        if pruning {
+            // Seed order: most-constrained-first over the *pruned* static
+            // domains (then rarest right-hand colour class, then index).
+            // This is only the scan order of variable selection — the MRV
+            // minimum itself is scan-order-invariant — so it accelerates
+            // wipeout detection without perturbing any outcome.
+            let mut color_count: FxHashMap<u64, u32> = FxHashMap::default();
+            if let Some((_, c2)) = wl_colors {
+                for &c in c2 {
+                    *color_count.entry(c).or_insert(0) += 1;
+                }
+            }
+            seed_order.extend(0..n1 as u32);
+            seed_order.sort_by_key(|&i| {
+                let row = i as usize * words;
+                let bits = if wl_active {
+                    &wl_bits[row..row + words]
+                } else {
+                    &dyn_bits[row..row + words]
+                };
+                let domain: u32 = bits.iter().map(|w| w.count_ones()).sum();
+                let class = wl_colors
+                    .map(|(c1, _)| color_count.get(&c1[i as usize]).copied().unwrap_or(0))
+                    .unwrap_or(0);
+                (domain, class, i)
+            });
         }
 
         // Admissible edge-cost floor: each g1 edge costs at least the
@@ -1200,6 +1430,15 @@ impl<'a> Search<'a> {
             node_min_cost,
             edge_cost_floor,
             groups2: None,
+            pruning,
+            wl_active,
+            words,
+            dyn_bits,
+            wl_bits,
+            free_bits,
+            mask_buf,
+            seed_order,
+            trail,
             assign,
             used,
             cand_buf: scratch,
@@ -1241,6 +1480,12 @@ impl<'a> Search<'a> {
             assign: reclaim(self.assign),
             used: reclaim(self.used),
             cand_buf: reclaim(self.cand_buf),
+            dyn_bits: reclaim(self.dyn_bits),
+            wl_bits: reclaim(self.wl_bits),
+            free_bits: reclaim(self.free_bits),
+            mask_buf: reclaim(self.mask_buf),
+            seed_order: reclaim(self.seed_order),
+            trail: reclaim(self.trail),
         }
     }
 
@@ -1249,7 +1494,34 @@ impl<'a> Search<'a> {
         if self.cand_start.windows(2).any(|w| w[0] == w[1]) {
             return;
         }
+        // A node with no colour-compatible candidate is just as
+        // infeasible for a bijective problem: colour-preserving maps
+        // cannot leave the colour class. The legacy path would search
+        // and find nothing — outcome identical, statistics smaller.
+        if self.wl_active {
+            for i in 0..self.n1 {
+                let row = i * self.words;
+                if self.wl_bits[row..row + self.words].iter().all(|&w| w == 0) {
+                    return;
+                }
+            }
+        }
         self.descend(0);
+    }
+
+    #[inline]
+    fn dyn_bit(&self, i: u32, j: u32) -> bool {
+        self.dyn_bits[i as usize * self.words + (j as usize >> 6)] >> (j & 63) & 1 != 0
+    }
+
+    #[inline]
+    fn wl_bit(&self, i: u32, j: u32) -> bool {
+        self.wl_bits[i as usize * self.words + (j as usize >> 6)] >> (j & 63) & 1 != 0
+    }
+
+    #[inline]
+    fn free_bit(&self, j: u32) -> bool {
+        self.free_bits[j as usize >> 6] >> (j & 63) & 1 != 0
     }
 
     /// `depth` = number of assigned nodes so far.
@@ -1267,11 +1539,29 @@ impl<'a> Search<'a> {
         let (start, end) = self.candidates(var);
         for ci in start..end {
             let j = self.cand_flat[ci];
-            if self.used[j as usize] {
-                continue;
-            }
-            if self.config.forward_check && !self.consistent(var, j) {
-                continue;
+            if self.pruning {
+                // One word-indexed probe replaces the legacy `used` test
+                // and the per-neighbour `consistent` walk: the dynamic
+                // row already encodes adjacency consistency with every
+                // assigned neighbour (and stays static with
+                // `forward_check` off, reproducing naive semantics).
+                if !self.free_bit(j) || !self.dyn_bit(var, j) {
+                    continue;
+                }
+                // A colour-mismatched pair heads a provably solution-free
+                // subtree (no colour-preserving bijection extends it), so
+                // it is skipped before the step counter: outcomes are
+                // untouched, statistics shrink deterministically.
+                if self.wl_active && !self.wl_bit(var, j) {
+                    continue;
+                }
+            } else {
+                if self.used[j as usize] {
+                    continue;
+                }
+                if self.config.forward_check && !self.consistent(var, j) {
+                    continue;
+                }
             }
             self.stats.steps += 1;
             if self.stats.steps > self.config.max_steps {
@@ -1294,7 +1584,21 @@ impl<'a> Search<'a> {
             self.used[j as usize] = true;
             self.partial_cost += pair;
             self.unassigned_floor -= self.node_min_cost[var as usize];
+            let trail_mark = self.trail.len();
+            if self.pruning {
+                self.free_bits[j as usize >> 6] &= !(1u64 << (j & 63));
+                if self.config.forward_check {
+                    self.restrict_neighbours(var, j);
+                }
+            }
             let stop = self.descend(depth + 1);
+            if self.pruning {
+                while self.trail.len() > trail_mark {
+                    let (n, w, old) = self.trail.pop().expect("trail mark within bounds");
+                    self.dyn_bits[n as usize * self.words + w as usize] = old;
+                }
+                self.free_bits[j as usize >> 6] |= 1u64 << (j & 63);
+            }
             self.assign[var as usize] = UNASSIGNED;
             self.used[j as usize] = false;
             self.partial_cost -= pair;
@@ -1307,9 +1611,53 @@ impl<'a> Search<'a> {
         false
     }
 
+    /// Word-parallel forward propagation of `var → j`: every unassigned
+    /// g1-neighbour `n` of `var` loses the candidates that are not
+    /// adjacency-consistent with the new assignment, by one AND per row
+    /// word. Changed words are logged to `trail` for undo.
+    ///
+    /// Survivors are necessarily g2-neighbours of `j` — `n` is adjacent
+    /// to `var`, so some direction of `g1.pair_labels` is non-empty and
+    /// any image of `n` must carry the matching g2 edge(s) to `j` — so
+    /// the allowed mask is built over `g2.neighbours(j)` only. The
+    /// resulting rows equal exactly the legacy `consistent` predicate
+    /// over the currently assigned set (induction over the assignment
+    /// stack), which is what keeps step counts identical to the vector
+    /// path modulo the WL skips.
+    fn restrict_neighbours(&mut self, var: u32, j: u32) {
+        let g1 = self.g1;
+        let g2 = self.g2;
+        let words = self.words;
+        let mut mask = std::mem::take(&mut self.mask_buf);
+        for &n in g1.neighbours(var) {
+            if self.assign[n as usize] != UNASSIGNED {
+                continue;
+            }
+            mask.iter_mut().for_each(|w| *w = 0);
+            for &m in g2.neighbours(j) {
+                if self.pair_edges_ok(n, var, m, j) && self.pair_edges_ok(var, n, j, m) {
+                    mask[m as usize >> 6] |= 1u64 << (m & 63);
+                }
+            }
+            let row = n as usize * words;
+            for (w, &allowed) in mask.iter().enumerate() {
+                let old = self.dyn_bits[row + w];
+                let new = old & allowed;
+                if new != old {
+                    self.trail.push((n, w as u32, old));
+                    self.dyn_bits[row + w] = new;
+                }
+            }
+        }
+        self.mask_buf = mask;
+    }
+
     /// Minimum-remaining-values with a preference for nodes adjacent to the
     /// already-assigned frontier.
     fn select_variable(&self) -> Option<u32> {
+        if self.pruning {
+            return self.select_variable_bitset();
+        }
         let mut best: Option<(usize, usize, u32)> = None; // (remaining, -adjacency, var)
         for i in 0..self.n1 as u32 {
             if self.assign[i as usize] != UNASSIGNED {
@@ -1324,6 +1672,49 @@ impl<'a> Search<'a> {
                 }
             }
             if remaining == 0 {
+                return None;
+            }
+            let adjacency = self
+                .g1
+                .neighbours(i)
+                .iter()
+                .filter(|&&n| self.assign[n as usize] != UNASSIGNED)
+                .count();
+            let key = (remaining, usize::MAX - adjacency, i);
+            if best.is_none_or(|b| key < b) {
+                best = Some(key);
+            }
+        }
+        best.map(|(_, _, v)| v)
+    }
+
+    /// Bitset MRV: domain sizes are `popcount(dyn & free)` per row word
+    /// instead of a candidate walk with per-pair consistency probes.
+    ///
+    /// The MRV key counts the **unpruned** dynamic domain — identical to
+    /// the legacy count — so the selected variable, and with it the
+    /// witness, never depends on the WL signal; colours only contribute
+    /// the early `None` when some node's colour-compatible domain wipes
+    /// out (a state with no feasible completion either way). Scanning in
+    /// `seed_order` surfaces wipeouts early; the minimum itself is
+    /// scan-order-invariant because the key totalizes on the node index.
+    fn select_variable_bitset(&self) -> Option<u32> {
+        let mut best: Option<(usize, usize, u32)> = None; // (remaining, -adjacency, var)
+        for &i in &self.seed_order {
+            if self.assign[i as usize] != UNASSIGNED {
+                continue;
+            }
+            let row = i as usize * self.words;
+            let mut remaining = 0usize;
+            let mut wl_remaining = 0usize;
+            for w in 0..self.words {
+                let live = self.dyn_bits[row + w] & self.free_bits[w];
+                remaining += live.count_ones() as usize;
+                if self.wl_active {
+                    wl_remaining += (live & self.wl_bits[row + w]).count_ones() as usize;
+                }
+            }
+            if remaining == 0 || (self.wl_active && wl_remaining == 0) {
                 return None;
             }
             let adjacency = self
@@ -1473,6 +1864,87 @@ fn node_pair_cost(problem: Problem, p1: &[(Symbol, Symbol)], p2: &[(Symbol, Symb
 
 fn edge_pair_cost(problem: Problem, p1: &[(Symbol, Symbol)], p2: &[(Symbol, Symbol)]) -> u64 {
     node_pair_cost(problem, p1, p2)
+}
+
+/// Build-time candidate domains of a dense search, exposed for the
+/// differential domain proptests (`tests/pruned_search.rs`). Not part of
+/// the public API contract.
+#[doc(hidden)]
+#[derive(Debug)]
+pub struct DebugDomains {
+    /// Legacy vector candidates per left node, in search order
+    /// (cost-sorted when `order_by_cost` applies).
+    pub candidates: Vec<Vec<u32>>,
+    /// Bitset domain per left node, decoded to ascending right ids;
+    /// empty when `dense_pruning` is off.
+    pub bitset: Vec<Vec<u32>>,
+    /// WL-colour-surviving candidates per left node (ascending right
+    /// ids); `None` when colour pruning is inactive for this
+    /// problem/config (non-bijective problem or pruning off).
+    pub wl: Option<Vec<Vec<u32>>>,
+}
+
+/// Compile `g1`/`g2` against a fresh interner and expose the dense
+/// search's build-time candidate state — the introspection hook behind
+/// the bitset/WL domain differential tests. Skips the global
+/// feasibility pre-checks on purpose: domains are compared even for
+/// pairs the full solve would reject early.
+#[doc(hidden)]
+pub fn debug_domains(
+    problem: Problem,
+    g1: &PropertyGraph,
+    g2: &PropertyGraph,
+    config: &SolverConfig,
+) -> DebugDomains {
+    let mut interner = Interner::new();
+    let c1 = CompiledGraph::compile(g1, &mut interner);
+    let c2 = CompiledGraph::compile(g2, &mut interner);
+    let core1: &GraphCore = &c1;
+    let core2: &GraphCore = &c2;
+    let derived: (Vec<u64>, Vec<u64>);
+    let wl_colors = if config.dense_pruning && problem.bijective() {
+        derived = (shape_colors_core(core1), shape_colors_core(core2));
+        Some((derived.0.as_slice(), derived.1.as_slice()))
+    } else {
+        None
+    };
+    let search = Search::build(
+        problem,
+        core1,
+        core2,
+        config,
+        None,
+        wl_colors,
+        SearchScratch::default(),
+    );
+    let n1 = core1.node_count();
+    let n2 = core2.node_count() as u32;
+    let words = search.words;
+    let candidates = (0..n1)
+        .map(|i| {
+            let (s, e) = search.candidates(i as u32);
+            search.cand_flat[s..e].to_vec()
+        })
+        .collect();
+    let decode = |bits: &[u64], i: usize| -> Vec<u32> {
+        let row = &bits[i * words..(i + 1) * words];
+        (0..n2)
+            .filter(|&j| row[j as usize >> 6] >> (j & 63) & 1 != 0)
+            .collect()
+    };
+    let bitset = if search.pruning {
+        (0..n1).map(|i| decode(&search.dyn_bits, i)).collect()
+    } else {
+        Vec::new()
+    };
+    let wl = search
+        .wl_active
+        .then(|| (0..n1).map(|i| decode(&search.wl_bits, i)).collect());
+    DebugDomains {
+        candidates,
+        bitset,
+        wl,
+    }
 }
 
 #[cfg(test)]

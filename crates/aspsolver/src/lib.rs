@@ -60,12 +60,22 @@
 //! searched once. Memo-on outcomes are byte-identical to memo-off ones,
 //! search statistics included.
 //!
+//! Every dense path above runs the **bitset-pruned kernel** by default
+//! ([`SolverConfig::dense_pruning`]): candidate domains are `u64`-block
+//! bitsets intersected word-parallel as assignments extend, and for
+//! bijective problems the session's memoized Weisfeiler–Lehman shape
+//! colours pre-filter pairs whose colour classes can never correspond
+//! (see the engine module docs for the design). Pruning is
+//! outcome-neutral — matchings, costs and optimality flags are
+//! unchanged — while [`SolverStats`] shrinks deterministically.
+//!
 //! The legacy **string path** ([`solve_strings`]) searches
 //! [`PropertyGraph`] directly. It is retained as the reference
 //! implementation for differential tests and as the baseline of the
-//! solver ablation benchmark; all paths provably return identical
-//! outcomes, including identical search statistics
-//! (`tests/differential_compiled.rs`).
+//! solver ablation benchmark. All paths provably return identical
+//! outcomes (matchings, costs, optimality); with `dense_pruning`
+//! disabled the compiled paths additionally reproduce the string path's
+//! search statistics bit-for-bit (`tests/differential_compiled.rs`).
 //!
 //! # Example
 //!
@@ -100,6 +110,8 @@ mod matching;
 mod strpath;
 
 pub use assignment::min_cost_assignment;
+#[doc(hidden)]
+pub use engine::{debug_domains, DebugDomains};
 pub use engine::{
     solve, solve_batch_in, solve_batch_in_memo, solve_compiled, solve_in, solve_in_memo,
     solve_prepared, BatchSolver, PreparedLhs, Problem, SolveMemo, SolverConfig, SolverStats,

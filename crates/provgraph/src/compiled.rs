@@ -724,11 +724,17 @@ impl GraphId {
 }
 
 /// Weisfeiler–Lehman fingerprints of one session graph, memoized at
-/// [`CorpusSession::add`] time.
-#[derive(Debug, Clone, Copy)]
+/// [`CorpusSession::add`] time, together with the per-node shape colours
+/// the shape fingerprint was condensed from (the solver reuses them as a
+/// candidate-pruning signal without re-running refinement).
+#[derive(Debug, Clone)]
 pub(crate) struct CachedFingerprints {
     pub(crate) shape: u64,
     pub(crate) full: u64,
+    /// `shape_colors[node]` = WL shape colour of the dense node id, at
+    /// the same round count as `shape` (see
+    /// [`fingerprint::shape_colors_core`](crate::fingerprint::shape_colors_core)).
+    pub(crate) shape_colors: Vec<u64>,
 }
 
 /// A corpus of graphs compiled once against one **shared** interner.
@@ -790,9 +796,12 @@ impl CorpusSession {
     pub fn add(&mut self, graph: &PropertyGraph) -> GraphId {
         let id = u32::try_from(self.graphs.len()).expect("session graph count overflow");
         let compiled = SessionGraph::build(graph, &mut self.interner);
+        let (shape, shape_colors) =
+            crate::fingerprint::shape_fingerprint_core_with_colors(compiled.core());
         self.fingerprints.push(CachedFingerprints {
-            shape: crate::fingerprint::shape_fingerprint_core(compiled.core()),
+            shape,
             full: crate::fingerprint::full_fingerprint_core(compiled.core()),
+            shape_colors,
         });
         self.graphs.push(compiled);
         GraphId(id)
@@ -849,6 +858,20 @@ impl CorpusSession {
     /// Memoized like [`shape_fingerprint`](CorpusSession::shape_fingerprint).
     pub fn full_fingerprint(&self, id: GraphId) -> u64 {
         self.fingerprints[id.0 as usize].full
+    }
+
+    /// Per-node WL shape colours of a session graph, indexed by dense
+    /// node id — see
+    /// [`fingerprint::shape_colors_core`](crate::fingerprint::shape_colors_core).
+    ///
+    /// This is the refinement state behind
+    /// [`shape_fingerprint`](CorpusSession::shape_fingerprint), memoized
+    /// at [`add`](CorpusSession::add) so the solver's colour-guided
+    /// pruning never re-runs refinement for session members. Colour
+    /// values hash symbol ids; only the colour *equality pattern* is
+    /// comparable across sessions.
+    pub fn shape_colors(&self, id: GraphId) -> &[u64] {
+        &self.fingerprints[id.0 as usize].shape_colors
     }
 }
 

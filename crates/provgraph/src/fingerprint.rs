@@ -224,9 +224,39 @@ pub fn wl_colors_core(core: &GraphCore, rounds: usize, include_props: bool) -> V
     colors
 }
 
+/// Per-node shape colours at the canonical round count ([`ROUNDS`]),
+/// indexed by dense node id — the refinement state underlying
+/// [`shape_fingerprint_core`], exposed so the solver can reuse it as a
+/// pruning signal.
+///
+/// Shape colours are property-blind and preserved by any
+/// structure-and-label-preserving bijection, so two nodes whose colours
+/// differ can never correspond under similarity, isomorphism or
+/// generalization. (Embeddings do **not** preserve iterated colours, so
+/// the signal is unsound for the subgraph problem.) Colour *values* hash
+/// symbol ids and are only comparable between graphs compiled against
+/// one interner; the colour *equality pattern* — which is all the solver
+/// reads — depends only on the underlying strings.
+pub fn shape_colors_core(core: &GraphCore) -> Vec<u64> {
+    wl_colors_core(core, ROUNDS, false)
+}
+
+/// [`shape_fingerprint_core`] plus the per-node colours it was built
+/// from, computed in one refinement pass — used by
+/// [`CorpusSession::add`](crate::compiled::CorpusSession::add) (and
+/// snapshot restore) to memoize both without re-deriving the colours.
+pub fn shape_fingerprint_core_with_colors(core: &GraphCore) -> (u64, Vec<u64>) {
+    let colors = wl_colors_core(core, ROUNDS, false);
+    (fingerprint_core_from_colors(core, &colors, false), colors)
+}
+
 fn fingerprint_core(core: &GraphCore, include_props: bool) -> u64 {
     let colors = wl_colors_core(core, ROUNDS, include_props);
-    let mut node_colors = colors.clone();
+    fingerprint_core_from_colors(core, &colors, include_props)
+}
+
+fn fingerprint_core_from_colors(core: &GraphCore, colors: &[u64], include_props: bool) -> u64 {
+    let mut node_colors = colors.to_vec();
     node_colors.sort_unstable();
     let mut edge_hashes: Vec<u64> = (0..core.edge_count() as u32)
         .map(|e| {

@@ -71,7 +71,7 @@ use std::fmt;
 use crate::compiled::{
     CachedFingerprints, CorpusSession, DegreeSigEntry, GraphCore, Interner, SessionGraph, Symbol,
 };
-use crate::fingerprint::{full_fingerprint_core, shape_fingerprint_core};
+use crate::fingerprint::{full_fingerprint_core, shape_fingerprint_core_with_colors};
 
 /// Magic bytes opening every session snapshot.
 pub const SNAPSHOT_MAGIC: [u8; 4] = *b"PMSS";
@@ -255,25 +255,27 @@ pub fn restore_session(bytes: &[u8]) -> Result<CorpusSession, SnapshotError> {
 
     let mut fingerprints = Vec::with_capacity(graphs.len());
     for (gi, g) in graphs.iter().enumerate() {
-        let stored = CachedFingerprints {
-            shape: r.u64()?,
-            full: r.u64()?,
-        };
+        let stored_shape = r.u64()?;
+        let stored_full = r.u64()?;
         // Integrity layer 3b: the memoized fingerprints are a pure
         // function of the core's primary arrays, so recomputing and
         // comparing catches a writer whose stored fingerprints disagree
         // with its arenas — restored bucketing and dense-solve grouping
-        // must behave exactly like the original session's.
-        let fresh = CachedFingerprints {
-            shape: shape_fingerprint_core(&g.core),
-            full: full_fingerprint_core(&g.core),
-        };
-        if stored.shape != fresh.shape || stored.full != fresh.full {
+        // must behave exactly like the original session's. The shape
+        // colours are not serialized (pure derived data); the validation
+        // pass already refines them, so the restored cache keeps that
+        // array instead of re-deriving it later.
+        let (fresh_shape, shape_colors) = shape_fingerprint_core_with_colors(&g.core);
+        if stored_shape != fresh_shape || stored_full != full_fingerprint_core(&g.core) {
             return Err(corrupt(format!(
                 "graph {gi}: stored WL fingerprints do not match the arenas"
             )));
         }
-        fingerprints.push(stored);
+        fingerprints.push(CachedFingerprints {
+            shape: stored_shape,
+            full: stored_full,
+            shape_colors,
+        });
     }
     if r.pos != bytes.len() {
         return Err(corrupt(format!(

@@ -58,8 +58,9 @@ fn usage() -> ExitCode {
          run options:   --quick (scaled-down simulated OPUS startup),\n\
          \x20            --trials T (default 2), --seed S (default 1),\n\
          \x20            --no-memo (disable the session-level solve memo)\n\
-         fault options: --stale-after-ms MS (default 5000), --max-retries R (default 2),\n\
-         \x20            --backoff-ms MS (default 100),\n\
+         fault options: --stale-after-ms MS (default 5000; 300 with --quick),\n\
+         \x20            --max-retries R (default 2),\n\
+         \x20            --backoff-ms MS (default 100; 50 with --quick),\n\
          \x20            --inject kill-worker=N,torn-partial[=N],stall=N,kill-cell=SYSCALL/TOOL"
     );
     ExitCode::from(2)
@@ -212,7 +213,15 @@ impl Args {
     }
 
     fn elastic_options(&self) -> ElasticOptions {
-        let mut opts = ElasticOptions::default();
+        // Quick runs finish in milliseconds; pair them with the
+        // smoke-tuned recovery timings so a killed worker doesn't stall
+        // the matrix for the production 5 s staleness threshold.
+        // Explicit --stale-after-ms / --backoff-ms still win below.
+        let mut opts = if self.quick {
+            ElasticOptions::quick()
+        } else {
+            ElasticOptions::default()
+        };
         if let Some(ms) = self.stale_after_ms {
             opts.stale_after = Duration::from_millis(ms);
         }

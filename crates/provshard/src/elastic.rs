@@ -633,6 +633,28 @@ impl Default for ElasticOptions {
     }
 }
 
+impl ElasticOptions {
+    /// Timings tuned for quick / smoke runs, where a matrix completes in
+    /// well under a second and the production 5 s staleness threshold
+    /// dominates wall-clock whenever a worker dies: any killed cell sits
+    /// unclaimable for seconds on a run that otherwise takes
+    /// milliseconds (the `sharded_faulted_quick` bench row measured
+    /// 0.83× — *slower* than single-process — under the defaults).
+    /// A 300 ms staleness threshold plus a 50 ms retry backoff keeps
+    /// recovery proportionate; the heartbeat interval is left at its
+    /// default and clamped to `stale_after / 4` = 75 ms by the driver.
+    /// False stale declarations are benign (the claim protocol tolerates
+    /// double execution; first `finish` rename wins), so the shorter
+    /// threshold trades only redundant work, not correctness.
+    pub fn quick() -> Self {
+        ElasticOptions {
+            stale_after: Duration::from_millis(300),
+            backoff: Duration::from_millis(50),
+            ..ElasticOptions::default()
+        }
+    }
+}
+
 /// Everything a worker needs besides the store.
 #[derive(Debug, Clone)]
 pub struct WorkerContext {

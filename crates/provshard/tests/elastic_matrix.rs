@@ -41,6 +41,29 @@ fn fast_opts(inject: &str) -> ElasticOptions {
     }
 }
 
+/// The quick-mode preset must stay proportionate to a quick matrix
+/// (milliseconds of work): a sub-second staleness threshold so killed
+/// cells are re-dispatched promptly, a reduced retry backoff, and every
+/// other knob at its production default. Guards the `--quick` recovery
+/// overhead fix (the faulted smoke bench measured 0.83× — slower than
+/// single-process — under the 5 s production threshold).
+#[test]
+fn quick_preset_scales_recovery_timings_down() {
+    let quick = ElasticOptions::quick();
+    let prod = ElasticOptions::default();
+    assert_eq!(quick.stale_after, Duration::from_millis(300));
+    assert_eq!(quick.backoff, Duration::from_millis(50));
+    assert!(quick.stale_after < prod.stale_after);
+    assert!(quick.backoff < prod.backoff);
+    // The driver clamps heartbeats to stale_after / 4; the preset must
+    // leave room for at least one refresh before a claim goes stale.
+    assert!(quick.heartbeat_interval.min(quick.stale_after / 4) < quick.stale_after);
+    assert_eq!(quick.max_retries, prod.max_retries);
+    assert_eq!(quick.max_respawns, prod.max_respawns);
+    assert_eq!(quick.poll_interval, prod.poll_interval);
+    assert!(quick.inject.is_empty());
+}
+
 #[test]
 fn clean_elastic_drive_is_byte_identical() {
     let dir = temp_dir("clean");
