@@ -57,7 +57,7 @@
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex};
 
 use provgraph::compiled::{
     degree_sig_leq, label_counts_leq, one_sided_prop_diff, symmetric_prop_diff, CompiledGraph,
@@ -621,38 +621,60 @@ pub fn solve_in_memo(
 /// one lock.
 const MEMO_SHARDS: usize = 8;
 
-/// Memo key: the complete input of a dense solve. `lhs` / `rhs` are
-/// **canonical** handles — the first session graph seen with each core
-/// identity (see [`SolveMemo::canonical`]) — so graphs differing only in
-/// element identifiers (or, for [`Problem::Similarity`], only in
-/// properties) share one entry. The full [`SolverConfig`] is part of the
-/// key: in particular a budget-exhausted (non-optimal) outcome cached
-/// under a small `max_steps` can never be replayed for a larger budget,
-/// which would wrongly report a truncated search as that budget's
-/// result.
+/// Default total entry capacity of a [`SolveMemo`] (split evenly across
+/// shards). A long-lived service must not accumulate outcomes without
+/// bound — the same hygiene rule as [`WARM_INTERNER_CAP`] — so inserts
+/// past a shard's share batch-evict its least-recently-used quarter
+/// (counted by [`SolveMemo::evictions`]).
+const MEMO_CAP: usize = 1 << 18;
+
+/// Memo key: the complete input of a dense solve, named by **content**.
+/// `lhs` / `rhs` are the interner-independent 128-bit content hashes of
+/// the two cores ([`provgraph::compiled::content_hashes`]) — the
+/// property-blind structure hash for [`Problem::Similarity`] (whose
+/// search never reads a property), the full structure + properties hash
+/// otherwise — so graphs differing only in element identifiers (or, for
+/// similarity, only in properties) share one entry, *across sessions and
+/// processes*. The full [`SolverConfig`] is part of the key: in
+/// particular a budget-exhausted (non-optimal) outcome cached under a
+/// small `max_steps` can never be replayed for a larger budget, which
+/// would wrongly report a truncated search as that budget's result.
 #[derive(Clone, PartialEq, Eq, Hash)]
-struct MemoKey {
-    problem: Problem,
-    lhs: GraphId,
-    rhs: GraphId,
-    config: SolverConfig,
+pub(crate) struct MemoKey {
+    pub(crate) problem: Problem,
+    pub(crate) lhs: u128,
+    pub(crate) rhs: u128,
+    pub(crate) config: SolverConfig,
 }
 
-/// One core-identity registry: session handles partitioned into
-/// equivalence classes (fingerprint prefilter, exact core comparison to
-/// confirm), each represented by the first handle seen with that core.
-#[derive(Default)]
-struct CanonMap {
-    /// Resolved handle → its class representative (memoized).
-    by_id: FxHashMap<GraphId, GraphId>,
-    /// WL fingerprint → class representatives with that fingerprint
-    /// (collisions keep multiple representatives; the exact comparison
-    /// disambiguates).
-    by_fingerprint: FxHashMap<u64, Vec<GraphId>>,
+/// The content hash under which `id`'s core is memo-addressed for
+/// `problem`: structure-only for the property-blind
+/// [`Problem::Similarity`], structure + properties otherwise. Both are
+/// memoized in the session beside the WL fingerprints, so this is an
+/// array lookup.
+fn content_key(problem: Problem, session: &CorpusSession, id: GraphId) -> u128 {
+    if problem == Problem::Similarity {
+        session.content_shape_hash(id)
+    } else {
+        session.content_full_hash(id)
+    }
 }
 
-/// Session-level memo of dense solve outcomes, shared across batches,
-/// calls and left-hand sides.
+/// One cached outcome plus its bookkeeping.
+struct MemoEntry {
+    outcome: Arc<DenseOutcome>,
+    /// Logical-clock tick of the last hit or insert (drives LRU-ish
+    /// batch eviction; ticks are globally unique per memo).
+    last_used: u64,
+    /// `true` when the entry was loaded from a persisted cache file
+    /// rather than searched in this process — excluded from delta
+    /// exports and counted separately on hits.
+    from_disk: bool,
+}
+
+/// Content-addressed memo of dense solve outcomes, shared across batches,
+/// calls, left-hand sides — and, through the persistence layer
+/// ([`crate::persist`]), across sessions, processes and restarts.
 ///
 /// The search never sees element identifiers, so a [`DenseOutcome`] is a
 /// pure function of `(problem, left core, right core, config)` — the
@@ -660,12 +682,15 @@ struct CanonMap {
 /// across calls: the Table 2 matrix replays the same foreground against
 /// many backgrounds in *separate* `solve_batch` calls, and similarity
 /// classification re-confirms equivalent cores under several
-/// representatives. Keys use canonical core identity (memoized WL
-/// fingerprints prefilter, exact [`GraphCore::same_structure`] /
-/// [`GraphCore::same_props`] comparison confirms — property-blind for
-/// [`Problem::Similarity`], whose search never reads a property) plus
-/// the **full** [`SolverConfig`], so a budget-exhausted outcome is only
-/// ever replayed under the exact budget that produced it.
+/// representatives. Keys name the cores by their deterministic 128-bit
+/// **content hashes** ([`provgraph::compiled::content_hashes`], memoized
+/// per session member) — property-blind for [`Problem::Similarity`],
+/// whose search never reads a property — plus the **full**
+/// [`SolverConfig`], so a budget-exhausted outcome is only ever replayed
+/// under the exact budget that produced it. Because content hashes are
+/// interner-independent, an entry computed in one session (or one
+/// process) is valid in every other: the memo may be shared across
+/// sessions and warmed from a [`crate::persist`] cache file.
 ///
 /// A memo hit returns byte-identically what the fresh search would have
 /// returned — matching, cost, optimality flag and search statistics —
@@ -674,46 +699,57 @@ struct CanonMap {
 /// accounting lives here, not in [`SolverStats`], precisely so cached
 /// statistics stay bit-equal to fresh ones.
 ///
-/// # Scoping and concurrency
+/// # Capacity and concurrency
 ///
-/// A memo is only meaningful for the one [`CorpusSession`] whose handles
-/// it was fed — the same scoping rule as the handles themselves. It is
-/// `Sync`: the outcome map is sharded behind mutexes and solves run
-/// outside any lock, so `par_map` fan-outs share it freely. Concurrent
-/// misses on one key may duplicate a search, but every copy computes the
-/// same value, so whichever insert lands the outcome is unchanged (only
-/// the informational hit/miss counts can vary with scheduling).
+/// The outcome map is sharded behind mutexes and solves run outside any
+/// lock, so `par_map` fan-outs share the memo freely. Concurrent misses
+/// on one key may duplicate a search, but every copy computes the same
+/// value, so whichever insert lands the outcome is unchanged (only the
+/// informational hit/miss counts can vary with scheduling). Each shard
+/// holds at most its share of the capacity (default [`MEMO_CAP`],
+/// configurable via [`SolveMemo::with_capacity`]); inserts past that
+/// batch-evict the shard's least-recently-used quarter, counted by
+/// [`SolveMemo::evictions`].
 ///
-/// The memo is deliberately **not** serialized into session snapshots:
-/// it is a cache of derived data, rebuilt on demand, and keys hold
-/// session-local handles that a foreign process must not trust.
+/// The memo is deliberately **not** serialized into session snapshots —
+/// its persistence artifact is the [`crate::persist`] cache file, whose
+/// integrity is checked on load like every other artifact.
 pub struct SolveMemo {
-    shards: [Mutex<FxHashMap<MemoKey, Arc<DenseOutcome>>>; MEMO_SHARDS],
-    /// Structure-only identity classes ([`Problem::Similarity`] keys).
-    shape_classes: RwLock<CanonMap>,
-    /// Full (structure + properties) identity classes (all other
-    /// problems).
-    full_classes: RwLock<CanonMap>,
+    shards: [Mutex<FxHashMap<MemoKey, MemoEntry>>; MEMO_SHARDS],
+    /// Per-shard entry cap (total capacity / [`MEMO_SHARDS`], ≥ 1).
+    shard_cap: usize,
+    /// Logical clock stamping hits and inserts (drives eviction order).
+    tick: AtomicU64,
     hits: AtomicU64,
+    disk_hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl Default for SolveMemo {
     fn default() -> Self {
-        SolveMemo {
-            shards: std::array::from_fn(|_| Mutex::new(FxHashMap::default())),
-            shape_classes: RwLock::new(CanonMap::default()),
-            full_classes: RwLock::new(CanonMap::default()),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-        }
+        Self::with_capacity(MEMO_CAP)
     }
 }
 
 impl SolveMemo {
-    /// Create an empty memo.
+    /// Create an empty memo with the default capacity ([`MEMO_CAP`]).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Create an empty memo holding at most `capacity` entries in total
+    /// (split evenly across shards, at least one per shard).
+    pub fn with_capacity(capacity: usize) -> Self {
+        SolveMemo {
+            shards: std::array::from_fn(|_| Mutex::new(FxHashMap::default())),
+            shard_cap: (capacity / MEMO_SHARDS).max(1),
+            tick: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            disk_hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
     }
 
     /// Dense solves served from the cache so far (informational — never
@@ -722,63 +758,86 @@ impl SolveMemo {
         self.hits.load(Ordering::Relaxed)
     }
 
+    /// The subset of [`SolveMemo::hits`] served by entries loaded from a
+    /// persisted cache file rather than searched in this process.
+    pub fn disk_hits(&self) -> u64 {
+        self.disk_hits.load(Ordering::Relaxed)
+    }
+
     /// Dense solves actually searched (and recorded) so far.
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
     }
 
-    /// Canonical representative of `id`'s core-identity class:
-    /// fingerprint prefilter (a memoized session lookup), exact core
-    /// comparison to confirm, first-seen handle wins. `property_blind`
-    /// selects the structure-only classes used for
-    /// [`Problem::Similarity`].
-    fn canonical(&self, session: &CorpusSession, id: GraphId, property_blind: bool) -> GraphId {
-        let registry = if property_blind {
-            &self.shape_classes
-        } else {
-            &self.full_classes
-        };
-        // Hot path: every handle after its first solve resolves through a
-        // shared read lock, so concurrent batch fan-outs never serialize
-        // here in steady state.
-        if let Some(&rep) = registry.read().expect("memo registry lock").by_id.get(&id) {
-            return rep;
+    /// Entries dropped by capacity eviction so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Entries currently held across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("memo shard lock").len())
+            .sum()
+    }
+
+    /// `true` when no entry is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Record `outcome` under `key` (first insert wins: an existing
+    /// entry — racing thread or earlier cache load — is kept and
+    /// returned). Evicts the shard's least-recently-used quarter first
+    /// when the insert would exceed the shard cap.
+    pub(crate) fn insert(
+        &self,
+        key: MemoKey,
+        outcome: Arc<DenseOutcome>,
+        from_disk: bool,
+    ) -> Arc<DenseOutcome> {
+        let mut shard = self.shard(&key).lock().expect("memo shard lock");
+        if shard.len() >= self.shard_cap && !shard.contains_key(&key) {
+            // Batch-evict the oldest quarter: `last_used` ticks are
+            // globally unique, so the rank-select threshold drops
+            // exactly `drop_n` entries and amortizes the O(shard) scan
+            // over the next quarter-shard of inserts.
+            let drop_n = (shard.len() / 4).max(1);
+            let mut ticks: Vec<u64> = shard.values().map(|e| e.last_used).collect();
+            let (_, &mut threshold, _) = ticks.select_nth_unstable(drop_n - 1);
+            shard.retain(|_, e| e.last_used > threshold);
+            self.evictions.fetch_add(drop_n as u64, Ordering::Relaxed);
         }
-        let fingerprint = if property_blind {
-            session.shape_fingerprint(id)
-        } else {
-            session.full_fingerprint(id)
-        };
-        // Cold path (at most once per handle): registration stays under
-        // one write lock so every thread agrees on a single first-seen
-        // representative per class — the exact core comparisons run here,
-        // but only against same-fingerprint representatives, and never
-        // again for this handle.
-        let mut map = registry.write().expect("memo registry lock");
-        if let Some(&rep) = map.by_id.get(&id) {
-            return rep; // registered by a racing thread meanwhile
+        let tick = self.tick.fetch_add(1, Ordering::Relaxed);
+        let entry = shard.entry(key).or_insert(MemoEntry {
+            outcome,
+            last_used: 0,
+            from_disk,
+        });
+        entry.last_used = tick;
+        Arc::clone(&entry.outcome)
+    }
+
+    /// Snapshot every cached `(key, outcome)` pair — or, with
+    /// `only_fresh`, only those searched in this process (the delta a
+    /// worker publishes on top of the cache file it loaded).
+    pub(crate) fn entries_snapshot(&self, only_fresh: bool) -> Vec<(MemoKey, Arc<DenseOutcome>)> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.lock().expect("memo shard lock");
+            out.extend(
+                shard
+                    .iter()
+                    .filter(|(_, e)| !only_fresh || !e.from_disk)
+                    .map(|(k, e)| (k.clone(), Arc::clone(&e.outcome))),
+            );
         }
-        let rep = {
-            let reps = map.by_fingerprint.entry(fingerprint).or_default();
-            let core = session.graph(id).core();
-            let found = reps.iter().copied().find(|&r| {
-                let rc = session.graph(r).core();
-                core.same_structure(rc) && (property_blind || core.same_props(rc))
-            });
-            match found {
-                Some(r) => r,
-                None => {
-                    reps.push(id);
-                    id
-                }
-            }
-        };
-        map.by_id.insert(id, rep);
-        rep
+        out
     }
 
     /// The outcome shard responsible for `key`.
-    fn shard(&self, key: &MemoKey) -> &Mutex<FxHashMap<MemoKey, Arc<DenseOutcome>>> {
+    fn shard(&self, key: &MemoKey) -> &Mutex<FxHashMap<MemoKey, MemoEntry>> {
         use std::hash::{Hash, Hasher};
         let mut h = FxHasher::default();
         key.hash(&mut h);
@@ -787,7 +846,7 @@ impl SolveMemo {
 }
 
 /// The memoized dense solve behind every memo-aware entry point:
-/// canonicalize both handles, look the key up, search-and-record on a
+/// content-address both cores, look the key up, search-and-record on a
 /// miss. `prepared`, when given, must be a plan over `lhs`'s core (used
 /// only when the search actually runs).
 fn memoized_dense(
@@ -799,23 +858,29 @@ fn memoized_dense(
     config: &SolverConfig,
     prepared: Option<&PreparedLhs<'_>>,
 ) -> Arc<DenseOutcome> {
-    let blind = problem == Problem::Similarity;
     let key = MemoKey {
         problem,
-        lhs: memo.canonical(session, lhs, blind),
-        rhs: memo.canonical(session, rhs, blind),
+        lhs: content_key(problem, session, lhs),
+        rhs: content_key(problem, session, rhs),
         config: config.clone(),
     };
-    if let Some(found) = memo.shard(&key).lock().expect("memo shard lock").get(&key) {
-        memo.hits.fetch_add(1, Ordering::Relaxed);
-        return Arc::clone(found);
+    {
+        let mut shard = memo.shard(&key).lock().expect("memo shard lock");
+        if let Some(entry) = shard.get_mut(&key) {
+            entry.last_used = memo.tick.fetch_add(1, Ordering::Relaxed);
+            memo.hits.fetch_add(1, Ordering::Relaxed);
+            if entry.from_disk {
+                memo.disk_hits.fetch_add(1, Ordering::Relaxed);
+            }
+            return Arc::clone(&entry.outcome);
+        }
     }
     // Search outside the lock: two threads missing one key concurrently
     // duplicate the work but compute the same pure-function value, so
     // whichever insert lands first is the one everyone reads.
     memo.misses.fetch_add(1, Ordering::Relaxed);
-    // Colours come from the *original* handles (the solve runs over
-    // their cores); canonical representatives have identical label and
+    // Colours come from the solved handles themselves (the solve runs
+    // over their cores); content-equal cores have identical label and
     // adjacency arrays, so their shape colours — and hence every pruning
     // decision — are identical, keeping memo replays consistent.
     let dense = Arc::new(solve_dense(
@@ -826,8 +891,7 @@ fn memoized_dense(
         prepared,
         Some((session.shape_colors(lhs), session.shape_colors(rhs))),
     ));
-    let mut shard = memo.shard(&key).lock().expect("memo shard lock");
-    Arc::clone(shard.entry(key).or_insert(dense))
+    memo.insert(key, dense, false)
 }
 
 /// Shared implementation of the compiled entry points: search the cores,
@@ -866,10 +930,10 @@ fn run_search<G1: NamedGraph, G2: NamedGraph>(
 /// of `(problem, left core, right core, config)` — element identifiers
 /// are invisible to the search — which is what lets the batch path share
 /// one dense solve across rights with solver-equivalent cores.
-struct DenseOutcome {
-    best: Option<BestSolution>,
-    optimal: bool,
-    stats: SolverStats,
+pub(crate) struct DenseOutcome {
+    pub(crate) best: Option<BestSolution>,
+    pub(crate) optimal: bool,
+    pub(crate) stats: SolverStats,
 }
 
 /// Run pre-checks and the branch-and-bound search over the cores,
@@ -1067,7 +1131,7 @@ fn reclaim<T>(mut v: Vec<T>) -> Vec<T> {
 }
 
 /// Best solution found so far: node assignment, edge pairing, total cost.
-type BestSolution = (Vec<u32>, Vec<(u32, u32)>, u64);
+pub(crate) type BestSolution = (Vec<u32>, Vec<(u32, u32)>, u64);
 
 struct Search<'a> {
     problem: Problem,

@@ -55,10 +55,13 @@
 //! several representatives — should additionally thread a session-level
 //! [`SolveMemo`] through the `_memo` entry points ([`solve_in_memo`],
 //! [`solve_batch_in_memo`], [`BatchSolver::with_memo`]): identifier-free
-//! dense outcomes are cached under canonical core identity and the full
-//! [`SolverConfig`], so cross-call and cross-left-side replays are
-//! searched once. Memo-on outcomes are byte-identical to memo-off ones,
-//! search statistics included.
+//! dense outcomes are cached under the cores' deterministic **content
+//! hashes** and the full [`SolverConfig`], so cross-call and
+//! cross-left-side replays are searched once — and, because content
+//! hashes are interner-independent, the memo is valid across sessions
+//! and can be persisted to a cache file and reloaded in another process
+//! (see [`persist`]). Memo-on outcomes are byte-identical to memo-off
+//! ones, search statistics included.
 //!
 //! Every dense path above runs the **bitset-pruned kernel** by default
 //! ([`SolverConfig::dense_pruning`]): candidate domains are `u64`-block
@@ -107,6 +110,7 @@ pub mod asp;
 mod assignment;
 mod engine;
 mod matching;
+pub mod persist;
 mod strpath;
 
 pub use assignment::min_cost_assignment;
@@ -117,6 +121,10 @@ pub use engine::{
     solve_prepared, BatchSolver, PreparedLhs, Problem, SolveMemo, SolverConfig, SolverStats,
 };
 pub use matching::{Matching, Outcome};
+pub use persist::{
+    cache_bytes, delta_bytes, load_cache_bytes, load_cache_file, write_bytes_durable,
+    write_cache_file, SolveCacheError, SOLVE_CACHE_MAGIC, SOLVE_CACHE_VERSION,
+};
 pub use strpath::solve_strings;
 
 use provgraph::compiled::{CorpusSession, GraphId};

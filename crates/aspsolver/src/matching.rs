@@ -43,7 +43,7 @@ impl Matching {
 }
 
 /// Result of a solver run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Outcome {
     /// The best matching found, if any exists.
     pub matching: Option<Matching>,

@@ -23,6 +23,19 @@ pub struct BenchmarkOptions {
     /// functions); the switch exists for ablation and for the CI
     /// memo-on/memo-off report diff. Default on.
     pub use_solve_memo: bool,
+    /// Persistent solve-cache file backing the memo. When set (and
+    /// `use_solve_memo` is on), [`run_benchmark`] warms its memo from
+    /// this file before solving and saves the merged contents back
+    /// afterwards, so repeated runs — across processes and restarts —
+    /// replay prior dense searches instead of re-deriving them. A
+    /// missing file is a normal cold start; a corrupt one is reported
+    /// and ignored (cold start), never a panic or a wrong answer.
+    /// Results are byte-identical with or without the cache, warm or
+    /// cold — which is also why the path is **not** part of a run's
+    /// recorded identity (`provshard` manifests never serialize it).
+    ///
+    /// [`run_benchmark`]: crate::pipeline::run_benchmark
+    pub solve_cache: Option<std::path::PathBuf>,
 }
 
 impl Default for BenchmarkOptions {
@@ -33,6 +46,7 @@ impl Default for BenchmarkOptions {
             noise: false,
             filter_graphs: true,
             use_solve_memo: true,
+            solve_cache: None,
         }
     }
 }

@@ -29,7 +29,13 @@
 //!
 //! [`run_matrix`] keeps one session *per cell* (cells run in parallel
 //! and must stay independently reproducible), which is exactly the
-//! per-run scope described above.
+//! per-run scope described above — but one solve memo is shared across
+//! *all* cells: memo keys are interner-independent content hashes, so
+//! an outcome cached under one cell's session is a valid (and
+//! byte-identical) answer in every other. With
+//! [`BenchmarkOptions::solve_cache`] set, that shared memo is warmed
+//! from a persistent cache file before the fan-out and saved back
+//! after, extending the replay across processes and restarts.
 
 use std::time::{Duration, Instant};
 
@@ -169,6 +175,13 @@ fn prepare_variant(
 
 /// Run the full four-stage pipeline for one benchmark under one tool.
 ///
+/// With [`BenchmarkOptions::use_solve_memo`] on, one solve memo spans
+/// the run; with [`BenchmarkOptions::solve_cache`] also set, the memo is
+/// warmed from that cache file first and the merged contents are saved
+/// back afterwards (a missing file is a cold start; a corrupt one is
+/// reported on stderr and ignored). Results are byte-identical in every
+/// case.
+///
 /// # Errors
 ///
 /// Propagates stage errors: benchmark failure, transformation errors, no
@@ -178,6 +191,58 @@ pub fn run_benchmark(
     spec: &BenchSpec,
     opts: &BenchmarkOptions,
 ) -> Result<BenchmarkRun, PipelineError> {
+    // One solve memo for the whole run: similarity confirmation, the
+    // generalization matching and the comparison all replay each
+    // other's dense searches, across both variants. Outcomes are
+    // byte-identical with the memo off.
+    let memo = opts.use_solve_memo.then(SolveMemo::new);
+    load_solve_cache(memo.as_ref(), opts);
+    let run = run_benchmark_with_memo(tool, spec, opts, memo.as_ref())?;
+    save_solve_cache(memo.as_ref(), opts);
+    Ok(run)
+}
+
+/// Warm `memo` from [`BenchmarkOptions::solve_cache`], when both are
+/// present. A missing file is a normal cold start; a corrupt or
+/// unreadable one is reported on stderr and ignored — the run proceeds
+/// cold and produces the identical report either way.
+fn load_solve_cache(memo: Option<&SolveMemo>, opts: &BenchmarkOptions) {
+    if let (Some(memo), Some(path)) = (memo, opts.solve_cache.as_ref()) {
+        if let Err(e) = aspsolver::load_cache_file(memo, path) {
+            eprintln!("solve cache {}: {e}; starting cold", path.display());
+        }
+    }
+}
+
+/// Save the memo's merged contents back to
+/// [`BenchmarkOptions::solve_cache`], when both are present. Failures
+/// are reported on stderr and ignored — the cache is an accelerator,
+/// never a correctness dependency.
+fn save_solve_cache(memo: Option<&SolveMemo>, opts: &BenchmarkOptions) {
+    if let (Some(memo), Some(path)) = (memo, opts.solve_cache.as_ref()) {
+        if let Err(e) = aspsolver::write_cache_file(memo, path) {
+            eprintln!("solve cache {}: {e}; not saved", path.display());
+        }
+    }
+}
+
+/// [`run_benchmark`] with a caller-owned [`SolveMemo`] (and no cache
+/// file I/O). Because memo keys are content hashes — independent of any
+/// session or process — one memo may be shared across many runs and
+/// cells: the sharded and elastic matrix paths thread a process-wide
+/// memo through here. With `None` the run solves memo-less. Outcomes
+/// are byte-identical in every case, search statistics included.
+///
+/// # Errors
+///
+/// Propagates stage errors: benchmark failure, transformation errors, no
+/// consistent trials, or a background graph that does not embed.
+pub fn run_benchmark_with_memo(
+    tool: &mut ToolInstance,
+    spec: &BenchSpec,
+    opts: &BenchmarkOptions,
+    memo: Option<&SolveMemo>,
+) -> Result<BenchmarkRun, PipelineError> {
     if opts.trials < 2 {
         return Err(PipelineError::NotEnoughTrials(opts.trials));
     }
@@ -185,12 +250,6 @@ pub fn run_benchmark(
     // One corpus session for the whole run: both variants' trials, the
     // generalized representatives and the comparison share one interner.
     let mut session = CorpusSession::new();
-    // One solve memo for the whole run (session-scoped, like the
-    // interner): similarity confirmation, the generalization matching
-    // and the comparison all replay each other's dense searches, across
-    // both variants. Outcomes are byte-identical with the memo off.
-    let memo = opts.use_solve_memo.then(SolveMemo::new);
-    let memo = memo.as_ref();
     // Distinct kernel seeds per variant so volatile values never repeat.
     let bg = prepare_variant(
         tool,
@@ -391,15 +450,23 @@ pub fn run_matrix_cells(
                 .ok_or_else(|| PipelineError::UnknownBenchmark { name: name.clone() })
         })
         .collect::<Result<_, _>>()?;
+    // One process-wide memo shared by every cell: memo keys are content
+    // hashes, valid across the per-cell sessions, so cross-cell replays
+    // (the same background trials recur in every row) are lookups. With
+    // a cache path the memo is warmed once before the fan-out and the
+    // merged contents saved once after — no per-cell file traffic.
+    let memo = opts.use_solve_memo.then(SolveMemo::new);
+    load_solve_cache(memo.as_ref(), opts);
     let cells = crate::par::par_map(&expectations, |exp| {
         let spec = crate::suite::spec(exp.syscall).expect("table2 rows have specs");
         let cells: Vec<MeasuredCell> = ToolKind::all()
             .into_iter()
-            .map(|kind| measure_cell(&spec, kind, opts, opus_db_iterations))
+            .map(|kind| measure_cell(&spec, kind, opts, opus_db_iterations, memo.as_ref()))
             .collect();
         let cells: [MeasuredCell; 3] = cells.try_into().expect("three tools");
         cells
     });
+    save_solve_cache(memo.as_ref(), opts);
     Ok(expectations.into_iter().zip(cells).collect())
 }
 
@@ -407,12 +474,15 @@ pub fn run_matrix_cells(
 /// full-matrix path does, instantiate a fresh handle, and run the
 /// pipeline. Each cell is a pure function of `(spec, kind, opts,
 /// opus_db_iterations)` — which is what makes per-cell elastic
-/// execution byte-identical to per-row and single-process runs.
+/// execution byte-identical to per-row and single-process runs. The
+/// memo (any memo, warm or cold) never changes that function's value,
+/// only how much of it is re-derived.
 fn measure_cell(
     spec: &crate::suite::BenchSpec,
     kind: crate::tool::ToolKind,
     opts: &BenchmarkOptions,
     opus_db_iterations: Option<u64>,
+    memo: Option<&SolveMemo>,
 ) -> MeasuredCell {
     use crate::tool::{Tool, ToolKind};
     let tool = match (kind, opus_db_iterations) {
@@ -423,7 +493,7 @@ fn measure_cell(
         _ => Tool::baseline(kind),
     };
     let mut inst = tool.instantiate();
-    match run_benchmark(&mut inst, spec, opts) {
+    match run_benchmark_with_memo(&mut inst, spec, opts, memo) {
         Ok(run) => MeasuredCell {
             run: Some(run),
             error: None,
@@ -454,6 +524,29 @@ pub fn run_matrix_cell(
     opts: &BenchmarkOptions,
     opus_db_iterations: Option<u64>,
 ) -> Result<CellOutcome, PipelineError> {
+    // A per-cell memo, warmed read-only from the cache file when one is
+    // configured (never saved back — a one-cell unit of work doesn't
+    // own the artifact; the elastic supervisor publishes merged state).
+    let memo = opts.use_solve_memo.then(SolveMemo::new);
+    load_solve_cache(memo.as_ref(), opts);
+    run_matrix_cell_with_memo(syscall, tool, opts, opus_db_iterations, memo.as_ref())
+}
+
+/// [`run_matrix_cell`] with a caller-owned [`SolveMemo`] (and no cache
+/// file I/O): the elastic worker loop threads one worker-lifetime memo
+/// — warmed once from the shared cache directory — through every cell
+/// it claims. Outcomes are byte-identical with any memo or none.
+///
+/// # Errors
+///
+/// Same contract as [`run_matrix_cell`].
+pub fn run_matrix_cell_with_memo(
+    syscall: &str,
+    tool: usize,
+    opts: &BenchmarkOptions,
+    opus_db_iterations: Option<u64>,
+    memo: Option<&SolveMemo>,
+) -> Result<CellOutcome, PipelineError> {
     use crate::tool::ToolKind;
     let tools = ToolKind::all();
     let kind = *tools.get(tool).ok_or(PipelineError::UnknownTool {
@@ -472,6 +565,7 @@ pub fn run_matrix_cell(
         kind,
         opts,
         opus_db_iterations,
+        memo,
     )))
 }
 
@@ -855,6 +949,49 @@ mod tests {
                 "{kind:?}"
             );
         }
+    }
+
+    #[test]
+    fn cache_cold_warm_and_off_runs_are_identical() {
+        // The persistent solve cache must be invisible in every run
+        // observable, whether the run starts cold (no cache file), warm
+        // (file populated by a previous run) or with the cache — or the
+        // whole memo — disabled; and a corrupt cache file must degrade
+        // to a cold start, not an error or a different answer.
+        let dir = std::env::temp_dir().join(format!("provmark-core-cache-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let cache = dir.join("solve.cache");
+        let spec = suite::spec("creat").unwrap();
+        let cached = BenchmarkOptions {
+            solve_cache: Some(cache.clone()),
+            ..BenchmarkOptions::default()
+        };
+        let uncached = BenchmarkOptions::default();
+        let observables = |run: &BenchmarkRun| {
+            (
+                run.status,
+                run.result.clone(),
+                run.generalized_bg.clone(),
+                run.generalized_fg.clone(),
+                run.matching_cost,
+                run.discarded_trials,
+            )
+        };
+        let run_with = |opts: &BenchmarkOptions| {
+            let mut inst = Tool::spade_baseline().instantiate();
+            observables(&run_benchmark(&mut inst, &spec, opts).unwrap())
+        };
+        let cold = run_with(&cached);
+        assert!(cache.is_file(), "a cold cached run must save its memo back");
+        let warm = run_with(&cached);
+        let off = run_with(&uncached);
+        assert_eq!(cold, warm, "cold and warm cached runs must agree");
+        assert_eq!(cold, off, "cached and uncached runs must agree");
+        std::fs::write(&cache, b"not a solve cache at all").unwrap();
+        let corrupt = run_with(&cached);
+        assert_eq!(cold, corrupt, "a corrupt cache must mean a cold start");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

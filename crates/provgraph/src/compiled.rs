@@ -735,6 +735,116 @@ pub(crate) struct CachedFingerprints {
     /// the same round count as `shape` (see
     /// [`fingerprint::shape_colors_core`](crate::fingerprint::shape_colors_core)).
     pub(crate) shape_colors: Vec<u64>,
+    /// Interner-independent 128-bit content hashes of the core — see
+    /// [`content_hashes`]. `.0` = structure-only (property-blind),
+    /// `.1` = structure + properties.
+    pub(crate) content: (u128, u128),
+}
+
+/// Two independent 64-bit multiply-xor lanes over one word stream,
+/// combined into a `u128` — the content-hash accumulator.
+///
+/// One 64-bit lane keyed on a corpus of thousands of graphs leaves a
+/// birthday-collision probability that is small but not dismissible for
+/// a cache whose keys *replace* exact graph comparison; two independent
+/// lanes (different seeds, rotations and multipliers) push it beyond
+/// relevance while staying pure integer work.
+struct ContentHasher {
+    a: u64,
+    b: u64,
+}
+
+impl ContentHasher {
+    fn new() -> ContentHasher {
+        ContentHasher {
+            a: 0x243F_6A88_85A3_08D3, // π digits — nothing-up-my-sleeve seeds
+            b: 0x1319_8A2E_0370_7344,
+        }
+    }
+
+    #[inline]
+    fn word(&mut self, w: u64) {
+        self.a = (self.a.rotate_left(5) ^ w).wrapping_mul(FX_SEED);
+        self.b = (self.b.rotate_left(23) ^ w).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+
+    /// Length-prefixed byte run (strings), so `"ab" + "c"` and
+    /// `"a" + "bc"` never collide by concatenation.
+    fn bytes(&mut self, bytes: &[u8]) {
+        self.word(bytes.len() as u64);
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.word(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.word(u64::from_le_bytes(word));
+        }
+    }
+
+    fn finish(&self) -> u128 {
+        (u128::from(self.a) << 64) | u128::from(self.b)
+    }
+}
+
+/// Deterministic, **interner-independent** content hashes of a compiled
+/// core: `(structure, full)`.
+///
+/// Symbols are per-interner numberings — two processes interning the
+/// same vocabulary in different orders assign different ids — so a
+/// host-independent identity must hash the *resolved strings*, walked in
+/// the core's dense element order (which is insertion order of the
+/// deterministic source graph, reproducible across processes). Property
+/// rows are re-sorted lexicographically by resolved key/value before
+/// hashing (their stored order is by symbol id, an interner artifact).
+///
+/// - `structure` covers node/edge counts, labels and edge endpoints —
+///   the property-blind identity under which similarity solve outcomes
+///   are pure (the solver's `Problem::Similarity` never reads a
+///   property).
+/// - `full` additionally covers every node and edge property row — the
+///   identity under which all other solve outcomes are pure.
+///
+/// Both are memoized per graph in [`CorpusSession`] (computed at
+/// [`CorpusSession::add`], re-derived — never trusted — on snapshot
+/// restore) and are the keys of the content-addressed solve cache.
+pub fn content_hashes(core: &GraphCore, interner: &Interner) -> (u128, u128) {
+    let mut h = ContentHasher::new();
+    h.word(core.node_labels.len() as u64);
+    h.word(core.edge_labels.len() as u64);
+    for &label in &core.node_labels {
+        h.bytes(interner.resolve(label).as_bytes());
+    }
+    for e in 0..core.edge_labels.len() {
+        h.bytes(interner.resolve(core.edge_labels[e]).as_bytes());
+        h.word(u64::from(core.edge_src[e]));
+        h.word(u64::from(core.edge_tgt[e]));
+    }
+    let structure = h.finish();
+    let mut row: Vec<(&str, &str)> = Vec::new();
+    let mut hash_rows = |h: &mut ContentHasher, start: &[u32], data: &[(Symbol, Symbol)]| {
+        for w in start.windows(2) {
+            row.clear();
+            row.extend(
+                data[w[0] as usize..w[1] as usize]
+                    .iter()
+                    .map(|&(k, v)| (interner.resolve(k), interner.resolve(v))),
+            );
+            // Stored rows are sorted by symbol id (interner order);
+            // canonicalize to string order so the hash is portable.
+            row.sort_unstable();
+            h.word(row.len() as u64);
+            for (k, v) in &row {
+                h.bytes(k.as_bytes());
+                h.bytes(v.as_bytes());
+            }
+        }
+    };
+    hash_rows(&mut h, &core.node_prop_start, &core.node_prop_data);
+    hash_rows(&mut h, &core.edge_prop_start, &core.edge_prop_data);
+    (structure, h.finish())
 }
 
 /// A corpus of graphs compiled once against one **shared** interner.
@@ -802,6 +912,7 @@ impl CorpusSession {
             shape,
             full: crate::fingerprint::full_fingerprint_core(compiled.core()),
             shape_colors,
+            content: content_hashes(compiled.core(), &self.interner),
         });
         self.graphs.push(compiled);
         GraphId(id)
@@ -872,6 +983,21 @@ impl CorpusSession {
     /// comparable across sessions.
     pub fn shape_colors(&self, id: GraphId) -> &[u64] {
         &self.fingerprints[id.0 as usize].shape_colors
+    }
+
+    /// Interner-independent 128-bit **structure** content hash of a
+    /// session graph (labels + endpoints, property-blind) — see
+    /// [`content_hashes`]. Memoized at [`add`](CorpusSession::add);
+    /// equal across sessions, processes and hosts for equal graphs.
+    pub fn content_shape_hash(&self, id: GraphId) -> u128 {
+        self.fingerprints[id.0 as usize].content.0
+    }
+
+    /// Interner-independent 128-bit **full** content hash of a session
+    /// graph (structure + every property row) — see [`content_hashes`].
+    /// Memoized like [`content_shape_hash`](CorpusSession::content_shape_hash).
+    pub fn content_full_hash(&self, id: GraphId) -> u128 {
+        self.fingerprints[id.0 as usize].content.1
     }
 }
 

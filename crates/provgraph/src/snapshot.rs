@@ -69,7 +69,8 @@
 use std::fmt;
 
 use crate::compiled::{
-    CachedFingerprints, CorpusSession, DegreeSigEntry, GraphCore, Interner, SessionGraph, Symbol,
+    content_hashes, CachedFingerprints, CorpusSession, DegreeSigEntry, GraphCore, Interner,
+    SessionGraph, Symbol,
 };
 use crate::fingerprint::{full_fingerprint_core, shape_fingerprint_core_with_colors};
 
@@ -275,6 +276,11 @@ pub fn restore_session(bytes: &[u8]) -> Result<CorpusSession, SnapshotError> {
             shape: stored_shape,
             full: stored_full,
             shape_colors,
+            // The content hashes keying the cross-process solve cache
+            // are never serialized: they are re-derived here so a
+            // snapshot (buggy, malicious or merely stale) can never
+            // plant a foreign cache identity on a restored graph.
+            content: content_hashes(&g.core, &interner),
         });
     }
     if r.pos != bytes.len() {

@@ -4,9 +4,9 @@
 //! provmark-shard plan    --shards N [--shard-index i] --out-dir DIR [--quick] [--trials T] [--seed S]
 //! provmark-shard execute MANIFEST --out PARTIAL
 //! provmark-shard merge   PARTIAL... --out REPORT
-//! provmark-shard single  [--quick] [--trials T] [--seed S] --out REPORT
-//! provmark-shard drive   --shards N --out REPORT [--work-dir DIR] [fault options] [run options]
-//! provmark-shard work    DIR --worker-index N [--heartbeat-ms H] [--poll-ms P] [--stall-ms S] [--inject SPEC]
+//! provmark-shard single  [--quick] [--trials T] [--seed S] [--solve-cache DIR] --out REPORT
+//! provmark-shard drive   --shards N --out REPORT [--work-dir DIR] [--solve-cache DIR] [fault options] [run options]
+//! provmark-shard work    DIR --worker-index N [--heartbeat-ms H] [--poll-ms P] [--stall-ms S] [--inject SPEC] [--solve-cache DIR]
 //! ```
 //!
 //! `plan` writes self-describing shard manifests (one per shard, or just
@@ -19,6 +19,14 @@
 //! re-dispatch — over N concurrent `work` worker *processes* of this
 //! executable; `work` is that worker loop (claim → solve → publish,
 //! driven entirely by the shared run directory).
+//!
+//! `--solve-cache DIR` points `single`, `drive` and `work` at a shared
+//! persistent solve-cache directory: runs warm their solve memos from
+//! `DIR/solve.cache` and publish what they solved back (elastic workers
+//! via private per-worker delta files the driver merges), so repeated
+//! runs — across processes, shards and restarts — replay prior dense
+//! searches. Reports are byte-identical with or without it; a missing
+//! cache is a cold start and a corrupt one is skipped with a note.
 //!
 //! `--inject` deterministically injects faults for tests and CI:
 //! `kill-worker=N`, `torn-partial[=N]`, `stall=N`,
@@ -38,6 +46,7 @@ use provmark_core::pipeline::plan_matrix_shard;
 use provmark_core::PipelineError;
 use provshard::elastic::{
     drive_elastic, worker_loop, ElasticOptions, InjectSpec, TaskStore, WorkerContext, WorkerEnd,
+    SOLVE_CACHE_FILE,
 };
 use provshard::{
     atomic_write, execute, load_partial, merge, plan, single_report, RunConfig, ShardManifest,
@@ -57,7 +66,9 @@ fn usage() -> ExitCode {
          \n\
          run options:   --quick (scaled-down simulated OPUS startup),\n\
          \x20            --trials T (default 2), --seed S (default 1),\n\
-         \x20            --no-memo (disable the session-level solve memo)\n\
+         \x20            --no-memo (disable the session-level solve memo),\n\
+         \x20            --solve-cache DIR (persistent solve cache shared across\n\
+         \x20            runs and workers; single, drive and work only)\n\
          fault options: --stale-after-ms MS (default 5000; 300 with --quick),\n\
          \x20            --max-retries R (default 2),\n\
          \x20            --backoff-ms MS (default 100; 50 with --quick),\n\
@@ -74,6 +85,7 @@ struct Args {
     out: Option<PathBuf>,
     out_dir: Option<PathBuf>,
     work_dir: Option<PathBuf>,
+    solve_cache: Option<PathBuf>,
     quick: bool,
     no_memo: bool,
     trials: Option<usize>,
@@ -119,6 +131,9 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
             "--out" => args.out = Some(PathBuf::from(value("--out", &mut it)?)),
             "--out-dir" => args.out_dir = Some(PathBuf::from(value("--out-dir", &mut it)?)),
             "--work-dir" => args.work_dir = Some(PathBuf::from(value("--work-dir", &mut it)?)),
+            "--solve-cache" => {
+                args.solve_cache = Some(PathBuf::from(value("--solve-cache", &mut it)?))
+            }
             "--quick" => args.quick = true,
             "--no-memo" => args.no_memo = true,
             "--trials" => {
@@ -232,6 +247,7 @@ impl Args {
             opts.backoff = Duration::from_millis(ms);
         }
         opts.inject = self.inject.clone();
+        opts.solve_cache = self.solve_cache.clone();
         opts
     }
 }
@@ -305,7 +321,12 @@ fn run(command: &str, args: &Args) -> Result<(), PipelineError> {
         }
         "single" => {
             let out = args.out.clone().ok_or(missing("--out"))?;
-            let report = single_report(&args.config());
+            let mut config = args.config();
+            if let Some(dir) = &args.solve_cache {
+                std::fs::create_dir_all(dir)?;
+                config.opts.solve_cache = Some(dir.join(SOLVE_CACHE_FILE));
+            }
+            let report = single_report(&config);
             atomic_write(&out, &report)?;
             println!("single-process matrix -> {}", out.display());
             Ok(())
@@ -345,6 +366,24 @@ fn run(command: &str, args: &Args) -> Result<(), PipelineError> {
                 work_dir.display(),
                 out.display()
             );
+            println!(
+                "solve memo: {} hit(s) ({} from disk), {} miss(es), {} eviction(s)",
+                outcome.memo.hits,
+                outcome.memo.disk_hits,
+                outcome.memo.misses,
+                outcome.memo.evictions
+            );
+            if let Some(merge) = &outcome.cache_merge {
+                println!(
+                    "solve cache: {} entr{} after folding in {} worker delta file(s)",
+                    merge.entries,
+                    if merge.entries == 1 { "y" } else { "ies" },
+                    merge.delta_files
+                );
+                for note in &merge.skipped {
+                    eprintln!("provmark-shard drive: skipped corrupt cache input {note}");
+                }
+            }
             if outcome.failures.is_empty() {
                 Ok(())
             } else {
@@ -372,6 +411,7 @@ fn run(command: &str, args: &Args) -> Result<(), PipelineError> {
                     .stall_ms
                     .map_or(defaults.stale_after * 4, Duration::from_millis),
                 inject: args.inject.clone(),
+                solve_cache: args.solve_cache.clone(),
             };
             match worker_loop(&store, &ctx)? {
                 WorkerEnd::Stopped => Ok(()),

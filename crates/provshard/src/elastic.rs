@@ -38,9 +38,24 @@
 //!   treats as a failed attempt.
 //!
 //! Because each cell reuses the exact single-process measurement path
-//! ([`run_matrix_cell`]), the merged report is **byte-identical** to
-//! the single-process run whenever every cell eventually completes —
-//! even if workers were lost and cells re-dispatched mid-flight.
+//! ([`run_matrix_cell_with_memo`]), the merged report is
+//! **byte-identical** to the single-process run whenever every cell
+//! eventually completes — even if workers were lost and cells
+//! re-dispatched mid-flight.
+//!
+//! ## The shared solve cache
+//!
+//! With [`ElasticOptions::solve_cache`] set to a directory, workers
+//! warm their solve memos from `DIR/solve.cache` once and publish the
+//! entries they solved to private `DIR/delta.worker-*` files after
+//! every cell (cumulative, durably written — one writer per file, so
+//! no contention and nothing to lock). After the run the driver merges
+//! the base cache with every delta and atomically republishes
+//! `DIR/solve.cache`, so the next drive — or a bare `single` run, or a
+//! worker on another host sharing the directory — starts warm. The
+//! cache only short-circuits pure dense searches keyed by content
+//! hashes, so reports are byte-identical warm or cold; corrupt cache
+//! or delta files are skipped with a note, never fatal.
 //!
 //! ## Fault injection
 //!
@@ -57,7 +72,9 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
-use provmark_core::pipeline::{merge_matrix_cells, run_matrix_cell, CellFailure, CellOutcome};
+use provmark_core::pipeline::{
+    merge_matrix_cells, run_matrix_cell_with_memo, CellFailure, CellOutcome,
+};
 use provmark_core::report::render_matrix_report;
 use provmark_core::{PipelineError, WorkerFailure};
 use serde_json::{Map, Value};
@@ -70,8 +87,86 @@ use crate::{
 /// Version of the cell-task JSON layout.
 pub const CELL_TASK_VERSION: u32 = 1;
 
-/// Version of the cell-result JSON layout.
-pub const CELL_RESULT_VERSION: u32 = 1;
+/// Version of the cell-result JSON layout. Version 2 added the
+/// `memo` counter block (solve-memo hits/misses per cell).
+pub const CELL_RESULT_VERSION: u32 = 2;
+
+/// File name of the shared solve cache inside a `--solve-cache`
+/// directory. Workers warm from it; the supervisor republishes it
+/// after merging the per-worker delta files (`delta.*`).
+pub const SOLVE_CACHE_FILE: &str = "solve.cache";
+
+/// Solve-memo traffic counters, as published per cell and as
+/// aggregated over a whole elastic run.
+///
+/// `hits` counts every memoized answer served (of which `disk_hits`
+/// came from entries loaded out of a persistent cache file rather
+/// than solved in this process); `misses` counts dense searches
+/// actually run; `evictions` counts entries dropped by the memo's
+/// capacity cap.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoCounters {
+    /// Memoized answers served.
+    pub hits: u64,
+    /// Subset of `hits` answered by entries loaded from a cache file.
+    pub disk_hits: u64,
+    /// Dense searches that had to run.
+    pub misses: u64,
+    /// Entries dropped by the capacity cap.
+    pub evictions: u64,
+}
+
+impl MemoCounters {
+    /// Snapshot a memo's counters.
+    pub fn of(memo: &aspsolver::SolveMemo) -> MemoCounters {
+        MemoCounters {
+            hits: memo.hits(),
+            disk_hits: memo.disk_hits(),
+            misses: memo.misses(),
+            evictions: memo.evictions(),
+        }
+    }
+
+    /// Counter-wise difference since an earlier snapshot of the same
+    /// (monotone) memo.
+    pub fn since(&self, earlier: &MemoCounters) -> MemoCounters {
+        MemoCounters {
+            hits: self.hits - earlier.hits,
+            disk_hits: self.disk_hits - earlier.disk_hits,
+            misses: self.misses - earlier.misses,
+            evictions: self.evictions - earlier.evictions,
+        }
+    }
+
+    /// Counter-wise accumulate.
+    pub fn merge(&mut self, other: &MemoCounters) {
+        self.hits += other.hits;
+        self.disk_hits += other.disk_hits;
+        self.misses += other.misses;
+        self.evictions += other.evictions;
+    }
+
+    fn to_json(self) -> Value {
+        let mut doc = Map::new();
+        doc.insert("hits".into(), Value::Number(self.hits as f64));
+        doc.insert("disk_hits".into(), Value::Number(self.disk_hits as f64));
+        doc.insert("misses".into(), Value::Number(self.misses as f64));
+        doc.insert("evictions".into(), Value::Number(self.evictions as f64));
+        Value::Object(doc)
+    }
+
+    fn from_json(v: &Value) -> Result<MemoCounters, PipelineError> {
+        if v.as_object().is_none() {
+            return Err(artifact("cell result is missing its `memo` counters"));
+        }
+        Ok(MemoCounters {
+            hits: crate::get_usize(v, "hits")? as u64,
+            disk_hits: crate::get_usize(v, "disk_hits")? as u64,
+            misses: crate::get_usize(v, "misses")? as u64,
+            evictions: crate::get_usize(v, "evictions")? as u64,
+        })
+    }
+}
 
 /// One claimable unit of work: a single `(syscall, tool)` matrix cell
 /// at a claim epoch, carrying the complete run configuration so the
@@ -154,6 +249,10 @@ pub struct CellResult {
     pub config: RunConfig,
     /// The measured outcome.
     pub cell: CellOutcome,
+    /// Solve-memo traffic while measuring this cell (zeros when the
+    /// memo is disabled). The supervisor aggregates these into the
+    /// drive's end-of-run summary.
+    pub memo: MemoCounters,
 }
 
 impl CellResult {
@@ -174,6 +273,7 @@ impl CellResult {
         doc.insert("epoch".into(), Value::Number(self.epoch as f64));
         insert_config(&mut doc, &self.config);
         doc.insert("cell".into(), cell_to_json(&self.cell));
+        doc.insert("memo".into(), self.memo.to_json());
         serde_json::to_string_pretty(&Value::Object(doc)).expect("cell result serializes")
     }
 
@@ -196,6 +296,7 @@ impl CellResult {
             epoch: crate::get_usize(&doc, "epoch")? as u32,
             config: extract_config(&doc)?,
             cell: cell_from_json(&doc["cell"])?,
+            memo: MemoCounters::from_json(&doc["memo"])?,
         })
     }
 }
@@ -616,6 +717,14 @@ pub struct ElasticOptions {
     pub max_respawns: usize,
     /// Deterministic fault injection (tests / CI only).
     pub inject: InjectSpec,
+    /// Shared solve-cache **directory**. When set, every worker warms
+    /// its memo once from `DIR/solve.cache` and publishes its freshly
+    /// solved entries to a private `DIR/delta.worker-*` file after each
+    /// cell (no write contention — one writer per file); after the run
+    /// the driver merges base + deltas and republishes
+    /// `DIR/solve.cache`, so the next drive (or any other process)
+    /// starts warm. Reports are byte-identical with or without it.
+    pub solve_cache: Option<PathBuf>,
 }
 
 impl Default for ElasticOptions {
@@ -629,6 +738,7 @@ impl Default for ElasticOptions {
             backoff: Duration::from_millis(100),
             max_respawns: 8,
             inject: InjectSpec::default(),
+            solve_cache: None,
         }
     }
 }
@@ -670,6 +780,10 @@ pub struct WorkerContext {
     pub stall: Duration,
     /// Fault injection directives.
     pub inject: InjectSpec,
+    /// Shared solve-cache directory (see
+    /// [`ElasticOptions::solve_cache`]); the worker reads
+    /// `solve.cache` and writes only its own `delta.worker-*` file.
+    pub solve_cache: Option<PathBuf>,
 }
 
 /// How a worker loop ended.
@@ -694,6 +808,20 @@ pub enum WorkerEnd {
 /// [`PipelineError`] on I/O failures or malformed task files — the
 /// worker dies, its claim goes stale, and the supervisor re-dispatches.
 pub fn worker_loop(store: &TaskStore, ctx: &WorkerContext) -> Result<WorkerEnd, PipelineError> {
+    // One memo for the worker's whole lifetime: entries earned on one
+    // cell answer replays on every later cell (content-hash keys are
+    // session- and process-independent). Warmed lazily from the shared
+    // cache file on the first memo-enabled claim; a missing file is a
+    // cold start, a corrupt one is reported and ignored.
+    let memo = aspsolver::SolveMemo::new();
+    let mut warmed = false;
+    let delta_path = ctx.solve_cache.as_ref().map(|dir| {
+        dir.join(format!(
+            "delta.worker-{}.{}.cache",
+            ctx.index,
+            std::process::id()
+        ))
+    });
     let mut first_claim = true;
     loop {
         if store.stop_requested() {
@@ -721,6 +849,25 @@ pub fn worker_loop(store: &TaskStore, ctx: &WorkerContext) -> Result<WorkerEnd, 
             // through and publish under the (by now superseded) epoch.
             std::thread::sleep(ctx.stall);
         }
+        let memo_ref = if task.config.opts.use_solve_memo {
+            if !warmed {
+                warmed = true;
+                if let Some(dir) = &ctx.solve_cache {
+                    let path = dir.join(SOLVE_CACHE_FILE);
+                    if let Err(e) = aspsolver::load_cache_file(&memo, &path) {
+                        eprintln!(
+                            "worker {}: solve cache {} ignored (cold start): {e}",
+                            ctx.index,
+                            path.display()
+                        );
+                    }
+                }
+            }
+            Some(&memo)
+        } else {
+            None
+        };
+        let counters_before = MemoCounters::of(&memo);
         let heartbeat_done = AtomicBool::new(false);
         let cell = std::thread::scope(|scope| {
             if !stalling {
@@ -731,11 +878,12 @@ pub fn worker_loop(store: &TaskStore, ctx: &WorkerContext) -> Result<WorkerEnd, 
                     }
                 });
             }
-            let cell = run_matrix_cell(
+            let cell = run_matrix_cell_with_memo(
                 &task.syscall,
                 task.tool,
                 &task.config.opts,
                 task.config.opus_db_iterations,
+                memo_ref,
             );
             heartbeat_done.store(true, Ordering::Relaxed);
             cell
@@ -746,12 +894,27 @@ pub fn worker_loop(store: &TaskStore, ctx: &WorkerContext) -> Result<WorkerEnd, 
             epoch: task.epoch,
             config: task.config.clone(),
             cell,
+            memo: MemoCounters::of(&memo).since(&counters_before),
         };
         if injected_first && ctx.inject.torn_partial == Some(ctx.index) {
             store.publish_torn(&result)?;
             return Ok(WorkerEnd::Crashed("injected torn-partial"));
         }
         store.publish(&result)?;
+        // Persist everything this worker has solved so far (cumulative,
+        // so a crash loses at most the last cell's entries). Private
+        // per-worker file — no contention with other writers; best
+        // effort — the cache is an accelerator, not a correctness
+        // dependency.
+        if let (Some(path), true) = (&delta_path, task.config.opts.use_solve_memo) {
+            if let Err(e) = aspsolver::write_bytes_durable(path, &aspsolver::delta_bytes(&memo)) {
+                eprintln!(
+                    "worker {}: could not persist solve-cache delta {}: {e}",
+                    ctx.index,
+                    path.display()
+                );
+            }
+        }
     }
 }
 
@@ -800,6 +963,7 @@ struct ProcessPool {
     poll: Duration,
     stall: Duration,
     inject: InjectSpec,
+    solve_cache: Option<PathBuf>,
     children: Vec<(usize, std::process::Child, PathBuf)>,
 }
 
@@ -834,6 +998,9 @@ impl Pool for ProcessPool {
             .stderr(stderr);
         if !self.inject.is_empty() {
             command.arg("--inject").arg(self.inject.to_arg());
+        }
+        if let Some(dir) = &self.solve_cache {
+            command.arg("--solve-cache").arg(dir);
         }
         let child = command.spawn()?;
         self.children.push((index, child, stderr_path));
@@ -908,6 +1075,7 @@ struct ThreadPool {
     poll: Duration,
     stall: Duration,
     inject: InjectSpec,
+    solve_cache: Option<PathBuf>,
     threads: Vec<(
         usize,
         std::thread::JoinHandle<Result<WorkerEnd, PipelineError>>,
@@ -943,6 +1111,7 @@ impl Pool for ThreadPool {
             poll_interval: self.poll,
             stall: self.stall,
             inject: self.inject.clone(),
+            solve_cache: self.solve_cache.clone(),
         };
         let handle = std::thread::spawn(move || worker_loop(&store, &ctx));
         self.threads.push((index, handle));
@@ -991,6 +1160,73 @@ pub struct ElasticOutcome {
     pub workers_spawned: usize,
     /// How many cell re-dispatches the supervisor issued.
     pub requeues: usize,
+    /// Solve-memo traffic summed over every accepted cell result.
+    pub memo: MemoCounters,
+    /// Outcome of the post-run solve-cache merge (`None` when no
+    /// [`ElasticOptions::solve_cache`] directory was configured).
+    pub cache_merge: Option<SolveCacheMerge>,
+}
+
+/// What the post-run solve-cache merge accomplished.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SolveCacheMerge {
+    /// Entries in the republished `solve.cache`.
+    pub entries: usize,
+    /// Per-worker delta files folded in (and then removed).
+    pub delta_files: usize,
+    /// Files skipped as corrupt or unreadable — each a
+    /// `"{path}: {error}"` note. Skips degrade coverage, never
+    /// correctness.
+    pub skipped: Vec<String>,
+}
+
+/// Merge `DIR/solve.cache` with every `DIR/delta.*` file and
+/// atomically, durably republish `DIR/solve.cache`; merged delta files
+/// are removed. Corrupt or unreadable inputs are recorded in
+/// [`SolveCacheMerge::skipped`] and otherwise ignored — the merge
+/// keeps whatever decodes.
+///
+/// # Errors
+///
+/// [`PipelineError::Store`] when the directory cannot be read or
+/// created; [`PipelineError::ShardArtifact`] when the merged cache
+/// cannot be written back (input corruption is never an error).
+pub fn merge_solve_cache_dir(dir: &Path) -> Result<SolveCacheMerge, PipelineError> {
+    std::fs::create_dir_all(dir)?;
+    let memo = aspsolver::SolveMemo::new();
+    let mut merge = SolveCacheMerge::default();
+    let base = dir.join(SOLVE_CACHE_FILE);
+    if let Err(e) = aspsolver::load_cache_file(&memo, &base) {
+        merge.skipped.push(format!("{}: {e}", base.display()));
+    }
+    let mut deltas: Vec<PathBuf> = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        let name = path.file_name().unwrap_or_default().to_string_lossy();
+        if path.is_file() && name.starts_with("delta.") {
+            deltas.push(path);
+        }
+    }
+    deltas.sort();
+    let mut merged_deltas = Vec::new();
+    for path in deltas {
+        match aspsolver::load_cache_file(&memo, &path) {
+            Ok(_) => {
+                merge.delta_files += 1;
+                merged_deltas.push(path);
+            }
+            Err(e) => merge.skipped.push(format!("{}: {e}", path.display())),
+        }
+    }
+    merge.entries = memo.len();
+    aspsolver::write_cache_file(&memo, &base)
+        .map_err(|e| artifact(format!("cannot republish merged solve cache: {e}")))?;
+    // Only after the merged cache is durably on disk do the folded-in
+    // deltas become redundant; corrupt ones are kept for inspection.
+    for path in merged_deltas {
+        std::fs::remove_file(path).ok();
+    }
+    Ok(merge)
 }
 
 /// Per-cell supervisor state.
@@ -1033,6 +1269,7 @@ fn supervise(
     let mut workers_spawned = 0;
     let mut respawns = 0;
     let mut requeues = 0;
+    let mut memo_totals = MemoCounters::default();
     for index in 0..worker_count {
         pool.spawn(index)?;
         workers_spawned += 1;
@@ -1081,6 +1318,7 @@ fn supervise(
                         && result.tool == slot.task.tool
                         && result.config == *config =>
                 {
+                    memo_totals.merge(&result.memo);
                     completed.push((id, result.cell));
                 }
                 Ok(_) => failed.push((
@@ -1218,6 +1456,8 @@ fn supervise(
         worker_exits: exits,
         workers_spawned,
         requeues,
+        memo: memo_totals,
+        cache_merge: None,
     })
 }
 
@@ -1267,9 +1507,12 @@ pub fn drive_elastic(
         poll: opts.poll_interval,
         stall: stall_duration(opts),
         inject: opts.inject.clone(),
+        solve_cache: prepare_solve_cache_dir(opts)?,
         children: Vec::new(),
     };
-    supervise(&store, &mut pool, worker_count, tasks, config, opts)
+    let mut outcome = supervise(&store, &mut pool, worker_count, tasks, config, opts)?;
+    merge_after_drive(opts, &mut outcome)?;
+    Ok(outcome)
 }
 
 /// Drive an elastic matrix run with `worker_count` worker **threads**
@@ -1294,7 +1537,31 @@ pub fn drive_elastic_in_process(
         poll: opts.poll_interval,
         stall: stall_duration(opts),
         inject: opts.inject.clone(),
+        solve_cache: prepare_solve_cache_dir(opts)?,
         threads: Vec::new(),
     };
-    supervise(&store, &mut pool, worker_count, tasks, config, opts)
+    let mut outcome = supervise(&store, &mut pool, worker_count, tasks, config, opts)?;
+    merge_after_drive(opts, &mut outcome)?;
+    Ok(outcome)
+}
+
+/// Ensure the configured solve-cache directory exists before workers
+/// try to warm from (or write deltas into) it.
+fn prepare_solve_cache_dir(opts: &ElasticOptions) -> Result<Option<PathBuf>, PipelineError> {
+    if let Some(dir) = &opts.solve_cache {
+        std::fs::create_dir_all(dir)?;
+    }
+    Ok(opts.solve_cache.clone())
+}
+
+/// Fold the per-worker delta files into the shared cache once the run
+/// is over, recording what happened on the outcome.
+fn merge_after_drive(
+    opts: &ElasticOptions,
+    outcome: &mut ElasticOutcome,
+) -> Result<(), PipelineError> {
+    if let Some(dir) = &opts.solve_cache {
+        outcome.cache_merge = Some(merge_solve_cache_dir(dir)?);
+    }
+    Ok(())
 }

@@ -228,6 +228,11 @@ pub(crate) fn extract_config(doc: &Value) -> Result<RunConfig, PipelineError> {
         noise: get_bool(options, "noise")?,
         filter_graphs: get_bool(options, "filter_graphs")?,
         use_solve_memo: get_bool(options, "use_solve_memo")?,
+        // Deliberately not serialized: the cache is observably invisible
+        // (warm and cold runs are byte-identical), so it is runner-local
+        // configuration — wired per invocation via `--solve-cache` — and
+        // never part of a run's recorded identity.
+        solve_cache: None,
     };
     let opus_db_iterations = match &doc["opus_db_iterations"] {
         Value::Null => None,
@@ -544,34 +549,26 @@ pub fn single_report(config: &RunConfig) -> String {
     render_matrix_report(&merged)
 }
 
-/// Write `contents` to `path` atomically: write to a hidden temp file
-/// in the destination directory, then `rename` over the final path.
+/// Write `contents` to `path` atomically **and durably**: write to a
+/// hidden temp file in the destination directory, `fsync` it, `rename`
+/// over the final path, then `fsync` the directory so the rename itself
+/// survives a crash.
 ///
 /// Readers can therefore never observe a torn artifact at `path` — a
 /// writer killed mid-write leaves only a `.{name}.tmp.*` file behind,
-/// which every artifact scan skips. Used for **all** provshard artifact
-/// writes (manifests, partials, cell tasks/results, heartbeats,
-/// reports).
+/// which every artifact scan skips — and once this returns `Ok` the
+/// artifact is on stable storage, not just in the page cache (a power
+/// loss after a claim or result was published cannot un-publish it).
+/// Used for **all** provshard artifact writes (manifests, partials,
+/// cell tasks/results, heartbeats, reports). Delegates to
+/// [`aspsolver::write_bytes_durable`], the same primitive the solve
+/// cache uses.
 ///
 /// # Errors
 ///
-/// Any I/O error from the write or the rename.
+/// Any I/O error from the write, the syncs or the rename.
 pub fn atomic_write(path: &Path, contents: &str) -> std::io::Result<()> {
-    use std::sync::atomic::{AtomicU64, Ordering};
-    static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
-    let name = path
-        .file_name()
-        .ok_or_else(|| std::io::Error::other("atomic_write needs a file path"))?
-        .to_string_lossy()
-        .into_owned();
-    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
-    let tmp = dir.unwrap_or(Path::new(".")).join(format!(
-        ".{name}.tmp.{}.{}",
-        std::process::id(),
-        TMP_SEQ.fetch_add(1, Ordering::Relaxed)
-    ));
-    std::fs::write(&tmp, contents)?;
-    std::fs::rename(&tmp, path)
+    aspsolver::write_bytes_durable(path, contents.as_bytes())
 }
 
 /// Local driver mode: spawn `worker_count` elastic worker **processes**

@@ -7,7 +7,7 @@ use std::path::PathBuf;
 
 use provmark_core::pipeline::CellOutcome;
 use provmark_core::PipelineError;
-use provshard::elastic::{plan_cells, CellResult, CellTask, InjectSpec, TaskStore};
+use provshard::elastic::{plan_cells, CellResult, CellTask, InjectSpec, MemoCounters, TaskStore};
 use provshard::{atomic_write, RunConfig};
 
 fn temp_dir(tag: &str) -> PathBuf {
@@ -58,6 +58,7 @@ fn cell_task_and_result_roundtrip_through_json() {
         epoch: 3,
         config: RunConfig::quick(),
         cell: sample_outcome(),
+        memo: MemoCounters::default(),
     };
     let back = CellResult::from_json_str(&result.to_json_string()).unwrap();
     assert_eq!(back, result);
@@ -135,6 +136,7 @@ fn publish_is_atomic_and_roundtrips() {
         epoch: 1,
         config: RunConfig::quick(),
         cell: sample_outcome(),
+        memo: MemoCounters::default(),
     };
     store.publish(&result).unwrap();
     assert_eq!(
@@ -164,6 +166,7 @@ fn every_strict_prefix_of_a_result_is_a_typed_error() {
         epoch: 2,
         config: RunConfig::quick(),
         cell: sample_outcome(),
+        memo: MemoCounters::default(),
     }
     .to_json_string();
     let path = dir.join("done").join("close.t0.e2.json");
@@ -205,6 +208,7 @@ fn requeue_bumps_epoch_and_older_done_files_coexist() {
                 epoch,
                 config: RunConfig::quick(),
                 cell: sample_outcome(),
+                memo: MemoCounters::default(),
             })
             .unwrap()
     };

@@ -1,0 +1,167 @@
+//! Integration tests of the shared persistent solve cache: cold and
+//! warm elastic drives sharing a `--solve-cache` directory must produce
+//! byte-identical reports (warm runs answering from disk state), a
+//! corrupt cache must degrade to a typed cold start and be repaired by
+//! the next merge, and two separate *processes* sharing the cache must
+//! replay byte-identically.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use provshard::elastic::{
+    drive_elastic_in_process, merge_solve_cache_dir, ElasticOptions, SOLVE_CACHE_FILE,
+};
+use provshard::{single_report, RunConfig};
+
+const SHARD_BIN: &str = env!("CARGO_BIN_EXE_provmark-shard");
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "provmark-solve-cache-test-{tag}-{}",
+        std::process::id()
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+fn cached_opts(cache: &Path) -> ElasticOptions {
+    ElasticOptions {
+        solve_cache: Some(cache.to_path_buf()),
+        ..ElasticOptions::quick()
+    }
+}
+
+#[test]
+fn cold_then_warm_drives_are_byte_identical_and_warm_answers_from_disk() {
+    let cache = temp_dir("drive-cache");
+    let reference = single_report(&RunConfig::quick());
+
+    let run1 = temp_dir("drive-run1");
+    let cold = drive_elastic_in_process(3, &RunConfig::quick(), &run1, &cached_opts(&cache))
+        .expect("cold drive");
+    assert!(cold.failures.is_empty());
+    assert_eq!(
+        cold.report, reference,
+        "cold cached drive must match the single-process report byte-for-byte"
+    );
+    assert!(cold.memo.misses > 0, "a cold run must actually solve");
+    assert_eq!(cold.memo.disk_hits, 0, "no disk state existed to hit");
+    let merge = cold.cache_merge.as_ref().expect("cache dir was configured");
+    assert!(merge.entries > 0, "the merged cache must hold entries");
+    assert!(merge.delta_files > 0, "workers must have published deltas");
+    assert!(
+        merge.skipped.is_empty(),
+        "nothing to skip on a clean first run: {:?}",
+        merge.skipped
+    );
+    assert!(cache.join(SOLVE_CACHE_FILE).is_file());
+    let leftover_deltas: Vec<String> = std::fs::read_dir(&cache)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .filter(|n| n.starts_with("delta."))
+        .collect();
+    assert!(
+        leftover_deltas.is_empty(),
+        "merged deltas are consumed: {leftover_deltas:?}"
+    );
+
+    let run2 = temp_dir("drive-run2");
+    let warm = drive_elastic_in_process(3, &RunConfig::quick(), &run2, &cached_opts(&cache))
+        .expect("warm drive");
+    assert!(warm.failures.is_empty());
+    assert_eq!(
+        warm.report, reference,
+        "warm cached drive must replay the cold report byte-for-byte"
+    );
+    assert_eq!(
+        warm.memo.misses, 0,
+        "a fully warm run must not re-run a single dense search"
+    );
+    assert!(
+        warm.memo.disk_hits > 0,
+        "warm answers must come from the loaded cache"
+    );
+
+    for dir in [cache, run1, run2] {
+        std::fs::remove_dir_all(dir).ok();
+    }
+}
+
+#[test]
+fn corrupt_cache_is_a_cold_start_and_the_merge_repairs_it() {
+    let cache = temp_dir("corrupt-cache");
+    let base = cache.join(SOLVE_CACHE_FILE);
+    std::fs::write(&base, b"PMSCnot really a cache").unwrap();
+    let reference = single_report(&RunConfig::quick());
+
+    let run = temp_dir("corrupt-run");
+    let outcome = drive_elastic_in_process(3, &RunConfig::quick(), &run, &cached_opts(&cache))
+        .expect("drive over a corrupt cache");
+    assert!(outcome.failures.is_empty());
+    assert_eq!(
+        outcome.report, reference,
+        "a corrupt cache degrades to a cold start, never a wrong answer"
+    );
+    let merge = outcome.cache_merge.as_ref().expect("merge ran");
+    assert!(
+        merge.skipped.iter().any(|s| s.contains(SOLVE_CACHE_FILE)),
+        "the corrupt base must be recorded as skipped: {:?}",
+        merge.skipped
+    );
+    assert!(merge.entries > 0, "worker deltas still merge");
+
+    // The republished cache is valid again: a second merge reads it
+    // back without a skip.
+    let repaired = merge_solve_cache_dir(&cache).expect("merge of repaired cache");
+    assert!(repaired.skipped.is_empty(), "{:?}", repaired.skipped);
+    assert_eq!(repaired.entries, merge.entries);
+
+    std::fs::remove_dir_all(cache).ok();
+    std::fs::remove_dir_all(run).ok();
+}
+
+/// The tentpole differential: process A populates the cache, process B
+/// — a separate OS process with its own interners and sessions — warms
+/// from it and must produce the byte-identical report. A third run
+/// without any cache pins the cache-on/off identity across processes.
+#[test]
+fn separate_processes_sharing_the_cache_replay_byte_identically() {
+    let dir = temp_dir("cross-process");
+    let cache = dir.join("cache");
+    let single = |tag: &str, cache_arg: Option<&PathBuf>| {
+        let out = dir.join(format!("{tag}.txt"));
+        let mut cmd = Command::new(SHARD_BIN);
+        cmd.arg("single")
+            .arg("--quick")
+            .arg("--out")
+            .arg(&out)
+            .arg("--trials")
+            .arg("2");
+        if let Some(cache) = cache_arg {
+            cmd.arg("--solve-cache").arg(cache);
+        }
+        let status = cmd.status().expect("provmark-shard single runs");
+        assert!(status.success(), "single ({tag}) must succeed: {status}");
+        std::fs::read_to_string(&out).expect("report written")
+    };
+    let process_a = single("a", Some(&cache));
+    assert!(
+        cache.join(SOLVE_CACHE_FILE).is_file(),
+        "process A must leave a cache file behind"
+    );
+    let cache_bytes = std::fs::read(cache.join(SOLVE_CACHE_FILE)).unwrap();
+    assert!(!cache_bytes.is_empty());
+    let process_b = single("b", Some(&cache));
+    let uncached = single("c", None);
+    assert_eq!(
+        process_a, process_b,
+        "a second process warming from the first one's cache must replay its \
+         report byte-for-byte"
+    );
+    assert_eq!(
+        process_a, uncached,
+        "cached and uncached processes must agree byte-for-byte"
+    );
+    std::fs::remove_dir_all(dir).ok();
+}
