@@ -724,6 +724,12 @@ pub struct SolveMemo {
     disk_hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    /// Telemetry sink for memo hit/miss/eviction events, per-solve
+    /// spans and cache load/save events. Disabled by default; attach
+    /// with [`SolveMemo::with_tracer`]. Tracing is observably
+    /// outcome-neutral: it never touches outcomes, search statistics
+    /// or the hit/miss counters above.
+    tracer: provtrace::Tracer,
 }
 
 impl Default for SolveMemo {
@@ -749,7 +755,27 @@ impl SolveMemo {
             disk_hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            tracer: provtrace::Tracer::disabled(),
         }
+    }
+
+    /// Attach a telemetry sink: every memo-aware solve through this
+    /// memo then emits `memo.hit` / `memo.evict` events, per-search
+    /// `solve` spans (steps, backtracks, solutions, optimality, cost)
+    /// and `memo.*` counters. With the default disabled tracer the
+    /// cost is one branch per event site — no allocation, no lock.
+    pub fn with_tracer(mut self, tracer: provtrace::Tracer) -> Self {
+        self.tracer = tracer;
+        self
+    }
+
+    /// The attached telemetry sink (disabled unless
+    /// [`SolveMemo::with_tracer`] was used). Callers layering their own
+    /// events around memo activity (cache merges, cell boundaries)
+    /// emit through this same sink so one worker's records share one
+    /// buffer.
+    pub fn tracer(&self) -> &provtrace::Tracer {
+        &self.tracer
     }
 
     /// Dense solves served from the cache so far (informational — never
@@ -808,6 +834,10 @@ impl SolveMemo {
             let (_, &mut threshold, _) = ticks.select_nth_unstable(drop_n - 1);
             shard.retain(|_, e| e.last_used > threshold);
             self.evictions.fetch_add(drop_n as u64, Ordering::Relaxed);
+            self.tracer.counter_add("memo.evictions", drop_n as u64);
+            self.tracer.event("memo.evict", None, || {
+                vec![("dropped", provtrace::Field::from(drop_n))]
+            });
         }
         let tick = self.tick.fetch_add(1, Ordering::Relaxed);
         let entry = shard.entry(key).or_insert(MemoEntry {
@@ -864,7 +894,7 @@ fn memoized_dense(
         rhs: content_key(problem, session, rhs),
         config: config.clone(),
     };
-    {
+    let hit = {
         let mut shard = memo.shard(&key).lock().expect("memo shard lock");
         if let Some(entry) = shard.get_mut(&key) {
             entry.last_used = memo.tick.fetch_add(1, Ordering::Relaxed);
@@ -872,13 +902,31 @@ fn memoized_dense(
             if entry.from_disk {
                 memo.disk_hits.fetch_add(1, Ordering::Relaxed);
             }
-            return Arc::clone(&entry.outcome);
+            Some((Arc::clone(&entry.outcome), entry.from_disk))
+        } else {
+            None
         }
+    };
+    // Telemetry outside the shard lock: the tracer has its own buffer
+    // lock and holding both at once would serialize unrelated solves.
+    if let Some((outcome, from_disk)) = hit {
+        memo.tracer.counter_add("memo.hits", 1);
+        if from_disk {
+            memo.tracer.counter_add("memo.disk_hits", 1);
+        }
+        memo.tracer.event("memo.hit", None, || {
+            vec![("disk", provtrace::Field::from(from_disk))]
+        });
+        return outcome;
     }
     // Search outside the lock: two threads missing one key concurrently
     // duplicate the work but compute the same pure-function value, so
     // whichever insert lands first is the one everyone reads.
     memo.misses.fetch_add(1, Ordering::Relaxed);
+    memo.tracer.counter_add("memo.misses", 1);
+    let span = memo.tracer.span_enter("solve", None, || {
+        vec![("problem", provtrace::Field::from(format!("{problem:?}")))]
+    });
     // Colours come from the solved handles themselves (the solve runs
     // over their cores); content-equal cores have identical label and
     // adjacency arrays, so their shape colours — and hence every pruning
@@ -891,6 +939,21 @@ fn memoized_dense(
         prepared,
         Some((session.shape_colors(lhs), session.shape_colors(rhs))),
     ));
+    memo.tracer.span_exit_with("solve", span, || {
+        vec![
+            ("steps", provtrace::Field::from(dense.stats.steps)),
+            ("backtracks", provtrace::Field::from(dense.stats.backtracks)),
+            ("solutions", provtrace::Field::from(dense.stats.solutions)),
+            ("optimal", provtrace::Field::from(dense.optimal)),
+            (
+                "cost",
+                dense
+                    .best
+                    .as_ref()
+                    .map_or(provtrace::Field::I64(-1), |b| provtrace::Field::from(b.2)),
+            ),
+        ]
+    });
     memo.insert(key, dense, false)
 }
 

@@ -57,9 +57,8 @@
 //! and the same integrity checks, no more.
 
 use std::fmt;
-use std::io::{self, Write as _};
+use std::io;
 use std::path::Path;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use provgraph::compiled::FxHasher;
@@ -392,6 +391,9 @@ pub fn load_cache_bytes(memo: &SolveMemo, bytes: &[u8]) -> Result<usize, SolveCa
     for (key, dense) in decoded {
         memo.insert(key, Arc::new(dense), true);
     }
+    memo.tracer().event("cache.load", None, || {
+        vec![("entries", provtrace::Field::from(loaded))]
+    });
     Ok(loaded)
 }
 
@@ -411,50 +413,29 @@ pub fn load_cache_file(memo: &SolveMemo, path: &Path) -> Result<usize, SolveCach
 /// Save every entry of `memo` to the cache file at `path`, durably
 /// ([`write_bytes_durable`]).
 pub fn write_cache_file(memo: &SolveMemo, path: &Path) -> Result<(), SolveCacheError> {
-    write_bytes_durable(path, &cache_bytes(memo))?;
+    let bytes = cache_bytes(memo);
+    write_bytes_durable(path, &bytes)?;
+    memo.tracer().event("cache.save", None, || {
+        vec![
+            ("entries", provtrace::Field::from(memo.len())),
+            ("bytes", provtrace::Field::from(bytes.len())),
+        ]
+    });
     Ok(())
 }
-
-/// Process-unique sequence for temp-file names (several threads may
-/// publish artifacts into one directory concurrently).
-static TEMP_SEQ: AtomicU64 = AtomicU64::new(0);
 
 /// Write `bytes` to `path` atomically **and durably**: write to a
 /// same-directory temp file, fsync it, rename over `path`, then fsync
 /// the parent directory — so the publish survives a host crash, not
 /// just a process crash. Readers see either the old content or the new,
 /// never a torn write.
+///
+/// The implementation lives in [`provtrace`] (the bottom of the
+/// workspace dependency graph, so trace files share the exact same
+/// publish path); this re-export keeps the long-standing `aspsolver`
+/// signature for `provshard::atomic_write` and every other caller.
 pub fn write_bytes_durable(path: &Path, bytes: &[u8]) -> io::Result<()> {
-    let dir = match path.parent() {
-        Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
-        _ => std::path::PathBuf::from("."),
-    };
-    let name = path
-        .file_name()
-        .and_then(|n| n.to_str())
-        .unwrap_or("artifact");
-    let tmp = dir.join(format!(
-        ".{name}.tmp.{}.{}",
-        std::process::id(),
-        TEMP_SEQ.fetch_add(1, Ordering::Relaxed)
-    ));
-    let result = (|| {
-        let mut f = std::fs::File::create(&tmp)?;
-        f.write_all(bytes)?;
-        // fsync the data before the rename: rename is atomic but does
-        // not imply the renamed content is on stable storage.
-        f.sync_all()?;
-        drop(f);
-        std::fs::rename(&tmp, path)?;
-        // fsync the directory so the rename itself (the publish) is on
-        // stable storage too.
-        std::fs::File::open(&dir)?.sync_all()?;
-        Ok(())
-    })();
-    if result.is_err() {
-        let _ = std::fs::remove_file(&tmp);
-    }
-    result
+    provtrace::write_bytes_durable(path, bytes)
 }
 
 #[cfg(test)]

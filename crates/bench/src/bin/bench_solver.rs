@@ -788,6 +788,12 @@ fn main() {
     // asserts the recovered report stays byte-identical. In-process
     // thread workers (no subprocess spawning), so the overhead measured
     // is the protocol's, not process startup.
+    // Medians of the fault-injection comparison, hoisted so the summary
+    // can record them (satellite to the gated fields below): recovery
+    // cost was previously printed to stdout only and lost once the
+    // terminal scrolled, while BENCH_solver.json trajectories are what
+    // actually get compared across runs.
+    let mut faulted_recovery: Option<(f64, f64, f64)> = None;
     {
         use provshard::elastic::{drive_elastic_in_process, ElasticOptions, InjectSpec};
         use provshard::RunConfig;
@@ -838,6 +844,7 @@ fn main() {
             let clean_q = measure(fault_reps, || drive(""));
             let faulted_q = measure(fault_reps, || drive("kill-worker=1"));
             let ratio = speedup(clean_q, faulted_q);
+            faulted_recovery = Some((clean_q.median, faulted_q.median, ratio.median));
             println!(
                 "\n{:<22} {:>6} {:>13.3} {:>11.3} {:>7.2}x  (informational; recovered byte-identical)",
                 "sharded_faulted_quick",
@@ -971,6 +978,24 @@ fn main() {
         "min_cache_warm_speedup_matrix_replay".into(),
         Value::Number(min_cache_speedup),
     );
+    // Informational (never gated): the fault-injection recovery medians,
+    // recorded so cross-run trajectories keep the recovery cost instead
+    // of it living only in scrollback. Absent when the byte-identity
+    // precheck failed and the row was not published.
+    if let Some((clean_median, faulted_median, ratio_median)) = faulted_recovery {
+        summary.insert(
+            "sharded_faulted_clean_median_s".into(),
+            Value::Number(clean_median),
+        );
+        summary.insert(
+            "sharded_faulted_median_s".into(),
+            Value::Number(faulted_median),
+        );
+        summary.insert(
+            "sharded_faulted_recovery_ratio".into(),
+            Value::Number(ratio_median),
+        );
+    }
     doc.insert("summary".into(), Value::Object(summary));
 
     let text = serde_json::to_string_pretty(&Value::Object(doc)).expect("report serializes");

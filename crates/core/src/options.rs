@@ -36,6 +36,21 @@ pub struct BenchmarkOptions {
     ///
     /// [`run_benchmark`]: crate::pipeline::run_benchmark
     pub solve_cache: Option<std::path::PathBuf>,
+    /// Trace directory for structured run telemetry (`provtrace`).
+    /// When set, the top-level runners ([`run_benchmark`],
+    /// [`run_matrix_cells`]) record spans (cells, rows, stages, solves),
+    /// memo/cache events and counters, and flush them durably to
+    /// `trace.<label>.<pid>.jsonl` in this directory. Tracing is
+    /// observably outcome-neutral: reports are byte-identical with it
+    /// on or off, and when unset every instrumentation site is a no-op
+    /// branch (no allocation, no lock). Like `solve_cache`, the path is
+    /// runner-local configuration — wired per invocation via `--trace`
+    /// — and never part of a run's recorded identity (`provshard`
+    /// manifests never serialize it).
+    ///
+    /// [`run_benchmark`]: crate::pipeline::run_benchmark
+    /// [`run_matrix_cells`]: crate::pipeline::run_matrix_cells
+    pub trace: Option<std::path::PathBuf>,
 }
 
 impl Default for BenchmarkOptions {
@@ -47,6 +62,7 @@ impl Default for BenchmarkOptions {
             filter_graphs: true,
             use_solve_memo: true,
             solve_cache: None,
+            trace: None,
         }
     }
 }

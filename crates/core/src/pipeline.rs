@@ -127,7 +127,9 @@ pub struct BenchmarkRun {
 }
 
 /// Record, transform and generalize one program variant, compiling its
-/// trials into the run's shared session.
+/// trials into the run's shared session. Stage spans (`record`,
+/// `transform`, `generalize`) land on `tracer` under `parent`; with the
+/// default disabled tracer every span site is a no-op branch.
 #[allow(clippy::too_many_arguments)]
 fn prepare_variant(
     tool: &mut ToolInstance,
@@ -138,7 +140,10 @@ fn prepare_variant(
     seed_base: u64,
     timings: &mut StageTimings,
     memo: Option<&SolveMemo>,
+    tracer: &provtrace::Tracer,
+    parent: Option<provtrace::SpanId>,
 ) -> Result<generalize::Generalized, PipelineError> {
+    let variant_field = || vec![("variant", provtrace::Field::from(variant))];
     let program = if variant == "background" {
         spec.background()
     } else {
@@ -146,12 +151,17 @@ fn prepare_variant(
     };
     let mut natives: Vec<NativeOutput> = Vec::with_capacity(opts.trials);
     let t0 = Instant::now();
+    let span = tracer.span_enter("record", parent, variant_field);
     for i in 0..opts.trials {
         natives.push(tool.record(&program, seed_base + i as u64, opts.noise)?);
     }
+    tracer.span_exit_with("record", span, || {
+        vec![("trials", provtrace::Field::from(opts.trials))]
+    });
     timings.recording += t0.elapsed();
 
     let t0 = Instant::now();
+    let span = tracer.span_enter("transform", parent, variant_field);
     let mut graphs: Vec<PropertyGraph> = Vec::with_capacity(natives.len());
     let mut unparseable = 0usize;
     for native in natives {
@@ -163,14 +173,43 @@ fn prepare_variant(
             Err(e) => return Err(e),
         }
     }
+    tracer.span_exit_with("transform", span, || {
+        vec![("unparseable", provtrace::Field::from(unparseable))]
+    });
     timings.transformation += t0.elapsed();
 
     let t0 = Instant::now();
+    let span = tracer.span_enter("generalize", parent, variant_field);
     let mut generalized =
         generalize::generalize_trials_in(session, &graphs, PairStrategy::default(), variant, memo)?;
     generalized.discarded += unparseable;
+    tracer.span_exit_with("generalize", span, || {
+        vec![("discarded", provtrace::Field::from(generalized.discarded))]
+    });
     timings.generalization += t0.elapsed();
     Ok(generalized)
+}
+
+/// The run's telemetry sink per [`BenchmarkOptions::trace`]: an enabled
+/// tracer labelled `label` when a trace directory is configured, the
+/// free disabled tracer otherwise.
+fn trace_tracer(opts: &BenchmarkOptions, label: &str) -> provtrace::Tracer {
+    if opts.trace.is_some() {
+        provtrace::Tracer::new(label)
+    } else {
+        provtrace::Tracer::disabled()
+    }
+}
+
+/// Flush `tracer` durably into the configured trace directory. Like the
+/// solve cache, telemetry is an observer, never a correctness
+/// dependency: failures are reported on stderr and ignored.
+fn flush_trace(tracer: &provtrace::Tracer, opts: &BenchmarkOptions) {
+    if let Some(dir) = opts.trace.as_ref() {
+        if let Err(e) = tracer.write_to_dir(dir) {
+            eprintln!("trace {}: {e}; trace not saved", dir.display());
+        }
+    }
 }
 
 /// Run the full four-stage pipeline for one benchmark under one tool.
@@ -195,11 +234,27 @@ pub fn run_benchmark(
     // generalization matching and the comparison all replay each
     // other's dense searches, across both variants. Outcomes are
     // byte-identical with the memo off.
-    let memo = opts.use_solve_memo.then(SolveMemo::new);
+    let tracer = trace_tracer(opts, "run");
+    let memo = opts
+        .use_solve_memo
+        .then(|| SolveMemo::new().with_tracer(tracer.clone()));
     load_solve_cache(memo.as_ref(), opts);
-    let run = run_benchmark_with_memo(tool, spec, opts, memo.as_ref())?;
+    let span = tracer.span_enter("benchmark", None, || {
+        vec![("name", provtrace::Field::from(spec.name.as_str()))]
+    });
+    let run = run_benchmark_traced(tool, spec, opts, memo.as_ref(), &tracer, span);
+    tracer.span_exit_with("benchmark", span, || {
+        vec![(
+            "status",
+            provtrace::Field::from(match &run {
+                Ok(r) => r.status.render(),
+                Err(_) => "error",
+            }),
+        )]
+    });
     save_solve_cache(memo.as_ref(), opts);
-    Ok(run)
+    flush_trace(&tracer, opts);
+    run
 }
 
 /// Warm `memo` from [`BenchmarkOptions::solve_cache`], when both are
@@ -243,6 +298,32 @@ pub fn run_benchmark_with_memo(
     opts: &BenchmarkOptions,
     memo: Option<&SolveMemo>,
 ) -> Result<BenchmarkRun, PipelineError> {
+    // Callers who attached a tracer to their memo get stage spans on
+    // the same sink without widening this long-standing signature;
+    // memo-less callers run untraced at this layer.
+    let tracer = memo
+        .map(|m| m.tracer().clone())
+        .unwrap_or_else(provtrace::Tracer::disabled);
+    run_benchmark_traced(tool, spec, opts, memo, &tracer, None)
+}
+
+/// [`run_benchmark_with_memo`] with an explicit telemetry sink and
+/// parent span: stage spans (`record` / `transform` / `generalize` per
+/// variant, `compare`) are parented under `parent` (a `cell` span in
+/// the matrix runners). Tracing never changes outcomes; with a disabled
+/// tracer every instrumentation site is one branch.
+///
+/// # Errors
+///
+/// Same contract as [`run_benchmark_with_memo`].
+pub fn run_benchmark_traced(
+    tool: &mut ToolInstance,
+    spec: &BenchSpec,
+    opts: &BenchmarkOptions,
+    memo: Option<&SolveMemo>,
+    tracer: &provtrace::Tracer,
+    parent: Option<provtrace::SpanId>,
+) -> Result<BenchmarkRun, PipelineError> {
     if opts.trials < 2 {
         return Err(PipelineError::NotEnoughTrials(opts.trials));
     }
@@ -260,6 +341,8 @@ pub fn run_benchmark_with_memo(
         opts.base_seed,
         &mut timings,
         memo,
+        tracer,
+        parent,
     )?;
     let fg = prepare_variant(
         tool,
@@ -270,15 +353,21 @@ pub fn run_benchmark_with_memo(
         opts.base_seed + 10_000,
         &mut timings,
         memo,
+        tracer,
+        parent,
     )?;
 
     let t0 = Instant::now();
+    let span = tracer.span_enter("compare", parent, Vec::new);
     // The generalized graphs are new (property-stripped) graphs, but
     // their entire vocabulary is already interned from the trials, so
     // adding them compiles without growing the symbol table.
     let bg_id = session.add(&bg.graph);
     let fg_id = session.add(&fg.graph);
     let cmp = compare::compare_in(&session, bg_id, fg_id, &fg.graph, memo)?;
+    tracer.span_exit_with("compare", span, || {
+        vec![("matching_cost", provtrace::Field::from(cmp.matching_cost))]
+    });
     timings.comparison += t0.elapsed();
 
     let status = if diff::effective_size(&cmp.result) == 0 {
@@ -455,18 +544,40 @@ pub fn run_matrix_cells(
     // (the same background trials recur in every row) are lookups. With
     // a cache path the memo is warmed once before the fan-out and the
     // merged contents saved once after — no per-cell file traffic.
-    let memo = opts.use_solve_memo.then(SolveMemo::new);
+    let tracer = trace_tracer(opts, "matrix");
+    let memo = opts
+        .use_solve_memo
+        .then(|| SolveMemo::new().with_tracer(tracer.clone()));
     load_solve_cache(memo.as_ref(), opts);
+    let phase = tracer.span_enter("phase.execute", None, || {
+        vec![("rows", provtrace::Field::from(expectations.len()))]
+    });
     let cells = crate::par::par_map(&expectations, |exp| {
         let spec = crate::suite::spec(exp.syscall).expect("table2 rows have specs");
+        let row = tracer.span_enter("row", phase, || {
+            vec![("syscall", provtrace::Field::from(exp.syscall))]
+        });
         let cells: Vec<MeasuredCell> = ToolKind::all()
             .into_iter()
-            .map(|kind| measure_cell(&spec, kind, opts, opus_db_iterations, memo.as_ref()))
+            .map(|kind| {
+                measure_cell(
+                    &spec,
+                    kind,
+                    opts,
+                    opus_db_iterations,
+                    memo.as_ref(),
+                    &tracer,
+                    row,
+                )
+            })
             .collect();
         let cells: [MeasuredCell; 3] = cells.try_into().expect("three tools");
+        tracer.span_exit("row", row);
         cells
     });
+    tracer.span_exit("phase.execute", phase);
     save_solve_cache(memo.as_ref(), opts);
+    flush_trace(&tracer, opts);
     Ok(expectations.into_iter().zip(cells).collect())
 }
 
@@ -483,6 +594,8 @@ fn measure_cell(
     opts: &BenchmarkOptions,
     opus_db_iterations: Option<u64>,
     memo: Option<&SolveMemo>,
+    tracer: &provtrace::Tracer,
+    parent: Option<provtrace::SpanId>,
 ) -> MeasuredCell {
     use crate::tool::{Tool, ToolKind};
     let tool = match (kind, opus_db_iterations) {
@@ -492,8 +605,14 @@ fn measure_cell(
         }),
         _ => Tool::baseline(kind),
     };
+    let span = tracer.span_enter("cell", parent, || {
+        vec![
+            ("syscall", provtrace::Field::from(spec.name.as_str())),
+            ("tool", provtrace::Field::from(kind.name())),
+        ]
+    });
     let mut inst = tool.instantiate();
-    match run_benchmark_with_memo(&mut inst, spec, opts, memo) {
+    let cell = match run_benchmark_traced(&mut inst, spec, opts, memo, tracer, span) {
         Ok(run) => MeasuredCell {
             run: Some(run),
             error: None,
@@ -502,7 +621,11 @@ fn measure_cell(
             run: None,
             error: Some(e.to_string()),
         },
-    }
+    };
+    tracer.span_exit_with("cell", span, || {
+        vec![("status", provtrace::Field::from(cell.render()))]
+    });
+    cell
 }
 
 /// Execute a single matrix cell — one `(syscall, tool column)` pair —
@@ -547,6 +670,32 @@ pub fn run_matrix_cell_with_memo(
     opus_db_iterations: Option<u64>,
     memo: Option<&SolveMemo>,
 ) -> Result<CellOutcome, PipelineError> {
+    // As in [`run_benchmark_with_memo`]: a tracer attached to the memo
+    // carries the telemetry without widening this signature.
+    let tracer = memo
+        .map(|m| m.tracer().clone())
+        .unwrap_or_else(provtrace::Tracer::disabled);
+    run_matrix_cell_traced(syscall, tool, opts, opus_db_iterations, memo, &tracer, None)
+}
+
+/// [`run_matrix_cell_with_memo`] with an explicit telemetry sink and
+/// parent span: the elastic worker loop parents each claimed cell's
+/// `cell` span (and the stage spans beneath it) under its own claim
+/// context. Outcomes are byte-identical traced or not.
+///
+/// # Errors
+///
+/// Same contract as [`run_matrix_cell`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_matrix_cell_traced(
+    syscall: &str,
+    tool: usize,
+    opts: &BenchmarkOptions,
+    opus_db_iterations: Option<u64>,
+    memo: Option<&SolveMemo>,
+    tracer: &provtrace::Tracer,
+    parent: Option<provtrace::SpanId>,
+) -> Result<CellOutcome, PipelineError> {
     use crate::tool::ToolKind;
     let tools = ToolKind::all();
     let kind = *tools.get(tool).ok_or(PipelineError::UnknownTool {
@@ -566,6 +715,8 @@ pub fn run_matrix_cell_with_memo(
         opts,
         opus_db_iterations,
         memo,
+        tracer,
+        parent,
     )))
 }
 

@@ -4,9 +4,9 @@
 //! provmark-shard plan    --shards N [--shard-index i] --out-dir DIR [--quick] [--trials T] [--seed S]
 //! provmark-shard execute MANIFEST --out PARTIAL
 //! provmark-shard merge   PARTIAL... --out REPORT
-//! provmark-shard single  [--quick] [--trials T] [--seed S] [--solve-cache DIR] --out REPORT
-//! provmark-shard drive   --shards N --out REPORT [--work-dir DIR] [--solve-cache DIR] [fault options] [run options]
-//! provmark-shard work    DIR --worker-index N [--heartbeat-ms H] [--poll-ms P] [--stall-ms S] [--inject SPEC] [--solve-cache DIR]
+//! provmark-shard single  [--quick] [--trials T] [--seed S] [--solve-cache DIR] [--trace DIR] --out REPORT
+//! provmark-shard drive   --shards N --out REPORT [--work-dir DIR] [--solve-cache DIR] [--trace DIR] [fault options] [run options]
+//! provmark-shard work    DIR --worker-index N [--heartbeat-ms H] [--poll-ms P] [--stall-ms S] [--inject SPEC] [--solve-cache DIR] [--trace DIR]
 //! ```
 //!
 //! `plan` writes self-describing shard manifests (one per shard, or just
@@ -27,6 +27,15 @@
 //! runs — across processes, shards and restarts — replay prior dense
 //! searches. Reports are byte-identical with or without it; a missing
 //! cache is a cold start and a corrupt one is skipped with a note.
+//!
+//! `--trace DIR` points `single`, `drive` and `work` at a trace
+//! directory for structured `provtrace` telemetry: every participating
+//! process writes its own versioned `trace.<label>.<pid>.jsonl`
+//! (spans for cells, rows and solves; claim / heartbeat / publish /
+//! re-dispatch events; memo counters), durably flushed so crashes
+//! leave readable partial traces. Inspect with `provmark-trace`.
+//! Tracing is observably outcome-neutral: reports are byte-identical
+//! with it on or off.
 //!
 //! `--inject` deterministically injects faults for tests and CI:
 //! `kill-worker=N`, `torn-partial[=N]`, `stall=N`,
@@ -68,7 +77,9 @@ fn usage() -> ExitCode {
          \x20            --trials T (default 2), --seed S (default 1),\n\
          \x20            --no-memo (disable the session-level solve memo),\n\
          \x20            --solve-cache DIR (persistent solve cache shared across\n\
-         \x20            runs and workers; single, drive and work only)\n\
+         \x20            runs and workers; single, drive and work only),\n\
+         \x20            --trace DIR (write provtrace telemetry files into DIR;\n\
+         \x20            single, drive and work only)\n\
          fault options: --stale-after-ms MS (default 5000; 300 with --quick),\n\
          \x20            --max-retries R (default 2),\n\
          \x20            --backoff-ms MS (default 100; 50 with --quick),\n\
@@ -86,6 +97,7 @@ struct Args {
     out_dir: Option<PathBuf>,
     work_dir: Option<PathBuf>,
     solve_cache: Option<PathBuf>,
+    trace: Option<PathBuf>,
     quick: bool,
     no_memo: bool,
     trials: Option<usize>,
@@ -134,6 +146,7 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
             "--solve-cache" => {
                 args.solve_cache = Some(PathBuf::from(value("--solve-cache", &mut it)?))
             }
+            "--trace" => args.trace = Some(PathBuf::from(value("--trace", &mut it)?)),
             "--quick" => args.quick = true,
             "--no-memo" => args.no_memo = true,
             "--trials" => {
@@ -248,6 +261,7 @@ impl Args {
         }
         opts.inject = self.inject.clone();
         opts.solve_cache = self.solve_cache.clone();
+        opts.trace = self.trace.clone();
         opts
     }
 }
@@ -326,6 +340,7 @@ fn run(command: &str, args: &Args) -> Result<(), PipelineError> {
                 std::fs::create_dir_all(dir)?;
                 config.opts.solve_cache = Some(dir.join(SOLVE_CACHE_FILE));
             }
+            config.opts.trace = args.trace.clone();
             let report = single_report(&config);
             atomic_write(&out, &report)?;
             println!("single-process matrix -> {}", out.display());
@@ -373,6 +388,15 @@ fn run(command: &str, args: &Args) -> Result<(), PipelineError> {
                 outcome.memo.misses,
                 outcome.memo.evictions
             );
+            // Summed over *accepted* cells only; superseded publishes are
+            // reported separately so wasted zombie work stays visible
+            // instead of being silently dropped.
+            if outcome.stale_publishes > 0 {
+                println!(
+                    "rejected {} stale-epoch publish(es) (zombie work: {} hit(s), {} miss(es))",
+                    outcome.stale_publishes, outcome.zombie_memo.hits, outcome.zombie_memo.misses
+                );
+            }
             if let Some(merge) = &outcome.cache_merge {
                 println!(
                     "solve cache: {} entr{} after folding in {} worker delta file(s)",
@@ -412,6 +436,7 @@ fn run(command: &str, args: &Args) -> Result<(), PipelineError> {
                     .map_or(defaults.stale_after * 4, Duration::from_millis),
                 inject: args.inject.clone(),
                 solve_cache: args.solve_cache.clone(),
+                trace: args.trace.clone(),
             };
             match worker_loop(&store, &ctx)? {
                 WorkerEnd::Stopped => Ok(()),

@@ -38,7 +38,7 @@
 //!   treats as a failed attempt.
 //!
 //! Because each cell reuses the exact single-process measurement path
-//! ([`run_matrix_cell_with_memo`]), the merged report is
+//! ([`run_matrix_cell_traced`]), the merged report is
 //! **byte-identical** to the single-process run whenever every cell
 //! eventually completes — even if workers were lost and cells
 //! re-dispatched mid-flight.
@@ -66,14 +66,14 @@
 //! publishes under a superseded epoch), `kill-cell=SYSCALL/TOOL` (any
 //! worker claiming that cell crashes — drives retry exhaustion).
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::io::ErrorKind;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
 use provmark_core::pipeline::{
-    merge_matrix_cells, run_matrix_cell_with_memo, CellFailure, CellOutcome,
+    merge_matrix_cells, run_matrix_cell_traced, CellFailure, CellOutcome,
 };
 use provmark_core::report::render_matrix_report;
 use provmark_core::{PipelineError, WorkerFailure};
@@ -725,6 +725,18 @@ pub struct ElasticOptions {
     /// `DIR/solve.cache`, so the next drive (or any other process)
     /// starts warm. Reports are byte-identical with or without it.
     pub solve_cache: Option<PathBuf>,
+    /// Trace **directory** for structured run telemetry (`provtrace`).
+    /// When set, the supervisor writes `trace.drive.<pid>.jsonl` (plan /
+    /// execute / merge phases, worker spawns and exits, stale
+    /// detections, re-dispatches, harvest accept/reject events) and
+    /// every worker writes `trace.worker-<index>.<pid>.jsonl` (claims,
+    /// heartbeats, per-cell solve spans, publishes), flushed durably
+    /// after every publish so a killed worker still leaves a readable
+    /// partial trace. Fold them with `provtrace::TraceMerge` or the
+    /// `provmark-trace` binary. Tracing is observably outcome-neutral:
+    /// reports are byte-identical with it on or off, and when unset
+    /// every instrumentation site is a no-op branch.
+    pub trace: Option<PathBuf>,
 }
 
 impl Default for ElasticOptions {
@@ -739,6 +751,7 @@ impl Default for ElasticOptions {
             max_respawns: 8,
             inject: InjectSpec::default(),
             solve_cache: None,
+            trace: None,
         }
     }
 }
@@ -784,6 +797,9 @@ pub struct WorkerContext {
     /// [`ElasticOptions::solve_cache`]); the worker reads
     /// `solve.cache` and writes only its own `delta.worker-*` file.
     pub solve_cache: Option<PathBuf>,
+    /// Trace directory (see [`ElasticOptions::trace`]); the worker
+    /// writes only its own `trace.worker-<index>.<pid>.jsonl` file.
+    pub trace: Option<PathBuf>,
 }
 
 /// How a worker loop ended.
@@ -808,12 +824,21 @@ pub enum WorkerEnd {
 /// [`PipelineError`] on I/O failures or malformed task files — the
 /// worker dies, its claim goes stale, and the supervisor re-dispatches.
 pub fn worker_loop(store: &TaskStore, ctx: &WorkerContext) -> Result<WorkerEnd, PipelineError> {
+    let tracer = make_tracer(&ctx.trace, &format!("worker-{}", ctx.index));
+    tracer.event("worker.start", None, || {
+        vec![
+            ("worker", provtrace::Field::from(ctx.index)),
+            ("pid", provtrace::Field::from(std::process::id())),
+        ]
+    });
     // One memo for the worker's whole lifetime: entries earned on one
     // cell answer replays on every later cell (content-hash keys are
     // session- and process-independent). Warmed lazily from the shared
     // cache file on the first memo-enabled claim; a missing file is a
-    // cold start, a corrupt one is reported and ignored.
-    let memo = aspsolver::SolveMemo::new();
+    // cold start, a corrupt one is reported and ignored. The tracer
+    // rides on the memo so solver-level spans and memo counters land in
+    // this worker's trace file.
+    let memo = aspsolver::SolveMemo::new().with_tracer(tracer.clone());
     let mut warmed = false;
     let delta_path = ctx.solve_cache.as_ref().map(|dir| {
         dir.join(format!(
@@ -823,24 +848,44 @@ pub fn worker_loop(store: &TaskStore, ctx: &WorkerContext) -> Result<WorkerEnd, 
         ))
     });
     let mut first_claim = true;
+    // A crash injection exits mid-claim: record the worker's last words
+    // and flush so the partial trace (claim span never closed) is on
+    // disk before the process wrapper aborts.
+    let crash = |reason: &'static str, parent: Option<provtrace::SpanId>| {
+        tracer.event("worker.exit", parent, || {
+            vec![("status", provtrace::Field::from(reason))]
+        });
+        flush_tracer(&tracer, &ctx.trace);
+        Ok(WorkerEnd::Crashed(reason))
+    };
     loop {
         if store.stop_requested() {
+            tracer.event("worker.exit", None, || {
+                vec![("status", provtrace::Field::from("stopped"))]
+            });
+            flush_tracer(&tracer, &ctx.trace);
             return Ok(WorkerEnd::Stopped);
         }
         let Some(task) = store.claim_next(ctx.index)? else {
             std::thread::sleep(ctx.poll_interval);
             continue;
         };
+        let claim_span = tracer.span_enter("claim", None, || {
+            vec![
+                ("cell", provtrace::Field::from(task.id())),
+                ("epoch", provtrace::Field::from(task.epoch)),
+            ]
+        });
         let injected_first = first_claim;
         first_claim = false;
         if injected_first && ctx.inject.kill_worker == Some(ctx.index) {
             // Die with a fresh claim + heartbeat on the books: the
             // supervisor must notice the heartbeat going stale.
-            return Ok(WorkerEnd::Crashed("injected kill-worker"));
+            return crash("injected kill-worker", claim_span);
         }
         if let Some((syscall, tool)) = &ctx.inject.kill_cell {
             if task.syscall == *syscall && task.tool == *tool {
-                return Ok(WorkerEnd::Crashed("injected kill-cell"));
+                return crash("injected kill-cell", claim_span);
             }
         }
         let stalling = injected_first && ctx.inject.stall_worker == Some(ctx.index);
@@ -874,16 +919,24 @@ pub fn worker_loop(store: &TaskStore, ctx: &WorkerContext) -> Result<WorkerEnd, 
                 scope.spawn(|| {
                     while !heartbeat_done.load(Ordering::Relaxed) {
                         store.write_heartbeat(&task, ctx.index).ok();
+                        tracer.event("heartbeat", claim_span, || {
+                            vec![
+                                ("cell", provtrace::Field::from(task.id())),
+                                ("epoch", provtrace::Field::from(task.epoch)),
+                            ]
+                        });
                         std::thread::sleep(ctx.heartbeat_interval);
                     }
                 });
             }
-            let cell = run_matrix_cell_with_memo(
+            let cell = run_matrix_cell_traced(
                 &task.syscall,
                 task.tool,
                 &task.config.opts,
                 task.config.opus_db_iterations,
                 memo_ref,
+                &tracer,
+                claim_span,
             );
             heartbeat_done.store(true, Ordering::Relaxed);
             cell
@@ -898,22 +951,55 @@ pub fn worker_loop(store: &TaskStore, ctx: &WorkerContext) -> Result<WorkerEnd, 
         };
         if injected_first && ctx.inject.torn_partial == Some(ctx.index) {
             store.publish_torn(&result)?;
-            return Ok(WorkerEnd::Crashed("injected torn-partial"));
+            return crash("injected torn-partial", claim_span);
         }
         store.publish(&result)?;
+        tracer.event("publish", claim_span, || {
+            vec![
+                ("cell", provtrace::Field::from(task.id())),
+                ("epoch", provtrace::Field::from(task.epoch)),
+            ]
+        });
         // Persist everything this worker has solved so far (cumulative,
         // so a crash loses at most the last cell's entries). Private
         // per-worker file — no contention with other writers; best
         // effort — the cache is an accelerator, not a correctness
         // dependency.
         if let (Some(path), true) = (&delta_path, task.config.opts.use_solve_memo) {
-            if let Err(e) = aspsolver::write_bytes_durable(path, &aspsolver::delta_bytes(&memo)) {
+            let bytes = aspsolver::delta_bytes(&memo);
+            tracer.event("cache.delta", claim_span, || {
+                vec![("bytes", provtrace::Field::from(bytes.len()))]
+            });
+            if let Err(e) = aspsolver::write_bytes_durable(path, &bytes) {
                 eprintln!(
                     "worker {}: could not persist solve-cache delta {}: {e}",
                     ctx.index,
                     path.display()
                 );
             }
+        }
+        tracer.span_exit("claim", claim_span);
+        // Cumulative durable flush after every publish: a worker killed
+        // later still leaves a readable trace of everything up to here.
+        flush_tracer(&tracer, &ctx.trace);
+    }
+}
+
+/// Create a tracer labelled `label` when a trace directory is
+/// configured, the inert disabled tracer otherwise.
+fn make_tracer(dir: &Option<PathBuf>, label: &str) -> provtrace::Tracer {
+    match dir {
+        Some(_) => provtrace::Tracer::new(label),
+        None => provtrace::Tracer::disabled(),
+    }
+}
+
+/// Durably flush `tracer` into `dir`. Best effort: telemetry must
+/// never fail a run, so errors are reported and swallowed.
+fn flush_tracer(tracer: &provtrace::Tracer, dir: &Option<PathBuf>) {
+    if let Some(dir) = dir {
+        if let Err(e) = tracer.write_to_dir(dir) {
+            eprintln!("trace flush to {} failed (ignored): {e}", dir.display());
         }
     }
 }
@@ -964,6 +1050,7 @@ struct ProcessPool {
     stall: Duration,
     inject: InjectSpec,
     solve_cache: Option<PathBuf>,
+    trace: Option<PathBuf>,
     children: Vec<(usize, std::process::Child, PathBuf)>,
 }
 
@@ -1001,6 +1088,9 @@ impl Pool for ProcessPool {
         }
         if let Some(dir) = &self.solve_cache {
             command.arg("--solve-cache").arg(dir);
+        }
+        if let Some(dir) = &self.trace {
+            command.arg("--trace").arg(dir);
         }
         let child = command.spawn()?;
         self.children.push((index, child, stderr_path));
@@ -1076,6 +1166,7 @@ struct ThreadPool {
     stall: Duration,
     inject: InjectSpec,
     solve_cache: Option<PathBuf>,
+    trace: Option<PathBuf>,
     threads: Vec<(
         usize,
         std::thread::JoinHandle<Result<WorkerEnd, PipelineError>>,
@@ -1112,6 +1203,7 @@ impl Pool for ThreadPool {
             stall: self.stall,
             inject: self.inject.clone(),
             solve_cache: self.solve_cache.clone(),
+            trace: self.trace.clone(),
         };
         let handle = std::thread::spawn(move || worker_loop(&store, &ctx));
         self.threads.push((index, handle));
@@ -1162,6 +1254,16 @@ pub struct ElasticOutcome {
     pub requeues: usize,
     /// Solve-memo traffic summed over every accepted cell result.
     pub memo: MemoCounters,
+    /// Publishes the supervisor rejected because their claim epoch was
+    /// superseded (a zombie worker finishing a re-dispatched cell).
+    /// Each distinct `(cell, epoch)` done artifact is counted once —
+    /// this is the cluster's wasted completed work, previously dropped
+    /// silently.
+    pub stale_publishes: usize,
+    /// Solve-memo traffic carried by those rejected publishes — kept
+    /// separate from [`memo`](Self::memo) so the accepted-cell totals
+    /// stay meaningful while the zombie work remains visible.
+    pub zombie_memo: MemoCounters,
     /// Outcome of the post-run solve-cache merge (`None` when no
     /// [`ElasticOptions::solve_cache`] directory was configured).
     pub cache_merge: Option<SolveCacheMerge>,
@@ -1251,6 +1353,7 @@ fn supervise(
     tasks: Vec<CellTask>,
     config: &RunConfig,
     opts: &ElasticOptions,
+    tracer: &provtrace::Tracer,
 ) -> Result<ElasticOutcome, PipelineError> {
     let mut slots: BTreeMap<String, Slot> = tasks
         .into_iter()
@@ -1264,15 +1367,31 @@ fn supervise(
             )
         })
         .collect();
+    let exec_span = tracer.span_enter("phase.execute", None, || {
+        vec![
+            ("cells", provtrace::Field::from(slots.len())),
+            ("workers", provtrace::Field::from(worker_count)),
+        ]
+    });
     let mut pending: BTreeMap<String, Instant> = BTreeMap::new();
     let mut exits: Vec<WorkerExit> = Vec::new();
     let mut workers_spawned = 0;
     let mut respawns = 0;
     let mut requeues = 0;
     let mut memo_totals = MemoCounters::default();
+    let mut stale_publishes = 0usize;
+    let mut zombie_memo = MemoCounters::default();
+    // Every `(cell, epoch)` done artifact already handled. `done_entries`
+    // re-lists the whole directory each poll, so without this set an
+    // already-accepted (or already-rejected) publish would be re-counted
+    // on every later iteration.
+    let mut harvested: BTreeSet<(String, u32)> = BTreeSet::new();
     for index in 0..worker_count {
         pool.spawn(index)?;
         workers_spawned += 1;
+        tracer.event("worker.spawn", exec_span, || {
+            vec![("worker", provtrace::Field::from(index))]
+        });
     }
 
     // Bump a cell's epoch for re-dispatch, or fail it for good once the
@@ -1300,18 +1419,45 @@ fn supervise(
     };
 
     loop {
-        exits.extend(pool.reap());
+        let reaped = pool.reap();
+        for exit in &reaped {
+            tracer.event("worker.reap", exec_span, || {
+                vec![
+                    ("worker", provtrace::Field::from(exit.worker)),
+                    ("success", provtrace::Field::from(exit.success)),
+                    ("status", provtrace::Field::from(exit.status.clone())),
+                ]
+            });
+        }
+        exits.extend(reaped);
 
         // Harvest published results. Only the current epoch counts:
         // superseded publishes (a stalled worker finishing a claim the
-        // supervisor already re-dispatched) are rejected here.
+        // supervisor already re-dispatched) are rejected — and counted,
+        // because a rejected publish is completed work the cluster
+        // wasted, which a silent drop would hide from the operator.
         let mut completed: Vec<(String, CellOutcome)> = Vec::new();
         let mut failed: Vec<(String, String)> = Vec::new();
         for (id, epoch) in store.done_entries()? {
             let Some(slot) = slots.get(&id) else { continue };
-            if !matches!(slot.state, SlotState::Open) || epoch != slot.task.epoch {
+            if harvested.contains(&(id.clone(), epoch)) {
                 continue;
             }
+            if !matches!(slot.state, SlotState::Open) || epoch != slot.task.epoch {
+                harvested.insert((id.clone(), epoch));
+                stale_publishes += 1;
+                if let Ok(result) = store.load_result(&id, epoch) {
+                    zombie_memo.merge(&result.memo);
+                }
+                tracer.event("harvest.reject_stale", exec_span, || {
+                    vec![
+                        ("cell", provtrace::Field::from(id.clone())),
+                        ("epoch", provtrace::Field::from(epoch)),
+                    ]
+                });
+                continue;
+            }
+            harvested.insert((id.clone(), epoch));
             match store.load_result(&id, epoch) {
                 Ok(result)
                     if result.syscall == slot.task.syscall
@@ -1319,6 +1465,12 @@ fn supervise(
                         && result.config == *config =>
                 {
                     memo_totals.merge(&result.memo);
+                    tracer.event("harvest.accept", exec_span, || {
+                        vec![
+                            ("cell", provtrace::Field::from(id.clone())),
+                            ("epoch", provtrace::Field::from(epoch)),
+                        ]
+                    });
                     completed.push((id, result.cell));
                 }
                 Ok(_) => failed.push((
@@ -1377,6 +1529,12 @@ fn supervise(
             }
         }
         for (id, detail) in stale {
+            tracer.event("stale.detect", exec_span, || {
+                vec![
+                    ("cell", provtrace::Field::from(id.clone())),
+                    ("detail", provtrace::Field::from(detail.clone())),
+                ]
+            });
             fail_attempt(
                 &mut slots,
                 &mut pending,
@@ -1397,6 +1555,12 @@ fn supervise(
             .collect();
         for id in due {
             pending.remove(&id);
+            tracer.event("redispatch", exec_span, || {
+                vec![
+                    ("cell", provtrace::Field::from(id.clone())),
+                    ("epoch", provtrace::Field::from(slots[&id].task.epoch)),
+                ]
+            });
             store.requeue(&slots[&id].task)?;
         }
 
@@ -1424,6 +1588,12 @@ fn supervise(
             }
             respawns += 1;
             pool.spawn(workers_spawned)?;
+            tracer.event("worker.spawn", exec_span, || {
+                vec![
+                    ("worker", provtrace::Field::from(workers_spawned)),
+                    ("respawn", provtrace::Field::from(true)),
+                ]
+            });
             workers_spawned += 1;
         }
 
@@ -1431,8 +1601,48 @@ fn supervise(
     }
 
     store.request_stop()?;
-    exits.extend(pool.shutdown());
+    let drained = pool.shutdown();
+    for exit in &drained {
+        tracer.event("worker.reap", exec_span, || {
+            vec![
+                ("worker", provtrace::Field::from(exit.worker)),
+                ("success", provtrace::Field::from(exit.success)),
+                ("status", provtrace::Field::from(exit.status.clone())),
+            ]
+        });
+    }
+    exits.extend(drained);
 
+    // Zombies can publish between the last poll and their shutdown — a
+    // stall-injected worker sleeps past the whole run and lands its
+    // superseded claim only once the stop sentinel is already up. Sweep
+    // the done directory one final time so those rejected publishes are
+    // counted too: every slot is resolved here, so anything not yet
+    // harvested is by definition a superseded publish.
+    for (id, epoch) in store.done_entries()? {
+        if !slots.contains_key(&id) || harvested.contains(&(id.clone(), epoch)) {
+            continue;
+        }
+        harvested.insert((id.clone(), epoch));
+        stale_publishes += 1;
+        if let Ok(result) = store.load_result(&id, epoch) {
+            zombie_memo.merge(&result.memo);
+        }
+        tracer.event("harvest.reject_stale", exec_span, || {
+            vec![
+                ("cell", provtrace::Field::from(id.clone())),
+                ("epoch", provtrace::Field::from(epoch)),
+            ]
+        });
+    }
+    tracer.span_exit_with("phase.execute", exec_span, || {
+        vec![
+            ("requeues", provtrace::Field::from(requeues)),
+            ("stale_publishes", provtrace::Field::from(stale_publishes)),
+        ]
+    });
+
+    let merge_span = tracer.span_enter("phase.merge", None, Vec::new);
     let mut cells: Vec<(String, usize, CellOutcome)> = Vec::new();
     let mut failures: Vec<CellFailure> = Vec::new();
     for (_, slot) in slots {
@@ -1450,6 +1660,9 @@ fn supervise(
         }
     }
     let merged = merge_matrix_cells(cells)?;
+    tracer.span_exit_with("phase.merge", merge_span, || {
+        vec![("failures", provtrace::Field::from(failures.len()))]
+    });
     Ok(ElasticOutcome {
         report: render_matrix_report(&merged),
         failures,
@@ -1457,6 +1670,8 @@ fn supervise(
         workers_spawned,
         requeues,
         memo: memo_totals,
+        stale_publishes,
+        zombie_memo,
         cache_merge: None,
     })
 }
@@ -1494,8 +1709,13 @@ pub fn drive_elastic(
     opts: &ElasticOptions,
 ) -> Result<ElasticOutcome, PipelineError> {
     std::fs::create_dir_all(work_dir)?;
+    let tracer = make_tracer(&opts.trace, "drive");
+    let plan_span = tracer.span_enter("phase.plan", None, Vec::new);
     let tasks = plan_cells(config);
     let store = TaskStore::init(work_dir, &tasks)?;
+    tracer.span_exit_with("phase.plan", plan_span, || {
+        vec![("cells", provtrace::Field::from(tasks.len()))]
+    });
     let exe = match &opts.worker_exe {
         Some(exe) => exe.clone(),
         None => std::env::current_exe()?,
@@ -1508,10 +1728,20 @@ pub fn drive_elastic(
         stall: stall_duration(opts),
         inject: opts.inject.clone(),
         solve_cache: prepare_solve_cache_dir(opts)?,
+        trace: prepare_trace_dir(opts)?,
         children: Vec::new(),
     };
-    let mut outcome = supervise(&store, &mut pool, worker_count, tasks, config, opts)?;
-    merge_after_drive(opts, &mut outcome)?;
+    let mut outcome = supervise(
+        &store,
+        &mut pool,
+        worker_count,
+        tasks,
+        config,
+        opts,
+        &tracer,
+    )?;
+    merge_after_drive(opts, &mut outcome, &tracer)?;
+    flush_tracer(&tracer, &opts.trace);
     Ok(outcome)
 }
 
@@ -1529,8 +1759,13 @@ pub fn drive_elastic_in_process(
     opts: &ElasticOptions,
 ) -> Result<ElasticOutcome, PipelineError> {
     std::fs::create_dir_all(work_dir)?;
+    let tracer = make_tracer(&opts.trace, "drive");
+    let plan_span = tracer.span_enter("phase.plan", None, Vec::new);
     let tasks = plan_cells(config);
     let store = TaskStore::init(work_dir, &tasks)?;
+    tracer.span_exit_with("phase.plan", plan_span, || {
+        vec![("cells", provtrace::Field::from(tasks.len()))]
+    });
     let mut pool = ThreadPool {
         store: store.clone(),
         heartbeat: effective_heartbeat(opts),
@@ -1538,10 +1773,20 @@ pub fn drive_elastic_in_process(
         stall: stall_duration(opts),
         inject: opts.inject.clone(),
         solve_cache: prepare_solve_cache_dir(opts)?,
+        trace: prepare_trace_dir(opts)?,
         threads: Vec::new(),
     };
-    let mut outcome = supervise(&store, &mut pool, worker_count, tasks, config, opts)?;
-    merge_after_drive(opts, &mut outcome)?;
+    let mut outcome = supervise(
+        &store,
+        &mut pool,
+        worker_count,
+        tasks,
+        config,
+        opts,
+        &tracer,
+    )?;
+    merge_after_drive(opts, &mut outcome, &tracer)?;
+    flush_tracer(&tracer, &opts.trace);
     Ok(outcome)
 }
 
@@ -1554,14 +1799,32 @@ fn prepare_solve_cache_dir(opts: &ElasticOptions) -> Result<Option<PathBuf>, Pip
     Ok(opts.solve_cache.clone())
 }
 
+/// Ensure the configured trace directory exists before workers try to
+/// flush into it.
+fn prepare_trace_dir(opts: &ElasticOptions) -> Result<Option<PathBuf>, PipelineError> {
+    if let Some(dir) = &opts.trace {
+        std::fs::create_dir_all(dir)?;
+    }
+    Ok(opts.trace.clone())
+}
+
 /// Fold the per-worker delta files into the shared cache once the run
 /// is over, recording what happened on the outcome.
 fn merge_after_drive(
     opts: &ElasticOptions,
     outcome: &mut ElasticOutcome,
+    tracer: &provtrace::Tracer,
 ) -> Result<(), PipelineError> {
     if let Some(dir) = &opts.solve_cache {
-        outcome.cache_merge = Some(merge_solve_cache_dir(dir)?);
+        let merge = merge_solve_cache_dir(dir)?;
+        tracer.event("cache.merge", None, || {
+            vec![
+                ("entries", provtrace::Field::from(merge.entries)),
+                ("delta_files", provtrace::Field::from(merge.delta_files)),
+                ("skipped", provtrace::Field::from(merge.skipped.len())),
+            ]
+        });
+        outcome.cache_merge = Some(merge);
     }
     Ok(())
 }

@@ -233,6 +233,9 @@ pub(crate) fn extract_config(doc: &Value) -> Result<RunConfig, PipelineError> {
         // configuration — wired per invocation via `--solve-cache` — and
         // never part of a run's recorded identity.
         solve_cache: None,
+        // Same rationale: tracing is observably outcome-neutral, wired
+        // per invocation via `--trace`, never part of a run's identity.
+        trace: None,
     };
     let opus_db_iterations = match &doc["opus_db_iterations"] {
         Value::Null => None,

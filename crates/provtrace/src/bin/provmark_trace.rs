@@ -1,0 +1,285 @@
+//! `provmark-trace` — render aggregate tables from merged trace
+//! directories recorded with `--trace DIR` (see `provmark-shard`) or
+//! `BenchmarkOptions::trace`.
+//!
+//! ```text
+//! provmark-trace summary DIR          # workers, event counts, counters, wall span
+//! provmark-trace timeline DIR [--limit N]
+//! provmark-trace slowest-cells DIR [--top N]
+//! provmark-trace memo-report DIR
+//! ```
+//!
+//! Exit codes: `0` success, `1` unreadable/corrupt trace, `2` usage.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use provtrace::TraceMerge;
+
+const USAGE: &str = "\
+provmark-trace — inspect merged provtrace run telemetry
+
+USAGE:
+    provmark-trace summary DIR
+        Workers, per-kind event counts, counter totals and the wall-clock
+        extent of the merged timeline.
+
+    provmark-trace timeline DIR [--limit N]
+        The globally-ordered event timeline (default limit 200 lines;
+        --limit 0 prints everything).
+
+    provmark-trace slowest-cells DIR [--top N]
+        Closed `cell` spans ranked by duration (default top 20).
+
+    provmark-trace memo-report DIR
+        Solve-memo counters (hits, disk hits, misses, evictions) per
+        worker and overall, with hit rates.
+
+DIR is a trace directory holding one `trace.<label>.<pid>.jsonl` file
+per worker, e.g. the directory passed to `provmark-shard ... --trace`.";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(Error::Usage(msg)) => {
+            eprintln!("{msg}\n\n{USAGE}");
+            ExitCode::from(2)
+        }
+        Err(Error::Trace(msg)) => {
+            eprintln!("provmark-trace: {msg}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+enum Error {
+    Usage(String),
+    Trace(String),
+}
+
+fn run(args: &[String]) -> Result<(), Error> {
+    let Some(command) = args.first() else {
+        return Err(Error::Usage("missing subcommand".to_string()));
+    };
+    let Some(dir) = args.get(1) else {
+        return Err(Error::Usage(format!("{command}: missing trace DIR")));
+    };
+    let dir = PathBuf::from(dir);
+    let rest = &args[2..];
+    match command.as_str() {
+        "summary" => {
+            expect_no_flags(command, rest)?;
+            summary(&dir)
+        }
+        "timeline" => {
+            let limit = flag_value(rest, "--limit")?.unwrap_or(200);
+            timeline(&dir, limit)
+        }
+        "slowest-cells" => {
+            let top = flag_value(rest, "--top")?.unwrap_or(20);
+            slowest_cells(&dir, top)
+        }
+        "memo-report" => {
+            expect_no_flags(command, rest)?;
+            memo_report(&dir)
+        }
+        other => Err(Error::Usage(format!("unknown subcommand `{other}`"))),
+    }
+}
+
+fn expect_no_flags(command: &str, rest: &[String]) -> Result<(), Error> {
+    if let Some(extra) = rest.first() {
+        return Err(Error::Usage(format!(
+            "{command}: unexpected argument `{extra}`"
+        )));
+    }
+    Ok(())
+}
+
+fn flag_value(rest: &[String], flag: &str) -> Result<Option<usize>, Error> {
+    let mut it = rest.iter();
+    let mut found = None;
+    while let Some(arg) = it.next() {
+        if arg == flag {
+            let value = it
+                .next()
+                .ok_or_else(|| Error::Usage(format!("{flag} needs a value")))?;
+            found = Some(value.parse::<usize>().map_err(|_| {
+                Error::Usage(format!("{flag} needs an unsigned integer, got `{value}`"))
+            })?);
+        } else {
+            return Err(Error::Usage(format!("unexpected argument `{arg}`")));
+        }
+    }
+    Ok(found)
+}
+
+fn load(dir: &Path) -> Result<TraceMerge, Error> {
+    let merge =
+        TraceMerge::from_dir(dir).map_err(|e| Error::Trace(format!("{}: {e}", dir.display())))?;
+    if merge.workers.is_empty() {
+        return Err(Error::Trace(format!(
+            "{}: no trace.*.jsonl files found",
+            dir.display()
+        )));
+    }
+    Ok(merge)
+}
+
+fn fmt_ms(ns: u128) -> String {
+    format!("{:.3}ms", ns as f64 / 1e6)
+}
+
+fn summary(dir: &Path) -> Result<(), Error> {
+    let merge = load(dir)?;
+    println!("trace directory: {}", dir.display());
+    println!(
+        "workers: {}   events: {}",
+        merge.workers.len(),
+        merge.timeline.len()
+    );
+    if let Some((first, last)) = merge.extent_unix_ns() {
+        println!("wall span: {}", fmt_ms(last.saturating_sub(first)));
+    }
+    println!("\nper-worker:");
+    for w in &merge.workers {
+        let open = w.spans().iter().filter(|s| s.end_ts_ns.is_none()).count();
+        println!(
+            "  {:<14} pid {:<8} {:>6} event(s){}",
+            w.label,
+            w.pid,
+            w.events.len(),
+            if open > 0 {
+                format!("  ({open} span(s) never closed — worker died mid-span)")
+            } else {
+                String::new()
+            }
+        );
+    }
+    println!("\nevents by kind:name:");
+    for (name, count) in merge.event_counts() {
+        println!("  {name:<36} {count:>7}");
+    }
+    let totals = merge.counter_totals();
+    if !totals.is_empty() {
+        println!("\ncounter totals:");
+        for (name, value) in &totals {
+            println!("  {name:<36} {value:>7}");
+        }
+    }
+    Ok(())
+}
+
+fn timeline(dir: &Path, limit: usize) -> Result<(), Error> {
+    let merge = load(dir)?;
+    let origin = merge.extent_unix_ns().map_or(0, |(first, _)| first);
+    for (shown, e) in merge.timeline.iter().enumerate() {
+        if limit != 0 && shown >= limit {
+            println!(
+                "... {} more event(s); use --limit 0 for everything",
+                merge.timeline.len() - shown
+            );
+            break;
+        }
+        let fields: Vec<String> = e
+            .event
+            .fields
+            .iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect();
+        println!(
+            "{:>12}  {:<14} {:<10} {:<18} {}",
+            fmt_ms(e.unix_ts_ns.saturating_sub(origin)),
+            e.worker,
+            e.event.kind.as_str(),
+            e.event.name,
+            fields.join(" ")
+        );
+    }
+    Ok(())
+}
+
+fn slowest_cells(dir: &Path, top: usize) -> Result<(), Error> {
+    let merge = load(dir)?;
+    let mut cells: Vec<(String, String, u128)> = Vec::new();
+    for w in &merge.workers {
+        for span in w.spans() {
+            if span.name != "cell" {
+                continue;
+            }
+            let Some(duration) = span.duration_ns() else {
+                continue;
+            };
+            let syscall = span
+                .field("syscall")
+                .map_or_else(|| "?".to_string(), |v| v.to_string());
+            let tool = span
+                .field("tool")
+                .map_or_else(|| "?".to_string(), |v| v.to_string());
+            cells.push((format!("{syscall} × {tool}"), w.label.clone(), duration));
+        }
+    }
+    if cells.is_empty() {
+        println!("no closed `cell` spans in {}", dir.display());
+        return Ok(());
+    }
+    cells.sort_by(|a, b| b.2.cmp(&a.2).then_with(|| a.0.cmp(&b.0)));
+    println!(
+        "{} closed cell span(s); slowest {}:",
+        cells.len(),
+        top.min(cells.len())
+    );
+    println!("{:>12}  {:<14} cell", "duration", "worker");
+    for (cell, worker, duration) in cells.iter().take(top) {
+        println!("{:>12}  {:<14} {}", fmt_ms(*duration), worker, cell);
+    }
+    Ok(())
+}
+
+fn memo_report(dir: &Path) -> Result<(), Error> {
+    let merge = load(dir)?;
+    const KEYS: [&str; 4] = [
+        "memo.hits",
+        "memo.disk_hits",
+        "memo.misses",
+        "memo.evictions",
+    ];
+    println!(
+        "{:<14} {:>9} {:>10} {:>9} {:>10} {:>9}",
+        "worker", "hits", "disk_hits", "misses", "evictions", "hit_rate"
+    );
+    let mut any = false;
+    let row = |label: &str, counters: &BTreeMap<String, u64>| {
+        let get = |k: &str| counters.get(k).copied().unwrap_or(0);
+        let hits = get(KEYS[0]);
+        let misses = get(KEYS[2]);
+        let rate = if hits + misses > 0 {
+            format!("{:.1}%", 100.0 * hits as f64 / (hits + misses) as f64)
+        } else {
+            "-".to_string()
+        };
+        println!(
+            "{:<14} {:>9} {:>10} {:>9} {:>10} {:>9}",
+            label,
+            hits,
+            get(KEYS[1]),
+            misses,
+            get(KEYS[3]),
+            rate
+        );
+    };
+    for w in &merge.workers {
+        if KEYS.iter().any(|k| w.counters.contains_key(*k)) {
+            any = true;
+            row(&w.label, &w.counters);
+        }
+    }
+    if !any {
+        println!("(no memo counters recorded in {})", dir.display());
+        return Ok(());
+    }
+    row("TOTAL", &merge.counter_totals());
+    Ok(())
+}

@@ -1,0 +1,189 @@
+//! Trace-file corruption fuzzing, mirroring the solve-cache `persist`
+//! fuzz suite: zero-length files, header-only files, every strict
+//! prefix, every single flipped byte and trailing garbage must all come
+//! back as typed [`TraceError`]s — never a panic, never a silently
+//! misread trace.
+
+use provtrace::{Field, TraceError, TraceFile, Tracer, TRACE_VERSION};
+
+/// A representative trace: spans with parents and exit fields, events,
+/// counters, escaped strings.
+fn sample_trace() -> Vec<u8> {
+    let t = Tracer::new("worker-0");
+    let row = t.span_enter("row", None, || vec![("syscall", Field::from("open"))]);
+    let cell = t.span_enter("cell", row, || {
+        vec![
+            ("syscall", Field::from("open")),
+            ("tool", Field::from("SPADEv2")),
+        ]
+    });
+    t.event("memo.hit", cell, || vec![("disk", Field::from(true))]);
+    t.event("claim", None, || {
+        vec![
+            ("cell", Field::from("open.t1")),
+            ("epoch", Field::from(2u64)),
+        ]
+    });
+    t.counter_add("memo.hits", 41);
+    t.counter_add("memo.misses", 7);
+    t.span_exit_with("cell", cell, || {
+        vec![
+            ("steps", Field::from(123_456u64)),
+            ("optimal", Field::from(true)),
+        ]
+    });
+    t.span_exit("row", row);
+    t.to_bytes().unwrap()
+}
+
+#[test]
+fn sample_trace_parses_clean() {
+    let bytes = sample_trace();
+    let parsed = TraceFile::parse(&bytes).unwrap();
+    assert_eq!(parsed.events.len(), 6);
+    assert_eq!(parsed.counters.get("memo.hits"), Some(&41));
+}
+
+#[test]
+fn zero_length_is_truncated() {
+    assert_eq!(TraceFile::parse(b""), Err(TraceError::Truncated { at: 0 }));
+}
+
+#[test]
+fn header_only_is_truncated() {
+    let bytes = sample_trace();
+    let header_end = bytes.iter().position(|&b| b == b'\n').unwrap() + 1;
+    let header_only = &bytes[..header_end];
+    assert!(matches!(
+        TraceFile::parse(header_only),
+        Err(TraceError::Truncated { .. })
+    ));
+}
+
+#[test]
+fn rejects_every_strict_prefix() {
+    let bytes = sample_trace();
+    for end in 0..bytes.len() {
+        let prefix = &bytes[..end];
+        let err = TraceFile::parse(prefix).expect_err(&format!(
+            "prefix of {end}/{} bytes must not parse",
+            bytes.len()
+        ));
+        // Typed, never a panic; prefixes are overwhelmingly Truncated,
+        // but a cut inside the header line is BadMagic and a cut that
+        // leaves a parseable-but-short structure is Corrupt. All typed.
+        match err {
+            TraceError::Truncated { .. } | TraceError::BadMagic | TraceError::Corrupt { .. } => {}
+            other => panic!("prefix {end}: unexpected error class {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn rejects_every_single_byte_flip() {
+    let bytes = sample_trace();
+    let pristine = TraceFile::parse(&bytes).unwrap();
+    for i in 0..bytes.len() {
+        let mut tampered = bytes.clone();
+        tampered[i] ^= 0x40;
+        // A flip must never panic. It either fails typed, or — when it
+        // lands in a free-text value (a label, a field string, a digit
+        // inside a counter) — parses to a *different* trace than the
+        // pristine one. It must never silently parse back identical.
+        match TraceFile::parse(&tampered) {
+            Err(
+                TraceError::BadMagic
+                | TraceError::UnsupportedVersion { .. }
+                | TraceError::Truncated { .. }
+                | TraceError::Corrupt { .. },
+            ) => {}
+            Err(other) => panic!("flip at {i}: unexpected error class {other:?}"),
+            Ok(parsed) => assert_ne!(
+                parsed, pristine,
+                "flip at byte {i} parsed back identical to the pristine trace"
+            ),
+        }
+    }
+}
+
+#[test]
+fn rejects_trailing_garbage() {
+    let bytes = sample_trace();
+    for garbage in [&b"x"[..], b"{}\n", b"\n", b"{\"magic\":\"PMTRACE_END\"}\n"] {
+        let mut extended = bytes.clone();
+        extended.extend_from_slice(garbage);
+        let err = TraceFile::parse(&extended).expect_err("trailing bytes must not parse");
+        assert!(
+            matches!(
+                err,
+                TraceError::Truncated { .. } | TraceError::Corrupt { .. }
+            ),
+            "unexpected error class for trailing {garbage:?}: {err:?}"
+        );
+    }
+}
+
+#[test]
+fn rejects_garbage_and_foreign_version() {
+    assert_eq!(
+        TraceFile::parse(b"not json at all\n"),
+        Err(TraceError::BadMagic)
+    );
+    assert_eq!(
+        TraceFile::parse(b"{\"magic\":\"SOMETHING\",\"version\":1}\n"),
+        Err(TraceError::BadMagic)
+    );
+    let future = format!(
+        "{{\"magic\":\"PMTRACE\",\"version\":{},\"label\":\"w\",\"pid\":1,\"epoch_unix_ns\":0}}\n",
+        TRACE_VERSION + 1
+    );
+    assert_eq!(
+        TraceFile::parse(future.as_bytes()),
+        Err(TraceError::UnsupportedVersion {
+            found: TRACE_VERSION + 1,
+            supported: TRACE_VERSION,
+        })
+    );
+}
+
+#[test]
+fn rejects_event_count_mismatch_and_seq_gaps() {
+    let bytes = sample_trace();
+    let text = std::str::from_utf8(&bytes).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+
+    // Drop one event line but keep the footer: the declared count no
+    // longer matches.
+    let mut dropped: Vec<&str> = lines.clone();
+    dropped.remove(2);
+    let dropped = dropped.join("\n") + "\n";
+    assert!(matches!(
+        TraceFile::parse(dropped.as_bytes()),
+        Err(TraceError::Corrupt { .. })
+    ));
+
+    // Duplicate an event line (count fixed up by dropping another):
+    // the seq chain breaks.
+    let mut swapped: Vec<&str> = lines.clone();
+    swapped.swap(1, 2);
+    let swapped = swapped.join("\n") + "\n";
+    assert!(matches!(
+        TraceFile::parse(swapped.as_bytes()),
+        Err(TraceError::Corrupt { .. })
+    ));
+}
+
+#[test]
+fn errors_render_actionable_messages() {
+    let msg = TraceError::Truncated { at: 17 }.to_string();
+    assert!(msg.contains("17"), "{msg}");
+    let msg = TraceError::UnsupportedVersion {
+        found: 9,
+        supported: TRACE_VERSION,
+    }
+    .to_string();
+    assert!(
+        msg.contains('9') && msg.contains(&TRACE_VERSION.to_string()),
+        "{msg}"
+    );
+}

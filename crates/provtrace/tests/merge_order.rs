@@ -1,0 +1,118 @@
+//! Property test: [`TraceMerge`] is deterministic and ordering-stable
+//! regardless of the order worker files arrive in. A drive directory is
+//! listed by the filesystem in arbitrary order, and workers flush at
+//! arbitrary times, so the merged timeline must be a pure function of
+//! the file *contents*.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+use provtrace::{EventKind, TraceEvent, TraceFile, TraceMerge, TRACE_VERSION};
+
+/// Build a synthetic, valid worker trace from generated raw material.
+fn worker_file(label_idx: usize, pid: u32, anchor: u64, event_ts: &[u64]) -> TraceFile {
+    let events = event_ts
+        .iter()
+        .enumerate()
+        .map(|(seq, &ts)| TraceEvent {
+            seq: seq as u64,
+            ts_ns: u128::from(ts),
+            kind: match seq % 3 {
+                0 => EventKind::SpanEnter,
+                1 => EventKind::SpanExit,
+                _ => EventKind::Event,
+            },
+            name: format!("e{}", seq % 4),
+            span: (seq % 3 != 2).then_some(seq as u64 / 2 + 1),
+            parent: None,
+            fields: vec![],
+        })
+        .collect();
+    let mut counters = BTreeMap::new();
+    counters.insert("memo.hits".to_string(), anchor % 97);
+    TraceFile {
+        label: format!("worker-{label_idx}"),
+        pid,
+        epoch_unix_ns: u128::from(anchor),
+        version: TRACE_VERSION,
+        events,
+        counters,
+    }
+}
+
+/// Deterministic permutation of `files` driven by generated sort keys.
+fn permute(files: &[TraceFile], keys: &[u64]) -> Vec<TraceFile> {
+    let mut indexed: Vec<(u64, usize)> = files
+        .iter()
+        .enumerate()
+        .map(|(i, _)| (keys.get(i).copied().unwrap_or(0), i))
+        .collect();
+    indexed.sort();
+    indexed.into_iter().map(|(_, i)| files[i].clone()).collect()
+}
+
+proptest! {
+    #[test]
+    fn merge_is_independent_of_arrival_order(
+        workers in proptest::collection::vec(
+            (0u32..10_000, 0u64..1_000, proptest::collection::vec(0u64..2_000, 0..20)),
+            1..6,
+        ),
+        keys_a in proptest::collection::vec(0u64..u64::MAX, 0..6),
+        keys_b in proptest::collection::vec(0u64..u64::MAX, 0..6),
+    ) {
+        let files: Vec<TraceFile> = workers
+            .iter()
+            .enumerate()
+            .map(|(i, (pid, anchor, ts))| worker_file(i, *pid, *anchor, ts))
+            .collect();
+        let merged_a = TraceMerge::from_files(permute(&files, &keys_a));
+        let merged_b = TraceMerge::from_files(permute(&files, &keys_b));
+
+        // Same timeline, same worker ordering, same counter totals —
+        // byte-for-byte, whatever order the files showed up in.
+        prop_assert_eq!(&merged_a.timeline, &merged_b.timeline);
+        prop_assert_eq!(&merged_a.workers, &merged_b.workers);
+        prop_assert_eq!(merged_a.counter_totals(), merged_b.counter_totals());
+
+        // The timeline is totally ordered by the documented key.
+        for pair in merged_a.timeline.windows(2) {
+            let key = |e: &provtrace::MergedEvent| {
+                (e.unix_ts_ns, e.worker.clone(), e.pid, e.event.seq)
+            };
+            prop_assert!(key(&pair[0]) <= key(&pair[1]));
+        }
+
+        // No event lost or invented.
+        let total: usize = files.iter().map(|f| f.events.len()).sum();
+        prop_assert_eq!(merged_a.timeline.len(), total);
+    }
+
+    #[test]
+    fn serialized_roundtrip_then_merge_is_stable(
+        anchors in proptest::collection::vec(0u64..1_000, 1..4),
+        keys in proptest::collection::vec(0u64..u64::MAX, 0..4),
+    ) {
+        // Files that went through actual bytes (serialize via a Tracer,
+        // reparse) merge identically to their in-memory originals.
+        let files: Vec<TraceFile> = anchors
+            .iter()
+            .enumerate()
+            .map(|(i, &anchor)| {
+                let t = provtrace::Tracer::new(&format!("w{i}"));
+                let span = t.span_enter("cell", None, || vec![("idx", provtrace::Field::from(i))]);
+                t.event("claim", span, Vec::new);
+                t.span_exit("cell", span);
+                t.counter_add("memo.hits", anchor);
+                let mut parsed = TraceFile::parse(&t.to_bytes().unwrap()).unwrap();
+                // Pin the wall anchor so ordering is reproducible.
+                parsed.epoch_unix_ns = u128::from(anchor);
+                parsed
+            })
+            .collect();
+        let merged = TraceMerge::from_files(files.clone());
+        let merged_permuted = TraceMerge::from_files(permute(&files, &keys));
+        prop_assert_eq!(&merged.timeline, &merged_permuted.timeline);
+        prop_assert_eq!(merged.timeline.len(), files.iter().map(|f| f.events.len()).sum::<usize>());
+    }
+}
