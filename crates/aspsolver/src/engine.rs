@@ -553,6 +553,7 @@ impl<'s> BatchSolver<'s> {
             }
         }
         out.into_iter()
+            // provlint: allow(panic-in-lib) -- the group partition covers every index by construction
             .map(|o| o.expect("every right belongs to exactly one group"))
             .collect()
     }
@@ -800,11 +801,22 @@ impl SolveMemo {
         self.evictions.load(Ordering::Relaxed)
     }
 
+    /// Lock a memo shard, recovering from poisoning: every mutation
+    /// under the lock is a plain map update, so a panicking peer leaves
+    /// the shard consistent and the cache must stay usable.
+    fn lock_shard(
+        shard: &Mutex<FxHashMap<MemoKey, MemoEntry>>,
+    ) -> std::sync::MutexGuard<'_, FxHashMap<MemoKey, MemoEntry>> {
+        shard
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     /// Entries currently held across all shards.
     pub fn len(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.lock().expect("memo shard lock").len())
+            .map(|s| SolveMemo::lock_shard(s).len())
             .sum()
     }
 
@@ -823,7 +835,7 @@ impl SolveMemo {
         outcome: Arc<DenseOutcome>,
         from_disk: bool,
     ) -> Arc<DenseOutcome> {
-        let mut shard = self.shard(&key).lock().expect("memo shard lock");
+        let mut shard = SolveMemo::lock_shard(self.shard(&key));
         if shard.len() >= self.shard_cap && !shard.contains_key(&key) {
             // Batch-evict the oldest quarter: `last_used` ticks are
             // globally unique, so the rank-select threshold drops
@@ -855,7 +867,7 @@ impl SolveMemo {
     pub(crate) fn entries_snapshot(&self, only_fresh: bool) -> Vec<(MemoKey, Arc<DenseOutcome>)> {
         let mut out = Vec::new();
         for shard in &self.shards {
-            let shard = shard.lock().expect("memo shard lock");
+            let shard = SolveMemo::lock_shard(shard);
             out.extend(
                 shard
                     .iter()
@@ -895,7 +907,7 @@ fn memoized_dense(
         config: config.clone(),
     };
     let hit = {
-        let mut shard = memo.shard(&key).lock().expect("memo shard lock");
+        let mut shard = SolveMemo::lock_shard(memo.shard(&key));
         if let Some(entry) = shard.get_mut(&key) {
             entry.last_used = memo.tick.fetch_add(1, Ordering::Relaxed);
             memo.hits.fetch_add(1, Ordering::Relaxed);
@@ -1721,6 +1733,7 @@ impl<'a> Search<'a> {
             let stop = self.descend(depth + 1);
             if self.pruning {
                 while self.trail.len() > trail_mark {
+                    // provlint: allow(panic-in-lib) -- trail_mark was captured from this trail before descent
                     let (n, w, old) = self.trail.pop().expect("trail mark within bounds");
                     self.dyn_bits[n as usize * self.words + w as usize] = old;
                 }
@@ -1926,6 +1939,7 @@ impl<'a> Search<'a> {
 
     /// Assign g1 edges to g2 edges given the complete node map.
     fn place_edges(&self) -> Option<(Vec<(u32, u32)>, u64)> {
+        // provlint: allow(panic-in-lib) -- complete() populates groups2 before place_edges is reachable
         let groups2 = self.groups2.as_ref().expect("groups built in complete()");
         // Group g1 edges by mapped (src, tgt, label).
         let mut groups1: BTreeMap<(u32, u32, Symbol), Vec<u32>> = BTreeMap::new();

@@ -187,11 +187,11 @@ fn encode_outcome(out: &mut Vec<u8>, dense: &DenseOutcome) {
     out.extend_from_slice(&dense.stats.backtracks.to_le_bytes());
     out.extend_from_slice(&dense.stats.solutions.to_le_bytes());
     if let Some((assign, pairs, cost)) = &dense.best {
-        out.extend_from_slice(&(assign.len() as u32).to_le_bytes());
+        out.extend_from_slice(&len_u32(assign.len()).to_le_bytes());
         for &a in assign {
             out.extend_from_slice(&a.to_le_bytes());
         }
-        out.extend_from_slice(&(pairs.len() as u32).to_le_bytes());
+        out.extend_from_slice(&len_u32(pairs.len()).to_le_bytes());
         for &(e1, e2) in pairs {
             out.extend_from_slice(&e1.to_le_bytes());
             out.extend_from_slice(&e2.to_le_bytes());
@@ -262,21 +262,33 @@ impl<'a> Reader<'a> {
 
     fn u32(&mut self) -> Result<u32, SolveCacheError> {
         Ok(u32::from_le_bytes(
+            // provlint: allow(panic-in-lib) -- take(4) returned exactly 4 bytes or errored
             self.take(4)?.try_into().expect("4 bytes"),
         ))
     }
 
     fn u64(&mut self) -> Result<u64, SolveCacheError> {
         Ok(u64::from_le_bytes(
+            // provlint: allow(panic-in-lib) -- take(8) returned exactly 8 bytes or errored
             self.take(8)?.try_into().expect("8 bytes"),
         ))
     }
 
     fn u128(&mut self) -> Result<u128, SolveCacheError> {
         Ok(u128::from_le_bytes(
+            // provlint: allow(panic-in-lib) -- take(16) returned exactly 16 bytes or errored
             self.take(16)?.try_into().expect("16 bytes"),
         ))
     }
+}
+
+/// Encode a collection length as `u32`, the fixed width of every
+/// length field in this format. Solver assignments and edge pairings
+/// are bounded by graph sizes, whose node/edge ids are already `u32`.
+fn len_u32(n: usize) -> u32 {
+    debug_assert!(n <= u32::MAX as usize, "length exceeds u32 format field");
+    // provlint: allow(lossy-cast-in-serde) -- bound asserted above; ids are u32 by construction
+    n as u32
 }
 
 fn decode_entry(r: &mut Reader<'_>) -> Result<(MemoKey, DenseOutcome), SolveCacheError> {
@@ -624,6 +636,16 @@ mod tests {
     fn rejects_garbage_and_foreign_version() {
         let memo = SolveMemo::new();
         assert_eq!(load_cache_bytes(&memo, b""), Err(SolveCacheError::BadMagic));
+        // The header opens with exactly SOLVE_CACHE_MAGIC; any other
+        // leading bytes are a foreign file, not a version skew.
+        let pristine = cache_bytes(&memo);
+        assert_eq!(&pristine[..4], &SOLVE_CACHE_MAGIC);
+        let mut foreign = pristine.clone();
+        foreign[..4].copy_from_slice(b"XMSC");
+        assert_eq!(
+            load_cache_bytes(&memo, &foreign),
+            Err(SolveCacheError::BadMagic)
+        );
         assert_eq!(
             load_cache_bytes(&memo, b"nope"),
             Err(SolveCacheError::BadMagic)

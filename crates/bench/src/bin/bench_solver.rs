@@ -243,6 +243,7 @@ fn measure<T>(reps: usize, mut run: impl FnMut() -> T) -> Timed {
     std::hint::black_box(run());
     let mut samples: Vec<f64> = (0..reps.max(1))
         .map(|_| {
+            // provlint: allow(direct-clock) -- this IS the benchmark measurement; timings never enter canonical reports
             let t0 = Instant::now();
             std::hint::black_box(run());
             t0.elapsed().as_secs_f64()
@@ -999,7 +1000,8 @@ fn main() {
     doc.insert("summary".into(), Value::Object(summary));
 
     let text = serde_json::to_string_pretty(&Value::Object(doc)).expect("report serializes");
-    std::fs::write(&out_path, text).expect("report written");
+    provtrace::write_bytes_durable(std::path::Path::new(&out_path), text.as_bytes())
+        .expect("report written");
     println!(
         "wrote {out_path} (min amortized {min_amortized:.2}x, geomean {geomean_amortized:.2}x, \
          min session {min_session:.2}x, scale64 min oneshot {min_oneshot_scale64:.2}x, \

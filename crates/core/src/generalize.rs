@@ -135,6 +135,7 @@ pub fn similarity_classes_in(
                 let similar = equal
                     || outcomes
                         .next()
+                        // provlint: allow(panic-in-lib) -- the batch was built with one entry per non-trivial member of this zip
                         .expect("one batch outcome per solver-confirmed member")
                         .matching
                         .is_some();
@@ -194,6 +195,7 @@ fn apply_generalization(
         } else {
             node.props.clear();
         }
+        // provlint: allow(panic-in-lib) -- ids copied from a graph whose ids are already unique
         out.add_node_data(node).expect("copied node unique");
     }
     for e in g1.edges() {
@@ -203,6 +205,7 @@ fn apply_generalization(
         } else {
             edge.props.clear();
         }
+        // provlint: allow(panic-in-lib) -- ids copied from a graph whose ids are already unique
         out.add_edge_data(edge).expect("copied edge unique");
     }
     out

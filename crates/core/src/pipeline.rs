@@ -150,6 +150,7 @@ fn prepare_variant(
         spec.foreground()
     };
     let mut natives: Vec<NativeOutput> = Vec::with_capacity(opts.trials);
+    // provlint: allow(direct-clock) -- wall-clock stage timing feeds the timings telemetry only; canonical reports carry no time
     let t0 = Instant::now();
     let span = tracer.span_enter("record", parent, variant_field);
     for i in 0..opts.trials {
@@ -160,6 +161,7 @@ fn prepare_variant(
     });
     timings.recording += t0.elapsed();
 
+    // provlint: allow(direct-clock) -- wall-clock stage timing feeds the timings telemetry only; canonical reports carry no time
     let t0 = Instant::now();
     let span = tracer.span_enter("transform", parent, variant_field);
     let mut graphs: Vec<PropertyGraph> = Vec::with_capacity(natives.len());
@@ -178,6 +180,7 @@ fn prepare_variant(
     });
     timings.transformation += t0.elapsed();
 
+    // provlint: allow(direct-clock) -- wall-clock stage timing feeds the timings telemetry only; canonical reports carry no time
     let t0 = Instant::now();
     let span = tracer.span_enter("generalize", parent, variant_field);
     let mut generalized =
@@ -357,6 +360,7 @@ pub fn run_benchmark_traced(
         parent,
     )?;
 
+    // provlint: allow(direct-clock) -- wall-clock stage timing feeds the timings telemetry only; canonical reports carry no time
     let t0 = Instant::now();
     let span = tracer.span_enter("compare", parent, Vec::new);
     // The generalized graphs are new (property-stripped) graphs, but
@@ -437,6 +441,7 @@ pub fn run_matrix(
         .iter()
         .map(|exp| exp.syscall.to_owned())
         .collect();
+    // provlint: allow(panic-in-lib) -- rows come straight from the static table2; lookup cannot fail
     run_matrix_cells(&all, opts, opus_db_iterations).expect("table2 rows are known benchmarks")
 }
 
@@ -553,6 +558,7 @@ pub fn run_matrix_cells(
         vec![("rows", provtrace::Field::from(expectations.len()))]
     });
     let cells = crate::par::par_map(&expectations, |exp| {
+        // provlint: allow(panic-in-lib) -- callers resolve expectations from table2 before this phase
         let spec = crate::suite::spec(exp.syscall).expect("table2 rows have specs");
         let row = tracer.span_enter("row", phase, || {
             vec![("syscall", provtrace::Field::from(exp.syscall))]
@@ -571,6 +577,7 @@ pub fn run_matrix_cells(
                 )
             })
             .collect();
+        // provlint: allow(panic-in-lib) -- ToolKind::all() is a fixed three-element array
         let cells: [MeasuredCell; 3] = cells.try_into().expect("three tools");
         tracer.span_exit("row", row);
         cells
@@ -702,13 +709,9 @@ pub fn run_matrix_cell_traced(
         index: tool,
         tools: tools.len(),
     })?;
-    let table = crate::suite::table2();
-    if !table.iter().any(|exp| exp.syscall == syscall) {
-        return Err(PipelineError::UnknownBenchmark {
-            name: syscall.to_owned(),
-        });
-    }
-    let spec = crate::suite::spec(syscall).expect("table2 rows have specs");
+    let spec = crate::suite::spec(syscall).ok_or_else(|| PipelineError::UnknownBenchmark {
+        name: syscall.to_owned(),
+    })?;
     Ok(CellOutcome::of(&measure_cell(
         &spec,
         kind,

@@ -77,7 +77,13 @@ impl RegressionStore {
     ///
     /// Propagates write failures.
     pub fn accept(&self, name: &str, graph: &PropertyGraph) -> io::Result<()> {
-        fs::write(self.file(name), datalog::to_canonical_datalog(graph, "g"))
+        // Durable + atomic: a crash mid-accept must leave the old
+        // baseline intact, never a torn file a later `check` would
+        // misread as a regression.
+        provtrace::write_bytes_durable(
+            &self.file(name),
+            datalog::to_canonical_datalog(graph, "g").as_bytes(),
+        )
     }
 
     /// Compare `graph` against the stored baseline; stores it when no

@@ -530,6 +530,7 @@ pub fn failure_names() -> Vec<&'static str> {
 pub fn failure_specs() -> Vec<BenchSpec> {
     failure_names()
         .into_iter()
+        // provlint: allow(panic-in-lib) -- static name list is mirrored by failure_spec's match arms
         .map(|n| failure_spec(n).expect("every listed failure scenario builds"))
         .collect()
 }
@@ -588,6 +589,7 @@ pub fn all_names() -> Vec<&'static str> {
 pub fn all_specs() -> Vec<BenchSpec> {
     all_names()
         .into_iter()
+        // provlint: allow(panic-in-lib) -- static name list is mirrored by spec's match arms
         .map(|n| spec(n).expect("every listed name has a spec"))
         .collect()
 }

@@ -93,7 +93,10 @@ impl Neo4jStore {
     pub fn ingest(&self, graph: &PropertyGraph) -> io::Result<()> {
         let json = serde_json::to_string(graph)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-        fs::write(self.data_file(), json)
+        // Durable + atomic: the store is the simulated database's only
+        // persistent state, and `export` must never observe a torn
+        // commit from a crashed ingest.
+        provtrace::write_bytes_durable(&self.data_file(), json.as_bytes())
     }
 
     /// Open a query session and read the graph back (ProvMark's

@@ -68,6 +68,7 @@ impl Hasher for FxHasher {
     fn write(&mut self, bytes: &[u8]) {
         let mut chunks = bytes.chunks_exact(8);
         for chunk in &mut chunks {
+            // provlint: allow(panic-in-lib) -- chunks_exact(8) yields exactly 8-byte slices
             self.add(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
         }
         let rest = chunks.remainder();
@@ -163,6 +164,7 @@ impl Interner {
         let id = match self.map.get(s) {
             Some(&id) => id,
             None => {
+                // provlint: allow(panic-in-lib) -- capacity invariant: >u32::MAX distinct labels is unrepresentable upstream
                 let id = u32::try_from(self.strings.len()).expect("interner overflow");
                 self.map.insert(s.to_owned(), id);
                 self.strings.push(s.to_owned());
@@ -774,6 +776,7 @@ impl ContentHasher {
         self.word(bytes.len() as u64);
         let mut chunks = bytes.chunks_exact(8);
         for chunk in &mut chunks {
+            // provlint: allow(panic-in-lib) -- chunks_exact(8) yields exactly 8-byte slices
             self.word(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
         }
         let rest = chunks.remainder();
@@ -904,6 +907,7 @@ impl CorpusSession {
     /// [`full_fingerprint`](CorpusSession::full_fingerprint) call is a
     /// lookup (see the type-level cache invariants).
     pub fn add(&mut self, graph: &PropertyGraph) -> GraphId {
+        // provlint: allow(panic-in-lib) -- capacity invariant: sessions hold far fewer than u32::MAX graphs
         let id = u32::try_from(self.graphs.len()).expect("session graph count overflow");
         let compiled = SessionGraph::build(graph, &mut self.interner);
         let (shape, shape_colors) =

@@ -455,6 +455,7 @@ impl PropertyGraph {
         for n in &self.nodes {
             let mut n2 = n.clone();
             n2.id = format!("{prefix}{}", n.id);
+            // provlint: allow(panic-in-lib) -- injective rename of already-unique ids cannot collide
             g.add_node_data(n2).expect("prefixing preserves uniqueness");
         }
         for e in &self.edges {
@@ -462,6 +463,7 @@ impl PropertyGraph {
             e2.id = format!("{prefix}{}", e.id);
             e2.src = format!("{prefix}{}", e.src);
             e2.tgt = format!("{prefix}{}", e.tgt);
+            // provlint: allow(panic-in-lib) -- injective rename of already-unique ids cannot collide
             g.add_edge_data(e2).expect("prefixing preserves uniqueness");
         }
         g

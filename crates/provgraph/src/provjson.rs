@@ -102,6 +102,7 @@ pub fn to_provjson(graph: &PropertyGraph) -> String {
             .insert(e.id.clone(), Value::Object(obj));
     }
     let value = json!(doc);
+    // provlint: allow(panic-in-lib) -- minijson serialization only fails on non-finite floats; PROV-JSON values are strings
     serde_json::to_string_pretty(&value).expect("prov-json document serializes")
 }
 

@@ -153,14 +153,23 @@ pub fn snapshot_session(session: &CorpusSession) -> Vec<u8> {
     out
 }
 
+/// Encode an in-memory collection length as `u32`, the fixed width of
+/// every length field in this format. Compiled graphs index nodes,
+/// edges and interned symbols with `u32` ids, so the lengths fit.
+fn len_u32(n: usize) -> u32 {
+    debug_assert!(n <= u32::MAX as usize, "length exceeds u32 format field");
+    // provlint: allow(lossy-cast-in-serde) -- bound asserted above; compiled ids are u32 by construction
+    n as u32
+}
+
 /// The snapshot body (everything after the checksum header).
 fn snapshot_payload(session: &CorpusSession) -> Vec<u8> {
     let mut w = Writer::default();
-    w.u32(session.interner.strings.len() as u32);
+    w.u32(len_u32(session.interner.strings.len()));
     for s in &session.interner.strings {
         w.blob(s.as_bytes());
     }
-    w.u32(session.graphs.len() as u32);
+    w.u32(len_u32(session.graphs.len()));
     for g in &session.graphs {
         write_core(&mut w, &g.core);
         w.blob(g.node_id_bytes.as_bytes());
@@ -236,7 +245,7 @@ pub fn restore_session(bytes: &[u8]) -> Result<CorpusSession, SnapshotError> {
     let graph_count = r.u32()? as usize;
     let mut graphs = Vec::with_capacity(graph_count.min(1 << 16));
     for gi in 0..graph_count {
-        let core = read_core(&mut r, interner.len() as u32).map_err(|e| prefix_graph(e, gi))?;
+        let core = read_core(&mut r, len_u32(interner.len())).map_err(|e| prefix_graph(e, gi))?;
         let node_id_bytes = r.str_blob()?.to_owned();
         let node_id_start = r.u32_vec()?;
         let edge_id_bytes = r.str_blob()?.to_owned();
@@ -323,7 +332,7 @@ fn write_core(w: &mut Writer, core: &GraphCore) {
     w.u32_slice(&core.neigh_start);
     w.u32_slice(&core.neigh_data);
     w.u32_slice(&core.sig_start);
-    w.u32(core.sig_data.len() as u32);
+    w.u32(len_u32(core.sig_data.len()));
     for &(dir, label, count) in &core.sig_data {
         w.bytes.push(dir);
         w.u32(label.0);
@@ -332,13 +341,13 @@ fn write_core(w: &mut Writer, core: &GraphCore) {
     w.sym_slice(&core.node_label_multiset);
     w.sym_slice(&core.edge_label_multiset);
     w.u32_slice(&core.pair_start);
-    w.u32(core.pair_entries.len() as u32);
+    w.u32(len_u32(core.pair_entries.len()));
     for &(tgt, start, end) in &core.pair_entries {
         w.u32(tgt);
         w.u32(start);
         w.u32(end);
     }
-    w.u32(core.pair_label_counts.len() as u32);
+    w.u32(len_u32(core.pair_label_counts.len()));
     for &(label, count) in &core.pair_label_counts {
         w.u32(label.0);
         w.u32(count);
@@ -350,8 +359,8 @@ fn read_core(r: &mut Reader<'_>, vocab: u32) -> Result<GraphCore, SnapshotError>
     let edge_labels = r.sym_vec(vocab, "edge label")?;
     let n = node_labels.len();
     let m = edge_labels.len();
-    let edge_src = r.index_vec(n as u32, "edge source")?;
-    let edge_tgt = r.index_vec(n as u32, "edge target")?;
+    let edge_src = r.index_vec(len_u32(n), "edge source")?;
+    let edge_tgt = r.index_vec(len_u32(n), "edge target")?;
     if edge_src.len() != m || edge_tgt.len() != m {
         return Err(corrupt("edge endpoint arrays disagree with edge count"));
     }
@@ -362,16 +371,16 @@ fn read_core(r: &mut Reader<'_>, vocab: u32) -> Result<GraphCore, SnapshotError>
     let edge_prop_data = r.pair_vec(vocab, "edge property")?;
     check_offsets(&edge_prop_start, m, edge_prop_data.len(), "edge property")?;
     let out_start = r.u32_vec()?;
-    let out_edges = r.index_vec(m as u32, "out edge")?;
+    let out_edges = r.index_vec(len_u32(m), "out edge")?;
     check_offsets(&out_start, n, out_edges.len(), "out adjacency")?;
     let in_start = r.u32_vec()?;
-    let in_edges = r.index_vec(m as u32, "in edge")?;
+    let in_edges = r.index_vec(len_u32(m), "in edge")?;
     check_offsets(&in_start, n, in_edges.len(), "in adjacency")?;
     if out_edges.len() != m || in_edges.len() != m {
         return Err(corrupt("CSR arrays do not partition the edges"));
     }
     let neigh_start = r.u32_vec()?;
-    let neigh_data = r.index_vec(n as u32, "neighbour")?;
+    let neigh_data = r.index_vec(len_u32(n), "neighbour")?;
     check_offsets(&neigh_start, n, neigh_data.len(), "neighbour")?;
     let sig_start = r.u32_vec()?;
     let sig_len = r.u32()? as usize;
@@ -399,7 +408,7 @@ fn read_core(r: &mut Reader<'_>, vocab: u32) -> Result<GraphCore, SnapshotError>
     let mut pair_entries: Vec<(u32, u32, u32)> = Vec::with_capacity(pair_len.min(1 << 20));
     for _ in 0..pair_len {
         let tgt = r.u32()?;
-        if tgt >= n as u32 {
+        if tgt >= len_u32(n) {
             return Err(corrupt("pair entry target outside the node count"));
         }
         let start = r.u32()?;
@@ -570,26 +579,26 @@ impl Writer {
     }
 
     fn blob(&mut self, b: &[u8]) {
-        self.u32(b.len() as u32);
+        self.u32(len_u32(b.len()));
         self.bytes.extend_from_slice(b);
     }
 
     fn u32_slice(&mut self, v: &[u32]) {
-        self.u32(v.len() as u32);
+        self.u32(len_u32(v.len()));
         for &x in v {
             self.u32(x);
         }
     }
 
     fn sym_slice(&mut self, v: &[Symbol]) {
-        self.u32(v.len() as u32);
+        self.u32(len_u32(v.len()));
         for &s in v {
             self.u32(s.0);
         }
     }
 
     fn pair_slice(&mut self, v: &[(Symbol, Symbol)]) {
-        self.u32(v.len() as u32);
+        self.u32(len_u32(v.len()));
         for &(k, val) in v {
             self.u32(k.0);
             self.u32(val.0);
@@ -627,12 +636,14 @@ impl<'a> Reader<'a> {
 
     fn u32(&mut self) -> Result<u32, SnapshotError> {
         Ok(u32::from_le_bytes(
+            // provlint: allow(panic-in-lib) -- take(4) returned exactly 4 bytes or errored
             self.take(4)?.try_into().expect("4 bytes"),
         ))
     }
 
     fn u64(&mut self) -> Result<u64, SnapshotError> {
         Ok(u64::from_le_bytes(
+            // provlint: allow(panic-in-lib) -- take(8) returned exactly 8 bytes or errored
             self.take(8)?.try_into().expect("8 bytes"),
         ))
     }

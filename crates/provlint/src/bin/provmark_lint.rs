@@ -1,0 +1,210 @@
+//! `provmark-lint` — CLI driver for the workspace invariant checker.
+//!
+//! ```text
+//! provmark-lint [--workspace] [--root DIR] [--policy FILE] [--json]
+//!               [--out FILE] [--show-allowed]
+//! provmark-lint --explain <rule>
+//! provmark-lint --list-rules
+//! ```
+//!
+//! Exit codes: 0 = clean, 1 = unsuppressed violations, 2 = usage or
+//! I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use provlint::policy::Policy;
+use provlint::rules::{rule_info, RULES};
+use provlint::{lint_workspace, LintError};
+
+const USAGE: &str = "\
+provmark-lint: statically enforce the workspace durability, panic-freedom
+and format-versioning invariants.
+
+USAGE:
+    provmark-lint [--workspace] [OPTIONS]
+    provmark-lint --explain <rule>
+    provmark-lint --list-rules
+
+OPTIONS:
+    --workspace        Lint every .rs file under the root (the default)
+    --root DIR         Workspace root to scan (default: auto-detected
+                       from the current directory's Cargo.toml)
+    --policy FILE      Apply a policy config on top of the baked-in
+                       defaults (default: <root>/provlint.policy if
+                       present)
+    --json             Emit the versioned JSON report instead of text
+    --out FILE         Write the report to FILE instead of stdout
+    --show-allowed     Include annotation-suppressed findings in the
+                       human report (always present in JSON)
+    --explain <rule>   Print a rule's rationale and fix pattern
+    --list-rules       List all rules with one-line summaries
+    -h, --help         This text
+";
+
+struct Options {
+    root: Option<PathBuf>,
+    policy_file: Option<PathBuf>,
+    json: bool,
+    out: Option<PathBuf>,
+    show_allowed: bool,
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("provmark-lint: {msg}");
+    eprintln!("{USAGE}");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut opts = Options {
+        root: None,
+        policy_file: None,
+        json: false,
+        out: None,
+        show_allowed: false,
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workspace" => {}
+            "--root" => match args.next() {
+                Some(v) => opts.root = Some(PathBuf::from(v)),
+                None => return usage_error("--root needs a directory"),
+            },
+            "--policy" => match args.next() {
+                Some(v) => opts.policy_file = Some(PathBuf::from(v)),
+                None => return usage_error("--policy needs a file"),
+            },
+            "--json" => opts.json = true,
+            "--out" => match args.next() {
+                Some(v) => opts.out = Some(PathBuf::from(v)),
+                None => return usage_error("--out needs a file"),
+            },
+            "--show-allowed" => opts.show_allowed = true,
+            "--explain" => {
+                return match args.next() {
+                    Some(name) => explain(&name),
+                    None => usage_error("--explain needs a rule name"),
+                };
+            }
+            "--list-rules" => {
+                for r in RULES {
+                    println!("{:<22} {}", r.name, r.summary);
+                }
+                return ExitCode::SUCCESS;
+            }
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_error(&format!("unknown argument `{other}`")),
+        }
+    }
+    run(&opts)
+}
+
+fn explain(name: &str) -> ExitCode {
+    match rule_info(name) {
+        Some(r) => {
+            println!("{}: {}\n", r.name, r.summary);
+            println!("WHY\n{}\n", r.rationale);
+            println!("FIX\n{}", r.fix);
+            ExitCode::SUCCESS
+        }
+        None => {
+            eprintln!(
+                "provmark-lint: unknown rule `{name}`; known rules: {}",
+                RULES.iter().map(|r| r.name).collect::<Vec<_>>().join(", ")
+            );
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Find the workspace root: the given dir, or walk up from the current
+/// directory to the first `Cargo.toml` containing `[workspace]`.
+fn find_root(opts: &Options) -> Result<PathBuf, String> {
+    if let Some(r) = &opts.root {
+        return Ok(r.clone());
+    }
+    let mut dir = std::env::current_dir().map_err(|e| format!("cannot read cwd: {e}"))?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Ok(dir);
+            }
+        }
+        if !dir.pop() {
+            return Err(
+                "no workspace Cargo.toml found above the current directory; \
+                        pass --root"
+                    .to_owned(),
+            );
+        }
+    }
+}
+
+fn run(opts: &Options) -> ExitCode {
+    let root = match find_root(opts) {
+        Ok(r) => r,
+        Err(e) => return usage_error(&e),
+    };
+    let mut policy = Policy::workspace_default();
+    let policy_path = opts.policy_file.clone().or_else(|| {
+        let default = root.join("provlint.policy");
+        default.is_file().then_some(default)
+    });
+    if let Some(path) = policy_path {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("provmark-lint: cannot read {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        if let Err(e) = policy.apply_config(&text) {
+            eprintln!("provmark-lint: {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    let report = match lint_workspace(&root, &policy) {
+        Ok(r) => r,
+        Err(e @ LintError::Io { .. }) | Err(e @ LintError::Policy(_)) => {
+            eprintln!("provmark-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let rendered = if opts.json {
+        report.render_json()
+    } else {
+        report.render_human(opts.show_allowed)
+    };
+    match &opts.out {
+        Some(path) => {
+            // The lint report is a CI artifact consumed best-effort by
+            // humans, not a durability-critical format another process
+            // parses after a crash — and provlint stays dependency-free
+            // so it can lint everything, including provtrace itself.
+            // provlint: allow(raw-write) -- diagnostic report, not a durable artifact; crate is dependency-free by design
+            if let Err(e) = std::fs::write(path, rendered.as_bytes()) {
+                eprintln!("provmark-lint: cannot write {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        }
+        None => print!("{rendered}"),
+    }
+    if report.violations.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        if opts.out.is_some() || opts.json {
+            eprintln!(
+                "provmark-lint: {} violation(s) in {} file(s)",
+                report.violations.len(),
+                report.checked_files
+            );
+        }
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,236 @@
+//! Typed diagnostics plus the human and JSON renderers.
+//!
+//! The JSON emitter is hand-rolled (the crate has zero dependencies so
+//! it can sit anywhere in the workspace graph); the schema is versioned
+//! and documented in `crates/provlint/README.md`.
+
+use std::fmt::Write as _;
+
+/// Version of the `--json` report schema.
+pub const REPORT_SCHEMA_VERSION: u32 = 1;
+
+/// One finding, addressed to a file:line:col.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Rule name (stable, usable in allow annotations).
+    pub rule: &'static str,
+    /// Repo-relative path, unix separators.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based byte column.
+    pub col: u32,
+    /// What is wrong and what to do.
+    pub message: String,
+    /// The trimmed source line.
+    pub snippet: String,
+    /// `Some(text)` when an allow annotation suppresses the finding;
+    /// the text is the annotation's justification.
+    pub justification: Option<String>,
+}
+
+impl Diagnostic {
+    /// Is this finding suppressed by an allow annotation?
+    pub fn is_allowed(&self) -> bool {
+        self.justification.is_some()
+    }
+}
+
+/// The result of a lint run, split into live violations and
+/// annotation-suppressed findings.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Unsuppressed violations — these fail the run.
+    pub violations: Vec<Diagnostic>,
+    /// Findings covered by `// provlint: allow(...)`.
+    pub allowed: Vec<Diagnostic>,
+    /// Number of files scanned.
+    pub checked_files: usize,
+}
+
+impl Report {
+    /// Sort both lists by (path, line, col, rule) for deterministic
+    /// output.
+    pub fn canonicalize(&mut self) {
+        let key = |d: &Diagnostic| (d.path.clone(), d.line, d.col, d.rule);
+        self.violations.sort_by_key(key);
+        self.allowed.sort_by_key(key);
+    }
+
+    /// Render the human-readable report.
+    pub fn render_human(&self, show_allowed: bool) -> String {
+        let mut out = String::new();
+        for d in &self.violations {
+            let _ = writeln!(
+                out,
+                "error[{}]: {}:{}:{}: {}",
+                d.rule, d.path, d.line, d.col, d.message
+            );
+            if !d.snippet.is_empty() {
+                let _ = writeln!(out, "    | {}", d.snippet);
+            }
+        }
+        if show_allowed {
+            for d in &self.allowed {
+                let why = d.justification.as_deref().unwrap_or("");
+                let _ = writeln!(
+                    out,
+                    "allowed[{}]: {}:{}:{}: {}",
+                    d.rule, d.path, d.line, d.col, why
+                );
+            }
+        }
+        let _ = writeln!(
+            out,
+            "provlint: {} file(s) checked, {} violation(s), {} allowed",
+            self.checked_files,
+            self.violations.len(),
+            self.allowed.len()
+        );
+        out
+    }
+
+    /// Render the versioned JSON report.
+    pub fn render_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"schema_version\": {},", REPORT_SCHEMA_VERSION);
+        let _ = writeln!(out, "  \"checked_files\": {},", self.checked_files);
+        let _ = writeln!(
+            out,
+            "  \"summary\": {{\"violations\": {}, \"allowed\": {}}},",
+            self.violations.len(),
+            self.allowed.len()
+        );
+        render_diag_array(&mut out, "violations", &self.violations, false);
+        out.push_str(",\n");
+        render_diag_array(&mut out, "allowed", &self.allowed, true);
+        out.push_str("\n}\n");
+        out
+    }
+}
+
+fn render_diag_array(out: &mut String, key: &str, diags: &[Diagnostic], with_just: bool) {
+    let _ = write!(out, "  \"{key}\": [");
+    for (i, d) in diags.iter().enumerate() {
+        let sep = if i == 0 { "\n" } else { ",\n" };
+        let _ = write!(
+            out,
+            "{sep}    {{\"rule\": {}, \"path\": {}, \"line\": {}, \"col\": {}, \"message\": {}, \"snippet\": {}",
+            json_str(d.rule),
+            json_str(&d.path),
+            d.line,
+            d.col,
+            json_str(&d.message),
+            json_str(&d.snippet),
+        );
+        if with_just {
+            let _ = write!(
+                out,
+                ", \"justification\": {}",
+                json_str(d.justification.as_deref().unwrap_or(""))
+            );
+        }
+        out.push('}');
+    }
+    if diags.is_empty() {
+        out.push(']');
+    } else {
+        out.push_str("\n  ]");
+    }
+}
+
+/// Escape a string for JSON output.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(rule: &'static str, path: &str, line: u32) -> Diagnostic {
+        Diagnostic {
+            rule,
+            path: path.to_owned(),
+            line,
+            col: 1,
+            message: "msg with \"quotes\" and \\slash".to_owned(),
+            snippet: "let x = 1;\t// tab".to_owned(),
+            justification: None,
+        }
+    }
+
+    #[test]
+    fn canonical_order_is_path_line_rule() {
+        let mut r = Report {
+            violations: vec![
+                d("raw-write", "b.rs", 2),
+                d("direct-clock", "a.rs", 9),
+                d("panic-in-lib", "a.rs", 3),
+            ],
+            allowed: vec![],
+            checked_files: 2,
+        };
+        r.canonicalize();
+        let order: Vec<_> = r
+            .violations
+            .iter()
+            .map(|x| (x.path.as_str(), x.line))
+            .collect();
+        assert_eq!(order, vec![("a.rs", 3), ("a.rs", 9), ("b.rs", 2)]);
+    }
+
+    #[test]
+    fn json_escapes_and_shape() {
+        let mut allowed = d("raw-write", "x.rs", 1);
+        allowed.justification = Some("fault injection".to_owned());
+        let r = Report {
+            violations: vec![d("panic-in-lib", "a.rs", 3)],
+            allowed: vec![allowed],
+            checked_files: 1,
+        };
+        let j = r.render_json();
+        assert!(j.contains("\"schema_version\": 1"));
+        assert!(j.contains("\\\"quotes\\\""));
+        assert!(j.contains("\\t// tab"));
+        assert!(j.contains("\"justification\": \"fault injection\""));
+        assert!(j.contains("\"summary\": {\"violations\": 1, \"allowed\": 1}"));
+    }
+
+    #[test]
+    fn human_output_counts() {
+        let r = Report {
+            violations: vec![d("raw-write", "x.rs", 1)],
+            allowed: vec![],
+            checked_files: 7,
+        };
+        let h = r.render_human(false);
+        assert!(h.contains("error[raw-write]: x.rs:1:1:"));
+        assert!(h.contains("7 file(s) checked, 1 violation(s), 0 allowed"));
+    }
+
+    #[test]
+    fn empty_report_is_valid_json_shape() {
+        let r = Report::default();
+        let j = r.render_json();
+        assert!(j.contains("\"violations\": []"));
+        assert!(j.contains("\"allowed\": []"));
+    }
+}

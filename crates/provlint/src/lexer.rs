@@ -1,0 +1,546 @@
+//! A comment/string/raw-string-aware Rust token scanner.
+//!
+//! The lint rules only need a faithful *lexical* view of a source file:
+//! which bytes are comments, which are string/char literals, and where
+//! the identifiers and punctuation sit. A full parser (`syn`) is
+//! overkill and unavailable under the shim policy, so this module
+//! hand-rolls the scanner on `std`. It handles the Rust surface that
+//! trips naive regex linting:
+//!
+//! - nested block comments (`/* a /* b */ c */`);
+//! - raw strings with arbitrary hash runs (`r##"…"##`), raw byte
+//!   strings (`br#"…"#`) and raw identifiers (`r#fn`);
+//! - lifetimes vs char literals (`'a` vs `'a'`, escapes, `b'\''`);
+//! - strings whose *content* looks like code or like a
+//!   `// provlint:` annotation — literal bytes never produce
+//!   identifier, comment or annotation tokens.
+//!
+//! The scanner is lossless over the interesting token classes and
+//! deliberately lenient: an unterminated literal or comment extends to
+//! end of input instead of failing, so a half-written fixture still
+//! lints. It never panics on any byte sequence (fuzzed in
+//! `tests/lexer_surface.rs`).
+
+/// Lexical class of a [`Tok`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fs`, `unwrap`, `const`, `as`, …).
+    Ident,
+    /// Raw identifier (`r#fn`); `text()` includes the `r#` prefix.
+    RawIdent,
+    /// Lifetime (`'a`, `'static`) — never a char literal.
+    Lifetime,
+    /// Char or byte-char literal (`'x'`, `'\''`, `b'q'`).
+    CharLit,
+    /// String, byte-string, raw-string or raw-byte-string literal.
+    StrLit,
+    /// Numeric literal (`0x2F`, `1.0e-5`, `12_u64`).
+    Number,
+    /// `// …` line comment (includes `///` and `//!` doc comments).
+    LineComment,
+    /// `/* … */` block comment, nesting-aware (includes `/** … */`).
+    BlockComment,
+    /// A single punctuation character (`:`, `.`, `!`, `{`, …).
+    Punct(char),
+}
+
+/// One token: kind plus the byte span and 1-based line/column of its
+/// first byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tok {
+    /// Lexical class.
+    pub kind: TokKind,
+    /// Byte offset of the first byte, inclusive.
+    pub start: usize,
+    /// Byte offset past the last byte, exclusive.
+    pub end: usize,
+    /// 1-based line of `start`.
+    pub line: u32,
+    /// 1-based column (in bytes) of `start`.
+    pub col: u32,
+}
+
+impl Tok {
+    /// The token's source text.
+    pub fn text<'s>(&self, src: &'s str) -> &'s str {
+        &src[self.start..self.end]
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+struct Scanner<'s> {
+    src: &'s str,
+    pos: usize,
+    line: u32,
+    line_start: usize,
+}
+
+impl<'s> Scanner<'s> {
+    fn peek(&self) -> Option<char> {
+        self.src[self.pos..].chars().next()
+    }
+
+    fn peek_at(&self, byte_offset: usize) -> Option<char> {
+        self.src.get(self.pos + byte_offset..)?.chars().next()
+    }
+
+    /// Advance past one char, maintaining the line counter.
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        if c == '\n' {
+            self.line += 1;
+            self.line_start = self.pos;
+        }
+        Some(c)
+    }
+
+    fn col(&self, start: usize) -> u32 {
+        (start - self.line_start) as u32 + 1
+    }
+
+    /// Consume ident-continue chars.
+    fn eat_ident(&mut self) {
+        while self.peek().is_some_and(is_ident_continue) {
+            self.bump();
+        }
+    }
+
+    /// Consume a (byte-)string body after the opening quote: escapes
+    /// skip the next char; ends at an unescaped `"` or end of input.
+    fn eat_str_body(&mut self) {
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => return,
+                _ => {}
+            }
+        }
+    }
+
+    /// Consume a raw-string body after `r#…#"`: ends at `"` followed by
+    /// `hashes` `#`s, or end of input.
+    fn eat_raw_str_body(&mut self, hashes: usize) {
+        while let Some(c) = self.bump() {
+            if c == '"' {
+                let mut seen = 0;
+                while seen < hashes && self.peek() == Some('#') {
+                    self.bump();
+                    seen += 1;
+                }
+                if seen == hashes {
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Consume a block-comment body after the opening `/*`, honouring
+    /// nesting.
+    fn eat_block_comment(&mut self) {
+        let mut depth = 1usize;
+        while let Some(c) = self.bump() {
+            if c == '/' && self.peek() == Some('*') {
+                self.bump();
+                depth += 1;
+            } else if c == '*' && self.peek() == Some('/') {
+                self.bump();
+                depth -= 1;
+                if depth == 0 {
+                    return;
+                }
+            }
+        }
+    }
+
+    /// After a consumed `'`, decide lifetime vs char literal and
+    /// consume the rest of it.
+    fn eat_tick(&mut self) -> TokKind {
+        match self.peek() {
+            // '\…' is always a char literal.
+            Some('\\') => {
+                self.bump();
+                self.bump(); // the escaped char
+                             // \x7f, \u{…}: eat up to the closing quote.
+                while let Some(c) = self.peek() {
+                    self.bump();
+                    if c == '\'' {
+                        break;
+                    }
+                }
+                TokKind::CharLit
+            }
+            Some(c) if is_ident_start(c) => {
+                // Could be 'a' (char) or 'a / 'static (lifetime).
+                self.bump();
+                if self.peek().is_some_and(is_ident_continue) {
+                    // Multi-char ident run: lifetime ('static).
+                    self.eat_ident();
+                    TokKind::Lifetime
+                } else if self.peek() == Some('\'') {
+                    self.bump();
+                    TokKind::CharLit
+                } else {
+                    TokKind::Lifetime
+                }
+            }
+            // Any other single char followed by ': char literal (' ', '∂').
+            Some(_) => {
+                self.bump();
+                if self.peek() == Some('\'') {
+                    self.bump();
+                }
+                TokKind::CharLit
+            }
+            None => TokKind::Lifetime,
+        }
+    }
+
+    /// Consume a numeric literal starting at a digit.
+    fn eat_number(&mut self) {
+        while let Some(c) = self.peek() {
+            if is_ident_continue(c) {
+                self.bump();
+                // Exponent sign: 1e-5 / 1E+5.
+                if (c == 'e' || c == 'E')
+                    && matches!(self.peek(), Some('+') | Some('-'))
+                    && self.peek_at(1).is_some_and(|d| d.is_ascii_digit())
+                {
+                    self.bump();
+                }
+            } else if c == '.' {
+                // A dot continues the number only before a digit
+                // (1.5), never before `.` (range 0..10) or an ident
+                // (1.max(2)).
+                if self.peek_at(1).is_some_and(|d| d.is_ascii_digit()) {
+                    self.bump();
+                } else {
+                    break;
+                }
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+/// Tokenize `src`. Never fails and never panics; unterminated
+/// constructs extend to end of input.
+pub fn lex(src: &str) -> Vec<Tok> {
+    let mut s = Scanner {
+        src,
+        pos: 0,
+        line: 1,
+        line_start: 0,
+    };
+    let mut toks = Vec::new();
+    while let Some(c) = s.peek() {
+        let start = s.pos;
+        let line = s.line;
+        let col = s.col(start);
+        let kind = match c {
+            c if c.is_whitespace() => {
+                s.bump();
+                continue;
+            }
+            '/' => {
+                s.bump();
+                match s.peek() {
+                    Some('/') => {
+                        while s.peek().is_some_and(|c| c != '\n') {
+                            s.bump();
+                        }
+                        TokKind::LineComment
+                    }
+                    Some('*') => {
+                        s.bump();
+                        s.eat_block_comment();
+                        TokKind::BlockComment
+                    }
+                    _ => TokKind::Punct('/'),
+                }
+            }
+            '"' => {
+                s.bump();
+                s.eat_str_body();
+                TokKind::StrLit
+            }
+            '\'' => {
+                s.bump();
+                s.eat_tick()
+            }
+            'r' => {
+                // r"…", r#"…"#, r#ident, or a plain ident starting
+                // with r.
+                let mut hashes = 0;
+                while s.peek_at(1 + hashes) == Some('#') {
+                    hashes += 1;
+                }
+                match s.peek_at(1 + hashes) {
+                    Some('"') => {
+                        s.bump(); // r
+                        for _ in 0..hashes {
+                            s.bump();
+                        }
+                        s.bump(); // "
+                        s.eat_raw_str_body(hashes);
+                        TokKind::StrLit
+                    }
+                    Some(c2) if hashes == 1 && is_ident_start(c2) => {
+                        s.bump(); // r
+                        s.bump(); // #
+                        s.bump(); // first ident char
+                        s.eat_ident();
+                        TokKind::RawIdent
+                    }
+                    _ => {
+                        s.bump();
+                        s.eat_ident();
+                        TokKind::Ident
+                    }
+                }
+            }
+            'b' => {
+                // b'…', b"…", br#"…"#, or an ident starting with b.
+                match s.peek_at(1) {
+                    Some('\'') => {
+                        s.bump(); // b
+                        s.bump(); // '
+                        s.eat_tick();
+                        TokKind::CharLit
+                    }
+                    Some('"') => {
+                        s.bump(); // b
+                        s.bump(); // "
+                        s.eat_str_body();
+                        TokKind::StrLit
+                    }
+                    Some('r') => {
+                        let mut hashes = 0;
+                        while s.peek_at(2 + hashes) == Some('#') {
+                            hashes += 1;
+                        }
+                        if s.peek_at(2 + hashes) == Some('"') {
+                            s.bump(); // b
+                            s.bump(); // r
+                            for _ in 0..hashes {
+                                s.bump();
+                            }
+                            s.bump(); // "
+                            s.eat_raw_str_body(hashes);
+                            TokKind::StrLit
+                        } else {
+                            s.bump();
+                            s.eat_ident();
+                            TokKind::Ident
+                        }
+                    }
+                    _ => {
+                        s.bump();
+                        s.eat_ident();
+                        TokKind::Ident
+                    }
+                }
+            }
+            c if is_ident_start(c) => {
+                s.bump();
+                s.eat_ident();
+                TokKind::Ident
+            }
+            c if c.is_ascii_digit() => {
+                s.bump();
+                s.eat_number();
+                TokKind::Number
+            }
+            c => {
+                s.bump();
+                TokKind::Punct(c)
+            }
+        };
+        toks.push(Tok {
+            kind,
+            start,
+            end: s.pos,
+            line,
+            col,
+        });
+    }
+    toks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokKind> {
+        lex(src).into_iter().map(|t| t.kind).collect()
+    }
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .map(|t| t.text(src).to_owned())
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        assert_eq!(
+            kinds("fs::write(x)"),
+            vec![
+                TokKind::Ident,
+                TokKind::Punct(':'),
+                TokKind::Punct(':'),
+                TokKind::Ident,
+                TokKind::Punct('('),
+                TokKind::Ident,
+                TokKind::Punct(')'),
+            ]
+        );
+    }
+
+    #[test]
+    fn nested_block_comment_is_one_token() {
+        let src = "a /* x /* y */ z */ b";
+        assert_eq!(
+            kinds(src),
+            vec![TokKind::Ident, TokKind::BlockComment, TokKind::Ident]
+        );
+        assert_eq!(texts(src)[1], "/* x /* y */ z */");
+    }
+
+    #[test]
+    fn raw_string_with_hashes_swallows_quotes() {
+        let src = r####"let x = r##"she said "#hi"# loudly"## ;"####;
+        let toks = lex(src);
+        let strs: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::StrLit)
+            .map(|t| t.text(src))
+            .collect();
+        assert_eq!(strs, vec![r###"r##"she said "#hi"# loudly"##"###]);
+    }
+
+    #[test]
+    fn lifetime_vs_char_literal() {
+        let src = "fn f<'a>(x: &'a str) { let c = 'a'; let s = 'static_lt; }";
+        let toks = lex(src);
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .map(|t| t.text(src))
+            .collect();
+        let chars: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::CharLit)
+            .map(|t| t.text(src))
+            .collect();
+        assert_eq!(lifetimes, vec!["'a", "'a", "'static_lt"]);
+        assert_eq!(chars, vec!["'a'"]);
+    }
+
+    #[test]
+    fn escaped_char_literals() {
+        for lit in [
+            "'\\''",
+            "'\\\\'",
+            "'\\n'",
+            "'\\x7f'",
+            "'\\u{1F600}'",
+            "b'\\''",
+        ] {
+            let toks = lex(lit);
+            assert_eq!(toks.len(), 1, "{lit:?} lexed as {toks:?}");
+            assert_eq!(toks[0].kind, TokKind::CharLit, "{lit:?}");
+            assert_eq!(toks[0].end, lit.len(), "{lit:?}");
+        }
+    }
+
+    #[test]
+    fn string_containing_annotation_is_not_a_comment() {
+        let src = r#"let s = "// provlint: allow(raw-write)";"#;
+        assert!(lex(src).iter().all(|t| t.kind != TokKind::LineComment));
+    }
+
+    #[test]
+    fn string_containing_code_is_not_idents() {
+        let src = r#"let s = "fs::write(p, b)";"#;
+        let idents: Vec<_> = lex(src)
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text(src).to_owned())
+            .collect();
+        assert_eq!(idents, vec!["let", "s"]);
+    }
+
+    #[test]
+    fn raw_ident_is_not_a_raw_string() {
+        let src = "let r#fn = r#struct;";
+        let raw: Vec<_> = lex(src)
+            .iter()
+            .filter(|t| t.kind == TokKind::RawIdent)
+            .map(|t| t.text(src).to_owned())
+            .collect();
+        assert_eq!(raw, vec!["r#fn", "r#struct"]);
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings() {
+        let src = r##"let a = b"bytes"; let b2 = br#"raw "q" bytes"#;"##;
+        let strs: Vec<_> = lex(src)
+            .iter()
+            .filter(|t| t.kind == TokKind::StrLit)
+            .map(|t| t.text(src).to_owned())
+            .collect();
+        assert_eq!(strs, vec![r#"b"bytes""#, r##"br#"raw "q" bytes"#"##]);
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_ranges_or_methods() {
+        let src = "0..10; 1.5; 1.max(2); 0x2F; 1e-5; 12_u64";
+        let nums: Vec<_> = lex(src)
+            .iter()
+            .filter(|t| t.kind == TokKind::Number)
+            .map(|t| t.text(src).to_owned())
+            .collect();
+        assert_eq!(
+            nums,
+            vec!["0", "10", "1.5", "1", "2", "0x2F", "1e-5", "12_u64"]
+        );
+    }
+
+    #[test]
+    fn line_and_column_tracking() {
+        let src = "a\n  bb\n";
+        let toks = lex(src);
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn unterminated_constructs_extend_to_eof() {
+        for src in ["/* open", "\"open", "r#\"open", "'"] {
+            let toks = lex(src);
+            assert!(!toks.is_empty());
+            assert_eq!(toks.last().map(|t| t.end), Some(src.len()), "{src:?}");
+        }
+    }
+
+    #[test]
+    fn doc_comments_are_comments() {
+        let src = "/// outer .unwrap()\n//! inner\n/** block doc */ fn f() {}";
+        let k = kinds(src);
+        assert_eq!(k[0], TokKind::LineComment);
+        assert_eq!(k[1], TokKind::LineComment);
+        assert_eq!(k[2], TokKind::BlockComment);
+    }
+}

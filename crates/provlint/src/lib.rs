@@ -1,0 +1,262 @@
+//! `provlint` — the workspace invariant checker.
+//!
+//! The codebase's correctness story rests on conventions that `rustc`
+//! and clippy cannot see: artifact writes must be torn-write-safe
+//! (`provtrace::write_bytes_durable`), library code must surface typed
+//! errors instead of panicking, every on-disk format constant must be
+//! exercised by corruption tests, persistence modules must not narrow
+//! integers silently, and clocks stay inside the telemetry/timing
+//! layers so reports remain byte-identical across execution modes.
+//! This crate makes those rules machine-checked: a comment/string/
+//! raw-string-aware token scanner ([`lexer`]), a per-crate policy table
+//! ([`policy`]), a rule catalog ([`rules`]) and `file:line`-addressed
+//! diagnostics ([`diag`]) with human and JSON output, driven by the
+//! `provmark-lint` binary in CI.
+//!
+//! Escape hatch: a finding that is deliberate carries an inline
+//! annotation with a justification —
+//! `// provlint: allow(rule-name) -- why this is sound` — on the same
+//! line or the line(s) directly above. `allow-file(rule)` covers a
+//! whole file. Suppressed findings stay visible in the JSON report so
+//! the exemption list is auditable.
+//!
+//! Hand-rolled on `std` per the shim policy: no `syn`, no filesystem
+//! walker crate, no JSON dependency.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod diag;
+pub mod lexer;
+pub mod policy;
+pub mod rules;
+pub mod source;
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use diag::Report;
+use policy::Policy;
+use rules::FormatConst;
+use source::SourceFile;
+
+/// A failure while running the lint (I/O or config level — never a
+/// finding).
+#[derive(Debug)]
+pub enum LintError {
+    /// Reading a source file or walking a directory failed.
+    Io {
+        /// The path involved.
+        path: PathBuf,
+        /// The underlying error.
+        source: io::Error,
+    },
+    /// The policy config file was malformed.
+    Policy(policy::PolicyError),
+}
+
+impl fmt::Display for LintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LintError::Io { path, source } => {
+                write!(f, "io error at {}: {source}", path.display())
+            }
+            LintError::Policy(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for LintError {}
+
+impl From<policy::PolicyError> for LintError {
+    fn from(e: policy::PolicyError) -> Self {
+        LintError::Policy(e)
+    }
+}
+
+fn io_at(path: &Path, source: io::Error) -> LintError {
+    LintError::Io {
+        path: path.to_path_buf(),
+        source,
+    }
+}
+
+/// Recursively collect every `.rs` file under `root` that the policy
+/// scans, as repo-relative unix-separator paths, sorted.
+///
+/// # Errors
+///
+/// Propagates directory-walk failures as [`LintError::Io`].
+pub fn collect_rs_files(root: &Path, policy: &Policy) -> Result<Vec<String>, LintError> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let entries = fs::read_dir(&dir).map_err(|e| io_at(&dir, e))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| io_at(&dir, e))?;
+            let path = entry.path();
+            let rel = rel_unix(root, &path);
+            let file_type = entry.file_type().map_err(|e| io_at(&path, e))?;
+            if file_type.is_dir() {
+                // Check with a trailing slash so `skip-dir target/`
+                // cannot accidentally match a file named `targets.rs`.
+                if policy.scans(&format!("{rel}/")) {
+                    stack.push(path);
+                }
+            } else if file_type.is_file() && rel.ends_with(".rs") && policy.scans(&rel) {
+                out.push(rel);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn rel_unix(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    let mut s = String::new();
+    for comp in rel.components() {
+        if !s.is_empty() {
+            s.push('/');
+        }
+        s.push_str(&comp.as_os_str().to_string_lossy());
+    }
+    s
+}
+
+/// Lint every workspace `.rs` file under `root` with `policy`.
+///
+/// # Errors
+///
+/// Propagates I/O failures; findings are never errors.
+pub fn lint_workspace(root: &Path, policy: &Policy) -> Result<Report, LintError> {
+    let rel_paths = collect_rs_files(root, policy)?;
+    let mut files = Vec::with_capacity(rel_paths.len());
+    for rel in &rel_paths {
+        let abs = root.join(rel);
+        let src = fs::read_to_string(&abs).map_err(|e| io_at(&abs, e))?;
+        files.push(SourceFile::parse(rel, src));
+    }
+    Ok(lint_files(files, policy))
+}
+
+/// Lint already-parsed files (the workspace walk minus the I/O) — the
+/// entry point tests and fixtures use.
+pub fn lint_files(files: Vec<SourceFile>, policy: &Policy) -> Report {
+    let mut report = Report {
+        checked_files: files.len(),
+        ..Report::default()
+    };
+    let mut consts: Vec<FormatConst> = Vec::new();
+    for sf in &files {
+        let mut findings = Vec::new();
+        if policy.rule_enabled("raw-write") {
+            findings.extend(rules::check_raw_write(sf, policy));
+        }
+        if policy.rule_enabled("panic-in-lib") {
+            findings.extend(rules::check_panic_in_lib(sf, policy));
+        }
+        if policy.rule_enabled("lossy-cast-in-serde") {
+            findings.extend(rules::check_lossy_cast(sf, policy));
+        }
+        if policy.rule_enabled("direct-clock") {
+            findings.extend(rules::check_direct_clock(sf, policy));
+        }
+        if policy.rule_enabled("version-fuzz-pairing") {
+            consts.extend(rules::collect_format_consts(sf, policy));
+        }
+        for mut d in findings {
+            match sf.allowed(d.rule, d.line) {
+                Some(just) => {
+                    d.justification = Some(just.to_owned());
+                    report.allowed.push(d);
+                }
+                None => report.violations.push(d),
+            }
+        }
+    }
+    if policy.rule_enabled("version-fuzz-pairing") {
+        for d in rules::check_version_fuzz_pairing(&consts, &files, policy) {
+            if d.is_allowed() {
+                report.allowed.push(d);
+            } else {
+                report.violations.push(d);
+            }
+        }
+    }
+    report.canonicalize();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sf(path: &str, src: &str) -> SourceFile {
+        SourceFile::parse(path, src.to_owned())
+    }
+
+    #[test]
+    fn lint_files_routes_allows() {
+        let p = Policy::workspace_default();
+        let files = vec![sf(
+            "crates/provgraph/src/a.rs",
+            "fn f() { x.unwrap(); }\n\
+             // provlint: allow(panic-in-lib) -- index checked above\n\
+             fn g() { y.unwrap(); }\n",
+        )];
+        let r = lint_files(files, &p);
+        assert_eq!(r.violations.len(), 1);
+        assert_eq!(r.allowed.len(), 1);
+        assert_eq!(r.violations[0].line, 1);
+        assert_eq!(
+            r.allowed[0].justification.as_deref(),
+            Some("index checked above")
+        );
+    }
+
+    #[test]
+    fn disabled_rule_produces_nothing() {
+        let mut p = Policy::workspace_default();
+        p.disabled_rules.push("panic-in-lib".to_owned());
+        let files = vec![sf("crates/provgraph/src/a.rs", "fn f() { x.unwrap(); }\n")];
+        let r = lint_files(files, &p);
+        assert!(r.violations.is_empty() && r.allowed.is_empty());
+    }
+
+    #[test]
+    fn version_pairing_cross_file() {
+        let p = Policy::workspace_default();
+        let files = vec![
+            sf(
+                "crates/provgraph/src/snapshot.rs",
+                "pub const DEMO_VERSION: u32 = 1;\npub const ORPHAN_VERSION: u32 = 2;\n",
+            ),
+            sf(
+                "crates/aspsolver/tests/snapshot_differential.rs",
+                "#[test]\nfn skew() { assert!(DEMO_VERSION > 0); }\n",
+            ),
+        ];
+        let r = lint_files(files, &p);
+        assert_eq!(r.violations.len(), 1);
+        assert!(r.violations[0].message.contains("ORPHAN_VERSION"));
+    }
+
+    #[test]
+    fn workspace_walk_skips_policy_dirs() {
+        // Exercise the real walker against this crate's own fixture
+        // tree: the default policy must skip it.
+        let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let root = here.parent().and_then(Path::parent);
+        let Some(root) = root else {
+            return;
+        };
+        let p = Policy::workspace_default();
+        let files = collect_rs_files(root, &p).expect("walk");
+        assert!(files.iter().any(|f| f == "crates/provlint/src/lib.rs"));
+        assert!(files.iter().all(|f| !f.contains("tests/fixtures/")));
+        assert!(files.iter().all(|f| !f.starts_with("target/")));
+    }
+}

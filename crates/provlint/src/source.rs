@@ -1,0 +1,429 @@
+//! Per-file source model: significant tokens, `#[cfg(test)]` region
+//! detection and `// provlint: allow(...)` annotation parsing.
+
+use crate::lexer::{lex, Tok, TokKind};
+use crate::policy::{classify, crate_of, FileClass};
+use std::collections::BTreeMap;
+
+/// Scope of an allow annotation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AllowScope {
+    /// `allow(rule)` — the comment's lines plus the following line.
+    Line,
+    /// `allow-file(rule)` — the whole file.
+    File,
+}
+
+/// One parsed `provlint:` annotation.
+#[derive(Debug, Clone)]
+struct Allow {
+    rule: String,
+    scope: AllowScope,
+    /// First line the annotation covers.
+    from_line: u32,
+    /// Last line the annotation covers (line scope only).
+    to_line: u32,
+    /// Trailing free text after the `allow(...)` — the justification.
+    justification: String,
+}
+
+/// A lexed, classified source file ready for rule checks.
+pub struct SourceFile {
+    /// Repo-relative path with unix separators.
+    pub rel_path: String,
+    /// Owning crate (workspace package name).
+    pub crate_name: String,
+    /// Lib / bin / test scope from the path.
+    pub class: FileClass,
+    /// Full source text.
+    pub src: String,
+    /// All tokens, comments included.
+    pub toks: Vec<Tok>,
+    /// Indices into `toks` of significant (non-comment) tokens.
+    pub sig: Vec<usize>,
+    /// Byte ranges covered by `#[cfg(test)]` / `#[test]` items.
+    test_regions: Vec<(usize, usize)>,
+    /// Whole file is test code (`#![cfg(test)]` or path class).
+    all_test: bool,
+    allows: Vec<Allow>,
+}
+
+impl SourceFile {
+    /// Lex and model `src` as the file at `rel_path`.
+    pub fn parse(rel_path: &str, src: String) -> SourceFile {
+        let toks = lex(&src);
+        let sig: Vec<usize> = toks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment))
+            .map(|(i, _)| i)
+            .collect();
+        let class = classify(rel_path);
+        let (test_regions, inner_cfg_test) = find_test_regions(&src, &toks, &sig);
+        let allows = parse_allows(&src, &toks);
+        SourceFile {
+            rel_path: rel_path.to_owned(),
+            crate_name: crate_of(rel_path),
+            class,
+            src,
+            toks,
+            sig,
+            test_regions,
+            all_test: inner_cfg_test || class == FileClass::Test,
+            allows,
+        }
+    }
+
+    /// Is the byte offset inside test code (path-level or
+    /// `#[cfg(test)]` region)?
+    pub fn in_test_code(&self, byte: usize) -> bool {
+        self.all_test
+            || self
+                .test_regions
+                .iter()
+                .any(|&(s, e)| byte >= s && byte < e)
+    }
+
+    /// If a matching allow annotation covers `line`, return its
+    /// justification text.
+    pub fn allowed(&self, rule: &str, line: u32) -> Option<&str> {
+        self.allows
+            .iter()
+            .find(|a| {
+                a.rule == rule
+                    && match a.scope {
+                        AllowScope::File => true,
+                        AllowScope::Line => line >= a.from_line && line <= a.to_line,
+                    }
+            })
+            .map(|a| a.justification.as_str())
+    }
+
+    /// The set of identifier texts appearing in this file's test code.
+    /// Used by the version-fuzz-pairing rule to check constants are
+    /// exercised from fuzz tests.
+    pub fn test_code_idents(&self) -> impl Iterator<Item = &str> {
+        self.sig.iter().filter_map(move |&i| {
+            let t = &self.toks[i];
+            if matches!(t.kind, TokKind::Ident | TokKind::RawIdent) && self.in_test_code(t.start) {
+                Some(t.text(&self.src))
+            } else {
+                None
+            }
+        })
+    }
+
+    /// Significant token at sig-index `i`.
+    pub fn sig_tok(&self, i: usize) -> &Tok {
+        &self.toks[self.sig[i]]
+    }
+
+    /// Text of the significant token at sig-index `i`.
+    pub fn sig_text(&self, i: usize) -> &str {
+        self.sig_tok(i).text(&self.src)
+    }
+
+    /// Number of significant tokens.
+    pub fn sig_len(&self) -> usize {
+        self.sig.len()
+    }
+
+    /// Is the significant token at `i` the punct `c`?
+    pub fn sig_is_punct(&self, i: usize, c: char) -> bool {
+        i < self.sig.len() && self.sig_tok(i).kind == TokKind::Punct(c)
+    }
+
+    /// Is the significant token at `i` an identifier equal to `name`?
+    pub fn sig_is_ident(&self, i: usize, name: &str) -> bool {
+        i < self.sig.len() && self.sig_tok(i).kind == TokKind::Ident && self.sig_text(i) == name
+    }
+
+    /// The source line (1-based) as text, for diagnostics snippets.
+    pub fn line_text(&self, line: u32) -> &str {
+        self.src
+            .lines()
+            .nth(line.saturating_sub(1) as usize)
+            .unwrap_or("")
+            .trim()
+    }
+}
+
+/// Scan for `#[cfg(test)]` / `#[test]`-attributed items and return
+/// their byte ranges, plus whether an inner `#![cfg(test)]` marks the
+/// whole file.
+fn find_test_regions(src: &str, toks: &[Tok], sig: &[usize]) -> (Vec<(usize, usize)>, bool) {
+    let mut regions = Vec::new();
+    let mut whole_file = false;
+    let mut i = 0;
+    while i < sig.len() {
+        if toks[sig[i]].kind != TokKind::Punct('#') {
+            i += 1;
+            continue;
+        }
+        let attr_start_byte = toks[sig[i]].start;
+        let mut j = i + 1;
+        let inner = j < sig.len() && toks[sig[j]].kind == TokKind::Punct('!');
+        if inner {
+            j += 1;
+        }
+        if j >= sig.len() || toks[sig[j]].kind != TokKind::Punct('[') {
+            i += 1;
+            continue;
+        }
+        // Collect idents inside the attribute, up to the matching `]`.
+        let mut depth = 0usize;
+        let mut idents: Vec<&str> = Vec::new();
+        let mut k = j;
+        while k < sig.len() {
+            match toks[sig[k]].kind {
+                TokKind::Punct('[') => depth += 1,
+                TokKind::Punct(']') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                TokKind::Ident => idents.push(toks[sig[k]].text(src)),
+                _ => {}
+            }
+            k += 1;
+        }
+        let attr_end = k; // sig index of `]` (or EOF)
+        let is_test_attr = idents.first() == Some(&"test")
+            || (idents.contains(&"cfg") && idents.contains(&"test"));
+        if !is_test_attr {
+            i = attr_end + 1;
+            continue;
+        }
+        if inner {
+            whole_file = true;
+            i = attr_end + 1;
+            continue;
+        }
+        // Skip any further outer attributes before the item.
+        let mut m = attr_end + 1;
+        while m < sig.len() && toks[sig[m]].kind == TokKind::Punct('#') {
+            let mut d = 0usize;
+            m += 1;
+            while m < sig.len() {
+                match toks[sig[m]].kind {
+                    TokKind::Punct('[') => d += 1,
+                    TokKind::Punct(']') => {
+                        d -= 1;
+                        if d == 0 {
+                            m += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                m += 1;
+            }
+        }
+        // The item body: everything to the first `;` at depth 0, or the
+        // matching `}` of the first `{`.
+        let mut d = 0usize;
+        let mut end_byte = src.len();
+        let mut n = m;
+        while n < sig.len() {
+            match toks[sig[n]].kind {
+                TokKind::Punct('{') | TokKind::Punct('(') | TokKind::Punct('[') => d += 1,
+                TokKind::Punct('}') | TokKind::Punct(')') | TokKind::Punct(']') => {
+                    d = d.saturating_sub(1);
+                    if d == 0 && toks[sig[n]].kind == TokKind::Punct('}') {
+                        end_byte = toks[sig[n]].end;
+                        break;
+                    }
+                }
+                TokKind::Punct(';') if d == 0 => {
+                    end_byte = toks[sig[n]].end;
+                    break;
+                }
+                _ => {}
+            }
+            n += 1;
+        }
+        regions.push((attr_start_byte, end_byte));
+        i = n + 1;
+    }
+    (regions, whole_file)
+}
+
+/// Parse `provlint:` annotations out of comment tokens.
+fn parse_allows(src: &str, toks: &[Tok]) -> Vec<Allow> {
+    let mut out = Vec::new();
+    // Lines that hold only comments (no code before or after on the
+    // line): a standalone allow comment extends through these down to
+    // the code line it annotates. A trailing comment (code earlier on
+    // its line) covers that line only.
+    let mut comment_only_lines: BTreeMap<u32, bool> = BTreeMap::new();
+    for t in toks {
+        let is_comment = matches!(t.kind, TokKind::LineComment | TokKind::BlockComment);
+        let end_line = t.line + t.text(src).matches('\n').count() as u32;
+        for line in t.line..=end_line {
+            let e = comment_only_lines.entry(line).or_insert(true);
+            *e = *e && is_comment;
+        }
+    }
+    for t in toks {
+        if !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment) {
+            continue;
+        }
+        let text = t.text(src);
+        let end_line = t.line + text.matches('\n').count() as u32;
+        let standalone =
+            (t.line..=end_line).all(|l| comment_only_lines.get(&l).copied().unwrap_or(true));
+        let Some(at) = text.find("provlint:") else {
+            continue;
+        };
+        let rest = &text[at + "provlint:".len()..];
+        for (scope, marker) in [
+            (AllowScope::File, "allow-file("),
+            (AllowScope::Line, "allow("),
+        ] {
+            let Some(open) = rest.find(marker) else {
+                continue;
+            };
+            let args = &rest[open + marker.len()..];
+            let Some(close) = args.find(')') else {
+                continue;
+            };
+            let names = &args[..close];
+            let justification = args[close + 1..]
+                .trim_start_matches(['-', ' ', '\t'])
+                .trim_end_matches(['*', '/', ' ', '\t'])
+                .trim()
+                .to_owned();
+            for name in names.split(',') {
+                let name = name.trim();
+                if name.is_empty() {
+                    continue;
+                }
+                // A trailing comment covers its own line; a standalone
+                // comment (stack) extends down to the first code line.
+                let mut to_line = end_line;
+                if standalone {
+                    to_line += 1;
+                    while comment_only_lines.get(&to_line).copied().unwrap_or(false) {
+                        to_line += 1;
+                    }
+                }
+                out.push(Allow {
+                    rule: name.to_owned(),
+                    scope,
+                    from_line: t.line,
+                    to_line,
+                    justification: justification.clone(),
+                });
+            }
+            break;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(src: &str) -> SourceFile {
+        SourceFile::parse("crates/provgraph/src/x.rs", src.to_owned())
+    }
+
+    #[test]
+    fn cfg_test_module_region() {
+        let src = "fn lib() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n  fn t() { y.unwrap(); }\n}\nfn lib2() {}\n";
+        let sf = f(src);
+        let lib_pos = src.find("x.unwrap").unwrap();
+        let test_pos = src.find("y.unwrap").unwrap();
+        let lib2_pos = src.find("fn lib2").unwrap();
+        assert!(!sf.in_test_code(lib_pos));
+        assert!(sf.in_test_code(test_pos));
+        assert!(!sf.in_test_code(lib2_pos));
+    }
+
+    #[test]
+    fn test_fn_region_and_stacked_attrs() {
+        let src = "#[test]\n#[ignore]\nfn t() { a.unwrap(); }\nfn lib() { b.unwrap(); }\n";
+        let sf = f(src);
+        assert!(sf.in_test_code(src.find("a.unwrap").unwrap()));
+        assert!(!sf.in_test_code(src.find("b.unwrap").unwrap()));
+    }
+
+    #[test]
+    fn inner_cfg_test_marks_whole_file() {
+        let sf = f("#![cfg(test)]\nfn anything() { x.unwrap(); }\n");
+        assert!(sf.in_test_code(30));
+    }
+
+    #[test]
+    fn cfg_any_test_counts() {
+        let src = "#[cfg(any(test, feature = \"x\"))]\nmod helpers { fn h() { a.unwrap(); } }\n";
+        let sf = f(src);
+        assert!(sf.in_test_code(src.find("a.unwrap").unwrap()));
+    }
+
+    #[test]
+    fn cfg_not_test_still_counts_conservatively() {
+        // `#[cfg(not(test))]` contains the ident `test`; the model
+        // treats it as test-gated, which is conservative for linting
+        // (it suppresses, never invents, findings) and keeps the
+        // scanner grammar-free.
+        let src = "#[cfg(not(test))]\nfn gated() { a.unwrap(); }\n";
+        assert!(f(src).in_test_code(src.find("a.unwrap").unwrap()));
+    }
+
+    #[test]
+    fn allow_same_line_and_preceding_line() {
+        let src = "\
+fn a() { x.unwrap(); } // provlint: allow(panic-in-lib) -- infallible: checked above
+// provlint: allow(raw-write) -- fixture writer
+fn b() { fs::write(p, q); }
+fn c() { fs::write(p, q); }
+";
+        let sf = f(src);
+        assert_eq!(
+            sf.allowed("panic-in-lib", 1),
+            Some("infallible: checked above")
+        );
+        assert_eq!(sf.allowed("raw-write", 3), Some("fixture writer"));
+        assert_eq!(sf.allowed("raw-write", 4), None);
+        assert_eq!(sf.allowed("panic-in-lib", 3), None);
+    }
+
+    #[test]
+    fn allow_stacked_comment_block() {
+        let src = "\
+// provlint: allow(direct-clock) -- liveness deadline, not report content
+// (the heartbeat thread re-reads this)
+fn b() { Instant::now(); }
+";
+        let sf = f(src);
+        assert!(sf.allowed("direct-clock", 3).is_some());
+    }
+
+    #[test]
+    fn allow_file_scope_and_multi_rule() {
+        let src = "// provlint: allow-file(lossy-cast-in-serde, direct-clock)\nfn x() {}\n";
+        let sf = f(src);
+        assert!(sf.allowed("lossy-cast-in-serde", 999).is_some());
+        assert!(sf.allowed("direct-clock", 2).is_some());
+        assert!(sf.allowed("raw-write", 2).is_none());
+    }
+
+    #[test]
+    fn annotation_inside_string_is_inert() {
+        let src = "let s = \"// provlint: allow(raw-write)\";\nfn b() { fs::write(p, q); }\n";
+        let sf = f(src);
+        assert_eq!(sf.allowed("raw-write", 2), None);
+    }
+
+    #[test]
+    fn test_code_idents_only_from_test_regions() {
+        let src = "fn lib() { LIB_CONST; }\n#[cfg(test)]\nmod t { fn x() { TEST_CONST; } }\n";
+        let sf = f(src);
+        let ids: Vec<&str> = sf.test_code_idents().collect();
+        assert!(ids.contains(&"TEST_CONST"));
+        assert!(!ids.contains(&"LIB_CONST"));
+    }
+}

@@ -1,0 +1,22 @@
+//! Seeded fixture: format constants with and without fuzz coverage.
+//! This path matches the `persist` fuzz marker, so its own test module
+//! counts as coverage for the constant it references.
+
+/// Covered: the test below references it.
+pub const COVERED_VERSION: u32 = 1;
+
+/// Orphaned: nothing in any fuzz-marked test references it.
+pub const ORPHANED_VERSION: u32 = 2;
+
+/// Orphaned magic constant.
+pub const SEEDED_MAGIC: [u8; 4] = *b"SEED";
+
+#[cfg(test)]
+mod tests {
+    use super::COVERED_VERSION;
+
+    #[test]
+    fn version_skew_rejected() {
+        assert_eq!(COVERED_VERSION, 1);
+    }
+}

@@ -1,0 +1,41 @@
+//! Clean fixture: every construct here is designed to trip a naive
+//! (non-lexing) scanner. A correct run reports ZERO findings.
+
+/* nested /* block /* comments */ hide */ fs::write(a, b) and x.unwrap() */
+
+pub const RAW: &str = r#"inside a raw string: fs::write(p, b); x.unwrap(); panic!()"#;
+pub const RAW_HASHED: &str = r##"ends with "# but not here: File::create(p)"##;
+pub const BYTES: &[u8] = b"byte string with x.expect(\"msg\") inside";
+pub const RAW_BYTES: &[u8] = br#"raw bytes: SystemTime::now()"#;
+
+/// A string that *contains* an annotation must not suppress anything,
+/// and a string that contains violations must not report anything:
+pub const TRICKY: &str = "// provlint: allow(panic-in-lib) -- not a real annotation";
+
+pub fn lifetimes_not_chars<'a>(x: &'a str) -> &'a str {
+    let _c: char = 'x';
+    let _esc: char = '\'';
+    let _unicode: char = '\u{1F600}';
+    x
+}
+
+pub fn r#fn(r#type: u32) -> u32 {
+    // raw identifiers must not confuse the scanner
+    r#type
+}
+
+pub const MATH: f64 = 1.5e-3; // float literal with exponent
+pub const RANGE_SUM: u32 = {
+    let mut s = 0;
+    let mut i = 0u32;
+    while i < 4 {
+        s += i;
+        i += 1;
+    }
+    s
+};
+
+// A comment ending in a quote " and a line with 'unbalanced tick
+pub fn done() -> u32 {
+    0
+}

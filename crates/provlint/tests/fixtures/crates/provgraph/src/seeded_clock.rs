@@ -1,0 +1,13 @@
+//! Seeded fixture: direct clock reads outside the telemetry layers.
+
+use std::time::{Instant, SystemTime};
+
+pub fn stamp() -> u128 {
+    let t0 = Instant::now(); // line 6: Instant::now
+    let wall = SystemTime::now(); // line 7: SystemTime::now
+    let _ = wall;
+    t0.elapsed().as_nanos()
+}
+
+// Inert in comments and strings: Instant::now() / SystemTime::now()
+pub const DOC: &str = "avoid Instant::now() here";

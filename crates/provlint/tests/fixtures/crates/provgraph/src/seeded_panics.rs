@@ -1,0 +1,33 @@
+//! Seeded fixture: every panic-family construct in strict library code.
+
+pub fn five_ways(v: Option<u32>, r: Result<u32, String>) -> u32 {
+    let a = v.unwrap(); // line 4: .unwrap()
+    let b = r.expect("seeded"); // line 5: .expect()
+    if a + b == 77 {
+        panic!("seeded panic"); // line 7: panic!
+    }
+    if a == 3 {
+        todo!() // line 10: todo!
+    }
+    if b == 4 {
+        unimplemented!() // line 13: unimplemented!
+    }
+    a + b
+}
+
+/// An allow annotation suppresses (but the finding stays auditable):
+pub fn allowed(v: Option<u32>) -> u32 {
+    // provlint: allow(panic-in-lib) -- seeded justification text
+    v.unwrap()
+}
+
+// "x.unwrap()" in a string is not a finding:
+pub const DOC: &str = "never write x.unwrap() in library code";
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        Some(1u32).unwrap();
+    }
+}

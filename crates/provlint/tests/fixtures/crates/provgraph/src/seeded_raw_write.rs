@@ -1,0 +1,26 @@
+//! Seeded fixture: raw filesystem writes outside a sanctioned module.
+
+use std::fs;
+use std::fs::File;
+use std::path::Path;
+
+pub fn commit(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    fs::write(path, bytes) // line 8: raw-write via fs::write
+}
+
+pub fn open_artifact(path: &Path) -> std::io::Result<File> {
+    File::create(path) // line 12: raw-write via File::create
+}
+
+// The same calls inside a string or comment are inert:
+// fs::write(path, bytes) — just a comment
+pub const DOC: &str = "call fs::write(path, bytes) and File::create(path)";
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn raw_writes_in_tests_are_fine() {
+        let dir = std::env::temp_dir().join("provlint-fixture");
+        std::fs::write(dir, b"x").ok(); // exempt: test code
+    }
+}

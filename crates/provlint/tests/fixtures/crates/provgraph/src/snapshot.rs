@@ -1,0 +1,19 @@
+//! Seeded fixture: narrowing casts in a serde-scoped module path
+//! (`provgraph/src/snapshot.rs` is in the default policy's serde list).
+
+pub fn encode_len(out: &mut Vec<u8>, items: &[u64]) {
+    let n = items.len() as u32; // line 5: usize -> u32
+    out.extend_from_slice(&n.to_le_bytes());
+    for &x in items {
+        out.push(x as u8); // line 8: u64 -> u8
+    }
+}
+
+pub fn widen_is_fine(x: u32) -> u64 {
+    x as u64 // widening: not a finding
+}
+
+pub fn annotated(n: usize) -> u32 {
+    // provlint: allow(lossy-cast-in-serde) -- seeded: bound checked by caller
+    n as u32
+}

@@ -1,0 +1,166 @@
+//! Property tests for the provlint lexer: on arbitrary construct
+//! soups the scanner must never panic, must produce in-bounds,
+//! non-overlapping, strictly ordered tokens, and must keep violations
+//! quarantined inside strings and comments.
+
+use proptest::prelude::*;
+use provlint::lexer::{lex, TokKind};
+
+/// One source fragment with the token kind we expect it to open with.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Frag {
+    Ident,
+    Number,
+    Str,
+    RawStr,
+    Char,
+    Lifetime,
+    LineComment,
+    BlockComment,
+    NestedComment,
+    Punct,
+}
+
+fn render(frag: Frag, salt: u64) -> (String, TokKind) {
+    match frag {
+        Frag::Ident => (format!("ident{salt}"), TokKind::Ident),
+        Frag::Number => (format!("{salt}u64"), TokKind::Number),
+        Frag::Str => (
+            format!("\"str {salt} with x.unwrap() and // provlint: allow(raw-write)\""),
+            TokKind::StrLit,
+        ),
+        Frag::RawStr => (
+            format!("r#\"raw {salt} fs::write(a, b) \"quoted\" tail\"#"),
+            TokKind::StrLit,
+        ),
+        Frag::Char => ("'q'".to_owned(), TokKind::CharLit),
+        Frag::Lifetime => (format!("'lt{salt}"), TokKind::Lifetime),
+        Frag::LineComment => (
+            format!("// comment {salt} SystemTime::now() panic!()\n"),
+            TokKind::LineComment,
+        ),
+        Frag::BlockComment => (
+            format!("/* block {salt} File::create(p) */"),
+            TokKind::BlockComment,
+        ),
+        Frag::NestedComment => (
+            format!("/* outer {salt} /* inner /* deep */ x.expect(\"e\") */ tail */"),
+            TokKind::BlockComment,
+        ),
+        Frag::Punct => ("+".to_owned(), TokKind::Punct('+')),
+    }
+}
+
+fn frag_strategy() -> impl Strategy<Value = Frag> {
+    prop::sample::select(vec![
+        Frag::Ident,
+        Frag::Number,
+        Frag::Str,
+        Frag::RawStr,
+        Frag::Char,
+        Frag::Lifetime,
+        Frag::LineComment,
+        Frag::BlockComment,
+        Frag::NestedComment,
+        Frag::Punct,
+    ])
+}
+
+proptest! {
+    #[test]
+    fn token_stream_is_ordered_in_bounds_and_kind_faithful(
+        frags in prop::collection::vec((frag_strategy(), 0u64..1000), 0..40),
+    ) {
+        let mut src = String::new();
+        let mut expected = Vec::new();
+        for (frag, salt) in &frags {
+            let (text, kind) = render(*frag, *salt);
+            src.push_str(&text);
+            src.push(' ');
+            expected.push(kind);
+        }
+        let toks = lex(&src);
+
+        // Every emitted token must equal one expected construct, in order.
+        let kinds: Vec<&TokKind> = toks.iter().map(|t| &t.kind).collect();
+        prop_assert_eq!(kinds.len(), expected.len(), "src: {:?}", src);
+        for (got, want) in toks.iter().zip(&expected) {
+            prop_assert_eq!(&got.kind, want, "src: {:?}", src);
+        }
+
+        // Spans: in-bounds, non-empty, strictly increasing, char-aligned.
+        let mut prev_end = 0usize;
+        for t in &toks {
+            prop_assert!(t.start >= prev_end, "overlap in {:?}", src);
+            prop_assert!(t.end > t.start && t.end <= src.len());
+            prop_assert!(src.is_char_boundary(t.start) && src.is_char_boundary(t.end));
+            prev_end = t.end;
+        }
+    }
+
+    #[test]
+    fn lexing_arbitrary_bytes_never_panics_and_stays_in_bounds(
+        src in "[ -~\n\t\u{80}-\u{24F}]{0,200}",
+    ) {
+        let toks = lex(&src);
+        let mut prev_end = 0usize;
+        for t in &toks {
+            prop_assert!(t.start >= prev_end && t.end > t.start && t.end <= src.len());
+            prev_end = t.end;
+        }
+    }
+
+    #[test]
+    fn nested_block_comments_lex_as_one_token(depth in 1usize..12) {
+        let mut src = String::new();
+        for _ in 0..depth {
+            src.push_str("/* level ");
+        }
+        src.push_str("core x.unwrap()");
+        for _ in 0..depth {
+            src.push_str(" */");
+        }
+        let toks = lex(&src);
+        prop_assert_eq!(toks.len(), 1, "src: {:?}", src);
+        prop_assert_eq!(&toks[0].kind, &TokKind::BlockComment);
+        prop_assert_eq!(toks[0].end, src.len());
+    }
+
+    #[test]
+    fn raw_strings_swallow_their_exact_hash_depth(hashes in 0usize..6) {
+        let fence = "#".repeat(hashes);
+        let inner = if hashes == 0 {
+            "no hashes fs::write".to_owned()
+        } else {
+            // One fewer hash after a quote must NOT close the string.
+            format!("decoy \"{} still inside", "#".repeat(hashes - 1))
+        };
+        let src = format!("r{fence}\"{inner}\"{fence} trailing");
+        let toks = lex(&src);
+        prop_assert!(toks.len() >= 2, "src: {:?}", src);
+        prop_assert_eq!(&toks[0].kind, &TokKind::StrLit);
+        prop_assert_eq!(&src[toks[0].start..toks[0].end],
+            format!("r{fence}\"{inner}\"{fence}").as_str());
+        prop_assert_eq!(&toks[1].kind, &TokKind::Ident);
+    }
+}
+
+#[test]
+fn unterminated_constructs_lex_leniently_to_eof() {
+    for src in [
+        "\"never closed",
+        "r#\"raw never closed",
+        "/* block never closed",
+        "'",
+        "b\"bytes never closed",
+    ] {
+        let toks = lex(src);
+        assert!(
+            toks.iter().all(|t| t.end <= src.len()),
+            "out-of-bounds token for {src:?}"
+        );
+        if let Some(last) = toks.last() {
+            assert_eq!(last.end, src.len(), "lenient EOF for {src:?}");
+        }
+    }
+}

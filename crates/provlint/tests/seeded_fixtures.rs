@@ -1,0 +1,139 @@
+//! Drive the real workspace walker over the seeded fixture tree and
+//! prove every rule fires where planted — and nowhere else.
+//!
+//! The fixture tree mirrors repo-relative crate paths
+//! (`crates/provgraph/src/...`), so the default policy scopes rules
+//! exactly as it does on the real workspace.
+
+use std::path::PathBuf;
+
+use provlint::diag::Diagnostic;
+use provlint::lint_workspace;
+use provlint::policy::Policy;
+
+fn fixture_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("fixtures")
+}
+
+fn run() -> (Vec<Diagnostic>, Vec<Diagnostic>) {
+    let report = lint_workspace(&fixture_root(), &Policy::workspace_default()).expect("lint runs");
+    (report.violations, report.allowed)
+}
+
+fn hits<'a>(diags: &'a [Diagnostic], rule: &str, path: &str) -> Vec<&'a Diagnostic> {
+    diags
+        .iter()
+        .filter(|d| d.rule == rule && d.path == path)
+        .collect()
+}
+
+#[test]
+fn raw_write_fires_on_both_call_forms_and_skips_tests_and_strings() {
+    let (violations, _) = run();
+    let path = "crates/provgraph/src/seeded_raw_write.rs";
+    let lines: Vec<u32> = hits(&violations, "raw-write", path)
+        .iter()
+        .map(|d| d.line)
+        .collect();
+    assert_eq!(lines, vec![8, 12], "fs::write and File::create sites only");
+}
+
+#[test]
+fn panic_in_lib_fires_on_all_five_constructs() {
+    let (violations, allowed) = run();
+    let path = "crates/provgraph/src/seeded_panics.rs";
+    let lines: Vec<u32> = hits(&violations, "panic-in-lib", path)
+        .iter()
+        .map(|d| d.line)
+        .collect();
+    assert_eq!(
+        lines,
+        vec![4, 5, 7, 10, 13],
+        "unwrap, expect, panic!, todo!, unimplemented!"
+    );
+    // The annotated site is suppressed but auditable, justification intact.
+    let suppressed = hits(&allowed, "panic-in-lib", path);
+    assert_eq!(suppressed.len(), 1);
+    assert_eq!(
+        suppressed[0].justification.as_deref(),
+        Some("seeded justification text")
+    );
+}
+
+#[test]
+fn lossy_cast_fires_only_on_narrowing_in_serde_modules() {
+    let (violations, allowed) = run();
+    let path = "crates/provgraph/src/snapshot.rs";
+    let lines: Vec<u32> = hits(&violations, "lossy-cast-in-serde", path)
+        .iter()
+        .map(|d| d.line)
+        .collect();
+    assert_eq!(lines, vec![5, 8], "narrowing casts only; widening is clean");
+    assert_eq!(hits(&allowed, "lossy-cast-in-serde", path).len(), 1);
+    // The clock fixture is NOT a serde module: its casts (if any) and
+    // the torture file's numeric code must not leak findings here.
+    assert!(hits(
+        &violations,
+        "lossy-cast-in-serde",
+        "crates/provgraph/src/seeded_clock.rs"
+    )
+    .is_empty());
+}
+
+#[test]
+fn direct_clock_fires_on_both_clocks() {
+    let (violations, _) = run();
+    let path = "crates/provgraph/src/seeded_clock.rs";
+    let lines: Vec<u32> = hits(&violations, "direct-clock", path)
+        .iter()
+        .map(|d| d.line)
+        .collect();
+    assert_eq!(lines, vec![6, 7], "Instant::now and SystemTime::now");
+}
+
+#[test]
+fn version_fuzz_pairing_flags_only_orphaned_constants() {
+    let (violations, _) = run();
+    let path = "crates/aspsolver/src/persist.rs";
+    let flagged: Vec<String> = hits(&violations, "version-fuzz-pairing", path)
+        .iter()
+        .map(|d| d.message.clone())
+        .collect();
+    assert_eq!(flagged.len(), 2, "{flagged:?}");
+    assert!(flagged.iter().any(|m| m.contains("ORPHANED_VERSION")));
+    assert!(flagged.iter().any(|m| m.contains("SEEDED_MAGIC")));
+    assert!(
+        !flagged.iter().any(|m| m.contains("COVERED_VERSION")),
+        "the in-module corruption test covers COVERED_VERSION"
+    );
+}
+
+#[test]
+fn lexer_torture_file_is_completely_clean() {
+    let (violations, allowed) = run();
+    let path = "crates/provgraph/src/lexer_torture.rs";
+    let noise: Vec<_> = violations
+        .iter()
+        .chain(allowed.iter())
+        .filter(|d| d.path == path)
+        .map(|d| (d.rule, d.line))
+        .collect();
+    assert!(
+        noise.is_empty(),
+        "violations or suppressions leaked from strings/comments: {noise:?}"
+    );
+}
+
+#[test]
+fn seeded_tree_fails_the_binary_contract() {
+    // The acceptance criterion for CI: a tree with live violations
+    // produces a non-empty violation list (exit 1 in the binary), and
+    // the JSON report carries them all.
+    let report = lint_workspace(&fixture_root(), &Policy::workspace_default()).expect("lint runs");
+    assert!(!report.violations.is_empty());
+    let json = report.render_json();
+    assert!(json.contains("\"schema_version\": 1"));
+    assert!(json.contains("seeded_raw_write.rs"));
+}

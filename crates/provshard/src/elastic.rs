@@ -148,10 +148,10 @@ impl MemoCounters {
 
     fn to_json(self) -> Value {
         let mut doc = Map::new();
-        doc.insert("hits".into(), Value::Number(self.hits as f64));
-        doc.insert("disk_hits".into(), Value::Number(self.disk_hits as f64));
-        doc.insert("misses".into(), Value::Number(self.misses as f64));
-        doc.insert("evictions".into(), Value::Number(self.evictions as f64));
+        doc.insert("hits".into(), crate::exact_num(self.hits));
+        doc.insert("disk_hits".into(), crate::exact_num(self.disk_hits));
+        doc.insert("misses".into(), crate::exact_num(self.misses));
+        doc.insert("evictions".into(), crate::exact_num(self.evictions));
         Value::Object(doc)
     }
 
@@ -199,15 +199,16 @@ impl CellTask {
     pub fn to_json_string(&self) -> String {
         let mut doc = Map::new();
         doc.insert("format".into(), Value::String("provmark-cell-task".into()));
-        doc.insert("version".into(), Value::Number(CELL_TASK_VERSION as f64));
+        doc.insert("version".into(), crate::exact_num(CELL_TASK_VERSION.into()));
         doc.insert(
             "snapshot_format_version".into(),
-            Value::Number(provgraph::snapshot::SNAPSHOT_VERSION as f64),
+            crate::exact_num(provgraph::snapshot::SNAPSHOT_VERSION.into()),
         );
         doc.insert("syscall".into(), Value::String(self.syscall.clone()));
-        doc.insert("tool".into(), Value::Number(self.tool as f64));
-        doc.insert("epoch".into(), Value::Number(self.epoch as f64));
+        doc.insert("tool".into(), crate::exact_num(self.tool as u64));
+        doc.insert("epoch".into(), crate::exact_num(self.epoch.into()));
         insert_config(&mut doc, &self.config);
+        // provlint: allow(panic-in-lib) -- serialization only fails on non-finite floats; every number here passed exact_num
         serde_json::to_string_pretty(&Value::Object(doc)).expect("cell task serializes")
     }
 
@@ -227,7 +228,8 @@ impl CellTask {
                 .ok_or_else(|| artifact("cell task is missing `syscall`"))?
                 .to_owned(),
             tool: crate::get_usize(&doc, "tool")?,
-            epoch: crate::get_usize(&doc, "epoch")? as u32,
+            epoch: u32::try_from(crate::get_usize(&doc, "epoch")?)
+                .map_err(|_| artifact("epoch outside u32 range"))?,
             config: extract_config(&doc)?,
         })
     }
@@ -263,17 +265,21 @@ impl CellResult {
             "format".into(),
             Value::String("provmark-cell-result".into()),
         );
-        doc.insert("version".into(), Value::Number(CELL_RESULT_VERSION as f64));
+        doc.insert(
+            "version".into(),
+            crate::exact_num(CELL_RESULT_VERSION.into()),
+        );
         doc.insert(
             "snapshot_format_version".into(),
-            Value::Number(provgraph::snapshot::SNAPSHOT_VERSION as f64),
+            crate::exact_num(provgraph::snapshot::SNAPSHOT_VERSION.into()),
         );
         doc.insert("syscall".into(), Value::String(self.syscall.clone()));
-        doc.insert("tool".into(), Value::Number(self.tool as f64));
-        doc.insert("epoch".into(), Value::Number(self.epoch as f64));
+        doc.insert("tool".into(), crate::exact_num(self.tool as u64));
+        doc.insert("epoch".into(), crate::exact_num(self.epoch.into()));
         insert_config(&mut doc, &self.config);
         doc.insert("cell".into(), cell_to_json(&self.cell));
         doc.insert("memo".into(), self.memo.to_json());
+        // provlint: allow(panic-in-lib) -- serialization only fails on non-finite floats; every number here passed exact_num
         serde_json::to_string_pretty(&Value::Object(doc)).expect("cell result serializes")
     }
 
@@ -293,7 +299,8 @@ impl CellResult {
                 .ok_or_else(|| artifact("cell result is missing `syscall`"))?
                 .to_owned(),
             tool: crate::get_usize(&doc, "tool")?,
-            epoch: crate::get_usize(&doc, "epoch")? as u32,
+            epoch: u32::try_from(crate::get_usize(&doc, "epoch")?)
+                .map_err(|_| artifact("epoch outside u32 range"))?,
             config: extract_config(&doc)?,
             cell: cell_from_json(&doc["cell"])?,
             memo: MemoCounters::from_json(&doc["memo"])?,
@@ -432,6 +439,7 @@ impl TaskStore {
         // Re-write the claimed file with its own content: `rename`
         // preserves the plan-time mtime, and the supervisor uses the
         // claimed file's mtime as the heartbeat fallback.
+        // provlint: allow(raw-write) -- mtime-touch of a file this worker exclusively owns; a torn body is re-read from `text`, never from disk
         std::fs::write(&claimed, &text)?;
         let task = CellTask::from_json_str(&text)?;
         self.write_heartbeat(&task, worker)?;
@@ -470,9 +478,10 @@ impl TaskStore {
     pub fn write_heartbeat(&self, task: &CellTask, worker: usize) -> Result<(), PipelineError> {
         let mut doc = Map::new();
         doc.insert("format".into(), Value::String("provmark-heartbeat".into()));
-        doc.insert("pid".into(), Value::Number(std::process::id() as f64));
-        doc.insert("worker".into(), Value::Number(worker as f64));
-        doc.insert("epoch".into(), Value::Number(task.epoch as f64));
+        doc.insert("pid".into(), crate::exact_num(std::process::id().into()));
+        doc.insert("worker".into(), crate::exact_num(worker as u64));
+        doc.insert("epoch".into(), crate::exact_num(task.epoch.into()));
+        // provlint: allow(panic-in-lib) -- serialization only fails on non-finite floats; every number here passed exact_num
         let text = serde_json::to_string_pretty(&Value::Object(doc)).expect("heartbeat serializes");
         atomic_write(&self.heartbeats().join(task.file_name()), &text)?;
         Ok(())
@@ -513,6 +522,7 @@ impl TaskStore {
     pub fn publish_torn(&self, result: &CellResult) -> Result<(), PipelineError> {
         let name = format!("{}.t{}.e{}.json", result.syscall, result.tool, result.epoch);
         let full = result.to_json_string();
+        // provlint: allow(raw-write) -- deliberately torn: this fault injector simulates a worker killed mid-write
         std::fs::write(self.done().join(name), &full[..full.len() / 2])?;
         Ok(())
     }
@@ -1068,6 +1078,7 @@ impl ProcessPool {
 impl Pool for ProcessPool {
     fn spawn(&mut self, index: usize) -> Result<(), PipelineError> {
         let stderr_path = self.root.join(format!("worker-{index}.stderr"));
+        // provlint: allow(raw-write) -- live stderr stream handed to the child process, not a parsed artifact
         let stderr = std::fs::File::create(&stderr_path)?;
         let mut command = std::process::Command::new(&self.exe);
         command
@@ -1126,6 +1137,7 @@ impl Pool for ProcessPool {
     fn shutdown(&mut self) -> Vec<WorkerExit> {
         // The stop sentinel is up; give workers (which may be finishing
         // a superseded claim) a generous grace period, then kill.
+        // provlint: allow(direct-clock) -- liveness/backoff scheduling only; report bytes are time-free
         let deadline = Instant::now() + Duration::from_secs(60);
         let mut exits = Vec::new();
         while !self.children.is_empty() {
@@ -1133,6 +1145,7 @@ impl Pool for ProcessPool {
             if self.children.is_empty() {
                 break;
             }
+            // provlint: allow(direct-clock) -- liveness/backoff scheduling only; report bytes are time-free
             if Instant::now() >= deadline {
                 for (index, child, stderr) in self.children.drain(..) {
                     let mut child = child;
@@ -1403,6 +1416,7 @@ fn supervise(
                         detail: String,
                         backoff: Duration,
                         max_retries: u32| {
+        // provlint: allow(panic-in-lib) -- every dispatched id was seeded into `slots` at plan time
         let slot = slots.get_mut(id).expect("known cell");
         if slot.task.epoch > max_retries {
             slot.state = SlotState::Failed(CellFailure {
@@ -1413,6 +1427,7 @@ fn supervise(
             });
         } else {
             slot.task.epoch += 1;
+            // provlint: allow(direct-clock) -- liveness/backoff scheduling only; report bytes are time-free
             pending.insert(id.to_owned(), Instant::now() + backoff);
             *requeues += 1;
         }
@@ -1483,6 +1498,7 @@ fn supervise(
             }
         }
         for (id, cell) in completed {
+            // provlint: allow(panic-in-lib) -- every dispatched id was seeded into `slots` at plan time
             slots.get_mut(&id).expect("known cell").state = SlotState::Done(cell);
             pending.remove(&id);
         }
@@ -1547,6 +1563,7 @@ fn supervise(
         }
 
         // Re-dispatch cells whose backoff has elapsed.
+        // provlint: allow(direct-clock) -- liveness/backoff scheduling only; report bytes are time-free
         let now = Instant::now();
         let due: Vec<String> = pending
             .iter()

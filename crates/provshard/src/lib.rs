@@ -116,18 +116,18 @@ impl ShardManifest {
             "format".into(),
             Value::String("provmark-shard-manifest".into()),
         );
-        doc.insert("version".into(), Value::Number(MANIFEST_VERSION as f64));
+        doc.insert("version".into(), exact_num(MANIFEST_VERSION.into()));
         doc.insert(
             "snapshot_format_version".into(),
-            Value::Number(provgraph::snapshot::SNAPSHOT_VERSION as f64),
+            exact_num(provgraph::snapshot::SNAPSHOT_VERSION.into()),
         );
         doc.insert(
             "shard_index".into(),
-            Value::Number(self.shard.shard_index as f64),
+            exact_num(self.shard.shard_index as u64),
         );
         doc.insert(
             "shard_count".into(),
-            Value::Number(self.shard.shard_count as f64),
+            exact_num(self.shard.shard_count as u64),
         );
         doc.insert(
             "syscalls".into(),
@@ -140,6 +140,7 @@ impl ShardManifest {
             ),
         );
         insert_config(&mut doc, &self.config);
+        // provlint: allow(panic-in-lib) -- serialization only fails on non-finite floats; every number here passed exact_num
         serde_json::to_string_pretty(&Value::Object(doc)).expect("manifest serializes")
     }
 
@@ -192,7 +193,7 @@ impl ShardManifest {
 /// numbers with `f64`, which would silently round seeds above 2^53.
 pub(crate) fn insert_config(doc: &mut Map<String, Value>, config: &RunConfig) {
     let mut options = Map::new();
-    options.insert("trials".into(), Value::Number(config.opts.trials as f64));
+    options.insert("trials".into(), exact_num(config.opts.trials as u64));
     options.insert(
         "base_seed".into(),
         Value::String(config.opts.base_seed.to_string()),
@@ -209,9 +210,7 @@ pub(crate) fn insert_config(doc: &mut Map<String, Value>, config: &RunConfig) {
     doc.insert("options".into(), Value::Object(options));
     doc.insert(
         "opus_db_iterations".into(),
-        config
-            .opus_db_iterations
-            .map_or(Value::Null, |n| Value::Number(n as f64)),
+        config.opus_db_iterations.map_or(Value::Null, exact_num),
     );
 }
 
@@ -278,13 +277,13 @@ impl PartialResults {
             "format".into(),
             Value::String("provmark-shard-partial".into()),
         );
-        doc.insert("version".into(), Value::Number(PARTIAL_VERSION as f64));
+        doc.insert("version".into(), exact_num(PARTIAL_VERSION.into()));
         doc.insert(
             "snapshot_format_version".into(),
-            Value::Number(provgraph::snapshot::SNAPSHOT_VERSION as f64),
+            exact_num(provgraph::snapshot::SNAPSHOT_VERSION.into()),
         );
-        doc.insert("shard_index".into(), Value::Number(self.shard_index as f64));
-        doc.insert("shard_count".into(), Value::Number(self.shard_count as f64));
+        doc.insert("shard_index".into(), exact_num(self.shard_index as u64));
+        doc.insert("shard_count".into(), exact_num(self.shard_count as u64));
         insert_config(&mut doc, &self.config);
         let rows: Vec<Value> = self
             .rows
@@ -300,6 +299,7 @@ impl PartialResults {
             })
             .collect();
         doc.insert("rows".into(), Value::Array(rows));
+        // provlint: allow(panic-in-lib) -- serialization only fails on non-finite floats; every number here passed exact_num
         serde_json::to_string_pretty(&Value::Object(doc)).expect("partial serializes")
     }
 
@@ -325,6 +325,7 @@ impl PartialResults {
                         Value::Array(cells) if cells.len() == 3 => {
                             let parsed: Vec<CellOutcome> =
                                 cells.iter().map(cell_from_json).collect::<Result<_, _>>()?;
+                            // provlint: allow(panic-in-lib) -- the match arm guarantees exactly 3 cells
                             <[CellOutcome; 3]>::try_from(parsed).expect("length checked")
                         }
                         _ => {
@@ -352,18 +353,17 @@ pub(crate) fn cell_to_json(cell: &CellOutcome) -> Value {
     c.insert("status".into(), Value::String(cell.status.clone()));
     c.insert(
         "matching_cost".into(),
-        cell.matching_cost
-            .map_or(Value::Null, |v| Value::Number(v as f64)),
+        cell.matching_cost.map_or(Value::Null, exact_num),
     );
     c.insert(
         "discarded_trials".into(),
         cell.discarded_trials
-            .map_or(Value::Null, |v| Value::Number(v as f64)),
+            .map_or(Value::Null, |v| exact_num(v as u64)),
     );
     c.insert(
         "result_size".into(),
         cell.result_size
-            .map_or(Value::Null, |v| Value::Number(v as f64)),
+            .map_or(Value::Null, |v| exact_num(v as u64)),
     );
     Value::Object(c)
 }
@@ -392,6 +392,16 @@ pub(crate) fn cell_from_json(v: &Value) -> Result<CellOutcome, PipelineError> {
         discarded_trials: opt("discarded_trials")?.map(|x| x as usize),
         result_size: opt("result_size")?.map(|x| x as usize),
     })
+}
+
+/// Encode a non-negative integer as a JSON number, asserting it stays
+/// inside the shim's exactly-representable `f64` range (<= 2^53).
+/// Seeds — the one field that can exceed that range — are serialized
+/// as strings instead (see [`insert_config`]).
+pub(crate) fn exact_num(n: u64) -> Value {
+    debug_assert!(n <= 1u64 << 53, "integer exceeds the exact f64 range");
+    // provlint: allow(lossy-cast-in-serde) -- bound asserted above; the vendored JSON shim backs numbers with f64
+    Value::Number(n as f64)
 }
 
 pub(crate) fn artifact(detail: impl Into<String>) -> PipelineError {
@@ -437,14 +447,19 @@ pub(crate) fn check_header(doc: &Value, format: &str, version: u32) -> Result<()
             )))
         }
     }
-    let found = get_usize(doc, "version")? as u32;
-    if found != version {
+    let found = get_usize(doc, "version")?;
+    if found != version as usize {
         return Err(artifact(format!(
             "{format} version {found} is not supported (this build reads version \
              {version}); re-plan with a matching build"
         )));
     }
-    let snap = get_usize(doc, "snapshot_format_version")? as u32;
+    let snap_raw = get_usize(doc, "snapshot_format_version")?;
+    let snap = u32::try_from(snap_raw).map_err(|_| {
+        artifact(format!(
+            "snapshot_format_version {snap_raw} outside u32 range"
+        ))
+    })?;
     if snap != provgraph::snapshot::SNAPSHOT_VERSION {
         return Err(PipelineError::Snapshot {
             source: provgraph::snapshot::SnapshotError::UnsupportedVersion {
@@ -548,6 +563,7 @@ pub fn merge(parts: Vec<PartialResults>) -> Result<String, PipelineError> {
 pub fn single_report(config: &RunConfig) -> String {
     let rows = pipeline::run_matrix(&config.opts, config.opus_db_iterations);
     let merged =
+        // provlint: allow(panic-in-lib) -- a single complete run can never produce conflicting partials
         merge_matrix_summaries([summarize_rows(&rows)]).expect("a full single-process run merges");
     render_matrix_report(&merged)
 }

@@ -7,7 +7,10 @@ use std::path::PathBuf;
 
 use provmark_core::pipeline::CellOutcome;
 use provmark_core::PipelineError;
-use provshard::elastic::{plan_cells, CellResult, CellTask, InjectSpec, MemoCounters, TaskStore};
+use provshard::elastic::{
+    plan_cells, CellResult, CellTask, InjectSpec, MemoCounters, TaskStore, CELL_RESULT_VERSION,
+    CELL_TASK_VERSION,
+};
 use provshard::{atomic_write, RunConfig};
 
 fn temp_dir(tag: &str) -> PathBuf {
@@ -279,4 +282,49 @@ fn inject_spec_parses_and_renders_all_directives() {
         let err = InjectSpec::parse(bad).unwrap_err();
         assert!(!err.is_empty(), "`{bad}` must be rejected");
     }
+}
+
+#[test]
+fn cell_artifact_version_skew_rejected() {
+    // Both cell artifacts carry their own format version; a document
+    // one version ahead (a newer build's artifact) is refused with the
+    // actionable re-plan error instead of being half-parsed.
+    let task = CellTask {
+        syscall: "creat".into(),
+        tool: 1,
+        epoch: 3,
+        config: RunConfig::quick(),
+    };
+    let skewed = task.to_json_string().replace(
+        &format!("\"version\": {CELL_TASK_VERSION}"),
+        &format!("\"version\": {}", CELL_TASK_VERSION + 1),
+    );
+    assert_ne!(skewed, task.to_json_string(), "replacement must fire");
+    let err = CellTask::from_json_str(&skewed).unwrap_err();
+    assert!(
+        matches!(&err, PipelineError::ShardArtifact { detail }
+            if detail.contains(&format!("version {}", CELL_TASK_VERSION + 1))
+                && detail.contains("re-plan")),
+        "{err}"
+    );
+
+    let result = CellResult {
+        syscall: "creat".into(),
+        tool: 1,
+        epoch: 3,
+        config: RunConfig::quick(),
+        cell: sample_outcome(),
+        memo: MemoCounters::default(),
+    };
+    let skewed = result.to_json_string().replace(
+        &format!("\"version\": {CELL_RESULT_VERSION}"),
+        &format!("\"version\": {}", CELL_RESULT_VERSION + 1),
+    );
+    assert_ne!(skewed, result.to_json_string(), "replacement must fire");
+    let err = CellResult::from_json_str(&skewed).unwrap_err();
+    assert!(
+        matches!(&err, PipelineError::ShardArtifact { detail }
+            if detail.contains(&format!("version {}", CELL_RESULT_VERSION + 1))),
+        "{err}"
+    );
 }

@@ -7,7 +7,10 @@ use std::path::PathBuf;
 use std::process::Command;
 
 use provmark_core::PipelineError;
-use provshard::{execute, merge, plan, single_report, PartialResults, RunConfig};
+use provshard::{
+    execute, merge, plan, single_report, PartialResults, RunConfig, MANIFEST_VERSION,
+    PARTIAL_VERSION,
+};
 
 const WORKER: &str = env!("CARGO_BIN_EXE_provmark-shard");
 
@@ -206,4 +209,40 @@ fn worker_cli_validates_arguments_with_actionable_errors() {
     );
 
     std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn shard_artifact_version_skew_rejected() {
+    // Manifests and partials from a build one format version ahead are
+    // refused with the actionable re-plan error, not half-parsed.
+    let partial = PartialResults {
+        shard_index: 0,
+        shard_count: 2,
+        config: RunConfig::quick(),
+        rows: Vec::new(),
+    };
+    let skewed = partial.to_json_string().replace(
+        &format!("\"version\": {PARTIAL_VERSION}"),
+        &format!("\"version\": {}", PARTIAL_VERSION + 1),
+    );
+    assert_ne!(skewed, partial.to_json_string(), "replacement must fire");
+    let err = PartialResults::from_json_str(&skewed).unwrap_err();
+    let msg = err.to_string();
+    assert!(
+        msg.contains(&format!("version {}", PARTIAL_VERSION + 1)) && msg.contains("re-plan"),
+        "typed partial-version error: {msg}"
+    );
+
+    let manifest = plan(3, &RunConfig::quick()).unwrap().remove(1);
+    let skewed = manifest.to_json_string().replace(
+        &format!("\"version\": {MANIFEST_VERSION}"),
+        &format!("\"version\": {}", MANIFEST_VERSION + 1),
+    );
+    assert_ne!(skewed, manifest.to_json_string(), "replacement must fire");
+    let err = provshard::ShardManifest::from_json_str(&skewed).unwrap_err();
+    let msg = err.to_string();
+    assert!(
+        msg.contains(&format!("version {}", MANIFEST_VERSION + 1)) && msg.contains("re-plan"),
+        "typed manifest-version error: {msg}"
+    );
 }

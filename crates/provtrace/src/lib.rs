@@ -117,6 +117,14 @@ pub fn write_bytes_durable(path: &Path, bytes: &[u8]) -> io::Result<()> {
 // Fields
 // ---------------------------------------------------------------------------
 
+/// Lock the tracer state, recovering from poisoning. A panic on some
+/// other thread while it held the lock leaves the record buffer in a
+/// consistent state (every mutation is a single push or map update),
+/// and telemetry must never turn one thread's panic into another's.
+fn lock_unpoisoned<T>(m: &std::sync::Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 /// A typed field value attached to a span or event.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Field {
@@ -326,7 +334,7 @@ impl Tracer {
         let inner = self.inner.as_deref()?;
         let ts_ns = inner.origin.elapsed().as_nanos();
         let fields = fields();
-        let mut state = inner.state.lock().expect("trace state lock");
+        let mut state = lock_unpoisoned(&inner.state);
         state.next_span += 1;
         let id = state.next_span;
         state.records.push(Record {
@@ -357,7 +365,7 @@ impl Tracer {
         };
         let ts_ns = inner.origin.elapsed().as_nanos();
         let fields = fields();
-        let mut state = inner.state.lock().expect("trace state lock");
+        let mut state = lock_unpoisoned(&inner.state);
         state.records.push(Record {
             ts_ns,
             kind: EventKind::SpanExit,
@@ -378,7 +386,7 @@ impl Tracer {
         };
         let ts_ns = inner.origin.elapsed().as_nanos();
         let fields = fields();
-        let mut state = inner.state.lock().expect("trace state lock");
+        let mut state = lock_unpoisoned(&inner.state);
         state.records.push(Record {
             ts_ns,
             kind: EventKind::Event,
@@ -397,7 +405,7 @@ impl Tracer {
         let Some(inner) = self.inner.as_deref() else {
             return;
         };
-        let mut state = inner.state.lock().expect("trace state lock");
+        let mut state = lock_unpoisoned(&inner.state);
         *state.counters.entry(name).or_insert(0) += delta;
     }
 
@@ -407,7 +415,7 @@ impl Tracer {
     /// kill between flushes loses only the tail. `None` when disabled.
     pub fn to_bytes(&self) -> Option<Vec<u8>> {
         let inner = self.inner.as_deref()?;
-        let state = inner.state.lock().expect("trace state lock");
+        let state = lock_unpoisoned(&inner.state);
         let mut out = String::new();
         out.push_str(&format!(
             "{{\"magic\":{},\"version\":{},\"label\":{},\"pid\":{},\"epoch_unix_ns\":{}}}\n",
@@ -490,6 +498,7 @@ fn json_str(s: &str) -> String {
             '\n' => out.push_str("\\n"),
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
+            // provlint: allow(lossy-cast-in-serde) -- char to u32 is lossless by definition
             c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
             c => out.push(c),
         }
@@ -642,7 +651,7 @@ impl<'a> Parser<'a> {
         self.bytes.get(self.pos).copied()
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), String> {
+    fn expect_byte(&mut self, b: u8) -> Result<(), String> {
         if self.peek() == Some(b) {
             self.pos += 1;
             Ok(())
@@ -675,7 +684,7 @@ impl<'a> Parser<'a> {
     }
 
     fn object(&mut self) -> Result<Json, String> {
-        self.expect(b'{')?;
+        self.expect_byte(b'{')?;
         let mut pairs = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
@@ -686,7 +695,7 @@ impl<'a> Parser<'a> {
             self.skip_ws();
             let key = self.string()?;
             self.skip_ws();
-            self.expect(b':')?;
+            self.expect_byte(b':')?;
             let value = self.value()?;
             pairs.push((key, value));
             self.skip_ws();
@@ -704,7 +713,7 @@ impl<'a> Parser<'a> {
     }
 
     fn array(&mut self) -> Result<Json, String> {
-        self.expect(b'[')?;
+        self.expect_byte(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
@@ -728,7 +737,7 @@ impl<'a> Parser<'a> {
     }
 
     fn string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         let mut out = String::new();
         loop {
             match self.peek() {
@@ -768,6 +777,7 @@ impl<'a> Parser<'a> {
                     // the input is already a valid &str.
                     let rest = std::str::from_utf8(&self.bytes[self.pos..])
                         .map_err(|_| "invalid utf-8".to_string())?;
+                    // provlint: allow(panic-in-lib) -- `peek()` returned Some, so `rest` is non-empty
                     let c = rest.chars().next().unwrap();
                     out.push(c);
                     self.pos += c.len_utf8();
@@ -996,10 +1006,12 @@ fn field_value(v: &Json) -> FieldValue {
             if *i >= 0 {
                 u64::try_from(*i)
                     .map(FieldValue::U64)
+                    // provlint: allow(lossy-cast-in-serde) -- explicit fallback for foreign traces whose ints exceed the exact range
                     .unwrap_or(FieldValue::F64(*i as f64))
             } else {
                 i64::try_from(*i)
                     .map(FieldValue::I64)
+                    // provlint: allow(lossy-cast-in-serde) -- explicit fallback for foreign traces whose ints exceed the exact range
                     .unwrap_or(FieldValue::F64(*i as f64))
             }
         }

@@ -4,7 +4,9 @@
 //! back as typed [`TraceError`]s — never a panic, never a silently
 //! misread trace.
 
-use provtrace::{Field, TraceError, TraceFile, Tracer, TRACE_VERSION};
+use provtrace::{
+    Field, TraceError, TraceFile, Tracer, TRACE_END_MAGIC, TRACE_MAGIC, TRACE_VERSION,
+};
 
 /// A representative trace: spans with parents and exit fields, events,
 /// counters, escaped strings.
@@ -109,7 +111,8 @@ fn rejects_every_single_byte_flip() {
 #[test]
 fn rejects_trailing_garbage() {
     let bytes = sample_trace();
-    for garbage in [&b"x"[..], b"{}\n", b"\n", b"{\"magic\":\"PMTRACE_END\"}\n"] {
+    let stray_footer = format!("{{\"magic\":\"{TRACE_END_MAGIC}\"}}\n");
+    for garbage in [&b"x"[..], b"{}\n", b"\n", stray_footer.as_bytes()] {
         let mut extended = bytes.clone();
         extended.extend_from_slice(garbage);
         let err = TraceFile::parse(&extended).expect_err("trailing bytes must not parse");
@@ -134,7 +137,7 @@ fn rejects_garbage_and_foreign_version() {
         Err(TraceError::BadMagic)
     );
     let future = format!(
-        "{{\"magic\":\"PMTRACE\",\"version\":{},\"label\":\"w\",\"pid\":1,\"epoch_unix_ns\":0}}\n",
+        "{{\"magic\":\"{TRACE_MAGIC}\",\"version\":{},\"label\":\"w\",\"pid\":1,\"epoch_unix_ns\":0}}\n",
         TRACE_VERSION + 1
     );
     assert_eq!(
